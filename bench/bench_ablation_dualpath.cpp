@@ -1,0 +1,127 @@
+/**
+ * Ablation — the dual compilation path (paper §4: HTM executes the
+ * non-instrumented path; "the dual path optimization is crucial to
+ * minimize overhead").
+ *
+ * Two views:
+ *  1. Real execution: emulated-HTM throughput with and without a
+ *     per-access instrumentation shim (what GCC's default
+ *     instrumented path costs the hardware path).
+ *  2. Model view: Machine-A throughput of every preset under the HTM
+ *     cost profile vs an "instrumented HTM" profile whose per-access
+ *     costs match an STM's.
+ */
+
+#include <thread>
+
+#include "bench_util.hpp"
+#include "common/timing.hpp"
+#include "tm/sim_htm.hpp"
+
+namespace proteus::bench {
+namespace {
+
+constexpr std::uint64_t kSlots = 1 << 18;
+constexpr std::uint64_t kOps = 150000;
+
+double
+runHtm(bool instrumented)
+{
+    tm::SimHtm htm({}, 18);
+    std::vector<std::uint64_t> slots(kSlots, 1);
+    tm::TxDesc desc(0, 0xd0a1);
+    htm.registerThread(desc);
+    Rng rng(0xfeed);
+    Stopwatch sw;
+    for (std::uint64_t op = 0; op < kOps; ++op) {
+        desc.consecutiveAborts = 0;
+        desc.htmBudgetLeft = 5;
+        for (;;) {
+            htm.txBegin(desc);
+            try {
+                std::uint64_t acc = 0;
+                for (int i = 0; i < 20; ++i) {
+                    const std::uint64_t *addr =
+                        &slots[rng.nextBounded(kSlots)];
+                    if (instrumented) {
+                        volatile std::uint64_t sink =
+                            reinterpret_cast<std::uintptr_t>(addr) *
+                            0x9e3779b97f4a7c15ull;
+                        (void)sink;
+                    }
+                    acc += htm.txRead(desc, addr);
+                }
+                for (int i = 0; i < 4; ++i) {
+                    std::uint64_t *addr =
+                        &slots[rng.nextBounded(kSlots)];
+                    if (instrumented) {
+                        volatile std::uint64_t sink =
+                            reinterpret_cast<std::uintptr_t>(addr) ^ acc;
+                        (void)sink;
+                    }
+                    htm.txWrite(desc, addr, acc + i);
+                }
+                htm.txCommit(desc);
+                break;
+            } catch (const tm::TxAbort &) {
+                ++desc.consecutiveAborts;
+                tm::backoffOnAbort(desc);
+            }
+        }
+    }
+    return static_cast<double>(kOps) / sw.elapsedSeconds();
+}
+
+int
+run()
+{
+    printTitle("Ablation: dual compilation path for HTM");
+
+    std::vector<double> opt, naive;
+    for (int rep = 0; rep < 3; ++rep) {
+        opt.push_back(runHtm(false));
+        naive.push_back(runHtm(true));
+    }
+    const double overhead =
+        (median(opt) / median(naive) - 1.0) * 100.0;
+    std::printf("real emulated-HTM, 1 thread: non-instrumented %.0f "
+                "tx/s, instrumented %.0f tx/s -> overhead %.1f%%\n\n",
+                median(opt), median(naive), overhead);
+
+    // Model view: swap the HTM per-access costs for TL2-like ones.
+    const auto space = ConfigSpace::machineA();
+    const PerfModel perf(MachineModel::machineA());
+    std::printf("%-12s %16s %16s %9s\n", "workload", "HTM-dual(tx/s)",
+                "HTM-instr(tx/s)", "loss%");
+    for (const auto &w : simarch::presets::all()) {
+        polytm::TmConfig htm{tm::BackendKind::kSimHtm, 8, {}};
+        htm.cm.htmBudget = 8;
+        const double dual =
+            perf.kpi(w, htm, KpiKind::kThroughput, false);
+        // Instrumented hardware path: GCC's _ITM_ read/write barriers
+        // on the hw path degenerate to the plain access plus dispatch
+        // (~6 cycles per access); add that on top of the hw attempt.
+        constexpr double kBarrierDispatchCycles = 6.0;
+        Workload instr = w;
+        instr.features.txLocalWorkCycles +=
+            (w.features.readsPerTx + w.features.writesPerTx) *
+            kBarrierDispatchCycles;
+        const double slow =
+            perf.kpi(instr, htm, KpiKind::kThroughput, false);
+        std::printf("%-12s %16.0f %16.0f %9.1f\n", w.name.c_str(),
+                    dual, slow, (dual / slow - 1.0) * 100.0);
+    }
+    std::printf("\nShape target: instrumented-path HTM loses ~10-25%% "
+                "on access-dense workloads (paper Table 4: 14-24%%), "
+                "justifying the dual-path design.\n");
+    return 0;
+}
+
+} // namespace
+} // namespace proteus::bench
+
+int
+main()
+{
+    return proteus::bench::run();
+}

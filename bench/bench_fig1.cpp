@@ -1,0 +1,121 @@
+/**
+ * Fig. 1 — Performance heterogeneity in TM applications.
+ *
+ * (a) Throughput/Joule of NOrec:4t, Tiny:8t, HTM:8t on Machine A for
+ *     genome, red-black tree, labyrinth — normalized to the best
+ *     configuration of the full 130-config space per workload.
+ * (b) Throughput of NOrec:48t, Tiny:8t, Swiss:32t on Machine B for
+ *     vacation, red-black tree, intruder — normalized likewise over
+ *     the 32-config space.
+ *
+ * Shape targets: per workload the winner differs; wrong static picks
+ * lose big (labyrinth kills HTM; the paper reports order-of-magnitude
+ * cliffs across its full space).
+ */
+
+#include "bench_util.hpp"
+
+namespace proteus::bench {
+namespace {
+
+using tm::BackendKind;
+
+polytm::TmConfig
+cfg(BackendKind backend, int threads, int budget = 5)
+{
+    polytm::TmConfig c{backend, threads, {}};
+    c.cm.htmBudget = budget;
+    return c;
+}
+
+void
+panel(const char *title, const PerfModel &perf, const ConfigSpace &space,
+      const std::vector<Workload> &workloads,
+      const std::vector<std::pair<std::string, polytm::TmConfig>> &bars,
+      bool per_joule)
+{
+    printTitle(title);
+    std::printf("%-12s", "workload");
+    for (const auto &[label, c] : bars)
+        std::printf(" %14s", label.c_str());
+    std::printf(" %14s\n", "best-config");
+
+    for (const auto &w : workloads) {
+        // KPI: throughput or throughput/joule over the whole space.
+        std::vector<double> values(space.size());
+        for (std::size_t i = 0; i < space.size(); ++i) {
+            const double thr = perf.kpi(w, space.at(i),
+                                        KpiKind::kThroughput, false);
+            values[i] = per_joule
+                ? thr / perf.machine().power.watts(space.at(i).threads)
+                : thr;
+        }
+        const std::size_t best = argBest(values);
+        std::printf("%-12s", w.name.c_str());
+        for (const auto &[label, c] : bars) {
+            const int idx = space.indexOf(c);
+            const double norm =
+                idx >= 0 ? values[static_cast<std::size_t>(idx)] /
+                               values[best]
+                         : 0.0;
+            std::printf(" %14.3f", norm);
+        }
+        std::printf(" %14s\n", space.at(best).label().c_str());
+    }
+    std::printf("\n");
+}
+
+int
+run()
+{
+    const auto spaceA = ConfigSpace::machineA();
+    const auto spaceB = ConfigSpace::machineB();
+    const PerfModel pmA(MachineModel::machineA());
+    const PerfModel pmB(MachineModel::machineB());
+
+    panel("Fig 1a: Throughput/Joule on Machine A (normalized wrt best)",
+          pmA, spaceA,
+          {simarch::presets::genome(), simarch::presets::redBlackTree(),
+           simarch::presets::labyrinth()},
+          {{"NOrec:4t", cfg(BackendKind::kNorec, 4)},
+           {"Tiny:8t", cfg(BackendKind::kTinyStm, 8)},
+           {"HTM:8t", cfg(BackendKind::kSimHtm, 8, 4)}},
+          /*per_joule=*/true);
+
+    panel("Fig 1b: Throughput on Machine B (normalized wrt best)", pmB,
+          spaceB,
+          {simarch::presets::vacation(),
+           simarch::presets::redBlackTree(),
+           simarch::presets::intruder()},
+          {{"NOrec:48t", cfg(BackendKind::kNorec, 48)},
+           {"Tiny:8t", cfg(BackendKind::kTinyStm, 8)},
+           {"Swiss:32t", cfg(BackendKind::kSwissTm, 32)}},
+          /*per_joule=*/false);
+
+    // Headline heterogeneity check: max spread across each space.
+    printTitle("Spread best/worst across the full space (per workload)");
+    for (const auto &w : simarch::presets::all()) {
+        const auto rowA =
+            pmA.kpiRow(w, spaceA, KpiKind::kThroughput, false);
+        const auto rowB =
+            pmB.kpiRow(w, spaceB, KpiKind::kThroughput, false);
+        const double spreadA =
+            *std::max_element(rowA.begin(), rowA.end()) /
+            *std::min_element(rowA.begin(), rowA.end());
+        const double spreadB =
+            *std::max_element(rowB.begin(), rowB.end()) /
+            *std::min_element(rowB.begin(), rowB.end());
+        std::printf("%-12s machineA %6.1fx   machineB %6.1fx\n",
+                    w.name.c_str(), spreadA, spreadB);
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace proteus::bench
+
+int
+main()
+{
+    return proteus::bench::run();
+}

@@ -1,0 +1,190 @@
+/**
+ * Fig. 5 — Controller exploration policies: EI (ProteusTM) vs Greedy,
+ * Variance and Random.
+ *
+ * Trace-driven simulation; one SMBO episode per (policy, workload)
+ * with a 20-exploration budget, from which we report:
+ *  (a) MDFO vs #explorations for EDP on Machine A,
+ *  (b) CDF of the DFO after 5 explorations (EDP, Machine A),
+ *  (c) MAPE vs #explorations for exec time on Machine B,
+ *  (d) MDFO vs #explorations for exec time on Machine B.
+ *
+ * Shape targets: EI reaches a given MDFO with up to ~4x fewer
+ * explorations than Random; Variance attains the best MAPE yet poor
+ * MDFO; Greedy in between.
+ */
+
+#include "bench_util.hpp"
+#include "rectm/engine.hpp"
+
+namespace proteus::bench {
+namespace {
+
+using rectm::ExplorePolicy;
+using rectm::kUnknown;
+using rectm::RecTmEngine;
+using rectm::SmboOptions;
+using rectm::StopRule;
+
+constexpr int kBudget = 20;
+constexpr std::size_t kTestWorkloads = 120;
+
+struct EpisodeTrace
+{
+    /** DFO of the best *sampled* config after k explorations. */
+    std::vector<double> dfoAtK;
+    /** MAPE of model predictions after k explorations. */
+    std::vector<double> mapeAtK;
+};
+
+EpisodeTrace
+episode(const RecTmEngine &engine, const PerfModel &perf,
+        const Workload &w, const ConfigSpace &space, KpiKind kpi,
+        ExplorePolicy policy, std::uint64_t seed)
+{
+    auto sampler = [&](std::size_t c) {
+        return toGoodness(perf.kpi(w, space.at(c), kpi, true), kpi);
+    };
+    SmboOptions opts;
+    opts.policy = policy;
+    opts.stop = StopRule::kFixed;
+    opts.fixedExplorations = kBudget;
+    opts.maxExplorations = kBudget;
+    opts.seed = seed;
+    const auto result = engine.optimize(sampler, opts);
+
+    const auto truth = trueGoodnessRow(perf, w, space, kpi);
+    EpisodeTrace trace;
+    trace.dfoAtK.assign(kBudget + 1, 0.0);
+    trace.mapeAtK.assign(kBudget + 1, 0.0);
+
+    std::vector<double> query(space.size(), kUnknown);
+    double best_goodness = -1;
+    std::size_t best_cfg = result.sampled.front();
+    for (std::size_t step = 0; step < result.sampled.size(); ++step) {
+        const std::size_t c = result.sampled[step];
+        query[c] = result.queryGoodness[c];
+        if (query[c] > best_goodness) {
+            best_goodness = query[c];
+            best_cfg = c;
+        }
+        const auto k = static_cast<int>(step); // step 0 = reference
+        if (k >= 1 && k <= kBudget) {
+            trace.dfoAtK[static_cast<std::size_t>(k)] =
+                dfoOf(truth, best_cfg);
+            trace.mapeAtK[static_cast<std::size_t>(k)] =
+                mapeOf(engine.predictAllGoodness(query), truth);
+        }
+    }
+    // Pad the tail (episodes whose sample list is shorter than the
+    // budget keep their final quality).
+    for (int k = 1; k <= kBudget; ++k) {
+        if (trace.dfoAtK[static_cast<std::size_t>(k)] == 0.0 &&
+            static_cast<std::size_t>(k) >= result.sampled.size()) {
+            trace.dfoAtK[static_cast<std::size_t>(k)] =
+                dfoOf(truth, best_cfg);
+            trace.mapeAtK[static_cast<std::size_t>(k)] =
+                trace.mapeAtK[static_cast<std::size_t>(k - 1)];
+        }
+    }
+    return trace;
+}
+
+void
+panel(const char *title, const MachineModel &machine,
+      const ConfigSpace &space, KpiKind kpi, bool print_cdf)
+{
+    const PerfModel perf(machine);
+    const Split split = corpusSplit(21, 0x515, 0.30);
+    const auto train = goodnessMatrix(perf, split.train, space, kpi);
+    RecTmEngine::Options eopts;
+    eopts.tuner.trials = 12;
+    const RecTmEngine engine(train, eopts);
+
+    const ExplorePolicy policies[] = {
+        ExplorePolicy::kEi, ExplorePolicy::kGreedy,
+        ExplorePolicy::kVariance, ExplorePolicy::kRandom};
+
+    std::vector<std::vector<EpisodeTrace>> traces(4);
+    for (std::size_t p = 0; p < 4; ++p) {
+        for (std::size_t i = 0;
+             i < std::min(kTestWorkloads, split.test.size()); ++i) {
+            traces[p].push_back(episode(engine, perf, split.test[i],
+                                        space, kpi, policies[p],
+                                        0x9000 + i));
+        }
+    }
+
+    printTitle(std::string(title) + " - MDFO vs #explorations");
+    std::printf("%-8s", "k");
+    for (const auto p : policies)
+        std::printf(" %10s",
+                    std::string(explorePolicyName(p)).c_str());
+    std::printf("\n");
+    for (const int k : {2, 4, 6, 8, 10, 12, 14, 16, 18, 20}) {
+        std::printf("%-8d", k);
+        for (std::size_t p = 0; p < 4; ++p) {
+            std::vector<double> dfos;
+            for (const auto &t : traces[p])
+                dfos.push_back(t.dfoAtK[static_cast<std::size_t>(k)]);
+            std::printf(" %10.4f", mean(dfos));
+        }
+        std::printf("\n");
+    }
+
+    printTitle(std::string(title) + " - MAPE vs #explorations");
+    for (const int k : {2, 4, 6, 8, 10, 14, 20}) {
+        std::printf("%-8d", k);
+        for (std::size_t p = 0; p < 4; ++p) {
+            std::vector<double> mapes;
+            for (const auto &t : traces[p])
+                mapes.push_back(t.mapeAtK[static_cast<std::size_t>(k)]);
+            std::printf(" %10.4f", mean(mapes));
+        }
+        std::printf("\n");
+    }
+
+    if (print_cdf) {
+        printTitle(std::string(title) +
+                   " - CDF of DFO after 5 explorations");
+        std::printf("%-8s", "pctl");
+        for (const auto p : policies)
+            std::printf(" %10s",
+                        std::string(explorePolicyName(p)).c_str());
+        std::printf("\n");
+        for (const double pct : {20.0, 40.0, 60.0, 80.0, 95.0}) {
+            std::printf("p%-7.0f", pct);
+            for (std::size_t p = 0; p < 4; ++p) {
+                std::vector<double> dfos;
+                for (const auto &t : traces[p])
+                    dfos.push_back(t.dfoAtK[5]);
+                std::printf(" %10.4f", percentile(dfos, pct));
+            }
+            std::printf("\n");
+        }
+    }
+    std::printf("\n");
+}
+
+int
+run()
+{
+    panel("Fig 5a/5b: EDP on Machine A", MachineModel::machineA(),
+          ConfigSpace::machineA(), KpiKind::kEdp, /*print_cdf=*/true);
+    panel("Fig 5c/5d: Exec time on Machine B", MachineModel::machineB(),
+          ConfigSpace::machineB(), KpiKind::kExecTime,
+          /*print_cdf=*/false);
+    std::printf("Shape target: EI dominates MDFO; Variance wins MAPE "
+                "but trails on MDFO; Random needs ~4x more "
+                "explorations at 5%% MDFO.\n");
+    return 0;
+}
+
+} // namespace
+} // namespace proteus::bench
+
+int
+main()
+{
+    return proteus::bench::run();
+}

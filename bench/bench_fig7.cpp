@@ -1,0 +1,155 @@
+/**
+ * Fig. 7 — ProteusTM vs pure ML workload-characterization approaches
+ * (Wang et al.-style): CART decision tree, linear SVM (SMO stand-in)
+ * and MLP, trained on 17 workload features with the best
+ * configuration as the target class; ProteusTM uses its CF + SMBO
+ * pipeline. Evaluated at 30% and 70% training fractions over 300+
+ * Machine-A workloads (throughput KPI), 3 repetitions.
+ *
+ * Shape targets: ProteusTM's DFO distribution dominates (90p ~3-3.5%
+ * vs 21-41% for ML); ML improves markedly with more training data
+ * while ProteusTM barely moves (it explores online instead); median
+ * explorations ~4, 90p ~6-7.
+ */
+
+#include "bench_util.hpp"
+#include "ml/classifier.hpp"
+#include "rectm/engine.hpp"
+
+namespace proteus::bench {
+namespace {
+
+using ml::ClassifierFamily;
+using rectm::RecTmEngine;
+using rectm::SmboOptions;
+
+struct Cdf
+{
+    std::vector<double> dfos;
+
+    void
+    print(const char *name) const
+    {
+        std::vector<double> sorted = dfos;
+        std::sort(sorted.begin(), sorted.end());
+        std::printf("%-12s mean %7.4f  median %7.4f  p90 %7.4f  "
+                    "p99 %7.4f\n",
+                    name, mean(sorted), percentileSorted(sorted, 50),
+                    percentileSorted(sorted, 90),
+                    percentileSorted(sorted, 99));
+    }
+};
+
+void
+runFraction(double train_fraction)
+{
+    const auto space = ConfigSpace::machineA();
+    const PerfModel perf(MachineModel::machineA());
+
+    Cdf proteus_cdf, cart_cdf, svm_cdf, mlp_cdf;
+    std::vector<double> explorations;
+
+    for (int rep = 0; rep < 3; ++rep) {
+        const Split split =
+            corpusSplit(21, 0x700 + static_cast<std::uint64_t>(rep),
+                        train_fraction);
+        const auto train = goodnessMatrix(perf, split.train, space,
+                                          KpiKind::kThroughput);
+
+        // --- ProteusTM ------------------------------------------------
+        RecTmEngine::Options eopts;
+        eopts.tuner.trials = 12;
+        eopts.seed = 0xabc0 + static_cast<std::uint64_t>(rep);
+        const RecTmEngine engine(train, eopts);
+
+        // --- ML baselines ----------------------------------------------
+        ml::Dataset dataset;
+        dataset.numClasses = static_cast<int>(space.size());
+        for (const auto &w : split.train) {
+            const auto f = w.features.toVector();
+            dataset.features.emplace_back(f.begin(), f.end());
+            const auto truth = trueGoodnessRow(perf, w, space,
+                                               KpiKind::kThroughput);
+            dataset.labels.push_back(
+                static_cast<int>(argBest(truth)));
+        }
+        ml::Standardizer standardizer;
+        standardizer.fit(dataset);
+        const ml::Dataset scaled = standardizer.apply(dataset);
+
+        auto trainFamily = [&](ClassifierFamily family) {
+            auto tuned = ml::tuneClassifier(
+                family, scaled, 10,
+                0xd00d + static_cast<std::uint64_t>(rep));
+            auto model = tuned.model->clone();
+            model->fit(scaled);
+            return model;
+        };
+        const auto cart = trainFamily(ClassifierFamily::kCart);
+        const auto svm = trainFamily(ClassifierFamily::kSvm);
+        const auto mlp = trainFamily(ClassifierFamily::kMlp);
+
+        const std::size_t n_test =
+            std::min<std::size_t>(100, split.test.size());
+        for (std::size_t i = 0; i < n_test; ++i) {
+            const Workload &w = split.test[i];
+            const auto truth = trueGoodnessRow(perf, w, space,
+                                               KpiKind::kThroughput);
+
+            // ProteusTM episode.
+            auto sampler = [&](std::size_t c) {
+                return toGoodness(perf.kpi(w, space.at(c),
+                                           KpiKind::kThroughput, true),
+                                  KpiKind::kThroughput);
+            };
+            SmboOptions opts;
+            opts.epsilon = 0.01;
+            opts.seed = 0xe0 + i;
+            const auto result = engine.optimize(sampler, opts);
+            proteus_cdf.dfos.push_back(
+                dfoOf(truth, result.bestConfig));
+            explorations.push_back(result.explorations);
+
+            // ML: one-shot classification from features.
+            const auto fv = w.features.toVector();
+            const std::vector<double> x = standardizer.apply(
+                std::vector<double>(fv.begin(), fv.end()));
+            cart_cdf.dfos.push_back(dfoOf(
+                truth, static_cast<std::size_t>(cart->predict(x))));
+            svm_cdf.dfos.push_back(dfoOf(
+                truth, static_cast<std::size_t>(svm->predict(x))));
+            mlp_cdf.dfos.push_back(dfoOf(
+                truth, static_cast<std::size_t>(mlp->predict(x))));
+        }
+    }
+
+    std::printf("Training fraction: %.0f%%\n", train_fraction * 100);
+    proteus_cdf.print("ProteusTM");
+    cart_cdf.print("CART");
+    svm_cdf.print("SVM");
+    mlp_cdf.print("MLP");
+    std::printf("ProteusTM explorations: median %.0f  p90 %.0f\n\n",
+                median(explorations), percentile(explorations, 90));
+}
+
+int
+run()
+{
+    printTitle("Fig 7: ProteusTM vs ML classifiers - DFO distribution "
+               "(throughput, Machine A)");
+    runFraction(0.30);
+    runFraction(0.70);
+    std::printf("Shape target: ProteusTM ~10x lower p90 DFO than the "
+                "ML baselines; ML gains from 70%% training data, "
+                "ProteusTM barely changes.\n");
+    return 0;
+}
+
+} // namespace
+} // namespace proteus::bench
+
+int
+main()
+{
+    return proteus::bench::run();
+}

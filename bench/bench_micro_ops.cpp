@@ -1,0 +1,131 @@
+/**
+ * Micro-benchmarks (google-benchmark) for the hot primitives whose
+ * costs the paper argues about: the ThreadGate fetch-and-add fast
+ * path (§4.2: ~17 cycles vs ~32 for CAS), write-set insert/lookup,
+ * orec acquisition, and single-threaded begin/commit cost per
+ * backend.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "polytm/polytm.hpp"
+#include "polytm/thread_gate.hpp"
+#include "tm/norec.hpp"
+#include "tm/sim_htm.hpp"
+#include "tm/tinystm.hpp"
+#include "tm/tl2.hpp"
+
+namespace proteus {
+namespace {
+
+void
+BM_ThreadGateEnterExit(benchmark::State &state)
+{
+    polytm::ThreadGate gate;
+    for (auto _ : state) {
+        gate.enter(0);
+        gate.exit(0);
+    }
+}
+BENCHMARK(BM_ThreadGateEnterExit);
+
+void
+BM_FetchAddOwnLine(benchmark::State &state)
+{
+    Padded<std::atomic<std::uint64_t>> word{};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(word->fetch_add(1));
+}
+BENCHMARK(BM_FetchAddOwnLine);
+
+void
+BM_CompareExchangeOwnLine(benchmark::State &state)
+{
+    Padded<std::atomic<std::uint64_t>> word{};
+    std::uint64_t expected = 0;
+    for (auto _ : state) {
+        word->compare_exchange_strong(expected, expected + 1);
+        expected = word->load();
+    }
+}
+BENCHMARK(BM_CompareExchangeOwnLine);
+
+void
+BM_WriteSetPutFindClear(benchmark::State &state)
+{
+    tm::WriteSet ws;
+    std::vector<std::uint64_t> slots(64);
+    for (auto _ : state) {
+        for (auto &s : slots)
+            ws.put(&s, 1);
+        for (auto &s : slots)
+            benchmark::DoNotOptimize(ws.find(&s));
+        ws.clear();
+    }
+}
+BENCHMARK(BM_WriteSetPutFindClear);
+
+void
+BM_OrecTryLockRelease(benchmark::State &state)
+{
+    tm::OrecTable orecs(10);
+    std::uint64_t word = 0;
+    tm::Orec &orec = orecs.forAddr(&word);
+    for (auto _ : state) {
+        const tm::OrecWord seen = orec.load();
+        benchmark::DoNotOptimize(orec.tryLock(seen, 1));
+        orec.releaseRestore(seen);
+    }
+}
+BENCHMARK(BM_OrecTryLockRelease);
+
+template <typename Backend>
+void
+BM_BackendReadWriteCommit(benchmark::State &state)
+{
+    Backend backend;
+    tm::TxDesc desc(0, 77);
+    backend.registerThread(desc);
+    std::vector<std::uint64_t> slots(1 << 12, 1);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        desc.htmBudgetLeft = 5;
+        backend.txBegin(desc);
+        std::uint64_t acc = 0;
+        for (int r = 0; r < 10; ++r)
+            acc += backend.txRead(desc, &slots[(i + r * 37) & 0xfff]);
+        backend.txWrite(desc, &slots[i & 0xfff], acc);
+        backend.txCommit(desc);
+        ++i;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+BENCHMARK_TEMPLATE(BM_BackendReadWriteCommit, tm::Tl2Tm);
+BENCHMARK_TEMPLATE(BM_BackendReadWriteCommit, tm::TinyStmTm);
+BENCHMARK_TEMPLATE(BM_BackendReadWriteCommit, tm::NorecTm);
+BENCHMARK_TEMPLATE(BM_BackendReadWriteCommit, tm::SimHtm);
+
+void
+BM_PolyTmRunOverhead(benchmark::State &state)
+{
+    polytm::PolyTm poly;
+    auto token = poly.registerThread();
+    std::vector<std::uint64_t> slots(1 << 12, 1);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        poly.run(token, [&](polytm::Tx &tx) {
+            std::uint64_t acc = 0;
+            for (int r = 0; r < 10; ++r)
+                acc += tx.readWord(&slots[(i + r * 37) & 0xfff]);
+            tx.writeWord(&slots[i & 0xfff], acc);
+        });
+        ++i;
+    }
+    poly.deregisterThread(token);
+}
+BENCHMARK(BM_PolyTmRunOverhead);
+
+} // namespace
+} // namespace proteus
+
+BENCHMARK_MAIN();

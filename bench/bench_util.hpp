@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Shared scaffolding for the per-figure/table experiment harnesses:
+ * corpus generation + train/test splits, utility-matrix construction
+ * from the performance model, DFO/MAPE metrics, and small table
+ * printers. Every bench prints the same rows/series as the paper's
+ * artifact it regenerates (see DESIGN.md §4 and EXPERIMENTS.md).
+ */
+
+#ifndef PROTEUS_BENCH_BENCH_UTIL_HPP
+#define PROTEUS_BENCH_BENCH_UTIL_HPP
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "rectm/proteus_runtime.hpp"
+#include "rectm/utility_matrix.hpp"
+#include "simarch/perf_model.hpp"
+
+namespace proteus::bench {
+
+using polytm::ConfigSpace;
+using polytm::KpiKind;
+using rectm::toGoodness;
+using rectm::UtilityMatrix;
+using simarch::MachineModel;
+using simarch::PerfModel;
+using simarch::Workload;
+using simarch::WorkloadCorpus;
+
+struct Split
+{
+    std::vector<Workload> train;
+    std::vector<Workload> test;
+};
+
+/** Corpus of 15 presets x `variants`, split train/test by fraction. */
+inline Split
+corpusSplit(int variants, std::uint64_t seed, double train_fraction)
+{
+    const auto corpus = WorkloadCorpus::generate(variants, seed);
+    Rng rng(seed ^ 0x51317);
+    const auto perm = rng.permutation(corpus.size());
+    const auto train_n = static_cast<std::size_t>(
+        train_fraction * static_cast<double>(corpus.size()));
+    Split split;
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+        if (i < train_n)
+            split.train.push_back(corpus[perm[i]]);
+        else
+            split.test.push_back(corpus[perm[i]]);
+    }
+    return split;
+}
+
+/** Dense goodness matrix for a workload set (noisy measurements). */
+inline UtilityMatrix
+goodnessMatrix(const PerfModel &perf, const std::vector<Workload> &ws,
+               const ConfigSpace &space, KpiKind kpi)
+{
+    UtilityMatrix m(ws.size(), space.size());
+    for (std::size_t r = 0; r < ws.size(); ++r) {
+        const auto row = perf.kpiRow(ws[r], space, kpi, true);
+        for (std::size_t c = 0; c < space.size(); ++c)
+            m.set(r, c, toGoodness(row[c], kpi));
+    }
+    return m;
+}
+
+/** Noise-free goodness row (ground truth for DFO/MAPE). */
+inline std::vector<double>
+trueGoodnessRow(const PerfModel &perf, const Workload &w,
+                const ConfigSpace &space, KpiKind kpi)
+{
+    const auto row = perf.kpiRow(w, space, kpi, false);
+    std::vector<double> out(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c)
+        out[c] = toGoodness(row[c], kpi);
+    return out;
+}
+
+/** Distance-from-optimum of config `chosen` in a goodness row. */
+inline double
+dfoOf(const std::vector<double> &true_goodness, std::size_t chosen)
+{
+    const double best = *std::max_element(true_goodness.begin(),
+                                          true_goodness.end());
+    return (best - true_goodness[chosen]) / best;
+}
+
+/** Index of the best entry of a goodness row. */
+inline std::size_t
+argBest(const std::vector<double> &goodness)
+{
+    return static_cast<std::size_t>(
+        std::max_element(goodness.begin(), goodness.end()) -
+        goodness.begin());
+}
+
+/** MAPE of predictions vs truth over all configurations. */
+inline double
+mapeOf(const std::vector<double> &pred, const std::vector<double> &truth)
+{
+    double sum = 0;
+    std::size_t n = 0;
+    for (std::size_t c = 0; c < truth.size(); ++c) {
+        if (truth[c] <= 0)
+            continue;
+        sum += std::abs(truth[c] - pred[c]) / truth[c];
+        ++n;
+    }
+    return n ? sum / n : 0.0;
+}
+
+/**
+ * Simulated tunable system for the closed-loop experiments (Fig. 8/9):
+ * the live KPI comes from the performance model for the current phase
+ * workload, optionally scaled by an environment factor (external
+ * resource contention), plus small measurement jitter.
+ */
+class SimSystem : public rectm::TunableSystem
+{
+  public:
+    SimSystem(const PerfModel &perf, const ConfigSpace &space,
+              std::vector<Workload> phases, KpiKind kpi,
+              std::uint64_t seed = 0x5e55)
+        : perf_(perf), space_(space), phases_(std::move(phases)),
+          kpi_(kpi), rng_(seed)
+    {}
+
+    void setPhase(std::size_t p) { phase_ = p % phases_.size(); }
+    std::size_t phase() const { return phase_; }
+    void setEnvFactor(double f) { envFactor_ = f; }
+
+    /**
+     * Swap the machine model (Fig. 9: external interference steals
+     * cores/bandwidth, which *moves* the optimal configuration).
+     * nullptr restores the constructor-supplied model.
+     */
+    void setPerfOverride(const PerfModel *perf) { override_ = perf; }
+
+    std::size_t numConfigs() const override { return space_.size(); }
+    void applyConfig(std::size_t c) override { config_ = c; }
+
+    double
+    measureKpi() override
+    {
+        const double jitter = 1.0 + 0.01 * rng_.nextGaussian();
+        return trueKpi(phase_, config_) * jitter;
+    }
+
+    /** Noise-free KPI of an arbitrary (phase, config) pair under the
+     *  current environment. */
+    double
+    trueKpi(std::size_t phase, std::size_t config) const
+    {
+        const PerfModel &perf = override_ ? *override_ : perf_;
+        const double v =
+            perf.kpi(phases_[phase], space_.at(config), kpi_, false);
+        // Residual environment contention scales throughput down
+        // (and time / EDP up).
+        return polytm::kpiIsMaximize(kpi_) ? v * envFactor_
+                                           : v / envFactor_;
+    }
+
+  private:
+    const PerfModel &perf_;
+    const PerfModel *override_ = nullptr;
+    const ConfigSpace &space_;
+    std::vector<Workload> phases_;
+    KpiKind kpi_;
+    Rng rng_;
+    std::size_t phase_ = 0;
+    std::size_t config_ = 0;
+    double envFactor_ = 1.0;
+};
+
+inline void
+printRule(int width = 72)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+inline void
+printTitle(const std::string &title)
+{
+    printRule();
+    std::printf("%s\n", title.c_str());
+    printRule();
+}
+
+} // namespace proteus::bench
+
+#endif // PROTEUS_BENCH_BENCH_UTIL_HPP

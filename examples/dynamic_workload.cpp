@@ -1,0 +1,116 @@
+/**
+ * Dynamic workload — the whole closed loop (Fig. 8 in miniature):
+ * ProteusRuntime drives a simulated TPC-C service through three
+ * workload phases; the Monitor detects each shift and the Controller
+ * re-explores, printing the live KPI timeline.
+ *
+ * Build & run:  ./build/examples/dynamic_workload
+ */
+
+#include <cstdio>
+
+#include "rectm/proteus_runtime.hpp"
+#include "simarch/perf_model.hpp"
+
+using namespace proteus;
+using polytm::ConfigSpace;
+using polytm::KpiKind;
+
+namespace {
+
+/** Simulated live system: phase-dependent TPC-C KPI per config. */
+class TpccService : public rectm::TunableSystem
+{
+  public:
+    TpccService(const simarch::PerfModel &perf, const ConfigSpace &space)
+        : perf_(perf), space_(space), rng_(7)
+    {
+        phases_.push_back(simarch::presets::tpcc()); // normal
+        auto peak = simarch::presets::tpcc();        // peak hours
+        peak.features.updateTxFraction = 1.0;
+        peak.features.conflictDensity *= 6.0;
+        peak.features.hotspotSkew = 0.8;
+        phases_.push_back(peak);
+        auto reporting = simarch::presets::tpcc();   // analytics mix
+        reporting.features.readsPerTx *= 10.0;
+        reporting.features.updateTxFraction = 0.1;
+        reporting.features.txSizeCv += 0.8;
+        phases_.push_back(reporting);
+    }
+
+    void setPhase(std::size_t p) { phase_ = p % phases_.size(); }
+    std::size_t numConfigs() const override { return space_.size(); }
+    void applyConfig(std::size_t c) override { config_ = c; }
+
+    double
+    measureKpi() override
+    {
+        return perf_.kpi(phases_[phase_], space_.at(config_),
+                         KpiKind::kThroughput, false) *
+               (1.0 + 0.01 * rng_.nextGaussian());
+    }
+
+  private:
+    const simarch::PerfModel &perf_;
+    const ConfigSpace &space_;
+    std::vector<simarch::Workload> phases_;
+    std::size_t phase_ = 0;
+    std::size_t config_ = 0;
+    Rng rng_;
+};
+
+} // namespace
+
+int
+main()
+{
+    const auto space = ConfigSpace::machineA();
+    const simarch::PerfModel perf(simarch::MachineModel::machineA());
+
+    // Train the recommender on everything except TPC-C variants.
+    const auto corpus = simarch::WorkloadCorpus::generate(8, 99);
+    std::vector<simarch::Workload> train;
+    for (const auto &w : corpus) {
+        if (w.name.rfind("tpcc#", 0) != 0)
+            train.push_back(w);
+    }
+    rectm::UtilityMatrix matrix(train.size(), space.size());
+    for (std::size_t r = 0; r < train.size(); ++r) {
+        const auto row =
+            perf.kpiRow(train[r], space, KpiKind::kThroughput);
+        for (std::size_t c = 0; c < space.size(); ++c)
+            matrix.set(r, c,
+                       rectm::toGoodness(row[c], KpiKind::kThroughput));
+    }
+    rectm::RecTmEngine::Options opts;
+    opts.tuner.trials = 12;
+    const rectm::RecTmEngine engine(matrix, opts);
+
+    TpccService service(perf, space);
+    rectm::RuntimeOptions ropts;
+    ropts.kpi = KpiKind::kThroughput;
+    ropts.smbo.epsilon = 0.01;
+    rectm::ProteusRuntime runtime(engine, service, ropts);
+
+    const char *phase_names[] = {"normal", "peak-hours", "reporting"};
+    const auto records = runtime.run(90, [&](int period) {
+        const auto p = static_cast<std::size_t>(period / 30);
+        service.setPhase(p);
+    });
+
+    std::printf("%-8s %-12s %-20s %14s %s\n", "period", "phase",
+                "config", "tx/s", "event");
+    for (const auto &rec : records) {
+        if (rec.period % 5 != 0 && !rec.exploring && !rec.changeDetected)
+            continue;
+        std::printf("%-8d %-12s %-20s %14.0f %s\n", rec.period,
+                    phase_names[rec.period / 30],
+                    space.at(rec.config).label().c_str(), rec.kpi,
+                    rec.exploring
+                        ? "explore"
+                        : (rec.changeDetected ? "<-- change" : ""));
+    }
+    std::printf("\nepisodes: %d (1 initial + re-adaptations)\n",
+                runtime.episodes());
+    return runtime.episodes() >= 2 ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+/**
+ * Recommender tour — the RecTM learning pipeline end to end, on the
+ * simulated many-core testbed:
+ *
+ *  1. build the offline training Utility Matrix (workloads x the 130
+ *     Machine-A configurations) from the performance model;
+ *  2. rating distillation picks the reference configuration;
+ *  3. random search + cross-validation select the CF algorithm;
+ *  4. a bagging ensemble becomes SMBO's probabilistic model;
+ *  5. a never-seen workload is optimized in a handful of samples.
+ *
+ * Build & run:  ./build/examples/recommender_tour
+ */
+
+#include <cstdio>
+
+#include "rectm/engine.hpp"
+#include "simarch/perf_model.hpp"
+
+using namespace proteus;
+using polytm::ConfigSpace;
+using polytm::KpiKind;
+
+int
+main()
+{
+    const auto space = ConfigSpace::machineA();
+    const simarch::PerfModel perf(simarch::MachineModel::machineA());
+
+    // 1. Offline profiling: 90 workloads from 15 application families.
+    const auto corpus = simarch::WorkloadCorpus::generate(6, 2026);
+    std::vector<simarch::Workload> train(corpus.begin(),
+                                         corpus.end() - 6);
+    const simarch::Workload target = corpus.back(); // held out
+    std::printf("training on %zu workloads x %zu configurations\n",
+                train.size(), space.size());
+
+    rectm::UtilityMatrix matrix(train.size(), space.size());
+    for (std::size_t r = 0; r < train.size(); ++r) {
+        const auto row =
+            perf.kpiRow(train[r], space, KpiKind::kThroughput);
+        for (std::size_t c = 0; c < space.size(); ++c)
+            matrix.set(r, c,
+                       rectm::toGoodness(row[c], KpiKind::kThroughput));
+    }
+
+    // 2-4. Distillation + CF selection + ensemble.
+    rectm::RecTmEngine::Options opts;
+    opts.tuner.trials = 16;
+    const rectm::RecTmEngine engine(matrix, opts);
+    std::printf("reference configuration (C*): %s\n",
+                space.at(static_cast<std::size_t>(
+                             engine.referenceColumn()))
+                    .label()
+                    .c_str());
+    std::printf("selected CF model: %s (cv MAPE %.3f)\n",
+                engine.modelDescription().c_str(),
+                engine.tunerCvMape());
+
+    // 5. Optimize the held-out workload.
+    std::printf("\noptimizing held-out workload '%s'...\n",
+                target.name.c_str());
+    int samples = 0;
+    auto sampler = [&](std::size_t c) {
+        const double kpi =
+            perf.kpi(target, space.at(c), KpiKind::kThroughput);
+        std::printf("  sample %d: %-18s -> %12.0f tx/s\n", ++samples,
+                    space.at(c).label().c_str(), kpi);
+        return rectm::toGoodness(kpi, KpiKind::kThroughput);
+    };
+    rectm::SmboOptions smbo;
+    smbo.epsilon = 0.01;
+    const auto result = engine.optimize(sampler, smbo);
+
+    // Compare against the true optimum (oracle view).
+    const auto truth =
+        perf.kpiRow(target, space, KpiKind::kThroughput, false);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < truth.size(); ++c) {
+        if (truth[c] > truth[best])
+            best = c;
+    }
+    const double dfo =
+        (truth[best] - truth[result.bestConfig]) / truth[best];
+    std::printf("\nrecommended: %s after %d explorations\n",
+                space.at(result.bestConfig).label().c_str(),
+                result.explorations);
+    std::printf("true optimum: %s; distance from optimum: %.2f%%\n",
+                space.at(best).label().c_str(), dfo * 100.0);
+    return dfo < 0.25 ? 0 : 1;
+}

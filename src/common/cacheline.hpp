@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Cache-line sized padding helpers.
+ *
+ * TM metadata that is written by many threads (orecs, thread gates,
+ * per-thread counters) must live on private cache lines to avoid false
+ * sharing; every hot shared word in this codebase goes through one of
+ * these wrappers.
+ */
+
+#ifndef PROTEUS_COMMON_CACHELINE_HPP
+#define PROTEUS_COMMON_CACHELINE_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace proteus {
+
+/** Size (bytes) assumed for one cache line on the target machines. */
+constexpr std::size_t kCacheLineSize = 64;
+
+/**
+ * A value of type T alone on its own cache line.
+ *
+ * Usable for plain values and for std::atomic<T>; the alignas both
+ * aligns and pads the wrapper to a full line.
+ */
+template <typename T>
+struct alignas(kCacheLineSize) Padded
+{
+    T value{};
+
+    Padded() = default;
+    explicit Padded(const T &v) : value(v) {}
+
+    T &operator*() { return value; }
+    const T &operator*() const { return value; }
+    T *operator->() { return &value; }
+    const T *operator->() const { return &value; }
+};
+
+/** Cache-line padded atomic 64-bit counter. */
+using PaddedAtomicU64 = Padded<std::atomic<std::uint64_t>>;
+
+static_assert(sizeof(Padded<std::uint64_t>) == kCacheLineSize);
+static_assert(sizeof(PaddedAtomicU64) == kCacheLineSize);
+
+} // namespace proteus
+
+#endif // PROTEUS_COMMON_CACHELINE_HPP

@@ -1,0 +1,133 @@
+#include "common/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace proteus {
+
+namespace {
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitMix64(sm);
+}
+
+std::uint64_t
+Rng::nextU64()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    assert(bound > 0);
+    // Rejection-free Lemire reduction is overkill here; modulo bias is
+    // negligible for simulation bounds << 2^64.
+    return nextU64() % bound;
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * nextDouble();
+}
+
+double
+Rng::nextGaussian()
+{
+    if (hasCachedGaussian_) {
+        hasCachedGaussian_ = false;
+        return cachedGaussian_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 1e-300);
+    const double u2 = nextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cachedGaussian_ = r * std::sin(theta);
+    hasCachedGaussian_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * nextGaussian();
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return nextDouble() < p;
+}
+
+std::vector<std::size_t>
+Rng::permutation(std::size_t n)
+{
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i)
+        perm[i] = i;
+    for (std::size_t i = n; i > 1; --i) {
+        const std::size_t j = nextBounded(i);
+        std::swap(perm[i - 1], perm[j]);
+    }
+    return perm;
+}
+
+std::uint64_t
+Rng::zipf(std::uint64_t n, double theta)
+{
+    assert(n > 0);
+    // Approximate inverse-CDF sampling for a Zipf-like distribution;
+    // accurate enough for workload skew modelling.
+    const double alpha = 1.0 - theta;
+    const double u = nextDouble();
+    const double x = std::pow(u, 1.0 / alpha);
+    auto idx = static_cast<std::uint64_t>(x * static_cast<double>(n));
+    return idx >= n ? n - 1 : idx;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(nextU64() ^ 0xd1b54a32d192ed03ull);
+}
+
+} // namespace proteus

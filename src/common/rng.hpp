@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component in the reproduction (workload generators,
+ * CF training, SMBO, noise models) draws from SplitMix64/Xoshiro256**
+ * seeded explicitly, so that every experiment is reproducible bit-for-bit
+ * run-to-run.
+ */
+
+#ifndef PROTEUS_COMMON_RNG_HPP
+#define PROTEUS_COMMON_RNG_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace proteus {
+
+/**
+ * xoshiro256** PRNG with SplitMix64 seeding.
+ *
+ * Small, fast, and good enough statistically for simulation use; not
+ * cryptographic. Header keeps only the interface; hot inline paths are
+ * small enough to define here.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t nextU64();
+
+    /** Uniform integer in [0, bound) ; bound must be > 0. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Standard normal via Box-Muller (cached second value). */
+    double nextGaussian();
+
+    /** Normal with the given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /** True with probability p. */
+    bool bernoulli(double p);
+
+    /** Uniform index permutation of {0..n-1} (Fisher-Yates). */
+    std::vector<std::size_t> permutation(std::size_t n);
+
+    /** Zipf-distributed integer in [0, n) with skew theta in (0, 1]. */
+    std::uint64_t zipf(std::uint64_t n, double theta);
+
+    /** Fork an independent stream (used per-thread / per-component). */
+    Rng split();
+
+  private:
+    std::uint64_t s_[4];
+    double cachedGaussian_ = 0.0;
+    bool hasCachedGaussian_ = false;
+};
+
+} // namespace proteus
+
+#endif // PROTEUS_COMMON_RNG_HPP

@@ -1,0 +1,113 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace proteus {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+variance(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return acc / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    return std::sqrt(variance(xs));
+}
+
+double
+percentileSorted(const std::vector<double> &sorted, double p)
+{
+    assert(!sorted.empty());
+    assert(p >= 0.0 && p <= 100.0);
+    if (sorted.size() == 1)
+        return sorted.front();
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    assert(!xs.empty());
+    std::sort(xs.begin(), xs.end());
+    return percentileSorted(xs, p);
+}
+
+double
+median(std::vector<double> xs)
+{
+    return percentile(std::move(xs), 50.0);
+}
+
+double
+indexOfDispersion(const std::vector<double> &xs)
+{
+    const double m = mean(xs);
+    if (m == 0.0)
+        return std::numeric_limits<double>::infinity();
+    return variance(xs) / m;
+}
+
+std::vector<double>
+empiricalCdf(std::vector<double> xs, const std::vector<double> &points)
+{
+    std::sort(xs.begin(), xs.end());
+    std::vector<double> out;
+    out.reserve(points.size());
+    for (double p : points) {
+        const auto it = std::upper_bound(xs.begin(), xs.end(), p);
+        out.push_back(static_cast<double>(it - xs.begin()) /
+                      static_cast<double>(xs.size()));
+    }
+    return out;
+}
+
+void
+RunningStats::push(double x)
+{
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStats::clear()
+{
+    n_ = 0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+} // namespace proteus

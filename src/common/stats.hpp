@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Summary statistics used across the evaluation harnesses.
+ *
+ * MAPE / MDFO / percentile / CDF computations are shared between the
+ * RecTM trace-driven experiments (Figs. 4-7) and the closed-loop
+ * experiments (Fig. 8, Table 6), so they live here once.
+ */
+
+#ifndef PROTEUS_COMMON_STATS_HPP
+#define PROTEUS_COMMON_STATS_HPP
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace proteus {
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &xs);
+
+/** Population variance; 0 for fewer than 2 samples. */
+double variance(const std::vector<double> &xs);
+
+/** Standard deviation (population). */
+double stddev(const std::vector<double> &xs);
+
+/** Median (linear-interpolated). */
+double median(std::vector<double> xs);
+
+/**
+ * p-th percentile with linear interpolation, p in [0, 100].
+ * Sorts a copy; callers on hot paths should pre-sort and use
+ * percentileSorted.
+ */
+double percentile(std::vector<double> xs, double p);
+
+/** Percentile over an already ascending-sorted vector. */
+double percentileSorted(const std::vector<double> &sorted, double p);
+
+/**
+ * Index of dispersion var/mean, the objective minimized by rating
+ * distillation (Algorithm 3 of the paper). Returns +inf for mean == 0.
+ */
+double indexOfDispersion(const std::vector<double> &xs);
+
+/**
+ * Empirical CDF of xs evaluated at the given points: fraction of
+ * samples <= point, one output per input point.
+ */
+std::vector<double> empiricalCdf(std::vector<double> xs,
+                                 const std::vector<double> &points);
+
+/**
+ * Online mean/variance accumulator (Welford) with a bounded window —
+ * building block for the Monitor's adaptive CUSUM.
+ */
+class RunningStats
+{
+  public:
+    void push(double x);
+    void clear();
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const { return n_ > 1 ? m2_ / n_ : 0.0; }
+    double stddev() const;
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+} // namespace proteus
+
+#endif // PROTEUS_COMMON_STATS_HPP

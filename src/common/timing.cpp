@@ -1,0 +1,13 @@
+#include "common/timing.hpp"
+
+namespace proteus {
+
+std::uint64_t
+nowNanos()
+{
+    const auto tp = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(tp).count());
+}
+
+} // namespace proteus

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Wall-clock timing helpers used by overhead / latency measurements.
+ */
+
+#ifndef PROTEUS_COMMON_TIMING_HPP
+#define PROTEUS_COMMON_TIMING_HPP
+
+#include <chrono>
+#include <cstdint>
+
+namespace proteus {
+
+/** Monotonic nanoseconds since an arbitrary epoch. */
+std::uint64_t nowNanos();
+
+/** Simple scoped stopwatch. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(nowNanos()) {}
+
+    /** Nanoseconds elapsed since construction or last reset. */
+    std::uint64_t elapsedNanos() const { return nowNanos() - start_; }
+
+    /** Seconds elapsed (double). */
+    double elapsedSeconds() const
+    {
+        return static_cast<double>(elapsedNanos()) * 1e-9;
+    }
+
+    void reset() { start_ = nowNanos(); }
+
+  private:
+    std::uint64_t start_;
+};
+
+} // namespace proteus
+
+#endif // PROTEUS_COMMON_TIMING_HPP

@@ -1,0 +1,157 @@
+#include "ml/cart.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace proteus::ml {
+
+namespace {
+
+/** Gini impurity of a label multiset. */
+double
+gini(const std::vector<std::size_t> &counts, std::size_t total)
+{
+    if (total == 0)
+        return 0.0;
+    double sum_sq = 0;
+    for (const std::size_t c : counts) {
+        const double p = static_cast<double>(c) / total;
+        sum_sq += p * p;
+    }
+    return 1.0 - sum_sq;
+}
+
+int
+majority(const std::vector<std::size_t> &counts)
+{
+    return static_cast<int>(std::max_element(counts.begin(),
+                                             counts.end()) -
+                            counts.begin());
+}
+
+} // namespace
+
+int
+CartClassifier::build(const Dataset &data, std::vector<std::size_t> idx,
+                      int depth)
+{
+    std::vector<std::size_t> counts(
+        static_cast<std::size_t>(numClasses_), 0);
+    for (const std::size_t i : idx)
+        ++counts[static_cast<std::size_t>(data.labels[i])];
+    const double node_gini = gini(counts, idx.size());
+
+    Node node;
+    node.label = majority(counts);
+
+    const bool leaf = depth >= hyper_.maxDepth || node_gini == 0.0 ||
+                      idx.size() <
+                          2 * static_cast<std::size_t>(
+                                  hyper_.minSamplesLeaf);
+    if (!leaf) {
+        // Exhaustive best split over all features and boundaries.
+        double best_gain = 1e-12;
+        int best_feature = -1;
+        double best_threshold = 0;
+        const std::size_t nf = data.numFeatures();
+        for (std::size_t f = 0; f < nf; ++f) {
+            std::sort(idx.begin(), idx.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          return data.features[a][f] <
+                                 data.features[b][f];
+                      });
+            std::vector<std::size_t> left_counts(counts.size(), 0);
+            for (std::size_t split = 1; split < idx.size(); ++split) {
+                ++left_counts[static_cast<std::size_t>(
+                    data.labels[idx[split - 1]])];
+                const double lo = data.features[idx[split - 1]][f];
+                const double hi = data.features[idx[split]][f];
+                if (lo == hi)
+                    continue;
+                if (split < static_cast<std::size_t>(
+                                hyper_.minSamplesLeaf) ||
+                    idx.size() - split <
+                        static_cast<std::size_t>(hyper_.minSamplesLeaf))
+                    continue;
+                std::vector<std::size_t> right_counts(counts.size());
+                for (std::size_t c = 0; c < counts.size(); ++c)
+                    right_counts[c] = counts[c] - left_counts[c];
+                const double g =
+                    node_gini -
+                    (gini(left_counts, split) * split +
+                     gini(right_counts, idx.size() - split) *
+                         (idx.size() - split)) /
+                        idx.size();
+                if (g > best_gain) {
+                    best_gain = g;
+                    best_feature = static_cast<int>(f);
+                    best_threshold = 0.5 * (lo + hi);
+                }
+            }
+        }
+        if (best_feature >= 0) {
+            std::vector<std::size_t> left, right;
+            for (const std::size_t i : idx) {
+                if (data.features[i][static_cast<std::size_t>(
+                        best_feature)] < best_threshold)
+                    left.push_back(i);
+                else
+                    right.push_back(i);
+            }
+            node.feature = best_feature;
+            node.threshold = best_threshold;
+            const int me = static_cast<int>(nodes_.size());
+            nodes_.push_back(node);
+            const int l = build(data, std::move(left), depth + 1);
+            const int r = build(data, std::move(right), depth + 1);
+            nodes_[static_cast<std::size_t>(me)].left = l;
+            nodes_[static_cast<std::size_t>(me)].right = r;
+            return me;
+        }
+    }
+
+    const int me = static_cast<int>(nodes_.size());
+    nodes_.push_back(node);
+    return me;
+}
+
+void
+CartClassifier::fit(const Dataset &train)
+{
+    assert(!train.features.empty());
+    nodes_.clear();
+    numClasses_ = train.numClasses;
+    std::vector<std::size_t> idx(train.size());
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        idx[i] = i;
+    build(train, std::move(idx), 0);
+}
+
+int
+CartClassifier::predict(const std::vector<double> &x) const
+{
+    int cur = 0;
+    for (;;) {
+        const Node &node = nodes_[static_cast<std::size_t>(cur)];
+        if (node.feature < 0)
+            return node.label;
+        cur = x[static_cast<std::size_t>(node.feature)] < node.threshold
+            ? node.left
+            : node.right;
+    }
+}
+
+std::unique_ptr<Classifier>
+CartClassifier::clone() const
+{
+    return std::make_unique<CartClassifier>(hyper_);
+}
+
+std::string
+CartClassifier::describe() const
+{
+    return "cart(depth=" + std::to_string(hyper_.maxDepth) +
+           ",minLeaf=" + std::to_string(hyper_.minSamplesLeaf) + ")";
+}
+
+} // namespace proteus::ml

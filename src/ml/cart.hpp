@@ -1,0 +1,51 @@
+/**
+ * @file
+ * CART-style classification tree: binary axis-aligned splits chosen
+ * by Gini impurity, depth/min-samples regularized.
+ */
+
+#ifndef PROTEUS_ML_CART_HPP
+#define PROTEUS_ML_CART_HPP
+
+#include "ml/classifier.hpp"
+
+namespace proteus::ml {
+
+struct CartHyper
+{
+    int maxDepth = 10;
+    int minSamplesLeaf = 2;
+};
+
+class CartClassifier : public Classifier
+{
+  public:
+    using Hyper = CartHyper;
+
+    explicit CartClassifier(Hyper hyper = Hyper{}) : hyper_(hyper) {}
+
+    void fit(const Dataset &train) override;
+    int predict(const std::vector<double> &x) const override;
+    std::unique_ptr<Classifier> clone() const override;
+    std::string describe() const override;
+
+  private:
+    struct Node
+    {
+        int feature = -1; //!< -1 => leaf
+        double threshold = 0;
+        int left = -1, right = -1;
+        int label = 0;
+    };
+
+    int build(const Dataset &data, std::vector<std::size_t> idx,
+              int depth);
+
+    Hyper hyper_;
+    std::vector<Node> nodes_;
+    int numClasses_ = 0;
+};
+
+} // namespace proteus::ml
+
+#endif // PROTEUS_ML_CART_HPP

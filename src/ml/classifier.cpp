@@ -1,0 +1,156 @@
+#include "ml/classifier.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "ml/cart.hpp"
+#include "ml/mlp.hpp"
+#include "ml/svm.hpp"
+
+namespace proteus::ml {
+
+void
+Standardizer::fit(const Dataset &data)
+{
+    const std::size_t nf = data.numFeatures();
+    mean_.assign(nf, 0.0);
+    stddev_.assign(nf, 0.0);
+    for (const auto &x : data.features) {
+        for (std::size_t f = 0; f < nf; ++f)
+            mean_[f] += x[f];
+    }
+    for (auto &m : mean_)
+        m /= static_cast<double>(data.size());
+    for (const auto &x : data.features) {
+        for (std::size_t f = 0; f < nf; ++f)
+            stddev_[f] += (x[f] - mean_[f]) * (x[f] - mean_[f]);
+    }
+    for (auto &s : stddev_) {
+        s = std::sqrt(s / static_cast<double>(data.size()));
+        if (s < 1e-12)
+            s = 1.0;
+    }
+}
+
+std::vector<double>
+Standardizer::apply(const std::vector<double> &x) const
+{
+    std::vector<double> out(x.size());
+    for (std::size_t f = 0; f < x.size(); ++f)
+        out[f] = (x[f] - mean_[f]) / stddev_[f];
+    return out;
+}
+
+Dataset
+Standardizer::apply(const Dataset &data) const
+{
+    Dataset out = data;
+    for (auto &x : out.features)
+        x = apply(x);
+    return out;
+}
+
+double
+accuracy(const Classifier &model, const Dataset &test)
+{
+    if (test.size() == 0)
+        return 0.0;
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < test.size(); ++i)
+        hits += model.predict(test.features[i]) == test.labels[i];
+    return static_cast<double>(hits) / test.size();
+}
+
+double
+cvAccuracy(const Classifier &prototype, const Dataset &data, int folds,
+           std::uint64_t seed)
+{
+    Rng rng(seed);
+    const auto perm = rng.permutation(data.size());
+    double acc_sum = 0;
+    int used_folds = 0;
+    for (int fold = 0; fold < folds; ++fold) {
+        Dataset train, test;
+        train.numClasses = test.numClasses = data.numClasses;
+        for (std::size_t i = 0; i < data.size(); ++i) {
+            Dataset &dst =
+                static_cast<int>(i % static_cast<std::size_t>(folds)) ==
+                        fold
+                    ? test
+                    : train;
+            dst.features.push_back(data.features[perm[i]]);
+            dst.labels.push_back(data.labels[perm[i]]);
+        }
+        if (train.size() == 0 || test.size() == 0)
+            continue;
+        auto model = prototype.clone();
+        model->fit(train);
+        acc_sum += accuracy(*model, test);
+        ++used_folds;
+    }
+    return used_folds ? acc_sum / used_folds : 0.0;
+}
+
+std::string_view
+classifierFamilyName(ClassifierFamily family)
+{
+    switch (family) {
+      case ClassifierFamily::kCart: return "cart";
+      case ClassifierFamily::kSvm: return "svm";
+      case ClassifierFamily::kMlp: return "mlp";
+    }
+    return "invalid";
+}
+
+TunedClassifier
+tuneClassifier(ClassifierFamily family, const Dataset &data, int trials,
+               std::uint64_t seed)
+{
+    Rng rng(seed);
+    TunedClassifier best;
+    best.cvAccuracy = -1.0;
+
+    for (int trial = 0; trial < trials; ++trial) {
+        std::unique_ptr<Classifier> candidate;
+        switch (family) {
+          case ClassifierFamily::kCart: {
+            CartClassifier::Hyper hyper;
+            hyper.maxDepth = 3 + static_cast<int>(rng.nextBounded(12));
+            hyper.minSamplesLeaf =
+                1 + static_cast<int>(rng.nextBounded(5));
+            candidate = std::make_unique<CartClassifier>(hyper);
+            break;
+          }
+          case ClassifierFamily::kSvm: {
+            SvmClassifier::Hyper hyper;
+            hyper.c = std::pow(10.0, rng.uniform(-1.5, 2.0));
+            hyper.epochs = 30 + static_cast<int>(rng.nextBounded(80));
+            hyper.learnRate = rng.uniform(0.01, 0.2);
+            hyper.seed = rng.nextU64();
+            candidate = std::make_unique<SvmClassifier>(hyper);
+            break;
+          }
+          case ClassifierFamily::kMlp: {
+            MlpClassifier::Hyper hyper;
+            hyper.hiddenUnits =
+                8 + static_cast<int>(rng.nextBounded(56));
+            hyper.epochs = 60 + static_cast<int>(rng.nextBounded(150));
+            hyper.learnRate = rng.uniform(0.01, 0.15);
+            hyper.l2 = std::pow(10.0, rng.uniform(-5.0, -2.0));
+            hyper.seed = rng.nextU64();
+            candidate = std::make_unique<MlpClassifier>(hyper);
+            break;
+          }
+        }
+        const double acc =
+            cvAccuracy(*candidate, data, 4, rng.nextU64());
+        if (acc > best.cvAccuracy) {
+            best.cvAccuracy = acc;
+            best.description = candidate->describe();
+            best.model = std::move(candidate);
+        }
+    }
+    return best;
+}
+
+} // namespace proteus::ml

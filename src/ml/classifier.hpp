@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Workload-characterization classifiers for the Fig. 7 comparison
+ * (Wang et al.-style ML: features -> best-configuration class).
+ *
+ * Stands in for Weka's CART (decision tree), SMO (linear SVM) and
+ * MLP (neural network); hyper-parameters are chosen by random search
+ * with cross-validation, as in the paper (§6.3).
+ */
+
+#ifndef PROTEUS_ML_CLASSIFIER_HPP
+#define PROTEUS_ML_CLASSIFIER_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace proteus::ml {
+
+/** Labeled dataset: rows of features, class per row. */
+struct Dataset
+{
+    std::vector<std::vector<double>> features;
+    std::vector<int> labels;
+    int numClasses = 0;
+
+    std::size_t size() const { return features.size(); }
+    std::size_t
+    numFeatures() const
+    {
+        return features.empty() ? 0 : features.front().size();
+    }
+};
+
+/** Per-feature z-score standardizer (fit on train, reused on test). */
+class Standardizer
+{
+  public:
+    void fit(const Dataset &data);
+    std::vector<double> apply(const std::vector<double> &x) const;
+    Dataset apply(const Dataset &data) const;
+
+  private:
+    std::vector<double> mean_, stddev_;
+};
+
+class Classifier
+{
+  public:
+    virtual ~Classifier() = default;
+    virtual void fit(const Dataset &train) = 0;
+    virtual int predict(const std::vector<double> &x) const = 0;
+    virtual std::unique_ptr<Classifier> clone() const = 0;
+    virtual std::string describe() const = 0;
+};
+
+/** Fraction of correct predictions. */
+double accuracy(const Classifier &model, const Dataset &test);
+
+/** k-fold cross-validated accuracy of an untrained prototype. */
+double cvAccuracy(const Classifier &prototype, const Dataset &data,
+                  int folds, std::uint64_t seed);
+
+/** Model family selector for the tuners. */
+enum class ClassifierFamily : int
+{
+    kCart = 0,
+    kSvm,
+    kMlp,
+};
+
+std::string_view classifierFamilyName(ClassifierFamily family);
+
+struct TunedClassifier
+{
+    std::unique_ptr<Classifier> model; //!< untrained prototype
+    double cvAccuracy = 0;
+    std::string description;
+};
+
+/** Random-search hyper-tuning within one family (paper: 100 combos). */
+TunedClassifier tuneClassifier(ClassifierFamily family,
+                               const Dataset &data, int trials,
+                               std::uint64_t seed);
+
+} // namespace proteus::ml
+
+#endif // PROTEUS_ML_CLASSIFIER_HPP

@@ -1,0 +1,122 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace proteus::ml {
+
+std::vector<double>
+MlpClassifier::hidden(const std::vector<double> &x) const
+{
+    std::vector<double> h(w1_.size());
+    for (std::size_t j = 0; j < w1_.size(); ++j) {
+        double acc = w1_[j].back();
+        for (std::size_t f = 0; f < numFeatures_; ++f)
+            acc += w1_[j][f] * x[f];
+        h[j] = std::tanh(acc);
+    }
+    return h;
+}
+
+std::vector<double>
+MlpClassifier::logits(const std::vector<double> &h) const
+{
+    std::vector<double> z(w2_.size());
+    for (std::size_t k = 0; k < w2_.size(); ++k) {
+        double acc = w2_[k].back();
+        for (std::size_t j = 0; j < h.size(); ++j)
+            acc += w2_[k][j] * h[j];
+        z[k] = acc;
+    }
+    return z;
+}
+
+void
+MlpClassifier::fit(const Dataset &train)
+{
+    numFeatures_ = train.numFeatures();
+    numClasses_ = static_cast<std::size_t>(train.numClasses);
+    const auto nh = static_cast<std::size_t>(hyper_.hiddenUnits);
+    Rng rng(hyper_.seed);
+
+    const double init1 = 1.0 / std::sqrt(numFeatures_ + 1.0);
+    const double init2 = 1.0 / std::sqrt(nh + 1.0);
+    w1_.assign(nh, std::vector<double>(numFeatures_ + 1));
+    w2_.assign(numClasses_, std::vector<double>(nh + 1));
+    for (auto &row : w1_) {
+        for (auto &v : row)
+            v = rng.gaussian(0, init1);
+    }
+    for (auto &row : w2_) {
+        for (auto &v : row)
+            v = rng.gaussian(0, init2);
+    }
+
+    std::vector<std::size_t> order(train.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+
+    for (int epoch = 0; epoch < hyper_.epochs; ++epoch) {
+        const double lr = hyper_.learnRate / (1.0 + 0.02 * epoch);
+        for (std::size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1], order[rng.nextBounded(i)]);
+        for (const std::size_t i : order) {
+            const auto &x = train.features[i];
+            const auto y = static_cast<std::size_t>(train.labels[i]);
+
+            const std::vector<double> h = hidden(x);
+            std::vector<double> z = logits(h);
+            // Softmax (stable).
+            const double zmax = *std::max_element(z.begin(), z.end());
+            double denom = 0;
+            for (auto &v : z) {
+                v = std::exp(v - zmax);
+                denom += v;
+            }
+            for (auto &v : z)
+                v /= denom;
+
+            // Backprop: dL/dz_k = p_k - [k == y].
+            std::vector<double> dh(h.size(), 0.0);
+            for (std::size_t k = 0; k < numClasses_; ++k) {
+                const double dz = z[k] - (k == y ? 1.0 : 0.0);
+                auto &w = w2_[k];
+                for (std::size_t j = 0; j < h.size(); ++j) {
+                    dh[j] += dz * w[j];
+                    w[j] -= lr * (dz * h[j] + hyper_.l2 * w[j]);
+                }
+                w[h.size()] -= lr * dz;
+            }
+            for (std::size_t j = 0; j < h.size(); ++j) {
+                const double dt = dh[j] * (1.0 - h[j] * h[j]);
+                auto &w = w1_[j];
+                for (std::size_t f = 0; f < numFeatures_; ++f)
+                    w[f] -= lr * (dt * x[f] + hyper_.l2 * w[f]);
+                w[numFeatures_] -= lr * dt;
+            }
+        }
+    }
+}
+
+int
+MlpClassifier::predict(const std::vector<double> &x) const
+{
+    const std::vector<double> z = logits(hidden(x));
+    return static_cast<int>(std::max_element(z.begin(), z.end()) -
+                            z.begin());
+}
+
+std::unique_ptr<Classifier>
+MlpClassifier::clone() const
+{
+    return std::make_unique<MlpClassifier>(hyper_);
+}
+
+std::string
+MlpClassifier::describe() const
+{
+    return "mlp(h=" + std::to_string(hyper_.hiddenUnits) +
+           ",epochs=" + std::to_string(hyper_.epochs) + ")";
+}
+
+} // namespace proteus::ml

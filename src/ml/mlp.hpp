@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Multi-layer perceptron (one tanh hidden layer, softmax output,
+ * cross-entropy SGD) standing in for Weka's MLP in Fig. 7.
+ */
+
+#ifndef PROTEUS_ML_MLP_HPP
+#define PROTEUS_ML_MLP_HPP
+
+#include "ml/classifier.hpp"
+
+namespace proteus::ml {
+
+struct MlpHyper
+{
+    int hiddenUnits = 32;
+    int epochs = 150;
+    double learnRate = 0.05;
+    double l2 = 1e-4;
+    std::uint64_t seed = 0x31f;
+};
+
+class MlpClassifier : public Classifier
+{
+  public:
+    using Hyper = MlpHyper;
+
+    explicit MlpClassifier(Hyper hyper = Hyper{}) : hyper_(hyper) {}
+
+    void fit(const Dataset &train) override;
+    int predict(const std::vector<double> &x) const override;
+    std::unique_ptr<Classifier> clone() const override;
+    std::string describe() const override;
+
+  private:
+    std::vector<double> hidden(const std::vector<double> &x) const;
+    std::vector<double> logits(const std::vector<double> &h) const;
+
+    Hyper hyper_;
+    std::size_t numFeatures_ = 0;
+    std::size_t numClasses_ = 0;
+    /** w1: hidden x (features+1); w2: classes x (hidden+1). */
+    std::vector<std::vector<double>> w1_, w2_;
+};
+
+} // namespace proteus::ml
+
+#endif // PROTEUS_ML_MLP_HPP

@@ -1,0 +1,83 @@
+#include "ml/svm.hpp"
+
+#include <algorithm>
+
+namespace proteus::ml {
+
+double
+SvmClassifier::margin(std::size_t cls, const std::vector<double> &x) const
+{
+    const auto &w = weights_[cls];
+    double m = w.back(); // bias
+    for (std::size_t f = 0; f < x.size(); ++f)
+        m += w[f] * x[f];
+    return m;
+}
+
+void
+SvmClassifier::fit(const Dataset &train)
+{
+    const std::size_t nf = train.numFeatures();
+    const auto nc = static_cast<std::size_t>(train.numClasses);
+    weights_.assign(nc, std::vector<double>(nf + 1, 0.0));
+    Rng rng(hyper_.seed);
+
+    std::vector<std::size_t> order(train.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+
+    const double lambda = 1.0 / (hyper_.c * train.size());
+    for (int epoch = 0; epoch < hyper_.epochs; ++epoch) {
+        const double lr =
+            hyper_.learnRate / (1.0 + 0.1 * epoch); // decay
+        for (std::size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1], order[rng.nextBounded(i)]);
+        for (const std::size_t i : order) {
+            const auto &x = train.features[i];
+            const auto y = static_cast<std::size_t>(train.labels[i]);
+            for (std::size_t cls = 0; cls < nc; ++cls) {
+                const double target = cls == y ? 1.0 : -1.0;
+                const double m = margin(cls, x) * target;
+                auto &w = weights_[cls];
+                // L2 shrinkage.
+                for (std::size_t f = 0; f < nf; ++f)
+                    w[f] -= lr * lambda * w[f];
+                if (m < 1.0) {
+                    for (std::size_t f = 0; f < nf; ++f)
+                        w[f] += lr * target * x[f];
+                    w[nf] += lr * target;
+                }
+            }
+        }
+    }
+}
+
+int
+SvmClassifier::predict(const std::vector<double> &x) const
+{
+    int best = 0;
+    double best_margin = -1e300;
+    for (std::size_t cls = 0; cls < weights_.size(); ++cls) {
+        const double m = margin(cls, x);
+        if (m > best_margin) {
+            best_margin = m;
+            best = static_cast<int>(cls);
+        }
+    }
+    return best;
+}
+
+std::unique_ptr<Classifier>
+SvmClassifier::clone() const
+{
+    return std::make_unique<SvmClassifier>(hyper_);
+}
+
+std::string
+SvmClassifier::describe() const
+{
+    return "svm(C=" + std::to_string(hyper_.c) +
+           ",epochs=" + std::to_string(hyper_.epochs) + ")";
+}
+
+} // namespace proteus::ml

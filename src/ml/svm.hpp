@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Linear multi-class SVM (one-vs-rest, hinge loss, SGD) standing in
+ * for Weka's SMO in the Fig. 7 comparison.
+ */
+
+#ifndef PROTEUS_ML_SVM_HPP
+#define PROTEUS_ML_SVM_HPP
+
+#include "ml/classifier.hpp"
+
+namespace proteus::ml {
+
+struct SvmHyper
+{
+    double c = 1.0;       //!< inverse regularization
+    int epochs = 60;
+    double learnRate = 0.05;
+    std::uint64_t seed = 0x5f3;
+};
+
+class SvmClassifier : public Classifier
+{
+  public:
+    using Hyper = SvmHyper;
+
+    explicit SvmClassifier(Hyper hyper = Hyper{}) : hyper_(hyper) {}
+
+    void fit(const Dataset &train) override;
+    int predict(const std::vector<double> &x) const override;
+    std::unique_ptr<Classifier> clone() const override;
+    std::string describe() const override;
+
+  private:
+    double margin(std::size_t cls, const std::vector<double> &x) const;
+
+    Hyper hyper_;
+    /** numClasses x (numFeatures + 1) weights, bias last. */
+    std::vector<std::vector<double>> weights_;
+};
+
+} // namespace proteus::ml
+
+#endif // PROTEUS_ML_SVM_HPP

@@ -1,0 +1,91 @@
+#include "polytm/config.hpp"
+
+#include <array>
+
+namespace proteus::polytm {
+
+std::string
+TmConfig::label() const
+{
+    std::string out{tm::backendName(backend)};
+    out += ":" + std::to_string(threads) + "t";
+    if (usesHtmKnobs()) {
+        out += ":B" + std::to_string(cm.htmBudget);
+        out += ":";
+        out += tm::capacityPolicyName(cm.capacityPolicy);
+    }
+    return out;
+}
+
+ConfigSpace
+ConfigSpace::machineA()
+{
+    using tm::BackendKind;
+    using tm::CapacityPolicy;
+
+    std::vector<TmConfig> configs;
+    const std::array<BackendKind, 4> stms = {
+        BackendKind::kTl2, BackendKind::kTinyStm,
+        BackendKind::kNorec, BackendKind::kSwissTm};
+
+    for (const BackendKind stm : stms) {
+        for (int t = 1; t <= 8; ++t)
+            configs.push_back({stm, t, {}});
+    }
+
+    // 12 (budget, policy) pairs, mirroring Table 3's budgets
+    // {1,2,4,8,16,20} with the three capacity policies.
+    const std::array<std::pair<int, CapacityPolicy>, 12> htm_knobs = {{
+        {1, CapacityPolicy::kGiveUp}, {2, CapacityPolicy::kGiveUp},
+        {4, CapacityPolicy::kGiveUp}, {8, CapacityPolicy::kGiveUp},
+        {16, CapacityPolicy::kGiveUp}, {20, CapacityPolicy::kGiveUp},
+        {2, CapacityPolicy::kDecrease}, {4, CapacityPolicy::kDecrease},
+        {8, CapacityPolicy::kDecrease}, {16, CapacityPolicy::kDecrease},
+        {4, CapacityPolicy::kHalve}, {8, CapacityPolicy::kHalve},
+    }};
+    for (int t = 1; t <= 8; ++t) {
+        for (const auto &[budget, policy] : htm_knobs) {
+            TmConfig c{BackendKind::kSimHtm, t, {}};
+            c.cm.htmBudget = budget;
+            c.cm.capacityPolicy = policy;
+            configs.push_back(c);
+        }
+    }
+
+    configs.push_back({BackendKind::kGlobalLock, 1, {}});
+    TmConfig hybrid{BackendKind::kHybridNorec, 8, {}};
+    hybrid.cm.htmBudget = 5;
+    configs.push_back(hybrid);
+
+    return ConfigSpace(std::move(configs)); // 32 + 96 + 2 = 130
+}
+
+ConfigSpace
+ConfigSpace::machineB()
+{
+    using tm::BackendKind;
+
+    std::vector<TmConfig> configs;
+    const std::array<BackendKind, 4> stms = {
+        BackendKind::kTl2, BackendKind::kTinyStm,
+        BackendKind::kNorec, BackendKind::kSwissTm};
+    const std::array<int, 8> threads = {1, 2, 4, 6, 8, 16, 32, 48};
+
+    for (const BackendKind stm : stms) {
+        for (const int t : threads)
+            configs.push_back({stm, t, {}});
+    }
+    return ConfigSpace(std::move(configs)); // 32
+}
+
+int
+ConfigSpace::indexOf(const TmConfig &c) const
+{
+    for (std::size_t i = 0; i < configs_.size(); ++i) {
+        if (configs_[i] == c)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+} // namespace proteus::polytm

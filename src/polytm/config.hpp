@@ -1,0 +1,89 @@
+/**
+ * @file
+ * TM configurations and the enumerated configuration spaces.
+ *
+ * A TmConfig is one column of the paper's Utility Matrix: the TM
+ * algorithm, the parallelism degree, and (for HTM) the retry budget
+ * and the capacity-abort policy (Table 3). ConfigSpace enumerates the
+ * spaces used throughout the evaluation: 130 configurations for
+ * Machine A (STMs + HTM dimensions) and 32 for Machine B (STMs only).
+ */
+
+#ifndef PROTEUS_POLYTM_CONFIG_HPP
+#define PROTEUS_POLYTM_CONFIG_HPP
+
+#include <string>
+#include <vector>
+
+#include "tm/tm_api.hpp"
+
+namespace proteus::polytm {
+
+/** One point of the multi-dimensional tuning space. */
+struct TmConfig
+{
+    tm::BackendKind backend = tm::BackendKind::kTl2;
+    int threads = 1;
+    tm::ContentionConfig cm{};
+
+    bool
+    operator==(const TmConfig &other) const
+    {
+        const bool base = backend == other.backend &&
+                          threads == other.threads;
+        if (!usesHtmKnobs())
+            return base;
+        return base && cm.htmBudget == other.cm.htmBudget &&
+               cm.capacityPolicy == other.cm.capacityPolicy;
+    }
+
+    /** HTM knobs only matter for HTM-bearing backends. */
+    bool
+    usesHtmKnobs() const
+    {
+        return backend == tm::BackendKind::kSimHtm ||
+               backend == tm::BackendKind::kHybridNorec;
+    }
+
+    /** Compact label, e.g. "tiny:4t" or "htm:8t:B4:halve". */
+    std::string label() const;
+};
+
+/**
+ * The enumerated configuration space of one machine; provides the
+ * column ordering shared by the Utility Matrix, the performance model
+ * and the benches.
+ */
+class ConfigSpace
+{
+  public:
+    explicit ConfigSpace(std::vector<TmConfig> configs)
+        : configs_(std::move(configs))
+    {}
+
+    /**
+     * Machine A space (single-socket 8-thread CPU with HTM):
+     * 4 STMs x 8 thread counts, HTM x 8 threads x 12 (budget, policy)
+     * pairs, global lock, and hybrid at 8 threads = 130 configurations
+     * (matching the paper's count).
+     */
+    static ConfigSpace machineA();
+
+    /** Machine B space (4-socket 48-core, no HTM): 4 STMs x 8 thread
+     *  counts = 32 configurations. */
+    static ConfigSpace machineB();
+
+    std::size_t size() const { return configs_.size(); }
+    const TmConfig &at(std::size_t i) const { return configs_[i]; }
+    const std::vector<TmConfig> &all() const { return configs_; }
+
+    /** Index of a config equal to `c`, or -1. */
+    int indexOf(const TmConfig &c) const;
+
+  private:
+    std::vector<TmConfig> configs_;
+};
+
+} // namespace proteus::polytm
+
+#endif // PROTEUS_POLYTM_CONFIG_HPP

@@ -1,0 +1,16 @@
+#include "polytm/kpi.hpp"
+
+namespace proteus::polytm {
+
+std::string_view
+kpiName(KpiKind kind)
+{
+    switch (kind) {
+      case KpiKind::kThroughput: return "throughput";
+      case KpiKind::kExecTime: return "exec-time";
+      case KpiKind::kEdp: return "edp";
+    }
+    return "invalid";
+}
+
+} // namespace proteus::polytm

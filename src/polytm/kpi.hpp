@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Key Performance Indicators and the synthetic power model.
+ *
+ * The paper optimizes three KPIs: throughput (maximize), execution
+ * time (minimize) and EDP — Energy Delay Product (minimize). Energy on
+ * this testbed comes from a linear power model (DESIGN.md §2: RAPL
+ * substitution): P = static + perThread * activeThreads.
+ */
+
+#ifndef PROTEUS_POLYTM_KPI_HPP
+#define PROTEUS_POLYTM_KPI_HPP
+
+#include <string_view>
+
+namespace proteus::polytm {
+
+/** Which KPI an optimization run targets. */
+enum class KpiKind : int
+{
+    kThroughput = 0, //!< transactions per second (maximize)
+    kExecTime,       //!< seconds for a fixed batch of work (minimize)
+    kEdp,            //!< energy x delay, J*s (minimize)
+};
+
+/** Whether larger KPI values are better. */
+inline bool
+kpiIsMaximize(KpiKind kind)
+{
+    return kind == KpiKind::kThroughput;
+}
+
+std::string_view kpiName(KpiKind kind);
+
+/**
+ * Linear chip power model standing in for RAPL.
+ *
+ * Defaults roughly shaped on a desktop Haswell: ~12 W uncore/static
+ * plus ~6 W per busy hardware thread.
+ */
+struct PowerModel
+{
+    double staticWatts = 12.0;
+    double perThreadWatts = 6.0;
+
+    double
+    watts(int active_threads) const
+    {
+        return staticWatts + perThreadWatts * active_threads;
+    }
+
+    double
+    energyJoules(double seconds, int active_threads) const
+    {
+        return watts(active_threads) * seconds;
+    }
+
+    /** EDP for a run of `seconds` with `active_threads` busy. */
+    double
+    edp(double seconds, int active_threads) const
+    {
+        return energyJoules(seconds, active_threads) * seconds;
+    }
+};
+
+} // namespace proteus::polytm
+
+#endif // PROTEUS_POLYTM_KPI_HPP

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * PolyTM: the polymorphic TM runtime (paper §4).
+ *
+ * PolyTM hides every TM backend behind one dispatch point, profiles
+ * commits/aborts, and supports run-time reconfiguration of
+ *  (i) the TM algorithm (quiesced switch via ThreadGate),
+ *  (ii) the parallelism degree (selective thread disabling),
+ *  (iii) the HTM contention-management knobs (no quiescence needed).
+ *
+ * Public API sketch:
+ * @code
+ *   PolyTm poly;
+ *   auto token = poly.registerThread();
+ *   TxField<int> x;
+ *   poly.run(token, [&](Tx &tx) { tx.write(x, tx.read(x) + 1); });
+ *   poly.reconfigure({tm::BackendKind::kNorec, 4, {}});
+ * @endcode
+ */
+
+#ifndef PROTEUS_POLYTM_POLYTM_HPP
+#define PROTEUS_POLYTM_POLYTM_HPP
+
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "polytm/config.hpp"
+#include "polytm/thread_gate.hpp"
+#include "tm/backend.hpp"
+#include "tm/sim_htm.hpp"
+
+namespace proteus::polytm {
+
+class PolyTm;
+
+/**
+ * A transactional cell holding any trivially-copyable T of at most
+ * 8 bytes (word-based TM). Fields must only be accessed through a Tx
+ * inside a transaction, or through raw accessors while no transaction
+ * can run (setup/teardown).
+ */
+template <typename T>
+class TxField
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "TxField requires trivially copyable payloads");
+    static_assert(sizeof(T) <= 8, "TxField payloads are word-sized");
+
+  public:
+    TxField() = default;
+    explicit TxField(T v) { rawSet(v); }
+
+    /** Non-transactional accessors: only while quiesced. */
+    T
+    rawGet() const
+    {
+        T out;
+        std::memcpy(&out, &storage_, sizeof(T));
+        return out;
+    }
+
+    void
+    rawSet(T v)
+    {
+        storage_ = 0;
+        std::memcpy(&storage_, &v, sizeof(T));
+    }
+
+  private:
+    friend class Tx;
+    alignas(8) std::uint64_t storage_ = 0;
+};
+
+/** Handle passed to the transaction body; wraps backend + descriptor. */
+class Tx
+{
+  public:
+    template <typename T>
+    T
+    read(const TxField<T> &field)
+    {
+        const std::uint64_t word = backend_->txRead(*desc_, &field.storage_);
+        T out;
+        std::memcpy(&out, &word, sizeof(T));
+        return out;
+    }
+
+    template <typename T>
+    void
+    write(TxField<T> &field, T value)
+    {
+        std::uint64_t word = 0;
+        std::memcpy(&word, &value, sizeof(T));
+        backend_->txWrite(*desc_, &field.storage_, word);
+    }
+
+    /** Raw word access (data structures managing their own layout). */
+    std::uint64_t
+    readWord(const std::uint64_t *addr)
+    {
+        return backend_->txRead(*desc_, addr);
+    }
+
+    void
+    writeWord(std::uint64_t *addr, std::uint64_t value)
+    {
+        backend_->txWrite(*desc_, addr, value);
+    }
+
+    /** Explicit user abort + retry (illegal in irrevocable modes). */
+    [[noreturn]] void
+    retry()
+    {
+        if (!backend_->revocable(*desc_))
+            throw std::logic_error("retry() inside irrevocable tx");
+        backend_->abortTx(*desc_, tm::AbortCause::kExplicit);
+    }
+
+    tm::TxDesc &desc() { return *desc_; }
+
+  private:
+    friend class PolyTm;
+    Tx(tm::TmBackend &backend, tm::TxDesc &desc)
+        : backend_(&backend), desc_(&desc)
+    {}
+
+    tm::TmBackend *backend_;
+    tm::TxDesc *desc_;
+};
+
+/** Per-thread registration handle. */
+struct ThreadToken
+{
+    int tid = -1;
+    tm::TxDesc *desc = nullptr;
+};
+
+/** Aggregated profiling counters. */
+struct PolyStats
+{
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    std::array<std::uint64_t, 6> abortsByCause{};
+};
+
+class PolyTm
+{
+  public:
+    /**
+     * @param initial      configuration active at construction
+     * @param htm_config   emulated-HTM capacity parameters
+     * @param log2_orecs   stripe-table size used by all backends
+     */
+    explicit PolyTm(TmConfig initial = {},
+                    tm::SimHtmConfig htm_config = {},
+                    unsigned log2_orecs = 18);
+    ~PolyTm();
+
+    PolyTm(const PolyTm &) = delete;
+    PolyTm &operator=(const PolyTm &) = delete;
+
+    /** Register the calling thread; assigns the next dense tid. */
+    ThreadToken registerThread();
+
+    /** Deregister; the token becomes invalid. */
+    void deregisterThread(ThreadToken &token);
+
+    /**
+     * Execute `body` as one atomic transaction, retrying on aborts
+     * with bounded randomized backoff. The body may run many times;
+     * it must be side-effect free apart from transactional accesses.
+     */
+    template <typename F>
+    void
+    run(ThreadToken &token, F &&body)
+    {
+        tm::TxDesc &desc = *token.desc;
+        desc.consecutiveAborts = 0;
+        for (;;) {
+            gate_.enter(token.tid);
+            tm::TmBackend *backend =
+                currentBackend_.load(std::memory_order_acquire);
+            if (desc.consecutiveAborts == 0) {
+                desc.htmBudgetLeft =
+                    cmBudget_.load(std::memory_order_relaxed);
+            }
+            try {
+                backend->txBegin(desc);
+                Tx tx(*backend, desc);
+                body(tx);
+                backend->txCommit(desc);
+                counters_[token.tid]->commits.fetch_add(
+                    1, std::memory_order_relaxed);
+                desc.consecutiveAborts = 0;
+                gate_.exit(token.tid);
+                return;
+            } catch (const tm::TxAbort &abort) {
+                onAbort(token, desc, *backend, abort);
+                gate_.exit(token.tid);
+                tm::backoffOnAbort(desc);
+            }
+        }
+    }
+
+    /**
+     * Apply a new configuration (adapter-thread side). CM-only changes
+     * are applied without quiescence; backend/thread changes run the
+     * paper's 3-step protocol (parallelism to 0, switch, restore).
+     */
+    void reconfigure(const TmConfig &config);
+
+    TmConfig currentConfig() const;
+
+    /**
+     * Forbid PolyTM from disabling this thread when shrinking the
+     * parallelism degree (paper §4.2's programmer escape hatch); it
+     * may still be paused briefly while switching algorithms.
+     */
+    void setPinned(int tid, bool pinned);
+
+    /**
+     * Re-enable every registered thread, regardless of the configured
+     * parallelism degree. Called by workloads after raising their stop
+     * flag so that disabled threads can observe it and exit.
+     */
+    void resumeAllForShutdown();
+
+    /** Aggregate counters across all threads since construction. */
+    PolyStats snapshotStats() const;
+
+    /** Wall time of the most recent quiesced reconfiguration. */
+    std::uint64_t lastReconfigureNanos() const
+    {
+        return lastReconfigureNanos_.load(std::memory_order_relaxed);
+    }
+
+    /** Number of currently registered threads. */
+    int registeredThreads() const;
+
+    /** Direct backend access (tests and micro-benchmarks only). */
+    tm::TmBackend &backendFor(tm::BackendKind kind);
+
+  private:
+    struct ThreadCounters
+    {
+        std::atomic<std::uint64_t> commits{0};
+        std::atomic<std::uint64_t> aborts{0};
+        std::array<std::atomic<std::uint64_t>, 6> abortsByCause{};
+    };
+
+    void onAbort(ThreadToken &token, tm::TxDesc &desc,
+                 tm::TmBackend &backend, const tm::TxAbort &abort);
+
+    /** True if `tid` should be runnable under `config`. */
+    bool enabledUnder(const TmConfig &config, int tid) const;
+
+    ThreadGate gate_;
+    std::atomic<tm::TmBackend *> currentBackend_{nullptr};
+
+    std::atomic<int> cmBudget_{5};
+    std::atomic<int> cmPolicy_{
+        static_cast<int>(tm::CapacityPolicy::kDecrease)};
+
+    mutable std::mutex adminMutex_;
+    TmConfig config_;
+    std::array<std::unique_ptr<tm::TmBackend>,
+               static_cast<std::size_t>(tm::BackendKind::kNumBackends)>
+        backends_;
+    std::array<std::unique_ptr<tm::TxDesc>, tm::kMaxThreads> descs_;
+    std::array<bool, tm::kMaxThreads> enabled_{};
+    std::array<bool, tm::kMaxThreads> pinned_{};
+    std::array<std::unique_ptr<ThreadCounters>, tm::kMaxThreads> counters_;
+    int numRegistered_ = 0;
+
+    std::atomic<std::uint64_t> lastReconfigureNanos_{0};
+};
+
+} // namespace proteus::polytm
+
+#endif // PROTEUS_POLYTM_POLYTM_HPP

@@ -1,0 +1,436 @@
+#include "rectm/cf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace proteus::rectm {
+
+std::string_view
+similarityName(Similarity s)
+{
+    switch (s) {
+      case Similarity::kEuclidean: return "euclidean";
+      case Similarity::kCosine: return "cosine";
+      case Similarity::kPearson: return "pearson";
+    }
+    return "invalid";
+}
+
+// ---- KnnModel ------------------------------------------------------------
+
+void
+KnnModel::fit(const UtilityMatrix &ratings)
+{
+    train_ = ratings;
+}
+
+double
+KnnModel::rowSimilarity(const std::vector<double> &a,
+                        const std::vector<double> &b) const
+{
+    double dot = 0, na = 0, nb = 0, dist2 = 0;
+    double sum_a = 0, sum_b = 0;
+    std::size_t n = 0;
+    const std::size_t len = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < len; ++i) {
+        if (!known(a[i]) || !known(b[i]))
+            continue;
+        ++n;
+        sum_a += a[i];
+        sum_b += b[i];
+    }
+    if (n == 0)
+        return 0.0;
+    const double mean_a = sum_a / n;
+    const double mean_b = sum_b / n;
+    const bool centered = similarity_ == Similarity::kPearson;
+    for (std::size_t i = 0; i < len; ++i) {
+        if (!known(a[i]) || !known(b[i]))
+            continue;
+        const double x = centered ? a[i] - mean_a : a[i];
+        const double y = centered ? b[i] - mean_b : b[i];
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+        dist2 += (a[i] - b[i]) * (a[i] - b[i]);
+    }
+    switch (similarity_) {
+      case Similarity::kEuclidean:
+        return 1.0 / (1.0 + std::sqrt(dist2 / n));
+      case Similarity::kCosine:
+      case Similarity::kPearson: {
+        const double denom = std::sqrt(na) * std::sqrt(nb);
+        if (denom <= 1e-12)
+            return 0.0;
+        return dot / denom;
+      }
+    }
+    return 0.0;
+}
+
+namespace {
+
+struct ScoredRow
+{
+    double sim;
+    std::size_t row;
+    double mean;
+};
+
+} // namespace
+
+std::vector<double>
+KnnModel::predictAll(const std::vector<double> &query,
+                     std::size_t num_cols) const
+{
+    // Hoist similarity + row-mean computation out of the per-column
+    // aggregation (training rows are shared across columns).
+    std::vector<ScoredRow> scored;
+    scored.reserve(train_.rows());
+    for (std::size_t r = 0; r < train_.rows(); ++r) {
+        const double sim = rowSimilarity(query, train_.row(r));
+        if (sim <= 0)
+            continue;
+        double sum = 0;
+        std::size_t n = 0;
+        for (const double v : train_.row(r)) {
+            if (known(v)) {
+                sum += v;
+                ++n;
+            }
+        }
+        scored.push_back({sim, r, n ? sum / n : 0.0});
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto &a, const auto &b) { return a.sim > b.sim; });
+
+    // Column means as the no-neighbor fallback.
+    std::vector<double> col_mean(num_cols, 0.0);
+    std::vector<std::size_t> col_n(num_cols, 0);
+    for (std::size_t r = 0; r < train_.rows(); ++r) {
+        for (std::size_t c = 0; c < num_cols && c < train_.cols(); ++c) {
+            if (known(train_.at(r, c))) {
+                col_mean[c] += train_.at(r, c);
+                ++col_n[c];
+            }
+        }
+    }
+    for (std::size_t c = 0; c < num_cols; ++c)
+        col_mean[c] = col_n[c] ? col_mean[c] / col_n[c] : 0.0;
+
+    double qmean = 0;
+    if (similarity_ == Similarity::kPearson) {
+        double qsum = 0;
+        std::size_t qn = 0;
+        for (const double v : query) {
+            if (known(v)) {
+                qsum += v;
+                ++qn;
+            }
+        }
+        qmean = qn ? qsum / qn : 0.0;
+    }
+
+    std::vector<double> out(num_cols);
+    for (std::size_t c = 0; c < num_cols; ++c) {
+        double num = 0, den = 0;
+        std::size_t used = 0;
+        for (const ScoredRow &s : scored) {
+            if (used >= static_cast<std::size_t>(k_))
+                break;
+            const double rating = train_.at(s.row, c);
+            if (!known(rating))
+                continue;
+            ++used;
+            if (similarity_ == Similarity::kPearson) {
+                num += s.sim * (rating - s.mean);
+                den += std::abs(s.sim);
+            } else {
+                num += s.sim * rating;
+                den += s.sim;
+            }
+        }
+        if (used == 0 || den <= 1e-12) {
+            out[c] = similarity_ == Similarity::kPearson
+                ? qmean
+                : col_mean[c];
+        } else if (similarity_ == Similarity::kPearson) {
+            out[c] = qmean + num / den;
+        } else {
+            out[c] = num / den;
+        }
+    }
+    return out;
+}
+
+double
+KnnModel::predict(const std::vector<double> &query, std::size_t col) const
+{
+    return predictAll(query, train_.cols())[col];
+}
+
+std::unique_ptr<CfModel>
+KnnModel::clone() const
+{
+    return std::make_unique<KnnModel>(k_, similarity_);
+}
+
+std::string
+KnnModel::describe() const
+{
+    return "knn(k=" + std::to_string(k_) + "," +
+           std::string(similarityName(similarity_)) + ")";
+}
+
+// ---- ItemKnnModel ----------------------------------------------------------
+
+void
+ItemKnnModel::fit(const UtilityMatrix &ratings)
+{
+    train_ = ratings;
+}
+
+double
+ItemKnnModel::colSimilarity(std::size_t a, std::size_t b) const
+{
+    std::vector<double> col_a, col_b;
+    col_a.reserve(train_.rows());
+    col_b.reserve(train_.rows());
+    for (std::size_t r = 0; r < train_.rows(); ++r) {
+        col_a.push_back(train_.at(r, a));
+        col_b.push_back(train_.at(r, b));
+    }
+    // Reuse the row-similarity math by treating columns as vectors.
+    KnnModel helper(1, similarity_);
+    return helper.rowSimilarity(col_a, col_b);
+}
+
+double
+ItemKnnModel::predict(const std::vector<double> &query,
+                      std::size_t col) const
+{
+    // Weighted average of the *query's own* ratings on the most
+    // similar items (configurations) — the defining property (and
+    // flaw, here) of item-based KNN.
+    struct Scored
+    {
+        double sim;
+        double rating;
+    };
+    std::vector<Scored> scored;
+    for (std::size_t c = 0; c < query.size() && c < train_.cols();
+         ++c) {
+        if (c == col || !known(query[c]))
+            continue;
+        const double sim = colSimilarity(col, c);
+        if (sim > 0)
+            scored.push_back({sim, query[c]});
+    }
+    if (scored.empty()) {
+        double sum = 0;
+        std::size_t n = 0;
+        for (const double v : query) {
+            if (known(v)) {
+                sum += v;
+                ++n;
+            }
+        }
+        return n ? sum / n : 0.0;
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const Scored &a, const Scored &b) {
+                  return a.sim > b.sim;
+              });
+    const std::size_t k = std::min<std::size_t>(
+        static_cast<std::size_t>(k_), scored.size());
+    double num = 0, den = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+        num += scored[i].sim * scored[i].rating;
+        den += scored[i].sim;
+    }
+    return den > 1e-12 ? num / den : scored.front().rating;
+}
+
+std::unique_ptr<CfModel>
+ItemKnnModel::clone() const
+{
+    return std::make_unique<ItemKnnModel>(k_, similarity_);
+}
+
+std::string
+ItemKnnModel::describe() const
+{
+    return "item-knn(k=" + std::to_string(k_) + "," +
+           std::string(similarityName(similarity_)) + ")";
+}
+
+// ---- MfModel --------------------------------------------------------------
+
+void
+MfModel::fit(const UtilityMatrix &ratings)
+{
+    const std::size_t rows = ratings.rows();
+    const std::size_t cols = ratings.cols();
+    const int d = hyper_.dims;
+    Rng rng(hyper_.seed);
+
+    double sum = 0;
+    std::size_t n = 0;
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            if (known(ratings.at(r, c))) {
+                sum += ratings.at(r, c);
+                ++n;
+            }
+        }
+    }
+    globalMean_ = n ? sum / n : 0.0;
+
+    std::vector<std::vector<double>> user(rows, std::vector<double>(d));
+    itemFactors_.assign(cols, std::vector<double>(d));
+    itemBias_.assign(cols, 0.0);
+    std::vector<double> user_bias(rows, 0.0);
+    const double scale = 0.1 / std::sqrt(d);
+    for (auto &row : user) {
+        for (auto &v : row)
+            v = rng.gaussian(0, scale);
+    }
+    for (auto &row : itemFactors_) {
+        for (auto &v : row)
+            v = rng.gaussian(0, scale);
+    }
+
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> samples;
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            if (known(ratings.at(r, c)))
+                samples.emplace_back(static_cast<std::uint32_t>(r),
+                                     static_cast<std::uint32_t>(c));
+        }
+    }
+    const double lr = hyper_.learnRate;
+    const double reg = hyper_.regularization;
+    for (int epoch = 0; epoch < hyper_.epochs; ++epoch) {
+        for (std::size_t i = samples.size(); i > 1; --i)
+            std::swap(samples[i - 1], samples[rng.nextBounded(i)]);
+        for (const auto &[r, c] : samples) {
+            auto &p = user[r];
+            auto &q = itemFactors_[c];
+            double pred = globalMean_ + user_bias[r] + itemBias_[c];
+            for (int f = 0; f < d; ++f)
+                pred += p[f] * q[f];
+            const double err = ratings.at(r, c) - pred;
+            user_bias[r] += lr * (err - reg * user_bias[r]);
+            itemBias_[c] += lr * (err - reg * itemBias_[c]);
+            for (int f = 0; f < d; ++f) {
+                const double pf = p[f];
+                p[f] += lr * (err * q[f] - reg * pf);
+                q[f] += lr * (err * pf - reg * q[f]);
+            }
+        }
+    }
+}
+
+std::vector<double>
+MfModel::foldIn(const std::vector<double> &query) const
+{
+    const int d = hyper_.dims;
+    const int dim = d + 1; // + user-bias feature
+    std::vector<double> ata(static_cast<std::size_t>(dim) * dim, 0.0);
+    std::vector<double> aty(dim, 0.0);
+    std::size_t n = 0;
+    for (std::size_t c = 0;
+         c < query.size() && c < itemFactors_.size(); ++c) {
+        if (!known(query[c]))
+            continue;
+        ++n;
+        const double y = query[c] - globalMean_ - itemBias_[c];
+        std::vector<double> x(dim, 1.0);
+        for (int f = 0; f < d; ++f)
+            x[f] = itemFactors_[c][f];
+        for (int i = 0; i < dim; ++i) {
+            aty[i] += x[i] * y;
+            for (int j = 0; j < dim; ++j)
+                ata[static_cast<std::size_t>(i) * dim + j] += x[i] * x[j];
+        }
+    }
+    std::vector<double> w(dim, 0.0);
+    if (n == 0)
+        return w;
+
+    const double reg = std::max(hyper_.regularization, 1e-4);
+    for (int i = 0; i < dim; ++i)
+        ata[static_cast<std::size_t>(i) * dim + i] += reg * n;
+
+    // Gaussian elimination with partial pivoting.
+    for (int i = 0; i < dim; ++i) {
+        int pivot = i;
+        for (int r = i + 1; r < dim; ++r) {
+            if (std::abs(ata[static_cast<std::size_t>(r) * dim + i]) >
+                std::abs(ata[static_cast<std::size_t>(pivot) * dim + i]))
+                pivot = r;
+        }
+        for (int c = 0; c < dim; ++c)
+            std::swap(ata[static_cast<std::size_t>(i) * dim + c],
+                      ata[static_cast<std::size_t>(pivot) * dim + c]);
+        std::swap(aty[i], aty[pivot]);
+        const double diag = ata[static_cast<std::size_t>(i) * dim + i];
+        if (std::abs(diag) < 1e-12)
+            continue;
+        for (int r = i + 1; r < dim; ++r) {
+            const double factor =
+                ata[static_cast<std::size_t>(r) * dim + i] / diag;
+            for (int c = i; c < dim; ++c)
+                ata[static_cast<std::size_t>(r) * dim + c] -=
+                    factor * ata[static_cast<std::size_t>(i) * dim + c];
+            aty[r] -= factor * aty[i];
+        }
+    }
+    for (int i = dim - 1; i >= 0; --i) {
+        double acc = aty[i];
+        for (int c = i + 1; c < dim; ++c)
+            acc -= ata[static_cast<std::size_t>(i) * dim + c] * w[c];
+        const double diag = ata[static_cast<std::size_t>(i) * dim + i];
+        w[i] = std::abs(diag) > 1e-12 ? acc / diag : 0.0;
+    }
+    return w;
+}
+
+std::vector<double>
+MfModel::predictAll(const std::vector<double> &query,
+                    std::size_t num_cols) const
+{
+    const int d = hyper_.dims;
+    const std::vector<double> w = foldIn(query);
+    std::vector<double> out(num_cols);
+    for (std::size_t c = 0; c < num_cols && c < itemFactors_.size();
+         ++c) {
+        double pred = globalMean_ + itemBias_[c] + w[d];
+        for (int f = 0; f < d; ++f)
+            pred += w[f] * itemFactors_[c][f];
+        out[c] = pred;
+    }
+    return out;
+}
+
+double
+MfModel::predict(const std::vector<double> &query, std::size_t col) const
+{
+    return predictAll(query, itemFactors_.size())[col];
+}
+
+std::unique_ptr<CfModel>
+MfModel::clone() const
+{
+    return std::make_unique<MfModel>(hyper_);
+}
+
+std::string
+MfModel::describe() const
+{
+    return "mf(d=" + std::to_string(hyper_.dims) +
+           ",epochs=" + std::to_string(hyper_.epochs) + ")";
+}
+
+} // namespace proteus::rectm

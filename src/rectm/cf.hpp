@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Collaborative Filtering predictors (paper §2.2/§5.1): user-based
+ * K-Nearest-Neighbors with euclidean/cosine/pearson similarity, and
+ * SGD Matrix Factorization with ridge fold-in for new workloads.
+ *
+ * All predictors operate in *rating space* (after normalization);
+ * "users" are workloads and "items" are TM configurations. Training
+ * matrices are dense (offline profiling); query rows are sparse.
+ */
+
+#ifndef PROTEUS_RECTM_CF_HPP
+#define PROTEUS_RECTM_CF_HPP
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "rectm/utility_matrix.hpp"
+
+namespace proteus::rectm {
+
+enum class Similarity : int
+{
+    kEuclidean = 0,
+    kCosine,
+    kPearson,
+};
+
+std::string_view similarityName(Similarity s);
+
+class CfModel
+{
+  public:
+    virtual ~CfModel() = default;
+
+    /** Train on a rating matrix (rows may be a bootstrap sample). */
+    virtual void fit(const UtilityMatrix &ratings) = 0;
+
+    /**
+     * Predicted rating of `col` for a query row holding known
+     * ratings (NaN elsewhere).
+     */
+    virtual double predict(const std::vector<double> &query_ratings,
+                           std::size_t col) const = 0;
+
+    /**
+     * Predicted ratings for *all* columns at once. Semantically
+     * equivalent to calling predict per column, but lets models hoist
+     * the per-query work (KNN: similarities; MF: the fold-in solve).
+     */
+    virtual std::vector<double>
+    predictAll(const std::vector<double> &query_ratings,
+               std::size_t num_cols) const
+    {
+        std::vector<double> out(num_cols);
+        for (std::size_t c = 0; c < num_cols; ++c)
+            out[c] = predict(query_ratings, c);
+        return out;
+    }
+
+    /** Fresh untrained copy with the same hyper-parameters. */
+    virtual std::unique_ptr<CfModel> clone() const = 0;
+
+    virtual std::string describe() const = 0;
+};
+
+/** User-based KNN. */
+class KnnModel : public CfModel
+{
+  public:
+    KnnModel(int k, Similarity similarity)
+        : k_(k), similarity_(similarity)
+    {}
+
+    void fit(const UtilityMatrix &ratings) override;
+    double predict(const std::vector<double> &query_ratings,
+                   std::size_t col) const override;
+    std::vector<double>
+    predictAll(const std::vector<double> &query_ratings,
+               std::size_t num_cols) const override;
+    std::unique_ptr<CfModel> clone() const override;
+    std::string describe() const override;
+
+    /** Similarity between a query row and a training row (exposed for
+     *  tests): computed over commonly-known entries. */
+    double rowSimilarity(const std::vector<double> &a,
+                         const std::vector<double> &b) const;
+
+  private:
+    int k_;
+    Similarity similarity_;
+    UtilityMatrix train_{0, 0};
+};
+
+/**
+ * Item-based KNN — included to *demonstrate* the paper's footnote 3:
+ * it expresses an unknown rating as a weighted average of the ratings
+ * the query workload itself already provided, so it can never predict
+ * outside the range the workload has witnessed. In a domain where the
+ * whole point is finding configurations *better* than the sampled
+ * ones, that is disqualifying (see CfTest.ItemBasedKnnCannotExtrapolate).
+ */
+class ItemKnnModel : public CfModel
+{
+  public:
+    ItemKnnModel(int k, Similarity similarity)
+        : k_(k), similarity_(similarity)
+    {}
+
+    void fit(const UtilityMatrix &ratings) override;
+    double predict(const std::vector<double> &query_ratings,
+                   std::size_t col) const override;
+    std::unique_ptr<CfModel> clone() const override;
+    std::string describe() const override;
+
+  private:
+    /** Column-vs-column similarity over the training rows. */
+    double colSimilarity(std::size_t a, std::size_t b) const;
+
+    int k_;
+    Similarity similarity_;
+    UtilityMatrix train_{0, 0};
+};
+
+/** Matrix factorization via SGD; query rows fold in by ridge LS. */
+class MfModel : public CfModel
+{
+  public:
+    struct Hyper
+    {
+        int dims = 8;
+        int epochs = 60;
+        double learnRate = 0.02;
+        double regularization = 0.05;
+        std::uint64_t seed = 0x5eedF;
+    };
+
+    explicit MfModel(Hyper hyper) : hyper_(hyper) {}
+
+    void fit(const UtilityMatrix &ratings) override;
+    double predict(const std::vector<double> &query_ratings,
+                   std::size_t col) const override;
+    std::vector<double>
+    predictAll(const std::vector<double> &query_ratings,
+               std::size_t num_cols) const override;
+    std::unique_ptr<CfModel> clone() const override;
+    std::string describe() const override;
+
+  private:
+    /** Solve the ridge fold-in for a query row: returns w (d+1). */
+    std::vector<double>
+    foldIn(const std::vector<double> &query_ratings) const;
+
+    Hyper hyper_;
+    double globalMean_ = 0;
+    std::vector<double> itemBias_;
+    /** cols x dims item factors. */
+    std::vector<std::vector<double>> itemFactors_;
+};
+
+} // namespace proteus::rectm
+
+#endif // PROTEUS_RECTM_CF_HPP

@@ -1,0 +1,104 @@
+#include "rectm/cf_tuner.hpp"
+
+#include <cmath>
+
+namespace proteus::rectm {
+
+double
+crossValidateMape(const CfModel &prototype, const UtilityMatrix &ratings,
+                  int folds, int revealed_per_row, std::uint64_t seed)
+{
+    Rng rng(seed);
+    const std::size_t rows = ratings.rows();
+    const auto perm = rng.permutation(rows);
+
+    double err_sum = 0;
+    std::size_t err_n = 0;
+
+    for (int fold = 0; fold < folds; ++fold) {
+        // Split rows.
+        std::vector<std::vector<double>> train_rows;
+        std::vector<std::size_t> test_rows;
+        for (std::size_t i = 0; i < rows; ++i) {
+            if (static_cast<int>(i % static_cast<std::size_t>(folds)) ==
+                fold) {
+                test_rows.push_back(perm[i]);
+            } else {
+                train_rows.push_back(ratings.row(perm[i]));
+            }
+        }
+        if (train_rows.empty() || test_rows.empty())
+            continue;
+
+        auto model = prototype.clone();
+        model->fit(UtilityMatrix(std::move(train_rows)));
+
+        for (const std::size_t r : test_rows) {
+            const auto &full = ratings.row(r);
+            const auto known_cols = ratings.knownInRow(r);
+            if (known_cols.size() <
+                static_cast<std::size_t>(revealed_per_row) + 1)
+                continue;
+            // Reveal a random subset; hide the rest.
+            std::vector<double> query(full.size(), kUnknown);
+            auto shuffled = known_cols;
+            for (std::size_t i = shuffled.size(); i > 1; --i)
+                std::swap(shuffled[i - 1],
+                          shuffled[rng.nextBounded(i)]);
+            for (int i = 0; i < revealed_per_row; ++i)
+                query[shuffled[static_cast<std::size_t>(i)]] =
+                    full[shuffled[static_cast<std::size_t>(i)]];
+
+            const auto preds = model->predictAll(query, full.size());
+            for (std::size_t i =
+                     static_cast<std::size_t>(revealed_per_row);
+                 i < shuffled.size(); ++i) {
+                const std::size_t c = shuffled[i];
+                const double real = full[c];
+                if (std::abs(real) < 1e-12)
+                    continue;
+                err_sum += std::abs(real - preds[c]) / std::abs(real);
+                ++err_n;
+            }
+        }
+    }
+    return err_n ? err_sum / err_n
+                 : std::numeric_limits<double>::infinity();
+}
+
+TunedCf
+tuneCf(const UtilityMatrix &ratings, const TunerOptions &options)
+{
+    Rng rng(options.seed);
+    TunedCf best;
+    best.cvMape = std::numeric_limits<double>::infinity();
+
+    for (int trial = 0; trial < options.trials; ++trial) {
+        std::unique_ptr<CfModel> candidate;
+        if (rng.bernoulli(0.5)) {
+            const int k = 3 + static_cast<int>(rng.nextBounded(28));
+            const auto sim =
+                static_cast<Similarity>(rng.nextBounded(3));
+            candidate = std::make_unique<KnnModel>(k, sim);
+        } else {
+            MfModel::Hyper hyper;
+            hyper.dims = 4 + static_cast<int>(rng.nextBounded(13));
+            hyper.epochs = 30 + static_cast<int>(rng.nextBounded(70));
+            hyper.learnRate = rng.uniform(0.005, 0.05);
+            hyper.regularization = rng.uniform(0.01, 0.2);
+            hyper.seed = rng.nextU64();
+            candidate = std::make_unique<MfModel>(hyper);
+        }
+        const double mape = crossValidateMape(
+            *candidate, ratings, options.folds, options.revealedPerRow,
+            rng.nextU64());
+        if (mape < best.cvMape) {
+            best.cvMape = mape;
+            best.description = candidate->describe();
+            best.prototype = std::move(candidate);
+        }
+    }
+    return best;
+}
+
+} // namespace proteus::rectm

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * CF algorithm selection + hyper-parameter tuning (paper §5.1):
+ * random search over {KNN(k, similarity), MF(dims, epochs, lr, reg)}
+ * evaluated by n-fold cross-validation on the training rating matrix.
+ * Held-out rows are reduced to a few known entries (mimicking online
+ * sparsity) and scored by MAPE on the hidden ones.
+ */
+
+#ifndef PROTEUS_RECTM_CF_TUNER_HPP
+#define PROTEUS_RECTM_CF_TUNER_HPP
+
+#include <memory>
+#include <string>
+
+#include "rectm/cf.hpp"
+
+namespace proteus::rectm {
+
+struct TunerOptions
+{
+    int trials = 24;
+    int folds = 4;
+    /** Entries revealed per held-out row during CV. */
+    int revealedPerRow = 5;
+    std::uint64_t seed = 0x707e;
+};
+
+struct TunedCf
+{
+    std::unique_ptr<CfModel> prototype;
+    double cvMape = 0;
+    std::string description;
+};
+
+/** Run random search + CV; returns the best prototype (untrained). */
+TunedCf tuneCf(const UtilityMatrix &ratings, const TunerOptions &options);
+
+/** CV score for a given prototype (exposed for tests/ablation). */
+double crossValidateMape(const CfModel &prototype,
+                         const UtilityMatrix &ratings, int folds,
+                         int revealed_per_row, std::uint64_t seed);
+
+} // namespace proteus::rectm
+
+#endif // PROTEUS_RECTM_CF_TUNER_HPP

@@ -1,0 +1,53 @@
+#include "rectm/cusum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace proteus::rectm {
+
+CusumDetector::CusumDetector(Options options) : options_(options)
+{
+}
+
+void
+CusumDetector::reset()
+{
+    mean_ = 0;
+    dev_ = 0;
+    sumHigh_ = 0;
+    sumLow_ = 0;
+    samples_ = 0;
+}
+
+bool
+CusumDetector::push(double sample)
+{
+    ++samples_;
+    if (samples_ == 1) {
+        mean_ = sample;
+        dev_ = std::abs(sample) * 0.05 + 1e-9;
+        return false;
+    }
+
+    const double sigma = std::max(dev_, 1e-12);
+    const double z = (sample - mean_) / sigma;
+
+    if (samples_ > static_cast<std::size_t>(options_.warmup)) {
+        sumHigh_ = std::max(0.0, sumHigh_ + z - options_.slack);
+        sumLow_ = std::max(0.0, sumLow_ - z - options_.slack);
+        if (sumHigh_ > options_.threshold ||
+            sumLow_ > options_.threshold) {
+            reset();
+            return true;
+        }
+    }
+
+    // Adapt the reference statistics *after* the test so that slow
+    // drifts still accumulate (adaptive CUSUM).
+    mean_ += options_.alpha * (sample - mean_);
+    dev_ += options_.alpha * (std::abs(sample - mean_) - dev_);
+    dev_ = std::max(dev_, 1e-12);
+    return false;
+}
+
+} // namespace proteus::rectm

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Adaptive CUSUM change detector (paper §5.3, after Basseville &
+ * Nikiforov). The Monitor feeds it one KPI sample per period; it
+ * tracks the recent mean/deviation with exponentially-weighted
+ * estimates and accumulates standardized deviations in two one-sided
+ * sums. Crossing the threshold in either direction signals a
+ * workload (or environment) behaviour change and triggers
+ * re-exploration.
+ */
+
+#ifndef PROTEUS_RECTM_CUSUM_HPP
+#define PROTEUS_RECTM_CUSUM_HPP
+
+#include <cstddef>
+
+namespace proteus::rectm {
+
+struct CusumOptions
+{
+    /** EWMA factor for mean/deviation tracking. */
+    double alpha = 0.1;
+    /** Dead-band (in mean-absolute-deviation units) ignored by the
+     *  sums; ~0.8 sigma for Gaussian noise. */
+    double slack = 1.0;
+    /** Alarm threshold (accumulated deviations); sized for an average
+     *  run length of thousands of periods on stationary input. */
+    double threshold = 8.0;
+    /** Samples consumed before detection arms. */
+    int warmup = 5;
+};
+
+class CusumDetector
+{
+  public:
+    using Options = CusumOptions;
+
+    explicit CusumDetector(Options options = {});
+
+    /**
+     * Feed one sample; returns true when a change is detected. On
+     * detection the detector resets (and re-enters warm-up on the new
+     * regime).
+     */
+    bool push(double sample);
+
+    /** Drop all state (used after a deliberate reconfiguration). */
+    void reset();
+
+    double mean() const { return mean_; }
+    double deviation() const { return dev_; }
+    double positiveSum() const { return sumHigh_; }
+    double negativeSum() const { return sumLow_; }
+    std::size_t samplesSeen() const { return samples_; }
+
+  private:
+    Options options_;
+    double mean_ = 0;
+    double dev_ = 0;
+    double sumHigh_ = 0;
+    double sumLow_ = 0;
+    std::size_t samples_ = 0;
+};
+
+} // namespace proteus::rectm
+
+#endif // PROTEUS_RECTM_CUSUM_HPP

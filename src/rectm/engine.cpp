@@ -1,0 +1,45 @@
+#include "rectm/engine.hpp"
+
+namespace proteus::rectm {
+
+RecTmEngine::RecTmEngine(const UtilityMatrix &training_goodness,
+                         Options options)
+    : numConfigs_(training_goodness.cols())
+{
+    normalizer_ = Normalizer::make(options.normalizer);
+    const UtilityMatrix ratings =
+        normalizer_->fitTransform(training_goodness);
+
+    TunerOptions tuner = options.tuner;
+    tuner.seed ^= options.seed;
+    TunedCf tuned = tuneCf(ratings, tuner);
+    modelDesc_ = tuned.description;
+    cvMape_ = tuned.cvMape;
+
+    ensemble_ = std::make_unique<BaggingEnsemble>(
+        *tuned.prototype, options.bags, options.seed ^ 0xbead);
+    ensemble_->fit(ratings);
+}
+
+std::vector<double>
+RecTmEngine::predictAllGoodness(
+    const std::vector<double> &query_goodness) const
+{
+    std::vector<double> ratings(numConfigs_, kUnknown);
+    for (std::size_t c = 0; c < numConfigs_; ++c) {
+        if (known(query_goodness[c])) {
+            ratings[c] = normalizer_->toRating(query_goodness, c,
+                                               query_goodness[c]);
+        }
+    }
+    const auto preds =
+        ensemble_->predictAllConfigs(ratings, numConfigs_);
+    std::vector<double> out(numConfigs_);
+    for (std::size_t c = 0; c < numConfigs_; ++c) {
+        out[c] = normalizer_->fromRating(query_goodness, c,
+                                         preds[c].mean);
+    }
+    return out;
+}
+
+} // namespace proteus::rectm

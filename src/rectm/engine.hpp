@@ -1,0 +1,78 @@
+/**
+ * @file
+ * RecTmEngine: the full RecTM work-flow of Algorithm 2 —
+ *  1. ingest the off-line training KPI matrix,
+ *  2. rating distillation (or a competitor normalizer),
+ *  3. CF algorithm selection + hyper tuning (random search, CV),
+ *  4. bagging-ensemble instantiation,
+ *  5. per-workload SMBO optimization episodes on demand.
+ */
+
+#ifndef PROTEUS_RECTM_ENGINE_HPP
+#define PROTEUS_RECTM_ENGINE_HPP
+
+#include <functional>
+#include <memory>
+
+#include "rectm/cf_tuner.hpp"
+#include "rectm/ensemble.hpp"
+#include "rectm/normalizer.hpp"
+#include "rectm/smbo.hpp"
+
+namespace proteus::rectm {
+
+class RecTmEngine
+{
+  public:
+    struct Options
+    {
+        NormalizerKind normalizer = NormalizerKind::kDistillation;
+        int bags = 10; // paper §5.2
+        TunerOptions tuner{};
+        std::uint64_t seed = 0xe61e;
+    };
+
+    /**
+     * @param training_goodness dense workload x config matrix of
+     *        maximize-oriented KPI values (see toGoodness)
+     */
+    RecTmEngine(const UtilityMatrix &training_goodness, Options options);
+
+    const Normalizer &normalizer() const { return *normalizer_; }
+    Normalizer &normalizerMutable() { return *normalizer_; }
+    const BaggingEnsemble &ensemble() const { return *ensemble_; }
+    int referenceColumn() const { return normalizer_->referenceColumn(); }
+    std::size_t numConfigs() const { return numConfigs_; }
+    const std::string &modelDescription() const { return modelDesc_; }
+    double tunerCvMape() const { return cvMape_; }
+
+    /**
+     * Optimize one workload: `sample(c)` measures its live goodness
+     * at configuration c.
+     */
+    SmboResult
+    optimize(const std::function<double(std::size_t)> &sample,
+             const SmboOptions &smbo = {}) const
+    {
+        return optimizeWorkload(*ensemble_, *normalizer_, numConfigs_,
+                                sample, smbo);
+    }
+
+    /**
+     * Predicted goodness of every configuration given the sparse
+     * goodness samples gathered so far (for accuracy metrics).
+     */
+    std::vector<double>
+    predictAllGoodness(const std::vector<double> &query_goodness) const;
+
+  private:
+    std::size_t numConfigs_;
+    std::unique_ptr<Normalizer> normalizer_;
+    std::unique_ptr<BaggingEnsemble> ensemble_;
+    std::string modelDesc_;
+    double cvMape_ = 0;
+};
+
+} // namespace proteus::rectm
+
+#endif // PROTEUS_RECTM_ENGINE_HPP

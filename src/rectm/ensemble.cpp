@@ -1,0 +1,74 @@
+#include "rectm/ensemble.hpp"
+
+namespace proteus::rectm {
+
+BaggingEnsemble::BaggingEnsemble(const CfModel &prototype, int bags,
+                                 std::uint64_t seed)
+    : seed_(seed)
+{
+    models_.reserve(static_cast<std::size_t>(bags));
+    for (int i = 0; i < bags; ++i)
+        models_.push_back(prototype.clone());
+}
+
+void
+BaggingEnsemble::fit(const UtilityMatrix &ratings)
+{
+    Rng rng(seed_);
+    for (auto &model : models_) {
+        // Bootstrap sample of rows (with replacement).
+        std::vector<std::vector<double>> sample;
+        sample.reserve(ratings.rows());
+        for (std::size_t i = 0; i < ratings.rows(); ++i) {
+            const std::size_t r = rng.nextBounded(ratings.rows());
+            sample.push_back(ratings.row(r));
+        }
+        model->fit(UtilityMatrix(std::move(sample)));
+    }
+}
+
+std::vector<BaggingEnsemble::Prediction>
+BaggingEnsemble::predictAllConfigs(const std::vector<double> &query,
+                                   std::size_t num_cols) const
+{
+    std::vector<Prediction> out(num_cols);
+    std::vector<std::vector<double>> per_model;
+    per_model.reserve(models_.size());
+    for (const auto &model : models_)
+        per_model.push_back(model->predictAll(query, num_cols));
+    for (std::size_t c = 0; c < num_cols; ++c) {
+        double sum = 0;
+        for (const auto &preds : per_model)
+            sum += preds[c];
+        const double mean = sum / per_model.size();
+        double var = 0;
+        for (const auto &preds : per_model)
+            var += (preds[c] - mean) * (preds[c] - mean);
+        out[c].mean = mean;
+        out[c].variance =
+            per_model.size() > 1 ? var / per_model.size() : 0.0;
+    }
+    return out;
+}
+
+BaggingEnsemble::Prediction
+BaggingEnsemble::predict(const std::vector<double> &query,
+                         std::size_t col) const
+{
+    Prediction out;
+    std::vector<double> preds;
+    preds.reserve(models_.size());
+    for (const auto &model : models_)
+        preds.push_back(model->predict(query, col));
+    double sum = 0;
+    for (const double p : preds)
+        sum += p;
+    out.mean = sum / preds.size();
+    double var = 0;
+    for (const double p : preds)
+        var += (p - out.mean) * (p - out.mean);
+    out.variance = preds.size() > 1 ? var / preds.size() : 0.0;
+    return out;
+}
+
+} // namespace proteus::rectm

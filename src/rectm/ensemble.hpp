@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Bagging ensemble of CF learners (paper §5.2): each learner trains
+ * on a bootstrap sample of the training rows; the ensemble's mean and
+ * variance at a configuration provide the Gaussian predictive model
+ * pM(c|x) that SMBO's Expected Improvement needs.
+ */
+
+#ifndef PROTEUS_RECTM_ENSEMBLE_HPP
+#define PROTEUS_RECTM_ENSEMBLE_HPP
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "rectm/cf.hpp"
+
+namespace proteus::rectm {
+
+class BaggingEnsemble
+{
+  public:
+    /**
+     * @param prototype  hyper-configured model to clone per bag
+     * @param bags       number of learners (paper uses 10)
+     */
+    BaggingEnsemble(const CfModel &prototype, int bags,
+                    std::uint64_t seed = 0xba6d);
+
+    /** Train every bag on a bootstrap row-sample of `ratings`. */
+    void fit(const UtilityMatrix &ratings);
+
+    struct Prediction
+    {
+        double mean = 0;
+        double variance = 0;
+    };
+
+    /** Gaussian predictive distribution at `col` for a query row. */
+    Prediction predict(const std::vector<double> &query_ratings,
+                       std::size_t col) const;
+
+    /** Mean-only convenience. */
+    double
+    predictMean(const std::vector<double> &query_ratings,
+                std::size_t col) const
+    {
+        return predict(query_ratings, col).mean;
+    }
+
+    /** Batch predictive distributions for all columns. */
+    std::vector<Prediction>
+    predictAllConfigs(const std::vector<double> &query_ratings,
+                      std::size_t num_cols) const;
+
+    int bags() const { return static_cast<int>(models_.size()); }
+
+  private:
+    std::vector<std::unique_ptr<CfModel>> models_;
+    std::uint64_t seed_;
+};
+
+} // namespace proteus::rectm
+
+#endif // PROTEUS_RECTM_ENSEMBLE_HPP

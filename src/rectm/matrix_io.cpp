@@ -1,0 +1,84 @@
+#include "rectm/matrix_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace proteus::rectm {
+
+void
+saveCsv(const UtilityMatrix &matrix, std::ostream &out)
+{
+    out << "# cols=" << matrix.cols() << "\n";
+    out << std::setprecision(17);
+    for (std::size_t r = 0; r < matrix.rows(); ++r) {
+        for (std::size_t c = 0; c < matrix.cols(); ++c) {
+            if (c)
+                out << ',';
+            if (known(matrix.at(r, c)))
+                out << matrix.at(r, c);
+        }
+        out << '\n';
+    }
+}
+
+UtilityMatrix
+loadCsv(std::istream &in)
+{
+    std::string line;
+    std::size_t expected_cols = 0;
+    std::vector<std::vector<double>> rows;
+
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (line.front() == '#') {
+            const auto pos = line.find("cols=");
+            if (pos != std::string::npos)
+                expected_cols = std::stoul(line.substr(pos + 5));
+            continue;
+        }
+        std::vector<double> row;
+        std::stringstream ss(line);
+        std::string cell;
+        while (std::getline(ss, cell, ','))
+            row.push_back(cell.empty() ? kUnknown : std::stod(cell));
+        // A line ending in ',' has a trailing empty (unknown) cell.
+        if (!line.empty() && line.back() == ',')
+            row.push_back(kUnknown);
+        if (expected_cols && row.size() != expected_cols) {
+            throw std::runtime_error(
+                "UtilityMatrix CSV: row has " +
+                std::to_string(row.size()) + " cells, header says " +
+                std::to_string(expected_cols));
+        }
+        if (!rows.empty() && row.size() != rows.front().size()) {
+            throw std::runtime_error(
+                "UtilityMatrix CSV: ragged rows");
+        }
+        rows.push_back(std::move(row));
+    }
+    return UtilityMatrix(std::move(rows));
+}
+
+void
+saveCsvFile(const UtilityMatrix &matrix, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot open for write: " + path);
+    saveCsv(matrix, out);
+}
+
+UtilityMatrix
+loadCsvFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open for read: " + path);
+    return loadCsv(in);
+}
+
+} // namespace proteus::rectm

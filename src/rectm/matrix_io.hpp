@@ -1,0 +1,36 @@
+/**
+ * @file
+ * CSV persistence for Utility Matrices.
+ *
+ * The offline profiling phase (Algorithm 2, step 1) is expensive; a
+ * deployment trains once and ships the matrix. Format: one row per
+ * workload, comma-separated decimal values, empty cell = unknown.
+ * An optional first header line `# cols=N` guards shape mismatches.
+ */
+
+#ifndef PROTEUS_RECTM_MATRIX_IO_HPP
+#define PROTEUS_RECTM_MATRIX_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "rectm/utility_matrix.hpp"
+
+namespace proteus::rectm {
+
+/** Write a matrix as CSV (with the shape header). */
+void saveCsv(const UtilityMatrix &matrix, std::ostream &out);
+
+/**
+ * Parse a CSV matrix; throws std::runtime_error on malformed input
+ * or on a shape-header mismatch.
+ */
+UtilityMatrix loadCsv(std::istream &in);
+
+/** Convenience file-path wrappers. */
+void saveCsvFile(const UtilityMatrix &matrix, const std::string &path);
+UtilityMatrix loadCsvFile(const std::string &path);
+
+} // namespace proteus::rectm
+
+#endif // PROTEUS_RECTM_MATRIX_IO_HPP

@@ -1,0 +1,369 @@
+#include "rectm/normalizer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/stats.hpp"
+
+namespace proteus::rectm {
+
+std::string_view
+normalizerName(NormalizerKind kind)
+{
+    switch (kind) {
+      case NormalizerKind::kNone: return "none";
+      case NormalizerKind::kMaxConstant: return "max-const";
+      case NormalizerKind::kIdeal: return "ideal";
+      case NormalizerKind::kRcDiff: return "rc-diff";
+      case NormalizerKind::kDistillation: return "distillation";
+    }
+    return "invalid";
+}
+
+int
+distillationReference(const UtilityMatrix &train)
+{
+    int best_col = -1;
+    double best_dispersion = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < train.cols(); ++c) {
+        // Candidate must be known in every training row.
+        bool usable = true;
+        std::vector<double> maxima;
+        maxima.reserve(train.rows());
+        for (std::size_t r = 0; r < train.rows(); ++r) {
+            const double ref = train.at(r, c);
+            if (!known(ref) || ref <= 0) {
+                usable = false;
+                break;
+            }
+            double row_max = 0;
+            for (std::size_t i = 0; i < train.cols(); ++i) {
+                const double v = train.at(r, i);
+                if (known(v))
+                    row_max = std::max(row_max, v / ref);
+            }
+            maxima.push_back(row_max);
+        }
+        if (!usable)
+            continue;
+        const double d = indexOfDispersion(maxima);
+        if (d < best_dispersion) {
+            best_dispersion = d;
+            best_col = static_cast<int>(c);
+        }
+    }
+    return best_col;
+}
+
+namespace {
+
+class NoneNormalizer : public Normalizer
+{
+  public:
+    NormalizerKind kind() const override { return NormalizerKind::kNone; }
+
+    UtilityMatrix
+    fitTransform(const UtilityMatrix &train) override
+    {
+        return train;
+    }
+
+    double
+    toRating(const std::vector<double> &, std::size_t,
+             double goodness) const override
+    {
+        return goodness;
+    }
+
+    double
+    fromRating(const std::vector<double> &, std::size_t,
+               double rating) const override
+    {
+        return rating;
+    }
+};
+
+class MaxConstantNormalizer : public Normalizer
+{
+  public:
+    NormalizerKind
+    kind() const override
+    {
+        return NormalizerKind::kMaxConstant;
+    }
+
+    UtilityMatrix
+    fitTransform(const UtilityMatrix &train) override
+    {
+        peak_ = 0;
+        for (std::size_t r = 0; r < train.rows(); ++r) {
+            for (std::size_t c = 0; c < train.cols(); ++c) {
+                if (known(train.at(r, c)))
+                    peak_ = std::max(peak_, train.at(r, c));
+            }
+        }
+        if (peak_ <= 0)
+            peak_ = 1;
+        UtilityMatrix out = train;
+        for (std::size_t r = 0; r < out.rows(); ++r) {
+            for (std::size_t c = 0; c < out.cols(); ++c) {
+                if (known(out.at(r, c)))
+                    out.set(r, c, out.at(r, c) / peak_);
+            }
+        }
+        return out;
+    }
+
+    double
+    toRating(const std::vector<double> &, std::size_t,
+             double goodness) const override
+    {
+        return goodness / peak_;
+    }
+
+    double
+    fromRating(const std::vector<double> &, std::size_t,
+               double rating) const override
+    {
+        return rating * peak_;
+    }
+
+  private:
+    double peak_ = 1;
+};
+
+class IdealNormalizer : public Normalizer
+{
+  public:
+    NormalizerKind kind() const override { return NormalizerKind::kIdeal; }
+
+    UtilityMatrix
+    fitTransform(const UtilityMatrix &train) override
+    {
+        UtilityMatrix out = train;
+        for (std::size_t r = 0; r < out.rows(); ++r) {
+            double row_max = 0;
+            for (std::size_t c = 0; c < out.cols(); ++c) {
+                if (known(out.at(r, c)))
+                    row_max = std::max(row_max, out.at(r, c));
+            }
+            if (row_max <= 0)
+                continue;
+            for (std::size_t c = 0; c < out.cols(); ++c) {
+                if (known(out.at(r, c)))
+                    out.set(r, c, out.at(r, c) / row_max);
+            }
+        }
+        return out;
+    }
+
+    void
+    setOracleRowMax(double row_max) override
+    {
+        oracleMax_ = row_max > 0 ? row_max : 1.0;
+    }
+
+    double
+    toRating(const std::vector<double> &, std::size_t,
+             double goodness) const override
+    {
+        return goodness / oracleMax_;
+    }
+
+    double
+    fromRating(const std::vector<double> &, std::size_t,
+               double rating) const override
+    {
+        return rating * oracleMax_;
+    }
+
+  private:
+    double oracleMax_ = 1.0;
+};
+
+class RcDiffNormalizer : public Normalizer
+{
+  public:
+    NormalizerKind kind() const override { return NormalizerKind::kRcDiff; }
+
+    UtilityMatrix
+    fitTransform(const UtilityMatrix &train) override
+    {
+        UtilityMatrix out = train;
+        // Subtract per-row means.
+        for (std::size_t r = 0; r < out.rows(); ++r) {
+            double sum = 0;
+            std::size_t n = 0;
+            for (std::size_t c = 0; c < out.cols(); ++c) {
+                if (known(out.at(r, c))) {
+                    sum += out.at(r, c);
+                    ++n;
+                }
+            }
+            const double row_mean = n ? sum / n : 0.0;
+            for (std::size_t c = 0; c < out.cols(); ++c) {
+                if (known(out.at(r, c)))
+                    out.set(r, c, out.at(r, c) - row_mean);
+            }
+        }
+        // Then subtract per-column means of the residuals.
+        colAdj_.assign(out.cols(), 0.0);
+        for (std::size_t c = 0; c < out.cols(); ++c) {
+            double sum = 0;
+            std::size_t n = 0;
+            for (std::size_t r = 0; r < out.rows(); ++r) {
+                if (known(out.at(r, c))) {
+                    sum += out.at(r, c);
+                    ++n;
+                }
+            }
+            colAdj_[c] = n ? sum / n : 0.0;
+            for (std::size_t r = 0; r < out.rows(); ++r) {
+                if (known(out.at(r, c)))
+                    out.set(r, c, out.at(r, c) - colAdj_[c]);
+            }
+        }
+        return out;
+    }
+
+    double
+    toRating(const std::vector<double> &row, std::size_t col,
+             double goodness) const override
+    {
+        return goodness - queryRowMean(row) - colAdj_[col];
+    }
+
+    double
+    fromRating(const std::vector<double> &row, std::size_t col,
+               double rating) const override
+    {
+        return rating + queryRowMean(row) + colAdj_[col];
+    }
+
+  private:
+    static double
+    queryRowMean(const std::vector<double> &row)
+    {
+        double sum = 0;
+        std::size_t n = 0;
+        for (const double v : row) {
+            if (known(v)) {
+                sum += v;
+                ++n;
+            }
+        }
+        return n ? sum / n : 0.0;
+    }
+
+    std::vector<double> colAdj_;
+};
+
+class DistillationNormalizer : public Normalizer
+{
+  public:
+    NormalizerKind
+    kind() const override
+    {
+        return NormalizerKind::kDistillation;
+    }
+
+    UtilityMatrix
+    fitTransform(const UtilityMatrix &train) override
+    {
+        reference_ = distillationReference(train);
+        assert(reference_ >= 0 && "training matrix needs a dense column");
+        UtilityMatrix out = train;
+        for (std::size_t r = 0; r < out.rows(); ++r) {
+            const double ref =
+                out.at(r, static_cast<std::size_t>(reference_));
+            if (!known(ref) || ref <= 0)
+                continue;
+            for (std::size_t c = 0; c < out.cols(); ++c) {
+                if (known(out.at(r, c)))
+                    out.set(r, c, out.at(r, c) / ref);
+            }
+        }
+        // Per-column mean rating of the training population: used to
+        // re-anchor query rows that were not profiled at C*.
+        colMeanRating_.assign(out.cols(), 1.0);
+        for (std::size_t c = 0; c < out.cols(); ++c) {
+            double sum = 0;
+            std::size_t n = 0;
+            for (std::size_t r = 0; r < out.rows(); ++r) {
+                if (known(out.at(r, c))) {
+                    sum += out.at(r, c);
+                    ++n;
+                }
+            }
+            if (n && sum > 0)
+                colMeanRating_[c] = sum / n;
+        }
+        return out;
+    }
+
+    int referenceColumn() const override { return reference_; }
+
+    double
+    toRating(const std::vector<double> &row, std::size_t,
+             double goodness) const override
+    {
+        return goodness / refSample(row);
+    }
+
+    double
+    fromRating(const std::vector<double> &row, std::size_t,
+               double rating) const override
+    {
+        return rating * refSample(row);
+    }
+
+  private:
+    double
+    refSample(const std::vector<double> &row) const
+    {
+        const double ref = row[static_cast<std::size_t>(reference_)];
+        // The normal workflow profiles the reference configuration
+        // first (§5.2's first round)...
+        if (known(ref) && ref > 0)
+            return ref;
+        // ...but the Fig. 4 protocol does not force its presence:
+        // estimate the row's value at C* from the samples we do have,
+        // using the training population's mean rating per column as
+        // the alignment prior: r[C*] ~ mean_c( r[c] / E[rating_c] ).
+        double est = 0;
+        std::size_t n = 0;
+        for (std::size_t c = 0;
+             c < row.size() && c < colMeanRating_.size(); ++c) {
+            if (known(row[c]) && row[c] > 0) {
+                est += row[c] / colMeanRating_[c];
+                ++n;
+            }
+        }
+        return n ? est / n : 1.0;
+    }
+
+    int reference_ = -1;
+    std::vector<double> colMeanRating_;
+};
+
+} // namespace
+
+std::unique_ptr<Normalizer>
+Normalizer::make(NormalizerKind kind)
+{
+    switch (kind) {
+      case NormalizerKind::kNone:
+        return std::make_unique<NoneNormalizer>();
+      case NormalizerKind::kMaxConstant:
+        return std::make_unique<MaxConstantNormalizer>();
+      case NormalizerKind::kIdeal:
+        return std::make_unique<IdealNormalizer>();
+      case NormalizerKind::kRcDiff:
+        return std::make_unique<RcDiffNormalizer>();
+      case NormalizerKind::kDistillation:
+        return std::make_unique<DistillationNormalizer>();
+    }
+    return nullptr;
+}
+
+} // namespace proteus::rectm

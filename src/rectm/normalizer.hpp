@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Utility-Matrix preprocessing schemes compared in Fig. 4, including
+ * the paper's contribution: *rating distillation* (Algorithm 3).
+ *
+ * A Normalizer maps a raw goodness matrix into rating space and maps
+ * individual values back and forth for query rows. Rating
+ * distillation picks the reference column C* that minimizes the index
+ * of dispersion var/mean of the per-row maxima after normalizing each
+ * row by its value at the candidate column; a new workload is then
+ * profiled at C* first, and all its samples are expressed relative to
+ * that reference (paper §5.1).
+ */
+
+#ifndef PROTEUS_RECTM_NORMALIZER_HPP
+#define PROTEUS_RECTM_NORMALIZER_HPP
+
+#include <memory>
+#include <string_view>
+
+#include "rectm/utility_matrix.hpp"
+
+namespace proteus::rectm {
+
+/** The Fig. 4 competitors. */
+enum class NormalizerKind : int
+{
+    kNone = 0,      //!< raw KPI (Quasar-style)
+    kMaxConstant,   //!< divide by a machine-wide constant (Paragon)
+    kIdeal,         //!< oracle: divide each row by its true maximum
+    kRcDiff,        //!< row-column mean subtraction (classic CF)
+    kDistillation,  //!< ProteusTM's rating distillation
+};
+
+std::string_view normalizerName(NormalizerKind kind);
+
+class Normalizer
+{
+  public:
+    virtual ~Normalizer() = default;
+    virtual NormalizerKind kind() const = 0;
+
+    /**
+     * Fit on the (dense) training matrix and return its rating-space
+     * transform.
+     */
+    virtual UtilityMatrix fitTransform(const UtilityMatrix &train) = 0;
+
+    /**
+     * The configuration a new workload must be profiled at first so
+     * its samples can be normalized (-1 when any column works).
+     */
+    virtual int referenceColumn() const { return -1; }
+
+    /**
+     * Transform one sampled goodness of a query row into rating
+     * space. `row` holds the query's known goodness values (NaN
+     * elsewhere); implementations may use it (e.g. to read the
+     * reference sample).
+     */
+    virtual double toRating(const std::vector<double> &row,
+                            std::size_t col, double goodness) const = 0;
+
+    /** Invert toRating for a prediction at `col`. */
+    virtual double fromRating(const std::vector<double> &row,
+                              std::size_t col, double rating) const = 0;
+
+    /**
+     * Oracle side-channel used only by the *ideal* scheme: the true
+     * row maximum of the current query workload (which a practical
+     * system cannot know). No-op for every other normalizer.
+     */
+    virtual void setOracleRowMax(double /*row_max*/) {}
+
+    /** Factory. */
+    static std::unique_ptr<Normalizer> make(NormalizerKind kind);
+};
+
+/**
+ * Select the distillation reference column: argmin over candidate
+ * columns of var/mean of per-row maxima after normalization
+ * (Algorithm 3). Exposed for tests and ablations.
+ */
+int distillationReference(const UtilityMatrix &train);
+
+} // namespace proteus::rectm
+
+#endif // PROTEUS_RECTM_NORMALIZER_HPP

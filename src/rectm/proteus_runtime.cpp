@@ -1,0 +1,66 @@
+#include "rectm/proteus_runtime.hpp"
+
+namespace proteus::rectm {
+
+ProteusRuntime::ProteusRuntime(const RecTmEngine &engine,
+                               TunableSystem &system,
+                               RuntimeOptions options)
+    : engine_(engine), system_(system), options_(options),
+      detector_(options.cusum)
+{
+}
+
+std::vector<PeriodRecord>
+ProteusRuntime::run(int total_periods,
+                    const std::function<void(int)> &before_period)
+{
+    std::vector<PeriodRecord> records;
+    records.reserve(static_cast<std::size_t>(total_periods));
+
+    int period = 0;
+    bool need_optimize = true;
+    std::size_t current = 0;
+
+    auto tick = [&](std::size_t config, bool exploring,
+                    bool change) -> double {
+        if (before_period)
+            before_period(period);
+        system_.applyConfig(config);
+        const double kpi = system_.measureKpi();
+        PeriodRecord rec;
+        rec.period = period;
+        rec.config = config;
+        rec.kpi = kpi;
+        rec.exploring = exploring;
+        rec.changeDetected = change;
+        records.push_back(rec);
+        ++period;
+        return kpi;
+    };
+
+    while (period < total_periods) {
+        if (need_optimize) {
+            need_optimize = false;
+            ++episodes_;
+            const SmboResult result = engine_.optimize(
+                [&](std::size_t c) {
+                    const double kpi = tick(c, true, false);
+                    return toGoodness(kpi, options_.kpi);
+                },
+                options_.smbo);
+            lastExplorations_ = result.explorations;
+            current = result.bestConfig;
+            detector_.reset();
+            continue;
+        }
+        const double kpi = tick(current, false, false);
+        if (detector_.push(kpi) && period < total_periods) {
+            need_optimize = true;
+            if (!records.empty())
+                records.back().changeDetected = true;
+        }
+    }
+    return records;
+}
+
+} // namespace proteus::rectm

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * ProteusRuntime: the closed loop of the whole system (paper §6.4).
+ *
+ * Couples a RecTmEngine (Recommender + Controller) with a Monitor
+ * (CUSUM change detection) and a TunableSystem (the live PolyTM
+ * application, or its simulated stand-in). On start — and whenever
+ * the Monitor flags a behaviour change — the runtime runs one SMBO
+ * exploration episode and settles on the recommended configuration.
+ */
+
+#ifndef PROTEUS_RECTM_PROTEUS_RUNTIME_HPP
+#define PROTEUS_RECTM_PROTEUS_RUNTIME_HPP
+
+#include <functional>
+#include <vector>
+
+#include "polytm/kpi.hpp"
+#include "rectm/cusum.hpp"
+#include "rectm/engine.hpp"
+
+namespace proteus::rectm {
+
+/** What the runtime tunes: apply a configuration, measure the KPI. */
+class TunableSystem
+{
+  public:
+    virtual ~TunableSystem() = default;
+
+    virtual std::size_t numConfigs() const = 0;
+
+    /** Switch the system to configuration `c`. */
+    virtual void applyConfig(std::size_t c) = 0;
+
+    /** Run one monitor period and return the raw KPI observed. */
+    virtual double measureKpi() = 0;
+};
+
+struct RuntimeOptions
+{
+    polytm::KpiKind kpi = polytm::KpiKind::kThroughput;
+    SmboOptions smbo{};
+    CusumDetector::Options cusum{};
+};
+
+/** One monitor period as recorded by the runtime. */
+struct PeriodRecord
+{
+    int period = 0;
+    std::size_t config = 0;
+    double kpi = 0;
+    bool exploring = false;
+    bool changeDetected = false;
+};
+
+class ProteusRuntime
+{
+  public:
+    ProteusRuntime(const RecTmEngine &engine, TunableSystem &system,
+                   RuntimeOptions options);
+
+    /**
+     * Drive `total_periods` monitor periods; `before_period(t)` lets
+     * the caller shift the workload/environment (Fig. 8/9 phases).
+     */
+    std::vector<PeriodRecord>
+    run(int total_periods,
+        const std::function<void(int)> &before_period = nullptr);
+
+    /** Number of SMBO episodes executed (1 + detected changes). */
+    int episodes() const { return episodes_; }
+    /** Explorations spent in the most recent episode. */
+    int lastEpisodeExplorations() const { return lastExplorations_; }
+
+  private:
+    const RecTmEngine &engine_;
+    TunableSystem &system_;
+    RuntimeOptions options_;
+    CusumDetector detector_;
+    int episodes_ = 0;
+    int lastExplorations_ = 0;
+};
+
+} // namespace proteus::rectm
+
+#endif // PROTEUS_RECTM_PROTEUS_RUNTIME_HPP

@@ -1,0 +1,228 @@
+#include "rectm/smbo.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace proteus::rectm {
+
+std::string_view
+explorePolicyName(ExplorePolicy policy)
+{
+    switch (policy) {
+      case ExplorePolicy::kEi: return "ei";
+      case ExplorePolicy::kGreedy: return "greedy";
+      case ExplorePolicy::kVariance: return "variance";
+      case ExplorePolicy::kRandom: return "random";
+    }
+    return "invalid";
+}
+
+std::string_view
+stopRuleName(StopRule rule)
+{
+    switch (rule) {
+      case StopRule::kCautious: return "cautious";
+      case StopRule::kNaive: return "naive";
+      case StopRule::kFixed: return "fixed";
+    }
+    return "invalid";
+}
+
+namespace {
+
+double
+normalPdf(double x)
+{
+    return std::exp(-0.5 * x * x) / std::sqrt(2.0 * M_PI);
+}
+
+double
+normalCdf(double x)
+{
+    return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+} // namespace
+
+double
+expectedImprovement(double mean, double variance, double best)
+{
+    if (variance <= 1e-18)
+        return std::max(mean - best, 0.0);
+    const double sigma = std::sqrt(variance);
+    const double u = (mean - best) / sigma;
+    return sigma * (u * normalCdf(u) + normalPdf(u));
+}
+
+SmboResult
+optimizeWorkload(const BaggingEnsemble &ensemble,
+                 const Normalizer &normalizer, std::size_t num_configs,
+                 const std::function<double(std::size_t)> &sample,
+                 const SmboOptions &options)
+{
+    Rng rng(options.seed);
+    SmboResult result;
+    result.queryGoodness.assign(num_configs, kUnknown);
+    std::vector<bool> explored(num_configs, false);
+
+    auto sampleConfig = [&](std::size_t c) {
+        const double g = sample(c);
+        result.queryGoodness[c] = g;
+        explored[c] = true;
+        result.sampled.push_back(c);
+    };
+
+    // Round 0: profile the reference configuration (paper §6.3: "each
+    // round profiles the target workload on the reference
+    // configuration chosen by the rating distillation function").
+    const int ref = normalizer.referenceColumn();
+    sampleConfig(ref >= 0 ? static_cast<std::size_t>(ref) : 0);
+
+    auto ratingsRow = [&]() {
+        std::vector<double> row = result.queryGoodness;
+        std::vector<double> ratings(num_configs, kUnknown);
+        for (std::size_t c = 0; c < num_configs; ++c) {
+            if (known(row[c]))
+                ratings[c] = normalizer.toRating(row, c, row[c]);
+        }
+        return ratings;
+    };
+
+    double prev_ei = std::numeric_limits<double>::infinity();
+    double prev_prev_ei = std::numeric_limits<double>::infinity();
+
+    while (result.explorations < options.maxExplorations) {
+        const std::vector<double> ratings = ratingsRow();
+        double best_rating = 0;
+        for (std::size_t c = 0; c < num_configs; ++c) {
+            if (known(ratings[c]))
+                best_rating = std::max(best_rating, ratings[c]);
+        }
+
+        // Score every unexplored configuration.
+        const auto preds =
+            ensemble.predictAllConfigs(ratings, num_configs);
+        int pick = -1;
+        double pick_score = -std::numeric_limits<double>::infinity();
+        double max_ei = 0;
+        std::vector<std::size_t> unexplored;
+        for (std::size_t c = 0; c < num_configs; ++c) {
+            if (explored[c])
+                continue;
+            unexplored.push_back(c);
+            const auto &pred = preds[c];
+            const double ei =
+                expectedImprovement(pred.mean, pred.variance, best_rating);
+            max_ei = std::max(max_ei, ei);
+            double score = 0;
+            switch (options.policy) {
+              case ExplorePolicy::kEi:
+                score = ei;
+                break;
+              case ExplorePolicy::kGreedy:
+                score = pred.mean;
+                break;
+              case ExplorePolicy::kVariance:
+                score = std::sqrt(pred.variance) /
+                        std::max(1e-9, std::abs(pred.mean));
+                break;
+              case ExplorePolicy::kRandom:
+                score = 0; // chosen below
+                break;
+            }
+            if (score > pick_score) {
+                pick_score = score;
+                pick = static_cast<int>(c);
+            }
+        }
+        if (unexplored.empty())
+            break;
+        if (options.policy == ExplorePolicy::kRandom) {
+            pick = static_cast<int>(
+                unexplored[rng.nextBounded(unexplored.size())]);
+        }
+
+        // ---- stopping rules (checked before spending the sample) ---
+        const double rel_ei = max_ei / std::max(best_rating, 1e-12);
+        bool stop = false;
+        switch (options.stop) {
+          case StopRule::kNaive:
+            stop = rel_ei < options.epsilon;
+            break;
+          case StopRule::kCautious: {
+            const bool decreasing =
+                max_ei < prev_ei && prev_ei < prev_prev_ei;
+            const bool marginal = rel_ei < options.epsilon;
+            // (iii): the previous exploration's relative improvement.
+            bool small_gain = false;
+            if (result.explorations >= 1) {
+                const std::size_t last =
+                    result.sampled.back();
+                double best_before = 0;
+                for (std::size_t i = 0;
+                     i + 1 < result.sampled.size(); ++i) {
+                    best_before = std::max(
+                        best_before,
+                        ratings[result.sampled[i]]);
+                }
+                const double gain =
+                    (ratings[last] - best_before) /
+                    std::max(best_before, 1e-12);
+                small_gain = gain < options.epsilon;
+            }
+            stop = decreasing && marginal && small_gain &&
+                   result.explorations >= 2;
+            break;
+          }
+          case StopRule::kFixed:
+            stop = result.explorations >= options.fixedExplorations;
+            break;
+        }
+        if (stop)
+            break;
+
+        prev_prev_ei = prev_ei;
+        prev_ei = max_ei;
+
+        sampleConfig(static_cast<std::size_t>(pick));
+        ++result.explorations;
+    }
+
+    // Final recommendation: ask the model for its favourite; if it was
+    // never explored, spend one final sample on it (paper §6.3), then
+    // return the best *sampled* configuration.
+    {
+        const std::vector<double> ratings = ratingsRow();
+        const auto preds =
+            ensemble.predictAllConfigs(ratings, num_configs);
+        int model_best = -1;
+        double best_mean = -std::numeric_limits<double>::infinity();
+        for (std::size_t c = 0; c < num_configs; ++c) {
+            const double mean =
+                explored[c] ? ratings[c] : preds[c].mean;
+            if (mean > best_mean) {
+                best_mean = mean;
+                model_best = static_cast<int>(c);
+            }
+        }
+        if (model_best >= 0 &&
+            !explored[static_cast<std::size_t>(model_best)] &&
+            result.explorations < options.maxExplorations) {
+            sampleConfig(static_cast<std::size_t>(model_best));
+            ++result.explorations;
+        }
+    }
+
+    // Best sampled configuration wins.
+    std::size_t best = result.sampled.front();
+    for (const std::size_t c : result.sampled) {
+        if (result.queryGoodness[c] > result.queryGoodness[best])
+            best = c;
+    }
+    result.bestConfig = best;
+    result.bestGoodness = result.queryGoodness[best];
+    return result;
+}
+
+} // namespace proteus::rectm

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Sequential Model-Based Optimization controller (paper §5.2).
+ *
+ * Drives the online profiling of a new workload: starting from the
+ * distillation reference configuration, it repeatedly picks the next
+ * configuration to *explore* (sample on the live system) using an
+ * acquisition policy — Expected Improvement in ProteusTM; Greedy /
+ * Variance / Random are the Fig. 5 competitors — until a stopping
+ * rule fires. Ratings are maximize-oriented, so EI's closed form is
+ * used in its maximization orientation:
+ *   EI(x) = sigma * (u * Phi(u) + phi(u)),  u = (mu - best) / sigma.
+ */
+
+#ifndef PROTEUS_RECTM_SMBO_HPP
+#define PROTEUS_RECTM_SMBO_HPP
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "rectm/ensemble.hpp"
+#include "rectm/normalizer.hpp"
+
+namespace proteus::rectm {
+
+enum class ExplorePolicy : int
+{
+    kEi = 0,   //!< ProteusTM: Expected Improvement
+    kGreedy,   //!< highest predictive mean
+    kVariance, //!< highest predictive coefficient of variation
+    kRandom,   //!< uniform unexplored configuration
+};
+
+std::string_view explorePolicyName(ExplorePolicy policy);
+
+enum class StopRule : int
+{
+    kCautious = 0, //!< ProteusTM's predicate (see below)
+    kNaive,        //!< stop as soon as max EI < epsilon * best
+    kFixed,        //!< explore a fixed number of configurations
+};
+
+std::string_view stopRuleName(StopRule rule);
+
+/** Closed-form Expected Improvement (maximization orientation). */
+double expectedImprovement(double mean, double variance, double best);
+
+struct SmboOptions
+{
+    ExplorePolicy policy = ExplorePolicy::kEi;
+    StopRule stop = StopRule::kCautious;
+    double epsilon = 0.01;
+    int maxExplorations = 20;
+    /** Used by StopRule::kFixed. */
+    int fixedExplorations = 5;
+    std::uint64_t seed = 0x5b0;
+};
+
+struct SmboResult
+{
+    /** Configuration finally recommended (explored, best sampled). */
+    std::size_t bestConfig = 0;
+    /** Its sampled goodness (KPI-oriented). */
+    double bestGoodness = 0;
+    /** Number of sampled configurations (excluding the reference). */
+    int explorations = 0;
+    /** Every configuration sampled, in order (reference first). */
+    std::vector<std::size_t> sampled;
+    /** The query row (goodness) accumulated during exploration. */
+    std::vector<double> queryGoodness;
+};
+
+/**
+ * One optimization episode for a new workload.
+ *
+ * @param ensemble    CF ensemble trained in rating space
+ * @param normalizer  fitted normalizer (provides the reference column
+ *                    and rating-space conversion)
+ * @param num_configs configuration-space size
+ * @param sample      callback measuring the live goodness of a config
+ * @param options     policy/stop knobs
+ */
+SmboResult optimizeWorkload(
+    const BaggingEnsemble &ensemble, const Normalizer &normalizer,
+    std::size_t num_configs,
+    const std::function<double(std::size_t)> &sample,
+    const SmboOptions &options);
+
+} // namespace proteus::rectm
+
+#endif // PROTEUS_RECTM_SMBO_HPP

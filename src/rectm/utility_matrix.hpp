@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The Utility Matrix (paper §5.1): rows are workloads, columns are TM
+ * configurations, entries are *goodness* ratings — KPI values
+ * oriented so that larger is always better (minimization KPIs are
+ * inverted on ingestion). Missing entries are NaN.
+ */
+
+#ifndef PROTEUS_RECTM_UTILITY_MATRIX_HPP
+#define PROTEUS_RECTM_UTILITY_MATRIX_HPP
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "polytm/kpi.hpp"
+
+namespace proteus::rectm {
+
+/** Missing-entry marker. */
+inline constexpr double kUnknown = std::numeric_limits<double>::quiet_NaN();
+
+inline bool
+known(double v)
+{
+    return !std::isnan(v);
+}
+
+/** Convert a raw KPI sample into a maximize-oriented goodness. */
+inline double
+toGoodness(double kpi, polytm::KpiKind kind)
+{
+    return polytm::kpiIsMaximize(kind) ? kpi : 1.0 / kpi;
+}
+
+/** Invert toGoodness (for reporting predictions in KPI units). */
+inline double
+fromGoodness(double goodness, polytm::KpiKind kind)
+{
+    return polytm::kpiIsMaximize(kind) ? goodness : 1.0 / goodness;
+}
+
+class UtilityMatrix
+{
+  public:
+    UtilityMatrix(std::size_t rows, std::size_t cols)
+        : cols_(cols), data_(rows, std::vector<double>(cols, kUnknown))
+    {}
+
+    explicit UtilityMatrix(std::vector<std::vector<double>> rows)
+        : cols_(rows.empty() ? 0 : rows.front().size()),
+          data_(std::move(rows))
+    {}
+
+    std::size_t rows() const { return data_.size(); }
+    std::size_t cols() const { return cols_; }
+
+    double at(std::size_t r, std::size_t c) const { return data_[r][c]; }
+    void set(std::size_t r, std::size_t c, double v) { data_[r][c] = v; }
+
+    const std::vector<double> &row(std::size_t r) const { return data_[r]; }
+    std::vector<double> &rowMutable(std::size_t r) { return data_[r]; }
+
+    /** Indices of known entries in a row. */
+    std::vector<std::size_t>
+    knownInRow(std::size_t r) const
+    {
+        std::vector<std::size_t> out;
+        for (std::size_t c = 0; c < cols_; ++c) {
+            if (known(data_[r][c]))
+                out.push_back(c);
+        }
+        return out;
+    }
+
+    /** Fraction of known entries. */
+    double
+    density() const
+    {
+        std::size_t n = 0;
+        for (const auto &row : data_) {
+            for (const double v : row)
+                n += known(v) ? 1 : 0;
+        }
+        return rows() == 0
+            ? 0.0
+            : static_cast<double>(n) / (rows() * cols_);
+    }
+
+    /** Best (max-goodness) known column of a row, or -1. */
+    int
+    bestInRow(std::size_t r) const
+    {
+        int best = -1;
+        for (std::size_t c = 0; c < cols_; ++c) {
+            if (!known(data_[r][c]))
+                continue;
+            if (best < 0 || data_[r][c] > data_[r][best])
+                best = static_cast<int>(c);
+        }
+        return best;
+    }
+
+  private:
+    std::size_t cols_;
+    std::vector<std::vector<double>> data_;
+};
+
+} // namespace proteus::rectm
+
+#endif // PROTEUS_RECTM_UTILITY_MATRIX_HPP

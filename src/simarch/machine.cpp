@@ -1,0 +1,43 @@
+#include "simarch/machine.hpp"
+
+namespace proteus::simarch {
+
+MachineModel
+MachineModel::machineA()
+{
+    MachineModel m;
+    m.name = "machineA";
+    m.sockets = 1;
+    m.coresPerSocket = 4;
+    m.smtPerCore = 2;
+    m.clockGhz = 3.5;
+    m.hasHtm = true;
+    m.hasRapl = true;
+    m.htmReadCapacityLines = 1024; // L1+L2-backed read tracking
+    m.htmWriteCapacityLines = 400; // ~L1 minus associativity losses
+    m.numaFactor = 1.0;
+    m.smtYield = 0.35;
+    m.power.staticWatts = 10.0;
+    m.power.perThreadWatts = 5.0;
+    return m;
+}
+
+MachineModel
+MachineModel::machineB()
+{
+    MachineModel m;
+    m.name = "machineB";
+    m.sockets = 4;
+    m.coresPerSocket = 12;
+    m.smtPerCore = 1;
+    m.clockGhz = 2.1;
+    m.hasHtm = false;
+    m.hasRapl = false;
+    m.numaFactor = 3.0; // cross-socket coherence is ~3x dearer
+    m.smtYield = 0.0;
+    m.power.staticWatts = 60.0; // 4 sockets of uncore
+    m.power.perThreadWatts = 4.0;
+    return m;
+}
+
+} // namespace proteus::simarch

@@ -1,0 +1,352 @@
+#include "simarch/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace proteus::simarch {
+
+using polytm::KpiKind;
+using polytm::TmConfig;
+using tm::BackendKind;
+using tm::CapacityPolicy;
+
+BackendCosts
+PerfModel::costsFor(BackendKind kind)
+{
+    BackendCosts c;
+    switch (kind) {
+      case BackendKind::kGlobalLock:
+        // Uninstrumented path under one lock.
+        c.beginCost = 40;
+        c.perRead = 0.5;
+        c.perWrite = 0.5;
+        c.commitBase = 25;
+        c.commitPerWrite = 0;
+        c.commitPerReadValidate = 0;
+        c.wholeTxSerialized = true;
+        break;
+      case BackendKind::kTl2:
+        c.beginCost = 30;
+        c.perRead = 18;
+        c.perWrite = 12;
+        c.commitBase = 80;
+        c.commitPerWrite = 14;
+        c.commitPerReadValidate = 4;
+        break;
+      case BackendKind::kTinyStm:
+        c.beginCost = 25;
+        c.perRead = 15;
+        c.perWrite = 26; // encounter-time CAS
+        c.commitBase = 55;
+        c.commitPerWrite = 8;
+        c.commitPerReadValidate = 3;
+        c.eagerConflicts = true;
+        c.conflictSensitivity = 0.9;
+        break;
+      case BackendKind::kNorec:
+        c.beginCost = 18;
+        c.perRead = 9; // just a value log append
+        c.perWrite = 8;
+        c.commitBase = 60;
+        c.commitPerWrite = 9;
+        c.commitPerReadValidate = 5; // value revalidation
+        c.commitSerialized = true;
+        c.conflictSensitivity = 1.5; // any writer commit revalidates all
+        break;
+      case BackendKind::kSwissTm:
+        c.beginCost = 28;
+        c.perRead = 13;
+        c.perWrite = 28; // two-lock encounter-time claim
+        c.commitBase = 90;
+        c.commitPerWrite = 16;
+        c.commitPerReadValidate = 3;
+        c.eagerConflicts = true;
+        c.conflictSensitivity = 0.75; // CM resolves w/w early & cheaply
+        break;
+      case BackendKind::kSimHtm:
+        // Hardware path: uninstrumented accesses (plain loads/stores,
+        // same as the global-lock path), pricey begin/commit.
+        c.beginCost = 150;
+        c.perRead = 0.5;
+        c.perWrite = 0.5;
+        c.commitBase = 90;
+        c.commitPerWrite = 0;
+        c.commitPerReadValidate = 0;
+        c.eagerConflicts = true;
+        c.conflictSensitivity = 1.3; // requester-wins dooming
+        break;
+      case BackendKind::kHybridNorec:
+        c.beginCost = 170; // subscription on top of hw begin
+        c.perRead = 0.6;
+        c.perWrite = 0.6;
+        c.commitBase = 110;
+        c.commitPerWrite = 0;
+        c.commitPerReadValidate = 0;
+        c.commitSerialized = true; // every commit bumps the seqlock
+        c.eagerConflicts = true;
+        c.conflictSensitivity = 1.4;
+        break;
+      default:
+        break;
+    }
+    return c;
+}
+
+PerfModel::PerfModel(MachineModel machine, double noise_sigma,
+                     std::uint64_t seed)
+    : machine_(std::move(machine)), noiseSigma_(noise_sigma), seed_(seed)
+{
+}
+
+namespace {
+
+/** Probability that a lognormal-ish tx footprint exceeds a capacity. */
+double
+capacityTailProb(double mean_lines, double capacity_lines, double cv)
+{
+    if (mean_lines <= 0)
+        return 0.0;
+    const double sigma = 0.25 + 0.75 * cv; // size-spread in log space
+    const double z = std::log(mean_lines / capacity_lines) / sigma;
+    return 1.0 / (1.0 + std::exp(-3.0 * z)); // logistic tail
+}
+
+/** Amplification of conflict probability from access skew. */
+double
+skewAmplification(double theta)
+{
+    const double t = std::min(theta, 0.95);
+    return 1.0 / ((1.0 - t) * (1.0 - t));
+}
+
+} // namespace
+
+double
+PerfModel::throughputTps(const WorkloadFeatures &f,
+                         const TmConfig &config) const
+{
+    const BackendCosts bc = costsFor(config.backend);
+    const int n = std::max(1, std::min(config.threads,
+                                       machine_.maxThreads()));
+    const double clock_hz = machine_.clockGhz * 1e9;
+    const double coherence = machine_.coherencePenalty(n);
+
+    // Memory-boundedness factor (CPI penalty) of this workload.
+    const double cpi = 1.0 + 1.5 * (1.0 - f.cacheLocality) +
+                       f.pointerChaseDepth / 60.0;
+
+    const double u = std::clamp(f.updateTxFraction, 0.0, 1.0);
+    const double reads = f.readsPerTx;
+    const double writes = std::max(0.1, f.writesPerTx);
+
+    // ---- Per-transaction cycle cost (single attempt) ----------------
+    // Update transactions.
+    double tx_upd = bc.beginCost + f.txLocalWorkCycles * cpi +
+                    (reads * bc.perRead + writes * bc.perWrite) * cpi;
+    double commit_upd = bc.commitBase + writes * bc.commitPerWrite +
+                        reads * bc.commitPerReadValidate;
+    // Read-only transactions commit almost for free in every backend.
+    double tx_ro = bc.beginCost + f.txLocalWorkCycles * cpi +
+                   reads * bc.perRead * cpi;
+    double commit_ro = 0.25 * bc.commitBase;
+
+    // Commit-time metadata traffic is coherence-bound.
+    commit_upd *= coherence;
+    commit_ro *= std::sqrt(coherence);
+
+    // ---- Conflict model ---------------------------------------------
+    const double skew_amp = skewAmplification(f.hotspotSkew);
+    const double pair_conflict =
+        std::min(0.9, bc.conflictSensitivity * f.conflictDensity *
+                          skew_amp * (reads + writes) * writes /
+                          std::max(1.0, f.workingSetLines));
+    const double writers = std::max(0.0, (n - 1) * u);
+    double p_abort =
+        1.0 - std::pow(1.0 - pair_conflict, writers);
+    p_abort = std::min(p_abort, 0.98);
+
+    // Wasted work per committed update tx (STM path; the HTM path
+    // derives its own waste from the budget/policy model below).
+    const double waste_frac = f.abortWasteFactor *
+                              (bc.eagerConflicts ? 0.55 : 1.0);
+    const double retries = p_abort / (1.0 - p_abort);
+    double waste_upd =
+        retries * (tx_upd + commit_upd) * waste_frac * coherence;
+
+    // ---- HTM capacity + budget/policy model -------------------------
+    double fallback_frac = 0.0; // fraction of txs ending irrevocable
+    double hw_wasted_attempts = 0.0;
+    double fb_cycles = 0.0; // cost of one irrevocable (fallback) tx
+    const bool is_htm = config.backend == BackendKind::kSimHtm ||
+                        config.backend == BackendKind::kHybridNorec;
+    if (is_htm) {
+        const double read_lines = reads * 0.85;
+        const double write_lines = writes * 0.9;
+        const double p_cap_r = capacityTailProb(
+            read_lines, machine_.htmReadCapacityLines, f.txSizeCv);
+        const double p_cap_w = capacityTailProb(
+            write_lines, machine_.htmWriteCapacityLines, f.txSizeCv);
+        const double p_cap = 1.0 - (1.0 - p_cap_r) * (1.0 - p_cap_w);
+
+        const int budget = std::max(1, config.cm.htmBudget);
+        // Capacity aborts are *semi-transient*: transaction footprints
+        // vary across retries (the more size variance, the better the
+        // odds that a retry fits), so spending budget on capacity
+        // aborts can pay off. rho = probability a capacity abort
+        // repeats on the next attempt.
+        const double rho_base =
+            std::clamp(1.0 / (1.0 + 1.2 * f.txSizeCv), 0.15, 0.98);
+        // Conditioned on having aborted once, a retry re-aborts with
+        // at least the unconditional tail probability: workloads whose
+        // mean footprint exceeds capacity stay capacity-bound.
+        const double rho = p_cap + (1.0 - p_cap) * rho_base;
+        // Attempts the policy grants after the first capacity abort.
+        double cap_attempts = 1.0; // kGiveUp: bail immediately
+        switch (config.cm.capacityPolicy) {
+          case CapacityPolicy::kDecrease:
+            cap_attempts = budget;
+            break;
+          case CapacityPolicy::kHalve:
+            cap_attempts = std::ceil(std::log2(budget + 1));
+            break;
+          default:
+            break;
+        }
+        // Conflict aborts are transient: all `budget` retries are
+        // available, fallback only if all fail.
+        const double p_conf_fb = std::pow(p_abort, budget);
+        // Expected attempts burned on transient conflicts (truncated
+        // geometric): sum_{k=0..b-1} p^k, minus the successful one.
+        const double attempts_conf =
+            (1.0 - p_conf_fb) / std::max(1e-9, 1.0 - p_abort);
+        const double wasted_conf =
+            std::max(0.0, attempts_conf - (1.0 - p_conf_fb));
+
+        // Capacity: fall back only if all granted attempts re-abort.
+        const double p_cap_fb =
+            p_cap * std::pow(rho, std::max(0.0, cap_attempts - 1.0));
+        const double wasted_cap =
+            p_cap * std::min(cap_attempts,
+                             (1.0 - std::pow(rho, cap_attempts)) /
+                                 std::max(1e-9, 1.0 - rho));
+
+        fallback_frac =
+            std::min(1.0, p_cap_fb + (1.0 - p_cap_fb) * p_conf_fb +
+                              f.irrevocableFraction);
+        hw_wasted_attempts = wasted_cap + (1.0 - p_cap) * wasted_conf;
+        // The HTM path derives its waste from budgets, not from the
+        // STM retry model computed above.
+        waste_upd = hw_wasted_attempts * (tx_upd + commit_upd) *
+                    f.abortWasteFactor;
+        // Plus collateral: a fallback acquisition dooms every
+        // speculating sibling (the emulated coherence kill).
+        waste_upd += fallback_frac * (n - 1) * 0.3 * tx_upd;
+    }
+
+    // ---- Average cycles per committed transaction -------------------
+    // Successful-path cost first; waste applies to *every* committed
+    // transaction regardless of which path finally commits it.
+    double cycles_upd = tx_upd + commit_upd;
+    double cycles_ro = tx_ro + commit_ro;
+    if (is_htm && fallback_frac > 0.0) {
+        // Fallback txs run uninstrumented but irrevocably.
+        const BackendCosts gl = costsFor(BackendKind::kGlobalLock);
+        fb_cycles = gl.beginCost + f.txLocalWorkCycles * cpi +
+                    (reads * gl.perRead + writes * gl.perWrite) * cpi;
+        cycles_upd = (1.0 - fallback_frac) * cycles_upd +
+                     fallback_frac * fb_cycles;
+    }
+    cycles_upd += waste_upd;
+    const double cycles_avg = u * cycles_upd + (1.0 - u) * cycles_ro +
+                              f.nonTxWorkCycles * cpi;
+
+    // ---- Parallel throughput bound ----------------------------------
+    const double eff_cores =
+        machine_.effectiveCores(n) *
+        (1.0 - 0.5 * f.threadImbalance * (1.0 - 1.0 / n));
+    const double parallel_tps = eff_cores * clock_hz / cycles_avg;
+
+    // ---- Serialization bounds ---------------------------------------
+    double tps = parallel_tps;
+    if (bc.wholeTxSerialized) {
+        const double serial_cycles =
+            cycles_avg * (1.0 + 0.06 * (n - 1) * coherence);
+        tps = std::min(tps, clock_hz / serial_cycles);
+    }
+    if (bc.commitSerialized && u > 0) {
+        // One writer commit at a time (NOrec/Hybrid seqlock).
+        const double commit_section = commit_upd;
+        tps = std::min(tps, clock_hz / (commit_section * u));
+    }
+    if (is_htm && fallback_frac > 0) {
+        // Fallback lock holders serialize whole transactions; the
+        // serial section per *committed tx overall* is the fallback
+        // fraction times one full lock-held transaction.
+        const double fb_section = fb_cycles * fallback_frac * u;
+        if (fb_section > 0)
+            tps = std::min(tps, clock_hz / fb_section);
+    }
+    if (!bc.wholeTxSerialized && !bc.commitSerialized && !is_htm && u > 0) {
+        // Timestamp-based STMs still tick one global clock per writer.
+        const double tick = 18.0 * coherence;
+        tps = std::min(tps, clock_hz / (tick * u));
+    }
+
+    return tps;
+}
+
+double
+PerfModel::noiseFactor(const Workload &workload, const TmConfig &config,
+                       KpiKind kind) const
+{
+    if (noiseSigma_ <= 0)
+        return 1.0;
+    std::uint64_t h = seed_;
+    for (const char ch : workload.name)
+        h = h * 1099511628211ull ^ static_cast<std::uint64_t>(ch);
+    h = h * 1099511628211ull ^ static_cast<std::uint64_t>(config.backend);
+    h = h * 1099511628211ull ^ static_cast<std::uint64_t>(config.threads);
+    h = h * 1099511628211ull ^
+        static_cast<std::uint64_t>(config.cm.htmBudget);
+    h = h * 1099511628211ull ^
+        static_cast<std::uint64_t>(config.cm.capacityPolicy);
+    h = h * 1099511628211ull ^ static_cast<std::uint64_t>(kind);
+    Rng rng(h);
+    return std::exp(noiseSigma_ * rng.nextGaussian());
+}
+
+double
+PerfModel::kpi(const Workload &workload, const TmConfig &config,
+               KpiKind kind, bool noisy) const
+{
+    const double tps = throughputTps(workload.features, config);
+    double value = 0.0;
+    switch (kind) {
+      case KpiKind::kThroughput:
+        value = tps;
+        break;
+      case KpiKind::kExecTime:
+        value = kBatchTxs / tps;
+        break;
+      case KpiKind::kEdp: {
+        const double seconds = kBatchTxs / tps;
+        value = machine_.power.edp(seconds, config.threads);
+        break;
+      }
+    }
+    return noisy ? value * noiseFactor(workload, config, kind) : value;
+}
+
+std::vector<double>
+PerfModel::kpiRow(const Workload &workload,
+                  const polytm::ConfigSpace &space, KpiKind kind,
+                  bool noisy) const
+{
+    std::vector<double> row;
+    row.reserve(space.size());
+    for (const auto &config : space.all())
+        row.push_back(kpi(workload, config, kind, noisy));
+    return row;
+}
+
+} // namespace proteus::simarch

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Analytical TM performance model (the many-core testbed substitute).
+ *
+ * Maps (workload features, TM configuration) -> KPI on a MachineModel.
+ * The model is intentionally *qualitative*: it reproduces the shapes
+ * the paper's evaluation rests on —
+ *  - STMs pay per-access instrumentation, HTM does not (dual paths);
+ *  - NOrec serializes writer commits (wins small, collapses large);
+ *  - TL2/TinySTM/SwissTM scale but pay validation and clock traffic;
+ *  - best-effort HTM dies on capacity and falls back to a global lock,
+ *    governed by the retry budget and the capacity policy;
+ *  - cross-socket (Machine B) coherence multiplies conflict costs;
+ *  - EDP optima sit at lower thread counts than throughput optima.
+ *
+ * Absolute numbers are not calibrated to the authors' testbed
+ * (DESIGN.md §2 and §7).
+ */
+
+#ifndef PROTEUS_SIMARCH_PERF_MODEL_HPP
+#define PROTEUS_SIMARCH_PERF_MODEL_HPP
+
+#include <vector>
+
+#include "polytm/config.hpp"
+#include "polytm/kpi.hpp"
+#include "simarch/machine.hpp"
+#include "simarch/workload_model.hpp"
+
+namespace proteus::simarch {
+
+/** Per-backend cost profile (cycles), see perf_model.cpp for values. */
+struct BackendCosts
+{
+    double beginCost = 30;
+    double perRead = 15;
+    double perWrite = 15;
+    double commitBase = 80;
+    double commitPerWrite = 12;
+    double commitPerReadValidate = 4;
+    /** Writer commits serialize on one global word (NOrec). */
+    bool commitSerialized = false;
+    /** The whole transaction serializes (global lock). */
+    bool wholeTxSerialized = false;
+    /** Conflicts detected at encounter time (less wasted work). */
+    bool eagerConflicts = false;
+    /** Sensitivity of conflict rate (NOrec's value revalidation makes
+     *  it more writer-sensitive; eager locking slightly less). */
+    double conflictSensitivity = 1.0;
+};
+
+class PerfModel
+{
+  public:
+    /**
+     * @param machine      simulated machine
+     * @param noise_sigma  lognormal measurement-noise sigma
+     * @param seed         noise stream seed
+     */
+    explicit PerfModel(MachineModel machine, double noise_sigma = 0.03,
+                       std::uint64_t seed = 0xbeefcafe);
+
+    const MachineModel &machine() const { return machine_; }
+
+    /**
+     * The target KPI for one (workload, configuration) pair.
+     * Throughput is tx/s (maximize); exec-time is seconds for a fixed
+     * batch (minimize); EDP is J*s for that batch (minimize).
+     */
+    double kpi(const Workload &workload, const polytm::TmConfig &config,
+               polytm::KpiKind kind, bool noisy = true) const;
+
+    /** One full Utility-Matrix row over a configuration space. */
+    std::vector<double> kpiRow(const Workload &workload,
+                               const polytm::ConfigSpace &space,
+                               polytm::KpiKind kind,
+                               bool noisy = true) const;
+
+    /** Noise-free steady-state throughput (tx/s). */
+    double throughputTps(const WorkloadFeatures &f,
+                         const polytm::TmConfig &config) const;
+
+    /** Transactions in the fixed batch used by time/EDP KPIs. */
+    static constexpr double kBatchTxs = 1e6;
+
+    /** Cost profile used for a backend (exposed for ablation benches). */
+    static BackendCosts costsFor(tm::BackendKind kind);
+
+  private:
+    /** Deterministic noise factor for a (workload, config, kpi) key. */
+    double noiseFactor(const Workload &workload,
+                       const polytm::TmConfig &config,
+                       polytm::KpiKind kind) const;
+
+    MachineModel machine_;
+    double noiseSigma_;
+    std::uint64_t seed_;
+};
+
+} // namespace proteus::simarch
+
+#endif // PROTEUS_SIMARCH_PERF_MODEL_HPP

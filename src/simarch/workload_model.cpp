@@ -1,0 +1,394 @@
+#include "simarch/workload_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace proteus::simarch {
+
+std::array<double, kNumFeatures>
+WorkloadFeatures::toVector() const
+{
+    return {readsPerTx,        writesPerTx,     txLocalWorkCycles,
+            nonTxWorkCycles,   updateTxFraction, hotspotSkew,
+            workingSetLines,   txSizeCv,        conflictDensity,
+            cacheLocality,     pointerChaseDepth, rmwFraction,
+            abortWasteFactor,  irrevocableFraction, memFootprintMb,
+            threadImbalance,   burstiness};
+}
+
+const std::array<std::string, kNumFeatures> &
+WorkloadFeatures::featureNames()
+{
+    static const std::array<std::string, kNumFeatures> names = {
+        "reads_per_tx",      "writes_per_tx",    "tx_local_cycles",
+        "non_tx_cycles",     "update_fraction",  "hotspot_skew",
+        "working_set_lines", "tx_size_cv",       "conflict_density",
+        "cache_locality",    "pointer_chase",    "rmw_fraction",
+        "abort_waste",       "irrevocable_frac", "mem_footprint_mb",
+        "thread_imbalance",  "burstiness"};
+    return names;
+}
+
+namespace presets {
+
+namespace {
+
+Workload
+make(std::string name, WorkloadFeatures f)
+{
+    return Workload{std::move(name), f};
+}
+
+} // namespace
+
+Workload
+genome()
+{
+    WorkloadFeatures f;
+    f.readsPerTx = 60;
+    f.writesPerTx = 6;
+    f.txLocalWorkCycles = 800;
+    f.nonTxWorkCycles = 400;
+    f.updateTxFraction = 0.6;
+    f.hotspotSkew = 0.1;
+    f.workingSetLines = 4e5;
+    f.txSizeCv = 0.5;
+    f.conflictDensity = 0.4;
+    f.cacheLocality = 0.6;
+    f.pointerChaseDepth = 3;
+    f.irrevocableFraction = 0.12; // allocation/page-fault heavy phases
+    return make("genome", f);
+}
+
+Workload
+intruder()
+{
+    WorkloadFeatures f;
+    f.readsPerTx = 25;
+    f.writesPerTx = 8;
+    f.txLocalWorkCycles = 150;
+    f.nonTxWorkCycles = 60;
+    f.updateTxFraction = 0.9;
+    f.hotspotSkew = 0.6;
+    f.workingSetLines = 5e4;
+    f.txSizeCv = 0.8;
+    f.conflictDensity = 3.0;
+    f.cacheLocality = 0.7;
+    f.pointerChaseDepth = 5;
+    return make("intruder", f);
+}
+
+Workload
+kmeans()
+{
+    WorkloadFeatures f;
+    f.readsPerTx = 8;
+    f.writesPerTx = 4;
+    f.txLocalWorkCycles = 400;
+    f.nonTxWorkCycles = 1500;
+    f.updateTxFraction = 1.0;
+    f.hotspotSkew = 0.3;
+    f.workingSetLines = 2e4;
+    f.txSizeCv = 0.1;
+    f.conflictDensity = 0.6;
+    f.cacheLocality = 0.9;
+    f.pointerChaseDepth = 1;
+    return make("kmeans", f);
+}
+
+Workload
+labyrinth()
+{
+    WorkloadFeatures f;
+    f.readsPerTx = 1800;
+    f.writesPerTx = 700; // routes a whole path: far over HTM capacity
+    f.txLocalWorkCycles = 30000;
+    f.nonTxWorkCycles = 500;
+    f.updateTxFraction = 1.0;
+    f.hotspotSkew = 0.05;
+    f.workingSetLines = 8e5;
+    f.txSizeCv = 0.4;
+    f.conflictDensity = 0.02; // paths rarely overlap on a huge grid
+    f.cacheLocality = 0.5;
+    f.pointerChaseDepth = 2;
+    f.abortWasteFactor = 0.9; // long txs lose almost everything
+    return make("labyrinth", f);
+}
+
+Workload
+ssca2()
+{
+    WorkloadFeatures f;
+    f.readsPerTx = 4;
+    f.writesPerTx = 2;
+    f.txLocalWorkCycles = 80;
+    f.nonTxWorkCycles = 300;
+    f.updateTxFraction = 1.0;
+    f.hotspotSkew = 0.05;
+    f.workingSetLines = 2e6;
+    f.txSizeCv = 0.1;
+    f.conflictDensity = 0.1;
+    f.cacheLocality = 0.3; // graph scatter
+    f.pointerChaseDepth = 2;
+    return make("ssca2", f);
+}
+
+Workload
+vacation()
+{
+    WorkloadFeatures f;
+    f.readsPerTx = 80;
+    f.writesPerTx = 10;
+    f.txLocalWorkCycles = 600;
+    f.nonTxWorkCycles = 150;
+    f.updateTxFraction = 0.8;
+    f.hotspotSkew = 0.3;
+    f.workingSetLines = 3e5;
+    f.txSizeCv = 0.4;
+    f.conflictDensity = 0.7;
+    f.cacheLocality = 0.6;
+    f.pointerChaseDepth = 6; // tree traversals
+    return make("vacation", f);
+}
+
+Workload
+yada()
+{
+    WorkloadFeatures f;
+    f.readsPerTx = 300;
+    f.writesPerTx = 90;
+    f.txLocalWorkCycles = 6000;
+    f.nonTxWorkCycles = 400;
+    f.updateTxFraction = 1.0;
+    f.hotspotSkew = 0.2;
+    f.workingSetLines = 4e5;
+    f.txSizeCv = 0.7;
+    f.conflictDensity = 1.5;
+    f.cacheLocality = 0.5;
+    f.pointerChaseDepth = 4;
+    f.abortWasteFactor = 0.8;
+    return make("yada", f);
+}
+
+Workload
+bayes()
+{
+    WorkloadFeatures f;
+    f.readsPerTx = 900;
+    f.writesPerTx = 120;
+    f.txLocalWorkCycles = 20000;
+    f.nonTxWorkCycles = 800;
+    f.updateTxFraction = 1.0;
+    f.hotspotSkew = 0.4;
+    f.workingSetLines = 2e5;
+    f.txSizeCv = 1.5; // hugely variable transactions
+    f.conflictDensity = 2.0;
+    f.cacheLocality = 0.5;
+    f.pointerChaseDepth = 5;
+    f.abortWasteFactor = 0.9;
+    f.irrevocableFraction = 0.05;
+    return make("bayes", f);
+}
+
+Workload
+redBlackTree()
+{
+    WorkloadFeatures f;
+    f.readsPerTx = 30; // root-to-leaf search
+    f.writesPerTx = 3;
+    f.txLocalWorkCycles = 120;
+    f.nonTxWorkCycles = 50;
+    f.updateTxFraction = 0.3;
+    f.hotspotSkew = 0.15; // root is shared but rarely written
+    f.workingSetLines = 1e5;
+    f.txSizeCv = 0.2;
+    f.conflictDensity = 0.5;
+    f.cacheLocality = 0.55;
+    f.pointerChaseDepth = 15;
+    return make("rbt", f);
+}
+
+Workload
+skipList()
+{
+    WorkloadFeatures f;
+    f.readsPerTx = 40;
+    f.writesPerTx = 4;
+    f.txLocalWorkCycles = 140;
+    f.nonTxWorkCycles = 50;
+    f.updateTxFraction = 0.3;
+    f.hotspotSkew = 0.1;
+    f.workingSetLines = 1e5;
+    f.txSizeCv = 0.4;
+    f.conflictDensity = 0.4;
+    f.cacheLocality = 0.5;
+    f.pointerChaseDepth = 12;
+    return make("skiplist", f);
+}
+
+Workload
+linkedList()
+{
+    WorkloadFeatures f;
+    f.readsPerTx = 250; // O(n) scans: giant read sets
+    f.writesPerTx = 2;
+    f.txLocalWorkCycles = 500;
+    f.nonTxWorkCycles = 40;
+    f.updateTxFraction = 0.2;
+    f.hotspotSkew = 0.05;
+    f.workingSetLines = 2e4;
+    f.txSizeCv = 0.6;
+    f.conflictDensity = 2.5; // every scan overlaps every writer
+    f.cacheLocality = 0.6;
+    f.pointerChaseDepth = 100;
+    return make("linkedlist", f);
+}
+
+Workload
+hashMap()
+{
+    WorkloadFeatures f;
+    f.readsPerTx = 5;
+    f.writesPerTx = 2;
+    f.txLocalWorkCycles = 60;
+    f.nonTxWorkCycles = 40;
+    f.updateTxFraction = 0.3;
+    f.hotspotSkew = 0.05;
+    f.workingSetLines = 3e5;
+    f.txSizeCv = 0.1;
+    f.conflictDensity = 0.05; // hashing spreads accesses
+    f.cacheLocality = 0.7;
+    f.pointerChaseDepth = 2;
+    return make("hashmap", f);
+}
+
+Workload
+stmbench7()
+{
+    WorkloadFeatures f;
+    f.readsPerTx = 400;
+    f.writesPerTx = 40;
+    f.txLocalWorkCycles = 5000;
+    f.nonTxWorkCycles = 300;
+    f.updateTxFraction = 0.45;
+    f.hotspotSkew = 0.5; // shared object-graph roots
+    f.workingSetLines = 1e6;
+    f.txSizeCv = 1.2; // short traversals + long structural ops
+    f.conflictDensity = 1.2;
+    f.cacheLocality = 0.45;
+    f.pointerChaseDepth = 20;
+    f.memFootprintMb = 200;
+    return make("stmbench7", f);
+}
+
+Workload
+tpcc()
+{
+    WorkloadFeatures f;
+    f.readsPerTx = 200;
+    f.writesPerTx = 60; // new-order touches many rows
+    f.txLocalWorkCycles = 4000;
+    f.nonTxWorkCycles = 200;
+    f.updateTxFraction = 0.92;
+    f.hotspotSkew = 0.55; // warehouse rows
+    f.workingSetLines = 6e5;
+    f.txSizeCv = 0.6;
+    f.conflictDensity = 1.4;
+    f.cacheLocality = 0.55;
+    f.pointerChaseDepth = 8;
+    f.memFootprintMb = 400;
+    return make("tpcc", f);
+}
+
+Workload
+memcached()
+{
+    WorkloadFeatures f;
+    f.readsPerTx = 6;
+    f.writesPerTx = 2; // get/put on a hash table
+    f.txLocalWorkCycles = 40;
+    f.nonTxWorkCycles = 250; // network-ish per-request work
+    f.updateTxFraction = 0.15;
+    f.hotspotSkew = 0.4; // popular keys
+    f.workingSetLines = 8e5;
+    f.txSizeCv = 0.2;
+    f.conflictDensity = 0.15;
+    f.cacheLocality = 0.6;
+    f.pointerChaseDepth = 2;
+    f.memFootprintMb = 1024;
+    return make("memcached", f);
+}
+
+std::vector<Workload>
+all()
+{
+    return {genome(),       intruder(),  kmeans(),    labyrinth(),
+            ssca2(),        vacation(),  yada(),      bayes(),
+            redBlackTree(), skipList(),  linkedList(), hashMap(),
+            stmbench7(),    tpcc(),      memcached()};
+}
+
+} // namespace presets
+
+namespace {
+
+double
+jitterMul(Rng &rng, double value, double rel)
+{
+    // Log-uniform multiplicative jitter in [1/(1+rel), (1+rel)].
+    const double f = std::exp(rng.uniform(-std::log1p(rel),
+                                          std::log1p(rel)));
+    return value * f;
+}
+
+double
+clamp01(double x)
+{
+    return std::clamp(x, 0.0, 1.0);
+}
+
+} // namespace
+
+std::vector<Workload>
+WorkloadCorpus::generate(int variants_per_preset, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Workload> out;
+    const auto base = presets::all();
+    out.reserve(base.size() * static_cast<std::size_t>(variants_per_preset));
+
+    for (const Workload &preset : base) {
+        for (int v = 0; v < variants_per_preset; ++v) {
+            Workload w = preset;
+            w.name = preset.name + "#" + std::to_string(v);
+            WorkloadFeatures &f = w.features;
+            if (v > 0) { // variant 0 is the pristine preset
+                f.readsPerTx = std::max(1.0, jitterMul(rng, f.readsPerTx, 0.8));
+                f.writesPerTx =
+                    std::max(0.5, jitterMul(rng, f.writesPerTx, 0.8));
+                f.txLocalWorkCycles =
+                    jitterMul(rng, f.txLocalWorkCycles, 0.6);
+                f.nonTxWorkCycles = jitterMul(rng, f.nonTxWorkCycles, 0.8);
+                f.updateTxFraction =
+                    clamp01(f.updateTxFraction * rng.uniform(0.4, 1.6));
+                f.hotspotSkew = clamp01(f.hotspotSkew + rng.uniform(-.15, .25));
+                f.workingSetLines =
+                    std::max(1e3, jitterMul(rng, f.workingSetLines, 1.5));
+                f.txSizeCv = std::max(0.05, jitterMul(rng, f.txSizeCv, 0.5));
+                f.conflictDensity =
+                    std::max(0.01, jitterMul(rng, f.conflictDensity, 1.0));
+                f.cacheLocality =
+                    clamp01(f.cacheLocality + rng.uniform(-0.15, 0.15));
+                f.pointerChaseDepth =
+                    std::max(1.0, jitterMul(rng, f.pointerChaseDepth, 0.5));
+                f.abortWasteFactor =
+                    std::clamp(jitterMul(rng, f.abortWasteFactor, 0.3),
+                               0.2, 1.0);
+            }
+            out.push_back(std::move(w));
+        }
+    }
+    return out;
+}
+
+} // namespace proteus::simarch

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Workload descriptors for the analytical performance model.
+ *
+ * A WorkloadFeatures vector plays two roles:
+ *  1. it drives PerfModel (what the simulated machine executes);
+ *  2. its 17 entries are the workload-characterization features the
+ *     ML baselines of Fig. 7 train on (Wang et al. use 17 features of
+ *     the same nature: tx duration, access patterns, contention...).
+ *
+ * Presets cover the paper's 15 applications (Table 1): 8 STAMP
+ * benchmarks, 4 data structures, STMBench7, TPC-C and Memcached.
+ * WorkloadCorpus jitters the presets into the >300-workload population
+ * used by the learning experiments (§6.3).
+ */
+
+#ifndef PROTEUS_SIMARCH_WORKLOAD_MODEL_HPP
+#define PROTEUS_SIMARCH_WORKLOAD_MODEL_HPP
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace proteus::simarch {
+
+/** Number of characterization features (matches Wang et al.'s 17). */
+constexpr std::size_t kNumFeatures = 17;
+
+struct WorkloadFeatures
+{
+    double readsPerTx = 20;        //!< mean transactional reads
+    double writesPerTx = 4;        //!< mean transactional writes
+    double txLocalWorkCycles = 200;  //!< non-TM cycles inside a tx
+    double nonTxWorkCycles = 100;    //!< cycles between transactions
+    double updateTxFraction = 0.5; //!< fraction of txs that write
+    double hotspotSkew = 0.2;      //!< zipf skew of data accesses [0,1)
+    double workingSetLines = 1e5;  //!< distinct cache lines touched
+    double txSizeCv = 0.3;         //!< coeff. of variation of tx size
+    double conflictDensity = 1.0;  //!< overlap scale between txs
+    double cacheLocality = 0.8;    //!< [0,1] fraction of near hits
+    double pointerChaseDepth = 4;  //!< dependent-load chain length
+    double rmwFraction = 0.7;      //!< writes preceded by a read
+    double abortWasteFactor = 0.6; //!< tx work lost per abort [0,1]
+    double irrevocableFraction = 0;//!< txs that must run fallback
+    double memFootprintMb = 16;    //!< resident data size
+    double threadImbalance = 0;    //!< [0,1] work skew across threads
+    double burstiness = 0;         //!< [0,1] arrival irregularity
+
+    /** Dense vector form (ML baselines, Fig. 7). */
+    std::array<double, kNumFeatures> toVector() const;
+
+    /** Feature names aligned with toVector(). */
+    static const std::array<std::string, kNumFeatures> &featureNames();
+};
+
+/** A named workload: an application preset + parameter variation. */
+struct Workload
+{
+    std::string name;
+    WorkloadFeatures features;
+};
+
+/** The paper's 15 applications as feature presets. */
+namespace presets {
+
+Workload genome();     //!< STAMP: long mildly-conflicting txs
+Workload intruder();   //!< STAMP: short txs, high contention
+Workload kmeans();     //!< STAMP: tiny txs, low contention
+Workload labyrinth();  //!< STAMP: huge txs (HTM-hostile)
+Workload ssca2();      //!< STAMP: tiny txs, large working set
+Workload vacation();   //!< STAMP: mid txs, moderate contention
+Workload yada();       //!< STAMP: long txs, moderate contention
+Workload bayes();      //!< STAMP: very long txs, high variance
+Workload redBlackTree();
+Workload skipList();
+Workload linkedList(); //!< long read chains, high conflict density
+Workload hashMap();    //!< short txs, near-zero conflicts
+Workload stmbench7();  //!< large object graph, heterogeneous txs
+Workload tpcc();       //!< OLTP: long update transactions
+Workload memcached();  //!< very short cache get/put txs
+
+/** All 15 presets in a stable order. */
+std::vector<Workload> all();
+
+} // namespace presets
+
+/**
+ * Generates the >300-workload population: every preset is replicated
+ * with jittered parameters (update ratios, skew, working-set size...),
+ * emulating the paper's "over 300 workloads ... from highly to poorly
+ * scalable, from HTM to STM friendly".
+ */
+class WorkloadCorpus
+{
+  public:
+    /**
+     * @param variants_per_preset  how many jittered copies per preset
+     * @param seed                 corpus RNG seed (reproducible)
+     */
+    static std::vector<Workload> generate(int variants_per_preset,
+                                          std::uint64_t seed);
+};
+
+} // namespace proteus::simarch
+
+#endif // PROTEUS_SIMARCH_WORKLOAD_MODEL_HPP

@@ -1,0 +1,28 @@
+#include "tm/backend.hpp"
+
+#include <thread>
+
+namespace proteus::tm {
+
+void
+backoffOnAbort(TxDesc &tx)
+{
+    // Cap the exponent so the wait stays bounded (~8k spins max).
+    const unsigned exponent = tx.consecutiveAborts < 13
+        ? tx.consecutiveAborts : 13u;
+    const std::uint64_t max_spins = std::uint64_t{1} << exponent;
+    const std::uint64_t spins = tx.rng.nextBounded(max_spins) + 1;
+    for (std::uint64_t i = 0; i < spins; ++i) {
+#if defined(__x86_64__)
+        __builtin_ia32_pause();
+#else
+        std::this_thread::yield();
+#endif
+    }
+    // On a single-core host an oversubscribed conflicting thread only
+    // progresses if we actually yield occasionally.
+    if (tx.consecutiveAborts > 4)
+        std::this_thread::yield();
+}
+
+} // namespace proteus::tm

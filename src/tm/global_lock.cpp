@@ -1,0 +1,80 @@
+#include "tm/global_lock.hpp"
+
+#include <thread>
+
+namespace proteus::tm {
+
+void
+SpinLock::lock()
+{
+    for (unsigned spins = 0; ; ++spins) {
+        if (!flag_.load(std::memory_order_relaxed) &&
+            !flag_.exchange(true, std::memory_order_acquire)) {
+            return;
+        }
+#if defined(__x86_64__)
+        __builtin_ia32_pause();
+#endif
+        if ((spins & 0x3f) == 0x3f)
+            std::this_thread::yield();
+    }
+}
+
+bool
+SpinLock::tryLock()
+{
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+}
+
+void
+SpinLock::unlock()
+{
+    flag_.store(false, std::memory_order_release);
+}
+
+void
+GlobalLockTm::txBegin(TxDesc &tx)
+{
+    tx.beginAttempt();
+    lock_.lock();
+    tx.inFallback = true; // marks "holding the global lock"
+}
+
+std::uint64_t
+GlobalLockTm::txRead(TxDesc &, const std::uint64_t *addr)
+{
+    return *addr;
+}
+
+void
+GlobalLockTm::txWrite(TxDesc &, std::uint64_t *addr, std::uint64_t value)
+{
+    *addr = value;
+}
+
+void
+GlobalLockTm::txCommit(TxDesc &tx)
+{
+    tx.inFallback = false;
+    lock_.unlock();
+}
+
+void
+GlobalLockTm::rollback(TxDesc &tx)
+{
+    // Only reachable via an (illegal) explicit abort; writes were in
+    // place, so all we can do is release. The public API forbids
+    // tx.retry() in irrevocable mode before getting here.
+    if (tx.inFallback) {
+        tx.inFallback = false;
+        lock_.unlock();
+    }
+}
+
+void
+GlobalLockTm::reset()
+{
+}
+
+} // namespace proteus::tm

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Single-global-lock "TM": every transaction is irrevocable and
+ * serialized. The degenerate baseline (and the Sequential comparator
+ * of Fig. 8 when run with one thread).
+ */
+
+#ifndef PROTEUS_TM_GLOBAL_LOCK_HPP
+#define PROTEUS_TM_GLOBAL_LOCK_HPP
+
+#include <atomic>
+
+#include "common/cacheline.hpp"
+#include "tm/backend.hpp"
+
+namespace proteus::tm {
+
+/** Test-and-test-and-set spinlock padded to a cache line. */
+class alignas(kCacheLineSize) SpinLock
+{
+  public:
+    void lock();
+    bool tryLock();
+    void unlock();
+    bool lockedNow() const
+    {
+        return flag_.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::atomic<bool> flag_{false};
+};
+
+/** Global-lock backend; never aborts, never revocable. */
+class GlobalLockTm : public TmBackend
+{
+  public:
+    BackendKind kind() const override { return BackendKind::kGlobalLock; }
+
+    void txBegin(TxDesc &tx) override;
+    std::uint64_t txRead(TxDesc &tx, const std::uint64_t *addr) override;
+    void txWrite(TxDesc &tx, std::uint64_t *addr,
+                 std::uint64_t value) override;
+    void txCommit(TxDesc &tx) override;
+    void rollback(TxDesc &tx) override;
+    void reset() override;
+    bool revocable(const TxDesc &) const override { return false; }
+
+  private:
+    SpinLock lock_;
+};
+
+} // namespace proteus::tm
+
+#endif // PROTEUS_TM_GLOBAL_LOCK_HPP

@@ -1,0 +1,130 @@
+#include "tm/hybrid_norec.hpp"
+
+#include <thread>
+
+namespace proteus::tm {
+
+namespace {
+
+void
+cpuRelax()
+{
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+}
+
+} // namespace
+
+HybridNorecTm::HybridNorecTm(SimHtmConfig config, unsigned log2_stripes)
+    : SimHtm(config, log2_stripes)
+{
+}
+
+void
+HybridNorecTm::txBegin(TxDesc &tx)
+{
+    tx.beginAttempt();
+    if (tx.htmBudgetLeft <= 0) {
+        // Software path (NOrec). inHtm stays false.
+        norec_.txBegin(tx);
+        return;
+    }
+    // Hardware path: subscribe to the seqlock (begin only when even).
+    for (;;) {
+        const std::uint64_t s = norec_.seqNow();
+        if ((s & 1) == 0) {
+            tx.seqSnapshot = s;
+            break;
+        }
+        cpuRelax();
+    }
+    tx.inHtm = true;
+    ThreadSlot &slot = slots_[tx.tid];
+    slot.readLines = 0;
+    slot.signature.clear();
+}
+
+std::uint64_t
+HybridNorecTm::txRead(TxDesc &tx, const std::uint64_t *addr)
+{
+    if (tx.inHtm)
+        return hwRead(tx, addr);
+    return norec_.txRead(tx, addr);
+}
+
+void
+HybridNorecTm::txWrite(TxDesc &tx, std::uint64_t *addr, std::uint64_t value)
+{
+    if (tx.inHtm) {
+        hwWrite(tx, addr, value);
+        return;
+    }
+    norec_.txWrite(tx, addr, value);
+}
+
+void
+HybridNorecTm::txCommit(TxDesc &tx)
+{
+    if (!tx.inHtm) {
+        // Software commit: once the seqlock is ours, every speculating
+        // hardware tx must die before we write back (their subscribed
+        // seqlock moved). NOrec's own CAS loop acquires the lock; we
+        // re-implement its commit here to insert the doom step.
+        if (tx.writeSet.empty())
+            return;
+        std::uint64_t expected = tx.seqSnapshot;
+        while (!norec_.seq_->compare_exchange_strong(
+                   expected, expected + 1, std::memory_order_acq_rel)) {
+            tx.seqSnapshot = norec_.validate(tx);
+            expected = tx.seqSnapshot;
+        }
+        doomAllActive(tx.tid);
+        for (const WriteEntry &we : tx.writeSet.entries()) {
+            reinterpret_cast<std::atomic<std::uint64_t> *>(we.addr)->store(
+                we.value, std::memory_order_release);
+        }
+        norec_.seq_->store(tx.seqSnapshot + 2, std::memory_order_release);
+        return;
+    }
+
+    // Hardware commit.
+    checkDoomed(tx);
+    if (tx.writeSet.empty()) {
+        // Read-only hw tx: consistent iff no sw/hw writer committed
+        // since our snapshot (subscription check).
+        if (norec_.seqNow() != tx.seqSnapshot)
+            abortTx(tx, AbortCause::kValidation);
+        slots_[tx.tid].signature.clear();
+        tx.inHtm = false;
+        return;
+    }
+    std::uint64_t expected = tx.seqSnapshot;
+    if (!norec_.seq_->compare_exchange_strong(expected, expected + 1,
+                                              std::memory_order_acq_rel)) {
+        abortTx(tx, AbortCause::kValidation); // seq moved: subscription
+    }
+    hwWriteBackAndRelease(tx);
+    norec_.seq_->store(tx.seqSnapshot + 2, std::memory_order_release);
+}
+
+void
+HybridNorecTm::rollback(TxDesc &tx)
+{
+    if (tx.inHtm) {
+        SimHtm::rollback(tx);
+        return;
+    }
+    norec_.rollback(tx);
+}
+
+void
+HybridNorecTm::reset()
+{
+    SimHtm::reset();
+    norec_.reset();
+}
+
+} // namespace proteus::tm

@@ -1,0 +1,132 @@
+#include "tm/norec.hpp"
+
+#include <thread>
+
+namespace proteus::tm {
+
+namespace {
+
+std::uint64_t
+loadWord(const std::uint64_t *addr)
+{
+    return reinterpret_cast<const std::atomic<std::uint64_t> *>(addr)->load(
+        std::memory_order_acquire);
+}
+
+} // namespace
+
+void
+NorecTm::txBegin(TxDesc &tx)
+{
+    tx.beginAttempt();
+    // Wait until no writer is mid-commit, then snapshot.
+    unsigned spins = 0;
+    for (;;) {
+        const std::uint64_t s = seq_->load(std::memory_order_acquire);
+        if ((s & 1) == 0) {
+            tx.seqSnapshot = s;
+            return;
+        }
+#if defined(__x86_64__)
+        __builtin_ia32_pause();
+#endif
+        if ((++spins & 0x3f) == 0)
+            std::this_thread::yield();
+    }
+}
+
+std::uint64_t
+NorecTm::validate(TxDesc &tx)
+{
+    for (;;) {
+        std::uint64_t s = seq_->load(std::memory_order_acquire);
+        unsigned spins = 0;
+        while (s & 1) {
+#if defined(__x86_64__)
+            __builtin_ia32_pause();
+#endif
+            if ((++spins & 0x3f) == 0)
+                std::this_thread::yield();
+            s = seq_->load(std::memory_order_acquire);
+        }
+        bool ok = true;
+        for (const ReadEntry &re : tx.readSet) {
+            if (loadWord(re.addr) != re.value) {
+                ok = false;
+                break;
+            }
+        }
+        if (!ok)
+            abortTx(tx, AbortCause::kValidation);
+        // The validation pass is only meaningful if seq did not move
+        // while we scanned.
+        if (seq_->load(std::memory_order_acquire) == s)
+            return s;
+    }
+}
+
+std::uint64_t
+NorecTm::txRead(TxDesc &tx, const std::uint64_t *addr)
+{
+    if (!tx.writeSet.empty()) {
+        if (const WriteEntry *we = tx.writeSet.find(addr))
+            return we->value;
+    }
+
+    std::uint64_t value = loadWord(addr);
+    // If a writer committed since our snapshot, re-validate by value
+    // and move the snapshot forward (NOrec's incremental validation).
+    while (seq_->load(std::memory_order_acquire) != tx.seqSnapshot) {
+        tx.seqSnapshot = validate(tx);
+        value = loadWord(addr);
+    }
+
+    ReadEntry re;
+    re.addr = addr;
+    re.value = value;
+    tx.readSet.push_back(re);
+    return value;
+}
+
+void
+NorecTm::txWrite(TxDesc &tx, std::uint64_t *addr, std::uint64_t value)
+{
+    tx.writeSet.put(addr, value);
+}
+
+void
+NorecTm::txCommit(TxDesc &tx)
+{
+    if (tx.writeSet.empty())
+        return; // read set is consistent with seqSnapshot
+
+    // Acquire the sequence lock: CAS from our (even) snapshot to odd.
+    std::uint64_t expected = tx.seqSnapshot;
+    while (!seq_->compare_exchange_strong(expected, expected + 1,
+                                          std::memory_order_acq_rel)) {
+        // Someone committed since the snapshot: revalidate, which
+        // either refreshes the snapshot or aborts.
+        tx.seqSnapshot = validate(tx);
+        expected = tx.seqSnapshot;
+    }
+
+    for (const WriteEntry &we : tx.writeSet.entries()) {
+        reinterpret_cast<std::atomic<std::uint64_t> *>(we.addr)->store(
+            we.value, std::memory_order_release);
+    }
+    seq_->store(tx.seqSnapshot + 2, std::memory_order_release);
+}
+
+void
+NorecTm::rollback(TxDesc &)
+{
+    // Redo-log design: nothing to undo, no locks can be held here.
+}
+
+void
+NorecTm::reset()
+{
+    seq_->store(0, std::memory_order_relaxed);
+}
+
+} // namespace proteus::tm

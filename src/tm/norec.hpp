@@ -1,0 +1,57 @@
+/**
+ * @file
+ * NOrec (Dalessandro/Spear/Scott, PPoPP'10).
+ *
+ * No ownership records: a single global sequence lock orders writer
+ * commits, and readers validate *by value* whenever the sequence
+ * number moves. Extremely low metadata cost; writer commits are
+ * serialized, which is exactly the scalability cliff the paper's
+ * Fig. 1 exploits (NOrec wins at low thread counts / read-heavy
+ * workloads and collapses under many concurrent writers).
+ */
+
+#ifndef PROTEUS_TM_NOREC_HPP
+#define PROTEUS_TM_NOREC_HPP
+
+#include <atomic>
+
+#include "common/cacheline.hpp"
+#include "tm/backend.hpp"
+
+namespace proteus::tm {
+
+class NorecTm : public TmBackend
+{
+  public:
+    BackendKind kind() const override { return BackendKind::kNorec; }
+
+    void txBegin(TxDesc &tx) override;
+    std::uint64_t txRead(TxDesc &tx, const std::uint64_t *addr) override;
+    void txWrite(TxDesc &tx, std::uint64_t *addr,
+                 std::uint64_t value) override;
+    void txCommit(TxDesc &tx) override;
+    void rollback(TxDesc &tx) override;
+    void reset() override;
+
+    /** Current sequence-lock value (shared with HybridNorecTm). */
+    std::uint64_t seqNow() const
+    {
+        return seq_->load(std::memory_order_acquire);
+    }
+
+  private:
+    /**
+     * Value-validate the read set; returns the (even) sequence number
+     * the set is consistent with, or aborts.
+     */
+    std::uint64_t validate(TxDesc &tx);
+
+    friend class HybridNorecTm;
+
+    /** Even = unlocked; odd = a writer is committing. */
+    PaddedAtomicU64 seq_{};
+};
+
+} // namespace proteus::tm
+
+#endif // PROTEUS_TM_NOREC_HPP

@@ -1,0 +1,224 @@
+#include "tm/swisstm.hpp"
+
+#include <thread>
+
+namespace proteus::tm {
+
+namespace {
+
+std::uint64_t
+loadWord(const std::uint64_t *addr)
+{
+    return reinterpret_cast<const std::atomic<std::uint64_t> *>(addr)->load(
+        std::memory_order_acquire);
+}
+
+void
+cpuRelax()
+{
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+}
+
+} // namespace
+
+SwissTm::SwissTm(unsigned log2_orecs)
+    : rlocks_(log2_orecs), wlocks_(log2_orecs)
+{
+}
+
+void
+SwissTm::txBegin(TxDesc &tx)
+{
+    tx.beginAttempt();
+    tx.startTs = clock_.now();
+}
+
+bool
+SwissTm::readSetIntact(TxDesc &tx) const
+{
+    for (const ReadEntry &re : tx.readSet) {
+        const OrecWord now = re.orec->load();
+        if (now != re.word)
+            return false; // changed version, or mid-write-back
+    }
+    return true;
+}
+
+void
+SwissTm::extendOrAbort(TxDesc &tx)
+{
+    const std::uint64_t new_ts = clock_.now();
+    if (!readSetIntact(tx))
+        abortTx(tx, AbortCause::kValidation);
+    tx.startTs = new_ts;
+}
+
+std::uint64_t
+SwissTm::txRead(TxDesc &tx, const std::uint64_t *addr)
+{
+    if (!tx.writeSet.empty()) {
+        if (const WriteEntry *we = tx.writeSet.find(addr))
+            return we->value;
+    }
+
+    Orec &rlock = rlocks_.forAddr(addr);
+    unsigned spins = 0;
+    for (;;) {
+        const OrecWord pre = rlock.load();
+        if (pre.locked()) {
+            // A committer is writing this stripe back; wait it out
+            // (write-back is short, but the committer may need the
+            // CPU on an oversubscribed host).
+            cpuRelax();
+            if ((++spins & 0x3f) == 0)
+                std::this_thread::yield();
+            continue;
+        }
+        const std::uint64_t value = loadWord(addr);
+        const OrecWord post = rlock.load();
+        if (pre != post)
+            continue;
+        if (post.version() > tx.startTs) {
+            extendOrAbort(tx);
+            continue;
+        }
+        ReadEntry re;
+        re.addr = addr;
+        re.orec = &rlock;
+        re.word = post;
+        tx.readSet.push_back(re);
+        return value;
+    }
+}
+
+void
+SwissTm::txWrite(TxDesc &tx, std::uint64_t *addr, std::uint64_t value)
+{
+    Orec &wlock = wlocks_.forAddr(addr);
+    const auto tid = static_cast<std::uint64_t>(tx.tid);
+
+    unsigned spins = 0;
+    for (;;) {
+        const OrecWord seen = wlock.load();
+        if (seen.locked()) {
+            if (seen.owner() == tid) {
+                WriteEntry &we = tx.writeSet.put(addr, value);
+                we.orec = &rlocks_.forAddr(addr);
+                we.wlockOrec = &wlock;
+                return;
+            }
+            // Write/write conflict: bounded politeness, then suicide
+            // (stands in for SwissTM's two-phase contention manager).
+            if (++spins > kWriteLockSpins)
+                abortTx(tx, AbortCause::kConflict);
+            cpuRelax();
+            continue;
+        }
+        if (!wlock.tryLock(seen, tid))
+            continue;
+        WriteEntry &we = tx.writeSet.put(addr, value);
+        we.orec = &rlocks_.forAddr(addr);
+        we.wlockOrec = &wlock;
+        we.prevWord = seen; // pre-lock w-lock word (a version, unused)
+        we.holdsWlock = true;
+        return;
+    }
+}
+
+void
+SwissTm::txCommit(TxDesc &tx)
+{
+    if (tx.writeSet.empty())
+        return;
+
+    const auto tid = static_cast<std::uint64_t>(tx.tid);
+
+    // Phase 1: lock the r-locks of the write set (blocks new readers
+    // of those stripes for the duration of write-back).
+    for (WriteEntry &we : tx.writeSet.entries()) {
+        const OrecWord seen = we.orec->load();
+        if (seen.locked() && seen.owner() == tid)
+            continue; // stripe shared with an earlier entry
+        // We hold the w-lock, so no *other* committer can be mid
+        // write-back on this stripe; the r-lock must be unlocked.
+        if (!we.orec->tryLock(seen, tid))
+            abortTx(tx, AbortCause::kConflict);
+        we.prevWord = seen; // now: pre-lock *r-lock* word for rollback
+        we.holdsLock = true;
+    }
+
+    const std::uint64_t wv = clock_.tick();
+
+    // Phase 2: validate invisible reads (lazy read/write detection).
+    if (wv != tx.startTs + 1) {
+        for (const ReadEntry &re : tx.readSet) {
+            const OrecWord now = re.orec->load();
+            if (now == re.word)
+                continue;
+            if (now.locked() && now.owner() == tid) {
+                // We locked this stripe in phase 1; compare against
+                // its pre-lock word.
+                bool matches = false;
+                for (const WriteEntry &we : tx.writeSet.entries()) {
+                    if (we.orec == re.orec && we.holdsLock &&
+                        we.prevWord == re.word) {
+                        matches = true;
+                        break;
+                    }
+                }
+                if (matches)
+                    continue;
+            }
+            abortTx(tx, AbortCause::kValidation);
+        }
+    }
+
+    // Phase 3: write back, then publish version wv and drop both locks.
+    for (const WriteEntry &we : tx.writeSet.entries()) {
+        reinterpret_cast<std::atomic<std::uint64_t> *>(we.addr)->store(
+            we.value, std::memory_order_release);
+    }
+    for (WriteEntry &we : tx.writeSet.entries()) {
+        if (we.holdsLock) {
+            we.orec->releaseToVersion(wv);
+            we.holdsLock = false;
+        }
+    }
+    for (WriteEntry &we : tx.writeSet.entries()) {
+        if (we.holdsWlock) {
+            we.wlockOrec->releaseRestore(OrecWord{0});
+            we.holdsWlock = false;
+        }
+    }
+}
+
+void
+SwissTm::rollback(TxDesc &tx)
+{
+    for (WriteEntry &we : tx.writeSet.entries()) {
+        if (we.holdsLock) {
+            we.orec->releaseRestore(we.prevWord);
+            we.holdsLock = false;
+        }
+    }
+    for (WriteEntry &we : tx.writeSet.entries()) {
+        if (we.holdsWlock) {
+            we.wlockOrec->releaseRestore(OrecWord{0});
+            we.holdsWlock = false;
+        }
+    }
+}
+
+void
+SwissTm::reset()
+{
+    rlocks_.reset();
+    wlocks_.reset();
+    clock_.reset();
+}
+
+} // namespace proteus::tm

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * SwissTM (Dragojevic/Guerraoui/Kapalka, PLDI'09) — simplified but
+ * structurally faithful.
+ *
+ * Two lock words per stripe:
+ *  - the *write lock* is acquired at encounter time, so write/write
+ *    conflicts are detected eagerly (like TinySTM);
+ *  - the *read lock* carries the committed version and is only taken
+ *    during commit write-back, so read/write conflicts are detected
+ *    lazily (like TL2) and readers stay invisible.
+ *
+ * The original's two-phase contention manager is approximated with
+ * bounded spinning on write-lock conflicts before self-aborting;
+ * timestamp extension is kept.
+ */
+
+#ifndef PROTEUS_TM_SWISSTM_HPP
+#define PROTEUS_TM_SWISSTM_HPP
+
+#include "tm/backend.hpp"
+#include "tm/orec.hpp"
+
+namespace proteus::tm {
+
+class SwissTm : public TmBackend
+{
+  public:
+    explicit SwissTm(unsigned log2_orecs = 20);
+
+    BackendKind kind() const override { return BackendKind::kSwissTm; }
+
+    void txBegin(TxDesc &tx) override;
+    std::uint64_t txRead(TxDesc &tx, const std::uint64_t *addr) override;
+    void txWrite(TxDesc &tx, std::uint64_t *addr,
+                 std::uint64_t value) override;
+    void txCommit(TxDesc &tx) override;
+    void rollback(TxDesc &tx) override;
+    void reset() override;
+
+  private:
+    bool readSetIntact(TxDesc &tx) const;
+    void extendOrAbort(TxDesc &tx);
+
+    /** Spins a writer is allowed before self-aborting on a w-lock. */
+    static constexpr unsigned kWriteLockSpins = 128;
+
+    OrecTable rlocks_; //!< versions; locked only during write-back
+    OrecTable wlocks_; //!< encounter-time write ownership
+    GlobalClock clock_;
+};
+
+} // namespace proteus::tm
+
+#endif // PROTEUS_TM_SWISSTM_HPP

@@ -1,0 +1,173 @@
+#include "tm/tinystm.hpp"
+
+namespace proteus::tm {
+
+namespace {
+
+std::uint64_t
+loadWord(const std::uint64_t *addr)
+{
+    return reinterpret_cast<const std::atomic<std::uint64_t> *>(addr)->load(
+        std::memory_order_acquire);
+}
+
+} // namespace
+
+TinyStmTm::TinyStmTm(unsigned log2_orecs) : orecs_(log2_orecs)
+{
+}
+
+void
+TinyStmTm::txBegin(TxDesc &tx)
+{
+    tx.beginAttempt();
+    tx.startTs = clock_.now();
+}
+
+bool
+TinyStmTm::readSetIntact(TxDesc &tx) const
+{
+    const auto tid = static_cast<std::uint64_t>(tx.tid);
+    for (const ReadEntry &re : tx.readSet) {
+        const OrecWord now = re.orec->load();
+        if (now == re.word)
+            continue;
+        // Acceptable change: we locked the stripe after reading it,
+        // and the pre-lock word matches what the read observed.
+        if (now.locked() && now.owner() == tid) {
+            bool matches_our_lock = false;
+            for (const WriteEntry &we : tx.writeSet.entries()) {
+                if (we.orec == re.orec && we.holdsLock &&
+                    we.prevWord == re.word) {
+                    matches_our_lock = true;
+                    break;
+                }
+            }
+            if (matches_our_lock)
+                continue;
+        }
+        return false;
+    }
+    return true;
+}
+
+void
+TinyStmTm::extendOrAbort(TxDesc &tx)
+{
+    const std::uint64_t new_ts = clock_.now();
+    if (!readSetIntact(tx))
+        abortTx(tx, AbortCause::kValidation);
+    tx.startTs = new_ts;
+}
+
+std::uint64_t
+TinyStmTm::txRead(TxDesc &tx, const std::uint64_t *addr)
+{
+    if (!tx.writeSet.empty()) {
+        if (const WriteEntry *we = tx.writeSet.find(addr))
+            return we->value;
+    }
+
+    Orec &orec = orecs_.forAddr(addr);
+    const auto tid = static_cast<std::uint64_t>(tx.tid);
+
+    for (;;) {
+        const OrecWord pre = orec.load();
+        if (pre.locked()) {
+            if (pre.owner() == tid) {
+                // Stripe locked by us for a *different* address:
+                // memory is unmodified (redo log), safe to read.
+                return loadWord(addr);
+            }
+            abortTx(tx, AbortCause::kConflict); // encounter-time conflict
+        }
+        const std::uint64_t value = loadWord(addr);
+        const OrecWord post = orec.load();
+        if (pre != post)
+            continue; // raced with a committer; retry the read
+        if (post.version() > tx.startTs) {
+            extendOrAbort(tx);
+            continue; // re-read under the extended snapshot
+        }
+        ReadEntry re;
+        re.addr = addr;
+        re.orec = &orec;
+        re.word = post;
+        tx.readSet.push_back(re);
+        return value;
+    }
+}
+
+void
+TinyStmTm::txWrite(TxDesc &tx, std::uint64_t *addr, std::uint64_t value)
+{
+    Orec &orec = orecs_.forAddr(addr);
+    const auto tid = static_cast<std::uint64_t>(tx.tid);
+
+    for (;;) {
+        const OrecWord seen = orec.load();
+        if (seen.locked()) {
+            if (seen.owner() == tid) {
+                tx.writeSet.put(addr, value).orec = &orec;
+                return;
+            }
+            // Encounter-time conflict; suicide contention management.
+            abortTx(tx, AbortCause::kConflict);
+        }
+        if (seen.version() > tx.startTs) {
+            // Keep the own-lock invariant (pre-lock version <= rv) so
+            // reads under our locks are snapshot-consistent.
+            extendOrAbort(tx);
+            continue;
+        }
+        if (!orec.tryLock(seen, tid))
+            continue; // lost the race; re-examine
+        WriteEntry &we = tx.writeSet.put(addr, value);
+        we.orec = &orec;
+        we.prevWord = seen;
+        we.holdsLock = true;
+        return;
+    }
+}
+
+void
+TinyStmTm::txCommit(TxDesc &tx)
+{
+    if (tx.writeSet.empty())
+        return;
+
+    const std::uint64_t wv = clock_.tick();
+    if (wv != tx.startTs + 1 && !readSetIntact(tx))
+        abortTx(tx, AbortCause::kValidation);
+
+    for (const WriteEntry &we : tx.writeSet.entries()) {
+        reinterpret_cast<std::atomic<std::uint64_t> *>(we.addr)->store(
+            we.value, std::memory_order_release);
+    }
+    for (WriteEntry &we : tx.writeSet.entries()) {
+        if (we.holdsLock) {
+            we.orec->releaseToVersion(wv);
+            we.holdsLock = false;
+        }
+    }
+}
+
+void
+TinyStmTm::rollback(TxDesc &tx)
+{
+    for (WriteEntry &we : tx.writeSet.entries()) {
+        if (we.holdsLock) {
+            we.orec->releaseRestore(we.prevWord);
+            we.holdsLock = false;
+        }
+    }
+}
+
+void
+TinyStmTm::reset()
+{
+    orecs_.reset();
+    clock_.reset();
+}
+
+} // namespace proteus::tm

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * TinySTM (Felber/Fetzer/Riegel, PPoPP'08), write-back variant.
+ *
+ * Encounter-time locking for writes (conflicts surface early), lazy
+ * redo-log write-back, and *timestamp extension*: when a read observes
+ * a version newer than the transaction's snapshot, the whole read set
+ * is revalidated word-by-word against the orec words observed at read
+ * time; on success the snapshot slides forward instead of aborting.
+ */
+
+#ifndef PROTEUS_TM_TINYSTM_HPP
+#define PROTEUS_TM_TINYSTM_HPP
+
+#include "tm/backend.hpp"
+#include "tm/orec.hpp"
+
+namespace proteus::tm {
+
+class TinyStmTm : public TmBackend
+{
+  public:
+    explicit TinyStmTm(unsigned log2_orecs = 20);
+
+    BackendKind kind() const override { return BackendKind::kTinyStm; }
+
+    void txBegin(TxDesc &tx) override;
+    std::uint64_t txRead(TxDesc &tx, const std::uint64_t *addr) override;
+    void txWrite(TxDesc &tx, std::uint64_t *addr,
+                 std::uint64_t value) override;
+    void txCommit(TxDesc &tx) override;
+    void rollback(TxDesc &tx) override;
+    void reset() override;
+
+  private:
+    /**
+     * Revalidate the read set exactly (current orec word must equal
+     * the word observed at read time, or be locked by us with that
+     * word as the pre-lock state). Returns true on success.
+     */
+    bool readSetIntact(TxDesc &tx) const;
+
+    /** Slide the snapshot forward or abort (timestamp extension). */
+    void extendOrAbort(TxDesc &tx);
+
+    OrecTable orecs_;
+    GlobalClock clock_;
+};
+
+} // namespace proteus::tm
+
+#endif // PROTEUS_TM_TINYSTM_HPP

@@ -1,0 +1,124 @@
+#include "tm/tl2.hpp"
+
+namespace proteus::tm {
+
+Tl2Tm::Tl2Tm(unsigned log2_orecs) : orecs_(log2_orecs)
+{
+}
+
+void
+Tl2Tm::txBegin(TxDesc &tx)
+{
+    tx.beginAttempt();
+    tx.startTs = clock_.now();
+}
+
+std::uint64_t
+Tl2Tm::txRead(TxDesc &tx, const std::uint64_t *addr)
+{
+    // Read-own-writes first.
+    if (!tx.writeSet.empty()) {
+        if (const WriteEntry *we = tx.writeSet.find(addr))
+            return we->value;
+    }
+
+    Orec &orec = orecs_.forAddr(addr);
+    const OrecWord pre = orec.load();
+    const std::uint64_t value =
+        reinterpret_cast<const std::atomic<std::uint64_t> *>(addr)->load(
+            std::memory_order_acquire);
+    const OrecWord post = orec.load();
+
+    if (pre != post || post.locked() || post.version() > tx.startTs)
+        abortTx(tx, AbortCause::kConflict);
+
+    ReadEntry re;
+    re.addr = addr;
+    re.orec = &orec;
+    re.word = post;
+    tx.readSet.push_back(re);
+    return value;
+}
+
+void
+Tl2Tm::txWrite(TxDesc &tx, std::uint64_t *addr, std::uint64_t value)
+{
+    tx.writeSet.put(addr, value);
+}
+
+void
+Tl2Tm::releaseWriteLocks(TxDesc &tx)
+{
+    for (WriteEntry &we : tx.writeSet.entries()) {
+        if (we.holdsLock) {
+            we.orec->releaseRestore(we.prevWord);
+            we.holdsLock = false;
+        }
+    }
+}
+
+void
+Tl2Tm::txCommit(TxDesc &tx)
+{
+    if (tx.writeSet.empty())
+        return; // read-only: rv validation already proved consistency
+
+    // Phase 1: lock the write set (bounded attempts, then abort).
+    const auto tid = static_cast<std::uint64_t>(tx.tid);
+    for (WriteEntry &we : tx.writeSet.entries()) {
+        we.orec = &orecs_.forAddr(we.addr);
+        const OrecWord seen = we.orec->load();
+        // A duplicate stripe (two addresses hashing together) may
+        // already be ours.
+        if (seen.locked() && seen.owner() == tid) {
+            we.holdsLock = false; // first entry with this stripe owns it
+            continue;
+        }
+        if (seen.locked() || seen.version() > tx.startTs ||
+            !we.orec->tryLock(seen, tid)) {
+            abortTx(tx, AbortCause::kConflict);
+        }
+        we.prevWord = seen;
+        we.holdsLock = true;
+    }
+
+    // Phase 2: tick the clock.
+    const std::uint64_t wv = clock_.tick();
+
+    // Phase 3: validate reads unless no one committed since rv.
+    if (wv != tx.startTs + 1) {
+        for (const ReadEntry &re : tx.readSet) {
+            const OrecWord now = re.orec->load();
+            const bool mine = now.locked() && now.owner() == tid;
+            if (!mine && (now.locked() || now.version() > tx.startTs))
+                abortTx(tx, AbortCause::kValidation);
+        }
+    }
+
+    // Phase 4: write back and release at version wv.
+    for (const WriteEntry &we : tx.writeSet.entries()) {
+        reinterpret_cast<std::atomic<std::uint64_t> *>(we.addr)->store(
+            we.value, std::memory_order_release);
+    }
+    for (WriteEntry &we : tx.writeSet.entries()) {
+        if (we.holdsLock) {
+            we.orec->releaseToVersion(wv);
+            we.holdsLock = false;
+        }
+    }
+}
+
+void
+Tl2Tm::rollback(TxDesc &tx)
+{
+    releaseWriteLocks(tx);
+}
+
+void
+Tl2Tm::reset()
+{
+    orecs_.reset();
+    clock_.reset();
+}
+
+} // namespace proteus::tm

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * TL2 (Transactional Locking II, Dice/Shalev/Shavit, DISC'06).
+ *
+ * Lazy (commit-time) locking, redo-log writes, global-version-clock
+ * read validation:
+ *  - begin: sample rv from the global clock;
+ *  - read: post-validated against the covering orec (unlocked and
+ *    version <= rv), logged for commit-time revalidation;
+ *  - write: buffered in the redo log;
+ *  - commit: lock the write set, tick the clock to get wv, validate
+ *    the read set, write back, release orecs at version wv.
+ */
+
+#ifndef PROTEUS_TM_TL2_HPP
+#define PROTEUS_TM_TL2_HPP
+
+#include <memory>
+
+#include "tm/backend.hpp"
+#include "tm/orec.hpp"
+
+namespace proteus::tm {
+
+class Tl2Tm : public TmBackend
+{
+  public:
+    /** @param log2_orecs log2 of the orec-table stripe count. */
+    explicit Tl2Tm(unsigned log2_orecs = 20);
+
+    BackendKind kind() const override { return BackendKind::kTl2; }
+
+    void txBegin(TxDesc &tx) override;
+    std::uint64_t txRead(TxDesc &tx, const std::uint64_t *addr) override;
+    void txWrite(TxDesc &tx, std::uint64_t *addr,
+                 std::uint64_t value) override;
+    void txCommit(TxDesc &tx) override;
+    void rollback(TxDesc &tx) override;
+    void reset() override;
+
+  private:
+    /** Release every write-set lock this attempt acquired. */
+    void releaseWriteLocks(TxDesc &tx);
+
+    OrecTable orecs_;
+    GlobalClock clock_;
+};
+
+} // namespace proteus::tm
+
+#endif // PROTEUS_TM_TL2_HPP

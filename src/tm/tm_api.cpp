@@ -1,0 +1,58 @@
+#include "tm/tm_api.hpp"
+
+namespace proteus::tm {
+
+std::string_view
+abortCauseName(AbortCause cause)
+{
+    switch (cause) {
+      case AbortCause::kNone: return "none";
+      case AbortCause::kConflict: return "conflict";
+      case AbortCause::kCapacity: return "capacity";
+      case AbortCause::kExplicit: return "explicit";
+      case AbortCause::kFallbackLock: return "fallback-lock";
+      case AbortCause::kValidation: return "validation";
+    }
+    return "unknown";
+}
+
+std::string_view
+backendName(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::kGlobalLock: return "gl";
+      case BackendKind::kTl2: return "tl2";
+      case BackendKind::kTinyStm: return "tiny";
+      case BackendKind::kNorec: return "norec";
+      case BackendKind::kSwissTm: return "swiss";
+      case BackendKind::kSimHtm: return "htm";
+      case BackendKind::kHybridNorec: return "hybrid";
+      case BackendKind::kNumBackends: break;
+    }
+    return "invalid";
+}
+
+BackendKind
+backendFromName(std::string_view name)
+{
+    for (int i = 0; i < static_cast<int>(BackendKind::kNumBackends); ++i) {
+        const auto kind = static_cast<BackendKind>(i);
+        if (backendName(kind) == name)
+            return kind;
+    }
+    return BackendKind::kNumBackends;
+}
+
+std::string_view
+capacityPolicyName(CapacityPolicy policy)
+{
+    switch (policy) {
+      case CapacityPolicy::kGiveUp: return "giveup";
+      case CapacityPolicy::kDecrease: return "decr";
+      case CapacityPolicy::kHalve: return "halve";
+      case CapacityPolicy::kNumPolicies: break;
+    }
+    return "invalid";
+}
+
+} // namespace proteus::tm

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Core types shared by every TM backend.
+ *
+ * All backends implement a word-based (64-bit) transactional interface.
+ * Aborts are signalled by throwing TxAbort, which the PolyTM retry loop
+ * catches; this is the C++-safe analogue of the setjmp/longjmp scheme
+ * used by the C runtimes the paper wraps.
+ */
+
+#ifndef PROTEUS_TM_TM_API_HPP
+#define PROTEUS_TM_TM_API_HPP
+
+#include <cstdint>
+#include <string_view>
+
+namespace proteus::tm {
+
+/** Upper bound on concurrently registered threads (paper's machines
+ *  top out at 48; 64 keeps signature scans word-aligned). */
+constexpr int kMaxThreads = 64;
+
+/** Why a transaction aborted. Drives contention management. */
+enum class AbortCause : std::uint8_t
+{
+    kNone = 0,
+    /** Read-write or write-write conflict with a concurrent tx. */
+    kConflict,
+    /** Emulated-HTM read/write footprint exceeded hardware capacity. */
+    kCapacity,
+    /** Explicit user abort (tx.retry()). */
+    kExplicit,
+    /** HTM begin failed because the fallback lock was held. */
+    kFallbackLock,
+    /** Validation failed at commit time. */
+    kValidation,
+};
+
+/** Human-readable abort-cause label (for stats dumps). */
+std::string_view abortCauseName(AbortCause cause);
+
+/**
+ * Control-flow exception ending the current transaction attempt.
+ *
+ * Thrown only by backend code after the descriptor has been rolled
+ * back to a state from which txBegin can be called again.
+ */
+struct TxAbort
+{
+    AbortCause cause = AbortCause::kConflict;
+};
+
+/** The TM algorithms PolyTM can switch between (paper §4). */
+enum class BackendKind : std::uint8_t
+{
+    kGlobalLock = 0,
+    kTl2,
+    kTinyStm,
+    kNorec,
+    kSwissTm,
+    kSimHtm,
+    kHybridNorec,
+    kNumBackends,
+};
+
+/** Stable lowercase name, e.g. "tl2"; used in configs and reports. */
+std::string_view backendName(BackendKind kind);
+
+/** Parse a backend name; returns kNumBackends on failure. */
+BackendKind backendFromName(std::string_view name);
+
+/**
+ * How the emulated HTM shrinks its retry budget after a *capacity*
+ * abort (paper §4.3 / Table 3: set to 0, decrease by 1, halve).
+ */
+enum class CapacityPolicy : std::uint8_t
+{
+    kGiveUp = 0,   //!< spend the whole budget: go to fallback now
+    kDecrease,     //!< treat it like any abort: budget - 1
+    kHalve,        //!< halve the remaining budget
+    kNumPolicies,
+};
+
+/** Stable name for a capacity policy ("giveup", "decr", "halve"). */
+std::string_view capacityPolicyName(CapacityPolicy policy);
+
+/**
+ * Contention-management knobs tunable without quiescence (paper §4.3).
+ * Read with relaxed atomics at tx begin; any mix of values across
+ * concurrent transactions is safe.
+ */
+struct ContentionConfig
+{
+    /** Initial HTM retry budget before falling back to the lock. */
+    int htmBudget = 5;
+    /** Budget policy on capacity aborts. */
+    CapacityPolicy capacityPolicy = CapacityPolicy::kDecrease;
+};
+
+} // namespace proteus::tm
+
+#endif // PROTEUS_TM_TM_API_HPP

@@ -1,0 +1,107 @@
+#include "tm/txdesc.hpp"
+
+#include <cassert>
+
+namespace proteus::tm {
+
+namespace {
+
+constexpr std::size_t kInitialSlots = 128; // power of two
+
+std::size_t
+hashAddr(const std::uint64_t *addr)
+{
+    auto bits = reinterpret_cast<std::uintptr_t>(addr) >> 3;
+    bits *= 0x9e3779b97f4a7c15ull;
+    return static_cast<std::size_t>(bits >> 17);
+}
+
+} // namespace
+
+WriteSet::WriteSet()
+    : slots_(kInitialSlots), slotMask_(kInitialSlots - 1)
+{
+    entries_.reserve(64);
+}
+
+std::size_t
+WriteSet::probeStart(const std::uint64_t *addr) const
+{
+    return hashAddr(addr) & slotMask_;
+}
+
+WriteEntry *
+WriteSet::find(const std::uint64_t *addr)
+{
+    std::size_t i = probeStart(addr);
+    for (;;) {
+        Slot &slot = slots_[i];
+        if (slot.generation != generation_)
+            return nullptr; // empty slot: not present
+        if (slot.key == addr)
+            return &entries_[slot.entryIndex];
+        i = (i + 1) & slotMask_;
+    }
+}
+
+WriteEntry &
+WriteSet::put(std::uint64_t *addr, std::uint64_t value)
+{
+    std::size_t i = probeStart(addr);
+    for (;;) {
+        Slot &slot = slots_[i];
+        if (slot.generation != generation_) {
+            // Empty: insert here.
+            if ((entries_.size() + 1) * 4 > slots_.size() * 3) {
+                grow();
+                return put(addr, value);
+            }
+            slot.generation = generation_;
+            slot.key = addr;
+            slot.entryIndex = static_cast<std::uint32_t>(entries_.size());
+            WriteEntry entry;
+            entry.addr = addr;
+            entry.value = value;
+            entries_.push_back(entry);
+            return entries_.back();
+        }
+        if (slot.key == addr) {
+            entries_[slot.entryIndex].value = value;
+            return entries_[slot.entryIndex];
+        }
+        i = (i + 1) & slotMask_;
+    }
+}
+
+void
+WriteSet::grow()
+{
+    std::vector<Slot> bigger(slots_.size() * 2);
+    const std::size_t new_mask = bigger.size() - 1;
+    for (std::size_t e = 0; e < entries_.size(); ++e) {
+        std::size_t i = hashAddr(entries_[e].addr) & new_mask;
+        while (bigger[i].generation == generation_)
+            i = (i + 1) & new_mask;
+        bigger[i].generation = generation_;
+        bigger[i].key = entries_[e].addr;
+        bigger[i].entryIndex = static_cast<std::uint32_t>(e);
+    }
+    slots_ = std::move(bigger);
+    slotMask_ = new_mask;
+}
+
+void
+WriteSet::clear()
+{
+    entries_.clear();
+    ++generation_;
+    if (generation_ == 0) {
+        // Wrapped (after ~2^64 clears; unreachable in practice, but keep
+        // the invariant airtight): wipe all tags.
+        for (auto &slot : slots_)
+            slot.generation = 0;
+        generation_ = 1;
+    }
+}
+
+} // namespace proteus::tm

@@ -1,0 +1,344 @@
+#include "workloads/app_workloads.hpp"
+
+#include <algorithm>
+
+namespace proteus::workloads {
+
+using polytm::PolyTm;
+using polytm::ThreadToken;
+using polytm::Tx;
+
+// ---- VacationWorkload ----------------------------------------------------
+
+VacationWorkload::VacationWorkload(Options opts) : opts_(opts) {}
+
+void
+VacationWorkload::setup(PolyTm &poly, ThreadToken &token)
+{
+    Rng rng(11);
+    for (int t = 0; t < 3; ++t) {
+        resources_[t].resize(opts_.resourcesPerTable);
+        for (std::uint64_t r = 0; r < opts_.resourcesPerTable; ++r) {
+            resources_[t][r].capacity = 5 + rng.nextBounded(20);
+            resources_[t][r].booked = 0;
+            resources_[t][r].price = 50 + rng.nextBounded(450);
+            poly.run(token, [&](Tx &tx) {
+                tables_[t].insert(
+                    tx, r + 1,
+                    reinterpret_cast<std::uint64_t>(&resources_[t][r]));
+            });
+        }
+    }
+}
+
+void
+VacationWorkload::op(PolyTm &poly, ThreadToken &token, Rng &rng)
+{
+    const int table = static_cast<int>(rng.nextBounded(3));
+    if (rng.nextDouble() < opts_.reservationRatio) {
+        // Reservation: scan a few candidates, book the cheapest free.
+        std::vector<std::uint64_t> candidates(
+            static_cast<std::size_t>(opts_.queriesPerReservation));
+        for (auto &c : candidates)
+            c = rng.nextBounded(opts_.resourcesPerTable) + 1;
+        poly.run(token, [&](Tx &tx) {
+            Resource *best = nullptr;
+            std::uint64_t best_price = ~std::uint64_t{0};
+            for (const std::uint64_t key : candidates) {
+                std::uint64_t word = 0;
+                if (!tables_[table].lookup(tx, key, &word))
+                    continue;
+                auto *res = reinterpret_cast<Resource *>(word);
+                const std::uint64_t cap = tx.readWord(&res->capacity);
+                const std::uint64_t booked = tx.readWord(&res->booked);
+                const std::uint64_t price = tx.readWord(&res->price);
+                if (booked < cap && price < best_price) {
+                    best = res;
+                    best_price = price;
+                }
+            }
+            if (best) {
+                tx.writeWord(&best->booked,
+                             tx.readWord(&best->booked) + 1);
+                tx.writeWord(&totalBookings_,
+                             tx.readWord(&totalBookings_) + 1);
+            }
+        });
+    } else {
+        // Management: re-price one resource (update transaction).
+        const std::uint64_t key =
+            rng.nextBounded(opts_.resourcesPerTable) + 1;
+        const std::uint64_t new_price = 50 + rng.nextBounded(450);
+        poly.run(token, [&](Tx &tx) {
+            std::uint64_t word = 0;
+            if (tables_[table].lookup(tx, key, &word)) {
+                auto *res = reinterpret_cast<Resource *>(word);
+                tx.writeWord(&res->price, new_price);
+            }
+        });
+    }
+}
+
+std::uint64_t
+VacationWorkload::totalBookedUnsafe() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &table : resources_) {
+        for (const auto &r : table)
+            sum += r.booked;
+    }
+    return sum;
+}
+
+bool
+VacationWorkload::consistent() const
+{
+    for (const auto &table : resources_) {
+        for (const auto &r : table) {
+            if (r.booked > r.capacity)
+                return false; // oversold
+        }
+    }
+    // Conservation: the global counter equals the per-resource sum.
+    if (totalBookedUnsafe() != totalBookings_)
+        return false;
+    for (const auto &t : tables_) {
+        if (!t.invariantsHold())
+            return false;
+    }
+    return true;
+}
+
+// ---- TpccLiteWorkload ------------------------------------------------------
+
+TpccLiteWorkload::TpccLiteWorkload(Options opts) : opts_(opts) {}
+
+void
+TpccLiteWorkload::setup(PolyTm &, ThreadToken &)
+{
+    stock_.assign(static_cast<std::size_t>(opts_.items), 100000);
+    districts_.assign(static_cast<std::size_t>(opts_.warehouses) *
+                          opts_.districtsPerWarehouse,
+                      District{1, 0});
+    customerBal_.assign(districts_.size() *
+                            static_cast<std::size_t>(
+                                opts_.customersPerDistrict),
+                        0);
+    warehouseYtd_.assign(static_cast<std::size_t>(opts_.warehouses), 0);
+}
+
+void
+TpccLiteWorkload::op(PolyTm &poly, ThreadToken &token, Rng &rng)
+{
+    const auto w = rng.nextBounded(opts_.warehouses);
+    const auto d = rng.nextBounded(opts_.districtsPerWarehouse);
+    const std::size_t district_idx =
+        w * opts_.districtsPerWarehouse + d;
+
+    if (rng.nextDouble() < opts_.newOrderRatio) {
+        // new-order: allocate an order id, decrement stocks, insert
+        // the order into the order tree.
+        std::vector<std::uint64_t> items(
+            static_cast<std::size_t>(opts_.linesPerOrder));
+        for (auto &it : items)
+            it = rng.nextBounded(opts_.items);
+        poly.run(token, [&](Tx &tx) {
+            District &dist = districts_[district_idx];
+            const std::uint64_t oid = tx.readWord(&dist.nextOrderId);
+            tx.writeWord(&dist.nextOrderId, oid + 1);
+            for (const std::uint64_t item : items) {
+                const std::uint64_t s = tx.readWord(&stock_[item]);
+                tx.writeWord(&stock_[item], s > 0 ? s - 1 : 90000);
+            }
+            // Order key: globally unique (district, oid) pair.
+            const std::uint64_t key =
+                (static_cast<std::uint64_t>(district_idx) << 40) | oid;
+            orders_.insert(tx, key, items.front());
+            tx.writeWord(&orderCount_, tx.readWord(&orderCount_) + 1);
+        });
+    } else {
+        // payment: move money onto customer/district/warehouse.
+        const auto c = rng.nextBounded(opts_.customersPerDistrict);
+        const std::size_t cust_idx =
+            district_idx * opts_.customersPerDistrict + c;
+        const std::uint64_t amount = 1 + rng.nextBounded(5000);
+        poly.run(token, [&](Tx &tx) {
+            tx.writeWord(&customerBal_[cust_idx],
+                         tx.readWord(&customerBal_[cust_idx]) + amount);
+            District &dist = districts_[district_idx];
+            tx.writeWord(&dist.ytd, tx.readWord(&dist.ytd) + amount);
+            tx.writeWord(&warehouseYtd_[w],
+                         tx.readWord(&warehouseYtd_[w]) + amount);
+        });
+    }
+}
+
+bool
+TpccLiteWorkload::consistent() const
+{
+    // Payment conservation: warehouse YTD equals the sum of its
+    // districts' YTD, which equals the sum of customer balances.
+    for (int w = 0; w < opts_.warehouses; ++w) {
+        std::uint64_t district_sum = 0;
+        std::uint64_t customer_sum = 0;
+        for (int d = 0; d < opts_.districtsPerWarehouse; ++d) {
+            const std::size_t di =
+                static_cast<std::size_t>(w) * opts_.districtsPerWarehouse +
+                d;
+            district_sum += districts_[di].ytd;
+            for (int c = 0; c < opts_.customersPerDistrict; ++c) {
+                customer_sum +=
+                    customerBal_[di * opts_.customersPerDistrict + c];
+            }
+        }
+        if (district_sum != warehouseYtd_[w] ||
+            customer_sum != warehouseYtd_[w]) {
+            return false;
+        }
+    }
+    // Order tree sanity + order ids match inserted orders.
+    if (!orders_.invariantsHold())
+        return false;
+    std::uint64_t issued = 0;
+    for (const auto &d : districts_)
+        issued += d.nextOrderId - 1;
+    return issued == orderCount_ && orders_.sizeUnsafe() == orderCount_;
+}
+
+// ---- KvCacheWorkload -------------------------------------------------------
+
+KvCacheWorkload::KvCacheWorkload(Options opts) : opts_(opts) {}
+
+void
+KvCacheWorkload::setup(PolyTm &poly, ThreadToken &token)
+{
+    Rng rng(21);
+    for (std::uint64_t i = 0; i < opts_.keys / 2; ++i) {
+        const std::uint64_t key = rng.nextBounded(opts_.keys);
+        poly.run(token, [&](Tx &tx) { map_.put(tx, key, i); });
+    }
+}
+
+void
+KvCacheWorkload::op(PolyTm &poly, ThreadToken &token, Rng &rng)
+{
+    const std::uint64_t key = opts_.skew > 0
+        ? rng.zipf(opts_.keys, opts_.skew)
+        : rng.nextBounded(opts_.keys);
+    const double roll = rng.nextDouble();
+    if (roll < opts_.getRatio) {
+        poly.run(token, [&](Tx &tx) { map_.get(tx, key); });
+    } else if (roll < opts_.getRatio + opts_.putRatio) {
+        const std::uint64_t value = rng.nextU64() >> 8;
+        poly.run(token, [&](Tx &tx) { map_.put(tx, key, value); });
+    } else {
+        poly.run(token, [&](Tx &tx) { map_.erase(tx, key); });
+    }
+}
+
+// ---- GridRouterWorkload ----------------------------------------------------
+
+GridRouterWorkload::GridRouterWorkload(Options opts) : opts_(opts)
+{
+    grid_.assign(static_cast<std::size_t>(opts_.side) * opts_.side, 0);
+}
+
+void
+GridRouterWorkload::setup(PolyTm &, ThreadToken &)
+{
+}
+
+void
+GridRouterWorkload::op(PolyTm &poly, ThreadToken &token, Rng &rng)
+{
+    for (int attempt = 0; attempt < opts_.maxAttemptsPerOp; ++attempt) {
+        const int x0 = static_cast<int>(rng.nextBounded(opts_.side));
+        const int y0 = static_cast<int>(rng.nextBounded(opts_.side));
+        const int x1 = static_cast<int>(rng.nextBounded(opts_.side));
+        const int y1 = static_cast<int>(rng.nextBounded(opts_.side));
+        bool claimed = false;
+        poly.run(token, [&](Tx &tx) {
+            claimed = false;
+            // L-shaped route: horizontal then vertical leg. First
+            // check every cell is free, then claim the whole path.
+            const int xs = std::min(x0, x1), xe = std::max(x0, x1);
+            const int ys = std::min(y0, y1), ye = std::max(y0, y1);
+            for (int x = xs; x <= xe; ++x) {
+                if (tx.readWord(cell(x, y0)) != 0)
+                    return;
+            }
+            for (int y = ys; y <= ye; ++y) {
+                if (tx.readWord(cell(x1, y)) != 0)
+                    return;
+            }
+            const std::uint64_t id = tx.readWord(&nextRouteId_);
+            tx.writeWord(&nextRouteId_, id + 1);
+            for (int x = xs; x <= xe; ++x)
+                tx.writeWord(cell(x, y0), id);
+            for (int y = ys; y <= ye; ++y)
+                tx.writeWord(cell(x1, y), id);
+            tx.writeWord(&routed_, tx.readWord(&routed_) + 1);
+            claimed = true;
+        });
+        if (claimed)
+            return;
+    }
+}
+
+bool
+GridRouterWorkload::consistent() const
+{
+    // Every claimed route id must be contiguous: cells with the same
+    // id form one L-path; weaker practical check: ids are less than
+    // nextRouteId_ and the number of distinct ids equals routed_.
+    std::vector<std::uint64_t> ids;
+    for (const std::uint64_t c : grid_) {
+        if (c != 0) {
+            if (c >= nextRouteId_)
+                return false;
+            ids.push_back(c);
+        }
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return ids.size() == routed_;
+}
+
+// ---- SyntheticWorkload -----------------------------------------------------
+
+SyntheticWorkload::SyntheticWorkload(Options opts) : opts_(opts)
+{
+    slots_.assign(opts_.arraySlots, 1);
+}
+
+void
+SyntheticWorkload::setup(PolyTm &, ThreadToken &)
+{
+}
+
+void
+SyntheticWorkload::op(PolyTm &poly, ThreadToken &token, Rng &rng)
+{
+    // Pre-draw the slots so aborted retries replay identical accesses.
+    std::vector<std::uint64_t> read_slots(
+        static_cast<std::size_t>(opts_.reads));
+    std::vector<std::uint64_t> write_slots(
+        static_cast<std::size_t>(opts_.writes));
+    for (auto &s : read_slots) {
+        s = opts_.skew > 0 ? rng.zipf(opts_.arraySlots, opts_.skew)
+                           : rng.nextBounded(opts_.arraySlots);
+    }
+    for (auto &s : write_slots) {
+        s = opts_.skew > 0 ? rng.zipf(opts_.arraySlots, opts_.skew)
+                           : rng.nextBounded(opts_.arraySlots);
+    }
+    poly.run(token, [&](Tx &tx) {
+        std::uint64_t acc = 0;
+        for (const auto s : read_slots)
+            acc += tx.readWord(&slots_[s]);
+        for (const auto s : write_slots)
+            tx.writeWord(&slots_[s], acc + s);
+    });
+}
+
+} // namespace proteus::workloads

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Application-level workloads standing in for the paper's ports:
+ *  - VacationWorkload:   STAMP vacation (travel reservation system);
+ *  - TpccLiteWorkload:   TPC-C new-order/payment over in-memory tables;
+ *  - KvCacheWorkload:    memcached-style transactional cache;
+ *  - GridRouterWorkload: labyrinth-style path router (huge txs);
+ *  - SyntheticWorkload:  parametric array kernel (Table 4 micro).
+ */
+
+#ifndef PROTEUS_WORKLOADS_APP_WORKLOADS_HPP
+#define PROTEUS_WORKLOADS_APP_WORKLOADS_HPP
+
+#include <array>
+#include <vector>
+
+#include "workloads/hashmap.hpp"
+#include "workloads/rbtree.hpp"
+#include "workloads/workload.hpp"
+
+namespace proteus::workloads {
+
+/**
+ * Travel reservation system: three resource tables (flights, rooms,
+ * cars) plus customers. A reservation transaction looks up several
+ * candidate resources, picks the cheapest with free capacity and
+ * books it; management transactions add/remove resources.
+ */
+struct VacationOptions
+{
+    std::uint64_t resourcesPerTable = 4096;
+    std::uint64_t customers = 4096;
+    int queriesPerReservation = 8;
+    double reservationRatio = 0.8; // rest: management updates
+};
+
+class VacationWorkload : public TxWorkload
+{
+  public:
+    using Options = VacationOptions;
+
+    explicit VacationWorkload(Options opts = {});
+    std::string name() const override { return "vacation"; }
+    void setup(polytm::PolyTm &poly, polytm::ThreadToken &token) override;
+    void op(polytm::PolyTm &poly, polytm::ThreadToken &token,
+            Rng &rng) override;
+    bool consistent() const override;
+
+    /** Sum of booked seats across tables (conservation testing). */
+    std::uint64_t totalBookedUnsafe() const;
+
+  private:
+    struct Resource
+    {
+        std::uint64_t capacity;
+        std::uint64_t booked;
+        std::uint64_t price;
+    };
+
+    Options opts_;
+    TxArena arena_;
+    std::array<RedBlackTreeTx, 3> tables_{
+        RedBlackTreeTx{arena_}, RedBlackTreeTx{arena_},
+        RedBlackTreeTx{arena_}};
+    std::vector<Resource> resources_[3];
+    std::uint64_t totalBookings_ = 0; //!< transactional counter
+};
+
+/**
+ * TPC-C-lite: warehouses/districts/customers as flat tables, orders
+ * appended to a transactional tree. new-order touches a district
+ * counter, several stock rows and inserts an order (long update tx);
+ * payment updates three balances (short update tx).
+ */
+struct TpccLiteOptions
+{
+    int warehouses = 4;
+    int districtsPerWarehouse = 10;
+    int items = 8192;
+    int customersPerDistrict = 64;
+    double newOrderRatio = 0.5; // rest: payment
+    int linesPerOrder = 10;
+};
+
+class TpccLiteWorkload : public TxWorkload
+{
+  public:
+    using Options = TpccLiteOptions;
+
+    explicit TpccLiteWorkload(Options opts = {});
+    std::string name() const override { return "tpcc"; }
+    void setup(polytm::PolyTm &poly, polytm::ThreadToken &token) override;
+    void op(polytm::PolyTm &poly, polytm::ThreadToken &token,
+            Rng &rng) override;
+    bool consistent() const override;
+
+  private:
+    struct District
+    {
+        std::uint64_t nextOrderId;
+        std::uint64_t ytd; // year-to-date payment total
+    };
+
+    Options opts_;
+    TxArena arena_;
+    RedBlackTreeTx orders_{arena_};
+    std::vector<std::uint64_t> stock_;      //!< per item
+    std::vector<District> districts_;       //!< w * d
+    std::vector<std::uint64_t> customerBal_;//!< w * d * c
+    std::vector<std::uint64_t> warehouseYtd_;
+    std::uint64_t orderCount_ = 0;
+};
+
+/** memcached-style cache: tiny get/put/delete txs over a hash map. */
+struct KvCacheOptions
+{
+    std::uint64_t keys = 1 << 16;
+    double getRatio = 0.85;
+    double putRatio = 0.10; // rest: delete
+    double skew = 0.4;      // popular keys
+};
+
+class KvCacheWorkload : public TxWorkload
+{
+  public:
+    using Options = KvCacheOptions;
+
+    explicit KvCacheWorkload(Options opts = {});
+    std::string name() const override { return "memcached"; }
+    void setup(polytm::PolyTm &poly, polytm::ThreadToken &token) override;
+    void op(polytm::PolyTm &poly, polytm::ThreadToken &token,
+            Rng &rng) override;
+    bool consistent() const override { return map_.invariantsHold(); }
+
+  private:
+    Options opts_;
+    TxArena arena_;
+    HashMapTx map_{arena_, 15};
+};
+
+/**
+ * Labyrinth-style router: each transaction claims an L-shaped path of
+ * grid cells between two random points, skipping routes whose cells
+ * are taken. Transactions write hundreds of cells — the HTM-capacity
+ * killer.
+ */
+struct GridRouterOptions
+{
+    int side = 256;         // side x side grid
+    int maxAttemptsPerOp = 4;
+};
+
+class GridRouterWorkload : public TxWorkload
+{
+  public:
+    using Options = GridRouterOptions;
+
+    explicit GridRouterWorkload(Options opts = {});
+    std::string name() const override { return "labyrinth"; }
+    void setup(polytm::PolyTm &poly, polytm::ThreadToken &token) override;
+    void op(polytm::PolyTm &poly, polytm::ThreadToken &token,
+            Rng &rng) override;
+    bool consistent() const override;
+
+    std::uint64_t routedUnsafe() const { return routed_; }
+
+  private:
+    std::uint64_t *cell(int x, int y)
+    {
+        return &grid_[static_cast<std::size_t>(y) * opts_.side + x];
+    }
+
+    Options opts_;
+    std::vector<std::uint64_t> grid_; //!< 0 = free, else route id
+    std::uint64_t nextRouteId_ = 1;   //!< transactional counter
+    std::uint64_t routed_ = 0;        //!< transactional counter
+};
+
+/**
+ * Parametric synthetic kernel: each transaction reads `reads` and
+ * writes `writes` random slots of a shared array; used by the
+ * overhead table where per-access instrumentation cost must be
+ * isolated from algorithmic effects.
+ */
+struct SyntheticOptions
+{
+    std::uint64_t arraySlots = 1 << 20;
+    int reads = 20;
+    int writes = 4;
+    double skew = 0.0;
+};
+
+class SyntheticWorkload : public TxWorkload
+{
+  public:
+    using Options = SyntheticOptions;
+
+    explicit SyntheticWorkload(Options opts = {});
+    std::string name() const override { return "synthetic"; }
+    void setup(polytm::PolyTm &poly, polytm::ThreadToken &token) override;
+    void op(polytm::PolyTm &poly, polytm::ThreadToken &token,
+            Rng &rng) override;
+
+  private:
+    Options opts_;
+    std::vector<std::uint64_t> slots_;
+};
+
+} // namespace proteus::workloads
+
+#endif // PROTEUS_WORKLOADS_APP_WORKLOADS_HPP

@@ -1,0 +1,139 @@
+#include "workloads/data_structure_workloads.hpp"
+
+namespace proteus::workloads {
+
+using polytm::PolyTm;
+using polytm::ThreadToken;
+using polytm::Tx;
+
+namespace {
+
+/** Pick a key per the workload's range/skew. */
+std::uint64_t
+pickKey(Rng &rng, const SetWorkloadOptions &opts)
+{
+    if (opts.skew <= 0.0)
+        return rng.nextBounded(opts.keyRange) + 1; // keys start at 1
+    return rng.zipf(opts.keyRange, opts.skew) + 1;
+}
+
+} // namespace
+
+// ---- RbTreeWorkload ------------------------------------------------------
+
+RbTreeWorkload::RbTreeWorkload(SetWorkloadOptions opts) : opts_(opts) {}
+
+void
+RbTreeWorkload::setup(PolyTm &poly, ThreadToken &token)
+{
+    Rng rng(1);
+    for (std::uint64_t i = 0; i < opts_.initialKeys; ++i) {
+        const std::uint64_t key = pickKey(rng, opts_);
+        poly.run(token,
+                 [&](Tx &tx) { tree_.insert(tx, key, key * 3); });
+    }
+}
+
+void
+RbTreeWorkload::op(PolyTm &poly, ThreadToken &token, Rng &rng)
+{
+    const std::uint64_t key = pickKey(rng, opts_);
+    const double roll = rng.nextDouble();
+    if (roll < opts_.updateRatio / 2) {
+        poly.run(token, [&](Tx &tx) { tree_.insert(tx, key, key); });
+    } else if (roll < opts_.updateRatio) {
+        poly.run(token, [&](Tx &tx) { tree_.erase(tx, key); });
+    } else {
+        poly.run(token, [&](Tx &tx) { tree_.lookup(tx, key); });
+    }
+}
+
+// ---- SkipListWorkload ----------------------------------------------------
+
+SkipListWorkload::SkipListWorkload(SetWorkloadOptions opts) : opts_(opts) {}
+
+void
+SkipListWorkload::setup(PolyTm &poly, ThreadToken &token)
+{
+    Rng rng(2);
+    for (std::uint64_t i = 0; i < opts_.initialKeys; ++i) {
+        const std::uint64_t key = pickKey(rng, opts_);
+        poly.run(token,
+                 [&](Tx &tx) { list_.insert(tx, key, key * 5); });
+    }
+}
+
+void
+SkipListWorkload::op(PolyTm &poly, ThreadToken &token, Rng &rng)
+{
+    const std::uint64_t key = pickKey(rng, opts_);
+    const double roll = rng.nextDouble();
+    if (roll < opts_.updateRatio / 2) {
+        poly.run(token, [&](Tx &tx) { list_.insert(tx, key, key); });
+    } else if (roll < opts_.updateRatio) {
+        poly.run(token, [&](Tx &tx) { list_.erase(tx, key); });
+    } else {
+        poly.run(token, [&](Tx &tx) { list_.lookup(tx, key); });
+    }
+}
+
+// ---- LinkedListWorkload --------------------------------------------------
+
+LinkedListWorkload::LinkedListWorkload(SetWorkloadOptions opts)
+    : opts_(opts)
+{
+}
+
+void
+LinkedListWorkload::setup(PolyTm &poly, ThreadToken &token)
+{
+    Rng rng(3);
+    for (std::uint64_t i = 0; i < opts_.initialKeys; ++i) {
+        const std::uint64_t key = pickKey(rng, opts_);
+        poly.run(token, [&](Tx &tx) { list_.insert(tx, key); });
+    }
+}
+
+void
+LinkedListWorkload::op(PolyTm &poly, ThreadToken &token, Rng &rng)
+{
+    const std::uint64_t key = pickKey(rng, opts_);
+    const double roll = rng.nextDouble();
+    if (roll < opts_.updateRatio / 2) {
+        poly.run(token, [&](Tx &tx) { list_.insert(tx, key); });
+    } else if (roll < opts_.updateRatio) {
+        poly.run(token, [&](Tx &tx) { list_.erase(tx, key); });
+    } else {
+        poly.run(token, [&](Tx &tx) { list_.contains(tx, key); });
+    }
+}
+
+// ---- HashMapWorkload -----------------------------------------------------
+
+HashMapWorkload::HashMapWorkload(SetWorkloadOptions opts) : opts_(opts) {}
+
+void
+HashMapWorkload::setup(PolyTm &poly, ThreadToken &token)
+{
+    Rng rng(4);
+    for (std::uint64_t i = 0; i < opts_.initialKeys; ++i) {
+        const std::uint64_t key = pickKey(rng, opts_);
+        poly.run(token, [&](Tx &tx) { map_.put(tx, key, key * 7); });
+    }
+}
+
+void
+HashMapWorkload::op(PolyTm &poly, ThreadToken &token, Rng &rng)
+{
+    const std::uint64_t key = pickKey(rng, opts_);
+    const double roll = rng.nextDouble();
+    if (roll < opts_.updateRatio / 2) {
+        poly.run(token, [&](Tx &tx) { map_.put(tx, key, key); });
+    } else if (roll < opts_.updateRatio) {
+        poly.run(token, [&](Tx &tx) { map_.erase(tx, key); });
+    } else {
+        poly.run(token, [&](Tx &tx) { map_.get(tx, key); });
+    }
+}
+
+} // namespace proteus::workloads

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Data-structure workloads (the paper's Table 1 "Data Structures"
+ * suite): red-black tree, skip list, linked list, hash map, each with
+ * tunable key range and update ratio.
+ */
+
+#ifndef PROTEUS_WORKLOADS_DATA_STRUCTURE_WORKLOADS_HPP
+#define PROTEUS_WORKLOADS_DATA_STRUCTURE_WORKLOADS_HPP
+
+#include "workloads/hashmap.hpp"
+#include "workloads/linkedlist.hpp"
+#include "workloads/rbtree.hpp"
+#include "workloads/skiplist.hpp"
+#include "workloads/workload.hpp"
+
+namespace proteus::workloads {
+
+/** Shared knobs for set-like workloads. */
+struct SetWorkloadOptions
+{
+    std::uint64_t keyRange = 1 << 16;
+    std::uint64_t initialKeys = 1 << 15;
+    /** Fraction of ops that mutate (half inserts, half erases). */
+    double updateRatio = 0.3;
+    /** Zipf skew of the accessed keys (0 = uniform). */
+    double skew = 0.0;
+};
+
+class RbTreeWorkload : public TxWorkload
+{
+  public:
+    explicit RbTreeWorkload(SetWorkloadOptions opts = {});
+    std::string name() const override { return "rbt"; }
+    void setup(polytm::PolyTm &poly, polytm::ThreadToken &token) override;
+    void op(polytm::PolyTm &poly, polytm::ThreadToken &token,
+            Rng &rng) override;
+    bool consistent() const override { return tree_.invariantsHold(); }
+
+  private:
+    SetWorkloadOptions opts_;
+    TxArena arena_;
+    RedBlackTreeTx tree_{arena_};
+};
+
+class SkipListWorkload : public TxWorkload
+{
+  public:
+    explicit SkipListWorkload(SetWorkloadOptions opts = {});
+    std::string name() const override { return "skiplist"; }
+    void setup(polytm::PolyTm &poly, polytm::ThreadToken &token) override;
+    void op(polytm::PolyTm &poly, polytm::ThreadToken &token,
+            Rng &rng) override;
+    bool consistent() const override { return list_.invariantsHold(); }
+
+  private:
+    SetWorkloadOptions opts_;
+    TxArena arena_;
+    SkipListTx list_{arena_};
+};
+
+class LinkedListWorkload : public TxWorkload
+{
+  public:
+    explicit LinkedListWorkload(SetWorkloadOptions opts = {});
+    std::string name() const override { return "linkedlist"; }
+    void setup(polytm::PolyTm &poly, polytm::ThreadToken &token) override;
+    void op(polytm::PolyTm &poly, polytm::ThreadToken &token,
+            Rng &rng) override;
+    bool consistent() const override { return list_.invariantsHold(); }
+
+  private:
+    SetWorkloadOptions opts_;
+    TxArena arena_;
+    LinkedListTx list_{arena_};
+};
+
+class HashMapWorkload : public TxWorkload
+{
+  public:
+    explicit HashMapWorkload(SetWorkloadOptions opts = {});
+    std::string name() const override { return "hashmap"; }
+    void setup(polytm::PolyTm &poly, polytm::ThreadToken &token) override;
+    void op(polytm::PolyTm &poly, polytm::ThreadToken &token,
+            Rng &rng) override;
+    bool consistent() const override { return map_.invariantsHold(); }
+
+  private:
+    SetWorkloadOptions opts_;
+    TxArena arena_;
+    HashMapTx map_{arena_};
+};
+
+} // namespace proteus::workloads
+
+#endif // PROTEUS_WORKLOADS_DATA_STRUCTURE_WORKLOADS_HPP

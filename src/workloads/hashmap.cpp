@@ -1,0 +1,96 @@
+#include "workloads/hashmap.hpp"
+
+namespace proteus::workloads {
+
+using polytm::Tx;
+
+HashMapTx::HashMapTx(TxArena &arena, std::size_t log2_buckets)
+    : arena_(arena), buckets_(std::size_t{1} << log2_buckets, 0),
+      mask_((std::size_t{1} << log2_buckets) - 1)
+{
+}
+
+std::size_t
+HashMapTx::bucketOf(std::uint64_t key) const
+{
+    std::uint64_t h = key * 0x9e3779b97f4a7c15ull;
+    h ^= h >> 32;
+    return static_cast<std::size_t>(h) & mask_;
+}
+
+bool
+HashMapTx::get(Tx &tx, std::uint64_t key, std::uint64_t *value)
+{
+    Node *cur = asNode(tx.readWord(&buckets_[bucketOf(key)]));
+    while (cur) {
+        if (tx.readWord(&cur->key) == key) {
+            if (value)
+                *value = tx.readWord(&cur->value);
+            return true;
+        }
+        cur = asNode(tx.readWord(&cur->next));
+    }
+    return false;
+}
+
+bool
+HashMapTx::put(Tx &tx, std::uint64_t key, std::uint64_t value)
+{
+    std::uint64_t *head = &buckets_[bucketOf(key)];
+    Node *cur = asNode(tx.readWord(head));
+    while (cur) {
+        if (tx.readWord(&cur->key) == key) {
+            tx.writeWord(&cur->value, value);
+            return false;
+        }
+        cur = asNode(tx.readWord(&cur->next));
+    }
+    Node *node = arena_.create<Node>();
+    node->key = key;
+    node->value = value;
+    node->next = tx.readWord(head);
+    tx.writeWord(head, asWord(node));
+    tx.writeWord(&count_, tx.readWord(&count_) + 1);
+    return true;
+}
+
+bool
+HashMapTx::erase(Tx &tx, std::uint64_t key)
+{
+    std::uint64_t *prev = &buckets_[bucketOf(key)];
+    Node *cur = asNode(tx.readWord(prev));
+    while (cur) {
+        if (tx.readWord(&cur->key) == key) {
+            tx.writeWord(prev, tx.readWord(&cur->next));
+            tx.writeWord(&count_, tx.readWord(&count_) - 1);
+            return true;
+        }
+        prev = &cur->next;
+        cur = asNode(tx.readWord(&cur->next));
+    }
+    return false;
+}
+
+std::uint64_t
+HashMapTx::size(Tx &tx)
+{
+    return tx.readWord(&count_);
+}
+
+bool
+HashMapTx::invariantsHold() const
+{
+    std::uint64_t n = 0;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+        const Node *cur = asNode(buckets_[b]);
+        while (cur) {
+            if (bucketOf(cur->key) != b)
+                return false;
+            ++n;
+            cur = asNode(cur->next);
+        }
+    }
+    return n == count_;
+}
+
+} // namespace proteus::workloads

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Transactional chained hash map with a fixed bucket array.
+ *
+ * Short transactions over well-spread buckets: the scalable,
+ * HTM-friendly end of the workload spectrum.
+ */
+
+#ifndef PROTEUS_WORKLOADS_HASHMAP_HPP
+#define PROTEUS_WORKLOADS_HASHMAP_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "polytm/polytm.hpp"
+#include "workloads/tx_arena.hpp"
+
+namespace proteus::workloads {
+
+class HashMapTx
+{
+  public:
+    HashMapTx(TxArena &arena, std::size_t log2_buckets = 14);
+
+    /** Insert or overwrite; returns true if the key was new. */
+    bool put(polytm::Tx &tx, std::uint64_t key, std::uint64_t value);
+    bool erase(polytm::Tx &tx, std::uint64_t key);
+    bool get(polytm::Tx &tx, std::uint64_t key,
+             std::uint64_t *value = nullptr);
+    std::uint64_t size(polytm::Tx &tx);
+
+    /** Quiesced-only: every key hashes to the bucket holding it. */
+    bool invariantsHold() const;
+
+  private:
+    struct Node
+    {
+        std::uint64_t key;
+        std::uint64_t value;
+        std::uint64_t next; // Node*
+    };
+
+    static Node *asNode(std::uint64_t w)
+    {
+        return reinterpret_cast<Node *>(w);
+    }
+    static std::uint64_t asWord(Node *n)
+    {
+        return reinterpret_cast<std::uint64_t>(n);
+    }
+
+    std::size_t bucketOf(std::uint64_t key) const;
+
+    TxArena &arena_;
+    std::vector<std::uint64_t> buckets_; //!< Node* heads
+    std::size_t mask_;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace proteus::workloads
+
+#endif // PROTEUS_WORKLOADS_HASHMAP_HPP

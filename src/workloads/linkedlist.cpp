@@ -1,0 +1,95 @@
+#include "workloads/linkedlist.hpp"
+
+namespace proteus::workloads {
+
+using polytm::Tx;
+
+LinkedListTx::LinkedListTx(TxArena &arena) : arena_(arena)
+{
+    head_ = arena_.create<Node>();
+    head_->key = 0;
+    head_->next = 0;
+}
+
+bool
+LinkedListTx::contains(Tx &tx, std::uint64_t key)
+{
+    Node *cur = asNode(tx.readWord(&head_->next));
+    while (cur) {
+        const std::uint64_t k = tx.readWord(&cur->key);
+        if (k == key)
+            return true;
+        if (k > key)
+            return false;
+        cur = asNode(tx.readWord(&cur->next));
+    }
+    return false;
+}
+
+bool
+LinkedListTx::insert(Tx &tx, std::uint64_t key)
+{
+    Node *prev = head_;
+    Node *cur = asNode(tx.readWord(&head_->next));
+    while (cur) {
+        const std::uint64_t k = tx.readWord(&cur->key);
+        if (k == key)
+            return false;
+        if (k > key)
+            break;
+        prev = cur;
+        cur = asNode(tx.readWord(&cur->next));
+    }
+    Node *node = arena_.create<Node>();
+    node->key = key;
+    node->next = asWord(cur);
+    tx.writeWord(&prev->next, asWord(node));
+    tx.writeWord(&count_, tx.readWord(&count_) + 1);
+    return true;
+}
+
+bool
+LinkedListTx::erase(Tx &tx, std::uint64_t key)
+{
+    Node *prev = head_;
+    Node *cur = asNode(tx.readWord(&head_->next));
+    while (cur) {
+        const std::uint64_t k = tx.readWord(&cur->key);
+        if (k == key) {
+            tx.writeWord(&prev->next, tx.readWord(&cur->next));
+            tx.writeWord(&count_, tx.readWord(&count_) - 1);
+            return true;
+        }
+        if (k > key)
+            return false;
+        prev = cur;
+        cur = asNode(tx.readWord(&cur->next));
+    }
+    return false;
+}
+
+std::uint64_t
+LinkedListTx::size(Tx &tx)
+{
+    return tx.readWord(&count_);
+}
+
+bool
+LinkedListTx::invariantsHold() const
+{
+    const Node *cur = asNode(head_->next);
+    std::uint64_t last = 0;
+    bool first = true;
+    std::uint64_t n = 0;
+    while (cur) {
+        if (!first && cur->key <= last)
+            return false;
+        last = cur->key;
+        first = false;
+        ++n;
+        cur = asNode(cur->next);
+    }
+    return n == count_;
+}
+
+} // namespace proteus::workloads

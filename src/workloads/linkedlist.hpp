@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Transactional sorted linked list (set).
+ *
+ * O(n) traversals produce large read sets, making this the classic
+ * "long reader vs writer" TM stress: NOrec-style value validation and
+ * HTM read-capacity limits are both exercised hard.
+ */
+
+#ifndef PROTEUS_WORKLOADS_LINKEDLIST_HPP
+#define PROTEUS_WORKLOADS_LINKEDLIST_HPP
+
+#include <cstdint>
+
+#include "polytm/polytm.hpp"
+#include "workloads/tx_arena.hpp"
+
+namespace proteus::workloads {
+
+class LinkedListTx
+{
+  public:
+    explicit LinkedListTx(TxArena &arena);
+
+    bool insert(polytm::Tx &tx, std::uint64_t key);
+    bool erase(polytm::Tx &tx, std::uint64_t key);
+    bool contains(polytm::Tx &tx, std::uint64_t key);
+    std::uint64_t size(polytm::Tx &tx);
+
+    /** Quiesced-only: strictly ascending keys. */
+    bool invariantsHold() const;
+
+  private:
+    struct Node
+    {
+        std::uint64_t key;
+        std::uint64_t next; // Node*
+    };
+
+    static Node *asNode(std::uint64_t w)
+    {
+        return reinterpret_cast<Node *>(w);
+    }
+    static std::uint64_t asWord(Node *n)
+    {
+        return reinterpret_cast<std::uint64_t>(n);
+    }
+
+    TxArena &arena_;
+    Node *head_; //!< sentinel
+    std::uint64_t count_ = 0;
+};
+
+} // namespace proteus::workloads
+
+#endif // PROTEUS_WORKLOADS_LINKEDLIST_HPP

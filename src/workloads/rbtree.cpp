@@ -1,0 +1,419 @@
+#include "workloads/rbtree.hpp"
+
+namespace proteus::workloads {
+
+using polytm::Tx;
+
+RedBlackTreeTx::RedBlackTreeTx(TxArena &arena) : arena_(arena)
+{
+    nil_ = arena_.create<Node>();
+    nil_->red = 0;
+    nil_->left = nil_->right = nil_->parent = asWord(nil_);
+    root_ = asWord(nil_);
+}
+
+// ---- field accessors ---------------------------------------------------
+
+RedBlackTreeTx::Node *
+RedBlackTreeTx::getLeft(Tx &tx, Node *n)
+{
+    return asNode(tx.readWord(&n->left));
+}
+
+RedBlackTreeTx::Node *
+RedBlackTreeTx::getRight(Tx &tx, Node *n)
+{
+    return asNode(tx.readWord(&n->right));
+}
+
+RedBlackTreeTx::Node *
+RedBlackTreeTx::getParent(Tx &tx, Node *n)
+{
+    return asNode(tx.readWord(&n->parent));
+}
+
+bool
+RedBlackTreeTx::isRed(Tx &tx, Node *n)
+{
+    return tx.readWord(&n->red) != 0;
+}
+
+std::uint64_t
+RedBlackTreeTx::getKey(Tx &tx, Node *n)
+{
+    return tx.readWord(&n->key);
+}
+
+void
+RedBlackTreeTx::setLeft(Tx &tx, Node *n, Node *v)
+{
+    tx.writeWord(&n->left, asWord(v));
+}
+
+void
+RedBlackTreeTx::setRight(Tx &tx, Node *n, Node *v)
+{
+    tx.writeWord(&n->right, asWord(v));
+}
+
+void
+RedBlackTreeTx::setParent(Tx &tx, Node *n, Node *v)
+{
+    tx.writeWord(&n->parent, asWord(v));
+}
+
+void
+RedBlackTreeTx::setRed(Tx &tx, Node *n, bool red)
+{
+    tx.writeWord(&n->red, red ? 1 : 0);
+}
+
+RedBlackTreeTx::Node *
+RedBlackTreeTx::rootNode(Tx &tx)
+{
+    return asNode(tx.readWord(&root_));
+}
+
+void
+RedBlackTreeTx::setRoot(Tx &tx, Node *n)
+{
+    tx.writeWord(&root_, asWord(n));
+}
+
+// ---- rotations ---------------------------------------------------------
+
+void
+RedBlackTreeTx::rotateLeft(Tx &tx, Node *x)
+{
+    Node *y = getRight(tx, x);
+    Node *yl = getLeft(tx, y);
+    setRight(tx, x, yl);
+    if (yl != nil_)
+        setParent(tx, yl, x);
+    Node *xp = getParent(tx, x);
+    setParent(tx, y, xp);
+    if (xp == nil_)
+        setRoot(tx, y);
+    else if (x == getLeft(tx, xp))
+        setLeft(tx, xp, y);
+    else
+        setRight(tx, xp, y);
+    setLeft(tx, y, x);
+    setParent(tx, x, y);
+}
+
+void
+RedBlackTreeTx::rotateRight(Tx &tx, Node *x)
+{
+    Node *y = getLeft(tx, x);
+    Node *yr = getRight(tx, y);
+    setLeft(tx, x, yr);
+    if (yr != nil_)
+        setParent(tx, yr, x);
+    Node *xp = getParent(tx, x);
+    setParent(tx, y, xp);
+    if (xp == nil_)
+        setRoot(tx, y);
+    else if (x == getRight(tx, xp))
+        setRight(tx, xp, y);
+    else
+        setLeft(tx, xp, y);
+    setRight(tx, y, x);
+    setParent(tx, x, y);
+}
+
+// ---- search ------------------------------------------------------------
+
+RedBlackTreeTx::Node *
+RedBlackTreeTx::findNode(Tx &tx, std::uint64_t key)
+{
+    Node *cur = rootNode(tx);
+    while (cur != nil_) {
+        const std::uint64_t k = getKey(tx, cur);
+        if (key == k)
+            return cur;
+        cur = key < k ? getLeft(tx, cur) : getRight(tx, cur);
+    }
+    return nullptr;
+}
+
+bool
+RedBlackTreeTx::lookup(Tx &tx, std::uint64_t key, std::uint64_t *value)
+{
+    Node *n = findNode(tx, key);
+    if (!n)
+        return false;
+    if (value)
+        *value = tx.readWord(&n->value);
+    return true;
+}
+
+std::uint64_t
+RedBlackTreeTx::size(Tx &tx)
+{
+    return tx.readWord(&count_);
+}
+
+// ---- insert ------------------------------------------------------------
+
+bool
+RedBlackTreeTx::insert(Tx &tx, std::uint64_t key, std::uint64_t value)
+{
+    Node *parent = nil_;
+    Node *cur = rootNode(tx);
+    while (cur != nil_) {
+        parent = cur;
+        const std::uint64_t k = getKey(tx, cur);
+        if (key == k) {
+            tx.writeWord(&cur->value, value);
+            return false; // overwrite, no structural change
+        }
+        cur = key < k ? getLeft(tx, cur) : getRight(tx, cur);
+    }
+
+    Node *z = arena_.create<Node>();
+    // The node is private until linked: raw initialization is safe
+    // and keeps the write set small.
+    z->key = key;
+    z->value = value;
+    z->left = z->right = asWord(nil_);
+    z->parent = asWord(parent);
+    z->red = 1;
+
+    if (parent == nil_)
+        setRoot(tx, z);
+    else if (key < getKey(tx, parent))
+        setLeft(tx, parent, z);
+    else
+        setRight(tx, parent, z);
+
+    insertFixup(tx, z);
+    tx.writeWord(&count_, tx.readWord(&count_) + 1);
+    return true;
+}
+
+void
+RedBlackTreeTx::insertFixup(Tx &tx, Node *z)
+{
+    while (true) {
+        Node *zp = getParent(tx, z);
+        if (zp == nil_ || !isRed(tx, zp))
+            break;
+        Node *zpp = getParent(tx, zp);
+        if (zp == getLeft(tx, zpp)) {
+            Node *y = getRight(tx, zpp); // uncle
+            if (y != nil_ && isRed(tx, y)) {
+                setRed(tx, zp, false);
+                setRed(tx, y, false);
+                setRed(tx, zpp, true);
+                z = zpp;
+            } else {
+                if (z == getRight(tx, zp)) {
+                    z = zp;
+                    rotateLeft(tx, z);
+                    zp = getParent(tx, z);
+                    zpp = getParent(tx, zp);
+                }
+                setRed(tx, zp, false);
+                setRed(tx, zpp, true);
+                rotateRight(tx, zpp);
+            }
+        } else {
+            Node *y = getLeft(tx, zpp);
+            if (y != nil_ && isRed(tx, y)) {
+                setRed(tx, zp, false);
+                setRed(tx, y, false);
+                setRed(tx, zpp, true);
+                z = zpp;
+            } else {
+                if (z == getLeft(tx, zp)) {
+                    z = zp;
+                    rotateRight(tx, z);
+                    zp = getParent(tx, z);
+                    zpp = getParent(tx, zp);
+                }
+                setRed(tx, zp, false);
+                setRed(tx, zpp, true);
+                rotateLeft(tx, zpp);
+            }
+        }
+    }
+    setRed(tx, rootNode(tx), false);
+}
+
+// ---- erase -------------------------------------------------------------
+
+void
+RedBlackTreeTx::transplant(Tx &tx, Node *u, Node *v)
+{
+    Node *up = getParent(tx, u);
+    if (up == nil_)
+        setRoot(tx, v);
+    else if (u == getLeft(tx, up))
+        setLeft(tx, up, v);
+    else
+        setRight(tx, up, v);
+    setParent(tx, v, up); // nil_'s parent is scribbled on, per CLRS
+}
+
+RedBlackTreeTx::Node *
+RedBlackTreeTx::minimum(Tx &tx, Node *n)
+{
+    Node *l = getLeft(tx, n);
+    while (l != nil_) {
+        n = l;
+        l = getLeft(tx, n);
+    }
+    return n;
+}
+
+bool
+RedBlackTreeTx::erase(Tx &tx, std::uint64_t key)
+{
+    Node *z = findNode(tx, key);
+    if (!z)
+        return false;
+
+    Node *y = z;
+    bool y_was_red = isRed(tx, y);
+    Node *x = nil_;
+
+    if (getLeft(tx, z) == nil_) {
+        x = getRight(tx, z);
+        transplant(tx, z, x);
+    } else if (getRight(tx, z) == nil_) {
+        x = getLeft(tx, z);
+        transplant(tx, z, x);
+    } else {
+        y = minimum(tx, getRight(tx, z));
+        y_was_red = isRed(tx, y);
+        x = getRight(tx, y);
+        if (getParent(tx, y) == z) {
+            setParent(tx, x, y);
+        } else {
+            transplant(tx, y, x);
+            Node *zr = getRight(tx, z);
+            setRight(tx, y, zr);
+            setParent(tx, zr, y);
+        }
+        transplant(tx, z, y);
+        Node *zl = getLeft(tx, z);
+        setLeft(tx, y, zl);
+        setParent(tx, zl, y);
+        setRed(tx, y, isRed(tx, z));
+    }
+
+    if (!y_was_red)
+        eraseFixup(tx, x);
+    tx.writeWord(&count_, tx.readWord(&count_) - 1);
+    return true;
+}
+
+void
+RedBlackTreeTx::eraseFixup(Tx &tx, Node *x)
+{
+    while (x != rootNode(tx) && !isRed(tx, x)) {
+        Node *xp = getParent(tx, x);
+        if (x == getLeft(tx, xp)) {
+            Node *w = getRight(tx, xp);
+            if (isRed(tx, w)) {
+                setRed(tx, w, false);
+                setRed(tx, xp, true);
+                rotateLeft(tx, xp);
+                w = getRight(tx, xp);
+            }
+            if (!isRed(tx, getLeft(tx, w)) &&
+                !isRed(tx, getRight(tx, w))) {
+                setRed(tx, w, true);
+                x = xp;
+            } else {
+                if (!isRed(tx, getRight(tx, w))) {
+                    setRed(tx, getLeft(tx, w), false);
+                    setRed(tx, w, true);
+                    rotateRight(tx, w);
+                    w = getRight(tx, xp);
+                }
+                setRed(tx, w, isRed(tx, xp));
+                setRed(tx, xp, false);
+                setRed(tx, getRight(tx, w), false);
+                rotateLeft(tx, xp);
+                x = rootNode(tx);
+                break;
+            }
+        } else {
+            Node *w = getLeft(tx, xp);
+            if (isRed(tx, w)) {
+                setRed(tx, w, false);
+                setRed(tx, xp, true);
+                rotateRight(tx, xp);
+                w = getLeft(tx, xp);
+            }
+            if (!isRed(tx, getRight(tx, w)) &&
+                !isRed(tx, getLeft(tx, w))) {
+                setRed(tx, w, true);
+                x = xp;
+            } else {
+                if (!isRed(tx, getLeft(tx, w))) {
+                    setRed(tx, getRight(tx, w), false);
+                    setRed(tx, w, true);
+                    rotateLeft(tx, w);
+                    w = getLeft(tx, xp);
+                }
+                setRed(tx, w, isRed(tx, xp));
+                setRed(tx, xp, false);
+                setRed(tx, getLeft(tx, w), false);
+                rotateRight(tx, xp);
+                x = rootNode(tx);
+                break;
+            }
+        }
+    }
+    setRed(tx, x, false);
+}
+
+// ---- non-transactional validation ---------------------------------------
+
+bool
+RedBlackTreeTx::checkNode(const Node *n, std::uint64_t lo,
+                          std::uint64_t hi, int black_height,
+                          int *expected_height) const
+{
+    if (n == nil_) {
+        if (*expected_height < 0)
+            *expected_height = black_height;
+        return black_height == *expected_height;
+    }
+    if (n->key < lo || n->key > hi)
+        return false;
+    const auto *l = reinterpret_cast<const Node *>(n->left);
+    const auto *r = reinterpret_cast<const Node *>(n->right);
+    if (n->red) {
+        if ((l != nil_ && l->red) || (r != nil_ && r->red))
+            return false; // red-red violation
+    }
+    const int next = black_height + (n->red ? 0 : 1);
+    const std::uint64_t key = n->key;
+    return checkNode(l, lo, key == 0 ? 0 : key - 1, next,
+                     expected_height) &&
+           checkNode(r, key + 1, hi, next, expected_height);
+}
+
+bool
+RedBlackTreeTx::invariantsHold() const
+{
+    const auto *root = reinterpret_cast<const Node *>(root_);
+    if (root == nil_)
+        return true;
+    if (root->red)
+        return false;
+    int expected = -1;
+    return checkNode(root, 0, ~std::uint64_t{0}, 0, &expected);
+}
+
+std::uint64_t
+RedBlackTreeTx::sizeUnsafe() const
+{
+    return count_;
+}
+
+} // namespace proteus::workloads

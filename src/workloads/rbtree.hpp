@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Transactional red-black tree (CLRS-style, sentinel-based).
+ *
+ * Every node field is a 64-bit word accessed exclusively through the
+ * active transaction, so the whole structure inherits the TM's
+ * atomicity and isolation. This is the "Red-Black Tree" workload of
+ * the paper's Data Structures suite (Table 1) and the subject of
+ * Fig. 8a.
+ */
+
+#ifndef PROTEUS_WORKLOADS_RBTREE_HPP
+#define PROTEUS_WORKLOADS_RBTREE_HPP
+
+#include <cstdint>
+
+#include "polytm/polytm.hpp"
+#include "workloads/tx_arena.hpp"
+
+namespace proteus::workloads {
+
+class RedBlackTreeTx
+{
+  public:
+    explicit RedBlackTreeTx(TxArena &arena);
+
+    /** Insert key->value; returns false if the key already existed. */
+    bool insert(polytm::Tx &tx, std::uint64_t key, std::uint64_t value);
+
+    /** Remove a key; returns false if it was absent. */
+    bool erase(polytm::Tx &tx, std::uint64_t key);
+
+    /** Lookup; returns true and fills value if present. */
+    bool lookup(polytm::Tx &tx, std::uint64_t key,
+                std::uint64_t *value = nullptr);
+
+    /** Number of keys (transactional read of a maintained counter). */
+    std::uint64_t size(polytm::Tx &tx);
+
+    // ---- non-transactional validation helpers (quiesced only) ------
+    /** Checks BST order, red-red freedom and black-height balance. */
+    bool invariantsHold() const;
+    std::uint64_t sizeUnsafe() const;
+
+  private:
+    struct Node
+    {
+        std::uint64_t key = 0;
+        std::uint64_t value = 0;
+        std::uint64_t left = 0;   // Node*
+        std::uint64_t right = 0;  // Node*
+        std::uint64_t parent = 0; // Node*
+        std::uint64_t red = 0;    // bool
+    };
+
+    static Node *asNode(std::uint64_t word)
+    {
+        return reinterpret_cast<Node *>(word);
+    }
+    static std::uint64_t asWord(Node *node)
+    {
+        return reinterpret_cast<std::uint64_t>(node);
+    }
+
+    // Transactional field accessors.
+    Node *getLeft(polytm::Tx &tx, Node *n);
+    Node *getRight(polytm::Tx &tx, Node *n);
+    Node *getParent(polytm::Tx &tx, Node *n);
+    bool isRed(polytm::Tx &tx, Node *n);
+    std::uint64_t getKey(polytm::Tx &tx, Node *n);
+    void setLeft(polytm::Tx &tx, Node *n, Node *v);
+    void setRight(polytm::Tx &tx, Node *n, Node *v);
+    void setParent(polytm::Tx &tx, Node *n, Node *v);
+    void setRed(polytm::Tx &tx, Node *n, bool red);
+
+    Node *rootNode(polytm::Tx &tx);
+    void setRoot(polytm::Tx &tx, Node *n);
+
+    void rotateLeft(polytm::Tx &tx, Node *x);
+    void rotateRight(polytm::Tx &tx, Node *x);
+    void insertFixup(polytm::Tx &tx, Node *z);
+    void eraseFixup(polytm::Tx &tx, Node *x);
+    void transplant(polytm::Tx &tx, Node *u, Node *v);
+    Node *minimum(polytm::Tx &tx, Node *n);
+    Node *findNode(polytm::Tx &tx, std::uint64_t key);
+
+    bool checkNode(const Node *n, std::uint64_t lo, std::uint64_t hi,
+                   int black_height, int *expected_height) const;
+
+    TxArena &arena_;
+    Node *nil_;                //!< shared black sentinel
+    std::uint64_t root_ = 0;   //!< Node*, transactional word
+    std::uint64_t count_ = 0;  //!< transactional size counter
+};
+
+} // namespace proteus::workloads
+
+#endif // PROTEUS_WORKLOADS_RBTREE_HPP

@@ -1,0 +1,94 @@
+#include "workloads/runner.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/timing.hpp"
+
+namespace proteus::workloads {
+
+using polytm::PolyStats;
+using polytm::PolyTm;
+
+void
+setupWorkload(PolyTm &poly, TxWorkload &workload)
+{
+    auto token = poly.registerThread();
+    // The setup thread may exceed the configured parallelism degree;
+    // pin it so it can run regardless, then undo.
+    poly.setPinned(token.tid, true);
+    workload.setup(poly, token);
+    poly.setPinned(token.tid, false);
+    poly.deregisterThread(token);
+}
+
+namespace {
+
+RunResult
+runInternal(PolyTm &poly, TxWorkload &workload, int threads,
+            double seconds, std::uint64_t ops_per_thread,
+            std::uint64_t seed_base)
+{
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> total_ops{0};
+    const PolyStats before = poly.snapshotStats();
+
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    Stopwatch sw;
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            auto token = poly.registerThread();
+            Rng rng(seed_base + static_cast<std::uint64_t>(t) * 7919);
+            std::uint64_t done = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+                workload.op(poly, token, rng);
+                ++done;
+                if (ops_per_thread && done >= ops_per_thread)
+                    break;
+            }
+            total_ops.fetch_add(done);
+            poly.deregisterThread(token);
+        });
+    }
+
+    if (ops_per_thread == 0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(seconds));
+        stop.store(true);
+        // Wake threads parked by a low parallelism degree so they can
+        // observe the stop flag.
+        poly.resumeAllForShutdown();
+    }
+    for (auto &w : workers)
+        w.join();
+
+    RunResult result;
+    result.seconds = sw.elapsedSeconds();
+    result.ops = total_ops.load();
+    result.opsPerSec = result.ops / result.seconds;
+    const PolyStats after = poly.snapshotStats();
+    result.commits = after.commits - before.commits;
+    result.aborts = after.aborts - before.aborts;
+    return result;
+}
+
+} // namespace
+
+RunResult
+runTimed(PolyTm &poly, TxWorkload &workload, int threads, double seconds,
+         std::uint64_t seed_base)
+{
+    return runInternal(poly, workload, threads, seconds, 0, seed_base);
+}
+
+RunResult
+runOps(PolyTm &poly, TxWorkload &workload, int threads,
+       std::uint64_t ops_per_thread, std::uint64_t seed_base)
+{
+    return runInternal(poly, workload, threads, 0.0, ops_per_thread,
+                       seed_base);
+}
+
+} // namespace proteus::workloads

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Multi-threaded workload runner used by tests, benches and examples.
+ *
+ * Spawns worker threads that register with PolyTM and execute
+ * workload operations either for a fixed wall-clock duration or for a
+ * fixed operation count. The PolyTM parallelism degree (not the
+ * spawned thread count) decides how many of them make progress.
+ */
+
+#ifndef PROTEUS_WORKLOADS_RUNNER_HPP
+#define PROTEUS_WORKLOADS_RUNNER_HPP
+
+#include <cstdint>
+
+#include "polytm/polytm.hpp"
+#include "workloads/workload.hpp"
+
+namespace proteus::workloads {
+
+struct RunResult
+{
+    std::uint64_t ops = 0;      //!< operations completed
+    double seconds = 0;         //!< wall time measured
+    double opsPerSec = 0;
+    std::uint64_t commits = 0;  //!< transactions committed (delta)
+    std::uint64_t aborts = 0;   //!< aborts (delta)
+};
+
+/**
+ * Run `workload.op` from `threads` workers for `seconds` wall-clock
+ * seconds. setup() must already have been called.
+ */
+RunResult runTimed(polytm::PolyTm &poly, TxWorkload &workload,
+                   int threads, double seconds,
+                   std::uint64_t seed_base = 0x5eed);
+
+/**
+ * Run exactly `ops_per_thread` operations on each worker.
+ * Precondition: the configured parallelism degree admits all
+ * `threads` workers, otherwise parked workers can never finish.
+ */
+RunResult runOps(polytm::PolyTm &poly, TxWorkload &workload, int threads,
+                 std::uint64_t ops_per_thread,
+                 std::uint64_t seed_base = 0x5eed);
+
+/** Convenience: register a token, run setup, deregister. */
+void setupWorkload(polytm::PolyTm &poly, TxWorkload &workload);
+
+} // namespace proteus::workloads
+
+#endif // PROTEUS_WORKLOADS_RUNNER_HPP

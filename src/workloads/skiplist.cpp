@@ -1,0 +1,159 @@
+#include "workloads/skiplist.hpp"
+
+namespace proteus::workloads {
+
+using polytm::Tx;
+
+SkipListTx::SkipListTx(TxArena &arena) : arena_(arena)
+{
+    head_ = arena_.create<Node>();
+    head_->key = 0;
+    head_->value = 0;
+    head_->level = kMaxLevel;
+    for (auto &n : head_->next)
+        n = 0;
+}
+
+int
+SkipListTx::levelFor(std::uint64_t key)
+{
+    std::uint64_t h = key * 0x9e3779b97f4a7c15ull;
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 32;
+    int level = 1;
+    while ((h & 1) && level < kMaxLevel) {
+        ++level;
+        h >>= 1;
+    }
+    return level;
+}
+
+bool
+SkipListTx::lookup(Tx &tx, std::uint64_t key, std::uint64_t *value)
+{
+    Node *cur = head_;
+    for (int lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+        for (;;) {
+            Node *next = asNode(tx.readWord(&cur->next[lvl]));
+            if (!next || tx.readWord(&next->key) >= key)
+                break;
+            cur = next;
+        }
+    }
+    Node *cand = asNode(tx.readWord(&cur->next[0]));
+    if (cand && tx.readWord(&cand->key) == key) {
+        if (value)
+            *value = tx.readWord(&cand->value);
+        return true;
+    }
+    return false;
+}
+
+bool
+SkipListTx::insert(Tx &tx, std::uint64_t key, std::uint64_t value)
+{
+    Node *update[kMaxLevel];
+    Node *cur = head_;
+    for (int lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+        for (;;) {
+            Node *next = asNode(tx.readWord(&cur->next[lvl]));
+            if (!next || tx.readWord(&next->key) >= key)
+                break;
+            cur = next;
+        }
+        update[lvl] = cur;
+    }
+
+    Node *cand = asNode(tx.readWord(&cur->next[0]));
+    if (cand && tx.readWord(&cand->key) == key) {
+        tx.writeWord(&cand->value, value);
+        return false;
+    }
+
+    const int level = levelFor(key);
+    Node *node = arena_.create<Node>();
+    node->key = key;
+    node->value = value;
+    node->level = static_cast<std::uint64_t>(level);
+    for (int lvl = 0; lvl < level; ++lvl) {
+        // Private until linked; raw init of the new node is safe.
+        node->next[lvl] = tx.readWord(&update[lvl]->next[lvl]);
+        tx.writeWord(&update[lvl]->next[lvl], asWord(node));
+    }
+    tx.writeWord(&count_, tx.readWord(&count_) + 1);
+    return true;
+}
+
+bool
+SkipListTx::erase(Tx &tx, std::uint64_t key)
+{
+    Node *update[kMaxLevel];
+    Node *cur = head_;
+    for (int lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+        for (;;) {
+            Node *next = asNode(tx.readWord(&cur->next[lvl]));
+            if (!next || tx.readWord(&next->key) >= key)
+                break;
+            cur = next;
+        }
+        update[lvl] = cur;
+    }
+
+    Node *victim = asNode(tx.readWord(&cur->next[0]));
+    if (!victim || tx.readWord(&victim->key) != key)
+        return false;
+
+    const auto level = static_cast<int>(tx.readWord(&victim->level));
+    for (int lvl = 0; lvl < level; ++lvl) {
+        if (tx.readWord(&update[lvl]->next[lvl]) == asWord(victim)) {
+            tx.writeWord(&update[lvl]->next[lvl],
+                         tx.readWord(&victim->next[lvl]));
+        }
+    }
+    tx.writeWord(&count_, tx.readWord(&count_) - 1);
+    return true;
+}
+
+std::uint64_t
+SkipListTx::size(Tx &tx)
+{
+    return tx.readWord(&count_);
+}
+
+bool
+SkipListTx::invariantsHold() const
+{
+    for (int lvl = 0; lvl < kMaxLevel; ++lvl) {
+        const Node *cur = asNode(head_->next[lvl]);
+        std::uint64_t last = 0;
+        bool first = true;
+        while (cur) {
+            if (!first && cur->key <= last)
+                return false;
+            last = cur->key;
+            first = false;
+            cur = asNode(cur->next[lvl]);
+        }
+    }
+    // Every level-0 node must appear in all of its tower levels.
+    for (const Node *n = asNode(head_->next[0]); n;
+         n = asNode(n->next[0])) {
+        for (std::uint64_t lvl = 1; lvl < n->level; ++lvl) {
+            const Node *cur = asNode(head_->next[lvl]);
+            bool found = false;
+            while (cur) {
+                if (cur == n) {
+                    found = true;
+                    break;
+                }
+                cur = asNode(cur->next[lvl]);
+            }
+            if (!found)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace proteus::workloads

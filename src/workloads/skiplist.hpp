@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Transactional skip list (sorted set/map).
+ *
+ * Tower heights are a deterministic hash of the key, so re-executed
+ * (aborted) transactions rebuild identical towers without consuming
+ * randomness inside the transaction body.
+ */
+
+#ifndef PROTEUS_WORKLOADS_SKIPLIST_HPP
+#define PROTEUS_WORKLOADS_SKIPLIST_HPP
+
+#include <cstdint>
+
+#include "polytm/polytm.hpp"
+#include "workloads/tx_arena.hpp"
+
+namespace proteus::workloads {
+
+class SkipListTx
+{
+  public:
+    static constexpr int kMaxLevel = 16;
+
+    explicit SkipListTx(TxArena &arena);
+
+    bool insert(polytm::Tx &tx, std::uint64_t key, std::uint64_t value);
+    bool erase(polytm::Tx &tx, std::uint64_t key);
+    bool lookup(polytm::Tx &tx, std::uint64_t key,
+                std::uint64_t *value = nullptr);
+    std::uint64_t size(polytm::Tx &tx);
+
+    /** Quiesced-only: ascending key order at every level. */
+    bool invariantsHold() const;
+
+  private:
+    struct Node
+    {
+        std::uint64_t key;
+        std::uint64_t value;
+        std::uint64_t level; // number of forward links
+        std::uint64_t next[kMaxLevel];
+    };
+
+    static Node *asNode(std::uint64_t w)
+    {
+        return reinterpret_cast<Node *>(w);
+    }
+    static std::uint64_t asWord(Node *n)
+    {
+        return reinterpret_cast<std::uint64_t>(n);
+    }
+
+    /** Deterministic tower height for a key (geometric, p=1/2). */
+    static int levelFor(std::uint64_t key);
+
+    TxArena &arena_;
+    Node *head_;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace proteus::workloads
+
+#endif // PROTEUS_WORKLOADS_SKIPLIST_HPP

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Arena allocator for transactional data-structure nodes.
+ *
+ * Memory reclamation inside TM is a research topic of its own; this
+ * reproduction sidesteps it the way most STM benchmarks do: nodes are
+ * carved from an arena that stays mapped until the workload is torn
+ * down, so a concurrent (even doomed/zombie) transaction can never
+ * dereference unmapped memory, and unlinking a node simply drops it
+ * from the structure. An allocation made by an attempt that later
+ * aborts leaks into the arena until teardown — bounded by run length
+ * and documented in DESIGN.md.
+ */
+
+#ifndef PROTEUS_WORKLOADS_TX_ARENA_HPP
+#define PROTEUS_WORKLOADS_TX_ARENA_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace proteus::workloads {
+
+class TxArena
+{
+  public:
+    explicit TxArena(std::size_t chunk_bytes = std::size_t{1} << 20)
+        : chunkBytes_(chunk_bytes)
+    {}
+
+    TxArena(const TxArena &) = delete;
+    TxArena &operator=(const TxArena &) = delete;
+
+    /** Allocate 8-byte-aligned raw storage. Thread-safe. */
+    void *
+    alloc(std::size_t bytes)
+    {
+        bytes = (bytes + 7) & ~std::size_t{7};
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (offset_ + bytes > currentSize_) {
+            const std::size_t size = std::max(chunkBytes_, bytes);
+            chunks_.push_back(std::make_unique<std::byte[]>(size));
+            currentSize_ = size;
+            offset_ = 0;
+        }
+        void *out = chunks_.back().get() + offset_;
+        offset_ += bytes;
+        return out;
+    }
+
+    /** Construct a T in the arena (destructor never runs: PODs only). */
+    template <typename T, typename... Args>
+    T *
+    create(Args &&...args)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena objects are never destroyed individually");
+        return new (alloc(sizeof(T))) T(std::forward<Args>(args)...);
+    }
+
+    /** Total bytes reserved (tests / leak accounting). */
+    std::size_t
+    reservedBytes() const
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        return chunks_.size() * chunkBytes_;
+    }
+
+  private:
+    const std::size_t chunkBytes_;
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<std::byte[]>> chunks_;
+    std::size_t currentSize_ = 0;
+    std::size_t offset_ = 0;
+};
+
+} // namespace proteus::workloads
+
+#endif // PROTEUS_WORKLOADS_TX_ARENA_HPP

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Uniform workload interface consumed by the benches and the runner.
+ *
+ * A TxWorkload owns its data and executes "operations" (each one or
+ * more transactions) against a PolyTm instance. setup() runs single-
+ * threaded; op() is called concurrently by worker threads.
+ */
+
+#ifndef PROTEUS_WORKLOADS_WORKLOAD_HPP
+#define PROTEUS_WORKLOADS_WORKLOAD_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "polytm/polytm.hpp"
+
+namespace proteus::workloads {
+
+class TxWorkload
+{
+  public:
+    virtual ~TxWorkload() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Populate initial data (single-threaded, quiesced). */
+    virtual void setup(polytm::PolyTm &poly,
+                       polytm::ThreadToken &token) = 0;
+
+    /** Execute one operation (thread-safe). */
+    virtual void op(polytm::PolyTm &poly, polytm::ThreadToken &token,
+                    Rng &rng) = 0;
+
+    /** Post-run structural check (quiesced). */
+    virtual bool consistent() const { return true; }
+};
+
+} // namespace proteus::workloads
+
+#endif // PROTEUS_WORKLOADS_WORKLOAD_HPP

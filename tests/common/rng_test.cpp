@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace proteus {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.nextU64() == b.nextU64();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.nextDouble();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(RngTest, BoundedStaysInBounds)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(RngTest, UniformMeanApproximatelyCentered)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform(2.0, 4.0);
+    EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard)
+{
+    Rng rng(13);
+    const int n = 200000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.nextGaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP)
+{
+    Rng rng(17);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, PermutationIsAPermutation)
+{
+    Rng rng(19);
+    const auto perm = rng.permutation(100);
+    std::set<std::size_t> seen(perm.begin(), perm.end());
+    EXPECT_EQ(seen.size(), 100u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallIndices)
+{
+    Rng rng(23);
+    const int n = 50000;
+    int low = 0;
+    for (int i = 0; i < n; ++i)
+        low += rng.zipf(1000, 0.8) < 100;
+    // With strong skew, far more than 10% of mass is in the first 10%.
+    EXPECT_GT(low, n / 4);
+}
+
+TEST(RngTest, ZipfStaysInRange)
+{
+    Rng rng(29);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.zipf(57, 0.5), 57u);
+}
+
+TEST(RngTest, SplitStreamsAreIndependent)
+{
+    Rng parent(31);
+    Rng child = parent.split();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += parent.nextU64() == child.nextU64();
+    EXPECT_LT(equal, 3);
+}
+
+} // namespace
+} // namespace proteus

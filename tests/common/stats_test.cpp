@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace proteus {
+namespace {
+
+TEST(StatsTest, MeanOfEmptyIsZero)
+{
+    EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(StatsTest, MeanBasic)
+{
+    EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+}
+
+TEST(StatsTest, VarianceBasic)
+{
+    // Population variance of {2,4,4,4,5,5,7,9} is 4.
+    EXPECT_DOUBLE_EQ(variance({2, 4, 4, 4, 5, 5, 7, 9}), 4.0);
+    EXPECT_DOUBLE_EQ(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0);
+}
+
+TEST(StatsTest, VarianceOfSingletonIsZero)
+{
+    EXPECT_EQ(variance({5.0}), 0.0);
+}
+
+TEST(StatsTest, MedianOddEven)
+{
+    EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(StatsTest, PercentileEndpoints)
+{
+    std::vector<double> xs{10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+}
+
+TEST(StatsTest, PercentileInterpolates)
+{
+    std::vector<double> xs{0, 10};
+    EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.5);
+    EXPECT_DOUBLE_EQ(percentile(xs, 90), 9.0);
+}
+
+TEST(StatsTest, IndexOfDispersion)
+{
+    // var = 4, mean = 5 -> D = 0.8
+    EXPECT_DOUBLE_EQ(indexOfDispersion({2, 4, 4, 4, 5, 5, 7, 9}), 0.8);
+}
+
+TEST(StatsTest, IndexOfDispersionZeroMeanIsInf)
+{
+    EXPECT_TRUE(std::isinf(indexOfDispersion({0.0, 0.0})));
+}
+
+TEST(StatsTest, EmpiricalCdfMonotone)
+{
+    std::vector<double> xs{1, 2, 3, 4, 5};
+    const auto cdf = empiricalCdf(xs, {0.5, 2.5, 5.0});
+    EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+    EXPECT_DOUBLE_EQ(cdf[1], 0.4);
+    EXPECT_DOUBLE_EQ(cdf[2], 1.0);
+}
+
+TEST(StatsTest, RunningStatsMatchesBatch)
+{
+    RunningStats rs;
+    const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+    for (double x : xs)
+        rs.push(x);
+    EXPECT_EQ(rs.count(), xs.size());
+    EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+    EXPECT_NEAR(rs.variance(), variance(xs), 1e-12);
+}
+
+TEST(StatsTest, RunningStatsClear)
+{
+    RunningStats rs;
+    rs.push(1.0);
+    rs.clear();
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_EQ(rs.mean(), 0.0);
+}
+
+} // namespace
+} // namespace proteus

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/cart.hpp"
+#include "ml/classifier.hpp"
+#include "ml/mlp.hpp"
+#include "ml/svm.hpp"
+
+namespace proteus::ml {
+namespace {
+
+/** 3 well-separated Gaussian blobs in 2D. */
+Dataset
+blobs(std::size_t per_class, std::uint64_t seed, double spread = 0.3)
+{
+    const double centers[3][2] = {{0, 0}, {4, 0}, {0, 4}};
+    Dataset data;
+    data.numClasses = 3;
+    Rng rng(seed);
+    for (int cls = 0; cls < 3; ++cls) {
+        for (std::size_t i = 0; i < per_class; ++i) {
+            data.features.push_back(
+                {rng.gaussian(centers[cls][0], spread),
+                 rng.gaussian(centers[cls][1], spread)});
+            data.labels.push_back(cls);
+        }
+    }
+    return data;
+}
+
+/** XOR-ish dataset: not linearly separable. */
+Dataset
+xorSet(std::size_t per_quadrant, std::uint64_t seed)
+{
+    Dataset data;
+    data.numClasses = 2;
+    Rng rng(seed);
+    for (int qx = 0; qx < 2; ++qx) {
+        for (int qy = 0; qy < 2; ++qy) {
+            for (std::size_t i = 0; i < per_quadrant; ++i) {
+                const double x = rng.gaussian(qx ? 2 : -2, 0.4);
+                const double y = rng.gaussian(qy ? 2 : -2, 0.4);
+                data.features.push_back({x, y});
+                data.labels.push_back(qx ^ qy);
+            }
+        }
+    }
+    return data;
+}
+
+TEST(StandardizerTest, ZeroMeanUnitVariance)
+{
+    const auto data = blobs(50, 1);
+    Standardizer std_;
+    std_.fit(data);
+    const auto scaled = std_.apply(data);
+    for (std::size_t f = 0; f < 2; ++f) {
+        double sum = 0, sq = 0;
+        for (const auto &x : scaled.features) {
+            sum += x[f];
+            sq += x[f] * x[f];
+        }
+        const double mean = sum / scaled.size();
+        EXPECT_NEAR(mean, 0.0, 1e-9);
+        EXPECT_NEAR(sq / scaled.size() - mean * mean, 1.0, 1e-6);
+    }
+}
+
+TEST(CartTest, SeparatesBlobs)
+{
+    const auto train = blobs(40, 2);
+    const auto test = blobs(20, 3);
+    CartClassifier cart;
+    cart.fit(train);
+    EXPECT_GT(accuracy(cart, test), 0.95);
+}
+
+TEST(CartTest, HandlesXor)
+{
+    const auto train = xorSet(40, 4);
+    const auto test = xorSet(15, 5);
+    CartClassifier cart;
+    cart.fit(train);
+    EXPECT_GT(accuracy(cart, test), 0.9) << "trees split XOR fine";
+}
+
+TEST(CartTest, DepthOneIsAStump)
+{
+    CartClassifier::Hyper hyper;
+    hyper.maxDepth = 1;
+    CartClassifier stump(hyper);
+    const auto train = xorSet(40, 6);
+    stump.fit(train);
+    // A stump cannot solve XOR: accuracy stays near chance.
+    EXPECT_LT(accuracy(stump, train), 0.8);
+}
+
+TEST(SvmTest, SeparatesBlobs)
+{
+    const auto train = blobs(40, 7);
+    const auto test = blobs(20, 8);
+    SvmClassifier svm;
+    svm.fit(train);
+    EXPECT_GT(accuracy(svm, test), 0.95);
+}
+
+TEST(SvmTest, LinearModelFailsXor)
+{
+    const auto train = xorSet(40, 9);
+    SvmClassifier svm;
+    svm.fit(train);
+    EXPECT_LT(accuracy(svm, train), 0.75)
+        << "a linear separator cannot express XOR";
+}
+
+TEST(MlpTest, SeparatesBlobs)
+{
+    const auto train = blobs(40, 10);
+    const auto test = blobs(20, 11);
+    MlpClassifier mlp;
+    mlp.fit(train);
+    EXPECT_GT(accuracy(mlp, test), 0.95);
+}
+
+TEST(MlpTest, SolvesXor)
+{
+    const auto train = xorSet(50, 12);
+    const auto test = xorSet(20, 13);
+    MlpClassifier::Hyper hyper;
+    hyper.hiddenUnits = 16;
+    hyper.epochs = 400;
+    MlpClassifier mlp(hyper);
+    mlp.fit(train);
+    EXPECT_GT(accuracy(mlp, test), 0.9);
+}
+
+TEST(MlpTest, DeterministicForSeed)
+{
+    const auto train = blobs(30, 14);
+    MlpClassifier::Hyper hyper;
+    hyper.seed = 321;
+    MlpClassifier a(hyper), b(hyper);
+    a.fit(train);
+    b.fit(train);
+    for (const auto &x : train.features)
+        EXPECT_EQ(a.predict(x), b.predict(x));
+}
+
+TEST(CvTest, CvAccuracyHighOnEasyData)
+{
+    const auto data = blobs(30, 15);
+    CartClassifier cart;
+    EXPECT_GT(cvAccuracy(cart, data, 4, 1), 0.9);
+}
+
+TEST(TunerTest, AllFamiliesProduceWorkingModels)
+{
+    const auto data = blobs(30, 16);
+    for (const auto family :
+         {ClassifierFamily::kCart, ClassifierFamily::kSvm,
+          ClassifierFamily::kMlp}) {
+        const auto tuned = tuneClassifier(family, data, 4, 17);
+        ASSERT_NE(tuned.model, nullptr)
+            << classifierFamilyName(family);
+        EXPECT_GT(tuned.cvAccuracy, 0.8);
+        EXPECT_FALSE(tuned.description.empty());
+        auto model = tuned.model->clone();
+        model->fit(data);
+        EXPECT_GT(accuracy(*model, data), 0.8);
+    }
+}
+
+} // namespace
+} // namespace proteus::ml

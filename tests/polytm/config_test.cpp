@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "polytm/config.hpp"
+#include "polytm/kpi.hpp"
+
+namespace proteus::polytm {
+namespace {
+
+TEST(ConfigSpaceTest, MachineAHas130Configurations)
+{
+    EXPECT_EQ(ConfigSpace::machineA().size(), 130u);
+}
+
+TEST(ConfigSpaceTest, MachineBHas32Configurations)
+{
+    EXPECT_EQ(ConfigSpace::machineB().size(), 32u);
+}
+
+TEST(ConfigSpaceTest, LabelsAreUnique)
+{
+    for (const auto &space :
+         {ConfigSpace::machineA(), ConfigSpace::machineB()}) {
+        std::set<std::string> labels;
+        for (const auto &c : space.all())
+            labels.insert(c.label());
+        EXPECT_EQ(labels.size(), space.size());
+    }
+}
+
+TEST(ConfigSpaceTest, IndexOfRoundTrips)
+{
+    const auto space = ConfigSpace::machineA();
+    for (std::size_t i = 0; i < space.size(); ++i)
+        EXPECT_EQ(space.indexOf(space.at(i)), static_cast<int>(i));
+}
+
+TEST(ConfigSpaceTest, MachineBHasNoHtm)
+{
+    const auto space = ConfigSpace::machineB();
+    for (const auto &c : space.all()) {
+        EXPECT_NE(c.backend, tm::BackendKind::kSimHtm);
+        EXPECT_NE(c.backend, tm::BackendKind::kHybridNorec);
+    }
+}
+
+TEST(ConfigSpaceTest, MachineAThreadRangeIsOneToEight)
+{
+    const auto space = ConfigSpace::machineA();
+    for (const auto &c : space.all()) {
+        EXPECT_GE(c.threads, 1);
+        EXPECT_LE(c.threads, 8);
+    }
+}
+
+TEST(TmConfigTest, EqualityIgnoresHtmKnobsForStms)
+{
+    TmConfig a{tm::BackendKind::kTl2, 4, {}};
+    TmConfig b{tm::BackendKind::kTl2, 4, {}};
+    b.cm.htmBudget = 999;
+    EXPECT_EQ(a, b);
+}
+
+TEST(TmConfigTest, EqualityUsesHtmKnobsForHtm)
+{
+    TmConfig a{tm::BackendKind::kSimHtm, 4, {}};
+    TmConfig b = a;
+    b.cm.htmBudget = a.cm.htmBudget + 1;
+    EXPECT_FALSE(a == b);
+}
+
+TEST(TmConfigTest, LabelFormat)
+{
+    TmConfig stm{tm::BackendKind::kTinyStm, 4, {}};
+    EXPECT_EQ(stm.label(), "tiny:4t");
+
+    TmConfig htm{tm::BackendKind::kSimHtm, 8, {}};
+    htm.cm.htmBudget = 4;
+    htm.cm.capacityPolicy = tm::CapacityPolicy::kHalve;
+    EXPECT_EQ(htm.label(), "htm:8t:B4:halve");
+}
+
+TEST(KpiTest, OrientationAndNames)
+{
+    EXPECT_TRUE(kpiIsMaximize(KpiKind::kThroughput));
+    EXPECT_FALSE(kpiIsMaximize(KpiKind::kExecTime));
+    EXPECT_FALSE(kpiIsMaximize(KpiKind::kEdp));
+    EXPECT_EQ(kpiName(KpiKind::kEdp), "edp");
+}
+
+TEST(PowerModelTest, EnergyAndEdpScale)
+{
+    PowerModel pm;
+    pm.staticWatts = 10;
+    pm.perThreadWatts = 5;
+    EXPECT_DOUBLE_EQ(pm.watts(2), 20.0);
+    EXPECT_DOUBLE_EQ(pm.energyJoules(3.0, 2), 60.0);
+    EXPECT_DOUBLE_EQ(pm.edp(3.0, 2), 180.0);
+}
+
+} // namespace
+} // namespace proteus::polytm

@@ -1,0 +1,170 @@
+/**
+ * Additional PolyTM edge cases: typed fields over the full payload
+ * spectrum, instance independence, registration churn, reconfigure
+ * storms, and abort accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "polytm/polytm.hpp"
+
+namespace proteus::polytm {
+namespace {
+
+TEST(PolyTmExtraTest, TxFieldSupportsVariedPayloads)
+{
+    PolyTm poly;
+    auto token = poly.registerThread();
+
+    TxField<std::int8_t> tiny(-5);
+    TxField<std::uint16_t> medium(65535);
+    TxField<std::int64_t> negative(-123456789012345LL);
+    TxField<float> fraction(0.25f);
+    int sentinel = 42;
+    TxField<int *> pointer(&sentinel);
+
+    poly.run(token, [&](Tx &tx) {
+        tx.write(tiny, static_cast<std::int8_t>(tx.read(tiny) - 1));
+        tx.write(medium, static_cast<std::uint16_t>(
+                             tx.read(medium) - 1));
+        tx.write(negative, tx.read(negative) * 2);
+        tx.write(fraction, tx.read(fraction) + 0.5f);
+        *tx.read(pointer) += 1; // read the pointer transactionally
+    });
+
+    EXPECT_EQ(tiny.rawGet(), -6);
+    EXPECT_EQ(medium.rawGet(), 65534);
+    EXPECT_EQ(negative.rawGet(), -246913578024690LL);
+    EXPECT_FLOAT_EQ(fraction.rawGet(), 0.75f);
+    EXPECT_EQ(sentinel, 43);
+    poly.deregisterThread(token);
+}
+
+TEST(PolyTmExtraTest, InstancesAreIndependent)
+{
+    PolyTm a({tm::BackendKind::kTl2, 2, {}});
+    PolyTm b({tm::BackendKind::kNorec, 4, {}});
+    auto ta = a.registerThread();
+    auto tb = b.registerThread();
+
+    TxField<int> x(0);
+    a.run(ta, [&](Tx &tx) { tx.write(x, 1); });
+    b.run(tb, [&](Tx &tx) { tx.write(x, tx.read(x) + 1); });
+    EXPECT_EQ(x.rawGet(), 2);
+
+    a.reconfigure({tm::BackendKind::kSwissTm, 1, {}});
+    EXPECT_EQ(b.currentConfig().backend, tm::BackendKind::kNorec);
+    EXPECT_EQ(a.snapshotStats().commits, 1u);
+    EXPECT_EQ(b.snapshotStats().commits, 1u);
+
+    a.deregisterThread(ta);
+    b.deregisterThread(tb);
+}
+
+TEST(PolyTmExtraTest, RegistrationChurnReusesTids)
+{
+    PolyTm poly;
+    for (int round = 0; round < 50; ++round) {
+        auto token = poly.registerThread();
+        EXPECT_EQ(token.tid, 0) << "lowest tid must be reused";
+        TxField<int> x(round);
+        poly.run(token, [&](Tx &tx) { tx.write(x, tx.read(x) + 1); });
+        EXPECT_EQ(x.rawGet(), round + 1);
+        poly.deregisterThread(token);
+    }
+    EXPECT_EQ(poly.registeredThreads(), 0);
+    EXPECT_EQ(poly.snapshotStats().commits, 50u);
+}
+
+TEST(PolyTmExtraTest, ReconfigureStormWithIdleThreads)
+{
+    PolyTm poly({tm::BackendKind::kTl2, 8, {}});
+    auto t0 = poly.registerThread();
+    auto t1 = poly.registerThread();
+
+    // Nobody is running transactions: the storm must not wedge the
+    // gate state.
+    const tm::BackendKind kinds[] = {
+        tm::BackendKind::kNorec, tm::BackendKind::kTinyStm,
+        tm::BackendKind::kSimHtm, tm::BackendKind::kTl2};
+    for (int i = 0; i < 200; ++i)
+        poly.reconfigure({kinds[i % 4], 1 + i % 8, {}});
+
+    poly.reconfigure({tm::BackendKind::kTl2, 8, {}});
+    TxField<int> x(0);
+    poly.run(t0, [&](Tx &tx) { tx.write(x, 1); });
+    poly.run(t1, [&](Tx &tx) { tx.write(x, tx.read(x) + 1); });
+    EXPECT_EQ(x.rawGet(), 2);
+
+    poly.deregisterThread(t0);
+    poly.deregisterThread(t1);
+}
+
+TEST(PolyTmExtraTest, AbortsAttributedToCauses)
+{
+    tm::SimHtmConfig htm;
+    htm.writeCapacityLines = 2;
+    PolyTm poly({tm::BackendKind::kSimHtm, 1, {}}, htm);
+    auto token = poly.registerThread();
+
+    std::vector<TxField<int>> xs(32);
+    poly.run(token, [&](Tx &tx) {
+        for (auto &x : xs)
+            tx.write(x, 1);
+    });
+    bool once = false;
+    poly.run(token, [&](Tx &tx) {
+        tx.write(xs[0], 2);
+        if (!once) {
+            once = true;
+            tx.retry();
+        }
+    });
+
+    const PolyStats stats = poly.snapshotStats();
+    std::uint64_t by_cause = 0;
+    for (const auto n : stats.abortsByCause)
+        by_cause += n;
+    EXPECT_EQ(by_cause, stats.aborts)
+        << "every abort must carry exactly one cause";
+    EXPECT_GT(stats.abortsByCause[static_cast<std::size_t>(
+                  tm::AbortCause::kCapacity)],
+              0u);
+    EXPECT_EQ(stats.abortsByCause[static_cast<std::size_t>(
+                  tm::AbortCause::kExplicit)],
+              1u);
+    poly.deregisterThread(token);
+}
+
+TEST(PolyTmExtraTest, RunResetsConsecutiveAbortsBetweenTransactions)
+{
+    PolyTm poly;
+    auto token = poly.registerThread();
+    TxField<int> x(0);
+    // A transaction that aborts twice then commits.
+    int tries = 0;
+    poly.run(token, [&](Tx &tx) {
+        tx.write(x, 1);
+        if (++tries < 3)
+            tx.retry();
+    });
+    EXPECT_EQ(token.desc->consecutiveAborts, 0u)
+        << "commit must clear the backoff state";
+    poly.deregisterThread(token);
+}
+
+TEST(PolyTmExtraTest, ThreadsBeyondMaxRejected)
+{
+    PolyTm poly;
+    std::vector<ThreadToken> tokens;
+    for (int i = 0; i < tm::kMaxThreads; ++i)
+        tokens.push_back(poly.registerThread());
+    EXPECT_THROW((void)poly.registerThread(), std::runtime_error);
+    for (auto &t : tokens)
+        poly.deregisterThread(t);
+}
+
+} // namespace
+} // namespace proteus::polytm

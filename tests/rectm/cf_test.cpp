@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rectm/cf.hpp"
+#include "rectm/normalizer.hpp"
+
+namespace proteus::rectm {
+namespace {
+
+TEST(KnnSimilarityTest, CosineScaleInsensitive)
+{
+    KnnModel knn(3, Similarity::kCosine);
+    const std::vector<double> a = {1, 2, 3};
+    const std::vector<double> b = {10, 20, 30};
+    EXPECT_NEAR(knn.rowSimilarity(a, b), 1.0, 1e-9);
+}
+
+TEST(KnnSimilarityTest, EuclideanScaleSensitive)
+{
+    KnnModel knn(3, Similarity::kEuclidean);
+    const std::vector<double> a = {1, 2, 3};
+    const std::vector<double> same = {1, 2, 3};
+    const std::vector<double> scaled = {10, 20, 30};
+    EXPECT_GT(knn.rowSimilarity(a, same), knn.rowSimilarity(a, scaled));
+    EXPECT_DOUBLE_EQ(knn.rowSimilarity(a, same), 1.0);
+}
+
+TEST(KnnSimilarityTest, PearsonDetectsTrendNotOffset)
+{
+    KnnModel knn(3, Similarity::kPearson);
+    const std::vector<double> a = {1, 2, 3};
+    const std::vector<double> shifted = {101, 102, 103};
+    const std::vector<double> inverted = {3, 2, 1};
+    EXPECT_NEAR(knn.rowSimilarity(a, shifted), 1.0, 1e-9);
+    EXPECT_NEAR(knn.rowSimilarity(a, inverted), -1.0, 1e-9);
+}
+
+TEST(KnnSimilarityTest, IgnoresUnknownEntries)
+{
+    KnnModel knn(3, Similarity::kCosine);
+    const std::vector<double> a = {1, kUnknown, 3};
+    const std::vector<double> b = {2, 99, 6};
+    EXPECT_NEAR(knn.rowSimilarity(a, b), 1.0, 1e-9);
+}
+
+TEST(KnnSimilarityTest, NoCommonEntriesIsZero)
+{
+    KnnModel knn(3, Similarity::kCosine);
+    const std::vector<double> a = {1, kUnknown};
+    const std::vector<double> b = {kUnknown, 2};
+    EXPECT_DOUBLE_EQ(knn.rowSimilarity(a, b), 0.0);
+}
+
+TEST(KnnPredictTest, PaperRunningExample)
+{
+    // The §5.1 example: after distillation, A3 (100, 200, ?) must be
+    // predicted ~300 at C3 because it trends exactly like A1 (1,2,3).
+    UtilityMatrix raw(2, 3);
+    raw.set(0, 0, 1);
+    raw.set(0, 1, 2);
+    raw.set(0, 2, 3);
+    raw.set(1, 0, 30);
+    raw.set(1, 1, 20);
+    raw.set(1, 2, 10);
+
+    auto norm = Normalizer::make(NormalizerKind::kDistillation);
+    const auto ratings = norm->fitTransform(raw);
+
+    KnnModel knn(1, Similarity::kCosine);
+    knn.fit(ratings);
+
+    std::vector<double> query_goodness = {100, 200, kUnknown};
+    std::vector<double> query_ratings(3, kUnknown);
+    for (std::size_t c = 0; c < 2; ++c) {
+        query_ratings[c] =
+            norm->toRating(query_goodness, c, query_goodness[c]);
+    }
+    const double rating = knn.predict(query_ratings, 2);
+    const double predicted =
+        norm->fromRating(query_goodness, 2, rating);
+    EXPECT_NEAR(predicted, 300.0, 15.0);
+}
+
+TEST(KnnPredictTest, WithoutNormalizationPredictionIsOffScale)
+{
+    // Same example, raw ratings: the cosine prediction lives on the
+    // neighbour's scale, nowhere near 300 (the paper's motivation).
+    UtilityMatrix raw(2, 3);
+    raw.set(0, 0, 1);
+    raw.set(0, 1, 2);
+    raw.set(0, 2, 3);
+    raw.set(1, 0, 30);
+    raw.set(1, 1, 20);
+    raw.set(1, 2, 10);
+
+    KnnModel knn(1, Similarity::kCosine);
+    knn.fit(raw);
+    const std::vector<double> query = {100, 200, kUnknown};
+    const double predicted = knn.predict(query, 2);
+    EXPECT_LT(std::abs(predicted - 3.0), 1.0)
+        << "raw cosine lands on the A1 scale";
+    EXPECT_GT(std::abs(predicted - 300.0), 250.0);
+}
+
+TEST(KnnPredictTest, PredictAllAgreesWithPredict)
+{
+    UtilityMatrix m(4, 5);
+    Rng rng(5);
+    for (std::size_t r = 0; r < 4; ++r) {
+        for (std::size_t c = 0; c < 5; ++c)
+            m.set(r, c, rng.uniform(0.5, 2.0));
+    }
+    KnnModel knn(2, Similarity::kCosine);
+    knn.fit(m);
+    std::vector<double> query = {1.0, 1.4, kUnknown, kUnknown, 0.7};
+    const auto all = knn.predictAll(query, 5);
+    for (std::size_t c = 0; c < 5; ++c)
+        EXPECT_DOUBLE_EQ(all[c], knn.predict(query, c));
+}
+
+TEST(MfTest, ReconstructsLowRankMatrix)
+{
+    // rank-2 matrix: r(u,i) = a_u * b_i + c_u * d_i (+1 offset).
+    const std::size_t rows = 30, cols = 20;
+    Rng rng(7);
+    std::vector<double> a(rows), c2(rows), b(cols), d(cols);
+    for (auto &v : a)
+        v = rng.uniform(0.5, 1.5);
+    for (auto &v : c2)
+        v = rng.uniform(-0.5, 0.5);
+    for (auto &v : b)
+        v = rng.uniform(0.5, 1.5);
+    for (auto &v : d)
+        v = rng.uniform(-0.5, 0.5);
+
+    UtilityMatrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c)
+            m.set(r, c, 1.0 + a[r] * b[c] + c2[r] * d[c]);
+    }
+
+    MfModel::Hyper hyper;
+    hyper.dims = 6;
+    hyper.epochs = 120;
+    MfModel mf(hyper);
+    mf.fit(m);
+
+    // Fold in a fresh row with half its entries known.
+    std::vector<double> full(cols), query(cols, kUnknown);
+    const double au = 1.2, cu = 0.3;
+    for (std::size_t c = 0; c < cols; ++c) {
+        full[c] = 1.0 + au * b[c] + cu * d[c];
+        if (c % 2 == 0)
+            query[c] = full[c];
+    }
+    double err = 0;
+    std::size_t n = 0;
+    for (std::size_t c = 1; c < cols; c += 2) {
+        err += std::abs(mf.predict(query, c) - full[c]) / full[c];
+        ++n;
+    }
+    EXPECT_LT(err / n, 0.08) << "MAPE on hidden entries";
+}
+
+TEST(MfTest, PredictAllAgreesWithPredict)
+{
+    UtilityMatrix m(6, 4);
+    Rng rng(9);
+    for (std::size_t r = 0; r < 6; ++r) {
+        for (std::size_t c = 0; c < 4; ++c)
+            m.set(r, c, rng.uniform(0.5, 2.0));
+    }
+    MfModel mf({});
+    mf.fit(m);
+    std::vector<double> query = {1.0, kUnknown, 1.2, kUnknown};
+    const auto all = mf.predictAll(query, 4);
+    for (std::size_t c = 0; c < 4; ++c)
+        EXPECT_DOUBLE_EQ(all[c], mf.predict(query, c));
+}
+
+TEST(MfTest, DeterministicForSameSeed)
+{
+    UtilityMatrix m(5, 5);
+    Rng rng(11);
+    for (std::size_t r = 0; r < 5; ++r) {
+        for (std::size_t c = 0; c < 5; ++c)
+            m.set(r, c, rng.uniform(1.0, 3.0));
+    }
+    MfModel::Hyper hyper;
+    hyper.seed = 77;
+    MfModel m1(hyper), m2(hyper);
+    m1.fit(m);
+    m2.fit(m);
+    std::vector<double> query = {1.5, kUnknown, 2.0, kUnknown, 1.0};
+    EXPECT_DOUBLE_EQ(m1.predict(query, 1), m2.predict(query, 1));
+}
+
+TEST(CfTest, ItemBasedKnnCannotExtrapolate)
+{
+    // Paper footnote 3: item-based KNN expresses any unknown rating
+    // as a weighted average of ratings the query itself provided, so
+    // its prediction can never leave the witnessed range — useless
+    // for finding configurations *better* than the sampled ones.
+    UtilityMatrix train(8, 5);
+    Rng rng(3);
+    for (std::size_t r = 0; r < 8; ++r) {
+        const double scale = rng.uniform(1, 10);
+        for (std::size_t c = 0; c < 5; ++c)
+            train.set(r, c, scale * (1.0 + c)); // column 4 is 5x col 0
+    }
+    ItemKnnModel item(3, Similarity::kCosine);
+    item.fit(train);
+    KnnModel user(3, Similarity::kCosine);
+    user.fit(train);
+
+    // The query knows only its two worst configurations.
+    std::vector<double> query = {2.0, 4.0, kUnknown, kUnknown,
+                                 kUnknown};
+    const double item_pred = item.predict(query, 4);
+    const double user_pred = user.predict(query, 4);
+
+    // Item-based is trapped in [2, 4]; user-based extrapolates ~10.
+    EXPECT_LE(item_pred, 4.0 + 1e-9);
+    EXPECT_GE(item_pred, 2.0 - 1e-9);
+    EXPECT_GT(user_pred, 6.0);
+}
+
+TEST(CfTest, ItemKnnStillInterpolatesSensibly)
+{
+    // Inside the witnessed range item-based KNN is a fine predictor;
+    // the point of footnote 3 is extrapolation, not interpolation.
+    UtilityMatrix train(10, 4);
+    Rng rng(9);
+    for (std::size_t r = 0; r < 10; ++r) {
+        const double s = rng.uniform(1, 5);
+        train.set(r, 0, s * 1.0);
+        train.set(r, 1, s * 2.0);
+        train.set(r, 2, s * 2.1);
+        train.set(r, 3, s * 1.1);
+    }
+    // Euclidean column similarity: all columns here are multiples of
+    // the same vector, so cosine cannot discriminate them, but the
+    // euclidean distance puts column 2 right next to column 1.
+    ItemKnnModel item(1, Similarity::kEuclidean);
+    item.fit(train);
+    std::vector<double> query = {3.0, 6.0, kUnknown, kUnknown};
+    EXPECT_NEAR(item.predict(query, 2), 6.0, 1.0);
+}
+
+TEST(CfTest, CloneIsUntrainedSameHyper)
+{
+    KnnModel knn(7, Similarity::kPearson);
+    auto clone = knn.clone();
+    EXPECT_EQ(clone->describe(), knn.describe());
+}
+
+} // namespace
+} // namespace proteus::rectm

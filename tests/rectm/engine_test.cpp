@@ -1,0 +1,235 @@
+/**
+ * End-to-end RecTM tests on simulator-generated utility matrices:
+ * training on a workload corpus, optimizing held-out workloads, and
+ * the closed-loop runtime reacting to phase changes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+#include "rectm/engine.hpp"
+#include "rectm/proteus_runtime.hpp"
+#include "simarch/perf_model.hpp"
+
+namespace proteus::rectm {
+namespace {
+
+using polytm::ConfigSpace;
+using polytm::KpiKind;
+using simarch::MachineModel;
+using simarch::PerfModel;
+using simarch::Workload;
+using simarch::WorkloadCorpus;
+
+class EngineFixture : public ::testing::Test
+{
+  protected:
+    EngineFixture()
+        : space_(ConfigSpace::machineA()),
+          perf_(MachineModel::machineA())
+    {
+        corpus_ = WorkloadCorpus::generate(6, 42); // 90 workloads
+        // 30/70 train/test split.
+        Rng rng(9);
+        const auto perm = rng.permutation(corpus_.size());
+        const std::size_t train_n = corpus_.size() * 3 / 10;
+        for (std::size_t i = 0; i < corpus_.size(); ++i) {
+            if (i < train_n)
+                trainIdx_.push_back(perm[i]);
+            else
+                testIdx_.push_back(perm[i]);
+        }
+    }
+
+    UtilityMatrix
+    trainingMatrix(KpiKind kpi) const
+    {
+        UtilityMatrix m(trainIdx_.size(), space_.size());
+        for (std::size_t i = 0; i < trainIdx_.size(); ++i) {
+            const auto row =
+                perf_.kpiRow(corpus_[trainIdx_[i]], space_, kpi);
+            for (std::size_t c = 0; c < space_.size(); ++c)
+                m.set(i, c, toGoodness(row[c], kpi));
+        }
+        return m;
+    }
+
+    /** Distance-from-optimum of a chosen config for a workload. */
+    double
+    dfo(const Workload &w, std::size_t chosen, KpiKind kpi) const
+    {
+        const auto row = perf_.kpiRow(w, space_, kpi, false);
+        double best = row[0];
+        for (const double v : row) {
+            best = polytm::kpiIsMaximize(kpi) ? std::max(best, v)
+                                              : std::min(best, v);
+        }
+        return std::abs(row[chosen] - best) / best;
+    }
+
+    ConfigSpace space_;
+    PerfModel perf_;
+    std::vector<Workload> corpus_;
+    std::vector<std::size_t> trainIdx_, testIdx_;
+};
+
+TEST_F(EngineFixture, TunerPicksAModelWithReasonableCv)
+{
+    const auto train = trainingMatrix(KpiKind::kThroughput);
+    RecTmEngine::Options opts;
+    opts.tuner.trials = 8;
+    RecTmEngine engine(train, opts);
+    EXPECT_FALSE(engine.modelDescription().empty());
+    EXPECT_LT(engine.tunerCvMape(), 0.5);
+    EXPECT_GE(engine.referenceColumn(), 0);
+    EXPECT_EQ(engine.numConfigs(), space_.size());
+}
+
+TEST_F(EngineFixture, OptimizesHeldOutWorkloadsToLowMdfo)
+{
+    const auto train = trainingMatrix(KpiKind::kThroughput);
+    RecTmEngine::Options opts;
+    opts.tuner.trials = 8;
+    RecTmEngine engine(train, opts);
+
+    std::vector<double> dfos;
+    std::vector<int> explorations;
+    for (std::size_t i = 0; i < 20; ++i) {
+        const Workload &w = corpus_[testIdx_[i]];
+        auto sampler = [&](std::size_t c) {
+            return toGoodness(
+                perf_.kpi(w, space_.at(c), KpiKind::kThroughput),
+                KpiKind::kThroughput);
+        };
+        SmboOptions smbo;
+        smbo.epsilon = 0.01;
+        const auto result = engine.optimize(sampler, smbo);
+        dfos.push_back(dfo(w, result.bestConfig, KpiKind::kThroughput));
+        explorations.push_back(result.explorations);
+    }
+    EXPECT_LT(mean(dfos), 0.10) << "MDFO should be near-optimal";
+    EXPECT_LT(mean(std::vector<double>(explorations.begin(),
+                                       explorations.end())),
+              12.0);
+}
+
+TEST_F(EngineFixture, DistillationBeatsNoNormalization)
+{
+    const auto train = trainingMatrix(KpiKind::kExecTime);
+
+    auto mdfoWith = [&](NormalizerKind kind) {
+        RecTmEngine::Options opts;
+        opts.normalizer = kind;
+        opts.tuner.trials = 6;
+        RecTmEngine engine(train, opts);
+        std::vector<double> dfos;
+        for (std::size_t i = 0; i < 15; ++i) {
+            const Workload &w = corpus_[testIdx_[i]];
+            auto sampler = [&](std::size_t c) {
+                return toGoodness(
+                    perf_.kpi(w, space_.at(c), KpiKind::kExecTime),
+                    KpiKind::kExecTime);
+            };
+            SmboOptions smbo;
+            smbo.stop = StopRule::kFixed;
+            smbo.fixedExplorations = 5;
+            const auto result = engine.optimize(sampler, smbo);
+            dfos.push_back(
+                dfo(w, result.bestConfig, KpiKind::kExecTime));
+        }
+        return mean(dfos);
+    };
+
+    EXPECT_LT(mdfoWith(NormalizerKind::kDistillation) * 1.05,
+              mdfoWith(NormalizerKind::kNone) + 0.02);
+}
+
+/** Simulated tunable system whose workload shifts by phase. */
+class PhasedSystem : public TunableSystem
+{
+  public:
+    PhasedSystem(const PerfModel &perf, const ConfigSpace &space,
+                 std::vector<Workload> phases)
+        : perf_(perf), space_(space), phases_(std::move(phases))
+    {}
+
+    void setPhase(std::size_t p) { phase_ = p; }
+    std::size_t numConfigs() const override { return space_.size(); }
+    void applyConfig(std::size_t c) override { config_ = c; }
+
+    double
+    measureKpi() override
+    {
+        // Small per-period measurement jitter on top of the model.
+        jitter_ = jitter_ * 6364136223846793005ull + 1442695040888963407ull;
+        const double noise =
+            1.0 + 0.01 * (static_cast<double>(jitter_ >> 40) / (1 << 24) -
+                          0.5);
+        return perf_.kpi(phases_[phase_], space_.at(config_),
+                         KpiKind::kThroughput, false) *
+               noise;
+    }
+
+  private:
+    const PerfModel &perf_;
+    const ConfigSpace &space_;
+    std::vector<Workload> phases_;
+    std::size_t phase_ = 0;
+    std::size_t config_ = 0;
+    std::uint64_t jitter_ = 99;
+};
+
+TEST_F(EngineFixture, RuntimeReoptimizesOnPhaseChange)
+{
+    const auto train = trainingMatrix(KpiKind::kThroughput);
+    RecTmEngine::Options opts;
+    opts.tuner.trials = 6;
+    RecTmEngine engine(train, opts);
+
+    // Two very different phases: read-dominated hashmap-like vs
+    // write-heavy contended intruder-like.
+    PhasedSystem system(perf_, space_,
+                        {corpus_[testIdx_[0]], corpus_[testIdx_[1]]});
+
+    RuntimeOptions ropts;
+    ropts.smbo.epsilon = 0.05;
+    ProteusRuntime runtime(engine, system, ropts);
+
+    const auto records = runtime.run(120, [&](int period) {
+        system.setPhase(period < 60 ? 0 : 1);
+    });
+
+    ASSERT_EQ(records.size(), 120u);
+    EXPECT_GE(runtime.episodes(), 2)
+        << "the monitor must trigger at least one re-optimization";
+
+    // After the initial episode the runtime settles (not exploring).
+    int steady = 0;
+    for (const auto &rec : records)
+        steady += rec.exploring ? 0 : 1;
+    EXPECT_GT(steady, 60);
+}
+
+TEST_F(EngineFixture, PredictAllGoodnessRoundTrips)
+{
+    const auto train = trainingMatrix(KpiKind::kThroughput);
+    RecTmEngine::Options opts;
+    opts.tuner.trials = 6;
+    RecTmEngine engine(train, opts);
+
+    const Workload &w = corpus_[testIdx_[3]];
+    std::vector<double> query(space_.size(), kUnknown);
+    const auto ref = static_cast<std::size_t>(engine.referenceColumn());
+    query[ref] = toGoodness(
+        perf_.kpi(w, space_.at(ref), KpiKind::kThroughput),
+        KpiKind::kThroughput);
+    const auto preds = engine.predictAllGoodness(query);
+    ASSERT_EQ(preds.size(), space_.size());
+    for (const double p : preds)
+        EXPECT_GT(p, 0.0);
+}
+
+} // namespace
+} // namespace proteus::rectm

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "rectm/cf_tuner.hpp"
+#include "rectm/ensemble.hpp"
+
+namespace proteus::rectm {
+namespace {
+
+UtilityMatrix
+randomRatings(std::size_t rows, std::size_t cols, std::uint64_t seed)
+{
+    UtilityMatrix m(rows, cols);
+    Rng rng(seed);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const double scale = rng.uniform(0.5, 2.0);
+        for (std::size_t c = 0; c < cols; ++c)
+            m.set(r, c, scale * (1.0 + 0.1 * c) * rng.uniform(0.9, 1.1));
+    }
+    return m;
+}
+
+TEST(EnsembleTest, BagsCount)
+{
+    KnnModel proto(3, Similarity::kCosine);
+    BaggingEnsemble ensemble(proto, 7);
+    EXPECT_EQ(ensemble.bags(), 7);
+}
+
+TEST(EnsembleTest, PredictionsHaveFiniteMeanAndNonNegativeVariance)
+{
+    const auto ratings = randomRatings(20, 8, 1);
+    KnnModel proto(5, Similarity::kCosine);
+    BaggingEnsemble ensemble(proto, 10);
+    ensemble.fit(ratings);
+
+    std::vector<double> query(8, kUnknown);
+    query[0] = 1.0;
+    query[3] = 1.3;
+    for (std::size_t c = 0; c < 8; ++c) {
+        const auto pred = ensemble.predict(query, c);
+        EXPECT_TRUE(std::isfinite(pred.mean));
+        EXPECT_GE(pred.variance, 0.0);
+    }
+}
+
+TEST(EnsembleTest, BatchAgreesWithPointQueries)
+{
+    const auto ratings = randomRatings(15, 6, 2);
+    KnnModel proto(4, Similarity::kPearson);
+    BaggingEnsemble ensemble(proto, 6);
+    ensemble.fit(ratings);
+
+    std::vector<double> query(6, kUnknown);
+    query[1] = 0.9;
+    query[4] = 1.4;
+    const auto batch = ensemble.predictAllConfigs(query, 6);
+    for (std::size_t c = 0; c < 6; ++c) {
+        const auto point = ensemble.predict(query, c);
+        EXPECT_DOUBLE_EQ(batch[c].mean, point.mean);
+        EXPECT_DOUBLE_EQ(batch[c].variance, point.variance);
+    }
+}
+
+TEST(EnsembleTest, DeterministicPerSeed)
+{
+    const auto ratings = randomRatings(15, 6, 3);
+    KnnModel proto(4, Similarity::kCosine);
+    BaggingEnsemble a(proto, 5, 99), b(proto, 5, 99);
+    a.fit(ratings);
+    b.fit(ratings);
+    std::vector<double> query(6, kUnknown);
+    query[2] = 1.1;
+    for (std::size_t c = 0; c < 6; ++c) {
+        EXPECT_DOUBLE_EQ(a.predict(query, c).mean,
+                         b.predict(query, c).mean);
+    }
+}
+
+TEST(EnsembleTest, BootstrapDiversityCreatesVariance)
+{
+    // With many bags over a heterogeneous population, at least some
+    // configurations must show non-zero predictive variance.
+    const auto ratings = randomRatings(30, 10, 4);
+    KnnModel proto(3, Similarity::kEuclidean);
+    BaggingEnsemble ensemble(proto, 10);
+    ensemble.fit(ratings);
+    std::vector<double> query(10, kUnknown);
+    query[0] = 1.0;
+    double total_var = 0;
+    for (std::size_t c = 0; c < 10; ++c)
+        total_var += ensemble.predict(query, c).variance;
+    EXPECT_GT(total_var, 0.0);
+}
+
+TEST(CfTunerTest, CrossValidationProducesFiniteMape)
+{
+    const auto ratings = randomRatings(24, 10, 5);
+    KnnModel proto(5, Similarity::kCosine);
+    const double mape = crossValidateMape(proto, ratings, 4, 3, 7);
+    EXPECT_TRUE(std::isfinite(mape));
+    EXPECT_GT(mape, 0.0);
+    EXPECT_LT(mape, 2.0);
+}
+
+TEST(CfTunerTest, TunerReturnsTrainablePrototype)
+{
+    const auto ratings = randomRatings(24, 10, 6);
+    TunerOptions opts;
+    opts.trials = 8;
+    const TunedCf tuned = tuneCf(ratings, opts);
+    ASSERT_NE(tuned.prototype, nullptr);
+    EXPECT_FALSE(tuned.description.empty());
+    EXPECT_TRUE(std::isfinite(tuned.cvMape));
+
+    auto model = tuned.prototype->clone();
+    model->fit(ratings);
+    std::vector<double> query(10, kUnknown);
+    query[0] = 1.0;
+    EXPECT_TRUE(std::isfinite(model->predict(query, 5)));
+}
+
+TEST(CfTunerTest, TunedBeatsWorstCandidateOnAverage)
+{
+    // The tuner's selection must be at least as good as an
+    // intentionally bad configuration (k = 1 euclidean on ratio data).
+    const auto ratings = randomRatings(30, 12, 7);
+    TunerOptions opts;
+    opts.trials = 10;
+    const TunedCf tuned = tuneCf(ratings, opts);
+    KnnModel bad(1, Similarity::kEuclidean);
+    const double bad_mape = crossValidateMape(bad, ratings, 4, 3, 11);
+    EXPECT_LE(tuned.cvMape, bad_mape + 1e-9);
+}
+
+} // namespace
+} // namespace proteus::rectm

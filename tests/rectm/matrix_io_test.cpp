@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "rectm/matrix_io.hpp"
+
+namespace proteus::rectm {
+namespace {
+
+TEST(MatrixIoTest, RoundTripDense)
+{
+    UtilityMatrix m(3, 4);
+    double v = 0.5;
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 4; ++c)
+            m.set(r, c, v *= 1.7);
+    }
+    std::stringstream ss;
+    saveCsv(m, ss);
+    const UtilityMatrix back = loadCsv(ss);
+    ASSERT_EQ(back.rows(), 3u);
+    ASSERT_EQ(back.cols(), 4u);
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 4; ++c)
+            EXPECT_DOUBLE_EQ(back.at(r, c), m.at(r, c));
+    }
+}
+
+TEST(MatrixIoTest, RoundTripSparseWithUnknowns)
+{
+    UtilityMatrix m(2, 3);
+    m.set(0, 0, 1.25);
+    m.set(0, 2, -7.5);
+    m.set(1, 1, 3e-4);
+    std::stringstream ss;
+    saveCsv(m, ss);
+    const UtilityMatrix back = loadCsv(ss);
+    EXPECT_DOUBLE_EQ(back.at(0, 0), 1.25);
+    EXPECT_FALSE(known(back.at(0, 1)));
+    EXPECT_DOUBLE_EQ(back.at(0, 2), -7.5);
+    EXPECT_FALSE(known(back.at(1, 0)));
+    EXPECT_DOUBLE_EQ(back.at(1, 1), 3e-4);
+    EXPECT_FALSE(known(back.at(1, 2)));
+}
+
+TEST(MatrixIoTest, FullPrecisionPreserved)
+{
+    UtilityMatrix m(1, 1);
+    m.set(0, 0, 0.12345678901234567);
+    std::stringstream ss;
+    saveCsv(m, ss);
+    EXPECT_DOUBLE_EQ(loadCsv(ss).at(0, 0), 0.12345678901234567);
+}
+
+TEST(MatrixIoTest, HeaderMismatchThrows)
+{
+    std::stringstream ss("# cols=3\n1,2\n");
+    EXPECT_THROW((void)loadCsv(ss), std::runtime_error);
+}
+
+TEST(MatrixIoTest, RaggedRowsThrow)
+{
+    std::stringstream ss("1,2,3\n4,5\n");
+    EXPECT_THROW((void)loadCsv(ss), std::runtime_error);
+}
+
+TEST(MatrixIoTest, HeaderlessCsvAccepted)
+{
+    std::stringstream ss("1,2\n,4\n");
+    const UtilityMatrix m = loadCsv(ss);
+    ASSERT_EQ(m.rows(), 2u);
+    ASSERT_EQ(m.cols(), 2u);
+    EXPECT_FALSE(known(m.at(1, 0)));
+    EXPECT_DOUBLE_EQ(m.at(1, 1), 4.0);
+}
+
+TEST(MatrixIoTest, FileRoundTrip)
+{
+    UtilityMatrix m(2, 2);
+    m.set(0, 0, 42.0);
+    m.set(1, 1, -1.0);
+    const std::string path = "/tmp/proteus_matrix_io_test.csv";
+    saveCsvFile(m, path);
+    const UtilityMatrix back = loadCsvFile(path);
+    EXPECT_DOUBLE_EQ(back.at(0, 0), 42.0);
+    EXPECT_FALSE(known(back.at(0, 1)));
+    EXPECT_DOUBLE_EQ(back.at(1, 1), -1.0);
+}
+
+TEST(MatrixIoTest, MissingFileThrows)
+{
+    EXPECT_THROW((void)loadCsvFile("/nonexistent/nope.csv"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace proteus::rectm

@@ -1,0 +1,148 @@
+/**
+ * Property sweep over all normalizer kinds: every scheme must (a)
+ * round-trip query values through rating space exactly, and (b)
+ * preserve the within-row ordering of ratings (so the argmax in
+ * rating space is the argmax in KPI space). Rating distillation
+ * additionally preserves within-row ratios (Algorithm 3 property i).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "rectm/normalizer.hpp"
+
+namespace proteus::rectm {
+namespace {
+
+class NormalizerPropertyTest
+    : public ::testing::TestWithParam<NormalizerKind>
+{
+  protected:
+    NormalizerPropertyTest()
+    {
+        // Heterogeneous random training matrix (positive goodness).
+        Rng rng(123);
+        UtilityMatrix train(12, 9);
+        for (std::size_t r = 0; r < 12; ++r) {
+            const double scale = std::pow(10.0, rng.uniform(-2, 3));
+            for (std::size_t c = 0; c < 9; ++c)
+                train.set(r, c, scale * rng.uniform(0.2, 5.0));
+        }
+        normalizer_ = Normalizer::make(GetParam());
+        ratings_ = normalizer_->fitTransform(train);
+        train_ = train;
+    }
+
+    UtilityMatrix train_{0, 0};
+    UtilityMatrix ratings_{0, 0};
+    std::unique_ptr<Normalizer> normalizer_;
+};
+
+TEST_P(NormalizerPropertyTest, TransformKeepsShapeAndKnownness)
+{
+    ASSERT_EQ(ratings_.rows(), train_.rows());
+    ASSERT_EQ(ratings_.cols(), train_.cols());
+    for (std::size_t r = 0; r < train_.rows(); ++r) {
+        for (std::size_t c = 0; c < train_.cols(); ++c) {
+            EXPECT_EQ(known(ratings_.at(r, c)), known(train_.at(r, c)));
+            EXPECT_TRUE(std::isfinite(ratings_.at(r, c)));
+        }
+    }
+}
+
+TEST_P(NormalizerPropertyTest, RowOrderingPreserved)
+{
+    if (GetParam() == NormalizerKind::kRcDiff) {
+        // RC-diff subtracts a *different* constant per column, so it
+        // does NOT preserve within-row ordering — one of the reasons
+        // it recommends worse configurations in Fig. 4b.
+        GTEST_SKIP() << "rc-diff is not row-order preserving";
+    }
+    // The remaining schemes are strictly monotone per row (scaling by
+    // a positive constant or subtracting one row constant).
+    for (std::size_t r = 0; r < train_.rows(); ++r) {
+        for (std::size_t i = 0; i < train_.cols(); ++i) {
+            for (std::size_t j = i + 1; j < train_.cols(); ++j) {
+                const bool raw_less =
+                    train_.at(r, i) < train_.at(r, j);
+                const bool rating_less =
+                    ratings_.at(r, i) < ratings_.at(r, j);
+                EXPECT_EQ(raw_less, rating_less)
+                    << "row " << r << " cols " << i << "," << j;
+            }
+        }
+    }
+}
+
+TEST_P(NormalizerPropertyTest, QueryRoundTripIsExact)
+{
+    normalizer_->setOracleRowMax(8.0); // only the ideal scheme cares
+    Rng rng(9);
+    std::vector<double> query(train_.cols(), kUnknown);
+    const int ref = normalizer_->referenceColumn();
+    if (ref >= 0)
+        query[static_cast<std::size_t>(ref)] = rng.uniform(0.5, 4.0);
+    query[0] = rng.uniform(0.5, 4.0);
+    query[3] = rng.uniform(0.5, 4.0);
+
+    for (const std::size_t c : {std::size_t{0}, std::size_t{3}}) {
+        const double g = query[c];
+        const double rating = normalizer_->toRating(query, c, g);
+        EXPECT_TRUE(std::isfinite(rating));
+        EXPECT_NEAR(normalizer_->fromRating(query, c, rating), g,
+                    1e-9 * std::abs(g));
+    }
+}
+
+TEST_P(NormalizerPropertyTest, QueryOrderingPreserved)
+{
+    if (GetParam() == NormalizerKind::kRcDiff)
+        GTEST_SKIP() << "rc-diff is not row-order preserving";
+    normalizer_->setOracleRowMax(10.0);
+    std::vector<double> query(train_.cols(), kUnknown);
+    const int ref = normalizer_->referenceColumn();
+    if (ref >= 0)
+        query[static_cast<std::size_t>(ref)] = 2.0;
+    query[1] = 1.0;
+    query[2] = 3.0;
+
+    const double r1 = normalizer_->toRating(query, 1, query[1]);
+    const double r2 = normalizer_->toRating(query, 2, query[2]);
+    EXPECT_LT(r1, r2);
+}
+
+TEST_P(NormalizerPropertyTest, DistillationPreservesRatios)
+{
+    if (GetParam() != NormalizerKind::kDistillation &&
+        GetParam() != NormalizerKind::kIdeal &&
+        GetParam() != NormalizerKind::kMaxConstant) {
+        GTEST_SKIP() << "ratio preservation only for scaling schemes";
+    }
+    for (std::size_t r = 0; r < train_.rows(); ++r) {
+        for (std::size_t i = 0; i + 1 < train_.cols(); ++i) {
+            EXPECT_NEAR(train_.at(r, i) / train_.at(r, i + 1),
+                        ratings_.at(r, i) / ratings_.at(r, i + 1),
+                        1e-9);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, NormalizerPropertyTest,
+    ::testing::Values(NormalizerKind::kNone,
+                      NormalizerKind::kMaxConstant,
+                      NormalizerKind::kIdeal, NormalizerKind::kRcDiff,
+                      NormalizerKind::kDistillation),
+    [](const ::testing::TestParamInfo<NormalizerKind> &info) {
+        std::string name(normalizerName(info.param));
+        for (auto &ch : name) {
+            if (ch == '-')
+                ch = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace proteus::rectm

@@ -1,0 +1,149 @@
+/**
+ * ProteusRuntime unit tests against a scripted TunableSystem (no
+ * simulator): episode structure, steady-state behaviour, change
+ * re-triggering, and record bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rectm/proteus_runtime.hpp"
+
+namespace proteus::rectm {
+namespace {
+
+/** A tiny engine over a hand-made training matrix. */
+RecTmEngine
+makeEngine(std::size_t cols)
+{
+    UtilityMatrix train(12, cols);
+    Rng rng(5);
+    for (std::size_t r = 0; r < 12; ++r) {
+        const double scale = rng.uniform(1.0, 100.0);
+        for (std::size_t c = 0; c < cols; ++c) {
+            // Unimodal population peaking at the middle column.
+            const double x = static_cast<double>(c);
+            const double mid = static_cast<double>(cols) / 2.0;
+            train.set(r, c,
+                      scale * (1.0 + x - 0.12 * (x - mid) * (x - mid)) *
+                          rng.uniform(0.97, 1.03));
+        }
+    }
+    RecTmEngine::Options opts;
+    opts.tuner.trials = 6;
+    return RecTmEngine(train, opts);
+}
+
+/** Scripted system: KPI = level * shape(config), level switchable. */
+class ScriptedSystem : public TunableSystem
+{
+  public:
+    explicit ScriptedSystem(std::size_t cols) : cols_(cols) {}
+
+    std::size_t numConfigs() const override { return cols_; }
+    void applyConfig(std::size_t c) override { config_ = c; }
+
+    double
+    measureKpi() override
+    {
+        const double x = static_cast<double>(config_);
+        const double mid = static_cast<double>(cols_) / 2.0;
+        return level_ * (1.0 + x - 0.12 * (x - mid) * (x - mid));
+    }
+
+    void setLevel(double level) { level_ = level; }
+    std::size_t appliedConfig() const { return config_; }
+
+  private:
+    std::size_t cols_;
+    std::size_t config_ = 0;
+    double level_ = 10.0;
+};
+
+TEST(ProteusRuntimeTest, SteadyWorkloadRunsExactlyOneEpisode)
+{
+    const auto engine = makeEngine(10);
+    ScriptedSystem system(10);
+    RuntimeOptions opts;
+    ProteusRuntime runtime(engine, system, opts);
+
+    const auto records = runtime.run(50);
+    EXPECT_EQ(records.size(), 50u);
+    EXPECT_EQ(runtime.episodes(), 1);
+
+    // After the episode every period uses one settled config.
+    std::size_t settled = records.back().config;
+    int steady = 0;
+    for (const auto &rec : records) {
+        if (!rec.exploring) {
+            EXPECT_EQ(rec.config, settled);
+            ++steady;
+        }
+    }
+    EXPECT_GT(steady, 30);
+}
+
+TEST(ProteusRuntimeTest, PeriodsAreSequentialAndComplete)
+{
+    const auto engine = makeEngine(8);
+    ScriptedSystem system(8);
+    ProteusRuntime runtime(engine, system, {});
+    const auto records = runtime.run(25);
+    ASSERT_EQ(records.size(), 25u);
+    for (int i = 0; i < 25; ++i)
+        EXPECT_EQ(records[static_cast<std::size_t>(i)].period, i);
+}
+
+TEST(ProteusRuntimeTest, LevelShiftTriggersReoptimization)
+{
+    const auto engine = makeEngine(10);
+    ScriptedSystem system(10);
+    RuntimeOptions opts;
+    ProteusRuntime runtime(engine, system, opts);
+
+    const auto records = runtime.run(80, [&](int period) {
+        system.setLevel(period < 40 ? 10.0 : 40.0);
+    });
+    EXPECT_GE(runtime.episodes(), 2);
+    // The period before the new episode is marked as the change point.
+    bool change_marked = false;
+    for (const auto &rec : records)
+        change_marked |= rec.changeDetected;
+    EXPECT_TRUE(change_marked);
+}
+
+TEST(ProteusRuntimeTest, SettlesNearTheTrueOptimum)
+{
+    const auto engine = makeEngine(12);
+    ScriptedSystem system(12);
+    ProteusRuntime runtime(engine, system, {});
+    const auto records = runtime.run(30);
+
+    // True optimum of the scripted shape.
+    std::size_t best = 0;
+    double best_v = -1;
+    for (std::size_t c = 0; c < 12; ++c) {
+        system.applyConfig(c);
+        const double v = system.measureKpi();
+        if (v > best_v) {
+            best_v = v;
+            best = c;
+        }
+    }
+    system.applyConfig(records.back().config);
+    EXPECT_GE(system.measureKpi(), 0.95 * best_v)
+        << "settled on config " << records.back().config
+        << ", optimum is " << best;
+}
+
+TEST(ProteusRuntimeTest, ExplorationsReportedPerEpisode)
+{
+    const auto engine = makeEngine(10);
+    ScriptedSystem system(10);
+    ProteusRuntime runtime(engine, system, {});
+    (void)runtime.run(20);
+    EXPECT_GT(runtime.lastEpisodeExplorations(), 0);
+    EXPECT_LE(runtime.lastEpisodeExplorations(), 20);
+}
+
+} // namespace
+} // namespace proteus::rectm

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rectm/cusum.hpp"
+#include "rectm/smbo.hpp"
+
+namespace proteus::rectm {
+namespace {
+
+TEST(EiTest, ClosedFormProperties)
+{
+    // Zero variance: EI is the positive part of the mean gap.
+    EXPECT_DOUBLE_EQ(expectedImprovement(5.0, 0.0, 3.0), 2.0);
+    EXPECT_DOUBLE_EQ(expectedImprovement(2.0, 0.0, 3.0), 0.0);
+    // EI grows with variance at fixed mean.
+    const double lo = expectedImprovement(3.0, 0.01, 3.0);
+    const double hi = expectedImprovement(3.0, 1.0, 3.0);
+    EXPECT_GT(hi, lo);
+    // EI grows with mean at fixed variance.
+    EXPECT_GT(expectedImprovement(4.0, 0.5, 3.0),
+              expectedImprovement(3.5, 0.5, 3.0));
+    // Always non-negative.
+    EXPECT_GE(expectedImprovement(-10.0, 0.2, 3.0), 0.0);
+    // At mean == best with unit variance: sigma * phi(0) ~ 0.3989.
+    EXPECT_NEAR(expectedImprovement(3.0, 1.0, 3.0), 0.39894, 1e-4);
+}
+
+/** Tiny synthetic setup: 12 workload rows over 10 configs, each row a
+ *  scaled trend; optimum at config 7 for the query family. */
+class SmboFixture : public ::testing::Test
+{
+  protected:
+    static double
+    trend(std::size_t c)
+    {
+        // unimodal with peak at c = 7
+        const double x = static_cast<double>(c);
+        return 6.0 - 0.1 * (x - 7) * (x - 7);
+    }
+
+    SmboFixture()
+    {
+        UtilityMatrix raw(12, 10);
+        Rng rng(3);
+        for (std::size_t r = 0; r < 12; ++r) {
+            const double scale = std::pow(10.0, rng.nextBounded(4));
+            for (std::size_t c = 0; c < 10; ++c) {
+                const double jitter = rng.uniform(0.95, 1.05);
+                raw.set(r, c, scale * trend(c) * jitter);
+            }
+        }
+        normalizer_ = Normalizer::make(NormalizerKind::kDistillation);
+        const auto ratings = normalizer_->fitTransform(raw);
+        KnnModel proto(4, Similarity::kCosine);
+        ensemble_ = std::make_unique<BaggingEnsemble>(proto, 10);
+        ensemble_->fit(ratings);
+    }
+
+    std::unique_ptr<Normalizer> normalizer_;
+    std::unique_ptr<BaggingEnsemble> ensemble_;
+};
+
+TEST_F(SmboFixture, EiFindsTheOptimumQuickly)
+{
+    int samples_spent = 0;
+    auto sample = [&](std::size_t c) {
+        ++samples_spent;
+        return 42.0 * trend(c); // fresh workload on a new scale
+    };
+    SmboOptions opts;
+    opts.policy = ExplorePolicy::kEi;
+    opts.stop = StopRule::kCautious;
+    opts.epsilon = 0.01;
+    const SmboResult result = optimizeWorkload(
+        *ensemble_, *normalizer_, 10, sample, opts);
+
+    EXPECT_EQ(result.bestConfig, 7u);
+    EXPECT_LE(result.explorations, 6);
+    EXPECT_EQ(samples_spent,
+              static_cast<int>(result.sampled.size()));
+    // The reference config was sampled first.
+    EXPECT_EQ(static_cast<int>(result.sampled.front()),
+              normalizer_->referenceColumn());
+}
+
+TEST_F(SmboFixture, FixedBudgetSamplesExactCount)
+{
+    auto sample = [&](std::size_t c) { return 5.0 * trend(c); };
+    SmboOptions opts;
+    opts.stop = StopRule::kFixed;
+    opts.fixedExplorations = 4;
+    const SmboResult result = optimizeWorkload(
+        *ensemble_, *normalizer_, 10, sample, opts);
+    // 4 explorations + possibly the final model-favourite sample.
+    EXPECT_GE(result.explorations, 4);
+    EXPECT_LE(result.explorations, 5);
+}
+
+TEST_F(SmboFixture, AllPoliciesReturnAnExploredConfig)
+{
+    for (const auto policy :
+         {ExplorePolicy::kEi, ExplorePolicy::kGreedy,
+          ExplorePolicy::kVariance, ExplorePolicy::kRandom}) {
+        auto sample = [&](std::size_t c) { return 3.0 * trend(c); };
+        SmboOptions opts;
+        opts.policy = policy;
+        opts.stop = StopRule::kFixed;
+        opts.fixedExplorations = 5;
+        const SmboResult result = optimizeWorkload(
+            *ensemble_, *normalizer_, 10, sample, opts);
+        bool found = false;
+        for (const auto c : result.sampled)
+            found |= c == result.bestConfig;
+        EXPECT_TRUE(found) << explorePolicyName(policy);
+        EXPECT_DOUBLE_EQ(result.bestGoodness,
+                         result.queryGoodness[result.bestConfig]);
+    }
+}
+
+TEST_F(SmboFixture, NaiveStopsEarlierOrEqualThanCautious)
+{
+    auto run = [&](StopRule rule) {
+        auto sample = [&](std::size_t c) { return 9.0 * trend(c); };
+        SmboOptions opts;
+        opts.stop = rule;
+        opts.epsilon = 0.05;
+        return optimizeWorkload(*ensemble_, *normalizer_, 10, sample,
+                                opts)
+            .explorations;
+    };
+    EXPECT_LE(run(StopRule::kNaive), run(StopRule::kCautious));
+}
+
+TEST_F(SmboFixture, MaxExplorationsIsHonored)
+{
+    auto sample = [&](std::size_t c) { return trend(c); };
+    SmboOptions opts;
+    opts.stop = StopRule::kFixed;
+    opts.fixedExplorations = 50;
+    opts.maxExplorations = 3;
+    const SmboResult result = optimizeWorkload(
+        *ensemble_, *normalizer_, 10, sample, opts);
+    EXPECT_LE(result.explorations, 3);
+}
+
+TEST(CusumTest, NoAlarmOnStationarySignal)
+{
+    CusumDetector detector;
+    Rng rng(1);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_FALSE(detector.push(rng.gaussian(100.0, 2.0)));
+}
+
+TEST(CusumTest, DetectsLevelShiftUpAndDown)
+{
+    for (const double factor : {2.0, 0.4}) {
+        CusumDetector detector;
+        Rng rng(2);
+        for (int i = 0; i < 60; ++i)
+            ASSERT_FALSE(detector.push(rng.gaussian(50.0, 1.0)));
+        bool fired = false;
+        for (int i = 0; i < 30 && !fired; ++i)
+            fired = detector.push(rng.gaussian(50.0 * factor, 1.0));
+        EXPECT_TRUE(fired) << "factor " << factor;
+    }
+}
+
+TEST(CusumTest, DetectsSlowDrift)
+{
+    CusumDetector detector;
+    Rng rng(3);
+    for (int i = 0; i < 60; ++i)
+        ASSERT_FALSE(detector.push(rng.gaussian(100.0, 1.5)));
+    bool fired = false;
+    double level = 100.0;
+    for (int i = 0; i < 400 && !fired; ++i) {
+        level *= 1.01; // 1% per period
+        fired = detector.push(rng.gaussian(level, 1.5));
+    }
+    EXPECT_TRUE(fired);
+}
+
+TEST(CusumTest, ResetsAfterDetection)
+{
+    CusumDetector detector;
+    Rng rng(4);
+    for (int i = 0; i < 60; ++i)
+        detector.push(rng.gaussian(10.0, 0.2));
+    bool fired = false;
+    for (int i = 0; i < 40 && !fired; ++i)
+        fired = detector.push(rng.gaussian(30.0, 0.2));
+    ASSERT_TRUE(fired);
+    // After the alarm the detector restarts on the new regime and must
+    // not immediately re-fire.
+    int follow_up_alarms = 0;
+    for (int i = 0; i < 100; ++i)
+        follow_up_alarms += detector.push(rng.gaussian(30.0, 0.2));
+    EXPECT_EQ(follow_up_alarms, 0);
+}
+
+TEST(CusumTest, WarmupSuppressesEarlyAlarms)
+{
+    CusumDetector::Options opts;
+    opts.warmup = 10;
+    CusumDetector detector(opts);
+    // Wild values inside warm-up must not fire.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(detector.push(i % 2 ? 1.0 : 1000.0));
+}
+
+} // namespace
+} // namespace proteus::rectm

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "simarch/machine.hpp"
+
+namespace proteus::simarch {
+namespace {
+
+TEST(MachineModelTest, PresetTopologies)
+{
+    const auto a = MachineModel::machineA();
+    EXPECT_EQ(a.physicalCores(), 4);
+    EXPECT_EQ(a.maxThreads(), 8);
+    EXPECT_TRUE(a.hasHtm);
+    EXPECT_TRUE(a.hasRapl);
+
+    const auto b = MachineModel::machineB();
+    EXPECT_EQ(b.physicalCores(), 48);
+    EXPECT_EQ(b.maxThreads(), 48);
+    EXPECT_FALSE(b.hasHtm);
+    EXPECT_EQ(b.sockets, 4);
+}
+
+TEST(MachineModelTest, EffectiveCoresSaturatesWithSmt)
+{
+    const auto a = MachineModel::machineA();
+    EXPECT_DOUBLE_EQ(a.effectiveCores(1), 1.0);
+    EXPECT_DOUBLE_EQ(a.effectiveCores(4), 4.0);
+    // Hyperthreads add less than full cores.
+    EXPECT_GT(a.effectiveCores(8), 4.0);
+    EXPECT_LT(a.effectiveCores(8), 8.0);
+}
+
+TEST(MachineModelTest, EffectiveCoresMonotone)
+{
+    for (const auto &m :
+         {MachineModel::machineA(), MachineModel::machineB()}) {
+        for (int n = 2; n <= m.maxThreads(); ++n)
+            EXPECT_GT(m.effectiveCores(n), m.effectiveCores(n - 1));
+    }
+}
+
+TEST(MachineModelTest, SocketsSpanned)
+{
+    const auto b = MachineModel::machineB();
+    EXPECT_EQ(b.socketsSpanned(1), 1);
+    EXPECT_EQ(b.socketsSpanned(12), 1);
+    EXPECT_EQ(b.socketsSpanned(13), 2);
+    EXPECT_EQ(b.socketsSpanned(48), 4);
+}
+
+TEST(MachineModelTest, CoherencePenaltyGrowsAcrossSockets)
+{
+    const auto b = MachineModel::machineB();
+    EXPECT_DOUBLE_EQ(b.coherencePenalty(8), 1.0);
+    EXPECT_GT(b.coherencePenalty(16), 1.0);
+    EXPECT_GT(b.coherencePenalty(48), b.coherencePenalty(16));
+    EXPECT_DOUBLE_EQ(b.coherencePenalty(48), b.numaFactor);
+
+    const auto a = MachineModel::machineA();
+    EXPECT_DOUBLE_EQ(a.coherencePenalty(8), 1.0); // single socket
+}
+
+} // namespace
+} // namespace proteus::simarch

@@ -1,0 +1,326 @@
+/**
+ * Property tests pinning the qualitative shapes the paper's
+ * evaluation depends on (see DESIGN.md §4 "shape targets").
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "simarch/perf_model.hpp"
+
+namespace proteus::simarch {
+namespace {
+
+using polytm::ConfigSpace;
+using polytm::KpiKind;
+using polytm::TmConfig;
+using tm::BackendKind;
+
+TmConfig
+htmCfg(int threads, int budget,
+       tm::CapacityPolicy policy = tm::CapacityPolicy::kDecrease)
+{
+    TmConfig c{BackendKind::kSimHtm, threads, {}};
+    c.cm.htmBudget = budget;
+    c.cm.capacityPolicy = policy;
+    return c;
+}
+
+std::size_t
+argbest(const std::vector<double> &row, KpiKind kind)
+{
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < row.size(); ++i) {
+        if (polytm::kpiIsMaximize(kind) ? row[i] > row[best]
+                                        : row[i] < row[best]) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+class PerfModelTest : public ::testing::Test
+{
+  protected:
+    PerfModel pmA_{MachineModel::machineA()};
+    PerfModel pmB_{MachineModel::machineB()};
+};
+
+TEST_F(PerfModelTest, AllKpisPositiveAndFinite)
+{
+    const auto spaceA = ConfigSpace::machineA();
+    const auto spaceB = ConfigSpace::machineB();
+    for (const auto &w : presets::all()) {
+        for (const auto kind :
+             {KpiKind::kThroughput, KpiKind::kExecTime, KpiKind::kEdp}) {
+            for (const double v : pmA_.kpiRow(w, spaceA, kind)) {
+                EXPECT_GT(v, 0.0);
+                EXPECT_TRUE(std::isfinite(v));
+            }
+            for (const double v : pmB_.kpiRow(w, spaceB, kind)) {
+                EXPECT_GT(v, 0.0);
+                EXPECT_TRUE(std::isfinite(v));
+            }
+        }
+    }
+}
+
+TEST_F(PerfModelTest, DeterministicWithAndWithoutNoise)
+{
+    const auto w = presets::vacation();
+    const auto space = ConfigSpace::machineA();
+    EXPECT_EQ(pmA_.kpiRow(w, space, KpiKind::kThroughput, true),
+              pmA_.kpiRow(w, space, KpiKind::kThroughput, true));
+    EXPECT_EQ(pmA_.kpiRow(w, space, KpiKind::kThroughput, false),
+              pmA_.kpiRow(w, space, KpiKind::kThroughput, false));
+}
+
+TEST_F(PerfModelTest, NoiseIsSmallAndMultiplicative)
+{
+    const auto w = presets::genome();
+    const auto space = ConfigSpace::machineA();
+    const auto noisy = pmA_.kpiRow(w, space, KpiKind::kThroughput, true);
+    const auto clean = pmA_.kpiRow(w, space, KpiKind::kThroughput, false);
+    for (std::size_t i = 0; i < noisy.size(); ++i) {
+        const double factor = noisy[i] / clean[i];
+        EXPECT_GT(factor, 0.8);
+        EXPECT_LT(factor, 1.25);
+    }
+}
+
+TEST_F(PerfModelTest, ExecTimeIsBatchOverThroughput)
+{
+    const auto w = presets::tpcc();
+    const TmConfig c{BackendKind::kTinyStm, 4, {}};
+    const double thr = pmA_.kpi(w, c, KpiKind::kThroughput, false);
+    const double time = pmA_.kpi(w, c, KpiKind::kExecTime, false);
+    EXPECT_NEAR(time, PerfModel::kBatchTxs / thr, 1e-9 * time);
+}
+
+TEST_F(PerfModelTest, EdpConsistentWithPowerModel)
+{
+    const auto w = presets::tpcc();
+    const TmConfig c{BackendKind::kTl2, 6, {}};
+    const double time = pmA_.kpi(w, c, KpiKind::kExecTime, false);
+    const double edp = pmA_.kpi(w, c, KpiKind::kEdp, false);
+    EXPECT_NEAR(edp, pmA_.machine().power.edp(time, 6), 1e-6 * edp);
+}
+
+TEST_F(PerfModelTest, GlobalLockDoesNotScale)
+{
+    const auto w = presets::hashMap();
+    const double t1 = pmA_.kpi(w, {BackendKind::kGlobalLock, 1, {}},
+                               KpiKind::kThroughput, false);
+    const double t8 = pmA_.kpi(w, {BackendKind::kGlobalLock, 8, {}},
+                               KpiKind::kThroughput, false);
+    EXPECT_LE(t8, t1 * 1.05); // at best flat; typically worse
+}
+
+TEST_F(PerfModelTest, ScalableWorkloadScales)
+{
+    const auto w = presets::hashMap();
+    const double t1 = pmB_.kpi(w, {BackendKind::kTinyStm, 1, {}},
+                               KpiKind::kThroughput, false);
+    const double t48 = pmB_.kpi(w, {BackendKind::kTinyStm, 48, {}},
+                                KpiKind::kThroughput, false);
+    EXPECT_GT(t48, 8.0 * t1);
+}
+
+TEST_F(PerfModelTest, NorecCollapsesUnderManyWriters)
+{
+    // NOrec serializes writer commits: at 48 threads on a write-heavy
+    // workload it must lose to TinySTM; at 1 thread it wins (cheapest
+    // instrumentation).
+    const auto w = presets::tpcc();
+    const double norec48 = pmB_.kpi(w, {BackendKind::kNorec, 48, {}},
+                                    KpiKind::kThroughput, false);
+    const double tiny48 = pmB_.kpi(w, {BackendKind::kTinyStm, 48, {}},
+                                   KpiKind::kThroughput, false);
+    EXPECT_LT(norec48, tiny48);
+
+    const double norec1 = pmB_.kpi(w, {BackendKind::kNorec, 1, {}},
+                                   KpiKind::kThroughput, false);
+    const double tiny1 = pmB_.kpi(w, {BackendKind::kTinyStm, 1, {}},
+                                  KpiKind::kThroughput, false);
+    EXPECT_GT(norec1, tiny1);
+}
+
+TEST_F(PerfModelTest, LabyrinthIsHtmHostile)
+{
+    // Capacity-bound transactions: every decent STM config must beat
+    // every HTM config (Fig. 1a's labyrinth bar).
+    const auto w = presets::labyrinth();
+    double best_stm = 0, best_htm = 0;
+    const auto space = ConfigSpace::machineA();
+    for (const auto &c : space.all()) {
+        const double v = pmA_.kpi(w, c, KpiKind::kThroughput, false);
+        if (c.backend == BackendKind::kSimHtm ||
+            c.backend == BackendKind::kHybridNorec) {
+            best_htm = std::max(best_htm, v);
+        } else if (c.backend != BackendKind::kGlobalLock) {
+            best_stm = std::max(best_stm, v);
+        }
+    }
+    EXPECT_GT(best_stm, best_htm * 1.2);
+}
+
+TEST_F(PerfModelTest, SmallTxWorkloadIsHtmFriendly)
+{
+    // Red-black tree: short transactions fit HTM; it should beat every
+    // STM (Fig. 1's rbt bars, Table 6's HTM optima).
+    const auto w = presets::redBlackTree();
+    const auto space = ConfigSpace::machineA();
+    double best_stm = 0, best_htm = 0;
+    for (const auto &c : space.all()) {
+        const double v = pmA_.kpi(w, c, KpiKind::kThroughput, false);
+        if (c.backend == BackendKind::kSimHtm)
+            best_htm = std::max(best_htm, v);
+        else if (c.backend != BackendKind::kHybridNorec &&
+                 c.backend != BackendKind::kGlobalLock)
+            best_stm = std::max(best_stm, v);
+    }
+    EXPECT_GT(best_htm, best_stm);
+}
+
+TEST_F(PerfModelTest, OptimaAreHeterogeneousAcrossWorkloads)
+{
+    // The Fig. 1 premise: no universal configuration. Across presets
+    // there must be several distinct optima, and no single config may
+    // be within 25% of the best everywhere.
+    const auto space = ConfigSpace::machineA();
+    std::set<std::size_t> optima;
+    std::vector<std::vector<double>> rows;
+    for (const auto &w : presets::all()) {
+        rows.push_back(pmA_.kpiRow(w, space, KpiKind::kThroughput, false));
+        optima.insert(argbest(rows.back(), KpiKind::kThroughput));
+    }
+    EXPECT_GE(optima.size(), 4u);
+
+    bool universal_exists = false;
+    for (std::size_t c = 0; c < space.size(); ++c) {
+        bool good_everywhere = true;
+        for (const auto &row : rows) {
+            const double best = *std::max_element(row.begin(), row.end());
+            if (row[c] < 0.75 * best) {
+                good_everywhere = false;
+                break;
+            }
+        }
+        if (good_everywhere)
+            universal_exists = true;
+    }
+    EXPECT_FALSE(universal_exists);
+}
+
+TEST_F(PerfModelTest, WrongConfigCanLoseAnOrderOfMagnitude)
+{
+    // "choosing wrong configurations can cripple performance by
+    // several orders of magnitude" — at least 10x on some preset.
+    const auto space = ConfigSpace::machineB();
+    double max_spread = 0;
+    for (const auto &w : presets::all()) {
+        const auto row = pmB_.kpiRow(w, space, KpiKind::kThroughput,
+                                     false);
+        const double best = *std::max_element(row.begin(), row.end());
+        const double worst = *std::min_element(row.begin(), row.end());
+        max_spread = std::max(max_spread, best / worst);
+    }
+    EXPECT_GT(max_spread, 10.0);
+}
+
+TEST_F(PerfModelTest, EdpPrefersFewerThreadsThanThroughput)
+{
+    // Energy grows with active threads, so the EDP-optimal thread
+    // count never exceeds the throughput-optimal one (checked for a
+    // fixed backend on a scalable workload).
+    const auto w = presets::vacation();
+    auto best_threads = [&](KpiKind kind) {
+        int best_t = 1;
+        double best_v = 0;
+        for (int t = 1; t <= 8; ++t) {
+            const double v = pmA_.kpi(w, {BackendKind::kTinyStm, t, {}},
+                                      kind, false);
+            const bool better = polytm::kpiIsMaximize(kind)
+                ? (best_v == 0 || v > best_v)
+                : (best_v == 0 || v < best_v);
+            if (better) {
+                best_v = v;
+                best_t = t;
+            }
+        }
+        return best_t;
+    };
+    EXPECT_LE(best_threads(KpiKind::kEdp),
+              best_threads(KpiKind::kThroughput));
+}
+
+TEST_F(PerfModelTest, GiveUpPolicyBestWhenCapacityBound)
+{
+    // Labyrinth overflows on (almost) every attempt: spending budget
+    // on capacity retries is pure waste, so giveup >= decrease.
+    const auto w = presets::labyrinth();
+    const double giveup = pmA_.kpi(
+        w, htmCfg(4, 8, tm::CapacityPolicy::kGiveUp),
+        KpiKind::kThroughput, false);
+    const double decrease = pmA_.kpi(
+        w, htmCfg(4, 8, tm::CapacityPolicy::kDecrease),
+        KpiKind::kThroughput, false);
+    EXPECT_GE(giveup, decrease);
+}
+
+TEST_F(PerfModelTest, RetryingPolicyWinsWhenCapacityIsTransient)
+{
+    // High size-variance, mean far below capacity: a retry usually
+    // fits, so granting capacity retries (decrease) beats giving up.
+    auto w = presets::vacation();
+    w.features.readsPerTx = 700; // near the read-capacity knee
+    w.features.txSizeCv = 1.6;
+    const double giveup = pmA_.kpi(
+        w, htmCfg(8, 8, tm::CapacityPolicy::kGiveUp),
+        KpiKind::kThroughput, false);
+    const double decrease = pmA_.kpi(
+        w, htmCfg(8, 8, tm::CapacityPolicy::kDecrease),
+        KpiKind::kThroughput, false);
+    EXPECT_GT(decrease, giveup);
+}
+
+TEST_F(PerfModelTest, CrossSocketCoherenceHurtsContendedWorkloads)
+{
+    // Intruder (high conflict): per-thread efficiency at 16 threads
+    // (2 sockets) is worse than at 8 threads (1 socket) on Machine B.
+    const auto w = presets::intruder();
+    const double t8 = pmB_.kpi(w, {BackendKind::kTinyStm, 8, {}},
+                               KpiKind::kThroughput, false);
+    const double t16 = pmB_.kpi(w, {BackendKind::kTinyStm, 16, {}},
+                                KpiKind::kThroughput, false);
+    EXPECT_LT(t16 / 16.0, t8 / 8.0);
+}
+
+TEST_F(PerfModelTest, HigherBudgetHelpsContendedHtm)
+{
+    // Conflict aborts are transient: a budget of 8 reaches the
+    // fallback (serial) path far less often than a budget of 1.
+    const auto w = presets::intruder();
+    const double b1 = pmA_.kpi(w, htmCfg(8, 1), KpiKind::kThroughput,
+                               false);
+    const double b8 = pmA_.kpi(w, htmCfg(8, 8), KpiKind::kThroughput,
+                               false);
+    EXPECT_GT(b8, b1 * 0.9); // never catastrophically worse
+}
+
+TEST_F(PerfModelTest, KpiRowMatchesPointQueries)
+{
+    const auto w = presets::kmeans();
+    const auto space = ConfigSpace::machineA();
+    const auto row = pmA_.kpiRow(w, space, KpiKind::kEdp, true);
+    for (std::size_t i = 0; i < space.size(); i += 17) {
+        EXPECT_DOUBLE_EQ(row[i],
+                         pmA_.kpi(w, space.at(i), KpiKind::kEdp, true));
+    }
+}
+
+} // namespace
+} // namespace proteus::simarch

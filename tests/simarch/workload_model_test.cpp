@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "simarch/workload_model.hpp"
+
+namespace proteus::simarch {
+namespace {
+
+TEST(WorkloadModelTest, FifteenPresets)
+{
+    const auto all = presets::all();
+    EXPECT_EQ(all.size(), 15u);
+    std::set<std::string> names;
+    for (const auto &w : all)
+        names.insert(w.name);
+    EXPECT_EQ(names.size(), 15u);
+}
+
+TEST(WorkloadModelTest, FeatureVectorHas17Entries)
+{
+    const WorkloadFeatures f;
+    EXPECT_EQ(f.toVector().size(), kNumFeatures);
+    EXPECT_EQ(WorkloadFeatures::featureNames().size(), kNumFeatures);
+    EXPECT_EQ(kNumFeatures, 17u);
+}
+
+TEST(WorkloadModelTest, FeatureVectorMatchesFields)
+{
+    WorkloadFeatures f;
+    f.readsPerTx = 123;
+    f.burstiness = 0.5;
+    const auto v = f.toVector();
+    EXPECT_DOUBLE_EQ(v.front(), 123.0);
+    EXPECT_DOUBLE_EQ(v.back(), 0.5);
+}
+
+TEST(WorkloadModelTest, CorpusSizeAndNaming)
+{
+    const auto corpus = WorkloadCorpus::generate(21, 7);
+    EXPECT_EQ(corpus.size(), 15u * 21u); // 315 workloads, paper: >300
+    std::set<std::string> names;
+    for (const auto &w : corpus)
+        names.insert(w.name);
+    EXPECT_EQ(names.size(), corpus.size());
+}
+
+TEST(WorkloadModelTest, CorpusDeterministicPerSeed)
+{
+    const auto a = WorkloadCorpus::generate(5, 42);
+    const auto b = WorkloadCorpus::generate(5, 42);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_EQ(a[i].features.toVector(), b[i].features.toVector());
+    }
+}
+
+TEST(WorkloadModelTest, CorpusSeedsDiffer)
+{
+    const auto a = WorkloadCorpus::generate(5, 1);
+    const auto b = WorkloadCorpus::generate(5, 2);
+    int same = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        same += a[i].features.toVector() == b[i].features.toVector();
+    // Variant 0 of each preset is pristine in both corpora (15 hits);
+    // the jittered ones must differ.
+    EXPECT_EQ(same, 15);
+}
+
+TEST(WorkloadModelTest, VariantZeroIsPristinePreset)
+{
+    const auto corpus = WorkloadCorpus::generate(3, 99);
+    const auto base = presets::all();
+    for (std::size_t p = 0; p < base.size(); ++p) {
+        EXPECT_EQ(corpus[p * 3].features.toVector(),
+                  base[p].features.toVector());
+    }
+}
+
+TEST(WorkloadModelTest, JitteredFeaturesStayInValidRanges)
+{
+    const auto corpus = WorkloadCorpus::generate(30, 3);
+    for (const auto &w : corpus) {
+        const auto &f = w.features;
+        EXPECT_GE(f.readsPerTx, 1.0);
+        EXPECT_GT(f.writesPerTx, 0.0);
+        EXPECT_GE(f.updateTxFraction, 0.0);
+        EXPECT_LE(f.updateTxFraction, 1.0);
+        EXPECT_GE(f.hotspotSkew, 0.0);
+        EXPECT_LE(f.hotspotSkew, 1.0);
+        EXPECT_GE(f.cacheLocality, 0.0);
+        EXPECT_LE(f.cacheLocality, 1.0);
+        EXPECT_GE(f.abortWasteFactor, 0.2);
+        EXPECT_LE(f.abortWasteFactor, 1.0);
+        EXPECT_GE(f.workingSetLines, 1e3);
+    }
+}
+
+} // namespace
+} // namespace proteus::simarch

@@ -1,0 +1,176 @@
+/**
+ * Single-threaded semantic tests, parameterized over every backend:
+ * committed writes persist, read-own-writes, explicit abort rolls
+ * back, large write sets survive, reset() clears metadata.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tm/test_util.hpp"
+
+namespace proteus::tm {
+namespace {
+
+using testing::makeBackend;
+using testing::runTx;
+
+class BackendSingleTest : public ::testing::TestWithParam<BackendKind>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        backend_ = makeBackend(GetParam());
+        desc_ = std::make_unique<TxDesc>(0, 1234);
+        backend_->registerThread(*desc_);
+    }
+
+    void
+    TearDown() override
+    {
+        backend_->deregisterThread(*desc_);
+    }
+
+    std::unique_ptr<TmBackend> backend_;
+    std::unique_ptr<TxDesc> desc_;
+};
+
+TEST_P(BackendSingleTest, CommitMakesWritesVisible)
+{
+    std::uint64_t x = 0, y = 0;
+    runTx(*backend_, *desc_, [&](TxDesc &d) {
+        backend_->txWrite(d, &x, 7);
+        backend_->txWrite(d, &y, 9);
+    });
+    EXPECT_EQ(x, 7u);
+    EXPECT_EQ(y, 9u);
+}
+
+TEST_P(BackendSingleTest, ReadSeesCommittedState)
+{
+    std::uint64_t x = 123;
+    std::uint64_t seen = 0;
+    runTx(*backend_, *desc_,
+          [&](TxDesc &d) { seen = backend_->txRead(d, &x); });
+    EXPECT_EQ(seen, 123u);
+}
+
+TEST_P(BackendSingleTest, ReadOwnWrites)
+{
+    std::uint64_t x = 1;
+    std::uint64_t seen = 0;
+    runTx(*backend_, *desc_, [&](TxDesc &d) {
+        backend_->txWrite(d, &x, 2);
+        seen = backend_->txRead(d, &x);
+    });
+    EXPECT_EQ(seen, 2u);
+    EXPECT_EQ(x, 2u);
+}
+
+TEST_P(BackendSingleTest, WriteAfterReadSameLocation)
+{
+    std::uint64_t x = 10;
+    runTx(*backend_, *desc_, [&](TxDesc &d) {
+        const std::uint64_t v = backend_->txRead(d, &x);
+        backend_->txWrite(d, &x, v + 5);
+        EXPECT_EQ(backend_->txRead(d, &x), v + 5);
+    });
+    EXPECT_EQ(x, 15u);
+}
+
+TEST_P(BackendSingleTest, ExplicitAbortRollsBack)
+{
+    if (GetParam() == BackendKind::kGlobalLock)
+        GTEST_SKIP() << "global lock is irrevocable";
+
+    std::uint64_t x = 5;
+    bool aborted_once = false;
+    runTx(*backend_, *desc_, [&](TxDesc &d) {
+        backend_->txWrite(d, &x, 99);
+        if (!aborted_once) {
+            aborted_once = true;
+            backend_->abortTx(d, AbortCause::kExplicit);
+        }
+    });
+    // First attempt aborted (no 99 visible in between), second
+    // attempt committed.
+    EXPECT_TRUE(aborted_once);
+    EXPECT_EQ(x, 99u);
+}
+
+TEST_P(BackendSingleTest, AbortedWritesNeverVisible)
+{
+    if (GetParam() == BackendKind::kGlobalLock)
+        GTEST_SKIP() << "global lock is irrevocable";
+
+    std::uint64_t x = 5;
+    int attempts = 0;
+    runTx(*backend_, *desc_, [&](TxDesc &d) {
+        ++attempts;
+        if (attempts == 1) {
+            backend_->txWrite(d, &x, 42);
+            EXPECT_EQ(x, 5u) << "redo-log write leaked before commit";
+            backend_->abortTx(d, AbortCause::kExplicit);
+        }
+    });
+    EXPECT_EQ(x, 5u);
+}
+
+TEST_P(BackendSingleTest, LargeWriteSetCommits)
+{
+    std::vector<std::uint64_t> xs(3000, 0);
+    runTx(*backend_, *desc_, [&](TxDesc &d) {
+        for (std::size_t i = 0; i < xs.size(); ++i)
+            backend_->txWrite(d, &xs[i], i + 1);
+    });
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        EXPECT_EQ(xs[i], i + 1);
+}
+
+TEST_P(BackendSingleTest, SequentialTransactionsAccumulate)
+{
+    std::uint64_t counter = 0;
+    for (int i = 0; i < 100; ++i) {
+        runTx(*backend_, *desc_, [&](TxDesc &d) {
+            backend_->txWrite(d, &counter,
+                              backend_->txRead(d, &counter) + 1);
+        });
+    }
+    EXPECT_EQ(counter, 100u);
+}
+
+TEST_P(BackendSingleTest, ResetWhileQuiescedKeepsWorking)
+{
+    std::uint64_t x = 0;
+    runTx(*backend_, *desc_,
+          [&](TxDesc &d) { backend_->txWrite(d, &x, 1); });
+    backend_->reset();
+    runTx(*backend_, *desc_, [&](TxDesc &d) {
+        backend_->txWrite(d, &x, backend_->txRead(d, &x) + 1);
+    });
+    EXPECT_EQ(x, 2u);
+}
+
+TEST_P(BackendSingleTest, ReadOnlyTransactionCommits)
+{
+    std::uint64_t x = 77;
+    std::uint64_t total = 0;
+    runTx(*backend_, *desc_, [&](TxDesc &d) {
+        total = 0;
+        for (int i = 0; i < 10; ++i)
+            total += backend_->txRead(d, &x);
+    });
+    EXPECT_EQ(total, 770u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendSingleTest,
+    ::testing::ValuesIn(testing::allBackendKinds()),
+    [](const ::testing::TestParamInfo<BackendKind> &info) {
+        return std::string(backendName(info.param));
+    });
+
+} // namespace
+} // namespace proteus::tm

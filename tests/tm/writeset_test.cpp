@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tm/txdesc.hpp"
+
+namespace proteus::tm {
+namespace {
+
+TEST(WriteSetTest, EmptyFindsNothing)
+{
+    WriteSet ws;
+    std::uint64_t x = 0;
+    EXPECT_EQ(ws.find(&x), nullptr);
+    EXPECT_TRUE(ws.empty());
+}
+
+TEST(WriteSetTest, PutThenFind)
+{
+    WriteSet ws;
+    std::uint64_t x = 0;
+    ws.put(&x, 42);
+    ASSERT_NE(ws.find(&x), nullptr);
+    EXPECT_EQ(ws.find(&x)->value, 42u);
+    EXPECT_EQ(ws.size(), 1u);
+}
+
+TEST(WriteSetTest, PutSameAddressUpdatesInPlace)
+{
+    WriteSet ws;
+    std::uint64_t x = 0;
+    ws.put(&x, 1);
+    ws.put(&x, 2);
+    EXPECT_EQ(ws.size(), 1u);
+    EXPECT_EQ(ws.find(&x)->value, 2u);
+}
+
+TEST(WriteSetTest, ClearForgetsEntries)
+{
+    WriteSet ws;
+    std::uint64_t x = 0;
+    ws.put(&x, 1);
+    ws.clear();
+    EXPECT_TRUE(ws.empty());
+    EXPECT_EQ(ws.find(&x), nullptr);
+}
+
+TEST(WriteSetTest, ReusableAcrossGenerations)
+{
+    WriteSet ws;
+    std::uint64_t xs[8] = {};
+    for (int gen = 0; gen < 100; ++gen) {
+        for (int i = 0; i < 8; ++i)
+            ws.put(&xs[i], static_cast<std::uint64_t>(gen * 8 + i));
+        for (int i = 0; i < 8; ++i)
+            EXPECT_EQ(ws.find(&xs[i])->value,
+                      static_cast<std::uint64_t>(gen * 8 + i));
+        ws.clear();
+    }
+}
+
+TEST(WriteSetTest, GrowsPastInitialCapacity)
+{
+    WriteSet ws;
+    std::vector<std::uint64_t> xs(5000, 0);
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        ws.put(&xs[i], i);
+    EXPECT_EQ(ws.size(), xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        ASSERT_NE(ws.find(&xs[i]), nullptr);
+        EXPECT_EQ(ws.find(&xs[i])->value, i);
+    }
+}
+
+TEST(WriteSetTest, EntriesPreserveInsertionOrder)
+{
+    WriteSet ws;
+    std::uint64_t a = 0, b = 0, c = 0;
+    ws.put(&a, 1);
+    ws.put(&b, 2);
+    ws.put(&c, 3);
+    ASSERT_EQ(ws.entries().size(), 3u);
+    EXPECT_EQ(ws.entries()[0].addr, &a);
+    EXPECT_EQ(ws.entries()[1].addr, &b);
+    EXPECT_EQ(ws.entries()[2].addr, &c);
+}
+
+TEST(WriteSetTest, GrowPreservesPendingEntries)
+{
+    WriteSet ws;
+    std::vector<std::uint64_t> xs(200, 0);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        ws.put(&xs[i], i);
+        // Every entry inserted so far must stay reachable as the table
+        // rehashes underneath.
+        ASSERT_NE(ws.find(&xs[0]), nullptr);
+        EXPECT_EQ(ws.find(&xs[0])->value, 0u);
+    }
+}
+
+} // namespace
+} // namespace proteus::tm

@@ -1,0 +1,151 @@
+/**
+ * Application workloads: setup, concurrent execution via the runner,
+ * and their domain-specific consistency predicates (conservation of
+ * money / bookings / routed paths).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/app_workloads.hpp"
+#include "workloads/data_structure_workloads.hpp"
+#include "workloads/runner.hpp"
+
+namespace proteus::workloads {
+namespace {
+
+using polytm::PolyTm;
+using polytm::TmConfig;
+
+TEST(VacationTest, ReservationsNeverOversellAcrossBackends)
+{
+    for (const auto kind :
+         {tm::BackendKind::kTl2, tm::BackendKind::kSimHtm}) {
+        PolyTm poly(TmConfig{kind, 4, {}});
+        VacationWorkload::Options opts;
+        opts.resourcesPerTable = 128;
+        opts.customers = 64;
+        VacationWorkload vacation(opts);
+        setupWorkload(poly, vacation);
+
+        const auto result = runOps(poly, vacation, 4, 300);
+        EXPECT_EQ(result.ops, 4u * 300u);
+        EXPECT_TRUE(vacation.consistent())
+            << "backend " << tm::backendName(kind);
+        EXPECT_GT(vacation.totalBookedUnsafe(), 0u);
+    }
+}
+
+TEST(TpccLiteTest, MoneyConservedUnderConcurrency)
+{
+    PolyTm poly(TmConfig{tm::BackendKind::kSwissTm, 4, {}});
+    TpccLiteWorkload::Options opts;
+    opts.warehouses = 2;
+    opts.items = 512;
+    TpccLiteWorkload tpcc(opts);
+    setupWorkload(poly, tpcc);
+
+    const auto result = runOps(poly, tpcc, 4, 400);
+    EXPECT_EQ(result.ops, 4u * 400u);
+    EXPECT_TRUE(tpcc.consistent());
+    EXPECT_GT(result.commits, 0u);
+}
+
+TEST(KvCacheTest, RunsAndStaysConsistent)
+{
+    PolyTm poly(TmConfig{tm::BackendKind::kNorec, 4, {}});
+    KvCacheWorkload::Options opts;
+    opts.keys = 1 << 10;
+    KvCacheWorkload cache(opts);
+    setupWorkload(poly, cache);
+
+    const auto result = runOps(poly, cache, 4, 500);
+    EXPECT_EQ(result.ops, 4u * 500u);
+    EXPECT_TRUE(cache.consistent());
+}
+
+TEST(GridRouterTest, RoutesNeverOverlap)
+{
+    PolyTm poly(TmConfig{tm::BackendKind::kTinyStm, 4, {}});
+    GridRouterWorkload::Options opts;
+    opts.side = 128;
+    GridRouterWorkload router(opts);
+    setupWorkload(poly, router);
+
+    const auto result = runOps(poly, router, 4, 40);
+    EXPECT_EQ(result.ops, 4u * 40u);
+    EXPECT_TRUE(router.consistent());
+    EXPECT_GT(router.routedUnsafe(), 0u);
+}
+
+TEST(GridRouterTest, CapacityBoundOnEmulatedHtmStillCorrect)
+{
+    // Small HTM capacity: router transactions exceed it and must
+    // commit through the fallback path.
+    tm::SimHtmConfig htm;
+    htm.writeCapacityLines = 32;
+    PolyTm poly(TmConfig{tm::BackendKind::kSimHtm, 4, {}}, htm);
+    GridRouterWorkload::Options opts;
+    opts.side = 96;
+    GridRouterWorkload router(opts);
+    setupWorkload(poly, router);
+
+    const auto result = runOps(poly, router, 4, 25);
+    EXPECT_TRUE(router.consistent());
+    const auto stats = poly.snapshotStats();
+    EXPECT_GT(stats.abortsByCause[static_cast<std::size_t>(
+                  tm::AbortCause::kCapacity)],
+              0u)
+        << "router should trip the HTM capacity limit";
+    (void)result;
+}
+
+TEST(SyntheticTest, FixedOpsProduceExpectedCommitCount)
+{
+    PolyTm poly(TmConfig{tm::BackendKind::kTl2, 2, {}});
+    SyntheticWorkload::Options opts;
+    opts.arraySlots = 1 << 12;
+    opts.reads = 10;
+    opts.writes = 2;
+    SyntheticWorkload synth(opts);
+    setupWorkload(poly, synth);
+
+    const auto result = runOps(poly, synth, 2, 250);
+    EXPECT_EQ(result.ops, 500u);
+    // One transaction per op, plus retries counted separately.
+    EXPECT_GE(result.commits, 500u);
+}
+
+TEST(RunnerTest, TimedRunStopsAndReports)
+{
+    PolyTm poly(TmConfig{tm::BackendKind::kTinyStm, 2, {}});
+    SetWorkloadOptions opts;
+    opts.keyRange = 1 << 10;
+    opts.initialKeys = 1 << 9;
+    HashMapWorkload workload(opts);
+    setupWorkload(poly, workload);
+
+    const auto result = runTimed(poly, workload, 2, 0.2);
+    EXPECT_GT(result.ops, 0u);
+    EXPECT_GT(result.opsPerSec, 0.0);
+    EXPECT_NEAR(result.seconds, 0.2, 0.15);
+    EXPECT_TRUE(workload.consistent());
+}
+
+TEST(RunnerTest, ParallelismDegreeOneStillCompletesTimedRun)
+{
+    // Workers beyond the parallelism degree park; the shutdown path
+    // must wake them so the run terminates.
+    PolyTm poly(TmConfig{tm::BackendKind::kTl2, 1, {}});
+    SetWorkloadOptions opts;
+    opts.keyRange = 512;
+    opts.initialKeys = 128;
+    RbTreeWorkload workload(opts);
+    setupWorkload(poly, workload);
+
+    const auto result = runTimed(poly, workload, 4, 0.15);
+    EXPECT_GT(result.ops, 0u);
+    EXPECT_TRUE(workload.consistent());
+}
+
+} // namespace
+} // namespace proteus::workloads

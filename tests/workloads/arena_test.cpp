@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "workloads/tx_arena.hpp"
+
+namespace proteus::workloads {
+namespace {
+
+TEST(TxArenaTest, AllocationsAreAligned)
+{
+    TxArena arena;
+    for (const std::size_t size : {1, 3, 8, 13, 64, 100}) {
+        void *p = arena.alloc(size);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 8, 0u)
+            << "size " << size;
+    }
+}
+
+TEST(TxArenaTest, AllocationsDoNotOverlap)
+{
+    TxArena arena(256); // small chunks: force growth
+    std::vector<std::byte *> blocks;
+    constexpr std::size_t kSize = 24;
+    for (int i = 0; i < 200; ++i) {
+        auto *p = static_cast<std::byte *>(arena.alloc(kSize));
+        std::fill(p, p + kSize, std::byte{static_cast<unsigned char>(i)});
+        blocks.push_back(p);
+    }
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        for (std::size_t b = 0; b < kSize; ++b) {
+            EXPECT_EQ(blocks[i][b],
+                      std::byte{static_cast<unsigned char>(i)});
+        }
+    }
+}
+
+TEST(TxArenaTest, CreateConstructsObjects)
+{
+    struct Node
+    {
+        std::uint64_t a;
+        std::uint64_t b;
+    };
+    TxArena arena;
+    Node *n = arena.create<Node>(Node{1, 2});
+    EXPECT_EQ(n->a, 1u);
+    EXPECT_EQ(n->b, 2u);
+}
+
+TEST(TxArenaTest, LargeAllocationGetsOwnChunk)
+{
+    TxArena arena(128);
+    void *big = arena.alloc(4096);
+    ASSERT_NE(big, nullptr);
+    // And the arena keeps working afterwards.
+    void *small = arena.alloc(16);
+    ASSERT_NE(small, nullptr);
+    EXPECT_NE(big, small);
+}
+
+TEST(TxArenaTest, ReservedBytesGrow)
+{
+    TxArena arena(1024);
+    const std::size_t before = arena.reservedBytes();
+    for (int i = 0; i < 100; ++i)
+        arena.alloc(64);
+    EXPECT_GT(arena.reservedBytes(), before);
+}
+
+TEST(TxArenaTest, ConcurrentAllocationsAreDistinct)
+{
+    TxArena arena(4096);
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 500;
+    std::vector<std::vector<void *>> out(kThreads);
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i)
+                out[static_cast<std::size_t>(t)].push_back(
+                    arena.alloc(32));
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    std::set<void *> all;
+    for (const auto &v : out)
+        all.insert(v.begin(), v.end());
+    EXPECT_EQ(all.size(),
+              static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+} // namespace
+} // namespace proteus::workloads

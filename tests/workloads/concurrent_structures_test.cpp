@@ -1,0 +1,137 @@
+/**
+ * Concurrent stress on the transactional structures, with PolyTM
+ * switching backends mid-run; invariants checked after quiescing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "polytm/polytm.hpp"
+#include "workloads/hashmap.hpp"
+#include "workloads/rbtree.hpp"
+#include "workloads/skiplist.hpp"
+
+namespace proteus::workloads {
+namespace {
+
+using polytm::PolyTm;
+using polytm::TmConfig;
+using polytm::Tx;
+
+TEST(ConcurrentStructuresTest, RbTreeUnderConcurrentMutationAndSwitches)
+{
+    PolyTm poly(TmConfig{tm::BackendKind::kTl2, 8, {}});
+    TxArena arena;
+    RedBlackTreeTx tree(arena);
+
+    constexpr int kThreads = 4;
+    constexpr int kOpsPerThread = 1500;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            auto token = poly.registerThread();
+            Rng rng(100 + t);
+            for (int i = 0; i < kOpsPerThread; ++i) {
+                const std::uint64_t key = rng.nextBounded(256) + 1;
+                const auto action = rng.nextBounded(3);
+                poly.run(token, [&](Tx &tx) {
+                    if (action == 0)
+                        tree.insert(tx, key, key);
+                    else if (action == 1)
+                        tree.erase(tx, key);
+                    else
+                        tree.lookup(tx, key);
+                });
+            }
+            poly.deregisterThread(token);
+        });
+    }
+
+    const tm::BackendKind kinds[] = {
+        tm::BackendKind::kNorec, tm::BackendKind::kSimHtm,
+        tm::BackendKind::kTinyStm, tm::BackendKind::kSwissTm,
+        tm::BackendKind::kTl2};
+    for (int round = 0; round < 10; ++round) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(3));
+        poly.reconfigure({kinds[round % 5], 8, {}});
+    }
+    for (auto &w : workers)
+        w.join();
+
+    EXPECT_TRUE(tree.invariantsHold());
+}
+
+TEST(ConcurrentStructuresTest, SkipListConcurrentSetSemantics)
+{
+    PolyTm poly(TmConfig{tm::BackendKind::kTinyStm, 8, {}});
+    TxArena arena;
+    SkipListTx list(arena);
+
+    // Each thread inserts a disjoint key range, then everyone verifies.
+    constexpr int kThreads = 4;
+    constexpr std::uint64_t kPerThread = 400;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            auto token = poly.registerThread();
+            for (std::uint64_t i = 0; i < kPerThread; ++i) {
+                const std::uint64_t key =
+                    static_cast<std::uint64_t>(t) * kPerThread + i + 1;
+                poly.run(token,
+                         [&](Tx &tx) { list.insert(tx, key, key); });
+            }
+            poly.deregisterThread(token);
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    EXPECT_TRUE(list.invariantsHold());
+    auto token = poly.registerThread();
+    std::uint64_t size = 0;
+    poly.run(token, [&](Tx &tx) { size = list.size(tx); });
+    EXPECT_EQ(size, kThreads * kPerThread);
+    for (std::uint64_t key = 1; key <= kThreads * kPerThread; ++key) {
+        bool found = false;
+        poly.run(token, [&](Tx &tx) { found = list.lookup(tx, key); });
+        ASSERT_TRUE(found) << "missing key " << key;
+    }
+    poly.deregisterThread(token);
+}
+
+TEST(ConcurrentStructuresTest, HashMapConcurrentDisjointInserts)
+{
+    PolyTm poly(TmConfig{tm::BackendKind::kSimHtm, 8, {}});
+    TxArena arena;
+    HashMapTx map(arena, 8);
+
+    constexpr int kThreads = 4;
+    constexpr std::uint64_t kPerThread = 600;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            auto token = poly.registerThread();
+            for (std::uint64_t i = 0; i < kPerThread; ++i) {
+                const std::uint64_t key =
+                    static_cast<std::uint64_t>(t) * kPerThread + i;
+                poly.run(token,
+                         [&](Tx &tx) { map.put(tx, key, key * 2); });
+            }
+            poly.deregisterThread(token);
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    EXPECT_TRUE(map.invariantsHold());
+    auto token = poly.registerThread();
+    std::uint64_t size = 0;
+    poly.run(token, [&](Tx &tx) { size = map.size(tx); });
+    EXPECT_EQ(size, kThreads * kPerThread);
+    poly.deregisterThread(token);
+}
+
+} // namespace
+} // namespace proteus::workloads

@@ -1,0 +1,209 @@
+/**
+ * Transactional data-structure semantics: single-threaded against a
+ * std::set/map reference model, parameterized over TM backends, plus
+ * structural invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "polytm/polytm.hpp"
+#include "workloads/hashmap.hpp"
+#include "workloads/linkedlist.hpp"
+#include "workloads/rbtree.hpp"
+#include "workloads/skiplist.hpp"
+
+namespace proteus::workloads {
+namespace {
+
+using polytm::PolyTm;
+using polytm::TmConfig;
+using polytm::Tx;
+
+class StructuresTest : public ::testing::TestWithParam<tm::BackendKind>
+{
+  protected:
+    StructuresTest()
+        : poly_(TmConfig{GetParam(), 2, {}}), token_(poly_.registerThread())
+    {}
+
+    ~StructuresTest() override { poly_.deregisterThread(token_); }
+
+    PolyTm poly_;
+    polytm::ThreadToken token_;
+    TxArena arena_;
+};
+
+TEST_P(StructuresTest, RbTreeMatchesReferenceModel)
+{
+    RedBlackTreeTx tree(arena_);
+    std::map<std::uint64_t, std::uint64_t> ref;
+    Rng rng(42);
+
+    for (int i = 0; i < 3000; ++i) {
+        const std::uint64_t key = rng.nextBounded(500) + 1;
+        const auto action = rng.nextBounded(3);
+        const bool present = ref.count(key) > 0;
+        poly_.run(token_, [&](Tx &tx) {
+            if (action == 0) {
+                EXPECT_EQ(tree.insert(tx, key, key * 2), !present);
+            } else if (action == 1) {
+                EXPECT_EQ(tree.erase(tx, key), present);
+            } else {
+                std::uint64_t v = 0;
+                EXPECT_EQ(tree.lookup(tx, key, &v), present);
+                if (present) {
+                    EXPECT_EQ(v, ref[key]);
+                }
+            }
+        });
+        // Mirror the committed mutation into the reference model.
+        if (action == 0)
+            ref[key] = key * 2;
+        else if (action == 1)
+            ref.erase(key);
+        ASSERT_TRUE(tree.invariantsHold()) << "after op " << i;
+    }
+    EXPECT_EQ(tree.sizeUnsafe(), ref.size());
+}
+
+TEST_P(StructuresTest, SkipListMatchesReferenceModel)
+{
+    SkipListTx list(arena_);
+    std::map<std::uint64_t, std::uint64_t> ref;
+    Rng rng(43);
+
+    for (int i = 0; i < 3000; ++i) {
+        const std::uint64_t key = rng.nextBounded(400) + 1;
+        const auto action = rng.nextBounded(3);
+        const bool present = ref.count(key) > 0;
+        poly_.run(token_, [&](Tx &tx) {
+            if (action == 0) {
+                EXPECT_EQ(list.insert(tx, key, key + 9), !present);
+            } else if (action == 1) {
+                EXPECT_EQ(list.erase(tx, key), present);
+            } else {
+                std::uint64_t v = 0;
+                EXPECT_EQ(list.lookup(tx, key, &v), present);
+                if (present) {
+                    EXPECT_EQ(v, ref[key]);
+                }
+            }
+        });
+        if (action == 0)
+            ref[key] = key + 9;
+        else if (action == 1)
+            ref.erase(key);
+    }
+    EXPECT_TRUE(list.invariantsHold());
+}
+
+TEST_P(StructuresTest, LinkedListMatchesReferenceModel)
+{
+    LinkedListTx list(arena_);
+    std::set<std::uint64_t> ref;
+    Rng rng(44);
+
+    for (int i = 0; i < 1500; ++i) {
+        const std::uint64_t key = rng.nextBounded(150) + 1;
+        const auto action = rng.nextBounded(3);
+        const bool present = ref.count(key) > 0;
+        poly_.run(token_, [&](Tx &tx) {
+            if (action == 0) {
+                EXPECT_EQ(list.insert(tx, key), !present);
+            } else if (action == 1) {
+                EXPECT_EQ(list.erase(tx, key), present);
+            } else {
+                EXPECT_EQ(list.contains(tx, key), present);
+            }
+        });
+        if (action == 0)
+            ref.insert(key);
+        else if (action == 1)
+            ref.erase(key);
+    }
+    EXPECT_TRUE(list.invariantsHold());
+}
+
+TEST_P(StructuresTest, HashMapMatchesReferenceModel)
+{
+    HashMapTx map(arena_, 6); // tiny table: chains exercised
+    std::map<std::uint64_t, std::uint64_t> ref;
+    Rng rng(45);
+
+    for (int i = 0; i < 3000; ++i) {
+        const std::uint64_t key = rng.nextBounded(300);
+        const auto action = rng.nextBounded(3);
+        const bool present = ref.count(key) > 0;
+        poly_.run(token_, [&](Tx &tx) {
+            if (action == 0) {
+                EXPECT_EQ(map.put(tx, key, key ^ 7), !present);
+            } else if (action == 1) {
+                EXPECT_EQ(map.erase(tx, key), present);
+            } else {
+                std::uint64_t v = 0;
+                EXPECT_EQ(map.get(tx, key, &v), present);
+                if (present) {
+                    EXPECT_EQ(v, key ^ 7);
+                }
+            }
+        });
+        if (action == 0)
+            ref[key] = key ^ 7;
+        else if (action == 1)
+            ref.erase(key);
+    }
+    EXPECT_TRUE(map.invariantsHold());
+}
+
+TEST_P(StructuresTest, RbTreeSizeIsTransactional)
+{
+    RedBlackTreeTx tree(arena_);
+    for (std::uint64_t k = 1; k <= 100; ++k)
+        poly_.run(token_, [&](Tx &tx) { tree.insert(tx, k, k); });
+    std::uint64_t size = 0;
+    poly_.run(token_, [&](Tx &tx) { size = tree.size(tx); });
+    EXPECT_EQ(size, 100u);
+    for (std::uint64_t k = 1; k <= 50; ++k)
+        poly_.run(token_, [&](Tx &tx) { tree.erase(tx, k); });
+    poly_.run(token_, [&](Tx &tx) { size = tree.size(tx); });
+    EXPECT_EQ(size, 50u);
+}
+
+TEST_P(StructuresTest, AbortedStructuralOpLeavesTreeIntact)
+{
+    if (GetParam() == tm::BackendKind::kGlobalLock)
+        GTEST_SKIP() << "irrevocable backend";
+    RedBlackTreeTx tree(arena_);
+    for (std::uint64_t k = 1; k <= 64; ++k)
+        poly_.run(token_, [&](Tx &tx) { tree.insert(tx, k, k); });
+
+    bool aborted = false;
+    poly_.run(token_, [&](Tx &tx) {
+        tree.insert(tx, 1000, 1);
+        tree.erase(tx, 32); // structural rebalance mid-tx
+        if (!aborted) {
+            aborted = true;
+            tx.retry();
+        }
+    });
+    // Second attempt committed both ops exactly once.
+    EXPECT_TRUE(tree.invariantsHold());
+    EXPECT_EQ(tree.sizeUnsafe(), 64u); // +1 insert, -1 erase
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, StructuresTest,
+    ::testing::Values(tm::BackendKind::kGlobalLock,
+                      tm::BackendKind::kTl2, tm::BackendKind::kTinyStm,
+                      tm::BackendKind::kNorec, tm::BackendKind::kSwissTm,
+                      tm::BackendKind::kSimHtm,
+                      tm::BackendKind::kHybridNorec),
+    [](const ::testing::TestParamInfo<tm::BackendKind> &info) {
+        return std::string(tm::backendName(info.param));
+    });
+
+} // namespace
+} // namespace proteus::workloads
