@@ -1,0 +1,148 @@
+/**
+ * bench_kvstore — ProteusKV throughput characterization.
+ *
+ * Series 1 (scaling): closed-loop read-heavy (YCSB-B) throughput as
+ * the shard count grows 1 -> 2 -> 4 at a fixed worker count. Shards
+ * are independent PolyTM universes, so routing spreads both data and
+ * TM metadata contention; on a multicore host the expected shape is
+ * linear-ish scaling (on a single hardware thread the series degrades
+ * to constant — the harness prints the host's core count for
+ * context).
+ *
+ * Series 2 (mixes): per-mix throughput at 4 shards across the YCSB-
+ * style presets, plus the batched-put path vs single puts.
+ *
+ * Usage: bench_kvstore [seconds-per-point]   (default 0.4)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "common/timing.hpp"
+#include "kvstore/traffic.hpp"
+
+using namespace proteus;
+using kvstore::KvStore;
+using kvstore::KvStoreOptions;
+using kvstore::MixKind;
+using kvstore::TrafficDriver;
+using kvstore::TrafficMix;
+using kvstore::TrafficOptions;
+
+namespace {
+
+double
+runPoint(int shards, const TrafficMix &mix, int threads, double seconds)
+{
+    KvStoreOptions store_options;
+    store_options.numShards = shards;
+    store_options.log2SlotsPerShard = 16;
+    store_options.initial = {tm::BackendKind::kTl2, 16, {}};
+    KvStore store(store_options);
+
+    TrafficOptions traffic_options;
+    traffic_options.threads = threads;
+    traffic_options.phases = {mix};
+    TrafficDriver driver(store, traffic_options);
+    driver.preload(mix.keySpace / 2);
+
+    driver.start();
+    // Short warmup so table population / first faults don't count.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(seconds * 0.25));
+    const std::uint64_t before = driver.opsCompleted();
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    const std::uint64_t after = driver.opsCompleted();
+    driver.stop();
+
+    return static_cast<double>(after - before) / seconds;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double seconds = argc > 1 ? std::atof(argv[1]) : 0.4;
+    if (seconds <= 0) {
+        std::fprintf(stderr,
+                     "bench_kvstore: invalid seconds-per-point '%s', "
+                     "using 0.4\n",
+                     argv[1]);
+        seconds = 0.4;
+    }
+    const int threads = 4;
+
+    std::printf("ProteusKV bench — %d workers, %.2fs/point, host has "
+                "%u hardware threads\n\n",
+                threads, seconds,
+                std::thread::hardware_concurrency());
+
+    std::printf("shard scaling, read-heavy (YCSB-B):\n");
+    std::printf("  %-8s %14s %10s\n", "shards", "ops/s", "speedup");
+    double base = 0;
+    for (const int shards : {1, 2, 4}) {
+        const double ops = runPoint(
+            shards, TrafficMix::preset(MixKind::kReadHeavy), threads,
+            seconds);
+        if (shards == 1)
+            base = ops;
+        std::printf("  %-8d %14.0f %9.2fx\n", shards, ops,
+                    base > 0 ? ops / base : 0.0);
+    }
+
+    std::printf("\nworkload mixes at 4 shards:\n");
+    std::printf("  %-12s %14s\n", "mix", "ops/s");
+    const struct
+    {
+        const char *name;
+        MixKind kind;
+    } mixes[] = {
+        {"read-heavy", MixKind::kReadHeavy},
+        {"balanced", MixKind::kBalanced},
+        {"scan-heavy", MixKind::kScanHeavy},
+        {"write-heavy", MixKind::kWriteHeavy},
+        {"hotspot", MixKind::kHotspot},
+    };
+    for (const auto &mix : mixes) {
+        const double ops = runPoint(4, TrafficMix::preset(mix.kind),
+                                    threads, seconds);
+        std::printf("  %-12s %14.0f\n", mix.name, ops);
+    }
+
+    // Batched vs single-op puts: one session, one thread, same keys.
+    std::printf("\nbatching (single thread, 1 shard, %d puts):\n",
+                1 << 16);
+    KvStoreOptions store_options;
+    store_options.numShards = 1;
+    store_options.log2SlotsPerShard = 18;
+    store_options.initial = {tm::BackendKind::kTl2, 1, {}};
+    {
+        KvStore store(store_options);
+        auto session = store.openSession();
+        Stopwatch sw;
+        for (std::uint64_t key = 0; key < (1u << 16); ++key)
+            store.put(session, key, key);
+        const double single = (1 << 16) / sw.elapsedSeconds();
+        store.closeSession(session);
+        std::printf("  %-12s %14.0f ops/s\n", "single", single);
+    }
+    {
+        KvStore store(store_options);
+        auto session = store.openSession();
+        KvStore::Batch batch;
+        Stopwatch sw;
+        for (std::uint64_t key = 0; key < (1u << 16); ++key) {
+            batch.put(key, key);
+            if (batch.size() == 64) {
+                store.applyBatch(session, batch);
+                batch.clear();
+            }
+        }
+        const double batched = (1 << 16) / sw.elapsedSeconds();
+        store.closeSession(session);
+        std::printf("  %-12s %14.0f ops/s\n", "batch(64)", batched);
+    }
+    return 0;
+}

@@ -1,0 +1,95 @@
+#include "kvstore/kv_tunable.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace proteus::kvstore {
+
+std::vector<polytm::TmConfig>
+KvTunableOptions::defaultMenu()
+{
+    std::vector<polytm::TmConfig> menu;
+    const tm::BackendKind stms[] = {
+        tm::BackendKind::kTl2,
+        tm::BackendKind::kTinyStm,
+        tm::BackendKind::kNorec,
+        tm::BackendKind::kSwissTm,
+    };
+    for (const tm::BackendKind backend : stms) {
+        for (const int threads : {1, 2, 4})
+            menu.push_back({backend, threads, {}});
+    }
+    menu.push_back({tm::BackendKind::kSimHtm, 4, {}});
+    menu.push_back({tm::BackendKind::kGlobalLock, 1, {}});
+    return menu;
+}
+
+ShardTunable::ShardTunable(Shard &shard, KvTunableOptions options)
+    : shard_(&shard), menu_(std::move(options.menu)),
+      periodSeconds_(options.periodSeconds), meter_(shard.poly())
+{
+    // No silent defaulting here: the menu must match the engine's
+    // column space, and only the caller (e.g. KvAutoTuner, which
+    // substitutes defaultMenu() and validates the size) can check
+    // that. An empty menu fails at construction, not mid-episode.
+    if (menu_.empty())
+        throw std::invalid_argument(
+            "ShardTunable: empty configuration menu");
+}
+
+void
+ShardTunable::applyConfig(std::size_t c)
+{
+    if (c >= menu_.size()) {
+        throw std::out_of_range(
+            "ShardTunable::applyConfig: config index outside the menu "
+            "(engine column space and menu size must match)");
+    }
+    if (c != applied_ ||
+        !(shard_->poly().currentConfig() == menu_[c])) {
+        shard_->poly().reconfigure(menu_[c]);
+        ++reconfigurations_;
+    }
+    applied_ = c;
+    meter_.reset(); // don't charge the new config for the old window
+}
+
+double
+ShardTunable::measureKpi()
+{
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(periodSeconds_));
+    return meter_.sample().commitsPerSec;
+}
+
+KvAutoTuner::KvAutoTuner(KvStore &store, const rectm::RecTmEngine &engine,
+                         KvTunableOptions options,
+                         rectm::RuntimeOptions runtime_options)
+{
+    if (options.menu.empty())
+        options.menu = KvTunableOptions::defaultMenu();
+    if (options.menu.size() != engine.numConfigs()) {
+        throw std::invalid_argument(
+            "KvAutoTuner: engine was trained on " +
+            std::to_string(engine.numConfigs()) +
+            " configurations but the menu has " +
+            std::to_string(options.menu.size()));
+    }
+    for (int s = 0; s < store.numShards(); ++s) {
+        tunables_.push_back(std::make_unique<ShardTunable>(
+            store.shard(static_cast<std::size_t>(s)), options));
+        runtimes_.push_back(std::make_unique<rectm::ProteusRuntime>(
+            engine, *tunables_.back(), runtime_options));
+        group_.add(*runtimes_.back());
+    }
+}
+
+std::vector<std::vector<rectm::PeriodRecord>>
+KvAutoTuner::run(int total_periods)
+{
+    return group_.runAll(total_periods);
+}
+
+} // namespace proteus::kvstore

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * KvTunable: ProteusKV's bridge into the RecTM closed loop.
+ *
+ * ShardTunable adapts one live Shard to rectm::TunableSystem: the
+ * configuration space is an explicit TmConfig menu, applyConfig is a
+ * live PolyTM reconfiguration, and measureKpi sleeps one monitor
+ * period and reads the shard's commit rate through polytm::KpiMeter.
+ *
+ * KvAutoTuner owns one ShardTunable + ProteusRuntime per shard and
+ * drives them concurrently through rectm::RuntimeGroup, so every
+ * shard's backend/parallelism converges to its own traffic — the
+ * paper's single-instance loop, multiplied across a sharded service.
+ */
+
+#ifndef PROTEUS_KVSTORE_KV_TUNABLE_HPP
+#define PROTEUS_KVSTORE_KV_TUNABLE_HPP
+
+#include <memory>
+#include <vector>
+
+#include "kvstore/kvstore.hpp"
+#include "polytm/kpi.hpp"
+#include "rectm/proteus_runtime.hpp"
+
+namespace proteus::kvstore {
+
+struct KvTunableOptions
+{
+    /** Per-shard configuration menu (the tuning space's columns). */
+    std::vector<polytm::TmConfig> menu;
+    /** Monitor period: how long measureKpi observes the shard. */
+    double periodSeconds = 0.02;
+
+    /** A compact default menu: every STM at 1/2/4 threads + HTM. */
+    static std::vector<polytm::TmConfig> defaultMenu();
+};
+
+class ShardTunable : public rectm::TunableSystem
+{
+  public:
+    ShardTunable(Shard &shard, KvTunableOptions options);
+
+    std::size_t numConfigs() const override { return menu_.size(); }
+    void applyConfig(std::size_t c) override;
+    double measureKpi() override;
+
+    const polytm::TmConfig &configAt(std::size_t c) const
+    {
+        return menu_[c];
+    }
+    std::size_t appliedConfig() const { return applied_; }
+    int reconfigurations() const { return reconfigurations_; }
+
+  private:
+    Shard *shard_;
+    std::vector<polytm::TmConfig> menu_;
+    double periodSeconds_;
+    polytm::KpiMeter meter_;
+    std::size_t applied_ = 0;
+    int reconfigurations_ = 0;
+};
+
+class KvAutoTuner
+{
+  public:
+    /**
+     * @param engine trained RecTM engine whose column space matches
+     *        options.menu (shared read-only by all shard runtimes)
+     */
+    KvAutoTuner(KvStore &store, const rectm::RecTmEngine &engine,
+                KvTunableOptions options,
+                rectm::RuntimeOptions runtime_options = {});
+
+    /**
+     * Tune all shards concurrently for `total_periods` monitor
+     * periods; returns per-shard period records.
+     */
+    std::vector<std::vector<rectm::PeriodRecord>>
+    run(int total_periods);
+
+    int episodes(std::size_t shard) const
+    {
+        return runtimes_[shard]->episodes();
+    }
+    const ShardTunable &tunable(std::size_t shard) const
+    {
+        return *tunables_[shard];
+    }
+
+  private:
+    std::vector<std::unique_ptr<ShardTunable>> tunables_;
+    std::vector<std::unique_ptr<rectm::ProteusRuntime>> runtimes_;
+    rectm::RuntimeGroup group_;
+};
+
+} // namespace proteus::kvstore
+
+#endif // PROTEUS_KVSTORE_KV_TUNABLE_HPP

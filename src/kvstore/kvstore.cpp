@@ -1,0 +1,298 @@
+#include "kvstore/kvstore.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace proteus::kvstore {
+
+namespace {
+
+/** Shard router hash — distinct from the in-shard slot hash so shard
+ *  choice and slot choice stay uncorrelated. */
+std::uint64_t
+routeMix(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    return x ^ (x >> 33);
+}
+
+} // namespace
+
+KvStore::KvStore(KvStoreOptions options)
+{
+    if (options.numShards <= 0)
+        throw std::invalid_argument("KvStore: numShards must be >= 1");
+    shards_.reserve(static_cast<std::size_t>(options.numShards));
+    latches_.reserve(static_cast<std::size_t>(options.numShards));
+    for (int s = 0; s < options.numShards; ++s) {
+        ShardOptions shard_options;
+        shard_options.log2Slots = options.log2SlotsPerShard;
+        shard_options.initial = options.initial;
+        shards_.push_back(std::make_unique<Shard>(shard_options));
+        latches_.push_back(std::make_unique<std::shared_mutex>());
+    }
+}
+
+std::size_t
+KvStore::shardOf(std::uint64_t key) const
+{
+    return static_cast<std::size_t>(routeMix(key) % shards_.size());
+}
+
+KvStore::Session
+KvStore::openSession()
+{
+    Session session;
+    session.tokens_.reserve(shards_.size());
+    try {
+        for (auto &shard : shards_)
+            session.tokens_.push_back(shard->registerWorker());
+    } catch (...) {
+        // Thread-slot exhaustion mid-loop: give back what we took, or
+        // every failed openSession leaks one slot per earlier shard.
+        for (std::size_t s = 0; s < session.tokens_.size(); ++s)
+            shards_[s]->deregisterWorker(session.tokens_[s]);
+        throw;
+    }
+    return session;
+}
+
+void
+KvStore::closeSession(Session &session)
+{
+    for (std::size_t s = 0; s < session.tokens_.size(); ++s)
+        shards_[s]->deregisterWorker(session.tokens_[s]);
+    session.tokens_.clear();
+}
+
+bool
+KvStore::get(Session &session, std::uint64_t key, std::uint64_t *value)
+{
+    const std::size_t s = shardOf(key);
+    bool ok = false;
+    runOnShard(session, s, [&](polytm::Tx &tx) {
+        ok = shards_[s]->getTx(tx, key, value);
+    });
+    return ok;
+}
+
+bool
+KvStore::put(Session &session, std::uint64_t key, std::uint64_t value)
+{
+    const std::size_t s = shardOf(key);
+    bool ok = false;
+    runOnShard(session, s, [&](polytm::Tx &tx) {
+        ok = shards_[s]->putTx(tx, key, value);
+    });
+    return ok;
+}
+
+bool
+KvStore::del(Session &session, std::uint64_t key)
+{
+    const std::size_t s = shardOf(key);
+    bool ok = false;
+    runOnShard(session, s, [&](polytm::Tx &tx) {
+        ok = shards_[s]->delTx(tx, key);
+    });
+    return ok;
+}
+
+std::size_t
+KvStore::scan(Session &session, std::uint64_t start_key,
+              std::size_t limit,
+              std::vector<std::pair<std::uint64_t, std::uint64_t>> *out)
+{
+    const std::size_t s = shardOf(start_key);
+    std::size_t count = 0;
+    runOnShard(session, s, [&](polytm::Tx &tx) {
+        count = shards_[s]->scanTx(tx, start_key, limit, out);
+    });
+    return count;
+}
+
+namespace {
+
+using TaggedOp = std::pair<std::uint32_t, KvOp *>;
+
+/** Apply one shard's slice of a composite op inside a transaction. */
+void
+applyOpsInTx(Shard &shard, polytm::Tx &tx, const TaggedOp *begin,
+             const TaggedOp *end, bool &space_ok)
+{
+    space_ok = true; // retried attempts restart the accumulation
+    for (const TaggedOp *it = begin; it != end; ++it) {
+        KvOp *op = it->second;
+        switch (op->kind) {
+          case KvOp::Kind::kGet:
+            op->ok = shard.getTx(tx, op->key, &op->value);
+            break;
+          case KvOp::Kind::kPut:
+            op->ok = shard.putTx(tx, op->key, op->value);
+            space_ok &= op->ok;
+            break;
+          case KvOp::Kind::kDel:
+            op->ok = shard.delTx(tx, op->key);
+            break;
+          case KvOp::Kind::kAdd:
+            op->ok = shard.addTx(tx, op->key,
+                                 static_cast<std::int64_t>(op->value));
+            space_ok &= op->ok;
+            break;
+        }
+    }
+}
+
+} // namespace
+
+namespace {
+
+/**
+ * Group `ops` by home shard into the session's reusable scratch:
+ * each shard index is computed exactly once, a stable sort on the
+ * cached index preserves program order within one shard, and the
+ * contiguous slices are recorded so the pin/lock/run/unlock passes
+ * walk a precomputed list. Steady state allocates nothing.
+ */
+void
+groupByShard(const KvStore &store, std::vector<KvOp> &ops,
+             std::vector<TaggedOp> &scratch,
+             std::vector<KvStore::Session::ShardSlice> &slices)
+{
+    scratch.clear();
+    scratch.reserve(ops.size());
+    for (KvOp &op : ops) {
+        scratch.emplace_back(
+            static_cast<std::uint32_t>(store.shardOf(op.key)), &op);
+    }
+    std::stable_sort(scratch.begin(), scratch.end(),
+                     [](const TaggedOp &a, const TaggedOp &b) {
+                         return a.first < b.first;
+                     });
+    slices.clear();
+    for (std::uint32_t i = 0; i < scratch.size();) {
+        std::uint32_t end = i;
+        while (end < scratch.size() &&
+               scratch[end].first == scratch[i].first)
+            ++end;
+        slices.push_back({scratch[i].first, i, end});
+        i = end;
+    }
+}
+
+} // namespace
+
+bool
+KvStore::multiOp(Session &session, std::vector<KvOp> &ops)
+{
+    bool writes = false;
+    for (const KvOp &op : ops)
+        writes |= op.kind != KvOp::Kind::kGet;
+    groupByShard(*this, ops, session.scratch_, session.slices_);
+    const auto &grouped = session.scratch_;
+    const auto &slices = session.slices_;
+
+    // Pin our tokens for the latched span: once some shard's slice is
+    // applied the remaining ones must go through, so the thread cannot
+    // afford to be parked by a concurrent parallelism-degree change
+    // while it holds the latches below.
+    for (const auto &slice : slices) {
+        shards_[slice.shard]->poly().setPinned(
+            session.tokens_[slice.shard].tid, true);
+    }
+
+    // Releases latches (reverse order) and pins even when a backend
+    // throws something other than TxAbort mid-commit (e.g.
+    // bad_alloc): leaked exclusive latches would wedge the shards for
+    // every future operation.
+    const auto release = [&](std::size_t locked) {
+        while (locked > 0) {
+            --locked;
+            if (writes)
+                latches_[slices[locked].shard]->unlock();
+            else
+                latches_[slices[locked].shard]->unlock_shared();
+        }
+        for (const auto &slice : slices) {
+            shards_[slice.shard]->poly().setPinned(
+                session.tokens_[slice.shard].tid, false);
+        }
+    };
+
+    bool ok = true;
+    std::size_t locked = 0;
+    try {
+        // Shard-ordered latch acquisition: the slices come out of the
+        // sort in ascending shard index, every participant uses the
+        // same order, so no deadlock.
+        for (const auto &slice : slices) {
+            if (writes)
+                latches_[slice.shard]->lock();
+            else
+                latches_[slice.shard]->lock_shared();
+            ++locked;
+        }
+
+        for (const auto &slice : slices) {
+            Shard &shard = *shards_[slice.shard];
+            bool space_ok = true;
+            shard.poly().run(
+                session.tokens_[slice.shard], [&](polytm::Tx &tx) {
+                    applyOpsInTx(shard, tx,
+                                 grouped.data() + slice.begin,
+                                 grouped.data() + slice.end, space_ok);
+                });
+            ok &= space_ok;
+        }
+    } catch (...) {
+        release(locked);
+        throw;
+    }
+    release(locked);
+    return ok;
+}
+
+bool
+KvStore::applyBatch(Session &session, Batch &batch)
+{
+    groupByShard(*this, batch.ops_, session.scratch_, session.slices_);
+    const auto &grouped = session.scratch_;
+
+    bool ok = true;
+    for (const auto &slice : session.slices_) {
+        Shard &shard = *shards_[slice.shard];
+        bool space_ok = true;
+        runOnShard(session, slice.shard, [&](polytm::Tx &tx) {
+            applyOpsInTx(shard, tx, grouped.data() + slice.begin,
+                         grouped.data() + slice.end, space_ok);
+        });
+        ok &= space_ok;
+    }
+    return ok;
+}
+
+polytm::PolyStats
+KvStore::totalStats() const
+{
+    polytm::PolyStats total;
+    for (const auto &shard : shards_) {
+        const polytm::PolyStats stats = shard->poly().snapshotStats();
+        total.commits += stats.commits;
+        total.aborts += stats.aborts;
+        for (std::size_t c = 0; c < total.abortsByCause.size(); ++c)
+            total.abortsByCause[c] += stats.abortsByCause[c];
+    }
+    return total;
+}
+
+void
+KvStore::resumeAllForShutdown()
+{
+    for (auto &shard : shards_)
+        shard->poly().resumeAllForShutdown();
+}
+
+} // namespace proteus::kvstore

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * ProteusKV: a sharded transactional key-value store on PolyTM.
+ *
+ * Keys are hash-partitioned over N shards; each shard is a Shard
+ * (open-addressing table + private PolyTM instance) so every shard can
+ * be tuned — backend, parallelism degree, contention knobs — fully
+ * independently by its own ProteusRuntime (see kv_tunable.hpp).
+ *
+ * Concurrency design. Single-key operations are plain per-shard TM
+ * transactions. Cross-shard atomicity cannot come from TM alone
+ * (shards are separate PolyTM universes), so the store layers a
+ * per-shard reader/writer latch on top:
+ *  - single-key ops and single-shard batches take the shard latch
+ *    shared (they still conflict-check each other through TM);
+ *  - a multi-key transaction takes the latches of every shard it
+ *    touches — exclusive when it writes, shared when read-only — in
+ *    ascending shard order (global order => no deadlock), then applies
+ *    each shard's portion as one TM transaction per shard.
+ * While a writing multiOp holds its exclusive latches no other
+ * operation can observe those shards, so the composite commit is
+ * atomic to all observers.
+ *
+ * Latches vs the ThreadGate: the per-shard tuner may disable a worker
+ * thread (parallelism degree), which parks it inside PolyTM. A parked
+ * thread must never hold a shard latch, or a writing multiOp blocks
+ * until some future reconfigure — possibly forever. Two mechanisms
+ * guarantee it: latched single-key/batch paths use PolyTm::tryRun
+ * (never parks; on refusal the latch is released before
+ * waitRunnable), and multiOp pins its tokens for the latched span
+ * (the paper's §4.2 escape hatch), making any gate pause bounded by
+ * an in-flight algorithm switch.
+ *
+ * Batching. A Batch stages operations and flushes them grouped by
+ * shard, one TM transaction per shard group — amortizing latch and
+ * begin/commit costs. Batches are atomic per shard, not across shards.
+ */
+
+#ifndef PROTEUS_KVSTORE_KVSTORE_HPP
+#define PROTEUS_KVSTORE_KVSTORE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "kvstore/shard.hpp"
+
+namespace proteus::kvstore {
+
+struct KvStoreOptions
+{
+    int numShards = 4;
+    /** log2 slot count per shard. */
+    unsigned log2SlotsPerShard = 14;
+    /** Initial TM configuration applied to every shard. */
+    polytm::TmConfig initial{};
+};
+
+/** One operation of a multi-key transaction or a batch. */
+struct KvOp
+{
+    enum class Kind : std::uint8_t
+    {
+        kGet = 0,
+        kPut,
+        kDel,
+        kAdd, //!< value += (int64)value-field; creates absent keys
+    };
+
+    Kind kind = Kind::kGet;
+    std::uint64_t key = 0;
+    std::uint64_t value = 0; //!< put payload / add delta; get result
+    bool ok = false;         //!< outcome (found / applied)
+};
+
+class KvStore
+{
+  public:
+    explicit KvStore(KvStoreOptions options = {});
+
+    int numShards() const { return static_cast<int>(shards_.size()); }
+    std::size_t shardOf(std::uint64_t key) const;
+    Shard &shard(std::size_t i) { return *shards_[i]; }
+    const Shard &shard(std::size_t i) const { return *shards_[i]; }
+
+    /**
+     * Per-thread handle holding one registered ThreadToken per shard.
+     * Open/close from the owning thread; a session must not be shared
+     * across threads.
+     */
+    class Session
+    {
+      public:
+        Session() = default;
+        Session(Session &&) = default;
+        Session &operator=(Session &&) = default;
+
+        /** One contiguous run of grouped ops on one shard
+         *  (implementation detail of multiOp/applyBatch). */
+        struct ShardSlice
+        {
+            std::uint32_t shard;
+            std::uint32_t begin;
+            std::uint32_t end;
+        };
+
+      private:
+        friend class KvStore;
+        std::vector<polytm::ThreadToken> tokens_;
+        /** Reusable multiOp/batch grouping scratch (hot path stays
+         *  allocation-free in steady state): ops tagged with their
+         *  home shard, and the contiguous per-shard slices. */
+        std::vector<std::pair<std::uint32_t, KvOp *>> scratch_;
+        std::vector<ShardSlice> slices_;
+    };
+
+    Session openSession();
+    void closeSession(Session &session);
+
+    /** Single-key operations (one TM transaction on the home shard). */
+    bool get(Session &session, std::uint64_t key,
+             std::uint64_t *value = nullptr);
+    bool put(Session &session, std::uint64_t key, std::uint64_t value);
+    bool del(Session &session, std::uint64_t key);
+    std::size_t scan(Session &session, std::uint64_t start_key,
+                     std::size_t limit,
+                     std::vector<std::pair<std::uint64_t, std::uint64_t>>
+                         *out = nullptr);
+
+    /**
+     * Multi-key transaction. Results land in each op's ok/value
+     * fields. Returns false iff a put/add ran out of table space
+     * mid-commit (the shard-local prefix stays applied; a full table
+     * is a capacity-planning bug, not a recoverable state).
+     *
+     * Atomicity contract: a *writing* multiOp holds its shards
+     * exclusively, so no other store operation can observe it
+     * half-committed. A *read-only* multiOp takes shared latches: it
+     * can never see a torn writing multiOp, but it is not a
+     * serializable snapshot against independent single-key writers —
+     * another session's two sequential puts to different shards may
+     * be observed out of program order. Callers needing a full
+     * snapshot against single-key traffic too must include a write
+     * (or see ROADMAP: 2PC-style commit).
+     */
+    bool multiOp(Session &session, std::vector<KvOp> &ops);
+
+    /** Staged operations, flushed grouped by shard. */
+    class Batch
+    {
+      public:
+        void
+        get(std::uint64_t key)
+        {
+            ops_.push_back({KvOp::Kind::kGet, key, 0, false});
+        }
+        void
+        put(std::uint64_t key, std::uint64_t value)
+        {
+            ops_.push_back({KvOp::Kind::kPut, key, value, false});
+        }
+        void
+        del(std::uint64_t key)
+        {
+            ops_.push_back({KvOp::Kind::kDel, key, 0, false});
+        }
+
+        std::size_t size() const { return ops_.size(); }
+        const std::vector<KvOp> &ops() const { return ops_; }
+        void clear() { ops_.clear(); }
+
+      private:
+        friend class KvStore;
+        std::vector<KvOp> ops_;
+    };
+
+    /**
+     * Apply a batch: one TM transaction per touched shard (atomic per
+     * shard only). Results are readable through `batch.ops()` until
+     * the next clear(). Returns false on table-full.
+     */
+    bool applyBatch(Session &session, Batch &batch);
+
+    /** Sum of per-shard PolyTM stats. */
+    polytm::PolyStats totalStats() const;
+
+    /** Unpark every shard's disabled workers (shutdown path). */
+    void resumeAllForShutdown();
+
+  private:
+    /**
+     * Run `body` as one transaction on shard `s` under its shared
+     * latch, without ever holding the latch while parked: tryRun
+     * refusals release the latch, wait for admission, retry.
+     */
+    template <typename F>
+    void
+    runOnShard(Session &session, std::size_t s, F &&body)
+    {
+        polytm::PolyTm &poly = shards_[s]->poly();
+        for (;;) {
+            {
+                std::shared_lock<std::shared_mutex> lk(*latches_[s]);
+                if (poly.tryRun(session.tokens_[s], body))
+                    return;
+            }
+            poly.waitRunnable(session.tokens_[s]);
+        }
+    }
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::vector<std::unique_ptr<std::shared_mutex>> latches_;
+};
+
+} // namespace proteus::kvstore
+
+#endif // PROTEUS_KVSTORE_KVSTORE_HPP

@@ -1,0 +1,208 @@
+#include "kvstore/shard.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace proteus::kvstore {
+
+namespace {
+
+/** SplitMix64 finalizer: slot spread for adversarial key patterns. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+namespace {
+
+unsigned
+checkedLog2(unsigned log2_value, const char *what)
+{
+    // >= 32 is either a config typo or would shift into UB territory;
+    // fail loudly like the rest of the subsystem's range checks.
+    if (log2_value == 0 || log2_value >= 32) {
+        throw std::invalid_argument(std::string("Shard: ") + what +
+                                    " must be in [1, 31]");
+    }
+    return log2_value;
+}
+
+} // namespace
+
+Shard::Shard(ShardOptions options)
+    : poly_(options.initial, {},
+            checkedLog2(options.log2Orecs, "log2Orecs")),
+      slots_(std::size_t{1}
+             << checkedLog2(options.log2Slots, "log2Slots")),
+      mask_(slots_ - 1), state_(slots_, kEmpty), keys_(slots_, 0),
+      values_(slots_, 0)
+{
+}
+
+std::size_t
+Shard::homeSlot(std::uint64_t key) const
+{
+    return static_cast<std::size_t>(mix64(key)) & mask_;
+}
+
+std::size_t
+Shard::probe(polytm::Tx &tx, std::uint64_t key, bool *found)
+{
+    *found = false;
+    std::size_t insert_at = slots_; // first tombstone seen, if any
+    std::size_t slot = homeSlot(key);
+    for (std::size_t step = 0; step < slots_; ++step) {
+        const std::uint64_t state = tx.readWord(&state_[slot]);
+        if (state == kEmpty)
+            return insert_at < slots_ ? insert_at : slot;
+        if (state == kTombstone) {
+            if (insert_at == slots_)
+                insert_at = slot;
+        } else if (tx.readWord(&keys_[slot]) == key) {
+            *found = true;
+            return slot;
+        }
+        slot = (slot + 1) & mask_;
+    }
+    return insert_at; // slots_ when the table has no reusable slot
+}
+
+bool
+Shard::getTx(polytm::Tx &tx, std::uint64_t key, std::uint64_t *value)
+{
+    bool found = false;
+    const std::size_t slot = probe(tx, key, &found);
+    if (!found)
+        return false;
+    if (value)
+        *value = tx.readWord(&values_[slot]);
+    return true;
+}
+
+bool
+Shard::putTx(polytm::Tx &tx, std::uint64_t key, std::uint64_t value)
+{
+    bool found = false;
+    const std::size_t slot = probe(tx, key, &found);
+    if (found) {
+        tx.writeWord(&values_[slot], value);
+        return true;
+    }
+    if (slot == slots_)
+        return false; // full
+    tx.writeWord(&state_[slot], kFull);
+    tx.writeWord(&keys_[slot], key);
+    tx.writeWord(&values_[slot], value);
+    return true;
+}
+
+bool
+Shard::delTx(polytm::Tx &tx, std::uint64_t key)
+{
+    bool found = false;
+    const std::size_t slot = probe(tx, key, &found);
+    if (!found)
+        return false;
+    tx.writeWord(&state_[slot], kTombstone);
+    return true;
+}
+
+bool
+Shard::addTx(polytm::Tx &tx, std::uint64_t key, std::int64_t delta)
+{
+    // One probe for the read-modify-write (the transfer hot path),
+    // not a getTx+putTx pair walking the chain twice.
+    bool found = false;
+    const std::size_t slot = probe(tx, key, &found);
+    if (found) {
+        const std::uint64_t current = tx.readWord(&values_[slot]);
+        tx.writeWord(&values_[slot],
+                     current + static_cast<std::uint64_t>(delta));
+        return true;
+    }
+    if (slot == slots_)
+        return false; // full
+    tx.writeWord(&state_[slot], kFull);
+    tx.writeWord(&keys_[slot], key);
+    tx.writeWord(&values_[slot], static_cast<std::uint64_t>(delta));
+    return true;
+}
+
+bool
+Shard::get(polytm::ThreadToken &token, std::uint64_t key,
+           std::uint64_t *value)
+{
+    bool ok = false;
+    poly_.run(token,
+              [&](polytm::Tx &tx) { ok = getTx(tx, key, value); });
+    return ok;
+}
+
+bool
+Shard::put(polytm::ThreadToken &token, std::uint64_t key,
+           std::uint64_t value)
+{
+    bool ok = false;
+    poly_.run(token,
+              [&](polytm::Tx &tx) { ok = putTx(tx, key, value); });
+    return ok;
+}
+
+bool
+Shard::del(polytm::ThreadToken &token, std::uint64_t key)
+{
+    bool ok = false;
+    poly_.run(token, [&](polytm::Tx &tx) { ok = delTx(tx, key); });
+    return ok;
+}
+
+std::size_t
+Shard::scanTx(polytm::Tx &tx, std::uint64_t start_key, std::size_t limit,
+              std::vector<std::pair<std::uint64_t, std::uint64_t>> *out)
+{
+    std::size_t count = 0;
+    if (out)
+        out->clear();
+    std::size_t slot = homeSlot(start_key);
+    for (std::size_t step = 0; step < slots_ && count < limit; ++step) {
+        if (tx.readWord(&state_[slot]) == kFull) {
+            if (out) {
+                out->emplace_back(tx.readWord(&keys_[slot]),
+                                  tx.readWord(&values_[slot]));
+            }
+            ++count;
+        }
+        slot = (slot + 1) & mask_;
+    }
+    return count;
+}
+
+std::size_t
+Shard::scan(polytm::ThreadToken &token, std::uint64_t start_key,
+            std::size_t limit,
+            std::vector<std::pair<std::uint64_t, std::uint64_t>> *out)
+{
+    std::size_t count = 0;
+    poly_.run(token, [&](polytm::Tx &tx) {
+        // Retried attempts restart the collection inside scanTx.
+        count = scanTx(tx, start_key, limit, out);
+    });
+    return count;
+}
+
+std::size_t
+Shard::sizeQuiesced() const
+{
+    std::size_t n = 0;
+    for (const std::uint64_t state : state_)
+        n += state == kFull ? 1 : 0;
+    return n;
+}
+
+} // namespace proteus::kvstore

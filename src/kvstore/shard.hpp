@@ -1,0 +1,131 @@
+/**
+ * @file
+ * One ProteusKV shard: an open-addressing hash table whose every
+ * operation runs as a transaction on the shard's private PolyTM
+ * instance.
+ *
+ * Layout: three parallel word arrays (state / key / value), linear
+ * probing with tombstones. All slot words are accessed only through
+ * Tx::readWord/writeWord, so any mix of backends (STM, emulated HTM,
+ * hybrid, global lock) serializes get/put/del/scan correctly — and the
+ * shard can be re-tuned (backend, parallelism degree, CM knobs) live
+ * by a per-shard ProteusRuntime without pausing the service.
+ *
+ * Capacity is fixed at construction (the usual TM-benchmark stance:
+ * no transactional resize). put() reports failure on a full table.
+ */
+
+#ifndef PROTEUS_KVSTORE_SHARD_HPP
+#define PROTEUS_KVSTORE_SHARD_HPP
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "polytm/polytm.hpp"
+
+namespace proteus::kvstore {
+
+struct ShardOptions
+{
+    /** log2 of the slot count; default 2^14 slots. */
+    unsigned log2Slots = 14;
+    /** TM configuration active at construction. */
+    polytm::TmConfig initial{};
+    /**
+     * log2 of the per-backend orec/stripe table. Smaller than the
+     * PolyTM default (18): a shard covers only its own slice of the
+     * key space, and a many-shard store pays this footprint (and
+     * construction-time zeroing) once per shard per backend.
+     */
+    unsigned log2Orecs = 16;
+};
+
+class Shard
+{
+  public:
+    explicit Shard(ShardOptions options = {});
+
+    Shard(const Shard &) = delete;
+    Shard &operator=(const Shard &) = delete;
+
+    /**
+     * Register the calling thread with this shard's PolyTM. Throws
+     * (from PolyTM / ThreadGate) when more than tm::kMaxThreads
+     * workers try to register — the KV driver must size its pool
+     * accordingly.
+     */
+    polytm::ThreadToken registerWorker() { return poly_.registerThread(); }
+    void deregisterWorker(polytm::ThreadToken &token)
+    {
+        poly_.deregisterThread(token);
+    }
+
+    /** Whole-op transactions (each runs its own PolyTM transaction). */
+    bool get(polytm::ThreadToken &token, std::uint64_t key,
+             std::uint64_t *value = nullptr);
+    bool put(polytm::ThreadToken &token, std::uint64_t key,
+             std::uint64_t value);
+    bool del(polytm::ThreadToken &token, std::uint64_t key);
+
+    /**
+     * Collect up to `limit` live entries starting from key's home slot
+     * (YCSB-E-style short range scan; open addressing makes it a slot
+     * walk, not a key-ordered scan). One transaction.
+     */
+    std::size_t scan(polytm::ThreadToken &token, std::uint64_t start_key,
+                     std::size_t limit,
+                     std::vector<std::pair<std::uint64_t, std::uint64_t>>
+                         *out = nullptr);
+
+    /**
+     * Transactional primitives for composition: run inside a caller-
+     * managed transaction (KvStore multi-key commits, batches).
+     */
+    bool getTx(polytm::Tx &tx, std::uint64_t key,
+               std::uint64_t *value = nullptr);
+    bool putTx(polytm::Tx &tx, std::uint64_t key, std::uint64_t value);
+    bool delTx(polytm::Tx &tx, std::uint64_t key);
+    std::size_t
+    scanTx(polytm::Tx &tx, std::uint64_t start_key, std::size_t limit,
+           std::vector<std::pair<std::uint64_t, std::uint64_t>> *out);
+    /** value += delta (two's-complement), creating the key at delta. */
+    bool addTx(polytm::Tx &tx, std::uint64_t key, std::int64_t delta);
+
+    polytm::PolyTm &poly() { return poly_; }
+    const polytm::PolyTm &poly() const { return poly_; }
+
+    std::size_t capacity() const { return slots_; }
+
+    /** Live entries; quiesced-only (raw, non-transactional reads). */
+    std::size_t sizeQuiesced() const;
+
+  private:
+    enum SlotState : std::uint64_t
+    {
+        kEmpty = 0,
+        kFull = 1,
+        kTombstone = 2,
+    };
+
+    std::size_t homeSlot(std::uint64_t key) const;
+
+    /**
+     * Probe for `key`. Returns the matching full slot, or the first
+     * reusable slot (tombstone if seen, else the terminating empty
+     * slot) with *found=false; capacity() when the probe wrapped with
+     * no reusable slot.
+     */
+    std::size_t probe(polytm::Tx &tx, std::uint64_t key, bool *found);
+
+    polytm::PolyTm poly_;
+    std::size_t slots_;
+    std::size_t mask_;
+    std::vector<std::uint64_t> state_;
+    std::vector<std::uint64_t> keys_;
+    std::vector<std::uint64_t> values_;
+};
+
+} // namespace proteus::kvstore
+
+#endif // PROTEUS_KVSTORE_SHARD_HPP

@@ -1,0 +1,220 @@
+#include "kvstore/traffic.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "common/timing.hpp"
+
+namespace proteus::kvstore {
+
+TrafficMix
+TrafficMix::preset(MixKind kind)
+{
+    TrafficMix mix;
+    switch (kind) {
+      case MixKind::kReadHeavy:
+        break; // defaults are YCSB-B
+      case MixKind::kBalanced:
+        mix.getRatio = 0.5;
+        mix.putRatio = 0.5;
+        mix.zipfTheta = 0.8;
+        break;
+      case MixKind::kScanHeavy:
+        mix.getRatio = 0;
+        mix.putRatio = 0.05;
+        mix.scanRatio = 0.95;
+        break;
+      case MixKind::kWriteHeavy:
+        mix.getRatio = 0.10;
+        mix.putRatio = 0.85;
+        mix.delRatio = 0.05;
+        mix.zipfTheta = 0.95;
+        mix.keySpace = 1 << 8;
+        break;
+      case MixKind::kHotspot:
+        mix.keySpace = 1 << 6;
+        mix.zipfTheta = 0.99;
+        break;
+    }
+    return mix;
+}
+
+TrafficDriver::TrafficDriver(KvStore &store, TrafficOptions options)
+    : store_(&store), options_(std::move(options))
+{
+    if (options_.phases.empty())
+        throw std::invalid_argument(
+            "TrafficDriver: at least one phase mix is required");
+    if (options_.threads <= 0)
+        throw std::invalid_argument(
+            "TrafficDriver: threads must be >= 1");
+    if (options_.threads > tm::kMaxThreads)
+        throw std::invalid_argument(
+            "TrafficDriver: threads exceeds tm::kMaxThreads (" +
+            std::to_string(tm::kMaxThreads) +
+            " registration slots per shard)");
+}
+
+TrafficDriver::~TrafficDriver()
+{
+    stop();
+}
+
+void
+TrafficDriver::preload(std::uint64_t count)
+{
+    KvStore::Session session = store_->openSession();
+    KvStore::Batch batch;
+    bool fits = true;
+    for (std::uint64_t key = 0; key < count && fits; ++key) {
+        batch.put(key, key * 2654435761ull + 1);
+        if (batch.size() >= 256) {
+            fits = store_->applyBatch(session, batch);
+            batch.clear();
+        }
+    }
+    if (fits && batch.size() > 0)
+        fits = store_->applyBatch(session, batch);
+    store_->closeSession(session);
+    if (!fits) {
+        // A partial preload would be silently measured as workload
+        // behaviour (get misses); capacity mis-sizing must fail fast.
+        throw std::runtime_error(
+            "TrafficDriver::preload: key count exceeds store capacity");
+    }
+}
+
+void
+TrafficDriver::start()
+{
+    if (running_)
+        return;
+    stop_.store(false, std::memory_order_relaxed);
+    activeWorkers_.store(0, std::memory_order_relaxed);
+    running_ = true;
+    // Count spawned workers as we go: presetting the full count would
+    // make stop()'s drain loop wait forever after a partial spawn
+    // failure (std::system_error from std::thread under a pthread
+    // limit) — only spawned workers ever decrement.
+    for (int t = 0; t < options_.threads; ++t) {
+        workers_.emplace_back([this, t] { workerLoop(t); });
+        activeWorkers_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+TrafficDriver::setPhase(std::size_t phase)
+{
+    if (phase >= options_.phases.size())
+        throw std::out_of_range("TrafficDriver: unknown phase");
+    phase_.store(phase, std::memory_order_relaxed);
+}
+
+void
+TrafficDriver::stop()
+{
+    if (!running_)
+        return;
+    stop_.store(true, std::memory_order_relaxed);
+    // Workers parked by a low parallelism degree can only observe the
+    // stop flag once re-enabled — and a still-running tuner can
+    // re-park them right after a one-shot resume. Keep resuming until
+    // every worker has actually drained, so stop() is safe regardless
+    // of whether the tuner was shut down first.
+    while (activeWorkers_.load(std::memory_order_acquire) > 0) {
+        store_->resumeAllForShutdown();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    for (auto &worker : workers_)
+        worker.join();
+    workers_.clear();
+    running_ = false;
+}
+
+void
+TrafficDriver::workerLoop(int worker_idx)
+{
+    // The decrement must happen on every exit path (including a
+    // throwing openSession) or stop()'s drain loop spins forever.
+    struct Departure
+    {
+        std::atomic<int> *count;
+        ~Departure() { count->fetch_sub(1, std::memory_order_release); }
+    } departure{&activeWorkers_};
+
+    try {
+        workerBody(worker_idx);
+    } catch (const std::exception &e) {
+        // A worker dying (slot exhaustion, store capacity) must not
+        // std::terminate the whole process from the thread entry.
+        std::fprintf(stderr, "TrafficDriver worker %d died: %s\n",
+                     worker_idx, e.what());
+    }
+}
+
+void
+TrafficDriver::workerBody(int worker_idx)
+{
+    KvStore::Session session = store_->openSession();
+    Rng rng(options_.seed + 0x9e37ull * static_cast<unsigned>(worker_idx));
+    std::vector<KvOp> multi_ops;
+
+    const double target = options_.targetOpsPerSecPerThread;
+    const std::uint64_t pace_nanos =
+        target > 0 ? static_cast<std::uint64_t>(1e9 / target) : 0;
+    std::uint64_t next_deadline = nowNanos();
+
+    while (!stop_.load(std::memory_order_relaxed)) {
+        const TrafficMix &mix =
+            options_.phases[phase_.load(std::memory_order_relaxed)];
+
+        const std::uint64_t key =
+            mix.zipfTheta > 0 ? rng.zipf(mix.keySpace, mix.zipfTheta)
+                              : rng.nextBounded(mix.keySpace);
+
+        if (mix.multiRatio > 0 && rng.bernoulli(mix.multiRatio)) {
+            // Small cross-shard transfer: the multi-key path.
+            const std::uint64_t other = rng.nextBounded(mix.keySpace);
+            multi_ops.clear();
+            multi_ops.push_back(
+                {KvOp::Kind::kAdd, key,
+                 static_cast<std::uint64_t>(std::int64_t{-1}), false});
+            multi_ops.push_back({KvOp::Kind::kAdd, other, 1, false});
+            store_->multiOp(session, multi_ops);
+        } else {
+            const double draw = rng.nextDouble();
+            const double put_edge = mix.getRatio + mix.putRatio;
+            const double del_edge = put_edge + mix.delRatio;
+            if (draw < mix.getRatio) {
+                store_->get(session, key);
+            } else if (draw < put_edge) {
+                store_->put(session, key, key ^ 0xbeef);
+            } else if (draw < del_edge) {
+                store_->del(session, key);
+            } else if (draw < del_edge + mix.scanRatio) {
+                store_->scan(session, key, mix.scanLen);
+            } else {
+                // Ratios not summing to 1 fall back to the cheapest op.
+                store_->get(session, key);
+            }
+        }
+        opsCompleted_.fetch_add(1, std::memory_order_relaxed);
+
+        if (pace_nanos > 0) {
+            // Open loop: absolute deadlines; never re-anchor on the
+            // completion time, so a slow configuration builds backlog
+            // instead of silently shedding load.
+            next_deadline += pace_nanos;
+            const std::uint64_t now = nowNanos();
+            if (now < next_deadline) {
+                std::this_thread::sleep_for(
+                    std::chrono::nanoseconds(next_deadline - now));
+            }
+        }
+    }
+    store_->closeSession(session);
+}
+
+} // namespace proteus::kvstore

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * TrafficDriver: deterministic YCSB-style load generation for
+ * ProteusKV.
+ *
+ * Worker threads draw keys (uniform or Zipfian via common/rng) and
+ * operation types from the active TrafficMix. Mixes model the YCSB
+ * core workloads (read-heavy B, update-heavy A, scan-heavy E), plus a
+ * write-heavy/hotspot mix that collapses locality — switching between
+ * them mid-run (setPhase) is what drives each shard's CUSUM monitor
+ * into re-tuning.
+ *
+ * The driver is open-loop-capable: with targetOpsPerSecPerThread set,
+ * workers pace against absolute deadlines regardless of completion
+ * latency; at 0 they run closed-loop at maximum speed.
+ */
+
+#ifndef PROTEUS_KVSTORE_TRAFFIC_HPP
+#define PROTEUS_KVSTORE_TRAFFIC_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kvstore/kvstore.hpp"
+
+namespace proteus::kvstore {
+
+/** Named presets for the standard mixes. */
+enum class MixKind : int
+{
+    kReadHeavy = 0, //!< YCSB-B: 95% get / 5% put, uniform
+    kBalanced,      //!< YCSB-A: 50% get / 50% put, Zipfian
+    kScanHeavy,     //!< YCSB-E: 95% scan(16) / 5% put
+    kWriteHeavy,    //!< 10% get / 85% put / 5% del, Zipfian hot set
+    kHotspot,       //!< YCSB-B keys squeezed onto a tiny hot range
+};
+
+struct TrafficMix
+{
+    double getRatio = 0.95;
+    double putRatio = 0.05;
+    double delRatio = 0;
+    double scanRatio = 0;   //!< explicit; any remainder falls to get
+    std::size_t scanLen = 16;
+    /** Fraction of ops issued as small cross-shard multiOps. */
+    double multiRatio = 0;
+    std::uint64_t keySpace = std::uint64_t{1} << 14;
+    /** 0 = uniform; else Zipf skew theta in (0, 1]. */
+    double zipfTheta = 0;
+
+    static TrafficMix preset(MixKind kind);
+};
+
+struct TrafficOptions
+{
+    int threads = 4;
+    std::uint64_t seed = 0x7eaff1c;
+    /** Open-loop pacing; 0 = closed loop (maximum speed). */
+    double targetOpsPerSecPerThread = 0;
+    /** Phase table selected by setPhase(); must not be empty. */
+    std::vector<TrafficMix> phases;
+};
+
+class TrafficDriver
+{
+  public:
+    TrafficDriver(KvStore &store, TrafficOptions options);
+    ~TrafficDriver();
+
+    TrafficDriver(const TrafficDriver &) = delete;
+    TrafficDriver &operator=(const TrafficDriver &) = delete;
+
+    /**
+     * Insert `count` keys ([0, count)) before the run, spread over
+     * all shards. Call before start().
+     */
+    void preload(std::uint64_t count);
+
+    void start();
+
+    /** Switch the active mix; workers pick it up on their next op. */
+    void setPhase(std::size_t phase);
+    std::size_t phase() const
+    {
+        return phase_.load(std::memory_order_relaxed);
+    }
+
+    /** Stop and join all workers (idempotent). */
+    void stop();
+
+    std::uint64_t opsCompleted() const
+    {
+        return opsCompleted_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void workerLoop(int worker_idx);
+    void workerBody(int worker_idx);
+
+    KvStore *store_;
+    TrafficOptions options_;
+    std::atomic<std::size_t> phase_{0};
+    std::atomic<bool> stop_{false};
+    std::atomic<std::uint64_t> opsCompleted_{0};
+    std::atomic<int> activeWorkers_{0};
+    std::vector<std::thread> workers_;
+    bool running_ = false;
+};
+
+} // namespace proteus::kvstore
+
+#endif // PROTEUS_KVSTORE_TRAFFIC_HPP

@@ -1,5 +1,8 @@
 #include "polytm/kpi.hpp"
 
+#include "common/timing.hpp"
+#include "polytm/polytm.hpp"
+
 namespace proteus::polytm {
 
 std::string_view
@@ -11,6 +14,44 @@ kpiName(KpiKind kind)
       case KpiKind::kEdp: return "edp";
     }
     return "invalid";
+}
+
+KpiMeter::KpiMeter(const PolyTm &poly) : poly_(&poly)
+{
+    reset();
+}
+
+void
+KpiMeter::reset()
+{
+    const PolyStats stats = poly_->snapshotStats();
+    lastCommits_ = stats.commits;
+    lastAborts_ = stats.aborts;
+    lastNanos_ = nowNanos();
+}
+
+KpiSample
+KpiMeter::sample()
+{
+    const PolyStats stats = poly_->snapshotStats();
+    const std::uint64_t now = nowNanos();
+
+    KpiSample out;
+    out.seconds = static_cast<double>(now - lastNanos_) * 1e-9;
+    const double commits =
+        static_cast<double>(stats.commits - lastCommits_);
+    const double aborts = static_cast<double>(stats.aborts - lastAborts_);
+    if (out.seconds > 0) {
+        out.commitsPerSec = commits / out.seconds;
+        out.abortsPerSec = aborts / out.seconds;
+    }
+    if (commits + aborts > 0)
+        out.abortRatio = aborts / (commits + aborts);
+
+    lastCommits_ = stats.commits;
+    lastAborts_ = stats.aborts;
+    lastNanos_ = now;
+    return out;
 }
 
 } // namespace proteus::polytm

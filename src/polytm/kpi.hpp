@@ -11,9 +11,12 @@
 #ifndef PROTEUS_POLYTM_KPI_HPP
 #define PROTEUS_POLYTM_KPI_HPP
 
+#include <cstdint>
 #include <string_view>
 
 namespace proteus::polytm {
+
+class PolyTm;
 
 /** Which KPI an optimization run targets. */
 enum class KpiKind : int
@@ -61,6 +64,40 @@ struct PowerModel
     {
         return energyJoules(seconds, active_threads) * seconds;
     }
+};
+
+/** One live KPI observation window over a PolyTm instance. */
+struct KpiSample
+{
+    double seconds = 0;       //!< window length
+    double commitsPerSec = 0; //!< committed transactions / second
+    double abortsPerSec = 0;
+    double abortRatio = 0;    //!< aborts / (commits + aborts), 0 if idle
+};
+
+/**
+ * Per-instance KPI probe: differences successive PolyTm::snapshotStats
+ * against the monotonic clock, so each Monitor period reads the live
+ * commit rate of exactly one PolyTm (one shard, in ProteusKV) without
+ * any global registry. Not thread-safe; each controller owns its own
+ * meter.
+ */
+class KpiMeter
+{
+  public:
+    explicit KpiMeter(const PolyTm &poly);
+
+    /** Restart the window (e.g. right after a reconfiguration). */
+    void reset();
+
+    /** Close the current window, start the next one. */
+    KpiSample sample();
+
+  private:
+    const PolyTm *poly_;
+    std::uint64_t lastCommits_ = 0;
+    std::uint64_t lastAborts_ = 0;
+    std::uint64_t lastNanos_ = 0;
 };
 
 } // namespace proteus::polytm

@@ -82,6 +82,9 @@ PolyTm::deregisterThread(ThreadToken &token)
     if (!enabled_[token.tid])
         gate_.unblock(token.tid);
     enabled_[token.tid] = false;
+    // A pin is per-thread state, not per-slot: it must not leak to an
+    // unrelated thread that later reuses this tid.
+    pinned_[token.tid] = false;
     for (auto &backend : backends_)
         backend->deregisterThread(*descs_[token.tid]);
     // counters_[tid] intentionally survives: snapshotStats() keeps
@@ -195,11 +198,24 @@ PolyTm::currentConfig() const
 void
 PolyTm::setPinned(int tid, bool pinned)
 {
+    if (tid < 0 || tid >= tm::kMaxThreads) {
+        throw std::out_of_range(
+            "PolyTm::setPinned: tid outside [0, kMaxThreads) - "
+            "stale token after deregisterThread?");
+    }
     std::lock_guard<std::mutex> lk(adminMutex_);
     pinned_[tid] = pinned;
     if (pinned && descs_[tid] && !enabled_[tid]) {
         gate_.unblock(tid);
         enabled_[tid] = true;
+    }
+    // Unpin must be symmetric: a thread enabled only by its pin goes
+    // back behind the gate, or a transient pin (KvStore::multiOp)
+    // would permanently defeat the configured parallelism degree.
+    if (!pinned && descs_[tid] && enabled_[tid] &&
+        !enabledUnder(config_, tid)) {
+        gate_.block(tid);
+        enabled_[tid] = false;
     }
 }
 
@@ -218,6 +234,9 @@ PolyTm::resumeAllForShutdown()
 PolyStats
 PolyTm::snapshotStats() const
 {
+    // adminMutex_ orders this against registerThread() publishing new
+    // counters_ slots (the counter words themselves are atomics).
+    std::lock_guard<std::mutex> lk(adminMutex_);
     PolyStats out;
     for (int t = 0; t < tm::kMaxThreads; ++t) {
         if (!counters_[t])

@@ -1,13 +1,27 @@
 #include "polytm/thread_gate.hpp"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 namespace proteus::polytm {
 
 void
+ThreadGate::checkTid(int tid)
+{
+    if (tid < 0 || tid >= tm::kMaxThreads) {
+        throw std::out_of_range(
+            "ThreadGate: tid " + std::to_string(tid) +
+            " outside [0, " + std::to_string(tm::kMaxThreads) +
+            ") - too many worker threads registered (tm::kMaxThreads)");
+    }
+}
+
+void
 ThreadGate::enter(int tid)
 {
+    checkTid(tid);
     Slot &slot = slots_[tid];
     for (;;) {
         // Fast path: one fetch-and-add on a thread-private line.
@@ -25,15 +39,30 @@ ThreadGate::enter(int tid)
     }
 }
 
+bool
+ThreadGate::tryEnter(int tid)
+{
+    checkTid(tid);
+    Slot &slot = slots_[tid];
+    const std::uint64_t val =
+        slot.state->fetch_add(kRun, std::memory_order_acq_rel);
+    if ((val & kBlockMask) == 0)
+        return true;
+    slot.state->fetch_sub(kRun, std::memory_order_acq_rel);
+    return false;
+}
+
 void
 ThreadGate::exit(int tid)
 {
+    checkTid(tid);
     slots_[tid].state->fetch_sub(kRun, std::memory_order_acq_rel);
 }
 
 void
 ThreadGate::block(int tid)
 {
+    checkTid(tid);
     Slot &slot = slots_[tid];
     std::uint64_t val =
         slot.state->fetch_add(kBlock, std::memory_order_acq_rel);
@@ -55,6 +84,7 @@ ThreadGate::block(int tid)
 void
 ThreadGate::unblock(int tid)
 {
+    checkTid(tid);
     Slot &slot = slots_[tid];
     {
         std::lock_guard<std::mutex> lk(slot.mutex);
@@ -69,6 +99,7 @@ ThreadGate::unblock(int tid)
 bool
 ThreadGate::blocked(int tid) const
 {
+    checkTid(tid);
     return (slots_[tid].state->load(std::memory_order_acquire) &
             kBlockMask) != 0;
 }
@@ -76,6 +107,7 @@ ThreadGate::blocked(int tid) const
 std::uint64_t
 ThreadGate::rawState(int tid) const
 {
+    checkTid(tid);
     return slots_[tid].state->load(std::memory_order_acquire);
 }
 

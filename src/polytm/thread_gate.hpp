@@ -35,8 +35,21 @@ class ThreadGate
     /**
      * Announce intent to run a transaction; blocks (parking on the
      * thread's condvar) while the thread is disabled.
+     *
+     * Every entry point validates `tid` against tm::kMaxThreads and
+     * throws std::out_of_range on violation: a driver spawning more
+     * workers than the gate has slots must fail loudly, not scribble
+     * past the slot array.
      */
     void enter(int tid);
+
+    /**
+     * Non-parking enter: acquires the RUN bit like enter(), but if the
+     * thread is disabled, undoes it and returns false instead of
+     * parking — for callers that hold external resources (ProteusKV's
+     * shard latches) which must never be held by a parked thread.
+     */
+    bool tryEnter(int tid);
 
     /** Transaction attempt finished (commit or abort). */
     void exit(int tid);
@@ -57,6 +70,9 @@ class ThreadGate
     std::uint64_t rawState(int tid) const;
 
   private:
+    /** Throws std::out_of_range unless 0 <= tid < tm::kMaxThreads. */
+    static void checkTid(int tid);
+
     static constexpr std::uint64_t kRun = 1;
     static constexpr std::uint64_t kBlock = std::uint64_t{1} << 32;
     static constexpr std::uint64_t kBlockMask = ~(kBlock - 1);

@@ -1,5 +1,8 @@
 #include "rectm/proteus_runtime.hpp"
 
+#include <exception>
+#include <thread>
+
 namespace proteus::rectm {
 
 ProteusRuntime::ProteusRuntime(const RecTmEngine &engine,
@@ -59,6 +62,48 @@ ProteusRuntime::run(int total_periods,
             if (!records.empty())
                 records.back().changeDetected = true;
         }
+    }
+    return records;
+}
+
+void
+RuntimeGroup::add(ProteusRuntime &runtime)
+{
+    members_.push_back(&runtime);
+}
+
+std::vector<std::vector<PeriodRecord>>
+RuntimeGroup::runAll(
+    int total_periods,
+    const std::function<void(std::size_t, int)> &before_period)
+{
+    std::vector<std::vector<PeriodRecord>> records(members_.size());
+    std::vector<std::exception_ptr> errors(members_.size());
+    std::vector<std::thread> controllers;
+    controllers.reserve(members_.size());
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+        controllers.emplace_back([this, i, total_periods,
+                                  &before_period, &records, &errors] {
+            try {
+                std::function<void(int)> hook;
+                if (before_period)
+                    hook = [i, &before_period](int period) {
+                        before_period(i, period);
+                    };
+                records[i] = members_[i]->run(total_periods, hook);
+            } catch (...) {
+                // A throwing TunableSystem must surface as a
+                // catchable error after join, not as std::terminate
+                // from a controller thread.
+                errors[i] = std::current_exception();
+            }
+        });
+    }
+    for (auto &controller : controllers)
+        controller.join();
+    for (const auto &error : errors) {
+        if (error)
+            std::rethrow_exception(error);
     }
     return records;
 }

@@ -81,6 +81,42 @@ class ProteusRuntime
     int lastExplorations_ = 0;
 };
 
+/**
+ * Drives several ProteusRuntime instances concurrently, one controller
+ * thread per runtime — the wiring a sharded service needs when every
+ * shard is its own independently-tuned TunableSystem (ProteusKV).
+ *
+ * The runtimes may share one RecTmEngine: optimize() is const and
+ * keeps all episode state on the caller's stack. Each runtime must
+ * wrap a distinct TunableSystem; nothing synchronizes applyConfig
+ * across members.
+ */
+class RuntimeGroup
+{
+  public:
+    /** Non-owning; `runtime` must outlive runAll(). */
+    void add(ProteusRuntime &runtime);
+
+    std::size_t size() const { return members_.size(); }
+
+    /**
+     * Run every member for `total_periods` periods in parallel and
+     * block until all finish. `before_period(member, period)` is
+     * invoked from that member's controller thread; it must be
+     * thread-safe across members.
+     */
+    std::vector<std::vector<PeriodRecord>>
+    runAll(int total_periods,
+           const std::function<void(std::size_t, int)> &before_period =
+               nullptr);
+
+    /** Episodes executed by member `i` during the last runAll(). */
+    int episodes(std::size_t i) const { return members_[i]->episodes(); }
+
+  private:
+    std::vector<ProteusRuntime *> members_;
+};
+
 } // namespace proteus::rectm
 
 #endif // PROTEUS_RECTM_PROTEUS_RUNTIME_HPP

@@ -41,6 +41,13 @@ loadWord(const std::uint64_t *addr)
         std::memory_order_acquire);
 }
 
+void
+storeWord(std::uint64_t *addr, std::uint64_t value)
+{
+    reinterpret_cast<std::atomic<std::uint64_t> *>(addr)->store(
+        value, std::memory_order_release);
+}
+
 } // namespace
 
 bool
@@ -247,8 +254,11 @@ SimHtm::hwWrite(TxDesc &tx, std::uint64_t *addr, std::uint64_t value)
 std::uint64_t
 SimHtm::txRead(TxDesc &tx, const std::uint64_t *addr)
 {
+    // Atomic even in the irrevocable fallback: speculative readers
+    // access the same words through loadWord, and mixing plain and
+    // atomic accesses on one location is a (TSan-visible) data race.
     if (tx.inFallback)
-        return *addr;
+        return loadWord(addr);
     return hwRead(tx, addr);
 }
 
@@ -256,7 +266,7 @@ void
 SimHtm::txWrite(TxDesc &tx, std::uint64_t *addr, std::uint64_t value)
 {
     if (tx.inFallback) {
-        *addr = value;
+        storeWord(addr, value);
         return;
     }
     hwWrite(tx, addr, value);

@@ -1,0 +1,272 @@
+/**
+ * KvStore tests: deterministic shard routing, batch semantics, and —
+ * the critical one — atomicity of cross-shard multi-key transactions
+ * observed by 8+ concurrent threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "kvstore/kvstore.hpp"
+
+namespace proteus::kvstore {
+namespace {
+
+KvStoreOptions
+smallStore(int shards, unsigned log2_slots = 10)
+{
+    KvStoreOptions options;
+    options.numShards = shards;
+    options.log2SlotsPerShard = log2_slots;
+    // Parallelism degree high enough that every test session stays
+    // enabled; degree-shrinking behaviour is covered by polytm tests.
+    options.initial = {tm::BackendKind::kTl2, 16, {}};
+    return options;
+}
+
+TEST(KvStoreTest, ShardRoutingIsDeterministicAndBalanced)
+{
+    KvStore a(smallStore(8));
+    KvStore b(smallStore(8));
+
+    std::vector<std::size_t> load(8, 0);
+    for (std::uint64_t key = 0; key < 4096; ++key) {
+        const std::size_t s = a.shardOf(key);
+        ASSERT_LT(s, 8u);
+        // Same key, same options => same shard, on any instance.
+        EXPECT_EQ(s, b.shardOf(key));
+        EXPECT_EQ(s, a.shardOf(key)) << "routing must be stable";
+        ++load[s];
+    }
+    // 4096 uniform keys over 8 shards: each shard within 2x of fair.
+    for (const std::size_t n : load) {
+        EXPECT_GT(n, 4096u / 16) << "shard starved";
+        EXPECT_LT(n, 4096u / 4) << "shard overloaded";
+    }
+}
+
+TEST(KvStoreTest, OpsLandOnTheirHomeShardOnly)
+{
+    KvStore store(smallStore(4));
+    auto session = store.openSession();
+
+    for (std::uint64_t key = 0; key < 128; ++key)
+        ASSERT_TRUE(store.put(session, key, key + 7));
+
+    std::size_t total = 0;
+    for (int s = 0; s < store.numShards(); ++s)
+        total += store.shard(static_cast<std::size_t>(s)).sizeQuiesced();
+    EXPECT_EQ(total, 128u);
+
+    std::uint64_t value = 0;
+    for (std::uint64_t key = 0; key < 128; ++key) {
+        ASSERT_TRUE(store.get(session, key, &value));
+        EXPECT_EQ(value, key + 7);
+    }
+    store.closeSession(session);
+}
+
+TEST(KvStoreTest, BatchAppliesAndReportsPerOpResults)
+{
+    KvStore store(smallStore(4));
+    auto session = store.openSession();
+
+    KvStore::Batch batch;
+    for (std::uint64_t key = 0; key < 64; ++key)
+        batch.put(key, key * 3);
+    EXPECT_TRUE(store.applyBatch(session, batch));
+    batch.clear();
+
+    batch.get(10);
+    batch.get(9999); // absent
+    batch.del(11);
+    EXPECT_TRUE(store.applyBatch(session, batch));
+    EXPECT_TRUE(batch.ops()[0].ok);
+    EXPECT_EQ(batch.ops()[0].value, 30u);
+    EXPECT_FALSE(batch.ops()[1].ok);
+    EXPECT_TRUE(batch.ops()[2].ok);
+    EXPECT_FALSE(store.get(session, 11));
+
+    store.closeSession(session);
+}
+
+TEST(KvStoreTest, MultiOpReadsAndWritesAcrossShards)
+{
+    KvStore store(smallStore(4));
+    auto session = store.openSession();
+
+    std::vector<KvOp> ops;
+    for (std::uint64_t key = 0; key < 16; ++key)
+        ops.push_back({KvOp::Kind::kPut, key, key + 100, false});
+    EXPECT_TRUE(store.multiOp(session, ops));
+
+    ops.clear();
+    for (std::uint64_t key = 0; key < 16; ++key)
+        ops.push_back({KvOp::Kind::kGet, key, 0, false});
+    EXPECT_TRUE(store.multiOp(session, ops));
+    for (std::uint64_t key = 0; key < 16; ++key) {
+        EXPECT_TRUE(ops[key].ok);
+        EXPECT_EQ(ops[key].value, key + 100);
+    }
+    store.closeSession(session);
+}
+
+TEST(KvStoreTest, MultiShardTransfersStayAtomicUnder8Threads)
+{
+    // Bank invariant: kKeys accounts start at kInitial each; writers
+    // move random amounts between random accounts with cross-shard
+    // kAdd multiOps; readers snapshot all accounts with a read-only
+    // multiOp and must always observe the exact total.
+    constexpr std::uint64_t kKeys = 64;
+    constexpr std::uint64_t kInitial = 1000;
+    constexpr int kWriters = 6;
+    constexpr int kReaders = 2;
+    constexpr int kTransfersPerWriter = 400;
+
+    KvStore store(smallStore(4));
+    {
+        auto session = store.openSession();
+        for (std::uint64_t key = 0; key < kKeys; ++key)
+            ASSERT_TRUE(store.put(session, key, kInitial));
+        store.closeSession(session);
+    }
+
+    std::atomic<int> writers_done{0};
+    std::atomic<bool> violation{false};
+    std::vector<std::thread> threads;
+
+    for (int w = 0; w < kWriters; ++w) {
+        threads.emplace_back([&, w] {
+            auto session = store.openSession();
+            Rng rng(7000 + static_cast<unsigned>(w));
+            std::vector<KvOp> ops;
+            for (int i = 0; i < kTransfersPerWriter; ++i) {
+                const std::uint64_t from = rng.nextBounded(kKeys);
+                std::uint64_t to = rng.nextBounded(kKeys);
+                if (to == from)
+                    to = (to + 1) % kKeys;
+                const std::int64_t amount =
+                    static_cast<std::int64_t>(rng.nextBounded(5)) + 1;
+                ops.clear();
+                ops.push_back({KvOp::Kind::kAdd, from,
+                               static_cast<std::uint64_t>(-amount),
+                               false});
+                ops.push_back({KvOp::Kind::kAdd, to,
+                               static_cast<std::uint64_t>(amount),
+                               false});
+                store.multiOp(session, ops);
+            }
+            store.closeSession(session);
+            writers_done.fetch_add(1);
+        });
+    }
+
+    for (int r = 0; r < kReaders; ++r) {
+        threads.emplace_back([&] {
+            auto session = store.openSession();
+            std::vector<KvOp> snapshot;
+            while (writers_done.load() < kWriters &&
+                   !violation.load()) {
+                snapshot.clear();
+                for (std::uint64_t key = 0; key < kKeys; ++key)
+                    snapshot.push_back(
+                        {KvOp::Kind::kGet, key, 0, false});
+                store.multiOp(session, snapshot);
+                std::uint64_t total = 0;
+                for (const KvOp &op : snapshot)
+                    total += op.ok ? op.value : 0;
+                if (total != kKeys * kInitial)
+                    violation.store(true);
+            }
+            store.closeSession(session);
+        });
+    }
+
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_FALSE(violation.load())
+        << "a reader observed a torn cross-shard transfer";
+
+    // Final balance check, single-threaded.
+    auto session = store.openSession();
+    std::uint64_t total = 0;
+    std::uint64_t value = 0;
+    for (std::uint64_t key = 0; key < kKeys; ++key) {
+        ASSERT_TRUE(store.get(session, key, &value));
+        total += value;
+    }
+    EXPECT_EQ(total, kKeys * kInitial);
+    store.closeSession(session);
+}
+
+TEST(KvStoreTest, SingleKeyOpsRaceMultiOpsWithoutCorruption)
+{
+    // Mixed traffic: single-key put/get (shared latches) racing
+    // cross-shard multiOps (exclusive latches) on overlapping keys.
+    KvStore store(smallStore(2));
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> threads;
+
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&, t] {
+            auto session = store.openSession();
+            Rng rng(900 + static_cast<unsigned>(t));
+            std::vector<KvOp> ops;
+            while (!stop.load(std::memory_order_relaxed)) {
+                const std::uint64_t key = rng.nextBounded(256);
+                if (t % 2 == 0) {
+                    store.put(session, key, key);
+                    store.get(session, key);
+                } else {
+                    ops.clear();
+                    ops.push_back(
+                        {KvOp::Kind::kPut, key, key, false});
+                    ops.push_back({KvOp::Kind::kPut, key + 128,
+                                   key + 128, false});
+                    store.multiOp(session, ops);
+                }
+            }
+            store.closeSession(session);
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    stop.store(true);
+    for (auto &thread : threads)
+        thread.join();
+
+    auto session = store.openSession();
+    std::uint64_t value = 0;
+    for (std::uint64_t key = 0; key < 384; ++key) {
+        if (store.get(session, key, &value))
+            EXPECT_EQ(value, key) << "value corrupted for key " << key;
+    }
+    store.closeSession(session);
+}
+
+TEST(KvStoreTest, OpenSessionFailureLeaksNoRegistrations)
+{
+    KvStore store(smallStore(2, 8));
+
+    // Exhaust shard 1's thread slots only, so openSession registers
+    // with shard 0 and then fails on shard 1.
+    std::vector<polytm::ThreadToken> extra;
+    while (store.shard(1).poly().registeredThreads() < tm::kMaxThreads)
+        extra.push_back(store.shard(1).registerWorker());
+
+    // Every failed openSession must give back its shard-0 slot; if it
+    // leaked, 70 failures would exhaust shard 0 (64 slots) too.
+    for (int i = 0; i < 70; ++i)
+        EXPECT_THROW(store.openSession(), std::runtime_error);
+
+    for (auto &token : extra)
+        store.shard(1).deregisterWorker(token);
+    auto session = store.openSession();
+    EXPECT_TRUE(store.put(session, 1, 2));
+    store.closeSession(session);
+}
+
+} // namespace
+} // namespace proteus::kvstore

@@ -1,0 +1,155 @@
+/**
+ * Shard unit tests: open-addressing semantics (overwrite, tombstone
+ * reuse, full-table behaviour), scans, and transactional composition
+ * through the *Tx primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kvstore/shard.hpp"
+
+namespace proteus::kvstore {
+namespace {
+
+ShardOptions
+tinyShard(unsigned log2_slots)
+{
+    ShardOptions options;
+    options.log2Slots = log2_slots;
+    options.initial = {tm::BackendKind::kTl2, 1, {}};
+    return options;
+}
+
+TEST(ShardTest, PutGetDelRoundTrip)
+{
+    Shard shard(tinyShard(8));
+    auto token = shard.registerWorker();
+
+    std::uint64_t value = 0;
+    EXPECT_FALSE(shard.get(token, 42, &value));
+    EXPECT_TRUE(shard.put(token, 42, 1000));
+    EXPECT_TRUE(shard.get(token, 42, &value));
+    EXPECT_EQ(value, 1000u);
+
+    // Overwrite keeps a single entry.
+    EXPECT_TRUE(shard.put(token, 42, 2000));
+    EXPECT_TRUE(shard.get(token, 42, &value));
+    EXPECT_EQ(value, 2000u);
+    EXPECT_EQ(shard.sizeQuiesced(), 1u);
+
+    EXPECT_TRUE(shard.del(token, 42));
+    EXPECT_FALSE(shard.get(token, 42, &value));
+    EXPECT_FALSE(shard.del(token, 42));
+    EXPECT_EQ(shard.sizeQuiesced(), 0u);
+
+    shard.deregisterWorker(token);
+}
+
+TEST(ShardTest, TombstonesAreReusedAndProbesCrossThem)
+{
+    Shard shard(tinyShard(4)); // 16 slots: collisions guaranteed
+    auto token = shard.registerWorker();
+
+    for (std::uint64_t key = 0; key < 12; ++key)
+        ASSERT_TRUE(shard.put(token, key, key));
+    // Delete every other key, then re-insert different keys: the
+    // tombstones must be reusable and remaining keys reachable.
+    for (std::uint64_t key = 0; key < 12; key += 2)
+        ASSERT_TRUE(shard.del(token, key));
+    for (std::uint64_t key = 100; key < 106; ++key)
+        ASSERT_TRUE(shard.put(token, key, key * 7));
+
+    std::uint64_t value = 0;
+    for (std::uint64_t key = 1; key < 12; key += 2) {
+        EXPECT_TRUE(shard.get(token, key, &value)) << key;
+        EXPECT_EQ(value, key);
+    }
+    for (std::uint64_t key = 100; key < 106; ++key) {
+        EXPECT_TRUE(shard.get(token, key, &value)) << key;
+        EXPECT_EQ(value, key * 7);
+    }
+    EXPECT_EQ(shard.sizeQuiesced(), 12u);
+
+    shard.deregisterWorker(token);
+}
+
+TEST(ShardTest, FullTableRejectsNewKeysButAcceptsOverwrites)
+{
+    Shard shard(tinyShard(4));
+    auto token = shard.registerWorker();
+
+    for (std::uint64_t key = 0; key < 16; ++key)
+        ASSERT_TRUE(shard.put(token, key, key));
+    EXPECT_FALSE(shard.put(token, 999, 1)) << "table is full";
+    EXPECT_TRUE(shard.put(token, 3, 333)) << "overwrite must still work";
+
+    // Freeing one slot admits one new key again.
+    EXPECT_TRUE(shard.del(token, 7));
+    EXPECT_TRUE(shard.put(token, 999, 1));
+    EXPECT_FALSE(shard.put(token, 1000, 1));
+
+    shard.deregisterWorker(token);
+}
+
+TEST(ShardTest, ScanCollectsLiveEntries)
+{
+    Shard shard(tinyShard(8));
+    auto token = shard.registerWorker();
+
+    for (std::uint64_t key = 0; key < 40; ++key)
+        ASSERT_TRUE(shard.put(token, key, key + 1));
+
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    const std::size_t n = shard.scan(token, 5, 10, &out);
+    EXPECT_EQ(n, 10u);
+    EXPECT_EQ(out.size(), 10u);
+    for (const auto &[key, value] : out) {
+        EXPECT_LT(key, 40u);
+        EXPECT_EQ(value, key + 1);
+    }
+
+    // Limit larger than population: returns everything once.
+    EXPECT_EQ(shard.scan(token, 0, 1000, &out), 40u);
+
+    shard.deregisterWorker(token);
+}
+
+TEST(ShardTest, AddTxComposesReadModifyWrite)
+{
+    Shard shard(tinyShard(8));
+    auto token = shard.registerWorker();
+
+    shard.poly().run(token, [&](polytm::Tx &tx) {
+        EXPECT_TRUE(shard.addTx(tx, 7, 10));
+        EXPECT_TRUE(shard.addTx(tx, 7, -4));
+    });
+    std::uint64_t value = 0;
+    EXPECT_TRUE(shard.get(token, 7, &value));
+    EXPECT_EQ(value, 6u);
+
+    shard.deregisterWorker(token);
+}
+
+TEST(ShardTest, SurvivesLiveReconfiguration)
+{
+    Shard shard(tinyShard(10));
+    auto token = shard.registerWorker();
+    for (std::uint64_t key = 0; key < 100; ++key)
+        ASSERT_TRUE(shard.put(token, key, key));
+
+    for (const auto backend :
+         {tm::BackendKind::kNorec, tm::BackendKind::kSwissTm,
+          tm::BackendKind::kSimHtm, tm::BackendKind::kTl2}) {
+        shard.poly().reconfigure({backend, 1, {}});
+        std::uint64_t value = 0;
+        for (std::uint64_t key = 0; key < 100; key += 17) {
+            EXPECT_TRUE(shard.get(token, key, &value));
+            EXPECT_EQ(value, key);
+        }
+    }
+
+    shard.deregisterWorker(token);
+}
+
+} // namespace
+} // namespace proteus::kvstore

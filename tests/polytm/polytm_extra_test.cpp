@@ -166,5 +166,38 @@ TEST(PolyTmExtraTest, ThreadsBeyondMaxRejected)
         poly.deregisterThread(t);
 }
 
+TEST(PolyTmExtraTest, TryRunRespectsDegreeAndPinUnpinIsSymmetric)
+{
+    // Degree 1: tid 1 starts disabled, so tryRun must refuse without
+    // parking. A pin enables it; the unpin must re-disable it (a
+    // transient pin, as used by KvStore::multiOp, may not defeat the
+    // configured parallelism degree permanently).
+    PolyTm poly(TmConfig{tm::BackendKind::kTl2, 1, {}});
+    auto token0 = poly.registerThread();
+    auto token1 = poly.registerThread();
+    TxField<int> field(0);
+
+    auto bump = [&](Tx &tx) { tx.write(field, tx.read(field) + 1); };
+    EXPECT_TRUE(poly.tryRun(token0, bump));
+    EXPECT_FALSE(poly.tryRun(token1, bump)) << "tid 1 is disabled";
+    EXPECT_EQ(field.rawGet(), 1);
+
+    poly.setPinned(token1.tid, true);
+    EXPECT_TRUE(poly.tryRun(token1, bump));
+    poly.setPinned(token1.tid, false);
+    EXPECT_FALSE(poly.tryRun(token1, bump))
+        << "unpin must put the thread back behind the gate";
+    EXPECT_EQ(field.rawGet(), 2);
+
+    // Raising the degree admits it again.
+    poly.reconfigure({tm::BackendKind::kTl2, 2, {}});
+    EXPECT_TRUE(poly.tryRun(token1, bump));
+    EXPECT_EQ(field.rawGet(), 3);
+
+    poly.resumeAllForShutdown();
+    poly.deregisterThread(token0);
+    poly.deregisterThread(token1);
+}
+
 } // namespace
 } // namespace proteus::polytm

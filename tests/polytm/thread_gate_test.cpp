@@ -127,5 +127,24 @@ TEST(ThreadGateTest, BlockUnblockRaceWithEnteringThread)
     EXPECT_GT(entries.load(), 0u);
 }
 
+TEST(ThreadGateTest, OutOfRangeTidFailsLoudly)
+{
+    // A driver spawning more workers than tm::kMaxThreads must get a
+    // clear error, not a scribble past the slot array.
+    ThreadGate gate;
+    EXPECT_THROW(gate.enter(tm::kMaxThreads), std::out_of_range);
+    EXPECT_THROW(gate.enter(-1), std::out_of_range);
+    EXPECT_THROW(gate.exit(tm::kMaxThreads), std::out_of_range);
+    EXPECT_THROW(gate.block(tm::kMaxThreads + 7), std::out_of_range);
+    EXPECT_THROW(gate.unblock(-3), std::out_of_range);
+    EXPECT_THROW(gate.blocked(tm::kMaxThreads), std::out_of_range);
+    EXPECT_THROW((void)gate.rawState(tm::kMaxThreads),
+                 std::out_of_range);
+    // In-range tids still work after the failed calls.
+    gate.enter(tm::kMaxThreads - 1);
+    gate.exit(tm::kMaxThreads - 1);
+    EXPECT_EQ(gate.rawState(tm::kMaxThreads - 1), 0u);
+}
+
 } // namespace
 } // namespace proteus::polytm
