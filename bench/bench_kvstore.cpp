@@ -12,25 +12,41 @@
  * Series 2 (mixes): per-mix throughput at 4 shards across the YCSB-
  * style presets, plus the batched-put path vs single puts.
  *
- * Usage: bench_kvstore [seconds-per-point]   (default 0.4)
+ * Series 3 (commit-mode A/B): the mixed scenario — 90% single-key ops
+ * / 10% cross-shard writing multiOps — run once with the legacy
+ * exclusive-latch commit and once with the 2PC-over-TM commit. The
+ * headline number is single-key throughput: under latches every
+ * cross-shard writer freezes its shards; under 2PC single-key traffic
+ * flows through the commit. Results (throughput + latency
+ * percentiles) are also written to BENCH_kvstore.json so CI can track
+ * the trajectory.
+ *
+ * Usage: bench_kvstore [seconds-per-point] [--mixed-only]
+ *   seconds-per-point   default 0.4
+ *   --mixed-only        skip series 1/2 (CI smoke mode)
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 
 #include "common/timing.hpp"
 #include "kvstore/traffic.hpp"
 
 using namespace proteus;
+using kvstore::CommitMode;
 using kvstore::KvStore;
 using kvstore::KvStoreOptions;
 using kvstore::MixKind;
+using kvstore::PhaseLatency;
 using kvstore::TrafficDriver;
 using kvstore::TrafficMix;
 using kvstore::TrafficOptions;
 
 namespace {
+
+constexpr int kThreads = 4;
 
 double
 runPoint(int shards, const TrafficMix &mix, int threads, double seconds)
@@ -59,90 +75,240 @@ runPoint(int shards, const TrafficMix &mix, int threads, double seconds)
     return static_cast<double>(after - before) / seconds;
 }
 
+struct MixedResult
+{
+    double singleOpsPerSec = 0;
+    double multiOpsPerSec = 0;
+    PhaseLatency latency;
+};
+
+MixedResult
+runMixed(CommitMode mode, double seconds)
+{
+    KvStoreOptions store_options;
+    store_options.numShards = 4;
+    store_options.log2SlotsPerShard = 16;
+    store_options.initial = {tm::BackendKind::kTl2, 16, {}};
+    store_options.commitMode = mode;
+    KvStore store(store_options);
+
+    // Phase 0 is warmup, phase 1 (same mix) is the measurement window:
+    // the per-phase latency histogram then covers (nearly) the same
+    // interval as the throughput deltas — the run switches back to
+    // phase 0 before stop() so teardown-skewed ops don't pollute the
+    // phase-1 percentiles BENCH_kvstore.json pairs with the windowed
+    // ops/s (only ops in flight at the phase edges leak across).
+    const TrafficMix mix = TrafficMix::preset(MixKind::kMixedCross);
+    TrafficOptions traffic_options;
+    traffic_options.threads = kThreads;
+    traffic_options.phases = {mix, mix};
+    TrafficDriver driver(store, traffic_options);
+    driver.preload(mix.keySpace / 2);
+
+    driver.start();
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(seconds * 0.25));
+    driver.setPhase(1);
+    const std::uint64_t single_before = driver.singleKeyOpsCompleted();
+    const std::uint64_t multi_before = driver.multiOpsCompleted();
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    const std::uint64_t single_after = driver.singleKeyOpsCompleted();
+    const std::uint64_t multi_after = driver.multiOpsCompleted();
+    driver.setPhase(0);
+    driver.stop();
+
+    MixedResult result;
+    result.singleOpsPerSec =
+        static_cast<double>(single_after - single_before) / seconds;
+    result.multiOpsPerSec =
+        static_cast<double>(multi_after - multi_before) / seconds;
+    result.latency = driver.latency(1);
+    return result;
+}
+
+void
+printMixed(const char *name, const MixedResult &r)
+{
+    std::printf("  %-10s %14.0f %12.0f %8llu %8llu %8llu %9llu\n",
+                name, r.singleOpsPerSec, r.multiOpsPerSec,
+                static_cast<unsigned long long>(r.latency.p50),
+                static_cast<unsigned long long>(r.latency.p95),
+                static_cast<unsigned long long>(r.latency.p99),
+                static_cast<unsigned long long>(r.latency.max));
+}
+
+void
+writeJsonObject(std::FILE *f, const char *name, const MixedResult &r)
+{
+    std::fprintf(
+        f,
+        "  \"%s\": {\n"
+        "    \"single_key_ops_per_sec\": %.0f,\n"
+        "    \"multi_ops_per_sec\": %.0f,\n"
+        "    \"ops_measured\": %llu,\n"
+        "    \"p50_ns\": %llu,\n"
+        "    \"p95_ns\": %llu,\n"
+        "    \"p99_ns\": %llu,\n"
+        "    \"max_ns\": %llu\n"
+        "  }",
+        name, r.singleOpsPerSec, r.multiOpsPerSec,
+        static_cast<unsigned long long>(r.latency.count),
+        static_cast<unsigned long long>(r.latency.p50),
+        static_cast<unsigned long long>(r.latency.p95),
+        static_cast<unsigned long long>(r.latency.p99),
+        static_cast<unsigned long long>(r.latency.max));
+}
+
+/** Machine-readable trajectory point for CI artifacts. Returns false
+ *  (and the bench exits nonzero) when the file cannot be written —
+ *  a silently missing artifact defeats the trajectory tracking. */
+bool
+writeJson(const char *path, double seconds, const MixedResult &latch,
+          const MixedResult &two_phase)
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "bench_kvstore: cannot write %s\n", path);
+        return false;
+    }
+    const double speedup =
+        latch.singleOpsPerSec > 0
+            ? two_phase.singleOpsPerSec / latch.singleOpsPerSec
+            : 0.0;
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"kvstore_mixed_90_10\",\n"
+                 "  \"threads\": %d,\n"
+                 "  \"shards\": 4,\n"
+                 "  \"seconds_per_point\": %.3f,\n"
+                 "  \"hardware_threads\": %u,\n",
+                 kThreads, seconds,
+                 std::thread::hardware_concurrency());
+    writeJsonObject(f, "latch", latch);
+    std::fprintf(f, ",\n");
+    writeJsonObject(f, "two_phase", two_phase);
+    std::fprintf(f, ",\n  \"single_key_speedup_2pc_over_latch\": %.3f\n}\n",
+                 speedup);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path);
+    return true;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    double seconds = argc > 1 ? std::atof(argv[1]) : 0.4;
-    if (seconds <= 0) {
-        std::fprintf(stderr,
-                     "bench_kvstore: invalid seconds-per-point '%s', "
-                     "using 0.4\n",
-                     argv[1]);
-        seconds = 0.4;
+    double seconds = 0.4;
+    bool mixed_only = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--mixed-only") == 0) {
+            mixed_only = true;
+        } else {
+            const double parsed = std::atof(argv[i]);
+            if (parsed > 0) {
+                seconds = parsed;
+            } else {
+                std::fprintf(stderr,
+                             "bench_kvstore: invalid argument '%s' "
+                             "(usage: bench_kvstore [seconds-per-point]"
+                             " [--mixed-only])\n",
+                             argv[i]);
+                return 2;
+            }
+        }
     }
-    const int threads = 4;
+    const int threads = kThreads;
 
     std::printf("ProteusKV bench — %d workers, %.2fs/point, host has "
                 "%u hardware threads\n\n",
                 threads, seconds,
                 std::thread::hardware_concurrency());
 
-    std::printf("shard scaling, read-heavy (YCSB-B):\n");
-    std::printf("  %-8s %14s %10s\n", "shards", "ops/s", "speedup");
-    double base = 0;
-    for (const int shards : {1, 2, 4}) {
-        const double ops = runPoint(
-            shards, TrafficMix::preset(MixKind::kReadHeavy), threads,
-            seconds);
-        if (shards == 1)
-            base = ops;
-        std::printf("  %-8d %14.0f %9.2fx\n", shards, ops,
-                    base > 0 ? ops / base : 0.0);
-    }
-
-    std::printf("\nworkload mixes at 4 shards:\n");
-    std::printf("  %-12s %14s\n", "mix", "ops/s");
-    const struct
-    {
-        const char *name;
-        MixKind kind;
-    } mixes[] = {
-        {"read-heavy", MixKind::kReadHeavy},
-        {"balanced", MixKind::kBalanced},
-        {"scan-heavy", MixKind::kScanHeavy},
-        {"write-heavy", MixKind::kWriteHeavy},
-        {"hotspot", MixKind::kHotspot},
-    };
-    for (const auto &mix : mixes) {
-        const double ops = runPoint(4, TrafficMix::preset(mix.kind),
-                                    threads, seconds);
-        std::printf("  %-12s %14.0f\n", mix.name, ops);
-    }
-
-    // Batched vs single-op puts: one session, one thread, same keys.
-    std::printf("\nbatching (single thread, 1 shard, %d puts):\n",
-                1 << 16);
-    KvStoreOptions store_options;
-    store_options.numShards = 1;
-    store_options.log2SlotsPerShard = 18;
-    store_options.initial = {tm::BackendKind::kTl2, 1, {}};
-    {
-        KvStore store(store_options);
-        auto session = store.openSession();
-        Stopwatch sw;
-        for (std::uint64_t key = 0; key < (1u << 16); ++key)
-            store.put(session, key, key);
-        const double single = (1 << 16) / sw.elapsedSeconds();
-        store.closeSession(session);
-        std::printf("  %-12s %14.0f ops/s\n", "single", single);
-    }
-    {
-        KvStore store(store_options);
-        auto session = store.openSession();
-        KvStore::Batch batch;
-        Stopwatch sw;
-        for (std::uint64_t key = 0; key < (1u << 16); ++key) {
-            batch.put(key, key);
-            if (batch.size() == 64) {
-                store.applyBatch(session, batch);
-                batch.clear();
-            }
+    if (!mixed_only) {
+        std::printf("shard scaling, read-heavy (YCSB-B):\n");
+        std::printf("  %-8s %14s %10s\n", "shards", "ops/s", "speedup");
+        double base = 0;
+        for (const int shards : {1, 2, 4}) {
+            const double ops = runPoint(
+                shards, TrafficMix::preset(MixKind::kReadHeavy),
+                threads, seconds);
+            if (shards == 1)
+                base = ops;
+            std::printf("  %-8d %14.0f %9.2fx\n", shards, ops,
+                        base > 0 ? ops / base : 0.0);
         }
-        const double batched = (1 << 16) / sw.elapsedSeconds();
-        store.closeSession(session);
-        std::printf("  %-12s %14.0f ops/s\n", "batch(64)", batched);
+
+        std::printf("\nworkload mixes at 4 shards:\n");
+        std::printf("  %-12s %14s\n", "mix", "ops/s");
+        const struct
+        {
+            const char *name;
+            MixKind kind;
+        } mixes[] = {
+            {"read-heavy", MixKind::kReadHeavy},
+            {"balanced", MixKind::kBalanced},
+            {"scan-heavy", MixKind::kScanHeavy},
+            {"write-heavy", MixKind::kWriteHeavy},
+            {"hotspot", MixKind::kHotspot},
+        };
+        for (const auto &mix : mixes) {
+            const double ops = runPoint(
+                4, TrafficMix::preset(mix.kind), threads, seconds);
+            std::printf("  %-12s %14.0f\n", mix.name, ops);
+        }
+
+        // Batched vs single-op puts: one session, one thread, same keys.
+        std::printf("\nbatching (single thread, 1 shard, %d puts):\n",
+                    1 << 16);
+        KvStoreOptions store_options;
+        store_options.numShards = 1;
+        store_options.log2SlotsPerShard = 18;
+        store_options.initial = {tm::BackendKind::kTl2, 1, {}};
+        {
+            KvStore store(store_options);
+            auto session = store.openSession();
+            Stopwatch sw;
+            for (std::uint64_t key = 0; key < (1u << 16); ++key)
+                store.put(session, key, key);
+            const double single = (1 << 16) / sw.elapsedSeconds();
+            store.closeSession(session);
+            std::printf("  %-12s %14.0f ops/s\n", "single", single);
+        }
+        {
+            KvStore store(store_options);
+            auto session = store.openSession();
+            KvStore::Batch batch;
+            Stopwatch sw;
+            for (std::uint64_t key = 0; key < (1u << 16); ++key) {
+                batch.put(key, key);
+                if (batch.size() == 64) {
+                    store.applyBatch(session, batch);
+                    batch.clear();
+                }
+            }
+            const double batched = (1 << 16) / sw.elapsedSeconds();
+            store.closeSession(session);
+            std::printf("  %-12s %14.0f ops/s\n", "batch(64)", batched);
+        }
     }
-    return 0;
+
+    std::printf("\ncommit-mode A/B, mixed 90%% single-key / 10%% "
+                "cross-shard multiOp (4 shards):\n");
+    std::printf("  %-10s %14s %12s %8s %8s %8s %9s\n", "mode",
+                "single ops/s", "multi ops/s", "p50ns", "p95ns",
+                "p99ns", "maxns");
+    const MixedResult latch = runMixed(CommitMode::kLatch, seconds);
+    printMixed("latch", latch);
+    const MixedResult two_phase =
+        runMixed(CommitMode::kTwoPhase, seconds);
+    printMixed("2pc", two_phase);
+    if (latch.singleOpsPerSec > 0) {
+        std::printf("  single-key speedup 2pc/latch: %.2fx\n",
+                    two_phase.singleOpsPerSec / latch.singleOpsPerSec);
+    }
+
+    return writeJson("BENCH_kvstore.json", seconds, latch, two_phase)
+               ? 0
+               : 1;
 }

@@ -137,8 +137,27 @@ main()
     phaser.join();
     driver.stop();
 
-    std::printf("\n%llu client ops served\n",
-                static_cast<unsigned long long>(driver.opsCompleted()));
+    std::printf("\n%llu client ops served (%llu cross-shard "
+                "multiOps)\n",
+                static_cast<unsigned long long>(driver.opsCompleted()),
+                static_cast<unsigned long long>(
+                    driver.multiOpsCompleted()));
+
+    static const char *const kPhaseNames[] = {"read-heavy",
+                                              "scan-heavy"};
+    for (std::size_t p = 0; p < traffic_options.phases.size(); ++p) {
+        const kvstore::PhaseLatency lat = driver.latency(p);
+        if (lat.count == 0)
+            continue;
+        std::printf("latency %-10s  p50 %6llu ns  p95 %6llu ns  "
+                    "p99 %6llu ns  max %8llu ns  (%llu ops)\n",
+                    kPhaseNames[p],
+                    static_cast<unsigned long long>(lat.p50),
+                    static_cast<unsigned long long>(lat.p95),
+                    static_cast<unsigned long long>(lat.p99),
+                    static_cast<unsigned long long>(lat.max),
+                    static_cast<unsigned long long>(lat.count));
+    }
 
     bool all_retuned = true;
     for (int s = 0; s < kShards; ++s) {

@@ -1,0 +1,16 @@
+#include "kvstore/commit_record.hpp"
+
+namespace proteus::kvstore {
+
+WriteIntent *
+IntentArena::alloc()
+{
+    const std::size_t chunk = used_ / kChunk;
+    const std::size_t offset = used_ % kChunk;
+    if (chunk == chunks_.size())
+        chunks_.push_back(std::make_unique<WriteIntent[]>(kChunk));
+    ++used_;
+    return &chunks_[chunk][offset];
+}
+
+} // namespace proteus::kvstore

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <thread>
 
 namespace proteus::kvstore {
 
@@ -19,20 +20,51 @@ routeMix(std::uint64_t x)
     return x ^ (x >> 33);
 }
 
+/**
+ * Thrown out of a transaction body when a put/add finds no slot. A
+ * foreign (non-TxAbort) exception, so PolyTm::run rolls the open
+ * transaction back — nothing of the failing shard commits — and
+ * rethrows for the multiOp driver to unwind the other shards.
+ */
+struct TableFullError
+{
+};
+
+/** Restore logical pre-images [begin, end) from the compensation log,
+ *  newest first, inside `tx`. Shared by the in-transaction revert on
+ *  irrevocable backends and the latch-mode cross-shard unwind. */
+void
+restoreUndoRangeTx(Shard &shard, polytm::Tx &tx,
+                   const std::vector<KvStore::Session::Undo> &undo,
+                   std::size_t begin, std::size_t end)
+{
+    for (std::size_t k = end; k-- > begin;) {
+        const KvStore::Session::Undo &pre = undo[k];
+        if (pre.existed)
+            shard.putTx(tx, pre.key, pre.oldValue);
+        else
+            shard.delTx(tx, pre.key);
+    }
+}
+
 } // namespace
 
 KvStore::KvStore(KvStoreOptions options)
+    : commitMode_(options.commitMode)
 {
     if (options.numShards <= 0)
         throw std::invalid_argument("KvStore: numShards must be >= 1");
     shards_.reserve(static_cast<std::size_t>(options.numShards));
     latches_.reserve(static_cast<std::size_t>(options.numShards));
+    shardSeqs_.reserve(static_cast<std::size_t>(options.numShards));
     for (int s = 0; s < options.numShards; ++s) {
         ShardOptions shard_options;
         shard_options.log2Slots = options.log2SlotsPerShard;
         shard_options.initial = options.initial;
         shards_.push_back(std::make_unique<Shard>(shard_options));
         latches_.push_back(std::make_unique<std::shared_mutex>());
+        shardSeqs_.push_back(
+            std::make_unique<std::atomic<std::uint64_t>>(0));
     }
 }
 
@@ -42,21 +74,56 @@ KvStore::shardOf(std::uint64_t key) const
     return static_cast<std::size_t>(routeMix(key) % shards_.size());
 }
 
+KvStore::~KvStore()
+{
+    for (auto *list : {&graveyard_, &ctxPool_}) {
+        while (*list)
+            *list = std::move((*list)->next);
+    }
+}
+
+KvStore::Session::~Session()
+{
+    if (!store_)
+        return;
+    // Same teardown as closeSession, so stack unwinding between
+    // openSession and closeSession leaks neither thread slots nor the
+    // commit context (deregisterThread is adminMutex-protected).
+    for (std::size_t s = 0; s < tokens_.size(); ++s)
+        store_->shards_[s]->deregisterWorker(tokens_[s]);
+    if (ctx_)
+        store_->retireContext(std::move(ctx_));
+}
+
+void
+KvStore::retireContext(std::unique_ptr<CommitContext> ctx) noexcept
+{
+    std::lock_guard<std::mutex> lk(ctxMutex_);
+    ctx->next = std::move(ctxPool_);
+    ctxPool_ = std::move(ctx);
+}
+
 KvStore::Session
 KvStore::openSession()
 {
     Session session;
+    session.store_ = this;
     session.tokens_.reserve(shards_.size());
-    try {
-        for (auto &shard : shards_)
-            session.tokens_.push_back(shard->registerWorker());
-    } catch (...) {
-        // Thread-slot exhaustion mid-loop: give back what we took, or
-        // every failed openSession leaks one slot per earlier shard.
-        for (std::size_t s = 0; s < session.tokens_.size(); ++s)
-            shards_[s]->deregisterWorker(session.tokens_[s]);
-        throw;
+    {
+        // Recycle a cleanly retired commit context (every intent
+        // cleared before its previous owner closed); the epoch in its
+        // record keeps any stale readers of the old generation safe.
+        std::lock_guard<std::mutex> lk(ctxMutex_);
+        if (ctxPool_) {
+            session.ctx_ = std::move(ctxPool_);
+            ctxPool_ = std::move(session.ctx_->next);
+        }
     }
+    // Thread-slot exhaustion mid-loop is safe: ~Session gives back
+    // the prefix of slots we took and parks the pooled commit
+    // context (freeing it would break the never-free invariant).
+    for (auto &shard : shards_)
+        session.tokens_.push_back(shard->registerWorker());
     return session;
 }
 
@@ -66,6 +133,16 @@ KvStore::closeSession(Session &session)
     for (std::size_t s = 0; s < session.tokens_.size(); ++s)
         shards_[s]->deregisterWorker(session.tokens_[s]);
     session.tokens_.clear();
+    if (session.ctx_) {
+        // Park for reuse, don't free: a reader transaction that
+        // loaded one of this session's intent pointers may still
+        // dereference it (and then fail validation on the changed,
+        // epoch-tagged word); the memory must outlive it. Every
+        // intent was cleared before the owning multiOp returned, so
+        // the context is clean — exception-poisoned contexts never
+        // get here (multiOpTwoPhaseWrite graveyards them directly).
+        retireContext(std::move(session.ctx_));
+    }
 }
 
 bool
@@ -108,17 +185,27 @@ KvStore::scan(Session &session, std::uint64_t start_key,
 {
     const std::size_t s = shardOf(start_key);
     std::size_t count = 0;
-    runOnShard(session, s, [&](polytm::Tx &tx) {
-        count = shards_[s]->scanTx(tx, start_key, limit, out);
-    });
-    return count;
+    // Retry while the scan resolved a PENDING intent (see
+    // Shard::scan): its commit could flip between two of this scan's
+    // slot resolutions and tear a same-shard composite.
+    for (;;) {
+        bool unstable = false;
+        runOnShard(session, s, [&](polytm::Tx &tx) {
+            count =
+                shards_[s]->scanTx(tx, start_key, limit, out, &unstable);
+        });
+        if (!unstable)
+            return count;
+        std::this_thread::yield();
+    }
 }
 
 namespace {
 
 using TaggedOp = std::pair<std::uint32_t, KvOp *>;
 
-/** Apply one shard's slice of a composite op inside a transaction. */
+/** Apply one shard's slice of a composite op inside a transaction
+ *  (batch path: per-shard semantics, fitting prefix commits). */
 void
 applyOpsInTx(Shard &shard, polytm::Tx &tx, const TaggedOp *begin,
              const TaggedOp *end, bool &space_ok)
@@ -128,7 +215,13 @@ applyOpsInTx(Shard &shard, polytm::Tx &tx, const TaggedOp *begin,
         KvOp *op = it->second;
         switch (op->kind) {
           case KvOp::Kind::kGet:
-            op->ok = shard.getTx(tx, op->key, &op->value);
+            // getForUpdateTx, not getTx: batch results are documented
+            // per-shard atomic, so reads resolve foreign intents the
+            // way the write primitives do — a non-blocking pre-image
+            // could straddle a commit flip against another read or be
+            // contradicted by a fold under a later write of the same
+            // key (irrevocable backends never re-run the read).
+            op->ok = shard.getForUpdateTx(tx, op->key, &op->value);
             break;
           case KvOp::Kind::kPut:
             op->ok = shard.putTx(tx, op->key, op->value);
@@ -146,15 +239,74 @@ applyOpsInTx(Shard &shard, polytm::Tx &tx, const TaggedOp *begin,
     }
 }
 
-} // namespace
-
-namespace {
+/**
+ * Writing multiOp slice with all-or-nothing semantics (latch mode and
+ * the single-shard fast path): like applyOpsInTx but records a
+ * pre-image per write into the compensation log and raises
+ * TableFullError instead of committing a shard-local prefix. On an
+ * irrevocable backend (global lock, HTM fallback holder) the writes
+ * already hit memory and rollback() cannot undo them, so the failing
+ * attempt's effects are reverted from the log, in place, before the
+ * throw.
+ */
+void
+applyOpsUndoTx(Shard &shard, polytm::Tx &tx, const TaggedOp *begin,
+               const TaggedOp *end,
+               std::vector<KvStore::Session::Undo> &undo,
+               std::size_t undo_mark)
+{
+    undo.resize(undo_mark); // retried attempts restart the log
+    const auto fail_full = [&]() {
+        if (!tx.revocable())
+            restoreUndoRangeTx(shard, tx, undo, undo_mark, undo.size());
+        throw TableFullError{};
+    };
+    for (const TaggedOp *it = begin; it != end; ++it) {
+        KvOp *op = it->second;
+        if (op->kind == KvOp::Kind::kGet) {
+            // Writing-composite reads resolve foreign intents like
+            // writers (see Shard::prepareGetTx): a non-blocking
+            // pre-image here could be contradicted by a fold under a
+            // later write of the same key on an irrevocable backend.
+            op->ok = shard.getForUpdateTx(tx, op->key, &op->value);
+            continue;
+        }
+        // The write primitives report the displaced pre-image from
+        // their own (intent-resolving) probe walk — taken after any
+        // foreign intent is folded, so an abort-time restore never
+        // erases a foreign commit's write. A failed put/add wrote
+        // nothing, so nothing is logged for it.
+        KvStore::Session::Undo pre{op->key, 0, false};
+        switch (op->kind) {
+          case KvOp::Kind::kPut:
+            op->ok = shard.putTx(tx, op->key, op->value, &pre.existed,
+                                 &pre.oldValue);
+            break;
+          case KvOp::Kind::kDel:
+            op->ok = shard.delTx(tx, op->key, &pre.oldValue);
+            pre.existed = op->ok;
+            break;
+          case KvOp::Kind::kAdd:
+            op->ok = shard.addTx(tx, op->key,
+                                 static_cast<std::int64_t>(op->value),
+                                 &pre.existed, &pre.oldValue);
+            break;
+          default:
+            break;
+        }
+        if ((op->kind == KvOp::Kind::kPut ||
+             op->kind == KvOp::Kind::kAdd) &&
+            !op->ok)
+            fail_full();
+        undo.push_back(pre);
+    }
+}
 
 /**
  * Group `ops` by home shard into the session's reusable scratch:
  * each shard index is computed exactly once, a stable sort on the
  * cached index preserves program order within one shard, and the
- * contiguous slices are recorded so the pin/lock/run/unlock passes
+ * contiguous slices are recorded so the pin/prepare/finalize passes
  * walk a precomputed list. Steady state allocates nothing.
  */
 void
@@ -183,6 +335,39 @@ groupByShard(const KvStore &store, std::vector<KvOp> &ops,
     }
 }
 
+/**
+ * Pin the session's tokens on every touched shard for a multiOp's
+ * critical span (latched region / prepare-to-finalize window): a
+ * parked thread must not strand an exclusive latch or a PENDING
+ * intent, and pinning bounds gate pauses to in-flight algorithm
+ * switches (paper §4.2).
+ */
+class PinSpan
+{
+  public:
+    PinSpan(std::vector<std::unique_ptr<Shard>> &shards,
+            std::vector<polytm::ThreadToken> &tokens,
+            const std::vector<KvStore::Session::ShardSlice> &slices)
+        : shards_(shards), tokens_(tokens), slices_(slices)
+    {
+        for (const auto &slice : slices_)
+            shards_[slice.shard]->poly().setPinned(
+                tokens_[slice.shard].tid, true);
+    }
+
+    ~PinSpan()
+    {
+        for (const auto &slice : slices_)
+            shards_[slice.shard]->poly().setPinned(
+                tokens_[slice.shard].tid, false);
+    }
+
+  private:
+    std::vector<std::unique_ptr<Shard>> &shards_;
+    std::vector<polytm::ThreadToken> &tokens_;
+    const std::vector<KvStore::Session::ShardSlice> &slices_;
+};
+
 } // namespace
 
 bool
@@ -192,22 +377,319 @@ KvStore::multiOp(Session &session, std::vector<KvOp> &ops)
     for (const KvOp &op : ops)
         writes |= op.kind != KvOp::Kind::kGet;
     groupByShard(*this, ops, session.scratch_, session.slices_);
+    if (session.slices_.empty())
+        return true;
+    // Single-shard fast path: one TM transaction is already atomic.
+    // Writing composites take it only under kTwoPhase — in latch mode
+    // the exclusive latch is what orders them against the shared-latch
+    // snapshot readers, so they keep the full protocol.
+    if (session.slices_.size() == 1 &&
+        (!writes || commitMode_ == CommitMode::kTwoPhase))
+        return multiOpSingleShard(session, writes);
+    if (commitMode_ == CommitMode::kTwoPhase) {
+        return writes ? multiOpTwoPhaseWrite(session)
+                      : multiOpTwoPhaseRead(session);
+    }
+    return multiOpLatched(session, writes);
+}
+
+bool
+KvStore::multiOpSingleShard(Session &session, bool writes)
+{
+    const auto &grouped = session.scratch_;
+    const auto &slice = session.slices_[0];
+    Shard &shard = *shards_[slice.shard];
+    if (writes) {
+        // One TM transaction is atomic to every observer on this
+        // shard — no latches, intents, or compensation across shards
+        // needed. Table-full throws out of the (rolled-back or
+        // self-reverted) transaction for all-or-nothing. The shard
+        // sequence is bumped BEFORE the transaction so a snapshot
+        // round can never pair this commit's post-image with another
+        // shard's pre-image and still validate (bumping after the
+        // commit would reopen the straddle window; a bump for an
+        // aborted attempt only costs readers a spurious retry).
+        shardSeqs_[slice.shard]->fetch_add(1,
+                                           std::memory_order_acq_rel);
+        session.undo_.clear();
+        try {
+            runOnShard(session, slice.shard, [&](polytm::Tx &tx) {
+                applyOpsUndoTx(shard, tx,
+                               grouped.data() + slice.begin,
+                               grouped.data() + slice.end,
+                               session.undo_, 0);
+            });
+        } catch (const TableFullError &) {
+            return false;
+        }
+        return true;
+    }
+    // Read-only: one transaction is per-shard consistent; retry only
+    // while some read resolved a still-PENDING intent (its commit
+    // could flip between two of this transaction's resolutions).
+    for (;;) {
+        bool unstable = false;
+        runOnShard(session, slice.shard, [&](polytm::Tx &tx) {
+            unstable = false; // retried attempts restart
+            for (std::uint32_t i = slice.begin; i < slice.end; ++i) {
+                KvOp *op = grouped[i].second;
+                op->ok = shard.snapshotGetTx(tx, op->key, &op->value,
+                                             &unstable);
+            }
+        });
+        if (!unstable)
+            return true;
+        std::this_thread::yield();
+    }
+}
+
+bool
+KvStore::multiOpTwoPhaseRead(Session &session)
+{
+    const auto &grouped = session.scratch_;
+    const auto &slices = session.slices_;
+    // Commit-sequence-validated snapshot: each shard's reads are one
+    // TM transaction (intent-resolving, non-blocking). The round is
+    // trustworthy only if (a) no cross-shard commit bumped a *touched*
+    // shard's sequence inside it — the bumps precede the status flip,
+    // and any read that observed a post-image synchronizes with that
+    // flip, so a flip the round straddles is always visible in the
+    // trailing check — and (b) no read resolved a still-PENDING
+    // intent to its pre-image (that commit may have flipped mid-round
+    // without this round observing any of its post-images' ordering).
+    // Commits touching only other shards never force a retry.
+    // Single-key writers are not serialized against (see the contract
+    // in kvstore.hpp).
+    for (;;) {
+        bool unstable = false;
+        session.seqSnapshot_.clear();
+        for (const auto &slice : slices) {
+            session.seqSnapshot_.push_back(
+                shardSeqs_[slice.shard]->load(
+                    std::memory_order_acquire));
+        }
+        for (const auto &slice : slices) {
+            Shard &shard = *shards_[slice.shard];
+            bool shard_unstable = false;
+            shard.poly().run(
+                session.tokens_[slice.shard], [&](polytm::Tx &tx) {
+                    shard_unstable = false; // retried attempts restart
+                    for (std::uint32_t i = slice.begin; i < slice.end;
+                         ++i) {
+                        KvOp *op = grouped[i].second;
+                        op->ok = shard.snapshotGetTx(
+                            tx, op->key, &op->value, &shard_unstable);
+                    }
+                });
+            unstable |= shard_unstable;
+        }
+        bool stable = !unstable;
+        for (std::size_t j = 0; stable && j < slices.size(); ++j) {
+            stable = shardSeqs_[slices[j].shard]->load(
+                         std::memory_order_acquire) ==
+                     session.seqSnapshot_[j];
+        }
+        if (stable)
+            return true;
+        std::this_thread::yield();
+    }
+}
+
+bool
+KvStore::multiOpTwoPhaseWrite(Session &session)
+{
+    const auto &grouped = session.scratch_;
+    const auto &slices = session.slices_;
+    if (!session.ctx_)
+        session.ctx_ = std::make_unique<CommitContext>();
+    CommitContext &ctx = *session.ctx_;
+
+    PinSpan pin(shards_, session.tokens_, slices);
+
+    // Re-arm the session's commit record under the next epoch. Legal:
+    // every intent of the previous multiOp was cleared before it
+    // returned, so no live intent word reaches this record any more —
+    // and a stale resolver that still holds one sees an epoch-tagged
+    // word that no longer matches the status, so it can never apply
+    // this generation's verdict to the old generation's payload.
+    const std::uint64_t armed =
+        ((CommitRecord::epochOf(ctx.record.status.load(
+              std::memory_order_relaxed)) +
+          1)
+         << 2) |
+        CommitRecord::kPending;
+    ctx.record.status.store(armed, std::memory_order_release);
+    ctx.arena.reset();
+    session.intents_.clear();
+    session.intentRanges_.clear();
+
+    try {
+        // Phase 1: prepare, in ascending shard order. A conflicting
+        // preparer only ever waits on lower-numbered shards' pending
+        // intents it meets while preparing a higher one — wait chains
+        // strictly ascend, so they cannot cycle.
+        bool full = false;
+        std::size_t prepared = 0;
+        for (const auto &slice : slices) {
+            Shard &shard = *shards_[slice.shard];
+            const std::size_t arena_mark = ctx.arena.mark();
+            const auto intents_mark =
+                static_cast<std::uint32_t>(session.intents_.size());
+            try {
+                shard.poly().run(
+                    session.tokens_[slice.shard], [&](polytm::Tx &tx) {
+                        // Retried attempts restart this shard's
+                        // intent allocation.
+                        ctx.arena.rewindTo(arena_mark);
+                        session.intents_.resize(intents_mark);
+                        // On an irrevocable backend the prepare's
+                        // writes are already in place and rollback()
+                        // cannot undo them — discard this attempt's
+                        // published intents by hand before raising.
+                        const auto fail_full = [&]() {
+                            if (!tx.revocable()) {
+                                for (std::size_t k =
+                                         session.intents_.size();
+                                     k-- > intents_mark;) {
+                                    shard.abortIntentTx(
+                                        tx, session.intents_[k]);
+                                }
+                            }
+                            throw TableFullError{};
+                        };
+                        for (std::uint32_t i = slice.begin;
+                             i < slice.end; ++i) {
+                            KvOp *op = grouped[i].second;
+                            switch (op->kind) {
+                              case KvOp::Kind::kGet:
+                                op->ok = shard.prepareGetTx(
+                                    tx, &ctx.record, op->key,
+                                    &op->value);
+                                break;
+                              case KvOp::Kind::kPut:
+                                if (!shard.preparePutTx(
+                                        tx, &ctx.record, ctx.arena,
+                                        session.intents_, op->key,
+                                        op->value, &op->ok))
+                                    fail_full();
+                                break;
+                              case KvOp::Kind::kDel:
+                                shard.prepareDelTx(
+                                    tx, &ctx.record, ctx.arena,
+                                    session.intents_, op->key,
+                                    &op->ok);
+                                break;
+                              case KvOp::Kind::kAdd:
+                                if (!shard.prepareAddTx(
+                                        tx, &ctx.record, ctx.arena,
+                                        session.intents_, op->key,
+                                        static_cast<std::int64_t>(
+                                            op->value),
+                                        &op->ok))
+                                    fail_full();
+                                break;
+                            }
+                        }
+                    });
+            } catch (const TableFullError &) {
+                full = true;
+            }
+            if (full)
+                break;
+            session.intentRanges_.emplace_back(
+                intents_mark,
+                static_cast<std::uint32_t>(session.intents_.size()));
+            ++prepared;
+        }
+
+        if (full) {
+            // All-or-nothing: nothing committed on the failing shard
+            // (its transaction rolled back), and the already-prepared
+            // shards only hold invisible intents — mark the record
+            // aborted and discard them.
+            ctx.record.status.store((armed & ~std::uint64_t{3}) |
+                                        CommitRecord::kAborted,
+                                    std::memory_order_release);
+            for (std::size_t j = 0; j < prepared; ++j) {
+                Shard &shard = *shards_[slices[j].shard];
+                const auto range = session.intentRanges_[j];
+                shard.poly().run(
+                    session.tokens_[slices[j].shard],
+                    [&](polytm::Tx &tx) {
+                        for (std::uint32_t k = range.first;
+                             k < range.second; ++k)
+                            shard.abortIntentTx(tx,
+                                                session.intents_[k]);
+                    });
+            }
+            return false;
+        }
+
+        // Phase 2: the commit point. One store makes every intent's
+        // post-image the live value on all shards at once. The
+        // sequence bumps come FIRST: any snapshot round that observes
+        // one of this commit's post-images synchronizes with the flip
+        // below and therefore must see the bumps in its trailing
+        // sequence check — bumping after the flip would leave a
+        // window in which a round could read a torn pre/post mix and
+        // still validate.
+        for (const auto &slice : slices)
+            shardSeqs_[slice.shard]->fetch_add(
+                1, std::memory_order_acq_rel);
+        commitSeq_.fetch_add(1, std::memory_order_acq_rel);
+        ctx.record.status.store((armed & ~std::uint64_t{3}) |
+                                    CommitRecord::kCommitted,
+                                std::memory_order_release);
+
+        // Phase 3: finalize — fold intents into the slot words so the
+        // record can be re-armed. Observers that get there first help,
+        // so each fold is conditional on the intent still standing.
+        for (std::size_t j = 0; j < slices.size(); ++j) {
+            Shard &shard = *shards_[slices[j].shard];
+            const auto range = session.intentRanges_[j];
+            shard.poly().run(
+                session.tokens_[slices[j].shard], [&](polytm::Tx &tx) {
+                    for (std::uint32_t k = range.first;
+                         k < range.second; ++k)
+                        shard.finalizeIntentTx(tx,
+                                               session.intents_[k]);
+                });
+        }
+        return true;
+    } catch (...) {
+        // Foreign exception (e.g. bad_alloc) mid-protocol. Make the
+        // record's fate terminal — kAborted unless the commit point
+        // already passed — and retire the context: leftover intents
+        // stay resolvable (writers fold/discard them on contact,
+        // readers read through) and the memory stays valid.
+        std::uint64_t expected = armed;
+        ctx.record.status.compare_exchange_strong(
+            expected,
+            (armed & ~std::uint64_t{3}) | CommitRecord::kAborted,
+            std::memory_order_acq_rel);
+        {
+            // Intrusive push: must not allocate — this very path
+            // handles bad_alloc.
+            std::lock_guard<std::mutex> lk(ctxMutex_);
+            session.ctx_->next = std::move(graveyard_);
+            graveyard_ = std::move(session.ctx_);
+        }
+        throw;
+    }
+}
+
+bool
+KvStore::multiOpLatched(Session &session, bool writes)
+{
     const auto &grouped = session.scratch_;
     const auto &slices = session.slices_;
 
-    // Pin our tokens for the latched span: once some shard's slice is
-    // applied the remaining ones must go through, so the thread cannot
-    // afford to be parked by a concurrent parallelism-degree change
-    // while it holds the latches below.
-    for (const auto &slice : slices) {
-        shards_[slice.shard]->poly().setPinned(
-            session.tokens_[slice.shard].tid, true);
-    }
+    PinSpan pin(shards_, session.tokens_, slices);
 
-    // Releases latches (reverse order) and pins even when a backend
-    // throws something other than TxAbort mid-commit (e.g.
-    // bad_alloc): leaked exclusive latches would wedge the shards for
-    // every future operation.
+    // Releases latches (reverse order) even when a backend throws
+    // something other than TxAbort mid-commit (e.g. bad_alloc):
+    // leaked exclusive latches would wedge the shards for every
+    // future operation.
     const auto release = [&](std::size_t locked) {
         while (locked > 0) {
             --locked;
@@ -215,10 +697,6 @@ KvStore::multiOp(Session &session, std::vector<KvOp> &ops)
                 latches_[slices[locked].shard]->unlock();
             else
                 latches_[slices[locked].shard]->unlock_shared();
-        }
-        for (const auto &slice : slices) {
-            shards_[slice.shard]->poly().setPinned(
-                session.tokens_[slice.shard].tid, false);
         }
     };
 
@@ -236,16 +714,67 @@ KvStore::multiOp(Session &session, std::vector<KvOp> &ops)
             ++locked;
         }
 
-        for (const auto &slice : slices) {
-            Shard &shard = *shards_[slice.shard];
-            bool space_ok = true;
-            shard.poly().run(
-                session.tokens_[slice.shard], [&](polytm::Tx &tx) {
-                    applyOpsInTx(shard, tx,
-                                 grouped.data() + slice.begin,
-                                 grouped.data() + slice.end, space_ok);
-                });
-            ok &= space_ok;
+        if (!writes) {
+            for (const auto &slice : slices) {
+                Shard &shard = *shards_[slice.shard];
+                // kGet-only slices can never fail on capacity.
+                bool space_ok_unused = true;
+                shard.poly().run(
+                    session.tokens_[slice.shard], [&](polytm::Tx &tx) {
+                        applyOpsInTx(shard, tx,
+                                     grouped.data() + slice.begin,
+                                     grouped.data() + slice.end,
+                                     space_ok_unused);
+                    });
+            }
+        } else {
+            session.undo_.clear();
+            session.undoRanges_.clear();
+            bool full = false;
+            std::size_t applied = 0;
+            for (const auto &slice : slices) {
+                Shard &shard = *shards_[slice.shard];
+                const auto undo_mark = static_cast<std::uint32_t>(
+                    session.undo_.size());
+                try {
+                    shard.poly().run(
+                        session.tokens_[slice.shard],
+                        [&](polytm::Tx &tx) {
+                            applyOpsUndoTx(
+                                shard, tx,
+                                grouped.data() + slice.begin,
+                                grouped.data() + slice.end,
+                                session.undo_, undo_mark);
+                        });
+                } catch (const TableFullError &) {
+                    full = true;
+                }
+                if (full)
+                    break;
+                session.undoRanges_.emplace_back(
+                    undo_mark,
+                    static_cast<std::uint32_t>(session.undo_.size()));
+                ++applied;
+            }
+            if (full) {
+                // The failing shard committed nothing (its transaction
+                // rolled back); restore the earlier shards from the
+                // compensation log, newest first, while the exclusive
+                // latches still shut every other observer out.
+                for (std::size_t j = applied; j-- > 0;) {
+                    Shard &shard = *shards_[slices[j].shard];
+                    const auto range = session.undoRanges_[j];
+                    shard.poly().run(
+                        session.tokens_[slices[j].shard],
+                        [&](polytm::Tx &tx) {
+                            restoreUndoRangeTx(shard, tx,
+                                               session.undo_,
+                                               range.first,
+                                               range.second);
+                        });
+                }
+                ok = false;
+            }
         }
     } catch (...) {
         release(locked);

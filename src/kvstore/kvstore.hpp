@@ -9,27 +9,47 @@
  *
  * Concurrency design. Single-key operations are plain per-shard TM
  * transactions. Cross-shard atomicity cannot come from TM alone
- * (shards are separate PolyTM universes), so the store layers a
- * per-shard reader/writer latch on top:
- *  - single-key ops and single-shard batches take the shard latch
- *    shared (they still conflict-check each other through TM);
- *  - a multi-key transaction takes the latches of every shard it
- *    touches — exclusive when it writes, shared when read-only — in
- *    ascending shard order (global order => no deadlock), then applies
- *    each shard's portion as one TM transaction per shard.
- * While a writing multiOp holds its exclusive latches no other
- * operation can observe those shards, so the composite commit is
- * atomic to all observers.
+ * (shards are separate PolyTM universes), so a writing multi-key
+ * transaction commits through one of two protocols, selected by
+ * KvStoreOptions::commitMode:
  *
- * Latches vs the ThreadGate: the per-shard tuner may disable a worker
- * thread (parallelism degree), which parks it inside PolyTM. A parked
- * thread must never hold a shard latch, or a writing multiOp blocks
- * until some future reconfigure — possibly forever. Two mechanisms
- * guarantee it: latched single-key/batch paths use PolyTm::tryRun
- * (never parks; on refusal the latch is released before
- * waitRunnable), and multiOp pins its tokens for the latched span
- * (the paper's §4.2 escape hatch), making any gate pause bounded by
- * an in-flight algorithm switch.
+ *  - kTwoPhase (default): a 2PC-style commit *over* the TM layer.
+ *    Per touched shard (ascending shard order — no deadlock), one
+ *    short *prepare* transaction validates the shard's reads and
+ *    publishes per-slot write intents pointing at a shared commit
+ *    record; one atomic store then flips the record PENDING →
+ *    COMMITTED (the commit point, preceded by a sequence bump on
+ *    every touched shard); *finalize* transactions fold the intents
+ *    into the live slot words. Single-key traffic keeps flowing the
+ *    whole time: a reader that hits an intent resolves it against the
+ *    commit record without blocking (pre-image while PENDING,
+ *    post-image once COMMITTED), and a writer folds finished intents
+ *    itself, waiting only out the short PENDING window of its exact
+ *    slot. Read-only multiOps take a sequence-validated snapshot
+ *    (retry the read round if a touched shard's sequence advanced or
+ *    a pending intent was resolved inside it). Since no latches are
+ *    held, the per-shard tuners see
+ *    real TM aborts — the contention signal the recommender needs —
+ *    instead of latch convoys.
+ *
+ *  - kLatch (legacy, kept for A/B measurement): a per-shard
+ *    reader/writer latch above TM. Single-key ops and batches take
+ *    their shard's latch shared; a writing multiOp takes every
+ *    touched shard's latch exclusive in ascending shard order and
+ *    applies each shard's portion as one TM transaction, freezing all
+ *    other traffic on those shards for the whole composite.
+ *
+ * Latches/2PC vs the ThreadGate: the per-shard tuner may disable a
+ * worker thread (parallelism degree), which parks it inside PolyTM. A
+ * parked thread must never strand a resource other operations wait on
+ * — an exclusive latch (kLatch) or a PENDING intent (kTwoPhase). Two
+ * mechanisms guarantee it: latched single-key/batch paths use
+ * PolyTm::tryRun (never parks; on refusal the latch is released
+ * before waitRunnable), and a multiOp pins its tokens for the
+ * latched / prepare-to-finalize span (the paper's §4.2 escape hatch),
+ * making any gate pause bounded by an in-flight algorithm switch. In
+ * kTwoPhase mode single-key ops hold nothing across a park, so they
+ * use the plain blocking path with no latch at all.
  *
  * Batching. A Batch stages operations and flushes them grouped by
  * shard, one TM transaction per shard group — amortizing latch and
@@ -39,14 +59,27 @@
 #ifndef PROTEUS_KVSTORE_KVSTORE_HPP
 #define PROTEUS_KVSTORE_KVSTORE_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
+#include <utility>
 #include <vector>
 
+#include "kvstore/commit_record.hpp"
 #include "kvstore/shard.hpp"
 
 namespace proteus::kvstore {
+
+/** How writing multiOps achieve cross-shard atomicity. */
+enum class CommitMode : int
+{
+    /** Whole-shard exclusive latches (legacy A/B baseline). */
+    kLatch = 0,
+    /** Non-blocking 2PC over the TM layer (write intents). */
+    kTwoPhase,
+};
 
 struct KvStoreOptions
 {
@@ -55,6 +88,8 @@ struct KvStoreOptions
     unsigned log2SlotsPerShard = 14;
     /** Initial TM configuration applied to every shard. */
     polytm::TmConfig initial{};
+    /** Cross-shard commit protocol (see file comment). */
+    CommitMode commitMode = CommitMode::kTwoPhase;
 };
 
 /** One operation of a multi-key transaction or a batch. */
@@ -78,8 +113,12 @@ class KvStore
 {
   public:
     explicit KvStore(KvStoreOptions options = {});
+    /** Tears the retired-context lists down iteratively (the chained
+     *  unique_ptrs would otherwise recurse once per context). */
+    ~KvStore();
 
     int numShards() const { return static_cast<int>(shards_.size()); }
+    CommitMode commitMode() const { return commitMode_; }
     std::size_t shardOf(std::uint64_t key) const;
     Shard &shard(std::size_t i) { return *shards_[i]; }
     const Shard &shard(std::size_t i) const { return *shards_[i]; }
@@ -94,7 +133,35 @@ class KvStore
       public:
         Session() = default;
         Session(Session &&) = default;
-        Session &operator=(Session &&) = default;
+        /** Move-assign swaps the displaced resources into `other` so
+         *  they are released properly (tokens deregistered, commit
+         *  context parked — never freed) when `other` dies. */
+        Session &
+        operator=(Session &&other) noexcept
+        {
+            if (this != &other) {
+                std::swap(store_, other.store_);
+                ctx_.swap(other.ctx_);
+                tokens_.swap(other.tokens_);
+                scratch_ = std::move(other.scratch_);
+                slices_ = std::move(other.slices_);
+                intents_ = std::move(other.intents_);
+                intentRanges_ = std::move(other.intentRanges_);
+                undo_ = std::move(other.undo_);
+                undoRanges_ = std::move(other.undoRanges_);
+                seqSnapshot_ = std::move(other.seqSnapshot_);
+            }
+            return *this;
+        }
+        /**
+         * A session destroyed without closeSession() (e.g. stack
+         * unwinding) deregisters its shard tokens and parks its
+         * commit context back at the store — destroying the context
+         * would free intent memory a concurrent reader may still
+         * dereference. Sessions must not outlive the store (their
+         * tokens already reference its shards).
+         */
+        ~Session();
 
         /** One contiguous run of grouped ops on one shard
          *  (implementation detail of multiOp/applyBatch). */
@@ -105,14 +172,40 @@ class KvStore
             std::uint32_t end;
         };
 
+        /** Pre-image of one applied latch-mode write (compensation
+         *  log for all-or-nothing table-full abort). */
+        struct Undo
+        {
+            std::uint64_t key;
+            std::uint64_t oldValue;
+            bool existed;
+        };
+
       private:
         friend class KvStore;
+
+        KvStore *store_ = nullptr;
         std::vector<polytm::ThreadToken> tokens_;
         /** Reusable multiOp/batch grouping scratch (hot path stays
          *  allocation-free in steady state): ops tagged with their
          *  home shard, and the contiguous per-shard slices. */
         std::vector<std::pair<std::uint32_t, KvOp *>> scratch_;
         std::vector<ShardSlice> slices_;
+        /** 2PC state: commit record + intent arena (lazily created,
+         *  retired — not freed — on close; see commit_record.hpp),
+         *  the intents prepared by the current multiOp, and their
+         *  per-slice [begin, end) ranges. */
+        std::unique_ptr<CommitContext> ctx_;
+        std::vector<WriteIntent *> intents_;
+        std::vector<std::pair<std::uint32_t, std::uint32_t>>
+            intentRanges_;
+        /** Compensation log (latch mode + single-shard fast path) and
+         *  per-slice ranges. */
+        std::vector<Undo> undo_;
+        std::vector<std::pair<std::uint32_t, std::uint32_t>>
+            undoRanges_;
+        /** Per-round shard-sequence snapshot (2PC read validation). */
+        std::vector<std::uint64_t> seqSnapshot_;
     };
 
     Session openSession();
@@ -130,19 +223,31 @@ class KvStore
 
     /**
      * Multi-key transaction. Results land in each op's ok/value
-     * fields. Returns false iff a put/add ran out of table space
-     * mid-commit (the shard-local prefix stays applied; a full table
-     * is a capacity-planning bug, not a recoverable state).
+     * fields. Returns false iff a put/add ran out of table space; the
+     * composite then has **no effect** — all-or-nothing in both
+     * commit modes (2PC aborts the commit record before anything is
+     * visible; latch mode rolls already-applied shards back through a
+     * compensation log while still holding every latch). The ops'
+     * ok/value fields are unspecified after a false return. A full
+     * table remains a capacity-planning bug, not a state to retry
+     * against.
      *
-     * Atomicity contract: a *writing* multiOp holds its shards
-     * exclusively, so no other store operation can observe it
-     * half-committed. A *read-only* multiOp takes shared latches: it
-     * can never see a torn writing multiOp, but it is not a
-     * serializable snapshot against independent single-key writers —
+     * Atomicity contract. A *writing* multiOp is atomic to every
+     * observer in both modes: under kLatch it holds its shards
+     * exclusively; under kTwoPhase its writes become visible together
+     * at the commit-record flip, and any observer that catches the
+     * finalize in progress reads through the committed intents. A
+     * *read-only* multiOp observes a consistent cross-shard snapshot
+     * with respect to writing multiOps (kLatch: shared latches;
+     * kTwoPhase: the read round retries if any *touched* shard's
+     * commit sequence advanced underneath it or if it resolved a
+     * still-pending intent). In neither mode is it a
+     * serializable snapshot against independent *single-key* writers:
      * another session's two sequential puts to different shards may
-     * be observed out of program order. Callers needing a full
-     * snapshot against single-key traffic too must include a write
-     * (or see ROADMAP: 2PC-style commit).
+     * be observed out of program order. Under kTwoPhase, reads mixed
+     * into a *writing* multiOp are exact for keys the composite also
+     * writes (read-your-writes) and per-shard consistent otherwise,
+     * but do not form a global snapshot.
      */
     bool multiOp(Session &session, std::vector<KvOp> &ops);
 
@@ -178,27 +283,41 @@ class KvStore
     /**
      * Apply a batch: one TM transaction per touched shard (atomic per
      * shard only). Results are readable through `batch.ops()` until
-     * the next clear(). Returns false on table-full.
+     * the next clear(). Returns false on table-full (the failing
+     * shard's transaction still commits its fitting prefix — batches
+     * keep per-shard semantics; use multiOp for all-or-nothing).
      */
     bool applyBatch(Session &session, Batch &batch);
 
     /** Sum of per-shard PolyTM stats. */
     polytm::PolyStats totalStats() const;
 
+    /** Cross-shard commits flipped to COMMITTED so far (2PC mode). */
+    std::uint64_t commitSequence() const
+    {
+        return commitSeq_.load(std::memory_order_acquire);
+    }
+
     /** Unpark every shard's disabled workers (shutdown path). */
     void resumeAllForShutdown();
 
   private:
     /**
-     * Run `body` as one transaction on shard `s` under its shared
-     * latch, without ever holding the latch while parked: tryRun
-     * refusals release the latch, wait for admission, retry.
+     * Run `body` as one transaction on shard `s`. kTwoPhase: plain
+     * blocking run — the body holds no external resource, so parking
+     * is harmless. kLatch: under the shard's shared latch, without
+     * ever holding the latch while parked (tryRun refusals release
+     * the latch, wait for admission, retry).
      */
     template <typename F>
     void
     runOnShard(Session &session, std::size_t s, F &&body)
     {
         polytm::PolyTm &poly = shards_[s]->poly();
+        if (commitMode_ == CommitMode::kTwoPhase) {
+            poly.run(session.tokens_[s], body);
+            return;
+        }
         for (;;) {
             {
                 std::shared_lock<std::shared_mutex> lk(*latches_[s]);
@@ -209,8 +328,41 @@ class KvStore
         }
     }
 
+    /** All ops on one shard: one TM transaction is already atomic, so
+     *  the cross-shard protocol (either one) is skipped entirely. */
+    bool multiOpSingleShard(Session &session, bool writes);
+    bool multiOpTwoPhaseWrite(Session &session);
+    bool multiOpTwoPhaseRead(Session &session);
+    bool multiOpLatched(Session &session, bool writes);
+
+    CommitMode commitMode_ = CommitMode::kTwoPhase;
     std::vector<std::unique_ptr<Shard>> shards_;
     std::vector<std::unique_ptr<std::shared_mutex>> latches_;
+    /** Bumped once per 2PC commit point (observability). */
+    std::atomic<std::uint64_t> commitSeq_{0};
+    /** Per-shard commit sequences, bumped for every *touched* shard
+     *  before the commit flip; read-only multiOps validate their read
+     *  round against the shards they actually read, so commits to
+     *  unrelated shards never force a retry. */
+    std::vector<std::unique_ptr<std::atomic<std::uint64_t>>>
+        shardSeqs_;
+    /** Park a clean commit context for reuse (see ctxPool_). */
+    void retireContext(std::unique_ptr<CommitContext> ctx) noexcept;
+
+    std::mutex ctxMutex_;
+    /**
+     * Retired commit contexts, kept alive until store destruction so
+     * stale intent pointers in concurrent readers never dangle.
+     * Cleanly closed sessions park theirs in the reuse pool
+     * (`ctxPool_`; epoch tagging makes reuse by a new session safe);
+     * only contexts poisoned by a mid-protocol exception — which may
+     * still own uncleared intents — land in the permanent
+     * `graveyard_`. Both are intrusive lists (CommitContext::next):
+     * parking must stay allocation-free and noexcept because it runs
+     * on bad_alloc unwind paths and in ~Session.
+     */
+    std::unique_ptr<CommitContext> graveyard_;
+    std::unique_ptr<CommitContext> ctxPool_;
 };
 
 } // namespace proteus::kvstore

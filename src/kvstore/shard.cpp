@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 namespace proteus::kvstore {
 
@@ -41,7 +42,7 @@ Shard::Shard(ShardOptions options)
       slots_(std::size_t{1}
              << checkedLog2(options.log2Slots, "log2Slots")),
       mask_(slots_ - 1), state_(slots_, kEmpty), keys_(slots_, 0),
-      values_(slots_, 0)
+      values_(slots_, 0), intents_(slots_, 0)
 {
 }
 
@@ -65,6 +66,7 @@ Shard::probe(polytm::Tx &tx, std::uint64_t key, bool *found)
             if (insert_at == slots_)
                 insert_at = slot;
         } else if (tx.readWord(&keys_[slot]) == key) {
+            // kFull or kPendingInsert: both carry a valid key word.
             *found = true;
             return slot;
         }
@@ -74,10 +76,168 @@ Shard::probe(polytm::Tx &tx, std::uint64_t key, bool *found)
 }
 
 bool
+Shard::resolveSlotLiveTx(polytm::Tx &tx, std::size_t slot,
+                         std::uint64_t *value, bool *unstable)
+{
+    const std::uint64_t word = tx.readWord(&intents_[slot]);
+    const std::uint64_t state = tx.readWord(&state_[slot]);
+    if (word == 0) {
+        if (state != kFull)
+            return false;
+        if (value)
+            *value = tx.readWord(&values_[slot]);
+        return true;
+    }
+    WriteIntent *intent = intentOf(word);
+    CommitRecord *record =
+        intent->record.load(std::memory_order_acquire);
+    // Payload fields must be read before the status word: fields of
+    // epoch E freeze before E's flip and are only rewritten after the
+    // next re-arm, so a status that still reads (E, kCommitted) at a
+    // later point proves the earlier field loads saw epoch E's frozen
+    // payload.
+    const std::uint64_t new_state =
+        intent->newState.load(std::memory_order_relaxed);
+    const std::uint64_t new_value =
+        intent->newValue.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint64_t status =
+        record ? record->status.load(std::memory_order_acquire) : 0;
+    const bool same_epoch =
+        record && (CommitRecord::epochOf(status) & 0xffff) ==
+                      intentEpochTag(word);
+    if (same_epoch &&
+        CommitRecord::stateOf(status) == CommitRecord::kCommitted) {
+        // Post-image wins from the commit point on, even before the
+        // owner's finalize folds it into the slot words.
+        if (new_state != kFull)
+            return false;
+        if (value)
+            *value = new_value;
+        return true;
+    }
+    if (unstable && same_epoch &&
+        CommitRecord::stateOf(status) == CommitRecord::kPending)
+        *unstable = true;
+    // Pending or aborted: the pre-image is the live state. An epoch
+    // mismatch means the intent was recycled underneath us; the
+    // republished word differs (epoch tag), so this transaction's
+    // read-set validation rejects the commit and the retry sees the
+    // slot's real state — pre-image junk never escapes.
+    if (state != kFull)
+        return false;
+    if (value)
+        *value = tx.readWord(&values_[slot]);
+    return true;
+}
+
+void
+Shard::resolveForeignIntentTx(polytm::Tx &tx, std::size_t slot,
+                              std::uint64_t word)
+{
+    WriteIntent *intent = intentOf(word);
+    CommitRecord *record =
+        intent->record.load(std::memory_order_acquire);
+    const auto read_payload = [&](std::uint64_t *new_state,
+                                  std::uint64_t *new_value) {
+        // Fields before status, as in resolveSlotLiveTx: a matching
+        // (epoch, kCommitted) status read afterwards proves the
+        // fields belonged to that frozen generation.
+        *new_state = intent->newState.load(std::memory_order_relaxed);
+        *new_value = intent->newValue.load(std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        return record->status.load(std::memory_order_acquire);
+    };
+    std::uint64_t new_state = 0;
+    std::uint64_t new_value = 0;
+    std::uint64_t status =
+        record ? read_payload(&new_state, &new_value) : 0;
+    const auto same_epoch = [&](std::uint64_t s) {
+        return record && (CommitRecord::epochOf(s) & 0xffff) ==
+                             intentEpochTag(word);
+    };
+    while (same_epoch(status) &&
+           CommitRecord::stateOf(status) == CommitRecord::kPending) {
+        if (tx.revocable()) {
+            // Drop all TM resources and come back with backoff; the
+            // owner needs this slot's universe only to finalize, and
+            // the commit flip we are waiting for is a plain store.
+            tx.retry();
+        }
+        // Irrevocable (global lock / HTM fallback): wait in place.
+        // Safe because the flip needs no TM resources, and the owner
+        // only ever waits on *higher-numbered* shards (prepare is
+        // shard-ordered), so wait chains cannot cycle.
+        std::this_thread::yield();
+        status = read_payload(&new_state, &new_value);
+    }
+    if (same_epoch(status) &&
+        CommitRecord::stateOf(status) == CommitRecord::kCommitted) {
+        tx.writeWord(&state_[slot], new_state);
+        if (new_state == kFull)
+            tx.writeWord(&values_[slot], new_value);
+    } else if (tx.readWord(&state_[slot]) == kPendingInsert) {
+        // Aborted (or recycled-underneath-us — then this transaction
+        // fails validation on the changed intent word and the writes
+        // roll back): tombstone, never back to empty — concurrent
+        // probe chains may already run past this slot.
+        tx.writeWord(&state_[slot], kTombstone);
+    }
+    tx.writeWord(&intents_[slot], 0);
+}
+
+std::size_t
+Shard::writeLookup(polytm::Tx &tx, CommitRecord *record,
+                   std::uint64_t key, bool *found, WriteIntent **own)
+{
+    if (own)
+        *own = nullptr;
+    const std::size_t slot = probe(tx, key, found);
+    if (!*found)
+        return slot; // empty/tombstone insert point (no intent), or full
+    for (;;) {
+        const std::uint64_t word = tx.readWord(&intents_[slot]);
+        if (word == 0)
+            break;
+        WriteIntent *intent = intentOf(word);
+        if (record &&
+            intent->record.load(std::memory_order_relaxed) == record) {
+            // Ours — necessarily the current epoch: every intent of
+            // the previous multiOp was cleared before re-arming.
+            // (`own` is only optional for record==nullptr callers.)
+            *own = intent;
+            return slot;
+        }
+        resolveForeignIntentTx(tx, slot, word);
+    }
+    *found = tx.readWord(&state_[slot]) == kFull;
+    return slot;
+}
+
+bool
 Shard::getTx(polytm::Tx &tx, std::uint64_t key, std::uint64_t *value)
+{
+    return snapshotGetTx(tx, key, value, nullptr);
+}
+
+bool
+Shard::snapshotGetTx(polytm::Tx &tx, std::uint64_t key,
+                     std::uint64_t *value, bool *unstable)
 {
     bool found = false;
     const std::size_t slot = probe(tx, key, &found);
+    if (!found)
+        return false;
+    return resolveSlotLiveTx(tx, slot, value, unstable);
+}
+
+bool
+Shard::getForUpdateTx(polytm::Tx &tx, std::uint64_t key,
+                      std::uint64_t *value)
+{
+    bool found = false;
+    const std::size_t slot =
+        writeLookup(tx, nullptr, key, &found, nullptr);
     if (!found)
         return false;
     if (value)
@@ -86,11 +246,17 @@ Shard::getTx(polytm::Tx &tx, std::uint64_t key, std::uint64_t *value)
 }
 
 bool
-Shard::putTx(polytm::Tx &tx, std::uint64_t key, std::uint64_t value)
+Shard::putTx(polytm::Tx &tx, std::uint64_t key, std::uint64_t value,
+             bool *existed, std::uint64_t *old_value)
 {
     bool found = false;
-    const std::size_t slot = probe(tx, key, &found);
+    const std::size_t slot =
+        writeLookup(tx, nullptr, key, &found, nullptr);
+    if (existed)
+        *existed = found;
     if (found) {
+        if (old_value)
+            *old_value = tx.readWord(&values_[slot]);
         tx.writeWord(&values_[slot], value);
         return true;
     }
@@ -103,25 +269,35 @@ Shard::putTx(polytm::Tx &tx, std::uint64_t key, std::uint64_t value)
 }
 
 bool
-Shard::delTx(polytm::Tx &tx, std::uint64_t key)
+Shard::delTx(polytm::Tx &tx, std::uint64_t key,
+             std::uint64_t *old_value)
 {
     bool found = false;
-    const std::size_t slot = probe(tx, key, &found);
+    const std::size_t slot =
+        writeLookup(tx, nullptr, key, &found, nullptr);
     if (!found)
         return false;
+    if (old_value)
+        *old_value = tx.readWord(&values_[slot]);
     tx.writeWord(&state_[slot], kTombstone);
     return true;
 }
 
 bool
-Shard::addTx(polytm::Tx &tx, std::uint64_t key, std::int64_t delta)
+Shard::addTx(polytm::Tx &tx, std::uint64_t key, std::int64_t delta,
+             bool *existed, std::uint64_t *old_value)
 {
-    // One probe for the read-modify-write (the transfer hot path),
+    // One lookup for the read-modify-write (the transfer hot path),
     // not a getTx+putTx pair walking the chain twice.
     bool found = false;
-    const std::size_t slot = probe(tx, key, &found);
+    const std::size_t slot =
+        writeLookup(tx, nullptr, key, &found, nullptr);
+    if (existed)
+        *existed = found;
     if (found) {
         const std::uint64_t current = tx.readWord(&values_[slot]);
+        if (old_value)
+            *old_value = current;
         tx.writeWord(&values_[slot],
                      current + static_cast<std::uint64_t>(delta));
         return true;
@@ -132,6 +308,181 @@ Shard::addTx(polytm::Tx &tx, std::uint64_t key, std::int64_t delta)
     tx.writeWord(&keys_[slot], key);
     tx.writeWord(&values_[slot], static_cast<std::uint64_t>(delta));
     return true;
+}
+
+WriteIntent *
+Shard::installIntent(polytm::Tx &tx, CommitRecord *record,
+                     IntentArena &arena, std::vector<WriteIntent *> &out,
+                     std::size_t slot, std::uint64_t new_state,
+                     std::uint64_t new_value)
+{
+    WriteIntent *intent = arena.alloc();
+    intent->record.store(record, std::memory_order_relaxed);
+    intent->newState.store(new_state, std::memory_order_relaxed);
+    intent->newValue.store(new_value, std::memory_order_relaxed);
+    intent->slot = slot;
+    // The transactional store publishes the intent atomically with the
+    // rest of this shard's prepare at commit time (release), so the
+    // relaxed field stores above are visible to any resolver that
+    // acquires the pointer. The published word carries the record's
+    // current epoch so resolvers can reject recycled generations.
+    const std::uint64_t epoch = CommitRecord::epochOf(
+        record->status.load(std::memory_order_relaxed));
+    tx.writeWord(&intents_[slot],
+                 packIntentWord(intent, epoch & 0xffff));
+    out.push_back(intent);
+    return intent;
+}
+
+bool
+Shard::preparePutTx(polytm::Tx &tx, CommitRecord *record,
+                    IntentArena &arena, std::vector<WriteIntent *> &out,
+                    std::uint64_t key, std::uint64_t value, bool *applied)
+{
+    bool found = false;
+    WriteIntent *own = nullptr;
+    const std::size_t slot = writeLookup(tx, record, key, &found, &own);
+    if (own) {
+        own->newState.store(kFull, std::memory_order_relaxed);
+        own->newValue.store(value, std::memory_order_relaxed);
+        *applied = true;
+        return true;
+    }
+    if (found) {
+        installIntent(tx, record, arena, out, slot, kFull, value);
+        *applied = true;
+        return true;
+    }
+    if (slot == slots_) {
+        *applied = false;
+        return false; // full: caller aborts the whole commit
+    }
+    tx.writeWord(&state_[slot], kPendingInsert);
+    tx.writeWord(&keys_[slot], key);
+    installIntent(tx, record, arena, out, slot, kFull, value);
+    *applied = true;
+    return true;
+}
+
+void
+Shard::prepareDelTx(polytm::Tx &tx, CommitRecord *record,
+                    IntentArena &arena, std::vector<WriteIntent *> &out,
+                    std::uint64_t key, bool *applied)
+{
+    bool found = false;
+    WriteIntent *own = nullptr;
+    const std::size_t slot = writeLookup(tx, record, key, &found, &own);
+    if (own) {
+        *applied =
+            own->newState.load(std::memory_order_relaxed) == kFull;
+        own->newState.store(kTombstone, std::memory_order_relaxed);
+        return;
+    }
+    if (!found) {
+        *applied = false; // absent (or full table with no match)
+        return;
+    }
+    installIntent(tx, record, arena, out, slot, kTombstone, 0);
+    *applied = true;
+}
+
+bool
+Shard::prepareAddTx(polytm::Tx &tx, CommitRecord *record,
+                    IntentArena &arena, std::vector<WriteIntent *> &out,
+                    std::uint64_t key, std::int64_t delta, bool *applied)
+{
+    const auto unsigned_delta = static_cast<std::uint64_t>(delta);
+    bool found = false;
+    WriteIntent *own = nullptr;
+    const std::size_t slot = writeLookup(tx, record, key, &found, &own);
+    if (own) {
+        if (own->newState.load(std::memory_order_relaxed) == kFull) {
+            own->newValue.store(
+                own->newValue.load(std::memory_order_relaxed) +
+                    unsigned_delta,
+                std::memory_order_relaxed);
+        } else { // deleted earlier in this multiOp: recreate at delta
+            own->newState.store(kFull, std::memory_order_relaxed);
+            own->newValue.store(unsigned_delta,
+                                std::memory_order_relaxed);
+        }
+        *applied = true;
+        return true;
+    }
+    if (found) {
+        const std::uint64_t current = tx.readWord(&values_[slot]);
+        installIntent(tx, record, arena, out, slot, kFull,
+                      current + unsigned_delta);
+        *applied = true;
+        return true;
+    }
+    if (slot == slots_) {
+        *applied = false;
+        return false; // full: caller aborts the whole commit
+    }
+    tx.writeWord(&state_[slot], kPendingInsert);
+    tx.writeWord(&keys_[slot], key);
+    installIntent(tx, record, arena, out, slot, kFull, unsigned_delta);
+    *applied = true;
+    return true;
+}
+
+bool
+Shard::prepareGetTx(polytm::Tx &tx, CommitRecord *record,
+                    std::uint64_t key, std::uint64_t *value)
+{
+    // Reads inside a *writing* composite resolve foreign intents the
+    // way the write primitives do — waiting out PENDING ones — rather
+    // than taking the non-blocking pre-image. Otherwise an
+    // irrevocable backend could report a pre-image here and then fold
+    // the foreign post-image under a later write of the same key in
+    // the same transaction (no retry re-runs the read), leaving the
+    // composite's own outputs unserializable.
+    bool found = false;
+    WriteIntent *own = nullptr;
+    const std::size_t slot = writeLookup(tx, record, key, &found, &own);
+    if (own) {
+        // Read-your-writes within the composite.
+        if (own->newState.load(std::memory_order_relaxed) != kFull)
+            return false;
+        if (value)
+            *value = own->newValue.load(std::memory_order_relaxed);
+        return true;
+    }
+    if (!found)
+        return false;
+    if (value)
+        *value = tx.readWord(&values_[slot]);
+    return true;
+}
+
+void
+Shard::finalizeIntentTx(polytm::Tx &tx, WriteIntent *intent)
+{
+    const std::size_t slot = static_cast<std::size_t>(intent->slot);
+    const std::uint64_t word = tx.readWord(&intents_[slot]);
+    if (intentOf(word) != intent)
+        return; // a helping writer already folded it
+    const std::uint64_t new_state =
+        intent->newState.load(std::memory_order_relaxed);
+    tx.writeWord(&state_[slot], new_state);
+    if (new_state == kFull) {
+        tx.writeWord(&values_[slot],
+                     intent->newValue.load(std::memory_order_relaxed));
+    }
+    tx.writeWord(&intents_[slot], 0);
+}
+
+void
+Shard::abortIntentTx(polytm::Tx &tx, WriteIntent *intent)
+{
+    const std::size_t slot = static_cast<std::size_t>(intent->slot);
+    const std::uint64_t word = tx.readWord(&intents_[slot]);
+    if (intentOf(word) != intent)
+        return; // a helping writer already discarded it
+    if (tx.readWord(&state_[slot]) == kPendingInsert)
+        tx.writeWord(&state_[slot], kTombstone);
+    tx.writeWord(&intents_[slot], 0);
 }
 
 bool
@@ -164,19 +515,25 @@ Shard::del(polytm::ThreadToken &token, std::uint64_t key)
 
 std::size_t
 Shard::scanTx(polytm::Tx &tx, std::uint64_t start_key, std::size_t limit,
-              std::vector<std::pair<std::uint64_t, std::uint64_t>> *out)
+              std::vector<std::pair<std::uint64_t, std::uint64_t>> *out,
+              bool *unstable)
 {
     std::size_t count = 0;
     if (out)
         out->clear();
+    if (unstable)
+        *unstable = false; // retried attempts restart
     std::size_t slot = homeSlot(start_key);
     for (std::size_t step = 0; step < slots_ && count < limit; ++step) {
-        if (tx.readWord(&state_[slot]) == kFull) {
-            if (out) {
-                out->emplace_back(tx.readWord(&keys_[slot]),
-                                  tx.readWord(&values_[slot]));
+        const std::uint64_t state = tx.readWord(&state_[slot]);
+        if (state == kFull || state == kPendingInsert) {
+            std::uint64_t value = 0;
+            if (resolveSlotLiveTx(tx, slot, &value, unstable)) {
+                if (out) {
+                    out->emplace_back(tx.readWord(&keys_[slot]), value);
+                }
+                ++count;
             }
-            ++count;
         }
         slot = (slot + 1) & mask_;
     }
@@ -188,12 +545,21 @@ Shard::scan(polytm::ThreadToken &token, std::uint64_t start_key,
             std::size_t limit,
             std::vector<std::pair<std::uint64_t, std::uint64_t>> *out)
 {
+    // A scan covering two slots of one cross-shard composite could
+    // otherwise mix its pre- and post-images when the commit record
+    // flips mid-scan (the flip is a plain store, invisible to TM
+    // validation) — retry while any slot resolved a PENDING intent.
     std::size_t count = 0;
-    poly_.run(token, [&](polytm::Tx &tx) {
-        // Retried attempts restart the collection inside scanTx.
-        count = scanTx(tx, start_key, limit, out);
-    });
-    return count;
+    for (;;) {
+        bool unstable = false;
+        poly_.run(token, [&](polytm::Tx &tx) {
+            // Retried attempts restart the collection inside scanTx.
+            count = scanTx(tx, start_key, limit, out, &unstable);
+        });
+        if (!unstable)
+            return count;
+        std::this_thread::yield();
+    }
 }
 
 std::size_t

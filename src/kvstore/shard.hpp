@@ -4,12 +4,30 @@
  * operation runs as a transaction on the shard's private PolyTM
  * instance.
  *
- * Layout: three parallel word arrays (state / key / value), linear
- * probing with tombstones. All slot words are accessed only through
- * Tx::readWord/writeWord, so any mix of backends (STM, emulated HTM,
- * hybrid, global lock) serializes get/put/del/scan correctly — and the
- * shard can be re-tuned (backend, parallelism degree, CM knobs) live
- * by a per-shard ProteusRuntime without pausing the service.
+ * Layout: four parallel word arrays (state / key / value / intent),
+ * linear probing with tombstones. All slot words are accessed only
+ * through Tx::readWord/writeWord, so any mix of backends (STM,
+ * emulated HTM, hybrid, global lock) serializes get/put/del/scan
+ * correctly — and the shard can be re-tuned (backend, parallelism
+ * degree, CM knobs) live by a per-shard ProteusRuntime without pausing
+ * the service.
+ *
+ * Write intents (2PC commit mode). A slot's intent word is either 0 or
+ * a pointer to a WriteIntent belonging to an in-flight cross-shard
+ * commit (see commit_record.hpp). Slot states then read as:
+ *  - kFull + intent: the pre-image is live until the intent's record
+ *    commits, after which the intent's post-image wins;
+ *  - kPendingInsert (+ intent, always): the key is invisible until the
+ *    record commits; the slot is consumed so concurrent inserts probe
+ *    past it. Finalize turns it kFull, abort turns it kTombstone
+ *    (never back to kEmpty — probe chains may already run past it).
+ * Readers resolve intents without blocking. Writers fold a finished
+ * (committed/aborted) intent in their own transaction and proceed; a
+ * still-pending intent makes a writer wait out the short prepare→
+ * commit window (retry-with-backoff when the backend is revocable,
+ * in-place spin on the status word when irrevocable — the commit flip
+ * is a plain atomic store, so it needs no TM resources a spinner
+ * could be holding).
  *
  * Capacity is fixed at construction (the usual TM-benchmark stance:
  * no transactional resize). put() reports failure on a full table.
@@ -22,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "kvstore/commit_record.hpp"
 #include "polytm/polytm.hpp"
 
 namespace proteus::kvstore {
@@ -80,17 +99,98 @@ class Shard
 
     /**
      * Transactional primitives for composition: run inside a caller-
-     * managed transaction (KvStore multi-key commits, batches).
+     * managed transaction (KvStore multi-key commits, batches). All are
+     * intent-aware: they resolve any write intent on the touched slot
+     * as described in the file comment.
      */
     bool getTx(polytm::Tx &tx, std::uint64_t key,
                std::uint64_t *value = nullptr);
-    bool putTx(polytm::Tx &tx, std::uint64_t key, std::uint64_t value);
-    bool delTx(polytm::Tx &tx, std::uint64_t key);
+    /**
+     * getTx that additionally reports snapshot instability: *unstable
+     * is set when the read resolved a PENDING intent to its pre-image
+     * — the owning commit may flip mid-round, so a multi-shard
+     * snapshot built from such reads must be retried (KvStore's
+     * commit-sequence check cannot see a flip whose sequence bump the
+     * round straddles).
+     */
+    bool snapshotGetTx(polytm::Tx &tx, std::uint64_t key,
+                       std::uint64_t *value, bool *unstable);
+    /**
+     * getTx that first makes the slot writable — waiting out / folding
+     * any foreign intent exactly like the write primitives do — so the
+     * returned pre-image is the one a subsequent write in this same
+     * transaction builds on. Required for compensation-log capture: a
+     * plain getTx may return the pre-image of a still-PENDING foreign
+     * commit that a following putTx then folds, and restoring the
+     * earlier value on abort would erase that commit's write.
+     */
+    bool getForUpdateTx(polytm::Tx &tx, std::uint64_t key,
+                        std::uint64_t *value);
+    /**
+     * The write primitives optionally report the displaced pre-image
+     * (`existed` / `old_value`, captured after intent resolution) so
+     * compensation-log callers get it from the same probe walk
+     * instead of a second lookup.
+     */
+    bool putTx(polytm::Tx &tx, std::uint64_t key, std::uint64_t value,
+               bool *existed = nullptr,
+               std::uint64_t *old_value = nullptr);
+    bool delTx(polytm::Tx &tx, std::uint64_t key,
+               std::uint64_t *old_value = nullptr);
+    /** `unstable` as in snapshotGetTx: set when a slot resolved a
+     *  still-PENDING intent — the caller must retry the scan or risk
+     *  returning a torn mix of one composite's pre-/post-images. */
     std::size_t
     scanTx(polytm::Tx &tx, std::uint64_t start_key, std::size_t limit,
-           std::vector<std::pair<std::uint64_t, std::uint64_t>> *out);
+           std::vector<std::pair<std::uint64_t, std::uint64_t>> *out,
+           bool *unstable = nullptr);
     /** value += delta (two's-complement), creating the key at delta. */
-    bool addTx(polytm::Tx &tx, std::uint64_t key, std::int64_t delta);
+    bool addTx(polytm::Tx &tx, std::uint64_t key, std::int64_t delta,
+               bool *existed = nullptr,
+               std::uint64_t *old_value = nullptr);
+
+    /**
+     * 2PC prepare primitives: validate the operation and publish a
+     * WriteIntent pointing at `record` instead of mutating the live
+     * words. Newly allocated intents are appended to `out` (merged
+     * re-writes of a slot this multiOp already prepared mutate the
+     * existing intent in place — legal because nothing is visible
+     * until the enclosing transaction commits). `*applied` receives
+     * the op's logical outcome exactly as the direct primitives
+     * report it. preparePutTx/prepareAddTx return false only when the
+     * table has no slot (the caller must then abort the whole commit).
+     */
+    bool preparePutTx(polytm::Tx &tx, CommitRecord *record,
+                      IntentArena &arena,
+                      std::vector<WriteIntent *> &out, std::uint64_t key,
+                      std::uint64_t value, bool *applied);
+    void prepareDelTx(polytm::Tx &tx, CommitRecord *record,
+                      IntentArena &arena,
+                      std::vector<WriteIntent *> &out, std::uint64_t key,
+                      bool *applied);
+    bool prepareAddTx(polytm::Tx &tx, CommitRecord *record,
+                      IntentArena &arena,
+                      std::vector<WriteIntent *> &out, std::uint64_t key,
+                      std::int64_t delta, bool *applied);
+    /** Read that sees this commit's own intents (read-your-writes). */
+    bool prepareGetTx(polytm::Tx &tx, CommitRecord *record,
+                      std::uint64_t key, std::uint64_t *value);
+
+    /**
+     * Fold one of this commit's intents into the live slot words and
+     * clear the intent pointer; a no-op if a helping writer already
+     * folded it. Call with the record kCommitted.
+     */
+    void finalizeIntentTx(polytm::Tx &tx, WriteIntent *intent);
+
+    /**
+     * Discard one of this commit's intents (pending inserts become
+     * tombstones); a no-op if already helped. Normally called with
+     * the record kAborted, but the record's verdict is deliberately
+     * never read here: the irrevocable table-full path discards a
+     * failed prepare's intents while the record is still kPending.
+     */
+    void abortIntentTx(polytm::Tx &tx, WriteIntent *intent);
 
     polytm::PolyTm &poly() { return poly_; }
     const polytm::PolyTm &poly() const { return poly_; }
@@ -106,17 +206,56 @@ class Shard
         kEmpty = 0,
         kFull = 1,
         kTombstone = 2,
+        /** Insert prepared by an uncommitted cross-shard commit. */
+        kPendingInsert = 3,
     };
 
     std::size_t homeSlot(std::uint64_t key) const;
 
     /**
-     * Probe for `key`. Returns the matching full slot, or the first
+     * Probe for `key`. Matches kFull and kPendingInsert slots (both
+     * have a valid key word). Returns the matching slot, or the first
      * reusable slot (tombstone if seen, else the terminating empty
      * slot) with *found=false; capacity() when the probe wrapped with
      * no reusable slot.
      */
     std::size_t probe(polytm::Tx &tx, std::uint64_t key, bool *found);
+
+    /**
+     * Logical liveness+value of a probed-matching slot for readers:
+     * resolves any intent against its commit record without writing.
+     * `unstable` (optional) is set on a pre-image read under a
+     * PENDING intent (see snapshotGetTx).
+     */
+    bool resolveSlotLiveTx(polytm::Tx &tx, std::size_t slot,
+                           std::uint64_t *value,
+                           bool *unstable = nullptr);
+
+    /**
+     * Wait out / fold / discard the foreign intent published as
+     * `word` at `slot` so the caller can write the slot. May abort
+     * the transaction (revocable backends) to wait for a pending
+     * commit.
+     */
+    void resolveForeignIntentTx(polytm::Tx &tx, std::size_t slot,
+                                std::uint64_t word);
+
+    /**
+     * Probe + make the matched slot writable. On return with
+     * *found=true the slot carries either no intent (state kFull) or
+     * this commit's own intent (*own != nullptr, `record` non-null).
+     * *found=false means the key is logically absent; the returned
+     * slot (if < capacity()) is the insert point.
+     */
+    std::size_t writeLookup(polytm::Tx &tx, CommitRecord *record,
+                            std::uint64_t key, bool *found,
+                            WriteIntent **own);
+
+    WriteIntent *installIntent(polytm::Tx &tx, CommitRecord *record,
+                               IntentArena &arena,
+                               std::vector<WriteIntent *> &out,
+                               std::size_t slot, std::uint64_t new_state,
+                               std::uint64_t new_value);
 
     polytm::PolyTm poly_;
     std::size_t slots_;
@@ -124,6 +263,8 @@ class Shard
     std::vector<std::uint64_t> state_;
     std::vector<std::uint64_t> keys_;
     std::vector<std::uint64_t> values_;
+    /** 0 or a WriteIntent* of an in-flight cross-shard commit. */
+    std::vector<std::uint64_t> intents_;
 };
 
 } // namespace proteus::kvstore

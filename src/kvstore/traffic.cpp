@@ -1,5 +1,6 @@
 #include "kvstore/traffic.hpp"
 
+#include <bit>
 #include <chrono>
 #include <cstdio>
 #include <stdexcept>
@@ -37,8 +38,63 @@ TrafficMix::preset(MixKind kind)
         mix.keySpace = 1 << 6;
         mix.zipfTheta = 0.99;
         break;
+      case MixKind::kMixedCross:
+        // The commit-protocol A/B scenario: mostly single-key reads
+        // with some puts, and every tenth op a cross-shard transfer
+        // that exercises the multi-key commit path.
+        mix.getRatio = 0.80;
+        mix.putRatio = 0.20;
+        mix.multiRatio = 0.10;
+        break;
     }
     return mix;
+}
+
+int
+LatencyHistogram::bucketOf(std::uint64_t nanos)
+{
+    if (nanos < kSub)
+        return static_cast<int>(nanos); // exact tiny values
+    const int msb = 63 - std::countl_zero(nanos);
+    const int octave = msb - kSubBits + 1;
+    const int sub =
+        static_cast<int>((nanos >> (msb - kSubBits)) & (kSub - 1));
+    // octave <= 62, so the result is always < kBuckets.
+    return octave * kSub + sub;
+}
+
+std::uint64_t
+LatencyHistogram::bucketUpperNanos(int bucket)
+{
+    if (bucket < kSub)
+        return static_cast<std::uint64_t>(bucket);
+    const int octave = bucket / kSub;
+    const int sub = bucket % kSub;
+    const int msb = octave + kSubBits - 1;
+    const std::uint64_t step = std::uint64_t{1} << (msb - kSubBits);
+    return (std::uint64_t{1} << msb) +
+           static_cast<std::uint64_t>(sub + 1) * step - 1;
+}
+
+std::uint64_t
+LatencyHistogram::percentileNanos(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    if (p < 0)
+        p = 0;
+    if (p > 1)
+        p = 1;
+    const auto rank = static_cast<std::uint64_t>(
+        p * static_cast<double>(count_ - 1));
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+        seen += counts_[b];
+        if (seen > rank)
+            return bucketUpperNanos(b) < max_ ? bucketUpperNanos(b)
+                                              : max_;
+    }
+    return max_;
 }
 
 TrafficDriver::TrafficDriver(KvStore &store, TrafficOptions options)
@@ -55,6 +111,8 @@ TrafficDriver::TrafficDriver(KvStore &store, TrafficOptions options)
             "TrafficDriver: threads exceeds tm::kMaxThreads (" +
             std::to_string(tm::kMaxThreads) +
             " registration slots per shard)");
+    phaseLatency_.resize(options_.phases.size());
+    phaseMaxBacklog_.resize(options_.phases.size(), 0);
 }
 
 TrafficDriver::~TrafficDriver()
@@ -133,6 +191,23 @@ TrafficDriver::stop()
     running_ = false;
 }
 
+PhaseLatency
+TrafficDriver::latency(std::size_t phase) const
+{
+    if (phase >= phaseLatency_.size())
+        throw std::out_of_range("TrafficDriver: unknown phase");
+    std::lock_guard<std::mutex> lk(latencyMutex_);
+    const LatencyHistogram &hist = phaseLatency_[phase];
+    PhaseLatency out;
+    out.count = hist.count();
+    out.p50 = hist.percentileNanos(0.50);
+    out.p95 = hist.percentileNanos(0.95);
+    out.p99 = hist.percentileNanos(0.99);
+    out.max = hist.maxNanos();
+    out.maxBacklogNanos = phaseMaxBacklog_[phase];
+    return out;
+}
+
 void
 TrafficDriver::workerLoop(int worker_idx)
 {
@@ -161,19 +236,37 @@ TrafficDriver::workerBody(int worker_idx)
     Rng rng(options_.seed + 0x9e37ull * static_cast<unsigned>(worker_idx));
     std::vector<KvOp> multi_ops;
 
+    // Worker-local latency state, merged into the driver on exit so
+    // the hot loop never touches shared cache lines for profiling.
+    std::vector<LatencyHistogram> local_latency(
+        options_.phases.size());
+    std::vector<std::uint64_t> local_backlog(options_.phases.size(),
+                                             0);
+    const auto merge_out = [&] {
+        std::lock_guard<std::mutex> lk(latencyMutex_);
+        for (std::size_t p = 0; p < local_latency.size(); ++p) {
+            phaseLatency_[p].merge(local_latency[p]);
+            if (local_backlog[p] > phaseMaxBacklog_[p])
+                phaseMaxBacklog_[p] = local_backlog[p];
+        }
+    };
+
     const double target = options_.targetOpsPerSecPerThread;
     const std::uint64_t pace_nanos =
         target > 0 ? static_cast<std::uint64_t>(1e9 / target) : 0;
     std::uint64_t next_deadline = nowNanos();
 
     while (!stop_.load(std::memory_order_relaxed)) {
-        const TrafficMix &mix =
-            options_.phases[phase_.load(std::memory_order_relaxed)];
+        const std::size_t phase =
+            phase_.load(std::memory_order_relaxed);
+        const TrafficMix &mix = options_.phases[phase];
 
         const std::uint64_t key =
             mix.zipfTheta > 0 ? rng.zipf(mix.keySpace, mix.zipfTheta)
                               : rng.nextBounded(mix.keySpace);
 
+        const std::uint64_t op_start = nowNanos();
+        bool was_multi = false;
         if (mix.multiRatio > 0 && rng.bernoulli(mix.multiRatio)) {
             // Small cross-shard transfer: the multi-key path.
             const std::uint64_t other = rng.nextBounded(mix.keySpace);
@@ -183,6 +276,7 @@ TrafficDriver::workerBody(int worker_idx)
                  static_cast<std::uint64_t>(std::int64_t{-1}), false});
             multi_ops.push_back({KvOp::Kind::kAdd, other, 1, false});
             store_->multiOp(session, multi_ops);
+            was_multi = true;
         } else {
             const double draw = rng.nextDouble();
             const double put_edge = mix.getRatio + mix.putRatio;
@@ -200,21 +294,30 @@ TrafficDriver::workerBody(int worker_idx)
                 store_->get(session, key);
             }
         }
+        const std::uint64_t op_end = nowNanos();
+        local_latency[phase].record(op_end - op_start);
+        // Total before the multi counter: singleKeyOpsCompleted()
+        // computes total - multi, and the other order could let a
+        // sampler see multi > total (unsigned wrap).
         opsCompleted_.fetch_add(1, std::memory_order_relaxed);
+        if (was_multi)
+            multiOpsCompleted_.fetch_add(1, std::memory_order_relaxed);
 
         if (pace_nanos > 0) {
             // Open loop: absolute deadlines; never re-anchor on the
             // completion time, so a slow configuration builds backlog
             // instead of silently shedding load.
             next_deadline += pace_nanos;
-            const std::uint64_t now = nowNanos();
-            if (now < next_deadline) {
+            if (op_end < next_deadline) {
                 std::this_thread::sleep_for(
-                    std::chrono::nanoseconds(next_deadline - now));
+                    std::chrono::nanoseconds(next_deadline - op_end));
+            } else if (op_end - next_deadline > local_backlog[phase]) {
+                local_backlog[phase] = op_end - next_deadline;
             }
         }
     }
     store_->closeSession(session);
+    merge_out();
 }
 
 } // namespace proteus::kvstore

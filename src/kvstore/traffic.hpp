@@ -6,20 +6,30 @@
  * Worker threads draw keys (uniform or Zipfian via common/rng) and
  * operation types from the active TrafficMix. Mixes model the YCSB
  * core workloads (read-heavy B, update-heavy A, scan-heavy E), plus a
- * write-heavy/hotspot mix that collapses locality — switching between
- * them mid-run (setPhase) is what drives each shard's CUSUM monitor
- * into re-tuning.
+ * write-heavy/hotspot mix that collapses locality and a mixed
+ * single-key/cross-shard mix that exercises the multi-key commit
+ * protocol — switching between them mid-run (setPhase) is what drives
+ * each shard's CUSUM monitor into re-tuning.
  *
  * The driver is open-loop-capable: with targetOpsPerSecPerThread set,
  * workers pace against absolute deadlines regardless of completion
  * latency; at 0 they run closed-loop at maximum speed.
+ *
+ * Latency. Every operation's service time is recorded into a
+ * per-worker log-linear histogram keyed by the active phase; workers
+ * merge into the driver on exit, so per-phase p50/p95/p99/max (and,
+ * open-loop, the worst backlog behind the pacing deadline) are
+ * reported by latency() after stop(). Numbers accumulate across
+ * start/stop cycles.
  */
 
 #ifndef PROTEUS_KVSTORE_TRAFFIC_HPP
 #define PROTEUS_KVSTORE_TRAFFIC_HPP
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -36,6 +46,7 @@ enum class MixKind : int
     kScanHeavy,     //!< YCSB-E: 95% scan(16) / 5% put
     kWriteHeavy,    //!< 10% get / 85% put / 5% del, Zipfian hot set
     kHotspot,       //!< YCSB-B keys squeezed onto a tiny hot range
+    kMixedCross,    //!< 90% single-key / 10% cross-shard writing multiOp
 };
 
 struct TrafficMix
@@ -62,6 +73,66 @@ struct TrafficOptions
     double targetOpsPerSecPerThread = 0;
     /** Phase table selected by setPhase(); must not be empty. */
     std::vector<TrafficMix> phases;
+};
+
+/**
+ * Log-linear latency histogram: kSub linear sub-buckets per
+ * power-of-two nanosecond octave (relative error <= 1/kSub), plus an
+ * exact max. Single-writer; merge() combines worker-local copies.
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr int kSubBits = 2;
+    static constexpr int kSub = 1 << kSubBits; // 4
+    /** Highest reachable bucket: msb 63 -> octave 62, sub kSub-1. */
+    static constexpr int kBuckets = 63 * kSub;
+
+    void
+    record(std::uint64_t nanos)
+    {
+        ++counts_[bucketOf(nanos)];
+        ++count_;
+        if (nanos > max_)
+            max_ = nanos;
+    }
+
+    void
+    merge(const LatencyHistogram &other)
+    {
+        for (int b = 0; b < kBuckets; ++b)
+            counts_[b] += other.counts_[b];
+        count_ += other.count_;
+        if (other.max_ > max_)
+            max_ = other.max_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t maxNanos() const { return max_; }
+
+    /** Upper edge of the bucket holding the p-quantile (p in [0,1]). */
+    std::uint64_t percentileNanos(double p) const;
+
+  private:
+    static int bucketOf(std::uint64_t nanos);
+    static std::uint64_t bucketUpperNanos(int bucket);
+
+    std::array<std::uint64_t, kBuckets> counts_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/** Per-phase latency summary (nanoseconds). */
+struct PhaseLatency
+{
+    std::uint64_t count = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p95 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t max = 0;
+    /** Worst observed lag behind the open-loop pacing deadline
+     *  (0 when closed-loop or never behind). */
+    std::uint64_t maxBacklogNanos = 0;
 };
 
 class TrafficDriver
@@ -96,6 +167,24 @@ class TrafficDriver
         return opsCompleted_.load(std::memory_order_relaxed);
     }
 
+    /** Cross-shard multiOps issued (each counted once). */
+    std::uint64_t multiOpsCompleted() const
+    {
+        return multiOpsCompleted_.load(std::memory_order_relaxed);
+    }
+
+    /** Ops served by the single-key path. */
+    std::uint64_t singleKeyOpsCompleted() const
+    {
+        return opsCompleted() - multiOpsCompleted();
+    }
+
+    /**
+     * Latency summary for one phase, merged over all workers that
+     * have exited — call after stop() for complete numbers.
+     */
+    PhaseLatency latency(std::size_t phase) const;
+
   private:
     void workerLoop(int worker_idx);
     void workerBody(int worker_idx);
@@ -105,9 +194,15 @@ class TrafficDriver
     std::atomic<std::size_t> phase_{0};
     std::atomic<bool> stop_{false};
     std::atomic<std::uint64_t> opsCompleted_{0};
+    std::atomic<std::uint64_t> multiOpsCompleted_{0};
     std::atomic<int> activeWorkers_{0};
     std::vector<std::thread> workers_;
     bool running_ = false;
+
+    /** Per-phase merged results, filled by exiting workers. */
+    mutable std::mutex latencyMutex_;
+    std::vector<LatencyHistogram> phaseLatency_;
+    std::vector<std::uint64_t> phaseMaxBacklog_;
 };
 
 } // namespace proteus::kvstore

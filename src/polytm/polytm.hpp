@@ -114,6 +114,15 @@ class Tx
         backend_->txWrite(*desc_, addr, value);
     }
 
+    /**
+     * Whether the current attempt can still abort (retry() is legal).
+     * False in irrevocable modes — the global-lock backend and the
+     * emulated HTM's fallback-lock holder — where callers that would
+     * wait-by-retrying must instead wait in place (the KV store's
+     * intent resolution does exactly that).
+     */
+    bool revocable() const { return backend_->revocable(*desc_); }
+
     /** Explicit user abort + retry (illegal in irrevocable modes). */
     [[noreturn]] void
     retry()

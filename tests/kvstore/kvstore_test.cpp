@@ -1,7 +1,9 @@
 /**
  * KvStore tests: deterministic shard routing, batch semantics, and —
- * the critical one — atomicity of cross-shard multi-key transactions
- * observed by 8+ concurrent threads.
+ * the critical ones — atomicity of cross-shard multi-key transactions
+ * observed by 8+ concurrent threads, and all-or-nothing table-full
+ * aborts. Concurrency/atomicity tests run under both commit protocols
+ * (legacy exclusive latches and the 2PC-over-TM intent protocol).
  */
 
 #include <gtest/gtest.h>
@@ -16,11 +18,13 @@ namespace proteus::kvstore {
 namespace {
 
 KvStoreOptions
-smallStore(int shards, unsigned log2_slots = 10)
+smallStore(int shards, unsigned log2_slots = 10,
+           CommitMode mode = CommitMode::kTwoPhase)
 {
     KvStoreOptions options;
     options.numShards = shards;
     options.log2SlotsPerShard = log2_slots;
+    options.commitMode = mode;
     // Parallelism degree high enough that every test session stays
     // enabled; degree-shrinking behaviour is covered by polytm tests.
     options.initial = {tm::BackendKind::kTl2, 16, {}};
@@ -93,9 +97,37 @@ TEST(KvStoreTest, BatchAppliesAndReportsPerOpResults)
     store.closeSession(session);
 }
 
-TEST(KvStoreTest, MultiOpReadsAndWritesAcrossShards)
+TEST(KvStoreTest, OpenSessionFailureLeaksNoRegistrations)
 {
-    KvStore store(smallStore(4));
+    KvStore store(smallStore(2, 8));
+
+    // Exhaust shard 1's thread slots only, so openSession registers
+    // with shard 0 and then fails on shard 1.
+    std::vector<polytm::ThreadToken> extra;
+    while (store.shard(1).poly().registeredThreads() < tm::kMaxThreads)
+        extra.push_back(store.shard(1).registerWorker());
+
+    // Every failed openSession must give back its shard-0 slot; if it
+    // leaked, 70 failures would exhaust shard 0 (64 slots) too.
+    for (int i = 0; i < 70; ++i)
+        EXPECT_THROW(store.openSession(), std::runtime_error);
+
+    for (auto &token : extra)
+        store.shard(1).deregisterWorker(token);
+    auto session = store.openSession();
+    EXPECT_TRUE(store.put(session, 1, 2));
+    store.closeSession(session);
+}
+
+/** Commit-protocol-parameterized suite: everything below must hold
+ *  under both the latch and the 2PC commit. */
+class KvStoreCommitModeTest : public ::testing::TestWithParam<CommitMode>
+{
+};
+
+TEST_P(KvStoreCommitModeTest, MultiOpReadsAndWritesAcrossShards)
+{
+    KvStore store(smallStore(4, 10, GetParam()));
     auto session = store.openSession();
 
     std::vector<KvOp> ops;
@@ -114,7 +146,181 @@ TEST(KvStoreTest, MultiOpReadsAndWritesAcrossShards)
     store.closeSession(session);
 }
 
-TEST(KvStoreTest, MultiShardTransfersStayAtomicUnder8Threads)
+TEST_P(KvStoreCommitModeTest, MultiOpSeesItsOwnWrites)
+{
+    KvStore store(smallStore(4, 10, GetParam()));
+    auto session = store.openSession();
+    ASSERT_TRUE(store.put(session, 5, 50));
+
+    // put(5, 77); get(5); del(7-absent); put(9, 90); get(9) — the
+    // reads must observe the composite's own uncommitted writes.
+    std::vector<KvOp> ops;
+    ops.push_back({KvOp::Kind::kPut, 5, 77, false});
+    ops.push_back({KvOp::Kind::kGet, 5, 0, false});
+    ops.push_back({KvOp::Kind::kDel, 7, 0, false});
+    ops.push_back({KvOp::Kind::kPut, 9, 90, false});
+    ops.push_back({KvOp::Kind::kGet, 9, 0, false});
+    EXPECT_TRUE(store.multiOp(session, ops));
+    EXPECT_TRUE(ops[1].ok);
+    EXPECT_EQ(ops[1].value, 77u);
+    EXPECT_FALSE(ops[2].ok);
+    EXPECT_TRUE(ops[4].ok);
+    EXPECT_EQ(ops[4].value, 90u);
+
+    std::uint64_t value = 0;
+    ASSERT_TRUE(store.get(session, 5, &value));
+    EXPECT_EQ(value, 77u);
+    ASSERT_TRUE(store.get(session, 9, &value));
+    EXPECT_EQ(value, 90u);
+    store.closeSession(session);
+}
+
+/**
+ * All-or-nothing table-full scenario, shared by the revocable (TL2)
+ * and irrevocable (global lock) variants. 2 shards of 16 slots each:
+ * fill shard 1 to capacity, keep one known key on shard 0, then run
+ * multiOps whose inserts cannot fit — every already-applied part must
+ * roll back (the seed's documented wart), both across shards and on
+ * the single-shard fast path.
+ */
+void
+runTableFullScenario(KvStoreOptions options)
+{
+    KvStore store(options);
+    auto session = store.openSession();
+
+    std::uint64_t key = 1000;
+    const auto next_on_shard = [&](std::size_t shard) {
+        while (store.shardOf(key) != shard)
+            ++key;
+        return key++;
+    };
+
+    const std::uint64_t witness = next_on_shard(0);
+    ASSERT_TRUE(store.put(session, witness, 111));
+    std::vector<std::uint64_t> fillers;
+    for (std::size_t i = 0; i < store.shard(1).capacity(); ++i) {
+        fillers.push_back(next_on_shard(1));
+        ASSERT_TRUE(store.put(session, fillers.back(), i))
+            << "filler " << i << " should fit";
+    }
+    const std::uint64_t overflow = next_on_shard(1);
+
+    // Cross-shard: shard 0's overwrite applies first, shard 1 fails.
+    std::vector<KvOp> ops;
+    ops.push_back({KvOp::Kind::kPut, witness, 999, false});
+    ops.push_back({KvOp::Kind::kPut, overflow, 42, false});
+    EXPECT_FALSE(store.multiOp(session, ops)) << "insert cannot fit";
+
+    std::uint64_t value = 0;
+    ASSERT_TRUE(store.get(session, witness, &value));
+    EXPECT_EQ(value, 111u) << "shard-0 overwrite must be rolled back";
+    EXPECT_FALSE(store.get(session, overflow));
+
+    // Single-shard fast path: overwrite + impossible insert on the
+    // full shard itself.
+    const std::uint64_t overflow2 = next_on_shard(1);
+    ops.clear();
+    ops.push_back({KvOp::Kind::kPut, fillers[0], 888, false});
+    ops.push_back({KvOp::Kind::kPut, overflow2, 43, false});
+    EXPECT_FALSE(store.multiOp(session, ops)) << "insert cannot fit";
+    EXPECT_FALSE(store.get(session, overflow2));
+
+    for (std::size_t i = 0; i < fillers.size(); ++i) {
+        ASSERT_TRUE(store.get(session, fillers[i], &value));
+        EXPECT_EQ(value, i) << "filler " << i << " must be untouched";
+    }
+
+    // The store must not be wedged: shard 0 still accepts writes, and
+    // overwrites of existing shard-1 keys still work.
+    EXPECT_TRUE(store.put(session, witness, 123));
+    EXPECT_TRUE(store.put(session, fillers[0], 321));
+    store.closeSession(session);
+}
+
+TEST_P(KvStoreCommitModeTest, TableFullMultiOpAbortsAllOrNothing)
+{
+    runTableFullScenario(smallStore(2, 4, GetParam()));
+}
+
+TEST_P(KvStoreCommitModeTest,
+       TableFullAbortIsCleanOnIrrevocableBackend)
+{
+    // The global-lock backend writes in place and cannot roll back;
+    // the abort paths must revert by hand instead of relying on the
+    // TM's rollback.
+    KvStoreOptions options = smallStore(2, 4, GetParam());
+    options.initial = {tm::BackendKind::kGlobalLock, 16, {}};
+    runTableFullScenario(options);
+}
+
+TEST_P(KvStoreCommitModeTest, TransfersStayAtomicOnIrrevocableBackend)
+{
+    // Smoke the pending-intent wait/fold paths where tx.retry() is
+    // illegal (global lock): concurrent transfers + snapshots must
+    // still conserve the total.
+    constexpr std::uint64_t kKeys = 32;
+    constexpr std::uint64_t kInitial = 100;
+    constexpr int kWriters = 3;
+    constexpr int kTransfers = 200;
+
+    KvStoreOptions options = smallStore(4, 10, GetParam());
+    options.initial = {tm::BackendKind::kGlobalLock, 16, {}};
+    KvStore store(options);
+    {
+        auto session = store.openSession();
+        for (std::uint64_t key = 0; key < kKeys; ++key)
+            ASSERT_TRUE(store.put(session, key, kInitial));
+        store.closeSession(session);
+    }
+
+    std::atomic<int> writers_done{0};
+    std::atomic<bool> violation{false};
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWriters; ++w) {
+        threads.emplace_back([&, w] {
+            auto session = store.openSession();
+            Rng rng(5100 + static_cast<unsigned>(w));
+            std::vector<KvOp> ops;
+            for (int i = 0; i < kTransfers; ++i) {
+                const std::uint64_t from = rng.nextBounded(kKeys);
+                std::uint64_t to = rng.nextBounded(kKeys);
+                if (to == from)
+                    to = (to + 1) % kKeys;
+                ops.clear();
+                ops.push_back({KvOp::Kind::kAdd, from,
+                               static_cast<std::uint64_t>(-1), false});
+                ops.push_back({KvOp::Kind::kAdd, to, 1, false});
+                store.multiOp(session, ops);
+            }
+            store.closeSession(session);
+            writers_done.fetch_add(1);
+        });
+    }
+    threads.emplace_back([&] {
+        auto session = store.openSession();
+        std::vector<KvOp> snapshot;
+        while (writers_done.load() < kWriters && !violation.load()) {
+            snapshot.clear();
+            for (std::uint64_t key = 0; key < kKeys; ++key)
+                snapshot.push_back({KvOp::Kind::kGet, key, 0, false});
+            store.multiOp(session, snapshot);
+            std::uint64_t total = 0;
+            for (const KvOp &op : snapshot)
+                total += op.ok ? op.value : 0;
+            if (total != kKeys * kInitial)
+                violation.store(true);
+        }
+        store.closeSession(session);
+    });
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_FALSE(violation.load())
+        << "a reader observed a torn transfer on the global-lock "
+           "backend";
+}
+
+TEST_P(KvStoreCommitModeTest, MultiShardTransfersStayAtomicUnder8Threads)
 {
     // Bank invariant: kKeys accounts start at kInitial each; writers
     // move random amounts between random accounts with cross-shard
@@ -126,7 +332,7 @@ TEST(KvStoreTest, MultiShardTransfersStayAtomicUnder8Threads)
     constexpr int kReaders = 2;
     constexpr int kTransfersPerWriter = 400;
 
-    KvStore store(smallStore(4));
+    KvStore store(smallStore(4, 10, GetParam()));
     {
         auto session = store.openSession();
         for (std::uint64_t key = 0; key < kKeys; ++key)
@@ -202,11 +408,11 @@ TEST(KvStoreTest, MultiShardTransfersStayAtomicUnder8Threads)
     store.closeSession(session);
 }
 
-TEST(KvStoreTest, SingleKeyOpsRaceMultiOpsWithoutCorruption)
+TEST_P(KvStoreCommitModeTest, SingleKeyOpsRaceMultiOpsWithoutCorruption)
 {
-    // Mixed traffic: single-key put/get (shared latches) racing
-    // cross-shard multiOps (exclusive latches) on overlapping keys.
-    KvStore store(smallStore(2));
+    // Mixed traffic: single-key put/get racing cross-shard multiOps
+    // on overlapping keys, under the selected commit protocol.
+    KvStore store(smallStore(2, 10, GetParam()));
     std::atomic<bool> stop{false};
     std::vector<std::thread> threads;
 
@@ -246,27 +452,12 @@ TEST(KvStoreTest, SingleKeyOpsRaceMultiOpsWithoutCorruption)
     store.closeSession(session);
 }
 
-TEST(KvStoreTest, OpenSessionFailureLeaksNoRegistrations)
-{
-    KvStore store(smallStore(2, 8));
-
-    // Exhaust shard 1's thread slots only, so openSession registers
-    // with shard 0 and then fails on shard 1.
-    std::vector<polytm::ThreadToken> extra;
-    while (store.shard(1).poly().registeredThreads() < tm::kMaxThreads)
-        extra.push_back(store.shard(1).registerWorker());
-
-    // Every failed openSession must give back its shard-0 slot; if it
-    // leaked, 70 failures would exhaust shard 0 (64 slots) too.
-    for (int i = 0; i < 70; ++i)
-        EXPECT_THROW(store.openSession(), std::runtime_error);
-
-    for (auto &token : extra)
-        store.shard(1).deregisterWorker(token);
-    auto session = store.openSession();
-    EXPECT_TRUE(store.put(session, 1, 2));
-    store.closeSession(session);
-}
+INSTANTIATE_TEST_SUITE_P(
+    CommitModes, KvStoreCommitModeTest,
+    ::testing::Values(CommitMode::kLatch, CommitMode::kTwoPhase),
+    [](const ::testing::TestParamInfo<CommitMode> &info) {
+        return info.param == CommitMode::kLatch ? "Latch" : "TwoPhase";
+    });
 
 } // namespace
 } // namespace proteus::kvstore
