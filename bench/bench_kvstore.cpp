@@ -21,9 +21,17 @@
  * percentiles) are also written to BENCH_kvstore.json so CI can track
  * the trajectory.
  *
- * Usage: bench_kvstore [seconds-per-point] [--mixed-only]
+ * Series 4 (cache preset, --cache): the kCache mix — Zipf-skewed gets,
+ * ~128 B blob values, 50 ms TTL churn — on a small store that starts
+ * at 2^10 slots per shard and must grow online under the load. The
+ * headline numbers are throughput, the get hit rate (TTL eviction
+ * makes it settle well below 1) and how many online resizes the run
+ * triggered; all of it lands in BENCH_kvstore.json too.
+ *
+ * Usage: bench_kvstore [seconds-per-point] [--mixed-only] [--cache]
  *   seconds-per-point   default 0.4
  *   --mixed-only        skip series 1/2 (CI smoke mode)
+ *   --cache             add the cache-preset series
  */
 
 #include <cstdio>
@@ -126,6 +134,53 @@ runMixed(CommitMode mode, double seconds)
     return result;
 }
 
+struct CacheResult
+{
+    double opsPerSec = 0;
+    double hitRate = 0;
+    std::uint64_t grows = 0;
+    PhaseLatency latency;
+};
+
+CacheResult
+runCache(double seconds)
+{
+    KvStoreOptions store_options;
+    store_options.numShards = 4;
+    // Deliberately small initial tables: the preset's working set
+    // forces several online grows during the measured window.
+    store_options.log2SlotsPerShard = 10;
+    store_options.initial = {tm::BackendKind::kTl2, 16, {}};
+    KvStore store(store_options);
+
+    const TrafficMix mix = TrafficMix::preset(MixKind::kCache);
+    TrafficOptions traffic_options;
+    traffic_options.threads = kThreads;
+    traffic_options.phases = {mix, mix};
+    TrafficDriver driver(store, traffic_options);
+    driver.preload(mix.keySpace / 4);
+
+    driver.start();
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(seconds * 0.25));
+    driver.setPhase(1);
+    const std::uint64_t ops_before = driver.opsCompleted();
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    const std::uint64_t ops_after = driver.opsCompleted();
+    driver.setPhase(0);
+    driver.stop();
+
+    CacheResult result;
+    result.opsPerSec =
+        static_cast<double>(ops_after - ops_before) / seconds;
+    result.hitRate = driver.hitRate();
+    for (int s = 0; s < store.numShards(); ++s)
+        result.grows +=
+            store.shard(static_cast<std::size_t>(s)).growCount();
+    result.latency = driver.latency(1);
+    return result;
+}
+
 void
 printMixed(const char *name, const MixedResult &r)
 {
@@ -164,7 +219,7 @@ writeJsonObject(std::FILE *f, const char *name, const MixedResult &r)
  *  a silently missing artifact defeats the trajectory tracking. */
 bool
 writeJson(const char *path, double seconds, const MixedResult &latch,
-          const MixedResult &two_phase)
+          const MixedResult &two_phase, const CacheResult *cache)
 {
     std::FILE *f = std::fopen(path, "w");
     if (!f) {
@@ -187,8 +242,29 @@ writeJson(const char *path, double seconds, const MixedResult &latch,
     writeJsonObject(f, "latch", latch);
     std::fprintf(f, ",\n");
     writeJsonObject(f, "two_phase", two_phase);
-    std::fprintf(f, ",\n  \"single_key_speedup_2pc_over_latch\": %.3f\n}\n",
+    std::fprintf(f, ",\n  \"single_key_speedup_2pc_over_latch\": %.3f",
                  speedup);
+    if (cache) {
+        std::fprintf(
+            f,
+            ",\n"
+            "  \"cache\": {\n"
+            "    \"ops_per_sec\": %.0f,\n"
+            "    \"hit_rate\": %.4f,\n"
+            "    \"online_grows\": %llu,\n"
+            "    \"p50_ns\": %llu,\n"
+            "    \"p95_ns\": %llu,\n"
+            "    \"p99_ns\": %llu,\n"
+            "    \"max_ns\": %llu\n"
+            "  }",
+            cache->opsPerSec, cache->hitRate,
+            static_cast<unsigned long long>(cache->grows),
+            static_cast<unsigned long long>(cache->latency.p50),
+            static_cast<unsigned long long>(cache->latency.p95),
+            static_cast<unsigned long long>(cache->latency.p99),
+            static_cast<unsigned long long>(cache->latency.max));
+    }
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::printf("\nwrote %s\n", path);
     return true;
@@ -201,9 +277,12 @@ main(int argc, char **argv)
 {
     double seconds = 0.4;
     bool mixed_only = false;
+    bool with_cache = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--mixed-only") == 0) {
             mixed_only = true;
+        } else if (std::strcmp(argv[i], "--cache") == 0) {
+            with_cache = true;
         } else {
             const double parsed = std::atof(argv[i]);
             if (parsed > 0) {
@@ -212,7 +291,7 @@ main(int argc, char **argv)
                 std::fprintf(stderr,
                              "bench_kvstore: invalid argument '%s' "
                              "(usage: bench_kvstore [seconds-per-point]"
-                             " [--mixed-only])\n",
+                             " [--mixed-only] [--cache])\n",
                              argv[i]);
                 return 2;
             }
@@ -308,7 +387,22 @@ main(int argc, char **argv)
                     two_phase.singleOpsPerSec / latch.singleOpsPerSec);
     }
 
-    return writeJson("BENCH_kvstore.json", seconds, latch, two_phase)
+    CacheResult cache;
+    if (with_cache) {
+        std::printf("\ncache preset (wide values + 50ms TTL, shards "
+                    "start small and grow online):\n");
+        cache = runCache(seconds);
+        std::printf("  %14s %9s %7s %8s %8s\n", "ops/s", "hit-rate",
+                    "grows", "p50ns", "p99ns");
+        std::printf("  %14.0f %9.3f %7llu %8llu %8llu\n",
+                    cache.opsPerSec, cache.hitRate,
+                    static_cast<unsigned long long>(cache.grows),
+                    static_cast<unsigned long long>(cache.latency.p50),
+                    static_cast<unsigned long long>(cache.latency.p99));
+    }
+
+    return writeJson("BENCH_kvstore.json", seconds, latch, two_phase,
+                     with_cache ? &cache : nullptr)
                ? 0
                : 1;
 }

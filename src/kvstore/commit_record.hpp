@@ -44,6 +44,8 @@
 
 namespace proteus::kvstore {
 
+struct ShardTable;
+
 /**
  * Shared fate word of one cross-shard commit: (epoch << 2) | state.
  *
@@ -70,17 +72,23 @@ struct CommitRecord
  * One prepared write to one slot. Published by storing this object's
  * address into the slot's intent word inside the prepare transaction.
  *
- * `record`, `newState` and `newValue` are read by concurrent
- * resolvers (possibly after the entry was recycled — see file
- * comment); `slot` is touched only by the owning thread.
+ * `record`, `newState`, `newValue` and `newExpiry` are read by
+ * concurrent resolvers (possibly after the entry was recycled — see
+ * file comment); `table` and `slot` are touched only by the owning
+ * thread (finalize/abort must address the table the intent was
+ * installed in, which may have become the *old* table if a resize
+ * started mid-commit).
  */
 struct WriteIntent
 {
     std::atomic<CommitRecord *> record{nullptr};
-    /** Post-image slot state: Shard::kFull or Shard::kTombstone. */
+    /** Post-image slot state: kFull, kFullRef or kTombstone. */
     std::atomic<std::uint64_t> newState{0};
     std::atomic<std::uint64_t> newValue{0};
+    /** Post-image TTL deadline (0 = none). */
+    std::atomic<std::uint64_t> newExpiry{0};
 
+    ShardTable *table = nullptr;
     std::uint64_t slot = 0;
 };
 

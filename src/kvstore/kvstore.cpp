@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/timing.hpp"
+
 namespace proteus::kvstore {
 
 namespace {
@@ -24,7 +26,8 @@ routeMix(std::uint64_t x)
  * Thrown out of a transaction body when a put/add finds no slot. A
  * foreign (non-TxAbort) exception, so PolyTm::run rolls the open
  * transaction back — nothing of the failing shard commits — and
- * rethrows for the multiOp driver to unwind the other shards.
+ * rethrows for the multiOp driver to unwind the other shards and
+ * grow-and-retry (or fail for good when growth is capped).
  */
 struct TableFullError
 {
@@ -38,19 +41,14 @@ restoreUndoRangeTx(Shard &shard, polytm::Tx &tx,
                    const std::vector<KvStore::Session::Undo> &undo,
                    std::size_t begin, std::size_t end)
 {
-    for (std::size_t k = end; k-- > begin;) {
-        const KvStore::Session::Undo &pre = undo[k];
-        if (pre.existed)
-            shard.putTx(tx, pre.key, pre.oldValue);
-        else
-            shard.delTx(tx, pre.key);
-    }
+    for (std::size_t k = end; k-- > begin;)
+        shard.restoreTx(tx, undo[k].key, undo[k].pre);
 }
 
 } // namespace
 
 KvStore::KvStore(KvStoreOptions options)
-    : commitMode_(options.commitMode)
+    : options_(options), commitMode_(options.commitMode)
 {
     if (options.numShards <= 0)
         throw std::invalid_argument("KvStore: numShards must be >= 1");
@@ -60,6 +58,8 @@ KvStore::KvStore(KvStoreOptions options)
     for (int s = 0; s < options.numShards; ++s) {
         ShardOptions shard_options;
         shard_options.log2Slots = options.log2SlotsPerShard;
+        shard_options.maxLog2Slots = options.maxLog2SlotsPerShard;
+        shard_options.growLoadPercent = options.growLoadPercent;
         shard_options.initial = options.initial;
         shards_.push_back(std::make_unique<Shard>(shard_options));
         latches_.push_back(std::make_unique<std::shared_mutex>());
@@ -157,24 +157,92 @@ KvStore::get(Session &session, std::uint64_t key, std::uint64_t *value)
 }
 
 bool
-KvStore::put(Session &session, std::uint64_t key, std::uint64_t value)
+KvStore::getBytes(Session &session, std::uint64_t key, std::string *out)
 {
     const std::size_t s = shardOf(key);
     bool ok = false;
     runOnShard(session, s, [&](polytm::Tx &tx) {
-        ok = shards_[s]->putTx(tx, key, value);
+        ok = shards_[s]->snapshotGetBytesTx(tx, key, out, nullptr);
     });
     return ok;
+}
+
+bool
+KvStore::put(Session &session, std::uint64_t key, std::uint64_t value,
+             std::uint64_t ttl_nanos)
+{
+    const std::size_t s = shardOf(key);
+    Shard &shard = *shards_[s];
+    const std::uint64_t ttl =
+        ttl_nanos != 0 ? ttl_nanos : options_.defaultTtlNanos;
+    const std::uint64_t expiry = ttl == 0 ? 0 : nowNanos() + ttl;
+    if (expiry != 0)
+        shard.noteTtlUsed();
+    std::vector<std::uint64_t> reclaim;
+    for (;;) {
+        const std::size_t cap = shard.capacity();
+        bool ok = false;
+        SlotImage pre;
+        runOnShard(session, s, [&](polytm::Tx &tx) {
+            reclaim.clear(); // retried attempts restart
+            ok = shard.putTx(tx, key, value, expiry, &pre, &reclaim);
+        });
+        if (ok) {
+            shard.finishWrite(session.tokens_[s], pre, reclaim);
+            return true;
+        }
+        if (!shard.tryGrow(session.tokens_[s], cap))
+            return false;
+    }
+}
+
+bool
+KvStore::putBytes(Session &session, std::uint64_t key, const void *data,
+                  std::size_t len, std::uint64_t ttl_nanos)
+{
+    const std::size_t s = shardOf(key);
+    Shard &shard = *shards_[s];
+    const std::uint64_t ttl =
+        ttl_nanos != 0 ? ttl_nanos : options_.defaultTtlNanos;
+    const std::uint64_t expiry = ttl == 0 ? 0 : nowNanos() + ttl;
+    if (expiry != 0)
+        shard.noteTtlUsed();
+    const ValueRef ref = len <= kValueRefInlineMax
+                             ? makeInlineRef(data, len)
+                             : shard.arena().allocBlob(data, len);
+    std::vector<std::uint64_t> reclaim;
+    for (;;) {
+        const std::size_t cap = shard.capacity();
+        bool ok = false;
+        SlotImage pre;
+        runOnShard(session, s, [&](polytm::Tx &tx) {
+            reclaim.clear();
+            ok = shard.putRefTx(tx, key, ref, expiry, &pre, &reclaim);
+        });
+        if (ok) {
+            shard.finishWrite(session.tokens_[s], pre, reclaim);
+            return true;
+        }
+        if (!shard.tryGrow(session.tokens_[s], cap)) {
+            shard.arena().freeBlob(ref); // never published
+            return false;
+        }
+    }
 }
 
 bool
 KvStore::del(Session &session, std::uint64_t key)
 {
     const std::size_t s = shardOf(key);
+    Shard &shard = *shards_[s];
     bool ok = false;
+    std::vector<std::uint64_t> reclaim;
     runOnShard(session, s, [&](polytm::Tx &tx) {
-        ok = shards_[s]->delTx(tx, key);
+        reclaim.clear();
+        ok = shard.delTx(tx, key, nullptr, &reclaim);
     });
+    for (const std::uint64_t ref : reclaim)
+        shard.arena().freeBlob(ref);
     return ok;
 }
 
@@ -185,34 +253,49 @@ KvStore::scan(Session &session, std::uint64_t start_key,
 {
     const std::size_t s = shardOf(start_key);
     std::size_t count = 0;
-    // Retry while the scan resolved a PENDING intent (see
-    // Shard::scan): its commit could flip between two of this scan's
-    // slot resolutions and tear a same-shard composite.
-    for (;;) {
-        bool unstable = false;
-        runOnShard(session, s, [&](polytm::Tx &tx) {
-            count =
-                shards_[s]->scanTx(tx, start_key, limit, out, &unstable);
-        });
-        if (!unstable)
-            return count;
-        std::this_thread::yield();
-    }
+    runReadStable(session, s, [&](polytm::Tx &tx, bool *unstable) {
+        count = shards_[s]->scanTx(tx, start_key, limit, out, unstable);
+    });
+    return count;
+}
+
+std::size_t
+KvStore::scanEntries(Session &session, std::uint64_t start_key,
+                     std::size_t limit,
+                     std::vector<Shard::ScanEntry> *out)
+{
+    const std::size_t s = shardOf(start_key);
+    std::size_t count = 0;
+    runReadStable(session, s, [&](polytm::Tx &tx, bool *unstable) {
+        count = shards_[s]->scanEntriesTx(tx, start_key, limit, out,
+                                          unstable);
+    });
+    return count;
 }
 
 namespace {
 
-using TaggedOp = std::pair<std::uint32_t, KvOp *>;
+using TaggedOp = KvStore::Session::TaggedOp;
 
-/** Apply one shard's slice of a composite op inside a transaction
- *  (batch path: per-shard semantics, fitting prefix commits). */
+/**
+ * Apply one shard's slice of a composite op inside a transaction
+ * (batch path: per-shard semantics, fitting prefix commits).
+ * `consumed_empty` counts inserts that claimed a previously kEmpty
+ * slot (the grow heuristic); `reclaim` collects displaced blob
+ * handles — both restart with the attempt.
+ */
 void
 applyOpsInTx(Shard &shard, polytm::Tx &tx, const TaggedOp *begin,
-             const TaggedOp *end, bool &space_ok)
+             const TaggedOp *end, bool &space_ok,
+             std::size_t &consumed_empty,
+             std::vector<std::uint64_t> &reclaim)
 {
     space_ok = true; // retried attempts restart the accumulation
+    consumed_empty = 0;
+    reclaim.clear();
     for (const TaggedOp *it = begin; it != end; ++it) {
-        KvOp *op = it->second;
+        KvOp *op = it->op;
+        SlotImage pre;
         switch (op->kind) {
           case KvOp::Kind::kGet:
             // getForUpdateTx, not getTx: batch results are documented
@@ -222,20 +305,33 @@ applyOpsInTx(Shard &shard, polytm::Tx &tx, const TaggedOp *begin,
             // contradicted by a fold under a later write of the same
             // key (irrevocable backends never re-run the read).
             op->ok = shard.getForUpdateTx(tx, op->key, &op->value);
-            break;
+            continue;
+          case KvOp::Kind::kGetBytes:
+            op->ok = shard.getBytesForUpdateTx(tx, op->key, &op->bytes);
+            continue;
           case KvOp::Kind::kPut:
-            op->ok = shard.putTx(tx, op->key, op->value);
+            op->ok = shard.putTx(tx, op->key, op->value, it->expiry,
+                                 &pre, &reclaim);
+            space_ok &= op->ok;
+            break;
+          case KvOp::Kind::kPutBytes:
+            // op->value holds the ValueRef staged by the caller.
+            op->ok = shard.putRefTx(tx, op->key, op->value, it->expiry,
+                                    &pre, &reclaim);
             space_ok &= op->ok;
             break;
           case KvOp::Kind::kDel:
-            op->ok = shard.delTx(tx, op->key);
+            op->ok = shard.delTx(tx, op->key, &pre, &reclaim);
             break;
           case KvOp::Kind::kAdd:
             op->ok = shard.addTx(tx, op->key,
-                                 static_cast<std::int64_t>(op->value));
+                                 static_cast<std::int64_t>(op->value),
+                                 &pre, &reclaim);
             space_ok &= op->ok;
             break;
         }
+        if (op->ok && pre.state == kEmpty)
+            ++consumed_empty;
     }
 }
 
@@ -244,25 +340,26 @@ applyOpsInTx(Shard &shard, polytm::Tx &tx, const TaggedOp *begin,
  * the single-shard fast path): like applyOpsInTx but records a
  * pre-image per write into the compensation log and raises
  * TableFullError instead of committing a shard-local prefix. On an
- * irrevocable backend (global lock, HTM fallback holder) the writes
- * already hit memory and rollback() cannot undo them, so the failing
- * attempt's effects are reverted from the log, in place, before the
- * throw.
+ * irrevocable backend (HTM fallback holder) the writes already hit
+ * memory and rollback() cannot undo them, so the failing attempt's
+ * effects are reverted from the log, in place, before the throw.
  */
 void
 applyOpsUndoTx(Shard &shard, polytm::Tx &tx, const TaggedOp *begin,
                const TaggedOp *end,
                std::vector<KvStore::Session::Undo> &undo,
-               std::size_t undo_mark)
+               std::size_t undo_mark,
+               std::vector<std::uint64_t> &reclaim)
 {
     undo.resize(undo_mark); // retried attempts restart the log
+    reclaim.clear();
     const auto fail_full = [&]() {
         if (!tx.revocable())
             restoreUndoRangeTx(shard, tx, undo, undo_mark, undo.size());
         throw TableFullError{};
     };
     for (const TaggedOp *it = begin; it != end; ++it) {
-        KvOp *op = it->second;
+        KvOp *op = it->op;
         if (op->kind == KvOp::Kind::kGet) {
             // Writing-composite reads resolve foreign intents like
             // writers (see Shard::prepareGetTx): a non-blocking
@@ -271,66 +368,96 @@ applyOpsUndoTx(Shard &shard, polytm::Tx &tx, const TaggedOp *begin,
             op->ok = shard.getForUpdateTx(tx, op->key, &op->value);
             continue;
         }
+        if (op->kind == KvOp::Kind::kGetBytes) {
+            op->ok = shard.getBytesForUpdateTx(tx, op->key, &op->bytes);
+            continue;
+        }
         // The write primitives report the displaced pre-image from
         // their own (intent-resolving) probe walk — taken after any
         // foreign intent is folded, so an abort-time restore never
         // erases a foreign commit's write. A failed put/add wrote
         // nothing, so nothing is logged for it.
-        KvStore::Session::Undo pre{op->key, 0, false};
+        KvStore::Session::Undo entry{op->key, SlotImage{}};
+        bool wrote = true;
         switch (op->kind) {
           case KvOp::Kind::kPut:
-            op->ok = shard.putTx(tx, op->key, op->value, &pre.existed,
-                                 &pre.oldValue);
+            op->ok = shard.putTx(tx, op->key, op->value, it->expiry,
+                                 &entry.pre, &reclaim);
+            wrote = op->ok;
+            break;
+          case KvOp::Kind::kPutBytes:
+            op->ok = shard.putRefTx(tx, op->key, op->value, it->expiry,
+                                    &entry.pre, &reclaim);
+            wrote = op->ok;
             break;
           case KvOp::Kind::kDel:
-            op->ok = shard.delTx(tx, op->key, &pre.oldValue);
-            pre.existed = op->ok;
+            op->ok = shard.delTx(tx, op->key, &entry.pre, &reclaim);
+            // Even a miss may have reclaimed an expired slot.
+            wrote = entry.pre.state != kEmpty;
             break;
           case KvOp::Kind::kAdd:
             op->ok = shard.addTx(tx, op->key,
                                  static_cast<std::int64_t>(op->value),
-                                 &pre.existed, &pre.oldValue);
+                                 &entry.pre, &reclaim);
+            wrote = op->ok;
             break;
           default:
             break;
         }
         if ((op->kind == KvOp::Kind::kPut ||
+             op->kind == KvOp::Kind::kPutBytes ||
              op->kind == KvOp::Kind::kAdd) &&
             !op->ok)
             fail_full();
-        undo.push_back(pre);
+        if (wrote)
+            undo.push_back(entry);
     }
 }
 
 /**
  * Group `ops` by home shard into the session's reusable scratch:
  * each shard index is computed exactly once, a stable sort on the
- * cached index preserves program order within one shard, and the
- * contiguous slices are recorded so the pin/prepare/finalize passes
- * walk a precomputed list. Steady state allocates nothing.
+ * cached index preserves program order within one shard, the absolute
+ * TTL deadline of every put is fixed once per multiOp (so retries
+ * agree on it), and the contiguous slices are recorded so the
+ * pin/prepare/finalize passes walk a precomputed list. Steady state
+ * allocates nothing.
  */
 void
-groupByShard(const KvStore &store, std::vector<KvOp> &ops,
-             std::vector<TaggedOp> &scratch,
+groupByShard(const KvStore &store, std::uint64_t default_ttl,
+             std::vector<KvOp> &ops, std::vector<TaggedOp> &scratch,
              std::vector<KvStore::Session::ShardSlice> &slices)
 {
     scratch.clear();
     scratch.reserve(ops.size());
+    std::uint64_t now = 0;
     for (KvOp &op : ops) {
-        scratch.emplace_back(
-            static_cast<std::uint32_t>(store.shardOf(op.key)), &op);
+        std::uint64_t expiry = 0;
+        if (op.kind == KvOp::Kind::kPut ||
+            op.kind == KvOp::Kind::kPutBytes) {
+            const std::uint64_t ttl =
+                op.ttlNanos != 0 ? op.ttlNanos : default_ttl;
+            if (ttl != 0) {
+                if (now == 0)
+                    now = nowNanos();
+                expiry = now + ttl;
+            }
+        }
+        scratch.push_back(
+            {static_cast<std::uint32_t>(store.shardOf(op.key)), &op,
+             expiry});
     }
     std::stable_sort(scratch.begin(), scratch.end(),
                      [](const TaggedOp &a, const TaggedOp &b) {
-                         return a.first < b.first;
+                         return a.shard < b.shard;
                      });
     slices.clear();
     for (std::uint32_t i = 0; i < scratch.size();) {
         std::uint32_t end = i;
         while (end < scratch.size() &&
-               scratch[end].first == scratch[i].first)
+               scratch[end].shard == scratch[i].shard)
             ++end;
-        slices.push_back({scratch[i].first, i, end});
+        slices.push_back({scratch[i].shard, i, end});
         i = end;
     }
 }
@@ -368,32 +495,152 @@ class PinSpan
     const std::vector<KvStore::Session::ShardSlice> &slices_;
 };
 
+/**
+ * Hold the touched shards' latches (shared or exclusive) in ascending
+ * shard order for a scoped span. 2PC writers take them shared across
+ * prepare→commit; an escalated snapshot reader takes them exclusive
+ * (see the file comment in kvstore.hpp). All acquirers use ascending
+ * order, so the wait-for graph follows the shard order and cannot
+ * cycle.
+ */
+class LatchSpan
+{
+  public:
+    LatchSpan(std::vector<std::unique_ptr<std::shared_mutex>> &latches,
+              const std::vector<KvStore::Session::ShardSlice> &slices,
+              bool exclusive)
+        : latches_(latches), slices_(slices), exclusive_(exclusive)
+    {
+        for (const auto &slice : slices_) {
+            if (exclusive_)
+                latches_[slice.shard]->lock();
+            else
+                latches_[slice.shard]->lock_shared();
+            ++held_;
+        }
+    }
+
+    ~LatchSpan() { release(); }
+
+    void
+    release()
+    {
+        while (held_ > 0) {
+            --held_;
+            if (exclusive_)
+                latches_[slices_[held_].shard]->unlock();
+            else
+                latches_[slices_[held_].shard]->unlock_shared();
+        }
+    }
+
+  private:
+    std::vector<std::unique_ptr<std::shared_mutex>> &latches_;
+    const std::vector<KvStore::Session::ShardSlice> &slices_;
+    bool exclusive_;
+    std::size_t held_ = 0;
+};
+
 } // namespace
 
 bool
 KvStore::multiOp(Session &session, std::vector<KvOp> &ops)
 {
     bool writes = false;
-    for (const KvOp &op : ops)
-        writes |= op.kind != KvOp::Kind::kGet;
-    groupByShard(*this, ops, session.scratch_, session.slices_);
+    for (const KvOp &op : ops) {
+        writes |= op.kind != KvOp::Kind::kGet &&
+                  op.kind != KvOp::Kind::kGetBytes;
+    }
+    groupByShard(*this, options_.defaultTtlNanos, ops, session.scratch_,
+                 session.slices_);
     if (session.slices_.empty())
         return true;
-    // Single-shard fast path: one TM transaction is already atomic.
-    // Writing composites take it only under kTwoPhase — in latch mode
-    // the exclusive latch is what orders them against the shared-latch
-    // snapshot readers, so they keep the full protocol.
-    if (session.slices_.size() == 1 &&
-        (!writes || commitMode_ == CommitMode::kTwoPhase))
-        return multiOpSingleShard(session, writes);
-    if (commitMode_ == CommitMode::kTwoPhase) {
-        return writes ? multiOpTwoPhaseWrite(session)
-                      : multiOpTwoPhaseRead(session);
+
+    // Stage wide values up-front: blob allocation is a side effect a
+    // retried prepare must not repeat, so each kPutBytes op gets its
+    // ValueRef once (kept across grow-retries of the whole composite)
+    // and carries it in the op's scratch value field.
+    session.newBlobs_.clear();
+    if (writes) {
+        for (const TaggedOp &tagged : session.scratch_) {
+            KvOp *op = tagged.op;
+            // Any TTL-carrying write (numeric or bytes) must enable
+            // the home shard's sweep.
+            if (tagged.expiry != 0)
+                shards_[tagged.shard]->noteTtlUsed();
+            if (op->kind != KvOp::Kind::kPutBytes)
+                continue;
+            if (op->bytes.size() <= kValueRefInlineMax) {
+                op->value =
+                    makeInlineRef(op->bytes.data(), op->bytes.size());
+            } else {
+                op->value = shards_[tagged.shard]->arena().allocBlob(
+                    op->bytes.data(), op->bytes.size());
+                session.newBlobs_.emplace_back(tagged.shard, op->value);
+            }
+        }
     }
-    return multiOpLatched(session, writes);
+
+    OpStatus status = OpStatus::kDone;
+    for (;;) {
+        // Single-shard fast path: one TM transaction is already
+        // atomic. Writing composites take it only under kTwoPhase —
+        // in latch mode the exclusive latch is what orders them
+        // against the shared-latch snapshot readers, so they keep the
+        // full protocol.
+        if (session.slices_.size() == 1 &&
+            (!writes || commitMode_ == CommitMode::kTwoPhase)) {
+            status = multiOpSingleShard(session, writes);
+        } else if (commitMode_ == CommitMode::kTwoPhase) {
+            if (writes) {
+                status = multiOpTwoPhaseWrite(session);
+            } else {
+                multiOpTwoPhaseRead(session);
+                status = OpStatus::kDone;
+            }
+        } else {
+            status = multiOpLatched(session, writes);
+        }
+        if (status != OpStatus::kRetryAfterGrow)
+            break;
+    }
+
+    const bool ok = status == OpStatus::kDone;
+    if (writes) {
+        releaseStagedBlobs(session, ok);
+        if (ok) {
+            freeReclaimed(session);
+            for (const auto &slice : session.slices_) {
+                shards_[slice.shard]->maintainTick(
+                    session.tokens_[slice.shard]);
+            }
+        } else {
+            session.reclaim_.clear(); // pre-images stayed live
+        }
+    }
+    return ok;
 }
 
-bool
+void
+KvStore::releaseStagedBlobs(Session &session, bool committed)
+{
+    if (!committed) {
+        // Never published: the composite had no effect.
+        for (const auto &[shard, ref] : session.newBlobs_)
+            shards_[shard]->arena().freeBlob(ref);
+    }
+    session.newBlobs_.clear();
+}
+
+void
+KvStore::freeReclaimed(Session &session)
+{
+    for (const auto &[shard, ref] : session.reclaim_)
+        shards_[shard]->arena().freeBlob(ref);
+    session.reclaim_.clear();
+}
+
+KvStore::OpStatus
 KvStore::multiOpSingleShard(Session &session, bool writes)
 {
     const auto &grouped = session.scratch_;
@@ -401,49 +648,69 @@ KvStore::multiOpSingleShard(Session &session, bool writes)
     Shard &shard = *shards_[slice.shard];
     if (writes) {
         // One TM transaction is atomic to every observer on this
-        // shard — no latches, intents, or compensation across shards
-        // needed. Table-full throws out of the (rolled-back or
-        // self-reverted) transaction for all-or-nothing. The shard
-        // sequence is bumped BEFORE the transaction so a snapshot
-        // round can never pair this commit's post-image with another
-        // shard's pre-image and still validate (bumping after the
-        // commit would reopen the straddle window; a bump for an
-        // aborted attempt only costs readers a spurious retry).
-        shardSeqs_[slice.shard]->fetch_add(1,
-                                           std::memory_order_acq_rel);
+        // shard — no intents or compensation across shards needed.
+        // Table-full throws out of the (rolled-back or self-reverted)
+        // transaction for all-or-nothing, after which the shard grows
+        // and the caller retries. The shard sequence is bumped BEFORE
+        // the transaction so a snapshot round can never pair this
+        // commit's post-image with another shard's pre-image and
+        // still validate (bumping after the commit would reopen the
+        // straddle window; a bump for an aborted attempt only costs
+        // readers a spurious retry). The shared latch makes the
+        // commit visible to an escalated reader's exclusive span; the
+        // pin keeps the latch from being stranded by a parked thread.
+        PinSpan pin(shards_, session.tokens_, session.slices_);
+        const std::size_t cap = shard.capacity();
         session.undo_.clear();
+        session.reclaim_.clear();
+        std::vector<std::uint64_t> reclaim;
         try {
-            runOnShard(session, slice.shard, [&](polytm::Tx &tx) {
-                applyOpsUndoTx(shard, tx,
-                               grouped.data() + slice.begin,
-                               grouped.data() + slice.end,
-                               session.undo_, 0);
-            });
+            LatchSpan latch(latches_, session.slices_,
+                            /*exclusive=*/false);
+            shardSeqs_[slice.shard]->fetch_add(
+                1, std::memory_order_acq_rel);
+            shard.poly().run(
+                session.tokens_[slice.shard], [&](polytm::Tx &tx) {
+                    applyOpsUndoTx(shard, tx,
+                                   grouped.data() + slice.begin,
+                                   grouped.data() + slice.end,
+                                   session.undo_, 0, reclaim);
+                });
         } catch (const TableFullError &) {
-            return false;
+            return shard.tryGrow(session.tokens_[slice.shard], cap)
+                       ? OpStatus::kRetryAfterGrow
+                       : OpStatus::kFailed;
         }
-        return true;
+        std::size_t consumed = 0;
+        for (const Session::Undo &entry : session.undo_)
+            consumed += entry.pre.state == kEmpty ? 1 : 0;
+        if (consumed > 0)
+            shard.noteConsumed(consumed);
+        for (const std::uint64_t ref : reclaim)
+            session.reclaim_.emplace_back(slice.shard, ref);
+        return OpStatus::kDone;
     }
-    // Read-only: one transaction is per-shard consistent; retry only
-    // while some read resolved a still-PENDING intent (its commit
-    // could flip between two of this transaction's resolutions).
-    for (;;) {
-        bool unstable = false;
-        runOnShard(session, slice.shard, [&](polytm::Tx &tx) {
-            unstable = false; // retried attempts restart
+    // Read-only: one transaction is per-shard consistent; retry while
+    // some read resolved a still-PENDING intent (its commit could
+    // flip between two of this transaction's resolutions), escalating
+    // to the shard's exclusive latch after readEscalationRounds.
+    runReadStable(
+        session, slice.shard, [&](polytm::Tx &tx, bool *unstable) {
             for (std::uint32_t i = slice.begin; i < slice.end; ++i) {
-                KvOp *op = grouped[i].second;
-                op->ok = shard.snapshotGetTx(tx, op->key, &op->value,
-                                             &unstable);
+                KvOp *op = grouped[i].op;
+                if (op->kind == KvOp::Kind::kGetBytes) {
+                    op->ok = shard.snapshotGetBytesTx(
+                        tx, op->key, &op->bytes, unstable);
+                } else {
+                    op->ok = shard.snapshotGetTx(tx, op->key,
+                                                 &op->value, unstable);
+                }
             }
         });
-        if (!unstable)
-            return true;
-        std::this_thread::yield();
-    }
+    return OpStatus::kDone;
 }
 
-bool
+void
 KvStore::multiOpTwoPhaseRead(Session &session)
 {
     const auto &grouped = session.scratch_;
@@ -460,7 +727,7 @@ KvStore::multiOpTwoPhaseRead(Session &session)
     // Commits touching only other shards never force a retry.
     // Single-key writers are not serialized against (see the contract
     // in kvstore.hpp).
-    for (;;) {
+    const auto run_round = [&]() -> bool {
         bool unstable = false;
         session.seqSnapshot_.clear();
         for (const auto &slice : slices) {
@@ -476,9 +743,16 @@ KvStore::multiOpTwoPhaseRead(Session &session)
                     shard_unstable = false; // retried attempts restart
                     for (std::uint32_t i = slice.begin; i < slice.end;
                          ++i) {
-                        KvOp *op = grouped[i].second;
-                        op->ok = shard.snapshotGetTx(
-                            tx, op->key, &op->value, &shard_unstable);
+                        KvOp *op = grouped[i].op;
+                        if (op->kind == KvOp::Kind::kGetBytes) {
+                            op->ok = shard.snapshotGetBytesTx(
+                                tx, op->key, &op->bytes,
+                                &shard_unstable);
+                        } else {
+                            op->ok = shard.snapshotGetTx(
+                                tx, op->key, &op->value,
+                                &shard_unstable);
+                        }
                     }
                 });
             unstable |= shard_unstable;
@@ -489,13 +763,34 @@ KvStore::multiOpTwoPhaseRead(Session &session)
                          std::memory_order_acquire) ==
                      session.seqSnapshot_[j];
         }
-        if (stable)
-            return true;
+        return stable;
+    };
+
+    const int escalation = options_.readEscalationRounds;
+    for (int round = 0; escalation <= 0 || round < escalation;
+         ++round) {
+        if (run_round())
+            return;
+        std::this_thread::yield();
+    }
+    // Bounded fallback: a sustained write storm on exactly these
+    // shards can starve the optimistic rounds. Take the touched
+    // shards' latches exclusively — writers hold them shared across
+    // their prepare→commit window, so once we hold them no commit can
+    // flip or leave a PENDING intent mid-round, and the next round
+    // validates. The pin keeps the exclusive latches from being
+    // stranded by a parked thread.
+    PinSpan pin(shards_, session.tokens_, slices);
+    LatchSpan latch(latches_, slices, /*exclusive=*/true);
+    while (!run_round()) {
+        // Only reachable through a commit already in its window when
+        // we acquired (it drained before we got all latches); one
+        // more round settles it.
         std::this_thread::yield();
     }
 }
 
-bool
+KvStore::OpStatus
 KvStore::multiOpTwoPhaseWrite(Session &session)
 {
     const auto &grouped = session.scratch_;
@@ -522,124 +817,170 @@ KvStore::multiOpTwoPhaseWrite(Session &session)
     ctx.arena.reset();
     session.intents_.clear();
     session.intentRanges_.clear();
+    session.reclaim_.clear();
 
     try {
-        // Phase 1: prepare, in ascending shard order. A conflicting
-        // preparer only ever waits on lower-numbered shards' pending
-        // intents it meets while preparing a higher one — wait chains
-        // strictly ascend, so they cannot cycle.
         bool full = false;
+        std::uint32_t full_shard = 0;
+        std::size_t full_capacity = 0;
         std::size_t prepared = 0;
-        for (const auto &slice : slices) {
-            Shard &shard = *shards_[slice.shard];
-            const std::size_t arena_mark = ctx.arena.mark();
-            const auto intents_mark =
-                static_cast<std::uint32_t>(session.intents_.size());
-            try {
-                shard.poly().run(
-                    session.tokens_[slice.shard], [&](polytm::Tx &tx) {
-                        // Retried attempts restart this shard's
-                        // intent allocation.
-                        ctx.arena.rewindTo(arena_mark);
-                        session.intents_.resize(intents_mark);
-                        // On an irrevocable backend the prepare's
-                        // writes are already in place and rollback()
-                        // cannot undo them — discard this attempt's
-                        // published intents by hand before raising.
-                        const auto fail_full = [&]() {
-                            if (!tx.revocable()) {
-                                for (std::size_t k =
-                                         session.intents_.size();
-                                     k-- > intents_mark;) {
-                                    shard.abortIntentTx(
-                                        tx, session.intents_[k]);
+        {
+            // Writers advertise their prepare→commit window through
+            // the shards' shared latches (escalated snapshot readers
+            // take them exclusively); released right after the flip,
+            // before the finalize transactions.
+            LatchSpan latch(latches_, slices, /*exclusive=*/false);
+
+            // Phase 1: prepare, in ascending shard order. A
+            // conflicting preparer only ever waits on lower-numbered
+            // shards' pending intents it meets while preparing a
+            // higher one — wait chains strictly ascend, so they
+            // cannot cycle.
+            std::vector<std::uint64_t> slice_reclaim;
+            for (const auto &slice : slices) {
+                Shard &shard = *shards_[slice.shard];
+                const std::size_t cap = shard.capacity();
+                const std::size_t arena_mark = ctx.arena.mark();
+                const auto intents_mark = static_cast<std::uint32_t>(
+                    session.intents_.size());
+                try {
+                    shard.poly().run(
+                        session.tokens_[slice.shard],
+                        [&](polytm::Tx &tx) {
+                            // Retried attempts restart this shard's
+                            // intent allocation and reclaim captures.
+                            ctx.arena.rewindTo(arena_mark);
+                            session.intents_.resize(intents_mark);
+                            slice_reclaim.clear();
+                            // On an irrevocable backend the prepare's
+                            // writes are already in place and
+                            // rollback() cannot undo them — discard
+                            // this attempt's published intents by
+                            // hand before raising.
+                            const auto fail_full = [&]() {
+                                if (!tx.revocable()) {
+                                    for (std::size_t k =
+                                             session.intents_.size();
+                                         k-- > intents_mark;) {
+                                        shard.abortIntentTx(
+                                            tx, session.intents_[k]);
+                                    }
+                                }
+                                throw TableFullError{};
+                            };
+                            for (std::uint32_t i = slice.begin;
+                                 i < slice.end; ++i) {
+                                KvOp *op = grouped[i].op;
+                                switch (op->kind) {
+                                  case KvOp::Kind::kGet:
+                                    op->ok = shard.prepareGetTx(
+                                        tx, &ctx.record, op->key,
+                                        &op->value);
+                                    break;
+                                  case KvOp::Kind::kGetBytes:
+                                    op->ok = shard.prepareGetBytesTx(
+                                        tx, &ctx.record, op->key,
+                                        &op->bytes);
+                                    break;
+                                  case KvOp::Kind::kPut:
+                                    if (!shard.preparePutTx(
+                                            tx, &ctx.record, ctx.arena,
+                                            session.intents_, op->key,
+                                            kFull, op->value,
+                                            grouped[i].expiry, &op->ok,
+                                            &slice_reclaim))
+                                        fail_full();
+                                    break;
+                                  case KvOp::Kind::kPutBytes:
+                                    if (!shard.preparePutTx(
+                                            tx, &ctx.record, ctx.arena,
+                                            session.intents_, op->key,
+                                            kFullRef, op->value,
+                                            grouped[i].expiry, &op->ok,
+                                            &slice_reclaim))
+                                        fail_full();
+                                    break;
+                                  case KvOp::Kind::kDel:
+                                    shard.prepareDelTx(
+                                        tx, &ctx.record, ctx.arena,
+                                        session.intents_, op->key,
+                                        &op->ok, &slice_reclaim);
+                                    break;
+                                  case KvOp::Kind::kAdd:
+                                    if (!shard.prepareAddTx(
+                                            tx, &ctx.record, ctx.arena,
+                                            session.intents_, op->key,
+                                            static_cast<std::int64_t>(
+                                                op->value),
+                                            &op->ok, &slice_reclaim))
+                                        fail_full();
+                                    break;
                                 }
                             }
-                            throw TableFullError{};
-                        };
-                        for (std::uint32_t i = slice.begin;
-                             i < slice.end; ++i) {
-                            KvOp *op = grouped[i].second;
-                            switch (op->kind) {
-                              case KvOp::Kind::kGet:
-                                op->ok = shard.prepareGetTx(
-                                    tx, &ctx.record, op->key,
-                                    &op->value);
-                                break;
-                              case KvOp::Kind::kPut:
-                                if (!shard.preparePutTx(
-                                        tx, &ctx.record, ctx.arena,
-                                        session.intents_, op->key,
-                                        op->value, &op->ok))
-                                    fail_full();
-                                break;
-                              case KvOp::Kind::kDel:
-                                shard.prepareDelTx(
-                                    tx, &ctx.record, ctx.arena,
-                                    session.intents_, op->key,
-                                    &op->ok);
-                                break;
-                              case KvOp::Kind::kAdd:
-                                if (!shard.prepareAddTx(
-                                        tx, &ctx.record, ctx.arena,
-                                        session.intents_, op->key,
-                                        static_cast<std::int64_t>(
-                                            op->value),
-                                        &op->ok))
-                                    fail_full();
-                                break;
-                            }
-                        }
-                    });
-            } catch (const TableFullError &) {
-                full = true;
+                        });
+                } catch (const TableFullError &) {
+                    full = true;
+                    full_shard = slice.shard;
+                    full_capacity = cap;
+                }
+                if (full)
+                    break;
+                session.intentRanges_.emplace_back(
+                    intents_mark, static_cast<std::uint32_t>(
+                                      session.intents_.size()));
+                for (const std::uint64_t ref : slice_reclaim)
+                    session.reclaim_.emplace_back(slice.shard, ref);
+                ++prepared;
             }
-            if (full)
-                break;
-            session.intentRanges_.emplace_back(
-                intents_mark,
-                static_cast<std::uint32_t>(session.intents_.size()));
-            ++prepared;
-        }
+
+            if (full) {
+                // All-or-nothing: nothing committed on the failing
+                // shard (its transaction rolled back), and the
+                // already-prepared shards only hold invisible intents
+                // — mark the record aborted and discard them.
+                ctx.record.status.store((armed & ~std::uint64_t{3}) |
+                                            CommitRecord::kAborted,
+                                        std::memory_order_release);
+                for (std::size_t j = 0; j < prepared; ++j) {
+                    Shard &shard = *shards_[slices[j].shard];
+                    const auto range = session.intentRanges_[j];
+                    shard.poly().run(
+                        session.tokens_[slices[j].shard],
+                        [&](polytm::Tx &tx) {
+                            for (std::uint32_t k = range.first;
+                                 k < range.second; ++k)
+                                shard.abortIntentTx(
+                                    tx, session.intents_[k]);
+                        });
+                }
+            } else {
+                // Phase 2: the commit point. One store makes every
+                // intent's post-image the live value on all shards at
+                // once. The sequence bumps come FIRST: any snapshot
+                // round that observes one of this commit's
+                // post-images synchronizes with the flip below and
+                // therefore must see the bumps in its trailing
+                // sequence check — bumping after the flip would leave
+                // a window in which a round could read a torn
+                // pre/post mix and still validate.
+                for (const auto &slice : slices)
+                    shardSeqs_[slice.shard]->fetch_add(
+                        1, std::memory_order_acq_rel);
+                commitSeq_.fetch_add(1, std::memory_order_acq_rel);
+                ctx.record.status.store((armed & ~std::uint64_t{3}) |
+                                            CommitRecord::kCommitted,
+                                        std::memory_order_release);
+            }
+        } // shared latches release: the PENDING window is over
 
         if (full) {
-            // All-or-nothing: nothing committed on the failing shard
-            // (its transaction rolled back), and the already-prepared
-            // shards only hold invisible intents — mark the record
-            // aborted and discard them.
-            ctx.record.status.store((armed & ~std::uint64_t{3}) |
-                                        CommitRecord::kAborted,
-                                    std::memory_order_release);
-            for (std::size_t j = 0; j < prepared; ++j) {
-                Shard &shard = *shards_[slices[j].shard];
-                const auto range = session.intentRanges_[j];
-                shard.poly().run(
-                    session.tokens_[slices[j].shard],
-                    [&](polytm::Tx &tx) {
-                        for (std::uint32_t k = range.first;
-                             k < range.second; ++k)
-                            shard.abortIntentTx(tx,
-                                                session.intents_[k]);
-                    });
-            }
-            return false;
+            session.reclaim_.clear(); // pre-images stayed live
+            Shard &shard = *shards_[full_shard];
+            return shard.tryGrow(session.tokens_[full_shard],
+                                 full_capacity)
+                       ? OpStatus::kRetryAfterGrow
+                       : OpStatus::kFailed;
         }
-
-        // Phase 2: the commit point. One store makes every intent's
-        // post-image the live value on all shards at once. The
-        // sequence bumps come FIRST: any snapshot round that observes
-        // one of this commit's post-images synchronizes with the flip
-        // below and therefore must see the bumps in its trailing
-        // sequence check — bumping after the flip would leave a
-        // window in which a round could read a torn pre/post mix and
-        // still validate.
-        for (const auto &slice : slices)
-            shardSeqs_[slice.shard]->fetch_add(
-                1, std::memory_order_acq_rel);
-        commitSeq_.fetch_add(1, std::memory_order_acq_rel);
-        ctx.record.status.store((armed & ~std::uint64_t{3}) |
-                                    CommitRecord::kCommitted,
-                                std::memory_order_release);
 
         // Phase 3: finalize — fold intents into the slot words so the
         // record can be re-armed. Observers that get there first help,
@@ -647,15 +988,22 @@ KvStore::multiOpTwoPhaseWrite(Session &session)
         for (std::size_t j = 0; j < slices.size(); ++j) {
             Shard &shard = *shards_[slices[j].shard];
             const auto range = session.intentRanges_[j];
+            std::size_t consumed = 0;
             shard.poly().run(
                 session.tokens_[slices[j].shard], [&](polytm::Tx &tx) {
+                    consumed = 0; // retried attempts restart
                     for (std::uint32_t k = range.first;
-                         k < range.second; ++k)
-                        shard.finalizeIntentTx(tx,
-                                               session.intents_[k]);
+                         k < range.second; ++k) {
+                        consumed += shard.finalizeIntentTx(
+                                        tx, session.intents_[k])
+                                        ? 1
+                                        : 0;
+                    }
                 });
+            if (consumed > 0)
+                shard.noteConsumed(consumed);
         }
-        return true;
+        return OpStatus::kDone;
     } catch (...) {
         // Foreign exception (e.g. bad_alloc) mid-protocol. Make the
         // record's fate terminal — kAborted unless the commit point
@@ -667,6 +1015,13 @@ KvStore::multiOpTwoPhaseWrite(Session &session)
             expected,
             (armed & ~std::uint64_t{3}) | CommitRecord::kAborted,
             std::memory_order_acq_rel);
+        // Staged blobs are freed only if the commit point was never
+        // reached (they are live table values otherwise).
+        const bool committed =
+            CommitRecord::stateOf(ctx.record.status.load(
+                std::memory_order_acquire)) == CommitRecord::kCommitted;
+        releaseStagedBlobs(session, committed);
+        session.reclaim_.clear();
         {
             // Intrusive push: must not allocate — this very path
             // handles bad_alloc.
@@ -678,7 +1033,7 @@ KvStore::multiOpTwoPhaseWrite(Session &session)
     }
 }
 
-bool
+KvStore::OpStatus
 KvStore::multiOpLatched(Session &session, bool writes)
 {
     const auto &grouped = session.scratch_;
@@ -700,7 +1055,9 @@ KvStore::multiOpLatched(Session &session, bool writes)
         }
     };
 
-    bool ok = true;
+    bool full = false;
+    std::uint32_t full_shard = 0;
+    std::size_t full_capacity = 0;
     std::size_t locked = 0;
     try {
         // Shard-ordered latch acquisition: the slices come out of the
@@ -715,25 +1072,30 @@ KvStore::multiOpLatched(Session &session, bool writes)
         }
 
         if (!writes) {
+            std::vector<std::uint64_t> reclaim;
             for (const auto &slice : slices) {
                 Shard &shard = *shards_[slice.shard];
                 // kGet-only slices can never fail on capacity.
                 bool space_ok_unused = true;
+                std::size_t consumed_unused = 0;
                 shard.poly().run(
                     session.tokens_[slice.shard], [&](polytm::Tx &tx) {
                         applyOpsInTx(shard, tx,
                                      grouped.data() + slice.begin,
                                      grouped.data() + slice.end,
-                                     space_ok_unused);
+                                     space_ok_unused, consumed_unused,
+                                     reclaim);
                     });
             }
         } else {
             session.undo_.clear();
             session.undoRanges_.clear();
-            bool full = false;
+            session.reclaim_.clear();
+            std::vector<std::uint64_t> slice_reclaim;
             std::size_t applied = 0;
             for (const auto &slice : slices) {
                 Shard &shard = *shards_[slice.shard];
+                const std::size_t cap = shard.capacity();
                 const auto undo_mark = static_cast<std::uint32_t>(
                     session.undo_.size());
                 try {
@@ -744,16 +1106,21 @@ KvStore::multiOpLatched(Session &session, bool writes)
                                 shard, tx,
                                 grouped.data() + slice.begin,
                                 grouped.data() + slice.end,
-                                session.undo_, undo_mark);
+                                session.undo_, undo_mark,
+                                slice_reclaim);
                         });
                 } catch (const TableFullError &) {
                     full = true;
+                    full_shard = slice.shard;
+                    full_capacity = cap;
                 }
                 if (full)
                     break;
                 session.undoRanges_.emplace_back(
                     undo_mark,
                     static_cast<std::uint32_t>(session.undo_.size()));
+                for (const std::uint64_t ref : slice_reclaim)
+                    session.reclaim_.emplace_back(slice.shard, ref);
                 ++applied;
             }
             if (full) {
@@ -773,7 +1140,21 @@ KvStore::multiOpLatched(Session &session, bool writes)
                                                range.second);
                         });
                 }
-                ok = false;
+                session.reclaim_.clear(); // pre-images restored
+            } else {
+                for (std::size_t j = 0; j < slices.size(); ++j) {
+                    std::size_t consumed = 0;
+                    const auto range = session.undoRanges_[j];
+                    for (std::uint32_t k = range.first;
+                         k < range.second; ++k) {
+                        consumed +=
+                            session.undo_[k].pre.state == kEmpty ? 1
+                                                                 : 0;
+                    }
+                    if (consumed > 0)
+                        shards_[slices[j].shard]->noteConsumed(
+                            consumed);
+                }
             }
         }
     } catch (...) {
@@ -781,24 +1162,88 @@ KvStore::multiOpLatched(Session &session, bool writes)
         throw;
     }
     release(locked);
-    return ok;
+    if (full) {
+        Shard &shard = *shards_[full_shard];
+        return shard.tryGrow(session.tokens_[full_shard], full_capacity)
+                   ? OpStatus::kRetryAfterGrow
+                   : OpStatus::kFailed;
+    }
+    return OpStatus::kDone;
 }
 
 bool
 KvStore::applyBatch(Session &session, Batch &batch)
 {
-    groupByShard(*this, batch.ops_, session.scratch_, session.slices_);
+    groupByShard(*this, options_.defaultTtlNanos, batch.ops_,
+                 session.scratch_, session.slices_);
     const auto &grouped = session.scratch_;
+    for (const TaggedOp &tagged : grouped) {
+        KvOp *op = tagged.op;
+        if (tagged.expiry != 0)
+            shards_[tagged.shard]->noteTtlUsed();
+        if (op->kind != KvOp::Kind::kPutBytes)
+            continue;
+        op->value = op->bytes.size() <= kValueRefInlineMax
+                        ? makeInlineRef(op->bytes.data(),
+                                        op->bytes.size())
+                        : shards_[tagged.shard]->arena().allocBlob(
+                              op->bytes.data(), op->bytes.size());
+    }
 
     bool ok = true;
+    std::vector<std::uint64_t> reclaim;
     for (const auto &slice : session.slices_) {
         Shard &shard = *shards_[slice.shard];
         bool space_ok = true;
-        runOnShard(session, slice.shard, [&](polytm::Tx &tx) {
-            applyOpsInTx(shard, tx, grouped.data() + slice.begin,
-                         grouped.data() + slice.end, space_ok);
-        });
-        ok &= space_ok;
+        std::size_t consumed = 0;
+        const auto run_ops = [&](const TaggedOp *begin,
+                                 const TaggedOp *end) {
+            runOnShard(session, slice.shard, [&](polytm::Tx &tx) {
+                applyOpsInTx(shard, tx, begin, end, space_ok, consumed,
+                             reclaim);
+            });
+            for (const std::uint64_t ref : reclaim)
+                shard.arena().freeBlob(ref); // this slice committed
+            if (consumed > 0)
+                shard.noteConsumed(consumed);
+        };
+        std::size_t cap = shard.capacity();
+        run_ops(grouped.data() + slice.begin,
+                grouped.data() + slice.end);
+        // Space-failed puts wrote nothing, so retrying exactly those
+        // ops after a grow is per-shard exact (gets/dels/successful
+        // puts are not replayed).
+        while (!space_ok) {
+            if (!shard.tryGrow(session.tokens_[slice.shard], cap)) {
+                ok = false;
+                break;
+            }
+            session.retryOps_.clear();
+            for (std::uint32_t i = slice.begin; i < slice.end; ++i) {
+                KvOp *op = grouped[i].op;
+                if (!op->ok && (op->kind == KvOp::Kind::kPut ||
+                                op->kind == KvOp::Kind::kPutBytes ||
+                                op->kind == KvOp::Kind::kAdd))
+                    session.retryOps_.push_back(grouped[i]);
+            }
+            cap = shard.capacity();
+            run_ops(session.retryOps_.data(),
+                    session.retryOps_.data() +
+                        session.retryOps_.size());
+        }
+        // The batching loop doubles as the maintenance driver.
+        shard.maintainTick(session.tokens_[slice.shard]);
+    }
+    if (!ok) {
+        // Space-failed kPutBytes ops never published their staged
+        // blob; without this sweep each capped-store failure would
+        // strand the blob's arena capacity forever.
+        for (const TaggedOp &tagged : grouped) {
+            KvOp *op = tagged.op;
+            if (op->kind == KvOp::Kind::kPutBytes && !op->ok &&
+                op->bytes.size() > kValueRefInlineMax)
+                shards_[tagged.shard]->arena().freeBlob(op->value);
+        }
     }
     return ok;
 }

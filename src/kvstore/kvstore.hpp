@@ -30,7 +30,13 @@
  *    a pending intent was resolved inside it). Since no latches are
  *    held, the per-shard tuners see
  *    real TM aborts — the contention signal the recommender needs —
- *    instead of latch convoys.
+ *    instead of latch convoys. Writers additionally take the touched
+ *    shards' latches *shared* across their prepare→commit window
+ *    (uncontended in the common case): a snapshot reader that lost
+ *    KvStoreOptions::readEscalationRounds validation rounds to a
+ *    sustained write storm takes those latches exclusively once,
+ *    which drains the in-flight windows and guarantees its final
+ *    round validates — bounded starvation instead of livelock.
  *
  *  - kLatch (legacy, kept for A/B measurement): a per-shard
  *    reader/writer latch above TM. Single-key ops and batches take
@@ -64,6 +70,8 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -84,8 +92,27 @@ enum class CommitMode : int
 struct KvStoreOptions
 {
     int numShards = 4;
-    /** log2 slot count per shard. */
+    /** log2 of the *initial* slot count per shard. */
     unsigned log2SlotsPerShard = 14;
+    /**
+     * Growth cap per shard: tables double online until
+     * 2^maxLog2SlotsPerShard slots. 0 = unbounded; equal to
+     * log2SlotsPerShard pins the seed's fixed capacity, restoring
+     * table-full failures for the capacity-planning tests.
+     */
+    unsigned maxLog2SlotsPerShard = 0;
+    /** Consumed-slot percentage that triggers a proactive grow. */
+    unsigned growLoadPercent = 70;
+    /** TTL attached to puts that do not carry their own (0 = none). */
+    std::uint64_t defaultTtlNanos = 0;
+    /**
+     * Bounded fallback for snapshot-read starvation: after this many
+     * failed seq-validation rounds a read-only multiOp escalates to
+     * exclusive per-shard latches on the shards it touches (2PC mode
+     * only; writers hold those latches shared across their prepare→
+     * commit window, so the escalated round cannot be invalidated).
+     */
+    int readEscalationRounds = 64;
     /** Initial TM configuration applied to every shard. */
     polytm::TmConfig initial{};
     /** Cross-shard commit protocol (see file comment). */
@@ -101,12 +128,18 @@ struct KvOp
         kPut,
         kDel,
         kAdd, //!< value += (int64)value-field; creates absent keys
+        kPutBytes, //!< store `bytes` (wide value; value is scratch)
+        kGetBytes, //!< read into `bytes`
     };
 
     Kind kind = Kind::kGet;
     std::uint64_t key = 0;
     std::uint64_t value = 0; //!< put payload / add delta; get result
     bool ok = false;         //!< outcome (found / applied)
+    /** kPutBytes payload / kGetBytes result. */
+    std::string bytes{};
+    /** Relative TTL for kPut/kPutBytes (0 = store default). */
+    std::uint64_t ttlNanos = 0;
 };
 
 class KvStore
@@ -150,6 +183,9 @@ class KvStore
                 undo_ = std::move(other.undo_);
                 undoRanges_ = std::move(other.undoRanges_);
                 seqSnapshot_ = std::move(other.seqSnapshot_);
+                reclaim_ = std::move(other.reclaim_);
+                newBlobs_ = std::move(other.newBlobs_);
+                retryOps_ = std::move(other.retryOps_);
             }
             return *this;
         }
@@ -163,6 +199,10 @@ class KvStore
          */
         ~Session();
 
+        /** This session's registered token on shard `i` — for callers
+         *  driving Shard maintenance or *Tx primitives directly. */
+        polytm::ThreadToken &token(std::size_t i) { return tokens_[i]; }
+
         /** One contiguous run of grouped ops on one shard
          *  (implementation detail of multiOp/applyBatch). */
         struct ShardSlice
@@ -172,13 +212,21 @@ class KvStore
             std::uint32_t end;
         };
 
-        /** Pre-image of one applied latch-mode write (compensation
-         *  log for all-or-nothing table-full abort). */
+        /** One grouped op: home shard, the op, and the absolute TTL
+         *  deadline its write carries (0 = none). */
+        struct TaggedOp
+        {
+            std::uint32_t shard;
+            KvOp *op;
+            std::uint64_t expiry;
+        };
+
+        /** Pre-image of one applied write (compensation log for
+         *  all-or-nothing table-full abort). */
         struct Undo
         {
             std::uint64_t key;
-            std::uint64_t oldValue;
-            bool existed;
+            SlotImage pre;
         };
 
       private:
@@ -189,7 +237,7 @@ class KvStore
         /** Reusable multiOp/batch grouping scratch (hot path stays
          *  allocation-free in steady state): ops tagged with their
          *  home shard, and the contiguous per-shard slices. */
-        std::vector<std::pair<std::uint32_t, KvOp *>> scratch_;
+        std::vector<TaggedOp> scratch_;
         std::vector<ShardSlice> slices_;
         /** 2PC state: commit record + intent arena (lazily created,
          *  retired — not freed — on close; see commit_record.hpp),
@@ -206,31 +254,61 @@ class KvStore
             undoRanges_;
         /** Per-round shard-sequence snapshot (2PC read validation). */
         std::vector<std::uint64_t> seqSnapshot_;
+        /**
+         * Displaced blob handles of the current multiOp, tagged with
+         * their home shard; freed into the shard arenas only once the
+         * composite committed (a failed attempt's pre-images stay
+         * live). Appended per slice only after that slice's
+         * transaction ran, so retried attempts never double-capture.
+         */
+        std::vector<std::pair<std::uint32_t, std::uint64_t>> reclaim_;
+        /** Blobs allocated up-front for kPutBytes ops; freed only when
+         *  the whole multiOp ultimately fails (never published). */
+        std::vector<std::pair<std::uint32_t, std::uint64_t>> newBlobs_;
+        /** applyBatch grow-retry scratch (space-failed ops only). */
+        std::vector<TaggedOp> retryOps_;
     };
 
     Session openSession();
     void closeSession(Session &session);
 
-    /** Single-key operations (one TM transaction on the home shard). */
+    /**
+     * Single-key operations (one TM transaction on the home shard).
+     * put/putBytes grow the shard online instead of failing on a full
+     * table; they return false only when growth is capped
+     * (maxLog2SlotsPerShard) and the table stays full. ttl_nanos is a
+     * relative expiry (0 = the store's defaultTtlNanos).
+     */
     bool get(Session &session, std::uint64_t key,
              std::uint64_t *value = nullptr);
-    bool put(Session &session, std::uint64_t key, std::uint64_t value);
+    bool put(Session &session, std::uint64_t key, std::uint64_t value,
+             std::uint64_t ttl_nanos = 0);
     bool del(Session &session, std::uint64_t key);
+    /** Wide values: arbitrary byte strings (inline up to 7 bytes,
+     *  blob-backed beyond; see value_arena.hpp for the contract). */
+    bool putBytes(Session &session, std::uint64_t key, const void *data,
+                  std::size_t len, std::uint64_t ttl_nanos = 0);
+    bool getBytes(Session &session, std::uint64_t key, std::string *out);
     std::size_t scan(Session &session, std::uint64_t start_key,
                      std::size_t limit,
                      std::vector<std::pair<std::uint64_t, std::uint64_t>>
                          *out = nullptr);
+    /** Byte-decoding scan (numeric values yield their 8 raw bytes). */
+    std::size_t scanEntries(Session &session, std::uint64_t start_key,
+                            std::size_t limit,
+                            std::vector<Shard::ScanEntry> *out);
 
     /**
-     * Multi-key transaction. Results land in each op's ok/value
-     * fields. Returns false iff a put/add ran out of table space; the
-     * composite then has **no effect** — all-or-nothing in both
-     * commit modes (2PC aborts the commit record before anything is
-     * visible; latch mode rolls already-applied shards back through a
-     * compensation log while still holding every latch). The ops'
-     * ok/value fields are unspecified after a false return. A full
-     * table remains a capacity-planning bug, not a state to retry
-     * against.
+     * Multi-key transaction. Results land in each op's ok/value/bytes
+     * fields. A put/add that runs out of table space aborts the
+     * composite with **no effect** — all-or-nothing in both commit
+     * modes (2PC aborts the commit record before anything is visible;
+     * latch mode rolls already-applied shards back through a
+     * compensation log while still holding every latch) — after which
+     * the store grows the full shard online and retries the whole
+     * composite transparently. Returns false only when growth is
+     * capped (maxLog2SlotsPerShard) and the insert still cannot fit;
+     * the ops' result fields are unspecified after a false return.
      *
      * Atomicity contract. A *writing* multiOp is atomic to every
      * observer in both modes: under kLatch it holds its shards
@@ -270,6 +348,18 @@ class KvStore
         {
             ops_.push_back({KvOp::Kind::kDel, key, 0, false});
         }
+        void
+        putBytes(std::uint64_t key, std::string bytes,
+                 std::uint64_t ttl_nanos = 0)
+        {
+            ops_.push_back({KvOp::Kind::kPutBytes, key, 0, false,
+                            std::move(bytes), ttl_nanos});
+        }
+        void
+        getBytes(std::uint64_t key)
+        {
+            ops_.push_back({KvOp::Kind::kGetBytes, key, 0, false});
+        }
 
         std::size_t size() const { return ops_.size(); }
         const std::vector<KvOp> &ops() const { return ops_; }
@@ -283,9 +373,13 @@ class KvStore
     /**
      * Apply a batch: one TM transaction per touched shard (atomic per
      * shard only). Results are readable through `batch.ops()` until
-     * the next clear(). Returns false on table-full (the failing
-     * shard's transaction still commits its fitting prefix — batches
-     * keep per-shard semantics; use multiOp for all-or-nothing).
+     * the next clear(). A put that finds its shard full commits the
+     * fitting prefix, grows the shard and retries only the
+     * space-failed ops (they wrote nothing, so the retry is exact).
+     * Returns false only when growth is capped and an insert still
+     * cannot fit. This is also the loop that drives background
+     * maintenance: each flushed shard advances its migration /
+     * TTL-sweep walker afterwards.
      */
     bool applyBatch(Session &session, Batch &batch);
 
@@ -328,13 +422,79 @@ class KvStore
         }
     }
 
+    /** Writing-path verdicts: committed; table-full with the shard
+     *  already grown (caller re-runs the whole composite); or a hard
+     *  failure (growth capped). */
+    enum class OpStatus
+    {
+        kDone,
+        kRetryAfterGrow,
+        kFailed,
+    };
+
+    /**
+     * Run a single-shard snapshot-read body (it receives the
+     * transaction and an `unstable` out-flag), retrying while a read
+     * resolved a still-PENDING intent. After readEscalationRounds
+     * failed rounds the retry proceeds under the shard's *exclusive*
+     * latch — 2PC writers hold it shared across their prepare→commit
+     * window, so the escalated round settles. (Latch mode never
+     * publishes intents, so its rounds always settle immediately.)
+     */
+    template <typename F>
+    void
+    runReadStable(Session &session, std::size_t s, F &&body)
+    {
+        const int escalation = options_.readEscalationRounds;
+        for (int round = 0; escalation <= 0 || round < escalation;
+             ++round) {
+            bool unstable = false;
+            runOnShard(session, s, [&](polytm::Tx &tx) {
+                unstable = false; // retried attempts restart
+                body(tx, &unstable);
+            });
+            if (!unstable)
+                return;
+            std::this_thread::yield();
+        }
+        // Bounded fallback (same rationale as multiOpTwoPhaseRead's
+        // escalation); the pin keeps the exclusive latch from being
+        // stranded by a parked thread.
+        polytm::PolyTm &poly = shards_[s]->poly();
+        poly.setPinned(session.tokens_[s].tid, true);
+        try {
+            std::lock_guard<std::shared_mutex> lk(*latches_[s]);
+            for (;;) {
+                bool unstable = false;
+                poly.run(session.tokens_[s], [&](polytm::Tx &tx) {
+                    unstable = false;
+                    body(tx, &unstable);
+                });
+                if (!unstable)
+                    break;
+                std::this_thread::yield();
+            }
+        } catch (...) {
+            poly.setPinned(session.tokens_[s].tid, false);
+            throw;
+        }
+        poly.setPinned(session.tokens_[s].tid, false);
+    }
+
     /** All ops on one shard: one TM transaction is already atomic, so
      *  the cross-shard protocol (either one) is skipped entirely. */
-    bool multiOpSingleShard(Session &session, bool writes);
-    bool multiOpTwoPhaseWrite(Session &session);
-    bool multiOpTwoPhaseRead(Session &session);
-    bool multiOpLatched(Session &session, bool writes);
+    OpStatus multiOpSingleShard(Session &session, bool writes);
+    OpStatus multiOpTwoPhaseWrite(Session &session);
+    void multiOpTwoPhaseRead(Session &session);
+    OpStatus multiOpLatched(Session &session, bool writes);
 
+    /** Free / keep the blobs staged for this multiOp's kPutBytes ops
+     *  (kept on success — they are live table values now). */
+    void releaseStagedBlobs(Session &session, bool committed);
+    /** Free the displaced pre-image blobs after a committed op. */
+    void freeReclaimed(Session &session);
+
+    KvStoreOptions options_;
     CommitMode commitMode_ = CommitMode::kTwoPhase;
     std::vector<std::unique_ptr<Shard>> shards_;
     std::vector<std::unique_ptr<std::shared_mutex>> latches_;

@@ -1,8 +1,11 @@
 #include "kvstore/shard.hpp"
 
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <thread>
+
+#include "common/timing.hpp"
 
 namespace proteus::kvstore {
 
@@ -18,10 +21,6 @@ mix64(std::uint64_t x)
     return x ^ (x >> 31);
 }
 
-} // namespace
-
-namespace {
-
 unsigned
 checkedLog2(unsigned log2_value, const char *what)
 {
@@ -34,58 +33,119 @@ checkedLog2(unsigned log2_value, const char *what)
     return log2_value;
 }
 
+inline bool
+stateIsValue(std::uint64_t state)
+{
+    return state == kFull || state == kFullRef;
+}
+
+/** Numeric decode of an inline ValueRef (zero-padded to 8 bytes). */
+inline std::uint64_t
+inlineNumeric(ValueRef ref)
+{
+    const std::size_t len = inlineRefLen(ref);
+    if (len == 0)
+        return 0;
+    if (len >= 8)
+        return ref; // unreachable for well-formed inline refs
+    return ref & (~std::uint64_t{0} >> (64 - 8 * len));
+}
+
 } // namespace
 
 Shard::Shard(ShardOptions options)
     : poly_(options.initial, {},
             checkedLog2(options.log2Orecs, "log2Orecs")),
-      slots_(std::size_t{1}
-             << checkedLog2(options.log2Slots, "log2Slots")),
-      mask_(slots_ - 1), state_(slots_, kEmpty), keys_(slots_, 0),
-      values_(slots_, 0), intents_(slots_, 0)
+      options_(options)
 {
+    const unsigned log2_slots =
+        checkedLog2(options.log2Slots, "log2Slots");
+    if (options.maxLog2Slots == 0) {
+        maxSlots_ = std::numeric_limits<std::size_t>::max();
+    } else {
+        if (options.maxLog2Slots < log2_slots ||
+            options.maxLog2Slots >= 32) {
+            throw std::invalid_argument(
+                "Shard: maxLog2Slots must be 0 or in "
+                "[log2Slots, 31]");
+        }
+        maxSlots_ = std::size_t{1} << options.maxLog2Slots;
+    }
+    if (options_.migrateChunkSlots == 0 ||
+        options_.sweepChunkSlots == 0) {
+        throw std::invalid_argument(
+            "Shard: maintenance chunk sizes must be >= 1");
+    }
+    tables_.push_back(
+        std::make_unique<ShardTable>(std::size_t{1} << log2_slots));
+    epochs_.push_back(std::make_unique<TableEpoch>(
+        TableEpoch{tables_.back().get(), nullptr}));
+    // Quiesced raw store: no transaction can run before construction
+    // returns.
+    epochWord_ = reinterpret_cast<std::uint64_t>(epochs_.back().get());
+    epochMirror_.store(epochs_.back().get(), std::memory_order_release);
+}
+
+Shard::~Shard() = default;
+
+TableEpoch *
+Shard::epochTx(polytm::Tx &tx)
+{
+    return reinterpret_cast<TableEpoch *>(tx.readWord(&epochWord_));
 }
 
 std::size_t
-Shard::homeSlot(std::uint64_t key) const
+Shard::homeSlot(const ShardTable &table, std::uint64_t key)
 {
-    return static_cast<std::size_t>(mix64(key)) & mask_;
+    return static_cast<std::size_t>(mix64(key)) & table.mask;
 }
 
 std::size_t
-Shard::probe(polytm::Tx &tx, std::uint64_t key, bool *found)
+Shard::probe(polytm::Tx &tx, ShardTable &table, std::uint64_t key,
+             bool *found)
 {
     *found = false;
-    std::size_t insert_at = slots_; // first tombstone seen, if any
-    std::size_t slot = homeSlot(key);
-    for (std::size_t step = 0; step < slots_; ++step) {
-        const std::uint64_t state = tx.readWord(&state_[slot]);
+    std::size_t insert_at = table.slots; // first tombstone seen, if any
+    std::size_t slot = homeSlot(table, key);
+    for (std::size_t step = 0; step < table.slots; ++step) {
+        const std::uint64_t state = tx.readWord(&table.state[slot]);
         if (state == kEmpty)
-            return insert_at < slots_ ? insert_at : slot;
+            return insert_at < table.slots ? insert_at : slot;
         if (state == kTombstone) {
-            if (insert_at == slots_)
+            if (insert_at == table.slots)
                 insert_at = slot;
-        } else if (tx.readWord(&keys_[slot]) == key) {
-            // kFull or kPendingInsert: both carry a valid key word.
+        } else if (tx.readWord(&table.keys[slot]) == key) {
+            // kFull/kFullRef/kPendingInsert all carry a valid key word.
             *found = true;
             return slot;
         }
-        slot = (slot + 1) & mask_;
+        slot = (slot + 1) & table.mask;
     }
-    return insert_at; // slots_ when the table has no reusable slot
+    return insert_at; // table.slots when the table has no reusable slot
 }
 
 bool
-Shard::resolveSlotLiveTx(polytm::Tx &tx, std::size_t slot,
-                         std::uint64_t *value, bool *unstable)
+Shard::resolveSlotLiveTx(polytm::Tx &tx, ShardTable &table,
+                         std::size_t slot, LiveValue *out,
+                         bool *unstable)
 {
-    const std::uint64_t word = tx.readWord(&intents_[slot]);
-    const std::uint64_t state = tx.readWord(&state_[slot]);
+    const auto expired = [](std::uint64_t deadline) {
+        return deadline != 0 && deadline <= nowNanos();
+    };
+    const std::uint64_t word = tx.readWord(&table.intents[slot]);
+    const std::uint64_t state = tx.readWord(&table.state[slot]);
     if (word == 0) {
-        if (state != kFull)
+        if (!stateIsValue(state))
             return false;
-        if (value)
-            *value = tx.readWord(&values_[slot]);
+        const std::uint64_t deadline =
+            tx.readWord(&table.expiry[slot]);
+        if (expired(deadline))
+            return false; // lazy TTL: expired reads as absent
+        if (out) {
+            out->state = state;
+            out->value = tx.readWord(&table.values[slot]);
+            out->expiry = deadline;
+        }
         return true;
     }
     WriteIntent *intent = intentOf(word);
@@ -100,6 +160,8 @@ Shard::resolveSlotLiveTx(polytm::Tx &tx, std::size_t slot,
         intent->newState.load(std::memory_order_relaxed);
     const std::uint64_t new_value =
         intent->newValue.load(std::memory_order_relaxed);
+    const std::uint64_t new_expiry =
+        intent->newExpiry.load(std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_acquire);
     const std::uint64_t status =
         record ? record->status.load(std::memory_order_acquire) : 0;
@@ -110,10 +172,13 @@ Shard::resolveSlotLiveTx(polytm::Tx &tx, std::size_t slot,
         CommitRecord::stateOf(status) == CommitRecord::kCommitted) {
         // Post-image wins from the commit point on, even before the
         // owner's finalize folds it into the slot words.
-        if (new_state != kFull)
+        if (!stateIsValue(new_state) || expired(new_expiry))
             return false;
-        if (value)
-            *value = new_value;
+        if (out) {
+            out->state = new_state;
+            out->value = new_value;
+            out->expiry = new_expiry;
+        }
         return true;
     }
     if (unstable && same_epoch &&
@@ -124,34 +189,43 @@ Shard::resolveSlotLiveTx(polytm::Tx &tx, std::size_t slot,
     // republished word differs (epoch tag), so this transaction's
     // read-set validation rejects the commit and the retry sees the
     // slot's real state — pre-image junk never escapes.
-    if (state != kFull)
+    if (!stateIsValue(state))
         return false;
-    if (value)
-        *value = tx.readWord(&values_[slot]);
+    const std::uint64_t deadline = tx.readWord(&table.expiry[slot]);
+    if (expired(deadline))
+        return false;
+    if (out) {
+        out->state = state;
+        out->value = tx.readWord(&table.values[slot]);
+        out->expiry = deadline;
+    }
     return true;
 }
 
 void
-Shard::resolveForeignIntentTx(polytm::Tx &tx, std::size_t slot,
-                              std::uint64_t word)
+Shard::resolveForeignIntentTx(polytm::Tx &tx, ShardTable &table,
+                              std::size_t slot, std::uint64_t word)
 {
     WriteIntent *intent = intentOf(word);
     CommitRecord *record =
         intent->record.load(std::memory_order_acquire);
     const auto read_payload = [&](std::uint64_t *new_state,
-                                  std::uint64_t *new_value) {
+                                  std::uint64_t *new_value,
+                                  std::uint64_t *new_expiry) {
         // Fields before status, as in resolveSlotLiveTx: a matching
         // (epoch, kCommitted) status read afterwards proves the
         // fields belonged to that frozen generation.
         *new_state = intent->newState.load(std::memory_order_relaxed);
         *new_value = intent->newValue.load(std::memory_order_relaxed);
+        *new_expiry = intent->newExpiry.load(std::memory_order_relaxed);
         std::atomic_thread_fence(std::memory_order_acquire);
         return record->status.load(std::memory_order_acquire);
     };
     std::uint64_t new_state = 0;
     std::uint64_t new_value = 0;
+    std::uint64_t new_expiry = 0;
     std::uint64_t status =
-        record ? read_payload(&new_state, &new_value) : 0;
+        record ? read_payload(&new_state, &new_value, &new_expiry) : 0;
     const auto same_epoch = [&](std::uint64_t s) {
         return record && (CommitRecord::epochOf(s) & 0xffff) ==
                              intentEpochTag(word);
@@ -164,54 +238,152 @@ Shard::resolveForeignIntentTx(polytm::Tx &tx, std::size_t slot,
             // the commit flip we are waiting for is a plain store.
             tx.retry();
         }
-        // Irrevocable (global lock / HTM fallback): wait in place.
-        // Safe because the flip needs no TM resources, and the owner
-        // only ever waits on *higher-numbered* shards (prepare is
+        // Irrevocable (HTM fallback holder): wait in place. Safe
+        // because the flip needs no TM resources, and the owner only
+        // ever waits on *higher-numbered* shards (prepare is
         // shard-ordered), so wait chains cannot cycle.
         std::this_thread::yield();
-        status = read_payload(&new_state, &new_value);
+        status = read_payload(&new_state, &new_value, &new_expiry);
     }
     if (same_epoch(status) &&
         CommitRecord::stateOf(status) == CommitRecord::kCommitted) {
-        tx.writeWord(&state_[slot], new_state);
-        if (new_state == kFull)
-            tx.writeWord(&values_[slot], new_value);
-    } else if (tx.readWord(&state_[slot]) == kPendingInsert) {
+        tx.writeWord(&table.state[slot], new_state);
+        if (stateIsValue(new_state)) {
+            tx.writeWord(&table.values[slot], new_value);
+            tx.writeWord(&table.expiry[slot], new_expiry);
+        }
+    } else if (tx.readWord(&table.state[slot]) == kPendingInsert) {
         // Aborted (or recycled-underneath-us — then this transaction
         // fails validation on the changed intent word and the writes
         // roll back): tombstone, never back to empty — concurrent
         // probe chains may already run past this slot.
-        tx.writeWord(&state_[slot], kTombstone);
+        tx.writeWord(&table.state[slot], kTombstone);
     }
-    tx.writeWord(&intents_[slot], 0);
+    tx.writeWord(&table.intents[slot], 0);
 }
 
-std::size_t
+Shard::SlotRef
 Shard::writeLookup(polytm::Tx &tx, CommitRecord *record,
                    std::uint64_t key, bool *found, WriteIntent **own)
 {
     if (own)
         *own = nullptr;
-    const std::size_t slot = probe(tx, key, found);
-    if (!*found)
-        return slot; // empty/tombstone insert point (no intent), or full
-    for (;;) {
-        const std::uint64_t word = tx.readWord(&intents_[slot]);
-        if (word == 0)
-            break;
-        WriteIntent *intent = intentOf(word);
-        if (record &&
-            intent->record.load(std::memory_order_relaxed) == record) {
-            // Ours — necessarily the current epoch: every intent of
-            // the previous multiOp was cleared before re-arming.
-            // (`own` is only optional for record==nullptr callers.)
-            *own = intent;
-            return slot;
+    TableEpoch *ep = epochTx(tx);
+    const auto settle = [&](ShardTable &table,
+                            std::size_t slot) -> bool {
+        // Resolve foreign intents until the slot is quiet or ours;
+        // returns whether the key is (still) logically present there.
+        for (;;) {
+            const std::uint64_t word =
+                tx.readWord(&table.intents[slot]);
+            if (word == 0)
+                break;
+            WriteIntent *intent = intentOf(word);
+            if (record && intent->record.load(
+                              std::memory_order_relaxed) == record) {
+                // Ours — necessarily the current epoch: every intent
+                // of the previous multiOp was cleared before re-arming.
+                // (`own` is only optional for record==nullptr callers.)
+                *own = intent;
+                return true;
+            }
+            resolveForeignIntentTx(tx, table, slot, word);
         }
-        resolveForeignIntentTx(tx, slot, word);
+        return stateIsValue(tx.readWord(&table.state[slot]));
+    };
+
+    bool in_live = false;
+    const std::size_t live_slot = probe(tx, *ep->live, key, &in_live);
+    if (in_live) {
+        *found = settle(*ep->live, live_slot);
+        return {ep->live, live_slot};
     }
-    *found = tx.readWord(&state_[slot]) == kFull;
-    return slot;
+    if (ep->old) {
+        bool in_old = false;
+        const std::size_t old_slot = probe(tx, *ep->old, key, &in_old);
+        if (in_old && settle(*ep->old, old_slot)) {
+            *found = true;
+            return {ep->old, old_slot};
+        }
+    }
+    // Absent everywhere; inserts always target the live table.
+    *found = false;
+    return {ep->live, live_slot};
+}
+
+bool
+Shard::numericValueTx(polytm::Tx &tx, ShardTable &table,
+                      std::size_t slot, LiveValue live,
+                      std::uint64_t *out)
+{
+    for (;;) {
+        if (live.state == kFull) {
+            if (out)
+                *out = live.value;
+            return true;
+        }
+        const ValueRef ref = live.value;
+        if (!valueRefIsBlob(ref)) {
+            if (out)
+                *out = inlineNumeric(ref);
+            return true;
+        }
+        std::uint64_t word = 0;
+        if (arena_.readBlobWord(ref, &word)) {
+            if (out)
+                *out = word;
+            return true;
+        }
+        // Blob recycled underneath the handle: the slot's value word
+        // changed first, so re-resolving through the TM either aborts
+        // this transaction (version/value validation) or yields the
+        // fresh pair.
+        if (!resolveSlotLiveTx(tx, table, slot, &live, nullptr))
+            return false;
+    }
+}
+
+bool
+Shard::bytesValueTx(polytm::Tx &tx, ShardTable &table, std::size_t slot,
+                    LiveValue live, std::string *out)
+{
+    for (;;) {
+        if (live.state == kFull) {
+            // Numeric values read as their 8 raw bytes.
+            out->resize(8);
+            std::memcpy(out->data(), &live.value, 8);
+            return true;
+        }
+        const ValueRef ref = live.value;
+        if (!valueRefIsBlob(ref)) {
+            inlineRefCopy(ref, out);
+            return true;
+        }
+        if (arena_.readBlob(ref, out))
+            return true;
+        if (!resolveSlotLiveTx(tx, table, slot, &live, nullptr))
+            return false;
+    }
+}
+
+bool
+Shard::lookupLiveTx(polytm::Tx &tx, std::uint64_t key, SlotRef *ref,
+                    LiveValue *live, bool *unstable)
+{
+    TableEpoch *ep = epochTx(tx);
+    bool found = false;
+    std::size_t slot = probe(tx, *ep->live, key, &found);
+    ShardTable *table = ep->live;
+    if (!found && ep->old) {
+        slot = probe(tx, *ep->old, key, &found);
+        table = ep->old;
+    }
+    if (!found)
+        return false;
+    if (!resolveSlotLiveTx(tx, *table, slot, live, unstable))
+        return false;
+    *ref = {table, slot};
+    return true;
 }
 
 bool
@@ -224,11 +396,45 @@ bool
 Shard::snapshotGetTx(polytm::Tx &tx, std::uint64_t key,
                      std::uint64_t *value, bool *unstable)
 {
-    bool found = false;
-    const std::size_t slot = probe(tx, key, &found);
-    if (!found)
+    SlotRef ref;
+    LiveValue live;
+    if (!lookupLiveTx(tx, key, &ref, &live, unstable))
         return false;
-    return resolveSlotLiveTx(tx, slot, value, unstable);
+    return numericValueTx(tx, *ref.table, ref.slot, live, value);
+}
+
+bool
+Shard::snapshotGetBytesTx(polytm::Tx &tx, std::uint64_t key,
+                          std::string *out, bool *unstable)
+{
+    SlotRef ref;
+    LiveValue live;
+    if (!lookupLiveTx(tx, key, &ref, &live, unstable))
+        return false;
+    return bytesValueTx(tx, *ref.table, ref.slot, live, out);
+}
+
+SlotImage
+Shard::slotImageTx(polytm::Tx &tx, ShardTable &table, std::size_t slot)
+{
+    SlotImage image;
+    image.state = tx.readWord(&table.state[slot]);
+    if (stateIsValue(image.state)) {
+        image.value = tx.readWord(&table.values[slot]);
+        image.expiry = tx.readWord(&table.expiry[slot]);
+    }
+    return image;
+}
+
+bool
+Shard::settledValueTx(polytm::Tx &tx, const SlotRef &ref,
+                      LiveValue *out)
+{
+    const SlotImage image = slotImageTx(tx, *ref.table, ref.slot);
+    if (image.expiry != 0 && image.expiry <= nowNanos())
+        return false;
+    *out = {image.state, image.value, image.expiry};
+    return true;
 }
 
 bool
@@ -236,90 +442,179 @@ Shard::getForUpdateTx(polytm::Tx &tx, std::uint64_t key,
                       std::uint64_t *value)
 {
     bool found = false;
-    const std::size_t slot =
-        writeLookup(tx, nullptr, key, &found, nullptr);
-    if (!found)
+    const SlotRef ref = writeLookup(tx, nullptr, key, &found, nullptr);
+    LiveValue live;
+    if (!found || !settledValueTx(tx, ref, &live))
         return false;
-    if (value)
-        *value = tx.readWord(&values_[slot]);
+    return numericValueTx(tx, *ref.table, ref.slot, live, value);
+}
+
+bool
+Shard::getBytesForUpdateTx(polytm::Tx &tx, std::uint64_t key,
+                           std::string *out)
+{
+    bool found = false;
+    const SlotRef ref = writeLookup(tx, nullptr, key, &found, nullptr);
+    LiveValue live;
+    if (!found || !settledValueTx(tx, ref, &live))
+        return false;
+    return bytesValueTx(tx, *ref.table, ref.slot, live, out);
+}
+
+bool
+Shard::putSlotTx(polytm::Tx &tx, std::uint64_t key,
+                 std::uint64_t new_state, std::uint64_t value,
+                 std::uint64_t expiry, SlotImage *pre,
+                 std::vector<std::uint64_t> *reclaim)
+{
+    bool found = false;
+    const SlotRef ref = writeLookup(tx, nullptr, key, &found, nullptr);
+    if (ref.slot == ref.table->slots) {
+        if (pre)
+            *pre = SlotImage{};
+        return false; // full
+    }
+    const SlotImage image = slotImageTx(tx, *ref.table, ref.slot);
+    if (pre)
+        *pre = image;
+    if (found) {
+        if (reclaim && image.state == kFullRef)
+            reclaim->push_back(image.value);
+        tx.writeWord(&ref.table->state[ref.slot], new_state);
+        tx.writeWord(&ref.table->values[ref.slot], value);
+        tx.writeWord(&ref.table->expiry[ref.slot], expiry);
+        return true;
+    }
+    tx.writeWord(&ref.table->state[ref.slot], new_state);
+    tx.writeWord(&ref.table->keys[ref.slot], key);
+    tx.writeWord(&ref.table->values[ref.slot], value);
+    tx.writeWord(&ref.table->expiry[ref.slot], expiry);
     return true;
 }
 
 bool
 Shard::putTx(polytm::Tx &tx, std::uint64_t key, std::uint64_t value,
-             bool *existed, std::uint64_t *old_value)
+             std::uint64_t expiry, SlotImage *pre,
+             std::vector<std::uint64_t> *reclaim)
 {
-    bool found = false;
-    const std::size_t slot =
-        writeLookup(tx, nullptr, key, &found, nullptr);
-    if (existed)
-        *existed = found;
-    if (found) {
-        if (old_value)
-            *old_value = tx.readWord(&values_[slot]);
-        tx.writeWord(&values_[slot], value);
-        return true;
-    }
-    if (slot == slots_)
-        return false; // full
-    tx.writeWord(&state_[slot], kFull);
-    tx.writeWord(&keys_[slot], key);
-    tx.writeWord(&values_[slot], value);
-    return true;
+    return putSlotTx(tx, key, kFull, value, expiry, pre, reclaim);
 }
 
 bool
-Shard::delTx(polytm::Tx &tx, std::uint64_t key,
-             std::uint64_t *old_value)
+Shard::putRefTx(polytm::Tx &tx, std::uint64_t key, ValueRef ref_value,
+                std::uint64_t expiry, SlotImage *pre,
+                std::vector<std::uint64_t> *reclaim)
+{
+    return putSlotTx(tx, key, kFullRef, ref_value, expiry, pre,
+                     reclaim);
+}
+
+bool
+Shard::delTx(polytm::Tx &tx, std::uint64_t key, SlotImage *pre,
+             std::vector<std::uint64_t> *reclaim)
 {
     bool found = false;
-    const std::size_t slot =
-        writeLookup(tx, nullptr, key, &found, nullptr);
+    const SlotRef ref = writeLookup(tx, nullptr, key, &found, nullptr);
+    if (pre)
+        *pre = SlotImage{};
     if (!found)
         return false;
-    if (old_value)
-        *old_value = tx.readWord(&values_[slot]);
-    tx.writeWord(&state_[slot], kTombstone);
-    return true;
+    const SlotImage image = slotImageTx(tx, *ref.table, ref.slot);
+    if (pre)
+        *pre = image;
+    if (reclaim && image.state == kFullRef)
+        reclaim->push_back(image.value);
+    tx.writeWord(&ref.table->state[ref.slot], kTombstone);
+    // Expired entries are already logically absent: reclaim the slot
+    // but report the delete as a miss.
+    return image.expiry == 0 || image.expiry > nowNanos();
 }
 
 bool
 Shard::addTx(polytm::Tx &tx, std::uint64_t key, std::int64_t delta,
-             bool *existed, std::uint64_t *old_value)
+             SlotImage *pre, std::vector<std::uint64_t> *reclaim)
 {
     // One lookup for the read-modify-write (the transfer hot path),
     // not a getTx+putTx pair walking the chain twice.
+    const auto unsigned_delta = static_cast<std::uint64_t>(delta);
     bool found = false;
-    const std::size_t slot =
-        writeLookup(tx, nullptr, key, &found, nullptr);
-    if (existed)
-        *existed = found;
-    if (found) {
-        const std::uint64_t current = tx.readWord(&values_[slot]);
-        if (old_value)
-            *old_value = current;
-        tx.writeWord(&values_[slot],
-                     current + static_cast<std::uint64_t>(delta));
+    const SlotRef ref = writeLookup(tx, nullptr, key, &found, nullptr);
+    if (ref.slot == ref.table->slots) {
+        if (pre)
+            *pre = SlotImage{};
+        return false; // full
+    }
+    const SlotImage image = slotImageTx(tx, *ref.table, ref.slot);
+    if (pre)
+        *pre = image;
+    const bool live_value =
+        found && (image.expiry == 0 || image.expiry > nowNanos());
+    if (live_value) {
+        std::uint64_t current = 0;
+        if (!numericValueTx(tx, *ref.table, ref.slot,
+                            {image.state, image.value, image.expiry},
+                            &current)) {
+            // The slot changed under a recycled blob; the transaction
+            // is doomed to fail validation — treat as a create so the
+            // control flow stays simple.
+            current = 0;
+        }
+        if (reclaim && image.state == kFullRef)
+            reclaim->push_back(image.value); // coerced to numeric
+        tx.writeWord(&ref.table->state[ref.slot], kFull);
+        tx.writeWord(&ref.table->values[ref.slot],
+                     current + unsigned_delta);
+        tx.writeWord(&ref.table->expiry[ref.slot], image.expiry);
         return true;
     }
-    if (slot == slots_)
-        return false; // full
-    tx.writeWord(&state_[slot], kFull);
-    tx.writeWord(&keys_[slot], key);
-    tx.writeWord(&values_[slot], static_cast<std::uint64_t>(delta));
+    if (found) {
+        // Expired slot: recreate in place at delta with no TTL.
+        if (reclaim && image.state == kFullRef)
+            reclaim->push_back(image.value);
+        tx.writeWord(&ref.table->state[ref.slot], kFull);
+        tx.writeWord(&ref.table->values[ref.slot], unsigned_delta);
+        tx.writeWord(&ref.table->expiry[ref.slot], 0);
+        return true;
+    }
+    tx.writeWord(&ref.table->state[ref.slot], kFull);
+    tx.writeWord(&ref.table->keys[ref.slot], key);
+    tx.writeWord(&ref.table->values[ref.slot], unsigned_delta);
+    tx.writeWord(&ref.table->expiry[ref.slot], 0);
     return true;
+}
+
+void
+Shard::restoreTx(polytm::Tx &tx, std::uint64_t key, const SlotImage &pre)
+{
+    bool found = false;
+    const SlotRef ref = writeLookup(tx, nullptr, key, &found, nullptr);
+    if (stateIsValue(pre.state)) {
+        if (ref.slot == ref.table->slots)
+            return; // cannot happen: the failed attempt freed the slot
+        if (!found)
+            tx.writeWord(&ref.table->keys[ref.slot], key);
+        tx.writeWord(&ref.table->state[ref.slot], pre.state);
+        tx.writeWord(&ref.table->values[ref.slot], pre.value);
+        tx.writeWord(&ref.table->expiry[ref.slot], pre.expiry);
+        return;
+    }
+    if (found)
+        tx.writeWord(&ref.table->state[ref.slot], kTombstone);
 }
 
 WriteIntent *
 Shard::installIntent(polytm::Tx &tx, CommitRecord *record,
                      IntentArena &arena, std::vector<WriteIntent *> &out,
-                     std::size_t slot, std::uint64_t new_state,
-                     std::uint64_t new_value)
+                     ShardTable &table, std::size_t slot,
+                     std::uint64_t new_state, std::uint64_t new_value,
+                     std::uint64_t new_expiry)
 {
     WriteIntent *intent = arena.alloc();
     intent->record.store(record, std::memory_order_relaxed);
     intent->newState.store(new_state, std::memory_order_relaxed);
     intent->newValue.store(new_value, std::memory_order_relaxed);
+    intent->newExpiry.store(new_expiry, std::memory_order_relaxed);
+    intent->table = &table;
     intent->slot = slot;
     // The transactional store publishes the intent atomically with the
     // rest of this shard's prepare at commit time (release), so the
@@ -328,7 +623,7 @@ Shard::installIntent(polytm::Tx &tx, CommitRecord *record,
     // current epoch so resolvers can reject recycled generations.
     const std::uint64_t epoch = CommitRecord::epochOf(
         record->status.load(std::memory_order_relaxed));
-    tx.writeWord(&intents_[slot],
+    tx.writeWord(&table.intents[slot],
                  packIntentWord(intent, epoch & 0xffff));
     out.push_back(intent);
     return intent;
@@ -337,29 +632,53 @@ Shard::installIntent(polytm::Tx &tx, CommitRecord *record,
 bool
 Shard::preparePutTx(polytm::Tx &tx, CommitRecord *record,
                     IntentArena &arena, std::vector<WriteIntent *> &out,
-                    std::uint64_t key, std::uint64_t value, bool *applied)
+                    std::uint64_t key, std::uint64_t new_state,
+                    std::uint64_t value, std::uint64_t expiry,
+                    bool *applied, std::vector<std::uint64_t> *reclaim)
 {
     bool found = false;
     WriteIntent *own = nullptr;
-    const std::size_t slot = writeLookup(tx, record, key, &found, &own);
+    const SlotRef ref = writeLookup(tx, record, key, &found, &own);
     if (own) {
-        own->newState.store(kFull, std::memory_order_relaxed);
+        // Re-writing a slot this composite already prepared: the
+        // previous own post-image's staged blob (if any) becomes
+        // garbage once the record commits — reclaim it, exactly like
+        // prepareAddTx's coercion path (on abort it is freed through
+        // the owner's staged-blob list instead, and the reclaim list
+        // is discarded).
+        if (reclaim && own->newState.load(std::memory_order_relaxed) ==
+                           kFullRef) {
+            const ValueRef own_ref =
+                own->newValue.load(std::memory_order_relaxed);
+            if (valueRefIsBlob(own_ref))
+                reclaim->push_back(own_ref);
+        }
+        own->newState.store(new_state, std::memory_order_relaxed);
         own->newValue.store(value, std::memory_order_relaxed);
+        own->newExpiry.store(expiry, std::memory_order_relaxed);
         *applied = true;
         return true;
     }
     if (found) {
-        installIntent(tx, record, arena, out, slot, kFull, value);
+        if (reclaim) {
+            const SlotImage image =
+                slotImageTx(tx, *ref.table, ref.slot);
+            if (image.state == kFullRef)
+                reclaim->push_back(image.value);
+        }
+        installIntent(tx, record, arena, out, *ref.table, ref.slot,
+                      new_state, value, expiry);
         *applied = true;
         return true;
     }
-    if (slot == slots_) {
+    if (ref.slot == ref.table->slots) {
         *applied = false;
-        return false; // full: caller aborts the whole commit
+        return false; // full: caller grows (or aborts when capped)
     }
-    tx.writeWord(&state_[slot], kPendingInsert);
-    tx.writeWord(&keys_[slot], key);
-    installIntent(tx, record, arena, out, slot, kFull, value);
+    tx.writeWord(&ref.table->state[ref.slot], kPendingInsert);
+    tx.writeWord(&ref.table->keys[ref.slot], key);
+    installIntent(tx, record, arena, out, *ref.table, ref.slot,
+                  new_state, value, expiry);
     *applied = true;
     return true;
 }
@@ -367,14 +686,24 @@ Shard::preparePutTx(polytm::Tx &tx, CommitRecord *record,
 void
 Shard::prepareDelTx(polytm::Tx &tx, CommitRecord *record,
                     IntentArena &arena, std::vector<WriteIntent *> &out,
-                    std::uint64_t key, bool *applied)
+                    std::uint64_t key, bool *applied,
+                    std::vector<std::uint64_t> *reclaim)
 {
     bool found = false;
     WriteIntent *own = nullptr;
-    const std::size_t slot = writeLookup(tx, record, key, &found, &own);
+    const SlotRef ref = writeLookup(tx, record, key, &found, &own);
     if (own) {
-        *applied =
-            own->newState.load(std::memory_order_relaxed) == kFull;
+        const std::uint64_t own_state =
+            own->newState.load(std::memory_order_relaxed);
+        *applied = stateIsValue(own_state);
+        // Deleting this composite's own staged byte value: its blob
+        // is garbage from the commit on (see preparePutTx).
+        if (reclaim && own_state == kFullRef) {
+            const ValueRef own_ref =
+                own->newValue.load(std::memory_order_relaxed);
+            if (valueRefIsBlob(own_ref))
+                reclaim->push_back(own_ref);
+        }
         own->newState.store(kTombstone, std::memory_order_relaxed);
         return;
     }
@@ -382,47 +711,91 @@ Shard::prepareDelTx(polytm::Tx &tx, CommitRecord *record,
         *applied = false; // absent (or full table with no match)
         return;
     }
-    installIntent(tx, record, arena, out, slot, kTombstone, 0);
-    *applied = true;
+    const SlotImage image = slotImageTx(tx, *ref.table, ref.slot);
+    if (image.expiry != 0 && image.expiry <= nowNanos()) {
+        // Logically absent; install the tombstone anyway so the slot
+        // is reclaimed with the commit.
+        *applied = false;
+    } else {
+        *applied = true;
+    }
+    if (reclaim && image.state == kFullRef)
+        reclaim->push_back(image.value);
+    installIntent(tx, record, arena, out, *ref.table, ref.slot,
+                  kTombstone, 0, 0);
 }
 
 bool
 Shard::prepareAddTx(polytm::Tx &tx, CommitRecord *record,
                     IntentArena &arena, std::vector<WriteIntent *> &out,
-                    std::uint64_t key, std::int64_t delta, bool *applied)
+                    std::uint64_t key, std::int64_t delta, bool *applied,
+                    std::vector<std::uint64_t> *reclaim)
 {
     const auto unsigned_delta = static_cast<std::uint64_t>(delta);
     bool found = false;
     WriteIntent *own = nullptr;
-    const std::size_t slot = writeLookup(tx, record, key, &found, &own);
+    const SlotRef ref = writeLookup(tx, record, key, &found, &own);
     if (own) {
-        if (own->newState.load(std::memory_order_relaxed) == kFull) {
-            own->newValue.store(
-                own->newValue.load(std::memory_order_relaxed) +
-                    unsigned_delta,
-                std::memory_order_relaxed);
+        const std::uint64_t own_state =
+            own->newState.load(std::memory_order_relaxed);
+        if (stateIsValue(own_state)) {
+            std::uint64_t current =
+                own->newValue.load(std::memory_order_relaxed);
+            if (own_state == kFullRef) {
+                // Coerce this composite's own byte value to numeric;
+                // its blob becomes garbage once the record commits.
+                const ValueRef own_ref = current;
+                if (valueRefIsBlob(own_ref)) {
+                    std::uint64_t word = 0;
+                    // Own blob: stable (never recycled while pending).
+                    arena_.readBlobWord(own_ref, &word);
+                    current = word;
+                    if (reclaim)
+                        reclaim->push_back(own_ref);
+                } else {
+                    current = inlineNumeric(own_ref);
+                }
+                own->newState.store(kFull, std::memory_order_relaxed);
+            }
+            own->newValue.store(current + unsigned_delta,
+                                std::memory_order_relaxed);
         } else { // deleted earlier in this multiOp: recreate at delta
             own->newState.store(kFull, std::memory_order_relaxed);
             own->newValue.store(unsigned_delta,
                                 std::memory_order_relaxed);
+            own->newExpiry.store(0, std::memory_order_relaxed);
         }
         *applied = true;
         return true;
     }
     if (found) {
-        const std::uint64_t current = tx.readWord(&values_[slot]);
-        installIntent(tx, record, arena, out, slot, kFull,
-                      current + unsigned_delta);
+        const SlotImage image = slotImageTx(tx, *ref.table, ref.slot);
+        const bool live_value =
+            image.expiry == 0 || image.expiry > nowNanos();
+        std::uint64_t current = 0;
+        if (live_value) {
+            if (!numericValueTx(tx, *ref.table, ref.slot,
+                                {image.state, image.value,
+                                 image.expiry},
+                                &current))
+                current = 0; // doomed transaction; keep control simple
+        }
+        if (reclaim && image.state == kFullRef)
+            reclaim->push_back(image.value);
+        installIntent(tx, record, arena, out, *ref.table, ref.slot,
+                      kFull, current + unsigned_delta,
+                      live_value ? image.expiry : 0);
         *applied = true;
         return true;
     }
-    if (slot == slots_) {
+    if (ref.slot == ref.table->slots) {
         *applied = false;
-        return false; // full: caller aborts the whole commit
+        return false; // full: caller grows (or aborts when capped)
     }
-    tx.writeWord(&state_[slot], kPendingInsert);
-    tx.writeWord(&keys_[slot], key);
-    installIntent(tx, record, arena, out, slot, kFull, unsigned_delta);
+    tx.writeWord(&ref.table->state[ref.slot], kPendingInsert);
+    tx.writeWord(&ref.table->keys[ref.slot], key);
+    installIntent(tx, record, arena, out, *ref.table, ref.slot, kFull,
+                  unsigned_delta, 0);
     *applied = true;
     return true;
 }
@@ -440,49 +813,105 @@ Shard::prepareGetTx(polytm::Tx &tx, CommitRecord *record,
     // composite's own outputs unserializable.
     bool found = false;
     WriteIntent *own = nullptr;
-    const std::size_t slot = writeLookup(tx, record, key, &found, &own);
+    const SlotRef ref = writeLookup(tx, record, key, &found, &own);
     if (own) {
         // Read-your-writes within the composite.
-        if (own->newState.load(std::memory_order_relaxed) != kFull)
+        const std::uint64_t own_state =
+            own->newState.load(std::memory_order_relaxed);
+        if (!stateIsValue(own_state))
             return false;
+        const std::uint64_t own_value =
+            own->newValue.load(std::memory_order_relaxed);
+        if (own_state == kFull) {
+            if (value)
+                *value = own_value;
+            return true;
+        }
+        const ValueRef own_ref = own_value;
+        if (!valueRefIsBlob(own_ref)) {
+            if (value)
+                *value = inlineNumeric(own_ref);
+            return true;
+        }
+        std::uint64_t word = 0;
+        arena_.readBlobWord(own_ref, &word); // own blob: stable
         if (value)
-            *value = own->newValue.load(std::memory_order_relaxed);
+            *value = word;
         return true;
     }
-    if (!found)
+    LiveValue live;
+    if (!found || !settledValueTx(tx, ref, &live))
         return false;
-    if (value)
-        *value = tx.readWord(&values_[slot]);
-    return true;
+    return numericValueTx(tx, *ref.table, ref.slot, live, value);
 }
 
-void
+bool
+Shard::prepareGetBytesTx(polytm::Tx &tx, CommitRecord *record,
+                         std::uint64_t key, std::string *out)
+{
+    bool found = false;
+    WriteIntent *own = nullptr;
+    const SlotRef ref = writeLookup(tx, record, key, &found, &own);
+    if (own) {
+        const std::uint64_t own_state =
+            own->newState.load(std::memory_order_relaxed);
+        if (!stateIsValue(own_state))
+            return false;
+        const std::uint64_t own_value =
+            own->newValue.load(std::memory_order_relaxed);
+        if (own_state == kFull) {
+            out->resize(8);
+            std::memcpy(out->data(), &own_value, 8);
+            return true;
+        }
+        const ValueRef own_ref = own_value;
+        if (!valueRefIsBlob(own_ref)) {
+            inlineRefCopy(own_ref, out);
+            return true;
+        }
+        arena_.readBlob(own_ref, out); // own blob: stable
+        return true;
+    }
+    LiveValue live;
+    if (!found || !settledValueTx(tx, ref, &live))
+        return false;
+    return bytesValueTx(tx, *ref.table, ref.slot, live, out);
+}
+
+bool
 Shard::finalizeIntentTx(polytm::Tx &tx, WriteIntent *intent)
 {
+    ShardTable &table = *intent->table;
     const std::size_t slot = static_cast<std::size_t>(intent->slot);
-    const std::uint64_t word = tx.readWord(&intents_[slot]);
+    const std::uint64_t word = tx.readWord(&table.intents[slot]);
     if (intentOf(word) != intent)
-        return; // a helping writer already folded it
+        return false; // a helping writer already folded it
+    const bool was_pending_insert =
+        tx.readWord(&table.state[slot]) == kPendingInsert;
     const std::uint64_t new_state =
         intent->newState.load(std::memory_order_relaxed);
-    tx.writeWord(&state_[slot], new_state);
-    if (new_state == kFull) {
-        tx.writeWord(&values_[slot],
+    tx.writeWord(&table.state[slot], new_state);
+    if (stateIsValue(new_state)) {
+        tx.writeWord(&table.values[slot],
                      intent->newValue.load(std::memory_order_relaxed));
+        tx.writeWord(&table.expiry[slot],
+                     intent->newExpiry.load(std::memory_order_relaxed));
     }
-    tx.writeWord(&intents_[slot], 0);
+    tx.writeWord(&table.intents[slot], 0);
+    return was_pending_insert && stateIsValue(new_state);
 }
 
 void
 Shard::abortIntentTx(polytm::Tx &tx, WriteIntent *intent)
 {
+    ShardTable &table = *intent->table;
     const std::size_t slot = static_cast<std::size_t>(intent->slot);
-    const std::uint64_t word = tx.readWord(&intents_[slot]);
+    const std::uint64_t word = tx.readWord(&table.intents[slot]);
     if (intentOf(word) != intent)
         return; // a helping writer already discarded it
-    if (tx.readWord(&state_[slot]) == kPendingInsert)
-        tx.writeWord(&state_[slot], kTombstone);
-    tx.writeWord(&intents_[slot], 0);
+    if (tx.readWord(&table.state[slot]) == kPendingInsert)
+        tx.writeWord(&table.state[slot], kTombstone);
+    tx.writeWord(&table.intents[slot], 0);
 }
 
 bool
@@ -497,11 +926,74 @@ Shard::get(polytm::ThreadToken &token, std::uint64_t key,
 
 bool
 Shard::put(polytm::ThreadToken &token, std::uint64_t key,
-           std::uint64_t value)
+           std::uint64_t value, std::uint64_t ttl_nanos)
+{
+    const std::uint64_t expiry =
+        ttl_nanos == 0 ? 0 : nowNanos() + ttl_nanos;
+    if (expiry != 0)
+        ttlSeen_.store(true, std::memory_order_relaxed);
+    std::vector<std::uint64_t> reclaim;
+    for (;;) {
+        // Capacity snapshot BEFORE the attempt: if a concurrent grow
+        // doubles the table mid-attempt, tryGrow sees the enlarged
+        // live table, returns immediately, and the retry runs against
+        // it instead of failing a capped shard spuriously.
+        const std::size_t cap = capacity();
+        bool ok = false;
+        SlotImage pre;
+        poly_.run(token, [&](polytm::Tx &tx) {
+            reclaim.clear(); // retried attempts restart
+            ok = putTx(tx, key, value, expiry, &pre, &reclaim);
+        });
+        if (ok) {
+            finishWrite(token, pre, reclaim);
+            return true;
+        }
+        if (!tryGrow(token, cap))
+            return false;
+    }
+}
+
+bool
+Shard::putBytes(polytm::ThreadToken &token, std::uint64_t key,
+                const void *data, std::size_t len,
+                std::uint64_t ttl_nanos)
+{
+    const std::uint64_t expiry =
+        ttl_nanos == 0 ? 0 : nowNanos() + ttl_nanos;
+    if (expiry != 0)
+        ttlSeen_.store(true, std::memory_order_relaxed);
+    const ValueRef ref = len <= kValueRefInlineMax
+                             ? makeInlineRef(data, len)
+                             : arena_.allocBlob(data, len);
+    std::vector<std::uint64_t> reclaim;
+    for (;;) {
+        const std::size_t cap = capacity(); // before the attempt
+        bool ok = false;
+        SlotImage pre;
+        poly_.run(token, [&](polytm::Tx &tx) {
+            reclaim.clear();
+            ok = putRefTx(tx, key, ref, expiry, &pre, &reclaim);
+        });
+        if (ok) {
+            finishWrite(token, pre, reclaim);
+            return true;
+        }
+        if (!tryGrow(token, cap)) {
+            arena_.freeBlob(ref); // never published
+            return false;
+        }
+    }
+}
+
+bool
+Shard::getBytes(polytm::ThreadToken &token, std::uint64_t key,
+                std::string *out)
 {
     bool ok = false;
-    poly_.run(token,
-              [&](polytm::Tx &tx) { ok = putTx(tx, key, value); });
+    poly_.run(token, [&](polytm::Tx &tx) {
+        ok = snapshotGetBytesTx(tx, key, out, nullptr);
+    });
     return ok;
 }
 
@@ -509,7 +1001,13 @@ bool
 Shard::del(polytm::ThreadToken &token, std::uint64_t key)
 {
     bool ok = false;
-    poly_.run(token, [&](polytm::Tx &tx) { ok = delTx(tx, key); });
+    std::vector<std::uint64_t> reclaim;
+    poly_.run(token, [&](polytm::Tx &tx) {
+        reclaim.clear();
+        ok = delTx(tx, key, nullptr, &reclaim);
+    });
+    for (const std::uint64_t ref : reclaim)
+        arena_.freeBlob(ref);
     return ok;
 }
 
@@ -518,26 +1016,40 @@ Shard::scanTx(polytm::Tx &tx, std::uint64_t start_key, std::size_t limit,
               std::vector<std::pair<std::uint64_t, std::uint64_t>> *out,
               bool *unstable)
 {
-    std::size_t count = 0;
+    if (out)
+        out->clear(); // retried attempts restart the collection
+    return scanWalkTx(
+        tx, start_key, limit, unstable,
+        [&](ShardTable &table, std::size_t slot,
+            const LiveValue &live) {
+            std::uint64_t word = 0;
+            if (!numericValueTx(tx, table, slot, live, &word))
+                return false;
+            if (out)
+                out->emplace_back(tx.readWord(&table.keys[slot]), word);
+            return true;
+        });
+}
+
+std::size_t
+Shard::scanEntriesTx(polytm::Tx &tx, std::uint64_t start_key,
+                     std::size_t limit, std::vector<ScanEntry> *out,
+                     bool *unstable)
+{
     if (out)
         out->clear();
-    if (unstable)
-        *unstable = false; // retried attempts restart
-    std::size_t slot = homeSlot(start_key);
-    for (std::size_t step = 0; step < slots_ && count < limit; ++step) {
-        const std::uint64_t state = tx.readWord(&state_[slot]);
-        if (state == kFull || state == kPendingInsert) {
-            std::uint64_t value = 0;
-            if (resolveSlotLiveTx(tx, slot, &value, unstable)) {
-                if (out) {
-                    out->emplace_back(tx.readWord(&keys_[slot]), value);
-                }
-                ++count;
-            }
-        }
-        slot = (slot + 1) & mask_;
-    }
-    return count;
+    return scanWalkTx(
+        tx, start_key, limit, unstable,
+        [&](ShardTable &table, std::size_t slot,
+            const LiveValue &live) {
+            ScanEntry entry;
+            entry.key = tx.readWord(&table.keys[slot]);
+            if (!bytesValueTx(tx, table, slot, live, &entry.bytes))
+                return false;
+            if (out)
+                out->push_back(std::move(entry));
+            return true;
+        });
 }
 
 std::size_t
@@ -562,13 +1074,341 @@ Shard::scan(polytm::ThreadToken &token, std::uint64_t start_key,
     }
 }
 
+void
+Shard::noteConsumed(std::size_t n)
+{
+    TableEpoch *ep = epochMirror_.load(std::memory_order_acquire);
+    ep->live->consumed.fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+Shard::finishWrite(polytm::ThreadToken &token, const SlotImage &pre,
+                   const std::vector<std::uint64_t> &reclaim)
+{
+    for (const std::uint64_t ref : reclaim)
+        arena_.freeBlob(ref);
+    if (pre.state == kEmpty)
+        noteConsumed(1);
+    maintainTick(token);
+}
+
+std::size_t
+Shard::capacity() const
+{
+    return epochMirror_.load(std::memory_order_acquire)->live->slots;
+}
+
+bool
+Shard::migrationActive() const
+{
+    return epochMirror_.load(std::memory_order_acquire)->old != nullptr;
+}
+
+namespace {
+
+/**
+ * Pin a token for a maintenance span so its transactions never park
+ * behind the parallelism gate while the thread holds a resource
+ * others wait on (growMutex_, a claimed migration chunk) — the same
+ * §4.2 escape hatch the multiOp paths use. Pins don't nest: a caller
+ * that is itself pinned (a multiOp's grow-retry) gets transiently
+ * unpinned at this guard's exit, which is safe because every
+ * poly_.run between here and the outer span's end is itself guarded.
+ */
+class PinGuard
+{
+  public:
+    PinGuard(polytm::PolyTm &poly, int tid) : poly_(poly), tid_(tid)
+    {
+        poly_.setPinned(tid_, true);
+    }
+    ~PinGuard() { poly_.setPinned(tid_, false); }
+
+  private:
+    polytm::PolyTm &poly_;
+    int tid_;
+};
+
+} // namespace
+
+void
+Shard::publishEpoch(polytm::ThreadToken &token, TableEpoch *next)
+{
+    // Pinned: this runs under growMutex_, and a publisher parked by a
+    // shrunk parallelism degree would stall every grower behind the
+    // mutex until the next retune.
+    PinGuard pin(poly_, token.tid);
+    poly_.run(token, [&](polytm::Tx &tx) {
+        tx.writeWord(&epochWord_,
+                     reinterpret_cast<std::uint64_t>(next));
+    });
+    epochMirror_.store(next, std::memory_order_release);
+}
+
+bool
+Shard::growLocked(polytm::ThreadToken &token, std::size_t full_capacity)
+{
+    // growMutex_ held by the caller.
+    TableEpoch *cur = epochMirror_.load(std::memory_order_acquire);
+    if (cur->live->slots > full_capacity)
+        return true; // someone already grew past the reported size
+    if (cur->live->slots >= maxSlots_)
+        return false; // capped: the caller's op has genuinely failed
+    // The current live table becomes the migration source; set up its
+    // chunk accounting before anyone can claim a chunk.
+    ShardTable *source = cur->live;
+    const std::size_t chunk = options_.migrateChunkSlots;
+    source->totalChunks = (source->slots + chunk - 1) / chunk;
+    source->chunkDone =
+        std::make_unique<std::atomic<std::uint8_t>[]>(
+            source->totalChunks);
+    source->migrateCursor.store(0, std::memory_order_relaxed);
+    source->chunksDone.store(0, std::memory_order_relaxed);
+    tables_.push_back(
+        std::make_unique<ShardTable>(source->slots * 2));
+    epochs_.push_back(std::make_unique<TableEpoch>(
+        TableEpoch{tables_.back().get(), source}));
+    publishEpoch(token, epochs_.back().get());
+    growCount_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+Shard::tryGrow(polytm::ThreadToken &token, std::size_t full_capacity)
+{
+    if (full_capacity >= maxSlots_)
+        return false; // capped: no amount of helping can add room
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lk(growMutex_);
+            TableEpoch *cur =
+                epochMirror_.load(std::memory_order_acquire);
+            if (!cur->old)
+                return growLocked(token, full_capacity);
+            if (cur->live->slots > full_capacity)
+                return true; // a concurrent grow already helped
+        }
+        // A migration is in flight: help drain it, then re-check.
+        migrateChunk(token);
+    }
+}
+
+void
+Shard::drainMigration(polytm::ThreadToken &token)
+{
+    while (migrationActive()) {
+        migrateChunk(token);
+        std::this_thread::yield();
+    }
+}
+
+bool
+Shard::migrateChunk(polytm::ThreadToken &token)
+{
+    TableEpoch *ep = epochMirror_.load(std::memory_order_acquire);
+    ShardTable *old = ep->old;
+    if (!old)
+        return false;
+    // Pinned for the claim-to-completion span: a claimer parked by a
+    // shrunk parallelism degree would strand its chunk, wedging
+    // migration completion (and every tryGrow looping on it) until
+    // the next retune.
+    PinGuard pin(poly_, token.tid);
+    const std::size_t chunk = options_.migrateChunkSlots;
+    const std::size_t begin =
+        old->migrateCursor.fetch_add(chunk, std::memory_order_acq_rel);
+    if (begin >= old->slots) {
+        // Someone else claimed the tail; migration finishes when the
+        // last claimed chunk lands.
+        std::this_thread::yield();
+        return migrationActive();
+    }
+    const std::size_t end =
+        begin + chunk < old->slots ? begin + chunk : old->slots;
+
+    std::vector<std::uint64_t> reclaim; // expired entries' blobs
+    bool stalled = false;
+    std::size_t consumed_live = 0;
+    poly_.run(token, [&](polytm::Tx &tx) {
+        reclaim.clear(); // retried attempts restart
+        stalled = false;
+        consumed_live = 0;
+        TableEpoch *cur = epochTx(tx);
+        if (cur->old != old)
+            return; // migration already finished under us
+        ShardTable &live = *cur->live;
+        for (std::size_t slot = begin; slot < end; ++slot) {
+            const std::uint64_t word =
+                tx.readWord(&old->intents[slot]);
+            if (word != 0)
+                resolveForeignIntentTx(tx, *old, slot, word);
+            const std::uint64_t state =
+                tx.readWord(&old->state[slot]);
+            if (!stateIsValue(state))
+                continue;
+            const std::uint64_t value =
+                tx.readWord(&old->values[slot]);
+            const std::uint64_t deadline =
+                tx.readWord(&old->expiry[slot]);
+            if (deadline != 0 && deadline <= nowNanos()) {
+                // Expired: drop instead of moving.
+                tx.writeWord(&old->state[slot], kTombstone);
+                if (state == kFullRef)
+                    reclaim.push_back(value);
+                continue;
+            }
+            const std::uint64_t key = tx.readWord(&old->keys[slot]);
+            bool found = false;
+            const std::size_t dst = probe(tx, live, key, &found);
+            if (found) {
+                // Legitimately reachable when a stall rewind makes
+                // two claimers re-process overlapping ranges: the
+                // live copy is the relocated (or newer) one — drop
+                // the old-table copy.
+                tx.writeWord(&old->state[slot], kTombstone);
+                if (state == kFullRef)
+                    reclaim.push_back(value);
+                continue;
+            }
+            if (dst == live.slots) {
+                // Live table out of room (only reachable on a capped
+                // shard under extreme fill): park the rest of this
+                // chunk; deletes/sweeps will free space eventually.
+                stalled = true;
+                return;
+            }
+            if (tx.readWord(&live.state[dst]) == kEmpty)
+                ++consumed_live;
+            tx.writeWord(&live.state[dst], state);
+            tx.writeWord(&live.keys[dst], key);
+            tx.writeWord(&live.values[dst], value);
+            tx.writeWord(&live.expiry[dst], deadline);
+            tx.writeWord(&old->state[slot], kTombstone);
+        }
+    });
+    for (const std::uint64_t ref : reclaim)
+        arena_.freeBlob(ref);
+    if (consumed_live > 0)
+        noteConsumed(consumed_live);
+    if (stalled) {
+        // Give the chunk back: relocated slots are tombstones now, so
+        // re-processing is idempotent, and the rewind target is the
+        // chunk's own begin, so claims stay chunk-aligned. CAS-min
+        // keeps concurrent claims monotone.
+        std::size_t cur =
+            old->migrateCursor.load(std::memory_order_relaxed);
+        while (cur > begin && !old->migrateCursor.compare_exchange_weak(
+                                  cur, begin, std::memory_order_acq_rel))
+            ;
+        return true;
+    }
+    // Count each chunk exactly once: after a stall rewind the same
+    // chunk can complete under several claimers, and double-counting
+    // would let chunksDone reach the total while another chunk still
+    // holds un-migrated keys — retiring the old table would lose them.
+    const std::size_t chunk_index = begin / chunk;
+    if (old->chunkDone[chunk_index].exchange(
+            1, std::memory_order_acq_rel) == 0) {
+        if (old->chunksDone.fetch_add(1, std::memory_order_acq_rel) +
+                1 ==
+            old->totalChunks)
+            finishMigration(token, old);
+    }
+    return migrationActive();
+}
+
+void
+Shard::finishMigration(polytm::ThreadToken &token, ShardTable *old)
+{
+    std::lock_guard<std::mutex> lk(growMutex_);
+    TableEpoch *cur = epochMirror_.load(std::memory_order_acquire);
+    if (cur->old != old)
+        return;
+    epochs_.push_back(std::make_unique<TableEpoch>(
+        TableEpoch{cur->live, nullptr}));
+    publishEpoch(token, epochs_.back().get());
+}
+
+void
+Shard::sweepChunk(polytm::ThreadToken &token)
+{
+    TableEpoch *ep = epochMirror_.load(std::memory_order_acquire);
+    ShardTable &live = *ep->live;
+    const std::size_t chunk = options_.sweepChunkSlots;
+    const std::size_t begin =
+        live.sweepCursor.fetch_add(chunk, std::memory_order_relaxed) %
+        live.slots;
+
+    std::vector<std::uint64_t> reclaim;
+    poly_.run(token, [&](polytm::Tx &tx) {
+        reclaim.clear();
+        TableEpoch *cur = epochTx(tx);
+        if (cur->live != &live)
+            return; // table rotated under the clock hand
+        std::size_t slot = begin;
+        for (std::size_t step = 0; step < chunk; ++step) {
+            // Slots under an intent belong to an in-flight commit;
+            // leave them to their owner.
+            if (tx.readWord(&live.intents[slot]) == 0) {
+                const std::uint64_t state =
+                    tx.readWord(&live.state[slot]);
+                if (stateIsValue(state)) {
+                    const std::uint64_t deadline =
+                        tx.readWord(&live.expiry[slot]);
+                    if (deadline != 0 && deadline <= nowNanos()) {
+                        if (state == kFullRef)
+                            reclaim.push_back(
+                                tx.readWord(&live.values[slot]));
+                        tx.writeWord(&live.state[slot], kTombstone);
+                    }
+                }
+            }
+            slot = (slot + 1) & live.mask;
+        }
+    });
+    for (const std::uint64_t ref : reclaim)
+        arena_.freeBlob(ref);
+}
+
+void
+Shard::maintainTick(polytm::ThreadToken &token)
+{
+    TableEpoch *ep = epochMirror_.load(std::memory_order_acquire);
+    if (ep->old) {
+        migrateChunk(token);
+        return;
+    }
+    ShardTable &live = *ep->live;
+    if (live.slots < maxSlots_ &&
+        live.consumed.load(std::memory_order_relaxed) * 100 >=
+            live.slots * options_.growLoadPercent) {
+        std::lock_guard<std::mutex> lk(growMutex_);
+        growLocked(token, live.slots);
+        return;
+    }
+    if (ttlSeen_.load(std::memory_order_relaxed) &&
+        (maintainTicks_.fetch_add(1, std::memory_order_relaxed) & 63) ==
+            0)
+        sweepChunk(token);
+}
+
 std::size_t
 Shard::sizeQuiesced() const
 {
-    std::size_t n = 0;
-    for (const std::uint64_t state : state_)
-        n += state == kFull ? 1 : 0;
-    return n;
+    const std::uint64_t now = nowNanos();
+    TableEpoch *ep = epochMirror_.load(std::memory_order_acquire);
+    const auto count = [&](const ShardTable *table) {
+        std::size_t n = 0;
+        if (!table)
+            return n;
+        for (std::size_t slot = 0; slot < table->slots; ++slot) {
+            if (stateIsValue(table->state[slot]) &&
+                (table->expiry[slot] == 0 || table->expiry[slot] > now))
+                ++n;
+        }
+        return n;
+    };
+    return count(ep->live) + count(ep->old);
 }
 
 } // namespace proteus::kvstore

@@ -1,54 +1,101 @@
 /**
  * @file
- * One ProteusKV shard: an open-addressing hash table whose every
- * operation runs as a transaction on the shard's private PolyTM
+ * One ProteusKV shard: an elastic open-addressing hash table whose
+ * every operation runs as a transaction on the shard's private PolyTM
  * instance.
  *
- * Layout: four parallel word arrays (state / key / value / intent),
- * linear probing with tombstones. All slot words are accessed only
- * through Tx::readWord/writeWord, so any mix of backends (STM,
- * emulated HTM, hybrid, global lock) serializes get/put/del/scan
- * correctly — and the shard can be re-tuned (backend, parallelism
- * degree, CM knobs) live by a per-shard ProteusRuntime without pausing
- * the service.
+ * Layout: a shard owns a chain of ShardTables (five parallel word
+ * arrays each: state / key / value / expiry / intent, linear probing
+ * with tombstones) plus a ValueArena for wide values. All slot words
+ * are accessed only through Tx::readWord/writeWord, so any mix of
+ * backends (STM, emulated HTM, hybrid, global lock) serializes
+ * get/put/del/scan correctly — and the shard can be re-tuned live by
+ * a per-shard ProteusRuntime without pausing the service.
+ *
+ * Online resize. Which tables exist is itself transactional state: a
+ * TM-visible epoch word holds a pointer to an immutable TableEpoch
+ * {live, old}. Every operation reads the epoch word first, so a grow
+ * (publishing a doubled live table with the previous one as `old`)
+ * invalidates every straddling transaction through ordinary TM
+ * conflict detection. During migration, lookups consult live-then-old;
+ * inserts go to live only; updates and deletes hit the key wherever it
+ * currently lives — a key is live in at most one table at any
+ * committed state. Writers piggyback bounded migration chunks
+ * (maintainTick) that relocate old-table slots into live as small
+ * transactions; when the old table drains, a follow-up epoch {live,
+ * nullptr} retires it. Retired tables and epochs are never freed
+ * before shard destruction, so a doomed transaction that loaded a
+ * stale epoch never touches unmapped memory. put() only reports
+ * failure once growth is capped (ShardOptions::maxLog2Slots) AND the
+ * table is full; otherwise callers grow-and-retry via tryGrow().
+ *
+ * Values. A slot's value word is state-tagged: kFull means a raw
+ * 64-bit value (numeric API, kAdd arithmetic); kFullRef means a
+ * ValueRef — inline small bytes or a blob handle into the shard's
+ * ValueArena (see value_arena.hpp). Numeric reads of byte values
+ * decode the leading 8 bytes; byte reads of numeric values return the
+ * 8 raw bytes. Blob allocation happens outside transactions; displaced
+ * blob handles are pushed onto caller-provided reclaim lists and freed
+ * only after the displacing transaction committed.
+ *
+ * TTL. A slot's expiry word is an absolute nowNanos() deadline (0 =
+ * none). Reads treat an expired slot as absent (lazy expiry); a
+ * clock-hand sweep (the migration walker pointed at the live table)
+ * tombstones expired slots in the background.
  *
  * Write intents (2PC commit mode). A slot's intent word is either 0 or
  * a pointer to a WriteIntent belonging to an in-flight cross-shard
  * commit (see commit_record.hpp). Slot states then read as:
- *  - kFull + intent: the pre-image is live until the intent's record
- *    commits, after which the intent's post-image wins;
+ *  - kFull/kFullRef + intent: the pre-image is live until the intent's
+ *    record commits, after which the intent's post-image wins;
  *  - kPendingInsert (+ intent, always): the key is invisible until the
  *    record commits; the slot is consumed so concurrent inserts probe
- *    past it. Finalize turns it kFull, abort turns it kTombstone
- *    (never back to kEmpty — probe chains may already run past it).
+ *    past it. Finalize turns it kFull/kFullRef, abort turns it
+ *    kTombstone (never back to kEmpty — probe chains may already run
+ *    past it).
  * Readers resolve intents without blocking. Writers fold a finished
  * (committed/aborted) intent in their own transaction and proceed; a
  * still-pending intent makes a writer wait out the short prepare→
  * commit window (retry-with-backoff when the backend is revocable,
  * in-place spin on the status word when irrevocable — the commit flip
  * is a plain atomic store, so it needs no TM resources a spinner
- * could be holding).
- *
- * Capacity is fixed at construction (the usual TM-benchmark stance:
- * no transactional resize). put() reports failure on a full table.
+ * could be holding). Intents record the table they were installed in,
+ * so a 2PC that straddles a grow finalizes against the right slots.
  */
 
 #ifndef PROTEUS_KVSTORE_SHARD_HPP
 #define PROTEUS_KVSTORE_SHARD_HPP
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "kvstore/commit_record.hpp"
+#include "kvstore/value_arena.hpp"
 #include "polytm/polytm.hpp"
 
 namespace proteus::kvstore {
 
 struct ShardOptions
 {
-    /** log2 of the slot count; default 2^14 slots. */
+    /** log2 of the initial slot count; default 2^14 slots. */
     unsigned log2Slots = 14;
+    /**
+     * Growth cap: tables double until 2^maxLog2Slots slots. 0 means
+     * unbounded; equal to log2Slots pins the seed's fixed capacity
+     * (put() then reports failure on a full table again).
+     */
+    unsigned maxLog2Slots = 0;
+    /** Consumed-slot percentage that triggers a proactive grow. */
+    unsigned growLoadPercent = 70;
+    /** Old-table slots relocated per migration step. */
+    unsigned migrateChunkSlots = 64;
+    /** Live-table slots visited per TTL sweep step. */
+    unsigned sweepChunkSlots = 64;
     /** TM configuration active at construction. */
     polytm::TmConfig initial{};
     /**
@@ -60,10 +107,78 @@ struct ShardOptions
     unsigned log2Orecs = 16;
 };
 
+/** Slot states; the value word's interpretation is state-tagged. */
+enum SlotState : std::uint64_t
+{
+    kEmpty = 0,
+    kFull = 1, //!< value word is a raw 64-bit value
+    kTombstone = 2,
+    /** Insert prepared by an uncommitted cross-shard commit. */
+    kPendingInsert = 3,
+    kFullRef = 4, //!< value word is a ValueRef (see value_arena.hpp)
+};
+
+/** One table generation (see the resize notes in the file comment). */
+struct ShardTable
+{
+    explicit ShardTable(std::size_t slot_count)
+        : slots(slot_count), mask(slot_count - 1),
+          state(slot_count, kEmpty), keys(slot_count, 0),
+          values(slot_count, 0), expiry(slot_count, 0),
+          intents(slot_count, 0)
+    {}
+
+    const std::size_t slots;
+    const std::size_t mask;
+    std::vector<std::uint64_t> state;
+    std::vector<std::uint64_t> keys;
+    std::vector<std::uint64_t> values;
+    /** Absolute nowNanos() deadline; 0 = no TTL. */
+    std::vector<std::uint64_t> expiry;
+    /** 0 or a WriteIntent* of an in-flight cross-shard commit. */
+    std::vector<std::uint64_t> intents;
+
+    /** Heuristic non-kEmpty slot count (grow trigger; drift is ok). */
+    std::atomic<std::size_t> consumed{0};
+    /** Next migration chunk to claim (when this is the old table).
+     *  Chunk claims are always chunk-aligned: stall rewinds CAS back
+     *  to a chunk's begin, never into its middle. */
+    std::atomic<std::size_t> migrateCursor{0};
+    /** Distinct migration chunks fully relocated. */
+    std::atomic<std::size_t> chunksDone{0};
+    /** Per-chunk completion bits (allocated when this table becomes
+     *  the migration source): a chunk re-processed after a stall
+     *  rewind must count toward chunksDone exactly once, or the old
+     *  table could retire with un-migrated keys still in it. */
+    std::unique_ptr<std::atomic<std::uint8_t>[]> chunkDone;
+    std::size_t totalChunks = 0;
+    /** TTL clock hand (when this is the live table). */
+    std::atomic<std::size_t> sweepCursor{0};
+};
+
+/**
+ * Immutable per-generation table view; the shard's TM-visible epoch
+ * word points at the current one.
+ */
+struct TableEpoch
+{
+    ShardTable *live = nullptr;
+    ShardTable *old = nullptr; //!< non-null while migrating
+};
+
+/** Pre-image of one slot (kEmpty state = key was absent). */
+struct SlotImage
+{
+    std::uint64_t state = kEmpty;
+    std::uint64_t value = 0;
+    std::uint64_t expiry = 0;
+};
+
 class Shard
 {
   public:
     explicit Shard(ShardOptions options = {});
+    ~Shard();
 
     Shard(const Shard &) = delete;
     Shard &operator=(const Shard &) = delete;
@@ -80,17 +195,28 @@ class Shard
         poly_.deregisterThread(token);
     }
 
-    /** Whole-op transactions (each runs its own PolyTM transaction). */
+    /**
+     * Whole-op transactions (each runs its own PolyTM transaction).
+     * put()/putBytes() grow-and-retry on a full table and fail only
+     * when growth is capped. ttl_nanos is relative (0 = no expiry).
+     */
     bool get(polytm::ThreadToken &token, std::uint64_t key,
              std::uint64_t *value = nullptr);
     bool put(polytm::ThreadToken &token, std::uint64_t key,
-             std::uint64_t value);
+             std::uint64_t value, std::uint64_t ttl_nanos = 0);
     bool del(polytm::ThreadToken &token, std::uint64_t key);
+    bool putBytes(polytm::ThreadToken &token, std::uint64_t key,
+                  const void *data, std::size_t len,
+                  std::uint64_t ttl_nanos = 0);
+    bool getBytes(polytm::ThreadToken &token, std::uint64_t key,
+                  std::string *out);
 
     /**
      * Collect up to `limit` live entries starting from key's home slot
      * (YCSB-E-style short range scan; open addressing makes it a slot
-     * walk, not a key-ordered scan). One transaction.
+     * walk, not a key-ordered scan). One transaction. During a
+     * migration the walk covers the live table, then the old one — a
+     * key is live in at most one of them.
      */
     std::size_t scan(polytm::ThreadToken &token, std::uint64_t start_key,
                      std::size_t limit,
@@ -101,7 +227,11 @@ class Shard
      * Transactional primitives for composition: run inside a caller-
      * managed transaction (KvStore multi-key commits, batches). All are
      * intent-aware: they resolve any write intent on the touched slot
-     * as described in the file comment.
+     * as described in the file comment. Write primitives optionally
+     * report the displaced pre-image (`pre`, captured after intent
+     * resolution from the same probe walk) for compensation-log
+     * callers, and push displaced blob handles onto `reclaim` — the
+     * caller frees those only after the transaction committed.
      */
     bool getTx(polytm::Tx &tx, std::uint64_t key,
                std::uint64_t *value = nullptr);
@@ -115,6 +245,8 @@ class Shard
      */
     bool snapshotGetTx(polytm::Tx &tx, std::uint64_t key,
                        std::uint64_t *value, bool *unstable);
+    bool snapshotGetBytesTx(polytm::Tx &tx, std::uint64_t key,
+                            std::string *out, bool *unstable);
     /**
      * getTx that first makes the slot writable — waiting out / folding
      * any foreign intent exactly like the write primitives do — so the
@@ -126,17 +258,35 @@ class Shard
      */
     bool getForUpdateTx(polytm::Tx &tx, std::uint64_t key,
                         std::uint64_t *value);
-    /**
-     * The write primitives optionally report the displaced pre-image
-     * (`existed` / `old_value`, captured after intent resolution) so
-     * compensation-log callers get it from the same probe walk
-     * instead of a second lookup.
-     */
+    bool getBytesForUpdateTx(polytm::Tx &tx, std::uint64_t key,
+                             std::string *out);
+    /** Store a raw 64-bit value (state kFull). False on a full table. */
     bool putTx(polytm::Tx &tx, std::uint64_t key, std::uint64_t value,
-               bool *existed = nullptr,
-               std::uint64_t *old_value = nullptr);
+               std::uint64_t expiry = 0, SlotImage *pre = nullptr,
+               std::vector<std::uint64_t> *reclaim = nullptr);
+    /** Store a ValueRef (state kFullRef). False on a full table. */
+    bool putRefTx(polytm::Tx &tx, std::uint64_t key, ValueRef ref,
+                  std::uint64_t expiry = 0, SlotImage *pre = nullptr,
+                  std::vector<std::uint64_t> *reclaim = nullptr);
     bool delTx(polytm::Tx &tx, std::uint64_t key,
-               std::uint64_t *old_value = nullptr);
+               SlotImage *pre = nullptr,
+               std::vector<std::uint64_t> *reclaim = nullptr);
+    /**
+     * value += delta (two's-complement), creating the key at delta.
+     * A byte value is coerced through its numeric decode (the blob is
+     * displaced onto `reclaim`).
+     */
+    bool addTx(polytm::Tx &tx, std::uint64_t key, std::int64_t delta,
+               SlotImage *pre = nullptr,
+               std::vector<std::uint64_t> *reclaim = nullptr);
+    /**
+     * Compensation-log replay: force the slot for `key` back to the
+     * given pre-image (kEmpty state deletes). Runs inside the same
+     * revert transaction / latch window as the failed attempt, so the
+     * insert point is always available.
+     */
+    void restoreTx(polytm::Tx &tx, std::uint64_t key,
+                   const SlotImage &pre);
     /** `unstable` as in snapshotGetTx: set when a slot resolved a
      *  still-PENDING intent — the caller must retry the scan or risk
      *  returning a torn mix of one composite's pre-/post-images. */
@@ -144,10 +294,16 @@ class Shard
     scanTx(polytm::Tx &tx, std::uint64_t start_key, std::size_t limit,
            std::vector<std::pair<std::uint64_t, std::uint64_t>> *out,
            bool *unstable = nullptr);
-    /** value += delta (two's-complement), creating the key at delta. */
-    bool addTx(polytm::Tx &tx, std::uint64_t key, std::int64_t delta,
-               bool *existed = nullptr,
-               std::uint64_t *old_value = nullptr);
+    /** Byte-decoding scan (numeric values yield their 8 raw bytes). */
+    struct ScanEntry
+    {
+        std::uint64_t key = 0;
+        std::string bytes;
+    };
+    std::size_t scanEntriesTx(polytm::Tx &tx, std::uint64_t start_key,
+                              std::size_t limit,
+                              std::vector<ScanEntry> *out,
+                              bool *unstable = nullptr);
 
     /**
      * 2PC prepare primitives: validate the operation and publish a
@@ -158,30 +314,41 @@ class Shard
      * until the enclosing transaction commits). `*applied` receives
      * the op's logical outcome exactly as the direct primitives
      * report it. preparePutTx/prepareAddTx return false only when the
-     * table has no slot (the caller must then abort the whole commit).
+     * table has no slot (the caller must then grow-and-retry, or
+     * abort the whole commit when growth is capped). `new_state` is
+     * kFull or kFullRef; displaced kFullRef pre-images land on
+     * `reclaim` (freed by the owner only after the record committed).
      */
     bool preparePutTx(polytm::Tx &tx, CommitRecord *record,
                       IntentArena &arena,
                       std::vector<WriteIntent *> &out, std::uint64_t key,
-                      std::uint64_t value, bool *applied);
+                      std::uint64_t new_state, std::uint64_t value,
+                      std::uint64_t expiry, bool *applied,
+                      std::vector<std::uint64_t> *reclaim = nullptr);
     void prepareDelTx(polytm::Tx &tx, CommitRecord *record,
                       IntentArena &arena,
                       std::vector<WriteIntent *> &out, std::uint64_t key,
-                      bool *applied);
+                      bool *applied,
+                      std::vector<std::uint64_t> *reclaim = nullptr);
     bool prepareAddTx(polytm::Tx &tx, CommitRecord *record,
                       IntentArena &arena,
                       std::vector<WriteIntent *> &out, std::uint64_t key,
-                      std::int64_t delta, bool *applied);
+                      std::int64_t delta, bool *applied,
+                      std::vector<std::uint64_t> *reclaim = nullptr);
     /** Read that sees this commit's own intents (read-your-writes). */
     bool prepareGetTx(polytm::Tx &tx, CommitRecord *record,
                       std::uint64_t key, std::uint64_t *value);
+    bool prepareGetBytesTx(polytm::Tx &tx, CommitRecord *record,
+                           std::uint64_t key, std::string *out);
 
     /**
      * Fold one of this commit's intents into the live slot words and
      * clear the intent pointer; a no-op if a helping writer already
-     * folded it. Call with the record kCommitted.
+     * folded it. Call with the record kCommitted. Returns true when
+     * the fold turned a pending insert into a value slot (the caller
+     * feeds the consumed-slot heuristic).
      */
-    void finalizeIntentTx(polytm::Tx &tx, WriteIntent *intent);
+    bool finalizeIntentTx(polytm::Tx &tx, WriteIntent *intent);
 
     /**
      * Discard one of this commit's intents (pending inserts become
@@ -192,43 +359,138 @@ class Shard
      */
     void abortIntentTx(polytm::Tx &tx, WriteIntent *intent);
 
+    /**
+     * Maintenance step, called by writers after their op commits (and
+     * by the KvStore batching loop): relocates one migration chunk
+     * when a resize is in flight, triggers a proactive grow when the
+     * live table crosses the load threshold, and occasionally advances
+     * the TTL clock hand. Cheap (two atomic loads) when idle.
+     */
+    void maintainTick(polytm::ThreadToken &token);
+
+    /**
+     * Make capacity progress after an operation reported a full table
+     * of `full_capacity` slots: helps drain an in-flight migration,
+     * then doubles the live table. Returns false only when the table
+     * cannot grow past `full_capacity` (maxLog2Slots reached) — the
+     * caller's operation has genuinely failed.
+     */
+    bool tryGrow(polytm::ThreadToken &token, std::size_t full_capacity);
+
+    /** Drive the current migration (if any) to completion. */
+    void drainMigration(polytm::ThreadToken &token);
+
+    /** Bump the heuristic consumed-slot count (insert bookkeeping). */
+    void noteConsumed(std::size_t n);
+
+    /**
+     * Post-commit bookkeeping shared by every direct put path (the
+     * Shard wrappers and KvStore's latch-aware ones): free the
+     * displaced blob handles, feed the consumed-slot heuristic, run a
+     * maintenance tick. Call only after the put's transaction
+     * committed.
+     */
+    void finishWrite(polytm::ThreadToken &token, const SlotImage &pre,
+                     const std::vector<std::uint64_t> &reclaim);
+
+    /** Record that TTL'd values exist (enables the sweep); called by
+     *  layers that drive the *Tx primitives directly. */
+    void noteTtlUsed() { ttlSeen_.store(true, std::memory_order_relaxed); }
+
     polytm::PolyTm &poly() { return poly_; }
     const polytm::PolyTm &poly() const { return poly_; }
 
-    std::size_t capacity() const { return slots_; }
+    ValueArena &arena() { return arena_; }
+
+    /** Current live-table slot count (grows over the shard's life). */
+    std::size_t capacity() const;
+    bool migrationActive() const;
+    /** Resizes completed since construction. */
+    std::uint64_t growCount() const
+    {
+        return growCount_.load(std::memory_order_relaxed);
+    }
 
     /** Live entries; quiesced-only (raw, non-transactional reads). */
     std::size_t sizeQuiesced() const;
 
   private:
-    enum SlotState : std::uint64_t
+    struct SlotRef
     {
-        kEmpty = 0,
-        kFull = 1,
-        kTombstone = 2,
-        /** Insert prepared by an uncommitted cross-shard commit. */
-        kPendingInsert = 3,
+        ShardTable *table = nullptr;
+        std::size_t slot = 0;
     };
 
-    std::size_t homeSlot(std::uint64_t key) const;
+    /** Committed (state, value-word, expiry) of a resolved slot. */
+    struct LiveValue
+    {
+        std::uint64_t state = kEmpty;
+        std::uint64_t value = 0;
+        std::uint64_t expiry = 0;
+    };
+
+    TableEpoch *epochTx(polytm::Tx &tx);
+    static std::size_t homeSlot(const ShardTable &table,
+                                std::uint64_t key);
+
+    std::size_t probe(polytm::Tx &tx, ShardTable &table,
+                      std::uint64_t key, bool *found);
 
     /**
-     * Probe for `key`. Matches kFull and kPendingInsert slots (both
-     * have a valid key word). Returns the matching slot, or the first
-     * reusable slot (tombstone if seen, else the terminating empty
-     * slot) with *found=false; capacity() when the probe wrapped with
-     * no reusable slot.
+     * Reader lookup: probe live-then-old and resolve the match to its
+     * committed view. False when the key is logically absent.
      */
-    std::size_t probe(polytm::Tx &tx, std::uint64_t key, bool *found);
+    bool lookupLiveTx(polytm::Tx &tx, std::uint64_t key, SlotRef *ref,
+                      LiveValue *live, bool *unstable);
+
+    /**
+     * Shared slot walk behind scanTx/scanEntriesTx: visits live
+     * entries starting at `start_key`'s home slot (live table, then
+     * the migration source) and calls emit(table, slot, live) for
+     * each, counting the ones it accepts, up to `limit`.
+     */
+    template <typename Emit>
+    std::size_t
+    scanWalkTx(polytm::Tx &tx, std::uint64_t start_key,
+               std::size_t limit, bool *unstable, Emit &&emit)
+    {
+        std::size_t count = 0;
+        if (unstable)
+            *unstable = false; // retried attempts restart
+        TableEpoch *ep = epochTx(tx);
+        const auto walk = [&](ShardTable &table) {
+            std::size_t slot = homeSlot(table, start_key);
+            for (std::size_t step = 0;
+                 step < table.slots && count < limit; ++step) {
+                const std::uint64_t state =
+                    tx.readWord(&table.state[slot]);
+                if (state == kFull || state == kFullRef ||
+                    state == kPendingInsert) {
+                    LiveValue live;
+                    if (resolveSlotLiveTx(tx, table, slot, &live,
+                                          unstable) &&
+                        emit(table, slot, live))
+                        ++count;
+                }
+                slot = (slot + 1) & table.mask;
+            }
+        };
+        // A key is live in at most one table, so walking both cannot
+        // double-count.
+        walk(*ep->live);
+        if (ep->old)
+            walk(*ep->old);
+        return count;
+    }
 
     /**
      * Logical liveness+value of a probed-matching slot for readers:
-     * resolves any intent against its commit record without writing.
-     * `unstable` (optional) is set on a pre-image read under a
-     * PENDING intent (see snapshotGetTx).
+     * resolves any intent against its commit record without writing
+     * and applies lazy TTL expiry. `unstable` (optional) is set on a
+     * pre-image read under a PENDING intent (see snapshotGetTx).
      */
-    bool resolveSlotLiveTx(polytm::Tx &tx, std::size_t slot,
-                           std::uint64_t *value,
+    bool resolveSlotLiveTx(polytm::Tx &tx, ShardTable &table,
+                           std::size_t slot, LiveValue *out,
                            bool *unstable = nullptr);
 
     /**
@@ -237,34 +499,85 @@ class Shard
      * the transaction (revocable backends) to wait for a pending
      * commit.
      */
-    void resolveForeignIntentTx(polytm::Tx &tx, std::size_t slot,
-                                std::uint64_t word);
+    void resolveForeignIntentTx(polytm::Tx &tx, ShardTable &table,
+                                std::size_t slot, std::uint64_t word);
 
     /**
-     * Probe + make the matched slot writable. On return with
-     * *found=true the slot carries either no intent (state kFull) or
-     * this commit's own intent (*own != nullptr, `record` non-null).
-     * *found=false means the key is logically absent; the returned
-     * slot (if < capacity()) is the insert point.
+     * Probe live-then-old + make the matched slot writable. On return
+     * with *found=true the slot carries either no intent (state
+     * kFull/kFullRef) or this commit's own intent (*own != nullptr,
+     * `record` non-null). *found=false means the key is logically
+     * absent; the returned ref is the live-table insert point
+     * (slot == live->slots when the live table has no room).
      */
-    std::size_t writeLookup(polytm::Tx &tx, CommitRecord *record,
-                            std::uint64_t key, bool *found,
-                            WriteIntent **own);
+    SlotRef writeLookup(polytm::Tx &tx, CommitRecord *record,
+                        std::uint64_t key, bool *found,
+                        WriteIntent **own);
+
+    /** Decode the numeric view of a committed (state, value) pair;
+     *  re-reads the slot when a blob was recycled underneath. */
+    bool numericValueTx(polytm::Tx &tx, ShardTable &table,
+                        std::size_t slot, LiveValue live,
+                        std::uint64_t *out);
+    /** Byte view; numeric values yield their 8 raw bytes. */
+    bool bytesValueTx(polytm::Tx &tx, ShardTable &table,
+                      std::size_t slot, LiveValue live,
+                      std::string *out);
+
+    /** Shared body of putTx/putRefTx. */
+    bool putSlotTx(polytm::Tx &tx, std::uint64_t key,
+                   std::uint64_t new_state, std::uint64_t value,
+                   std::uint64_t expiry, SlotImage *pre,
+                   std::vector<std::uint64_t> *reclaim);
 
     WriteIntent *installIntent(polytm::Tx &tx, CommitRecord *record,
                                IntentArena &arena,
                                std::vector<WriteIntent *> &out,
-                               std::size_t slot, std::uint64_t new_state,
-                               std::uint64_t new_value);
+                               ShardTable &table, std::size_t slot,
+                               std::uint64_t new_state,
+                               std::uint64_t new_value,
+                               std::uint64_t new_expiry);
+
+    /** Capture a slot's pre-image (after intent resolution). */
+    SlotImage slotImageTx(polytm::Tx &tx, ShardTable &table,
+                          std::size_t slot);
+
+    /** Literal committed view of a writeLookup match (the slot holds
+     *  no foreign intent any more), applying lazy expiry. */
+    bool settledValueTx(polytm::Tx &tx, const SlotRef &ref,
+                        LiveValue *out);
+
+    /** Relocate one claimed old-table chunk; true while migrating. */
+    bool migrateChunk(polytm::ThreadToken &token);
+    void sweepChunk(polytm::ThreadToken &token);
+    /** Publish a doubled live table; growMutex_ must be held. */
+    bool growLocked(polytm::ThreadToken &token,
+                    std::size_t full_capacity);
+    void finishMigration(polytm::ThreadToken &token, ShardTable *old);
+    void publishEpoch(polytm::ThreadToken &token, TableEpoch *next);
 
     polytm::PolyTm poly_;
-    std::size_t slots_;
-    std::size_t mask_;
-    std::vector<std::uint64_t> state_;
-    std::vector<std::uint64_t> keys_;
-    std::vector<std::uint64_t> values_;
-    /** 0 or a WriteIntent* of an in-flight cross-shard commit. */
-    std::vector<std::uint64_t> intents_;
+    ValueArena arena_;
+    ShardOptions options_;
+    std::size_t maxSlots_;
+
+    /** TM-visible: holds the current TableEpoch*. Every transaction
+     *  reads it, so epoch changes conflict with all straddlers. */
+    alignas(8) std::uint64_t epochWord_ = 0;
+
+    /** Non-transactional mirror for heuristics and quiesced readers;
+     *  correctness always goes through epochWord_. */
+    std::atomic<TableEpoch *> epochMirror_{nullptr};
+
+    /** Guards table/epoch creation and the retire lists. */
+    std::mutex growMutex_;
+    std::vector<std::unique_ptr<ShardTable>> tables_;
+    std::vector<std::unique_ptr<TableEpoch>> epochs_;
+
+    std::atomic<std::uint64_t> growCount_{0};
+    std::atomic<std::uint64_t> maintainTicks_{0};
+    /** Set once any put carries a TTL; gates the sweep. */
+    std::atomic<bool> ttlSeen_{false};
 };
 
 } // namespace proteus::kvstore

@@ -46,6 +46,18 @@ TrafficMix::preset(MixKind kind)
         mix.putRatio = 0.20;
         mix.multiRatio = 0.10;
         break;
+      case MixKind::kCache:
+        // Cache-style traffic: Zipf-skewed gets over a modest key
+        // space, wide values (~128 B, blob-backed), and a short TTL
+        // so the cold tail keeps expiring — hit rate settles well
+        // below 1 and the TTL sweep / lazy expiry paths stay hot.
+        mix.getRatio = 0.85;
+        mix.putRatio = 0.15;
+        mix.zipfTheta = 0.9;
+        mix.keySpace = std::uint64_t{1} << 12;
+        mix.ttlNanos = 50ull * 1000 * 1000; // 50 ms
+        mix.valueBytes = 128;
+        break;
     }
     return mix;
 }
@@ -235,6 +247,12 @@ TrafficDriver::workerBody(int worker_idx)
     KvStore::Session session = store_->openSession();
     Rng rng(options_.seed + 0x9e37ull * static_cast<unsigned>(worker_idx));
     std::vector<KvOp> multi_ops;
+    std::string bytes_buf;
+    const auto fill_payload = [&](std::uint64_t key, std::size_t len) {
+        bytes_buf.resize(len);
+        for (std::size_t i = 0; i < len; ++i)
+            bytes_buf[i] = static_cast<char>((key * 131 + i * 7) & 0xff);
+    };
 
     // Worker-local latency state, merged into the driver on exit so
     // the hot loop never touches shared cache lines for profiling.
@@ -281,17 +299,39 @@ TrafficDriver::workerBody(int worker_idx)
             const double draw = rng.nextDouble();
             const double put_edge = mix.getRatio + mix.putRatio;
             const double del_edge = put_edge + mix.delRatio;
+            const auto do_get = [&] {
+                const bool hit =
+                    mix.valueBytes > 0
+                        ? store_->getBytes(session, key, &bytes_buf)
+                        : store_->get(session, key);
+                getAttempts_.fetch_add(1, std::memory_order_relaxed);
+                if (hit)
+                    getHits_.fetch_add(1, std::memory_order_relaxed);
+            };
             if (draw < mix.getRatio) {
-                store_->get(session, key);
+                do_get();
             } else if (draw < put_edge) {
-                store_->put(session, key, key ^ 0xbeef);
+                if (mix.valueBytes > 0) {
+                    // Sizes spread around the target so the arena's
+                    // size classes and the inline path both see load.
+                    const std::size_t len =
+                        mix.valueBytes / 2 +
+                        static_cast<std::size_t>(
+                            rng.nextBounded(mix.valueBytes));
+                    fill_payload(key, len);
+                    store_->putBytes(session, key, bytes_buf.data(),
+                                     bytes_buf.size(), mix.ttlNanos);
+                } else {
+                    store_->put(session, key, key ^ 0xbeef,
+                                mix.ttlNanos);
+                }
             } else if (draw < del_edge) {
                 store_->del(session, key);
             } else if (draw < del_edge + mix.scanRatio) {
                 store_->scan(session, key, mix.scanLen);
             } else {
                 // Ratios not summing to 1 fall back to the cheapest op.
-                store_->get(session, key);
+                do_get();
             }
         }
         const std::uint64_t op_end = nowNanos();

@@ -47,6 +47,7 @@ enum class MixKind : int
     kWriteHeavy,    //!< 10% get / 85% put / 5% del, Zipfian hot set
     kHotspot,       //!< YCSB-B keys squeezed onto a tiny hot range
     kMixedCross,    //!< 90% single-key / 10% cross-shard writing multiOp
+    kCache,         //!< cache-style: skewed gets, TTL churn, wide values
 };
 
 struct TrafficMix
@@ -61,6 +62,14 @@ struct TrafficMix
     std::uint64_t keySpace = std::uint64_t{1} << 14;
     /** 0 = uniform; else Zipf skew theta in (0, 1]. */
     double zipfTheta = 0;
+    /** Relative TTL attached to every put (0 = none). With a TTL,
+     *  gets start missing once churn lets entries expire — the
+     *  hit-rate statistics make the eviction visible. */
+    std::uint64_t ttlNanos = 0;
+    /** 0 = one-word values; else puts store byte values sized
+     *  uniformly in [valueBytes/2, valueBytes*3/2] and gets read
+     *  through the byte path. */
+    std::size_t valueBytes = 0;
 
     static TrafficMix preset(MixKind kind);
 };
@@ -179,6 +188,25 @@ class TrafficDriver
         return opsCompleted() - multiOpsCompleted();
     }
 
+    /** Single-key gets issued / found (cache hit-rate telemetry:
+     *  under a TTL mix the hit rate visibly drops as entries expire). */
+    std::uint64_t getAttempts() const
+    {
+        return getAttempts_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t getHits() const
+    {
+        return getHits_.load(std::memory_order_relaxed);
+    }
+    double
+    hitRate() const
+    {
+        const std::uint64_t attempts = getAttempts();
+        return attempts == 0 ? 0.0
+                             : static_cast<double>(getHits()) /
+                                   static_cast<double>(attempts);
+    }
+
     /**
      * Latency summary for one phase, merged over all workers that
      * have exited — call after stop() for complete numbers.
@@ -195,6 +223,8 @@ class TrafficDriver
     std::atomic<bool> stop_{false};
     std::atomic<std::uint64_t> opsCompleted_{0};
     std::atomic<std::uint64_t> multiOpsCompleted_{0};
+    std::atomic<std::uint64_t> getAttempts_{0};
+    std::atomic<std::uint64_t> getHits_{0};
     std::atomic<int> activeWorkers_{0};
     std::vector<std::thread> workers_;
     bool running_ = false;

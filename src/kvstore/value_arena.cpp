@@ -1,0 +1,175 @@
+#include "kvstore/value_arena.hpp"
+
+#include <stdexcept>
+
+namespace proteus::kvstore {
+
+namespace {
+
+inline std::atomic<std::uint64_t> *
+blobOf(ValueRef ref)
+{
+    return reinterpret_cast<std::atomic<std::uint64_t> *>(
+        ref & kValueRefPtrMask);
+}
+
+inline std::uint64_t
+stampTagOf(ValueRef ref)
+{
+    return (ref >> kValueRefStampShift) & kValueRefStampMask;
+}
+
+inline std::size_t
+wordsFor(std::size_t payload_bytes)
+{
+    return 2 + (payload_bytes + 7) / 8;
+}
+
+} // namespace
+
+std::size_t
+ValueArena::classOf(std::size_t len)
+{
+    std::size_t cls = 0;
+    std::size_t cap = kMinClassBytes;
+    while (cap < len && cls + 1 < kNumClasses) {
+        cap <<= 1;
+        ++cls;
+    }
+    if (cap < len)
+        throw std::length_error("ValueArena: blob too large");
+    return cls;
+}
+
+std::atomic<std::uint64_t> *
+ValueArena::carve(std::size_t words)
+{
+    if (chunks_.empty() ||
+        chunks_.back().used + words > chunks_.back().capacity) {
+        Chunk chunk;
+        chunk.capacity = words > kChunkWords ? words : kChunkWords;
+        chunk.words = std::make_unique<std::atomic<std::uint64_t>[]>(
+            chunk.capacity);
+        chunks_.push_back(std::move(chunk));
+    }
+    Chunk &chunk = chunks_.back();
+    std::atomic<std::uint64_t> *blob = chunk.words.get() + chunk.used;
+    chunk.used += words;
+    blob[0].store(0, std::memory_order_relaxed); // stamp 0: stable
+    return blob;
+}
+
+ValueRef
+ValueArena::allocBlob(const void *data, std::size_t len)
+{
+    const std::size_t cls = classOf(len);
+    const std::size_t cap_bytes = kMinClassBytes << cls;
+
+    std::atomic<std::uint64_t> *blob = nullptr;
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (!freeLists_[cls].empty()) {
+            blob = freeLists_[cls].back();
+            freeLists_[cls].pop_back();
+        } else {
+            blob = carve(wordsFor(cap_bytes));
+        }
+    }
+    bytesLive_.fetch_add(cap_bytes, std::memory_order_relaxed);
+
+    // Seqlock write: odd stamp while the payload words change, even
+    // stamp published with release so a reader that sees it also sees
+    // the payload. A fresh carve starts at stamp 0 and skips straight
+    // to the final store (no reader can hold a handle yet, and the
+    // odd intermediate would cost an extra fence for nothing).
+    std::uint64_t stamp = blob[0].load(std::memory_order_relaxed);
+    if (stamp != 0) {
+        blob[0].store(stamp + 1, std::memory_order_relaxed);
+        // Seqlock writer fence: the payload stores below must not
+        // become visible before the odd stamp. A reader whose payload
+        // load observes a post-fence write synchronizes with this
+        // fence through its own acquire fence, so its trailing stamp
+        // re-check then sees the odd (or later) stamp and rejects.
+        std::atomic_thread_fence(std::memory_order_release);
+        stamp += 2;
+    }
+    blob[1].store((static_cast<std::uint64_t>(cap_bytes / 8 + 2) << 32) |
+                      static_cast<std::uint64_t>(len),
+                  std::memory_order_relaxed);
+    const auto *src = static_cast<const unsigned char *>(data);
+    for (std::size_t w = 0; w * 8 < len; ++w) {
+        std::uint64_t word = 0;
+        const std::size_t n = len - w * 8 < 8 ? len - w * 8 : 8;
+        std::memcpy(&word, src + w * 8, n);
+        blob[2 + w].store(word, std::memory_order_relaxed);
+    }
+    blob[0].store(stamp, std::memory_order_release);
+
+    return kValueRefBlobBit |
+           ((stamp & kValueRefStampMask) << kValueRefStampShift) |
+           (reinterpret_cast<std::uint64_t>(blob) & kValueRefPtrMask);
+}
+
+void
+ValueArena::freeBlob(ValueRef ref)
+{
+    if (!valueRefIsBlob(ref))
+        return;
+    std::atomic<std::uint64_t> *blob = blobOf(ref);
+    const std::uint64_t meta = blob[1].load(std::memory_order_relaxed);
+    const std::size_t cap_bytes =
+        (static_cast<std::size_t>(meta >> 32) - 2) * 8;
+    // Invalidate the handle *before* the blob becomes reallocatable:
+    // a stale reader then fails its stamp check instead of racing the
+    // next owner's payload.
+    blob[0].fetch_add(2, std::memory_order_release);
+    bytesLive_.fetch_sub(cap_bytes, std::memory_order_relaxed);
+    std::size_t cls = 0;
+    while ((kMinClassBytes << cls) < cap_bytes)
+        ++cls;
+    std::lock_guard<std::mutex> lk(mutex_);
+    freeLists_[cls].push_back(blob);
+}
+
+bool
+ValueArena::readBlob(ValueRef ref, std::string *out) const
+{
+    std::atomic<std::uint64_t> *blob = blobOf(ref);
+    const std::uint64_t s0 = blob[0].load(std::memory_order_acquire);
+    if ((s0 & 1) != 0 || (s0 & kValueRefStampMask) != stampTagOf(ref))
+        return false;
+    const std::size_t len = static_cast<std::size_t>(
+        blob[1].load(std::memory_order_relaxed) & 0xffffffffu);
+    out->resize(len);
+    for (std::size_t w = 0; w * 8 < len; ++w) {
+        const std::uint64_t word =
+            blob[2 + w].load(std::memory_order_relaxed);
+        const std::size_t n = len - w * 8 < 8 ? len - w * 8 : 8;
+        std::memcpy(out->data() + w * 8, &word, n);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return blob[0].load(std::memory_order_relaxed) == s0;
+}
+
+bool
+ValueArena::readBlobWord(ValueRef ref, std::uint64_t *out) const
+{
+    std::atomic<std::uint64_t> *blob = blobOf(ref);
+    const std::uint64_t s0 = blob[0].load(std::memory_order_acquire);
+    if ((s0 & 1) != 0 || (s0 & kValueRefStampMask) != stampTagOf(ref))
+        return false;
+    const std::size_t len = static_cast<std::size_t>(
+        blob[1].load(std::memory_order_relaxed) & 0xffffffffu);
+    std::uint64_t word = blob[2].load(std::memory_order_relaxed);
+    if (len < 8) {
+        // Mask the tail so short values decode with zero padding.
+        word &= len == 0 ? 0 : (~std::uint64_t{0} >> (64 - 8 * len));
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (blob[0].load(std::memory_order_relaxed) != s0)
+        return false;
+    *out = word;
+    return true;
+}
+
+} // namespace proteus::kvstore

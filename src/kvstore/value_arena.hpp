@@ -1,0 +1,163 @@
+/**
+ * @file
+ * ValueRef + ValueArena: the wide-value layer under ProteusKV slots.
+ *
+ * A slot's value word is interpreted according to the slot's state:
+ *
+ *  - kFull      : the word is a raw 64-bit value (the legacy numeric
+ *                 API; kAdd arithmetic operates on these directly);
+ *  - kFullRef   : the word is a ValueRef — a tagged word that is
+ *                 either an *inline small value* (up to 7 bytes packed
+ *                 next to a length nibble) or a *blob handle* into the
+ *                 shard's ValueArena.
+ *
+ * Blob handles carry a 15-bit epoch next to the 48-bit blob address.
+ * Blobs are seqlock-stamped: the arena bumps the stamp to odd before
+ * rewriting a recycled blob's payload and back to even after, and a
+ * handle embeds the even stamp it was allocated under. A reader copies
+ * the payload optimistically and re-checks the stamp; a mismatch means
+ * the blob was recycled underneath it — the slot's value word must
+ * have changed first (blobs are freed only after the displacing write
+ * committed), so the reader re-reads the slot word through the TM and
+ * tries again. Payload words are std::atomic with relaxed ordering so
+ * a stale reader racing a recycler is a detected validation failure,
+ * never C++ UB (the same stance the intent machinery takes).
+ *
+ * Memory is never returned to the OS while the arena lives: freed
+ * blobs go to per-size-class free lists and chunks are only released
+ * on destruction, so a dangling handle in a doomed reader transaction
+ * always points at mapped, stamp-guarded memory.
+ */
+
+#ifndef PROTEUS_KVSTORE_VALUE_ARENA_HPP
+#define PROTEUS_KVSTORE_VALUE_ARENA_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace proteus::kvstore {
+
+/** Tagged value word stored under state kFullRef (see file comment). */
+using ValueRef = std::uint64_t;
+
+constexpr std::uint64_t kValueRefBlobBit = std::uint64_t{1} << 63;
+/** Inline payload: bits [58:56] = length (0..7), bits [55:0] = data. */
+constexpr unsigned kValueRefInlineLenShift = 56;
+constexpr std::size_t kValueRefInlineMax = 7;
+/** Blob handle: bits [62:48] = stamp tag, bits [47:0] = blob address. */
+constexpr unsigned kValueRefStampShift = 48;
+constexpr std::uint64_t kValueRefPtrMask =
+    (std::uint64_t{1} << kValueRefStampShift) - 1;
+constexpr std::uint64_t kValueRefStampMask = 0x7fff;
+
+inline bool
+valueRefIsBlob(ValueRef ref)
+{
+    return (ref & kValueRefBlobBit) != 0;
+}
+
+inline ValueRef
+makeInlineRef(const void *data, std::size_t len)
+{
+    std::uint64_t word = 0;
+    std::memcpy(&word, data, len); // len <= 7: tag byte stays clear
+    return word |
+           (static_cast<std::uint64_t>(len) << kValueRefInlineLenShift);
+}
+
+inline std::size_t
+inlineRefLen(ValueRef ref)
+{
+    return static_cast<std::size_t>((ref >> kValueRefInlineLenShift) & 7);
+}
+
+inline void
+inlineRefCopy(ValueRef ref, std::string *out)
+{
+    const std::size_t len = inlineRefLen(ref);
+    out->resize(len);
+    std::memcpy(out->data(), &ref, len);
+}
+
+/**
+ * Blob arena with stable addresses, per-size-class recycling and
+ * seqlock stamps for optimistic readers. Thread-safe; one per shard.
+ */
+class ValueArena
+{
+  public:
+    ValueArena() = default;
+    ValueArena(const ValueArena &) = delete;
+    ValueArena &operator=(const ValueArena &) = delete;
+
+    /**
+     * Allocate a blob, copy `len` bytes into it and return its handle.
+     * Call *outside* any transaction (allocation is a side effect a
+     * retried transaction body must not repeat); publish the handle in
+     * a slot's value word transactionally afterwards.
+     */
+    ValueRef allocBlob(const void *data, std::size_t len);
+
+    /**
+     * Recycle a blob once its handle can no longer be reached through
+     * a *committed* slot word (the displacing transaction committed or
+     * the failed attempt that allocated it was rolled back). Stale
+     * in-flight readers are fenced off by the stamp. Inline refs are
+     * ignored, so callers can pass any displaced kFullRef word.
+     */
+    void freeBlob(ValueRef ref);
+
+    /**
+     * Optimistic copy-out. Returns false when the blob was recycled
+     * under the handle (stamp mismatch); the caller must re-read the
+     * slot's value word and retry with the fresh handle.
+     */
+    bool readBlob(ValueRef ref, std::string *out) const;
+
+    /**
+     * First up-to-8 payload bytes as a little-endian word (the numeric
+     * decode of a byte value). Returns false on stamp mismatch.
+     */
+    bool readBlobWord(ValueRef ref, std::uint64_t *out) const;
+
+    /** Bytes currently handed out to live blobs (capacity, not len). */
+    std::size_t bytesLive() const
+    {
+        return bytesLive_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /**
+     * Blob layout inside a chunk, in 64-bit atomic words:
+     *   word 0: seqlock stamp (even = stable, odd = being rewritten)
+     *   word 1: (capacityWords << 32) | payload length in bytes
+     *   word 2..: payload, little-endian packed
+     */
+    struct Chunk
+    {
+        std::unique_ptr<std::atomic<std::uint64_t>[]> words;
+        std::size_t used = 0;
+        std::size_t capacity = 0;
+    };
+
+    static constexpr std::size_t kChunkWords = 1 << 15; // 256 KiB
+    static constexpr std::size_t kMinClassBytes = 16;
+    static constexpr std::size_t kNumClasses = 16; // 16 B .. 512 KiB
+
+    static std::size_t classOf(std::size_t len);
+    std::atomic<std::uint64_t> *carve(std::size_t words);
+
+    mutable std::mutex mutex_;
+    std::vector<Chunk> chunks_;
+    std::vector<std::atomic<std::uint64_t> *> freeLists_[kNumClasses];
+    std::atomic<std::size_t> bytesLive_{0};
+};
+
+} // namespace proteus::kvstore
+
+#endif // PROTEUS_KVSTORE_VALUE_ARENA_HPP

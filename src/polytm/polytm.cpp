@@ -48,7 +48,7 @@ PolyTm::registerThread()
     std::lock_guard<std::mutex> lk(adminMutex_);
     int tid = -1;
     for (int t = 0; t < tm::kMaxThreads; ++t) {
-        if (!descs_[t]) {
+        if (!registered_[t]) {
             tid = t;
             break;
         }
@@ -56,8 +56,19 @@ PolyTm::registerThread()
     if (tid < 0)
         throw std::runtime_error("PolyTm: too many registered threads");
 
-    descs_[tid] = std::make_unique<tm::TxDesc>(
-        tid, 0x5eed0000ull + static_cast<std::uint64_t>(tid));
+    // Descriptors are never freed before the PolyTm itself dies (see
+    // deregisterThread); a departed tid's descriptor is recycled for
+    // its next owner with the per-attempt state wiped.
+    if (!descs_[tid]) {
+        descs_[tid] = std::make_unique<tm::TxDesc>(
+            tid, 0x5eed0000ull + static_cast<std::uint64_t>(tid));
+    } else {
+        descs_[tid]->beginAttempt();
+        descs_[tid]->consecutiveAborts = 0;
+        descs_[tid]->htmBudgetLeft = 0;
+        descs_[tid]->lastAbortCause = tm::AbortCause::kNone;
+    }
+    registered_[tid] = true;
     // Counters survive tid reuse so snapshotStats() stays cumulative
     // across departed threads.
     if (!counters_[tid])
@@ -78,7 +89,7 @@ void
 PolyTm::deregisterThread(ThreadToken &token)
 {
     std::lock_guard<std::mutex> lk(adminMutex_);
-    assert(token.tid >= 0 && descs_[token.tid]);
+    assert(token.tid >= 0 && registered_[token.tid]);
     if (!enabled_[token.tid])
         gate_.unblock(token.tid);
     enabled_[token.tid] = false;
@@ -88,8 +99,13 @@ PolyTm::deregisterThread(ThreadToken &token)
     for (auto &backend : backends_)
         backend->deregisterThread(*descs_[token.tid]);
     // counters_[tid] intentionally survives: snapshotStats() keeps
-    // aggregating work done by departed threads.
-    descs_[token.tid].reset();
+    // aggregating work done by departed threads. The descriptor
+    // survives too: a racing SimHtm fallback begin may still doom
+    // "all active" threads through a slot pointer it loaded just
+    // before this deregistration — a write into a parked (or
+    // recycled) descriptor's doomed flag is harmless, a write into a
+    // freed one is a use-after-free.
+    registered_[token.tid] = false;
     --numRegistered_;
     token.tid = -1;
     token.desc = nullptr;
@@ -161,7 +177,7 @@ PolyTm::reconfigure(const TmConfig &config)
     // Step (i): parallelism degree -> 0 (block every enabled thread;
     // block() returns once the thread is outside any transaction).
     for (int t = 0; t < tm::kMaxThreads; ++t) {
-        if (descs_[t] && enabled_[t]) {
+        if (registered_[t] && enabled_[t]) {
             gate_.block(t);
             enabled_[t] = false;
         }
@@ -177,7 +193,7 @@ PolyTm::reconfigure(const TmConfig &config)
 
     // Step (iii): parallelism degree -> P.
     for (int t = 0; t < tm::kMaxThreads; ++t) {
-        if (descs_[t] && enabledUnder(config, t)) {
+        if (registered_[t] && enabledUnder(config, t)) {
             gate_.unblock(t);
             enabled_[t] = true;
         }
@@ -205,14 +221,14 @@ PolyTm::setPinned(int tid, bool pinned)
     }
     std::lock_guard<std::mutex> lk(adminMutex_);
     pinned_[tid] = pinned;
-    if (pinned && descs_[tid] && !enabled_[tid]) {
+    if (pinned && registered_[tid] && !enabled_[tid]) {
         gate_.unblock(tid);
         enabled_[tid] = true;
     }
     // Unpin must be symmetric: a thread enabled only by its pin goes
     // back behind the gate, or a transient pin (KvStore::multiOp)
     // would permanently defeat the configured parallelism degree.
-    if (!pinned && descs_[tid] && enabled_[tid] &&
+    if (!pinned && registered_[tid] && enabled_[tid] &&
         !enabledUnder(config_, tid)) {
         gate_.block(tid);
         enabled_[tid] = false;
@@ -224,7 +240,7 @@ PolyTm::resumeAllForShutdown()
 {
     std::lock_guard<std::mutex> lk(adminMutex_);
     for (int t = 0; t < tm::kMaxThreads; ++t) {
-        if (descs_[t] && !enabled_[t]) {
+        if (registered_[t] && !enabled_[t]) {
             gate_.unblock(t);
             enabled_[t] = true;
         }

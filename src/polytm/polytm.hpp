@@ -116,10 +116,11 @@ class Tx
 
     /**
      * Whether the current attempt can still abort (retry() is legal).
-     * False in irrevocable modes — the global-lock backend and the
-     * emulated HTM's fallback-lock holder — where callers that would
-     * wait-by-retrying must instead wait in place (the KV store's
-     * intent resolution does exactly that).
+     * False in irrevocable modes — the emulated HTM's fallback-lock
+     * holder — where callers that would wait-by-retrying must instead
+     * wait in place (the KV store's intent resolution does exactly
+     * that). The global-lock backend undo-logs its in-place writes
+     * and is revocable.
      */
     bool revocable() const { return backend_->revocable(*desc_); }
 
@@ -340,7 +341,16 @@ class PolyTm
     std::array<std::unique_ptr<tm::TmBackend>,
                static_cast<std::size_t>(tm::BackendKind::kNumBackends)>
         backends_;
+    /**
+     * Descriptors are created on first registration of a tid and then
+     * live until the PolyTm dies; `registered_` tracks occupancy. A
+     * departed thread's descriptor stays mapped because the emulated
+     * HTM's doomAllActive may race a deregistration through a slot
+     * pointer it loaded moments earlier — a doomed-flag write into a
+     * parked descriptor is harmless, one into freed memory is not.
+     */
     std::array<std::unique_ptr<tm::TxDesc>, tm::kMaxThreads> descs_;
+    std::array<bool, tm::kMaxThreads> registered_{};
     std::array<bool, tm::kMaxThreads> enabled_{};
     std::array<bool, tm::kMaxThreads> pinned_{};
     std::array<std::unique_ptr<ThreadCounters>, tm::kMaxThreads> counters_;

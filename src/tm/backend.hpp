@@ -70,8 +70,8 @@ class TmBackend
 
     /**
      * Whether the current attempt can still abort. Irrevocable modes
-     * (global lock; HTM fallback holder) return false and the public
-     * API rejects tx.retry() there.
+     * (the HTM fallback holder) return false and the public API
+     * rejects tx.retry() there.
      */
     virtual bool revocable(const TxDesc & /*tx*/) const { return true; }
 

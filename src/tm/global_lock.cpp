@@ -48,14 +48,21 @@ GlobalLockTm::txRead(TxDesc &, const std::uint64_t *addr)
 }
 
 void
-GlobalLockTm::txWrite(TxDesc &, std::uint64_t *addr, std::uint64_t value)
+GlobalLockTm::txWrite(TxDesc &tx, std::uint64_t *addr,
+                      std::uint64_t value)
 {
+    // Undo log, first-write-wins: record the pre-image once per
+    // address (the write set doubles as the undo log here — its
+    // `value` field holds the OLD word, not the new one).
+    if (tx.writeSet.find(addr) == nullptr)
+        tx.writeSet.put(addr, *addr);
     *addr = value;
 }
 
 void
 GlobalLockTm::txCommit(TxDesc &tx)
 {
+    tx.writeSet.clear();
     tx.inFallback = false;
     lock_.unlock();
 }
@@ -63,10 +70,14 @@ GlobalLockTm::txCommit(TxDesc &tx)
 void
 GlobalLockTm::rollback(TxDesc &tx)
 {
-    // Only reachable via an (illegal) explicit abort; writes were in
-    // place, so all we can do is release. The public API forbids
-    // tx.retry() in irrevocable mode before getting here.
+    // Restore pre-images newest-first (entries are insertion-ordered
+    // and hold first-write pre-images, so any order restores the same
+    // memory; reverse keeps the mental model simple), then release.
     if (tx.inFallback) {
+        auto &entries = tx.writeSet.entries();
+        for (std::size_t i = entries.size(); i-- > 0;)
+            *entries[i].addr = entries[i].value;
+        tx.writeSet.clear();
         tx.inFallback = false;
         lock_.unlock();
     }

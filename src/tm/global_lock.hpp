@@ -1,8 +1,18 @@
 /**
  * @file
- * Single-global-lock "TM": every transaction is irrevocable and
- * serialized. The degenerate baseline (and the Sequential comparator
- * of Fig. 8 when run with one thread).
+ * Single-global-lock TM: every transaction is serialized behind one
+ * spinlock. The degenerate baseline (and the Sequential comparator of
+ * Fig. 8 when run with one thread).
+ *
+ * Writes go in place but are undo-logged (the pre-image of each
+ * address is recorded on first write), so an explicit abort —
+ * tx.retry(), or a foreign exception unwinding through PolyTm::run —
+ * restores memory and releases the lock instead of leaking a torn
+ * state. That makes the backend *revocable*: the `AllBackends/*`
+ * rollback semantics hold here too, and callers that wait by retrying
+ * (the KV store's intent resolution) may do so under the global lock.
+ * The undo log costs one hash probe per transactional write; reads
+ * stay raw loads.
  */
 
 #ifndef PROTEUS_TM_GLOBAL_LOCK_HPP
@@ -31,7 +41,7 @@ class alignas(kCacheLineSize) SpinLock
     std::atomic<bool> flag_{false};
 };
 
-/** Global-lock backend; never aborts, never revocable. */
+/** Global-lock backend; never conflicts, undo-logged in-place writes. */
 class GlobalLockTm : public TmBackend
 {
   public:
@@ -44,7 +54,6 @@ class GlobalLockTm : public TmBackend
     void txCommit(TxDesc &tx) override;
     void rollback(TxDesc &tx) override;
     void reset() override;
-    bool revocable(const TxDesc &) const override { return false; }
 
   private:
     SpinLock lock_;

@@ -58,7 +58,10 @@ fastTunable()
 
 TEST(KvTunableTest, ShardTunableAppliesMenuConfigs)
 {
-    Shard shard({10, {tm::BackendKind::kTl2, 2, {}}});
+    ShardOptions shard_options;
+    shard_options.log2Slots = 10;
+    shard_options.initial = {tm::BackendKind::kTl2, 2, {}};
+    Shard shard(shard_options);
     ShardTunable tunable(shard, fastTunable());
     ASSERT_EQ(tunable.numConfigs(), 6u);
 

@@ -13,6 +13,7 @@
 
 #include "common/rng.hpp"
 #include "kvstore/kvstore.hpp"
+#include "kvstore/traffic.hpp"
 
 namespace proteus::kvstore {
 namespace {
@@ -29,6 +30,28 @@ smallStore(int shards, unsigned log2_slots = 10,
     // enabled; degree-shrinking behaviour is covered by polytm tests.
     options.initial = {tm::BackendKind::kTl2, 16, {}};
     return options;
+}
+
+/** Like smallStore but with online growth disabled (the fixed-capacity
+ *  stance the table-full semantics are specified against). */
+KvStoreOptions
+pinnedStore(int shards, unsigned log2_slots,
+            CommitMode mode = CommitMode::kTwoPhase)
+{
+    KvStoreOptions options = smallStore(shards, log2_slots, mode);
+    options.maxLog2SlotsPerShard = log2_slots;
+    return options;
+}
+
+/** Always-irrevocable configuration: the emulated HTM with a zero
+ *  retry budget begins every transaction on its fallback lock (the
+ *  global-lock backend grew an undo log and is revocable now, so it
+ *  no longer exercises the in-place revert paths). */
+polytm::TmConfig
+irrevocableConfig()
+{
+    return {tm::BackendKind::kSimHtm, 16,
+            {/*htmBudget=*/0, tm::CapacityPolicy::kDecrease}};
 }
 
 TEST(KvStoreTest, ShardRoutingIsDeterministicAndBalanced)
@@ -177,11 +200,11 @@ TEST_P(KvStoreCommitModeTest, MultiOpSeesItsOwnWrites)
 
 /**
  * All-or-nothing table-full scenario, shared by the revocable (TL2)
- * and irrevocable (global lock) variants. 2 shards of 16 slots each:
- * fill shard 1 to capacity, keep one known key on shard 0, then run
- * multiOps whose inserts cannot fit — every already-applied part must
- * roll back (the seed's documented wart), both across shards and on
- * the single-shard fast path.
+ * and irrevocable (HTM-fallback) variants, on stores with growth
+ * pinned off. 2 shards of 16 slots each: fill shard 1 to capacity,
+ * keep one known key on shard 0, then run multiOps whose inserts
+ * cannot fit — every already-applied part must roll back, both across
+ * shards and on the single-shard fast path.
  */
 void
 runTableFullScenario(KvStoreOptions options)
@@ -240,32 +263,32 @@ runTableFullScenario(KvStoreOptions options)
 
 TEST_P(KvStoreCommitModeTest, TableFullMultiOpAbortsAllOrNothing)
 {
-    runTableFullScenario(smallStore(2, 4, GetParam()));
+    runTableFullScenario(pinnedStore(2, 4, GetParam()));
 }
 
 TEST_P(KvStoreCommitModeTest,
        TableFullAbortIsCleanOnIrrevocableBackend)
 {
-    // The global-lock backend writes in place and cannot roll back;
+    // An irrevocable backend writes in place and cannot roll back;
     // the abort paths must revert by hand instead of relying on the
     // TM's rollback.
-    KvStoreOptions options = smallStore(2, 4, GetParam());
-    options.initial = {tm::BackendKind::kGlobalLock, 16, {}};
+    KvStoreOptions options = pinnedStore(2, 4, GetParam());
+    options.initial = irrevocableConfig();
     runTableFullScenario(options);
 }
 
 TEST_P(KvStoreCommitModeTest, TransfersStayAtomicOnIrrevocableBackend)
 {
     // Smoke the pending-intent wait/fold paths where tx.retry() is
-    // illegal (global lock): concurrent transfers + snapshots must
-    // still conserve the total.
+    // illegal (irrevocable fallback): concurrent transfers + snapshots
+    // must still conserve the total.
     constexpr std::uint64_t kKeys = 32;
     constexpr std::uint64_t kInitial = 100;
     constexpr int kWriters = 3;
     constexpr int kTransfers = 200;
 
     KvStoreOptions options = smallStore(4, 10, GetParam());
-    options.initial = {tm::BackendKind::kGlobalLock, 16, {}};
+    options.initial = irrevocableConfig();
     KvStore store(options);
     {
         auto session = store.openSession();
@@ -450,6 +473,296 @@ TEST_P(KvStoreCommitModeTest, SingleKeyOpsRaceMultiOpsWithoutCorruption)
             EXPECT_EQ(value, key) << "value corrupted for key " << key;
     }
     store.closeSession(session);
+}
+
+TEST_P(KvStoreCommitModeTest, ElasticShardsGrowInsteadOfFailing)
+{
+    // 2 shards of 16 slots each, growth unbounded: 400 inserts (≈12x
+    // the initial per-shard capacity) must all land, via single-key
+    // puts and multiOps alike, with every key readable afterwards.
+    KvStore store(smallStore(2, 4, GetParam()));
+    auto session = store.openSession();
+
+    const std::size_t initial_cap = store.shard(0).capacity();
+    for (std::uint64_t key = 0; key < 200; ++key)
+        ASSERT_TRUE(store.put(session, key, key * 3 + 1)) << key;
+
+    std::vector<KvOp> ops;
+    for (std::uint64_t key = 200; key < 400; key += 2) {
+        ops.clear();
+        ops.push_back({KvOp::Kind::kPut, key, key * 3 + 1, false});
+        ops.push_back({KvOp::Kind::kPut, key + 1, key * 3 + 4, false});
+        ASSERT_TRUE(store.multiOp(session, ops)) << key;
+    }
+
+    EXPECT_GT(store.shard(0).capacity() + store.shard(1).capacity(),
+              2 * initial_cap)
+        << "at least one shard must have grown";
+
+    std::uint64_t value = 0;
+    for (std::uint64_t key = 0; key < 400; ++key) {
+        ASSERT_TRUE(store.get(session, key, &value)) << key;
+        EXPECT_EQ(value, key * 3 + 1) << key;
+    }
+    // Quiesce any in-flight migration and re-check: relocation must
+    // not lose or duplicate keys.
+    for (int s = 0; s < store.numShards(); ++s)
+        store.shard(static_cast<std::size_t>(s))
+            .drainMigration(session.token(static_cast<std::size_t>(s)));
+    std::size_t total = 0;
+    for (int s = 0; s < store.numShards(); ++s)
+        total += store.shard(static_cast<std::size_t>(s)).sizeQuiesced();
+    EXPECT_EQ(total, 400u);
+    store.closeSession(session);
+}
+
+TEST_P(KvStoreCommitModeTest, WideValuesRoundTripThroughAllPaths)
+{
+    KvStore store(smallStore(2, 8, GetParam()));
+    auto session = store.openSession();
+
+    const auto pattern = [](std::uint64_t key, std::size_t len) {
+        std::string bytes(len, '\0');
+        for (std::size_t i = 0; i < len; ++i)
+            bytes[i] = static_cast<char>((key * 131 + i * 7) & 0xff);
+        return bytes;
+    };
+
+    // Sizes straddling the inline/blob boundary and ≥ 64 bytes.
+    const std::size_t sizes[] = {0, 3, 7, 8, 64, 200, 1024};
+    std::uint64_t key = 0;
+    for (const std::size_t len : sizes) {
+        const std::string bytes = pattern(key, len);
+        ASSERT_TRUE(
+            store.putBytes(session, key, bytes.data(), bytes.size()));
+        std::string out;
+        ASSERT_TRUE(store.getBytes(session, key, &out));
+        EXPECT_EQ(out, bytes) << "len " << len;
+        ++key;
+    }
+
+    // Overwrite a blob with a blob (the displaced one is reclaimed)
+    // and a blob with a word value.
+    const std::string big = pattern(99, 300);
+    ASSERT_TRUE(store.putBytes(session, 4, big.data(), big.size()));
+    std::string out;
+    ASSERT_TRUE(store.getBytes(session, 4, &out));
+    EXPECT_EQ(out, big);
+    ASSERT_TRUE(store.put(session, 4, 0xdeadbeef));
+    std::uint64_t value = 0;
+    ASSERT_TRUE(store.get(session, 4, &value));
+    EXPECT_EQ(value, 0xdeadbeefu);
+
+    // Wide values through the multiOp write path (cross-shard) and
+    // the byte read path, including read-your-writes.
+    const std::string wide_a = pattern(1000, 96);
+    const std::string wide_b = pattern(1001, 700);
+    std::vector<KvOp> ops;
+    ops.push_back({KvOp::Kind::kPutBytes, 1000, 0, false, wide_a});
+    ops.push_back({KvOp::Kind::kPutBytes, 1001, 0, false, wide_b});
+    ops.push_back({KvOp::Kind::kGetBytes, 1000, 0, false});
+    ASSERT_TRUE(store.multiOp(session, ops));
+    EXPECT_TRUE(ops[2].ok);
+    EXPECT_EQ(ops[2].bytes, wide_a) << "read-your-writes on bytes";
+    ASSERT_TRUE(store.getBytes(session, 1001, &out));
+    EXPECT_EQ(out, wide_b);
+
+    // Byte-decoding scan sees the wide values.
+    std::vector<Shard::ScanEntry> entries;
+    const std::size_t n = store.scanEntries(session, 1000, 4, &entries);
+    EXPECT_GE(n, 1u);
+
+    store.closeSession(session);
+}
+
+TEST_P(KvStoreCommitModeTest, WideValuesSurviveAbortOnIrrevocable)
+{
+    // A multiOp that overwrites a 128-byte value and then fails on a
+    // pinned-full shard must restore the wide value byte-for-byte —
+    // on an irrevocable backend this runs the manual in-place revert.
+    KvStoreOptions options = pinnedStore(2, 4, GetParam());
+    options.initial = irrevocableConfig();
+    KvStore store(options);
+    auto session = store.openSession();
+
+    std::uint64_t key = 1000;
+    const auto next_on_shard = [&](std::size_t shard) {
+        while (store.shardOf(key) != shard)
+            ++key;
+        return key++;
+    };
+
+    const std::uint64_t witness = next_on_shard(0);
+    std::string wide(128, '\0');
+    for (std::size_t i = 0; i < wide.size(); ++i)
+        wide[i] = static_cast<char>((i * 13 + 5) & 0xff);
+    ASSERT_TRUE(
+        store.putBytes(session, witness, wide.data(), wide.size()));
+
+    for (std::size_t i = 0; i < store.shard(1).capacity(); ++i)
+        ASSERT_TRUE(store.put(session, next_on_shard(1), i));
+    const std::uint64_t overflow = next_on_shard(1);
+
+    std::vector<KvOp> ops;
+    std::string replacement(96, 'x');
+    ops.push_back(
+        {KvOp::Kind::kPutBytes, witness, 0, false, replacement});
+    ops.push_back({KvOp::Kind::kPut, overflow, 42, false});
+    EXPECT_FALSE(store.multiOp(session, ops)) << "insert cannot fit";
+
+    std::string out;
+    ASSERT_TRUE(store.getBytes(session, witness, &out));
+    EXPECT_EQ(out, wide) << "wide pre-image must survive the revert";
+
+    // The store is not wedged: the witness still accepts overwrites.
+    ASSERT_TRUE(store.putBytes(session, witness, replacement.data(),
+                               replacement.size()));
+    ASSERT_TRUE(store.getBytes(session, witness, &out));
+    EXPECT_EQ(out, replacement);
+    store.closeSession(session);
+}
+
+TEST_P(KvStoreCommitModeTest, TtlExpiresLazilyAndSweeps)
+{
+    KvStore store(smallStore(2, 8, GetParam()));
+    auto session = store.openSession();
+
+    constexpr std::uint64_t kTtl = 40ull * 1000 * 1000; // 40 ms
+    ASSERT_TRUE(store.put(session, 1, 100, kTtl));
+    std::string wide(80, 'w');
+    ASSERT_TRUE(
+        store.putBytes(session, 2, wide.data(), wide.size(), kTtl));
+    ASSERT_TRUE(store.put(session, 3, 300)); // no TTL
+
+    std::uint64_t value = 0;
+    EXPECT_TRUE(store.get(session, 1, &value));
+    EXPECT_EQ(value, 100u);
+    std::string out;
+    EXPECT_TRUE(store.getBytes(session, 2, &out));
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+    EXPECT_FALSE(store.get(session, 1)) << "expired key must read absent";
+    EXPECT_FALSE(store.getBytes(session, 2, &out));
+    EXPECT_TRUE(store.get(session, 3, &value)) << "no-TTL key survives";
+    EXPECT_EQ(value, 300u);
+
+    // A put over an expired slot revives the key.
+    ASSERT_TRUE(store.put(session, 1, 111));
+    EXPECT_TRUE(store.get(session, 1, &value));
+    EXPECT_EQ(value, 111u);
+    store.closeSession(session);
+}
+
+TEST_P(KvStoreCommitModeTest, DefaultTtlFromOptionsApplies)
+{
+    KvStoreOptions options = smallStore(2, 8, GetParam());
+    options.defaultTtlNanos = 40ull * 1000 * 1000;
+    KvStore store(options);
+    auto session = store.openSession();
+    ASSERT_TRUE(store.put(session, 7, 70));
+    std::uint64_t value = 0;
+    EXPECT_TRUE(store.get(session, 7, &value));
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    EXPECT_FALSE(store.get(session, 7))
+        << "store-default TTL must apply to plain puts";
+    store.closeSession(session);
+}
+
+TEST(TrafficCacheTest, TtlChurnDropsHitRate)
+{
+    // The cache preset's eviction must be visible in the driver's
+    // hit-rate telemetry: with every key preloaded, a TTL-free run
+    // never misses, while the TTL run loses its cold tail to expiry.
+    const auto run_mix = [](std::uint64_t ttl_nanos) {
+        KvStore store(smallStore(2, 10));
+        TrafficMix mix = TrafficMix::preset(MixKind::kCache);
+        mix.keySpace = 1 << 8;
+        mix.ttlNanos = ttl_nanos;
+        TrafficOptions traffic;
+        traffic.threads = 2;
+        traffic.phases = {mix};
+        TrafficDriver driver(store, traffic);
+        driver.preload(mix.keySpace);
+        driver.start();
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+        driver.stop();
+        EXPECT_GT(driver.getAttempts(), 0u);
+        return driver.hitRate();
+    };
+
+    const double no_ttl_rate = run_mix(0);
+    const double ttl_rate = run_mix(15ull * 1000 * 1000); // 15 ms
+    EXPECT_GT(no_ttl_rate, 0.999)
+        << "fully preloaded, TTL-free gets must all hit";
+    EXPECT_LT(ttl_rate, no_ttl_rate)
+        << "TTL churn must evict (hit-rate drop invisible)";
+}
+
+TEST_P(KvStoreCommitModeTest, EscalatedSnapshotReadsStayConsistent)
+{
+    // Force the bounded snapshot-read fallback on every read round
+    // (escalation after a single failed validation) under a write
+    // storm: totals must still be conserved and the test must
+    // terminate (the exclusive-latch round cannot starve).
+    constexpr std::uint64_t kKeys = 32;
+    constexpr std::uint64_t kInitial = 50;
+    constexpr int kWriters = 3;
+    constexpr int kTransfers = 300;
+
+    KvStoreOptions options = smallStore(4, 10, GetParam());
+    options.readEscalationRounds = 1;
+    KvStore store(options);
+    {
+        auto session = store.openSession();
+        for (std::uint64_t key = 0; key < kKeys; ++key)
+            ASSERT_TRUE(store.put(session, key, kInitial));
+        store.closeSession(session);
+    }
+
+    std::atomic<int> writers_done{0};
+    std::atomic<bool> violation{false};
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWriters; ++w) {
+        threads.emplace_back([&, w] {
+            auto session = store.openSession();
+            Rng rng(3300 + static_cast<unsigned>(w));
+            std::vector<KvOp> ops;
+            for (int i = 0; i < kTransfers; ++i) {
+                const std::uint64_t from = rng.nextBounded(kKeys);
+                std::uint64_t to = rng.nextBounded(kKeys);
+                if (to == from)
+                    to = (to + 1) % kKeys;
+                ops.clear();
+                ops.push_back({KvOp::Kind::kAdd, from,
+                               static_cast<std::uint64_t>(-1), false});
+                ops.push_back({KvOp::Kind::kAdd, to, 1, false});
+                store.multiOp(session, ops);
+            }
+            store.closeSession(session);
+            writers_done.fetch_add(1);
+        });
+    }
+    threads.emplace_back([&] {
+        auto session = store.openSession();
+        std::vector<KvOp> snapshot;
+        while (writers_done.load() < kWriters && !violation.load()) {
+            snapshot.clear();
+            for (std::uint64_t key = 0; key < kKeys; ++key)
+                snapshot.push_back({KvOp::Kind::kGet, key, 0, false});
+            store.multiOp(session, snapshot);
+            std::uint64_t total = 0;
+            for (const KvOp &op : snapshot)
+                total += op.ok ? op.value : 0;
+            if (total != kKeys * kInitial)
+                violation.store(true);
+        }
+        store.closeSession(session);
+    });
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_FALSE(violation.load())
+        << "an escalated snapshot read observed a torn transfer";
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -6,6 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
 #include "kvstore/shard.hpp"
 
 namespace proteus::kvstore {
@@ -73,9 +78,13 @@ TEST(ShardTest, TombstonesAreReusedAndProbesCrossThem)
     shard.deregisterWorker(token);
 }
 
-TEST(ShardTest, FullTableRejectsNewKeysButAcceptsOverwrites)
+TEST(ShardTest, PinnedTableRejectsNewKeysButAcceptsOverwrites)
 {
-    Shard shard(tinyShard(4));
+    // maxLog2Slots == log2Slots restores the seed's fixed-capacity
+    // semantics: put() reports failure instead of growing.
+    ShardOptions options = tinyShard(4);
+    options.maxLog2Slots = 4;
+    Shard shard(options);
     auto token = shard.registerWorker();
 
     for (std::uint64_t key = 0; key < 16; ++key)
@@ -87,6 +96,112 @@ TEST(ShardTest, FullTableRejectsNewKeysButAcceptsOverwrites)
     EXPECT_TRUE(shard.del(token, 7));
     EXPECT_TRUE(shard.put(token, 999, 1));
     EXPECT_FALSE(shard.put(token, 1000, 1));
+
+    shard.deregisterWorker(token);
+}
+
+TEST(ShardTest, GrowsOnlineWhenFullAndKeepsEveryKey)
+{
+    // 16 initial slots, growth unbounded: 4x the initial capacity in
+    // inserts never fails, the table doubles (possibly repeatedly),
+    // and every key/value survives the migrations.
+    Shard shard(tinyShard(4));
+    auto token = shard.registerWorker();
+    const std::size_t initial_cap = shard.capacity();
+
+    for (std::uint64_t key = 0; key < 4 * 16; ++key)
+        ASSERT_TRUE(shard.put(token, key, key * 7 + 1)) << key;
+
+    EXPECT_GT(shard.capacity(), initial_cap);
+    EXPECT_GE(shard.growCount(), 1u);
+
+    std::uint64_t value = 0;
+    for (std::uint64_t key = 0; key < 4 * 16; ++key) {
+        ASSERT_TRUE(shard.get(token, key, &value)) << key;
+        EXPECT_EQ(value, key * 7 + 1);
+    }
+
+    // Drain the incremental migration and re-verify: relocation must
+    // neither lose nor duplicate entries.
+    shard.drainMigration(token);
+    EXPECT_FALSE(shard.migrationActive());
+    EXPECT_EQ(shard.sizeQuiesced(), 4 * 16u);
+    for (std::uint64_t key = 0; key < 4 * 16; ++key)
+        ASSERT_TRUE(shard.get(token, key, &value)) << key;
+
+    // Scans cover entries still in the old table mid-migration.
+    EXPECT_EQ(shard.scan(token, 0, 1000), 4 * 16u);
+
+    shard.deregisterWorker(token);
+}
+
+TEST(ShardTest, BytesRoundTripInlineAndBlob)
+{
+    Shard shard(tinyShard(8));
+    auto token = shard.registerWorker();
+
+    const std::string small = "abc";           // inline
+    const std::string exact8 = "12345678";     // smallest blob
+    const std::string wide(513, 'q');          // multi-word blob
+    ASSERT_TRUE(
+        shard.putBytes(token, 1, small.data(), small.size()));
+    ASSERT_TRUE(
+        shard.putBytes(token, 2, exact8.data(), exact8.size()));
+    ASSERT_TRUE(shard.putBytes(token, 3, wide.data(), wide.size()));
+
+    std::string out;
+    ASSERT_TRUE(shard.getBytes(token, 1, &out));
+    EXPECT_EQ(out, small);
+    ASSERT_TRUE(shard.getBytes(token, 2, &out));
+    EXPECT_EQ(out, exact8);
+    ASSERT_TRUE(shard.getBytes(token, 3, &out));
+    EXPECT_EQ(out, wide);
+
+    // Numeric view of a byte value decodes the leading 8 bytes; byte
+    // view of a numeric value returns its raw 8 bytes.
+    std::uint64_t value = 0;
+    ASSERT_TRUE(shard.get(token, 1, &value));
+    std::uint64_t expect = 0;
+    std::memcpy(&expect, small.data(), small.size());
+    EXPECT_EQ(value, expect);
+    ASSERT_TRUE(shard.put(token, 4, 0x1122334455667788ull));
+    ASSERT_TRUE(shard.getBytes(token, 4, &out));
+    ASSERT_EQ(out.size(), 8u);
+    std::memcpy(&value, out.data(), 8);
+    EXPECT_EQ(value, 0x1122334455667788ull);
+
+    // Overwriting a blob reclaims it into the arena; repeated
+    // overwrites must not grow live bytes without bound.
+    for (int i = 0; i < 100; ++i)
+        ASSERT_TRUE(shard.putBytes(token, 3, wide.data(), wide.size()));
+    EXPECT_LE(shard.arena().bytesLive(), 4096u);
+
+    shard.deregisterWorker(token);
+}
+
+TEST(ShardTest, TtlLazyExpiryAndSweep)
+{
+    Shard shard(tinyShard(6));
+    auto token = shard.registerWorker();
+
+    constexpr std::uint64_t kTtl = 30ull * 1000 * 1000; // 30 ms
+    for (std::uint64_t key = 0; key < 8; ++key)
+        ASSERT_TRUE(shard.put(token, key, key, kTtl));
+    ASSERT_TRUE(shard.put(token, 100, 1));
+
+    std::uint64_t value = 0;
+    EXPECT_TRUE(shard.get(token, 0, &value));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    for (std::uint64_t key = 0; key < 8; ++key)
+        EXPECT_FALSE(shard.get(token, key)) << key;
+    EXPECT_TRUE(shard.get(token, 100, &value));
+    EXPECT_EQ(shard.sizeQuiesced(), 1u) << "expired keys read absent";
+
+    // The clock-hand sweep reclaims the expired slots (tombstones).
+    for (int i = 0; i < 200; ++i)
+        shard.maintainTick(token);
+    EXPECT_EQ(shard.scan(token, 0, 100), 1u);
 
     shard.deregisterWorker(token);
 }
