@@ -28,24 +28,42 @@
  * makes it settle well below 1) and how many online resizes the run
  * triggered; all of it lands in BENCH_kvstore.json too.
  *
+ * Series 5 (read path, --read-heavy): (a) a 95/5 Zipf mix over ~128 B
+ * byte values — the snapshot-epoch read path's home turf (pinned blob
+ * copies, magazine-backed putBytes) — reporting throughput and
+ * latency percentiles plus the arena contention counters; (b) a
+ * write-free phase of read-only multiOps and scans on the same store,
+ * asserting the validation-free guarantee: the snapshot counters must
+ * show ZERO retries and ZERO escalations, or the bench exits nonzero
+ * (the CI gate for the read path). Both land in BENCH_kvstore.json
+ * next to the pre-snapshot-epoch reference baseline so the
+ * trajectory is tracked in-repo.
+ *
  * Usage: bench_kvstore [seconds-per-point] [--mixed-only] [--cache]
+ *                      [--read-heavy]
  *   seconds-per-point   default 0.4
  *   --mixed-only        skip series 1/2 (CI smoke mode)
  *   --cache             add the cache-preset series
+ *   --read-heavy        add the read-path series (+ CI gate)
  */
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <thread>
+#include <vector>
 
+#include "common/rng.hpp"
 #include "common/timing.hpp"
 #include "kvstore/traffic.hpp"
 
 using namespace proteus;
 using kvstore::CommitMode;
+using kvstore::KvOp;
 using kvstore::KvStore;
 using kvstore::KvStoreOptions;
+using kvstore::ValueArena;
 using kvstore::MixKind;
 using kvstore::PhaseLatency;
 using kvstore::TrafficDriver;
@@ -181,6 +199,134 @@ runCache(double seconds)
     return result;
 }
 
+struct ReadHeavyResult
+{
+    double opsPerSec = 0;
+    PhaseLatency latency;
+    /** Write-free snapshot phase (read-only multiOps + scans). */
+    double snapOpsPerSec = 0;
+    KvStore::SnapshotReadStats snap;
+    /** Arena contention counters, summed over shards. */
+    std::uint64_t arenaCarveContended = 0;
+    std::uint64_t arenaCasRetries = 0;
+    std::uint64_t arenaMagazineHits = 0;
+    std::uint64_t arenaAllocs = 0;
+    /** The CI gate: zero retries/escalations on the write-free phase. */
+    bool readOnlyClean = false;
+};
+
+/**
+ * Pre-change reference for the read-path trajectory: medians of an
+ * interleaved old-vs-new A/B recorded on this repo's 1-core dev
+ * container immediately before the snapshot-epoch read path landed
+ * (4 workers; 95/5 Zipf over ~128 B values, and the write-free
+ * 8-key-multiOp + scan phase). Kept in the JSON so the current
+ * numbers always ship next to the baseline they must beat — in the
+ * same session the snapshot phase measured ~8% above this baseline,
+ * and snapshot reads racing a cross-shard write storm ~25% above.
+ */
+constexpr double kReadHeavyBaselineOpsPerSec = 2.22e6;
+constexpr double kReadHeavyBaselineSnapOpsPerSec = 3.20e5;
+
+ReadHeavyResult
+runReadHeavy(double seconds)
+{
+    KvStoreOptions store_options;
+    store_options.numShards = 4;
+    store_options.log2SlotsPerShard = 16;
+    store_options.initial = {tm::BackendKind::kTl2, 16, {}};
+    KvStore store(store_options);
+
+    // 95/5 Zipf over ~128 B byte values: gets take the pinned blob
+    // copy-out, puts exercise the magazine-backed arena.
+    TrafficMix mix;
+    mix.getRatio = 0.95;
+    mix.putRatio = 0.05;
+    mix.zipfTheta = 0.8;
+    mix.keySpace = std::uint64_t{1} << 14;
+    mix.valueBytes = 128;
+
+    TrafficOptions traffic_options;
+    traffic_options.threads = kThreads;
+    traffic_options.phases = {mix, mix};
+    TrafficDriver driver(store, traffic_options);
+    driver.preload(mix.keySpace / 2);
+
+    driver.start();
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(seconds * 0.25));
+    driver.setPhase(1);
+    const std::uint64_t before = driver.opsCompleted();
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    const std::uint64_t after = driver.opsCompleted();
+    driver.setPhase(0);
+    driver.stop();
+
+    ReadHeavyResult result;
+    result.opsPerSec =
+        static_cast<double>(after - before) / seconds;
+    result.latency = driver.latency(1);
+
+    // Write-free phase: read-only multiOps + scans only. With no
+    // writer anywhere, every snapshot round must settle first try —
+    // the delta of the snapshot counters across this phase is the
+    // validation-free gate.
+    const KvStore::SnapshotReadStats pre = store.snapshotReadStats();
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> snap_ops{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < kThreads; ++t) {
+        readers.emplace_back([&, t] {
+            auto session = store.openSession();
+            Rng rng(0x5eed + static_cast<unsigned>(t));
+            std::vector<KvOp> snap;
+            std::uint64_t local = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+                if ((local++ & 7) == 7) {
+                    store.scan(session, rng.nextBounded(mix.keySpace),
+                               16);
+                } else {
+                    snap.clear();
+                    for (int i = 0; i < 8; ++i) {
+                        snap.push_back({KvOp::Kind::kGet,
+                                        rng.nextBounded(mix.keySpace),
+                                        0, false});
+                    }
+                    store.multiOp(session, snap);
+                }
+                snap_ops.fetch_add(1, std::memory_order_relaxed);
+            }
+            store.closeSession(session);
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    stop.store(true);
+    for (auto &reader : readers)
+        reader.join();
+    result.snapOpsPerSec =
+        static_cast<double>(snap_ops.load()) / seconds;
+
+    const KvStore::SnapshotReadStats post = store.snapshotReadStats();
+    result.snap.rounds = post.rounds - pre.rounds;
+    result.snap.retries = post.retries - pre.retries;
+    result.snap.pendingWaits = post.pendingWaits - pre.pendingWaits;
+    result.snap.escalations = post.escalations - pre.escalations;
+    result.readOnlyClean = result.snap.rounds > 0 &&
+                           result.snap.retries == 0 &&
+                           result.snap.pendingWaits == 0 &&
+                           result.snap.escalations == 0;
+
+    for (int s = 0; s < store.numShards(); ++s) {
+        const ValueArena::Stats arena =
+            store.shard(static_cast<std::size_t>(s)).arena().stats();
+        result.arenaCarveContended += arena.carveContended;
+        result.arenaCasRetries += arena.casRetries;
+        result.arenaMagazineHits += arena.magazineHits;
+        result.arenaAllocs += arena.allocs;
+    }
+    return result;
+}
+
 void
 printMixed(const char *name, const MixedResult &r)
 {
@@ -219,7 +365,8 @@ writeJsonObject(std::FILE *f, const char *name, const MixedResult &r)
  *  a silently missing artifact defeats the trajectory tracking. */
 bool
 writeJson(const char *path, double seconds, const MixedResult &latch,
-          const MixedResult &two_phase, const CacheResult *cache)
+          const MixedResult &two_phase, const CacheResult *cache,
+          const ReadHeavyResult *read_heavy)
 {
     std::FILE *f = std::fopen(path, "w");
     if (!f) {
@@ -264,6 +411,50 @@ writeJson(const char *path, double seconds, const MixedResult &latch,
             static_cast<unsigned long long>(cache->latency.p99),
             static_cast<unsigned long long>(cache->latency.max));
     }
+    if (read_heavy) {
+        std::fprintf(
+            f,
+            ",\n"
+            "  \"read_heavy\": {\n"
+            "    \"ops_per_sec\": %.0f,\n"
+            "    \"p50_ns\": %llu,\n"
+            "    \"p95_ns\": %llu,\n"
+            "    \"p99_ns\": %llu,\n"
+            "    \"max_ns\": %llu,\n"
+            "    \"read_only_snapshot_ops_per_sec\": %.0f,\n"
+            "    \"snapshot_rounds\": %llu,\n"
+            "    \"snapshot_retries\": %llu,\n"
+            "    \"snapshot_pending_waits\": %llu,\n"
+            "    \"snapshot_escalations\": %llu,\n"
+            "    \"arena_carve_contended\": %llu,\n"
+            "    \"arena_cas_retries\": %llu,\n"
+            "    \"arena_magazine_hit_rate\": %.4f,\n"
+            "    \"baseline_pre_epoch_ops_per_sec\": %.0f,\n"
+            "    \"baseline_pre_epoch_snapshot_ops_per_sec\": %.0f\n"
+            "  }",
+            read_heavy->opsPerSec,
+            static_cast<unsigned long long>(read_heavy->latency.p50),
+            static_cast<unsigned long long>(read_heavy->latency.p95),
+            static_cast<unsigned long long>(read_heavy->latency.p99),
+            static_cast<unsigned long long>(read_heavy->latency.max),
+            read_heavy->snapOpsPerSec,
+            static_cast<unsigned long long>(read_heavy->snap.rounds),
+            static_cast<unsigned long long>(read_heavy->snap.retries),
+            static_cast<unsigned long long>(
+                read_heavy->snap.pendingWaits),
+            static_cast<unsigned long long>(
+                read_heavy->snap.escalations),
+            static_cast<unsigned long long>(
+                read_heavy->arenaCarveContended),
+            static_cast<unsigned long long>(
+                read_heavy->arenaCasRetries),
+            read_heavy->arenaAllocs > 0
+                ? static_cast<double>(read_heavy->arenaMagazineHits) /
+                      static_cast<double>(read_heavy->arenaAllocs)
+                : 0.0,
+            kReadHeavyBaselineOpsPerSec,
+            kReadHeavyBaselineSnapOpsPerSec);
+    }
     std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::printf("\nwrote %s\n", path);
@@ -278,11 +469,14 @@ main(int argc, char **argv)
     double seconds = 0.4;
     bool mixed_only = false;
     bool with_cache = false;
+    bool with_read_heavy = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--mixed-only") == 0) {
             mixed_only = true;
         } else if (std::strcmp(argv[i], "--cache") == 0) {
             with_cache = true;
+        } else if (std::strcmp(argv[i], "--read-heavy") == 0) {
+            with_read_heavy = true;
         } else {
             const double parsed = std::atof(argv[i]);
             if (parsed > 0) {
@@ -291,7 +485,8 @@ main(int argc, char **argv)
                 std::fprintf(stderr,
                              "bench_kvstore: invalid argument '%s' "
                              "(usage: bench_kvstore [seconds-per-point]"
-                             " [--mixed-only] [--cache])\n",
+                             " [--mixed-only] [--cache]"
+                             " [--read-heavy])\n",
                              argv[i]);
                 return 2;
             }
@@ -387,6 +582,42 @@ main(int argc, char **argv)
                     two_phase.singleOpsPerSec / latch.singleOpsPerSec);
     }
 
+    ReadHeavyResult read_heavy;
+    if (with_read_heavy) {
+        std::printf("\nread path (95/5 Zipf over ~128 B values, then a "
+                    "write-free snapshot phase):\n");
+        read_heavy = runReadHeavy(seconds);
+        std::printf("  %14s %8s %8s %8s %16s\n", "ops/s", "p50ns",
+                    "p95ns", "p99ns", "snap ops/s");
+        std::printf(
+            "  %14.0f %8llu %8llu %8llu %16.0f\n", read_heavy.opsPerSec,
+            static_cast<unsigned long long>(read_heavy.latency.p50),
+            static_cast<unsigned long long>(read_heavy.latency.p95),
+            static_cast<unsigned long long>(read_heavy.latency.p99),
+            read_heavy.snapOpsPerSec);
+        std::printf("  snapshot rounds %llu retries %llu waits %llu "
+                    "escalations %llu | arena carve-contended %llu "
+                    "cas-retries %llu\n",
+                    static_cast<unsigned long long>(
+                        read_heavy.snap.rounds),
+                    static_cast<unsigned long long>(
+                        read_heavy.snap.retries),
+                    static_cast<unsigned long long>(
+                        read_heavy.snap.pendingWaits),
+                    static_cast<unsigned long long>(
+                        read_heavy.snap.escalations),
+                    static_cast<unsigned long long>(
+                        read_heavy.arenaCarveContended),
+                    static_cast<unsigned long long>(
+                        read_heavy.arenaCasRetries));
+        if (!read_heavy.readOnlyClean) {
+            std::fprintf(stderr,
+                         "bench_kvstore: the write-free snapshot phase "
+                         "reported validation retries or escalations — "
+                         "the read path is NOT validation-free\n");
+        }
+    }
+
     CacheResult cache;
     if (with_cache) {
         std::printf("\ncache preset (wide values + 50ms TTL, shards "
@@ -401,8 +632,14 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(cache.latency.p99));
     }
 
-    return writeJson("BENCH_kvstore.json", seconds, latch, two_phase,
-                     with_cache ? &cache : nullptr)
-               ? 0
-               : 1;
+    if (!writeJson("BENCH_kvstore.json", seconds, latch, two_phase,
+                   with_cache ? &cache : nullptr,
+                   with_read_heavy ? &read_heavy : nullptr))
+        return 1;
+    // The read-path gate: a write-free workload that still pays
+    // validation retries or latch escalations is a regression CI must
+    // catch, not a number to eyeball.
+    if (with_read_heavy && !read_heavy.readOnlyClean)
+        return 2;
+    return 0;
 }

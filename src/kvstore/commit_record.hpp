@@ -64,8 +64,34 @@ struct CommitRecord
 
     std::atomic<std::uint64_t> status{kPending};
 
+    /**
+     * (global commit sequence << 16) | (epoch & 0xffff) — the commit
+     * timestamp of this record's current generation, stored by the
+     * owner at its commit point *after* reserving the store-wide
+     * sequence and *before* bumping any per-shard sequence or
+     * flipping the status. Snapshot readers compare seqOf() against
+     * their sampled read timestamp to include or exclude an in-flight
+     * commit without retrying (shard.cpp::resolveSlotLiveTx). A tag
+     * that does not match the intent's epoch means the sequence of
+     * this generation is not assigned yet (the word still belongs to
+     * a previous multiOp) — the commit, if it ever flips, is then
+     * guaranteed to be ordered after the reader's snapshot.
+     */
+    std::atomic<std::uint64_t> commitSeq{0};
+
     static std::uint64_t stateOf(std::uint64_t word) { return word & 3; }
     static std::uint64_t epochOf(std::uint64_t word) { return word >> 2; }
+
+    static std::uint64_t seqOf(std::uint64_t word) { return word >> 16; }
+    static std::uint64_t seqEpochTag(std::uint64_t word)
+    {
+        return word & 0xffff;
+    }
+    static std::uint64_t
+    packSeq(std::uint64_t seq, std::uint64_t epoch)
+    {
+        return (seq << 16) | (epoch & 0xffff);
+    }
 };
 
 /**
@@ -90,6 +116,11 @@ struct WriteIntent
 
     ShardTable *table = nullptr;
     std::uint64_t slot = 0;
+    /** Owner-only (like table/slot): the pending insert claimed a
+     *  tombstone, not an empty slot — finalize must then neither
+     *  count the slot as newly consumed nor, on a delete, as a newly
+     *  minted tombstone. */
+    bool claimedTombstone = false;
 };
 
 /**

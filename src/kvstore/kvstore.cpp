@@ -1,6 +1,7 @@
 #include "kvstore/kvstore.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 
@@ -54,7 +55,12 @@ KvStore::KvStore(KvStoreOptions options)
         throw std::invalid_argument("KvStore: numShards must be >= 1");
     shards_.reserve(static_cast<std::size_t>(options.numShards));
     latches_.reserve(static_cast<std::size_t>(options.numShards));
-    shardSeqs_.reserve(static_cast<std::size_t>(options.numShards));
+    shardSeqs_ = std::make_unique<PaddedAtomicU64[]>(
+        static_cast<std::size_t>(options.numShards));
+    snapRounds_ = std::make_unique<PaddedAtomicU64[]>(
+        static_cast<std::size_t>(options.numShards));
+    snapRetries_ = std::make_unique<PaddedAtomicU64[]>(
+        static_cast<std::size_t>(options.numShards));
     for (int s = 0; s < options.numShards; ++s) {
         ShardOptions shard_options;
         shard_options.log2Slots = options.log2SlotsPerShard;
@@ -63,8 +69,6 @@ KvStore::KvStore(KvStoreOptions options)
         shard_options.initial = options.initial;
         shards_.push_back(std::make_unique<Shard>(shard_options));
         latches_.push_back(std::make_unique<std::shared_mutex>());
-        shardSeqs_.push_back(
-            std::make_unique<std::atomic<std::uint64_t>>(0));
     }
 }
 
@@ -89,6 +93,9 @@ KvStore::Session::~Session()
     // Same teardown as closeSession, so stack unwinding between
     // openSession and closeSession leaks neither thread slots nor the
     // commit context (deregisterThread is adminMutex-protected).
+    store_->flushRetireBacklog(*this);
+    for (std::size_t s = 0; s < arenaCaches_.size(); ++s)
+        store_->shards_[s]->arena().flushCache(arenaCaches_[s]);
     for (std::size_t s = 0; s < tokens_.size(); ++s)
         store_->shards_[s]->deregisterWorker(tokens_[s]);
     if (ctx_)
@@ -124,12 +131,17 @@ KvStore::openSession()
     // context (freeing it would break the never-free invariant).
     for (auto &shard : shards_)
         session.tokens_.push_back(shard->registerWorker());
+    session.arenaCaches_.resize(shards_.size());
     return session;
 }
 
 void
 KvStore::closeSession(Session &session)
 {
+    flushRetireBacklog(session);
+    for (std::size_t s = 0; s < session.arenaCaches_.size(); ++s)
+        shards_[s]->arena().flushCache(session.arenaCaches_[s]);
+    session.arenaCaches_.clear();
     for (std::size_t s = 0; s < session.tokens_.size(); ++s)
         shards_[s]->deregisterWorker(session.tokens_[s]);
     session.tokens_.clear();
@@ -162,7 +174,12 @@ KvStore::getBytes(Session &session, std::uint64_t key, std::string *out)
     const std::size_t s = shardOf(key);
     bool ok = false;
     runOnShard(session, s, [&](polytm::Tx &tx) {
-        ok = shards_[s]->snapshotGetBytesTx(tx, key, out, nullptr);
+        // Pin per attempt: the reader-epoch section lets the blob
+        // copy-out skip the seqlock re-check, and it must never be
+        // held across a gate park (the body runs post-admission).
+        EpochPin pin(shards_[s]->readerEpochs(),
+                     *session.tokens_[s].epochSlot);
+        ok = shards_[s]->snapshotGetBytesTx(tx, key, out, ReadView{});
     });
     return ok;
 }
@@ -188,7 +205,9 @@ KvStore::put(Session &session, std::uint64_t key, std::uint64_t value,
             ok = shard.putTx(tx, key, value, expiry, &pre, &reclaim);
         });
         if (ok) {
-            shard.finishWrite(session.tokens_[s], pre, reclaim);
+            retireDisplaced(session, static_cast<std::uint32_t>(s),
+                            reclaim);
+            shard.finishWrite(session.tokens_[s], pre);
             return true;
         }
         if (!shard.tryGrow(session.tokens_[s], cap))
@@ -207,9 +226,11 @@ KvStore::putBytes(Session &session, std::uint64_t key, const void *data,
     const std::uint64_t expiry = ttl == 0 ? 0 : nowNanos() + ttl;
     if (expiry != 0)
         shard.noteTtlUsed();
-    const ValueRef ref = len <= kValueRefInlineMax
-                             ? makeInlineRef(data, len)
-                             : shard.arena().allocBlob(data, len);
+    const ValueRef ref =
+        len <= kValueRefInlineMax
+            ? makeInlineRef(data, len)
+            : shard.arena().allocBlob(data, len,
+                                      &session.arenaCaches_[s]);
     std::vector<std::uint64_t> reclaim;
     for (;;) {
         const std::size_t cap = shard.capacity();
@@ -220,11 +241,14 @@ KvStore::putBytes(Session &session, std::uint64_t key, const void *data,
             ok = shard.putRefTx(tx, key, ref, expiry, &pre, &reclaim);
         });
         if (ok) {
-            shard.finishWrite(session.tokens_[s], pre, reclaim);
+            retireDisplaced(session, static_cast<std::uint32_t>(s),
+                            reclaim);
+            shard.finishWrite(session.tokens_[s], pre);
             return true;
         }
         if (!shard.tryGrow(session.tokens_[s], cap)) {
-            shard.arena().freeBlob(ref); // never published
+            // Never published: immediate recycle is safe.
+            shard.arena().freeBlob(ref, &session.arenaCaches_[s]);
             return false;
         }
     }
@@ -236,13 +260,21 @@ KvStore::del(Session &session, std::uint64_t key)
     const std::size_t s = shardOf(key);
     Shard &shard = *shards_[s];
     bool ok = false;
+    SlotImage pre;
     std::vector<std::uint64_t> reclaim;
     runOnShard(session, s, [&](polytm::Tx &tx) {
         reclaim.clear();
-        ok = shard.delTx(tx, key, nullptr, &reclaim);
+        ok = shard.delTx(tx, key, &pre, &reclaim);
     });
-    for (const std::uint64_t ref : reclaim)
-        shard.arena().freeBlob(ref);
+    // Stale readers may hold the displaced handles: retire, batched.
+    retireDisplaced(session, static_cast<std::uint32_t>(s), reclaim);
+    if (slotStateIsValue(pre.state)) {
+        shard.noteTombstones(1);
+        // Deletes are writes: they must drive maintenance too, or a
+        // del-only phase would park retired blobs in limbo forever
+        // (and stall an in-flight migration).
+        shard.maintainTick(session.tokens_[s]);
+    }
     return ok;
 }
 
@@ -253,9 +285,10 @@ KvStore::scan(Session &session, std::uint64_t start_key,
 {
     const std::size_t s = shardOf(start_key);
     std::size_t count = 0;
-    runReadStable(session, s, [&](polytm::Tx &tx, bool *unstable) {
-        count = shards_[s]->scanTx(tx, start_key, limit, out, unstable);
-    });
+    runReadSnapshot(
+        session, s, [&](polytm::Tx &tx, const ReadView &view) {
+            count = shards_[s]->scanTx(tx, start_key, limit, out, view);
+        });
     return count;
 }
 
@@ -266,10 +299,13 @@ KvStore::scanEntries(Session &session, std::uint64_t start_key,
 {
     const std::size_t s = shardOf(start_key);
     std::size_t count = 0;
-    runReadStable(session, s, [&](polytm::Tx &tx, bool *unstable) {
-        count = shards_[s]->scanEntriesTx(tx, start_key, limit, out,
-                                          unstable);
-    });
+    runReadSnapshot(
+        session, s, [&](polytm::Tx &tx, const ReadView &view) {
+            EpochPin pin(shards_[s]->readerEpochs(),
+                         *session.tokens_[s].epochSlot);
+            count = shards_[s]->scanEntriesTx(tx, start_key, limit,
+                                              out, view);
+        });
     return count;
 }
 
@@ -277,21 +313,35 @@ namespace {
 
 using TaggedOp = KvStore::Session::TaggedOp;
 
+/** Net tombstone-count effect of one committed write: a delete of a
+ *  value slot mints one, an insert over a tombstone reuses one. */
+std::int64_t
+tombstoneEffect(KvOp::Kind kind, bool applied, const SlotImage &pre)
+{
+    if (kind == KvOp::Kind::kDel)
+        return slotStateIsValue(pre.state) ? 1 : 0;
+    if (applied && pre.state == kTombstone)
+        return -1; // kPut/kPutBytes/kAdd landed on a tombstone
+    return 0;
+}
+
 /**
  * Apply one shard's slice of a composite op inside a transaction
  * (batch path: per-shard semantics, fitting prefix commits).
  * `consumed_empty` counts inserts that claimed a previously kEmpty
- * slot (the grow heuristic); `reclaim` collects displaced blob
- * handles — both restart with the attempt.
+ * slot (the grow heuristic), `tombstone_delta` the net tombstones
+ * minted/reused (the compaction heuristic); `reclaim` collects
+ * displaced blob handles — all restart with the attempt.
  */
 void
 applyOpsInTx(Shard &shard, polytm::Tx &tx, const TaggedOp *begin,
              const TaggedOp *end, bool &space_ok,
-             std::size_t &consumed_empty,
+             std::size_t &consumed_empty, std::int64_t &tombstone_delta,
              std::vector<std::uint64_t> &reclaim)
 {
     space_ok = true; // retried attempts restart the accumulation
     consumed_empty = 0;
+    tombstone_delta = 0;
     reclaim.clear();
     for (const TaggedOp *it = begin; it != end; ++it) {
         KvOp *op = it->op;
@@ -332,6 +382,7 @@ applyOpsInTx(Shard &shard, polytm::Tx &tx, const TaggedOp *begin,
         }
         if (op->ok && pre.state == kEmpty)
             ++consumed_empty;
+        tombstone_delta += tombstoneEffect(op->kind, op->ok, pre);
     }
 }
 
@@ -348,10 +399,11 @@ void
 applyOpsUndoTx(Shard &shard, polytm::Tx &tx, const TaggedOp *begin,
                const TaggedOp *end,
                std::vector<KvStore::Session::Undo> &undo,
-               std::size_t undo_mark,
+               std::size_t undo_mark, std::int64_t &tombstone_delta,
                std::vector<std::uint64_t> &reclaim)
 {
     undo.resize(undo_mark); // retried attempts restart the log
+    tombstone_delta = 0;
     reclaim.clear();
     const auto fail_full = [&]() {
         if (!tx.revocable())
@@ -409,6 +461,7 @@ applyOpsUndoTx(Shard &shard, polytm::Tx &tx, const TaggedOp *begin,
              op->kind == KvOp::Kind::kAdd) &&
             !op->ok)
             fail_full();
+        tombstone_delta += tombstoneEffect(op->kind, op->ok, entry.pre);
         if (wrote)
             undo.push_back(entry);
     }
@@ -495,52 +548,6 @@ class PinSpan
     const std::vector<KvStore::Session::ShardSlice> &slices_;
 };
 
-/**
- * Hold the touched shards' latches (shared or exclusive) in ascending
- * shard order for a scoped span. 2PC writers take them shared across
- * prepare→commit; an escalated snapshot reader takes them exclusive
- * (see the file comment in kvstore.hpp). All acquirers use ascending
- * order, so the wait-for graph follows the shard order and cannot
- * cycle.
- */
-class LatchSpan
-{
-  public:
-    LatchSpan(std::vector<std::unique_ptr<std::shared_mutex>> &latches,
-              const std::vector<KvStore::Session::ShardSlice> &slices,
-              bool exclusive)
-        : latches_(latches), slices_(slices), exclusive_(exclusive)
-    {
-        for (const auto &slice : slices_) {
-            if (exclusive_)
-                latches_[slice.shard]->lock();
-            else
-                latches_[slice.shard]->lock_shared();
-            ++held_;
-        }
-    }
-
-    ~LatchSpan() { release(); }
-
-    void
-    release()
-    {
-        while (held_ > 0) {
-            --held_;
-            if (exclusive_)
-                latches_[slices_[held_].shard]->unlock();
-            else
-                latches_[slices_[held_].shard]->unlock_shared();
-        }
-    }
-
-  private:
-    std::vector<std::unique_ptr<std::shared_mutex>> &latches_;
-    const std::vector<KvStore::Session::ShardSlice> &slices_;
-    bool exclusive_;
-    std::size_t held_ = 0;
-};
-
 } // namespace
 
 bool
@@ -575,7 +582,8 @@ KvStore::multiOp(Session &session, std::vector<KvOp> &ops)
                     makeInlineRef(op->bytes.data(), op->bytes.size());
             } else {
                 op->value = shards_[tagged.shard]->arena().allocBlob(
-                    op->bytes.data(), op->bytes.size());
+                    op->bytes.data(), op->bytes.size(),
+                    &session.arenaCaches_[tagged.shard]);
                 session.newBlobs_.emplace_back(tagged.shard, op->value);
             }
         }
@@ -625,9 +633,14 @@ void
 KvStore::releaseStagedBlobs(Session &session, bool committed)
 {
     if (!committed) {
-        // Never published: the composite had no effect.
-        for (const auto &[shard, ref] : session.newBlobs_)
-            shards_[shard]->arena().freeBlob(ref);
+        // Never reachable through a committed slot word (the record
+        // aborted before anything became visible, and resolvers only
+        // dereference a post-image handle under a COMMITTED verdict):
+        // immediate recycle into the session magazine is safe.
+        for (const auto &[shard, ref] : session.newBlobs_) {
+            shards_[shard]->arena().freeBlob(
+                ref, &session.arenaCaches_[shard]);
+        }
     }
     session.newBlobs_.clear();
 }
@@ -635,9 +648,54 @@ KvStore::releaseStagedBlobs(Session &session, bool committed)
 void
 KvStore::freeReclaimed(Session &session)
 {
-    for (const auto &[shard, ref] : session.reclaim_)
-        shards_[shard]->arena().freeBlob(ref);
+    // Displaced pre-images WERE committed-visible: a pinned reader
+    // may still be copying them, so they retire through the reader
+    // epochs instead of recycling immediately.
+    for (const auto &[shard, ref] : session.reclaim_) {
+        if (valueRefIsBlob(ref))
+            session.retireBacklog_.emplace_back(shard, ref);
+    }
     session.reclaim_.clear();
+    if (session.retireBacklog_.size() >= kRetireBatch)
+        flushRetireBacklog(session);
+}
+
+void
+KvStore::retireDisplaced(Session &session, std::uint32_t shard,
+                         const std::vector<std::uint64_t> &refs)
+{
+    for (const std::uint64_t ref : refs) {
+        if (valueRefIsBlob(ref))
+            session.retireBacklog_.emplace_back(shard, ref);
+    }
+    if (session.retireBacklog_.size() >= kRetireBatch)
+        flushRetireBacklog(session);
+}
+
+void
+KvStore::flushRetireBacklog(Session &session)
+{
+    auto &backlog = session.retireBacklog_;
+    if (backlog.empty())
+        return;
+    // Hand each shard's run to its arena in one locked batch. The
+    // backlog is grouped, not sorted: single-key loops produce long
+    // same-shard runs, and a shard appearing in several runs just
+    // pays one extra (uncontended) lock.
+    std::vector<std::uint64_t> refs;
+    std::size_t i = 0;
+    while (i < backlog.size()) {
+        const std::uint32_t shard = backlog[i].first;
+        refs.clear();
+        std::size_t j = i;
+        while (j < backlog.size() && backlog[j].first == shard) {
+            refs.push_back(backlog[j].second);
+            ++j;
+        }
+        shards_[shard]->arena().retireBlobs(refs.data(), refs.size());
+        i = j;
+    }
+    backlog.clear();
 }
 
 KvStore::OpStatus
@@ -656,25 +714,24 @@ KvStore::multiOpSingleShard(Session &session, bool writes)
         // commit's post-image with another shard's pre-image and
         // still validate (bumping after the commit would reopen the
         // straddle window; a bump for an aborted attempt only costs
-        // readers a spurious retry). The shared latch makes the
-        // commit visible to an escalated reader's exclusive span; the
-        // pin keeps the latch from being stranded by a parked thread.
+        // readers a spurious retry). The pin keeps a PENDING-free
+        // transaction from parking mid-composite.
         PinSpan pin(shards_, session.tokens_, session.slices_);
         const std::size_t cap = shard.capacity();
         session.undo_.clear();
         session.reclaim_.clear();
         std::vector<std::uint64_t> reclaim;
+        std::int64_t tomb_delta = 0;
         try {
-            LatchSpan latch(latches_, session.slices_,
-                            /*exclusive=*/false);
-            shardSeqs_[slice.shard]->fetch_add(
+            shardSeqs_[slice.shard].value.fetch_add(
                 1, std::memory_order_acq_rel);
             shard.poly().run(
                 session.tokens_[slice.shard], [&](polytm::Tx &tx) {
                     applyOpsUndoTx(shard, tx,
                                    grouped.data() + slice.begin,
                                    grouped.data() + slice.end,
-                                   session.undo_, 0, reclaim);
+                                   session.undo_, 0, tomb_delta,
+                                   reclaim);
                 });
         } catch (const TableFullError &) {
             return shard.tryGrow(session.tokens_[slice.shard], cap)
@@ -686,24 +743,30 @@ KvStore::multiOpSingleShard(Session &session, bool writes)
             consumed += entry.pre.state == kEmpty ? 1 : 0;
         if (consumed > 0)
             shard.noteConsumed(consumed);
+        if (tomb_delta != 0)
+            shard.noteTombstones(tomb_delta);
         for (const std::uint64_t ref : reclaim)
             session.reclaim_.emplace_back(slice.shard, ref);
         return OpStatus::kDone;
     }
-    // Read-only: one transaction is per-shard consistent; retry while
-    // some read resolved a still-PENDING intent (its commit could
-    // flip between two of this transaction's resolutions), escalating
-    // to the shard's exclusive latch after readEscalationRounds.
-    runReadStable(
-        session, slice.shard, [&](polytm::Tx &tx, bool *unstable) {
+    // Read-only: one snapshot-epoch round. The TM transaction is
+    // per-shard consistent on its own; the sampled read timestamp
+    // resolves in-flight cross-shard intents deterministically and
+    // the trailing sequence check repeats the round only when a
+    // commit actually flipped on this shard inside it.
+    runReadSnapshot(
+        session, slice.shard,
+        [&](polytm::Tx &tx, const ReadView &view) {
+            EpochPin epoch_pin(shard.readerEpochs(),
+                               *session.tokens_[slice.shard].epochSlot);
             for (std::uint32_t i = slice.begin; i < slice.end; ++i) {
                 KvOp *op = grouped[i].op;
                 if (op->kind == KvOp::Kind::kGetBytes) {
                     op->ok = shard.snapshotGetBytesTx(
-                        tx, op->key, &op->bytes, unstable);
+                        tx, op->key, &op->bytes, view);
                 } else {
                     op->ok = shard.snapshotGetTx(tx, op->key,
-                                                 &op->value, unstable);
+                                                 &op->value, view);
                 }
             }
         });
@@ -715,79 +778,92 @@ KvStore::multiOpTwoPhaseRead(Session &session)
 {
     const auto &grouped = session.scratch_;
     const auto &slices = session.slices_;
-    // Commit-sequence-validated snapshot: each shard's reads are one
-    // TM transaction (intent-resolving, non-blocking). The round is
-    // trustworthy only if (a) no cross-shard commit bumped a *touched*
-    // shard's sequence inside it — the bumps precede the status flip,
-    // and any read that observed a post-image synchronizes with that
-    // flip, so a flip the round straddles is always visible in the
-    // trailing check — and (b) no read resolved a still-PENDING
-    // intent to its pre-image (that commit may have flipped mid-round
-    // without this round observing any of its post-images' ordering).
-    // Commits touching only other shards never force a retry.
-    // Single-key writers are not serialized against (see the contract
-    // in kvstore.hpp).
+    // Snapshot-epoch read: sample every touched shard's sequence,
+    // then the store-wide commit sequence (in that order — the proof
+    // below leans on it), and run each shard's reads as one TM
+    // transaction resolving in-flight intents against the sampled
+    // timestamp. The round is trustworthy iff no touched shard's
+    // sequence advanced inside it:
+    //  - a commit whose per-shard bump the round *straddled* (bump
+    //    before our sample) reserved and published its record
+    //    sequence before that bump, so our snapshot G >= its C — the
+    //    resolver includes it deterministically (waiting out the
+    //    few-store flip window if it races the round);
+    //  - a commit whose bump came after our samples is excluded by
+    //    the resolver (its C is provably > G or unpublished), and if
+    //    it flips mid-round — the only case a torn pre/post mix or a
+    //    raw folded post-image could be observed — the trailing check
+    //    fails and the round repeats.
+    // Commits touching only other shards never force a retry, and a
+    // write-free workload settles every round first try. Single-key
+    // writers are not serialized against (contract in kvstore.hpp).
     const auto run_round = [&]() -> bool {
-        bool unstable = false;
         session.seqSnapshot_.clear();
         for (const auto &slice : slices) {
             session.seqSnapshot_.push_back(
-                shardSeqs_[slice.shard]->load(
+                shardSeqs_[slice.shard].value.load(
                     std::memory_order_acquire));
         }
+        const ReadView view{
+            ReadView::Mode::kSnapshot,
+            commitSeq_.load(std::memory_order_acquire)};
         for (const auto &slice : slices) {
             Shard &shard = *shards_[slice.shard];
-            bool shard_unstable = false;
             shard.poly().run(
                 session.tokens_[slice.shard], [&](polytm::Tx &tx) {
-                    shard_unstable = false; // retried attempts restart
+                    EpochPin pin(
+                        shard.readerEpochs(),
+                        *session.tokens_[slice.shard].epochSlot);
                     for (std::uint32_t i = slice.begin; i < slice.end;
                          ++i) {
                         KvOp *op = grouped[i].op;
                         if (op->kind == KvOp::Kind::kGetBytes) {
                             op->ok = shard.snapshotGetBytesTx(
-                                tx, op->key, &op->bytes,
-                                &shard_unstable);
+                                tx, op->key, &op->bytes, view);
                         } else {
                             op->ok = shard.snapshotGetTx(
-                                tx, op->key, &op->value,
-                                &shard_unstable);
+                                tx, op->key, &op->value, view);
                         }
                     }
                 });
-            unstable |= shard_unstable;
         }
-        bool stable = !unstable;
+        bool stable = true;
         for (std::size_t j = 0; stable && j < slices.size(); ++j) {
-            stable = shardSeqs_[slices[j].shard]->load(
+            stable = shardSeqs_[slices[j].shard].value.load(
                          std::memory_order_acquire) ==
                      session.seqSnapshot_[j];
         }
+        snapRounds_[slices[0].shard].value.fetch_add(
+            1, std::memory_order_relaxed);
         return stable;
     };
 
-    const int escalation = options_.readEscalationRounds;
-    for (int round = 0; escalation <= 0 || round < escalation;
-         ++round) {
+    for (int round = 0;; ++round) {
         if (run_round())
             return;
-        std::this_thread::yield();
+        snapRetries_[slices[0].shard].value.fetch_add(
+            1, std::memory_order_relaxed);
+        snapshotRetryPause(round);
     }
-    // Bounded fallback: a sustained write storm on exactly these
-    // shards can starve the optimistic rounds. Take the touched
-    // shards' latches exclusively — writers hold them shared across
-    // their prepare→commit window, so once we hold them no commit can
-    // flip or leave a PENDING intent mid-round, and the next round
-    // validates. The pin keeps the exclusive latches from being
-    // stranded by a parked thread.
-    PinSpan pin(shards_, session.tokens_, slices);
-    LatchSpan latch(latches_, slices, /*exclusive=*/true);
-    while (!run_round()) {
-        // Only reachable through a commit already in its window when
-        // we acquired (it drained before we got all latches); one
-        // more round settles it.
+}
+
+void
+KvStore::snapshotRetryPause(int round)
+{
+    if (round < kSnapshotBackoffRounds) {
         std::this_thread::yield();
+        return;
     }
+    // A commit storm is landing on exactly the touched shards faster
+    // than rounds complete. Back off exponentially (capped) so the
+    // reader stops burning the very cycles the storm needs to drain;
+    // each doubling makes a repeat collision geometrically unlikely.
+    if (round == kSnapshotBackoffRounds)
+        snapEscalations_.value.fetch_add(1, std::memory_order_relaxed);
+    const int shift = round - kSnapshotBackoffRounds;
+    const std::int64_t micros = std::int64_t{1}
+                                << (shift < 10 ? shift : 10);
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
 }
 
 KvStore::OpStatus
@@ -825,17 +901,13 @@ KvStore::multiOpTwoPhaseWrite(Session &session)
         std::size_t full_capacity = 0;
         std::size_t prepared = 0;
         {
-            // Writers advertise their prepare→commit window through
-            // the shards' shared latches (escalated snapshot readers
-            // take them exclusively); released right after the flip,
-            // before the finalize transactions.
-            LatchSpan latch(latches_, slices, /*exclusive=*/false);
-
             // Phase 1: prepare, in ascending shard order. A
             // conflicting preparer only ever waits on lower-numbered
             // shards' pending intents it meets while preparing a
             // higher one — wait chains strictly ascend, so they
-            // cannot cycle.
+            // cannot cycle. (No latches anywhere: snapshot readers
+            // order themselves against this window through the
+            // record's commit sequence alone.)
             std::vector<std::uint64_t> slice_reclaim;
             for (const auto &slice : slices) {
                 Shard &shard = *shards_[slice.shard];
@@ -954,24 +1026,37 @@ KvStore::multiOpTwoPhaseWrite(Session &session)
                         });
                 }
             } else {
-                // Phase 2: the commit point. One store makes every
-                // intent's post-image the live value on all shards at
-                // once. The sequence bumps come FIRST: any snapshot
-                // round that observes one of this commit's
-                // post-images synchronizes with the flip below and
-                // therefore must see the bumps in its trailing
-                // sequence check — bumping after the flip would leave
-                // a window in which a round could read a torn
-                // pre/post mix and still validate.
+                // Phase 2: the commit point, in snapshot-epoch order:
+                //  (1) reserve the store-wide sequence C and stamp it
+                //      (epoch-tagged) into the record — from here on
+                //      any reader whose snapshot G >= C can see that
+                //      this commit belongs inside its snapshot and
+                //      waits out the flip below;
+                //  (2) bump every touched shard's sequence — a
+                //      snapshot round sampling a bump therefore
+                //      *also* sees the published C (store order), so
+                //      straddling rounds classify this commit
+                //      deterministically instead of retrying;
+                //  (3) flip the record: one store makes every
+                //      intent's post-image the live value on all
+                //      shards at once. Bumps before flip: a round
+                //      that could observe any post-image without
+                //      having seen C fails its trailing check.
+                const std::uint64_t commit_seq =
+                    commitSeq_.fetch_add(1, std::memory_order_acq_rel) +
+                    1;
+                ctx.record.commitSeq.store(
+                    CommitRecord::packSeq(commit_seq,
+                                          CommitRecord::epochOf(armed)),
+                    std::memory_order_release);
                 for (const auto &slice : slices)
-                    shardSeqs_[slice.shard]->fetch_add(
+                    shardSeqs_[slice.shard].value.fetch_add(
                         1, std::memory_order_acq_rel);
-                commitSeq_.fetch_add(1, std::memory_order_acq_rel);
                 ctx.record.status.store((armed & ~std::uint64_t{3}) |
                                             CommitRecord::kCommitted,
                                         std::memory_order_release);
             }
-        } // shared latches release: the PENDING window is over
+        } // the PENDING window is over
 
         if (full) {
             session.reclaim_.clear(); // pre-images stayed live
@@ -989,19 +1074,24 @@ KvStore::multiOpTwoPhaseWrite(Session &session)
             Shard &shard = *shards_[slices[j].shard];
             const auto range = session.intentRanges_[j];
             std::size_t consumed = 0;
+            std::int64_t tomb_delta = 0;
             shard.poly().run(
                 session.tokens_[slices[j].shard], [&](polytm::Tx &tx) {
                     consumed = 0; // retried attempts restart
+                    tomb_delta = 0;
                     for (std::uint32_t k = range.first;
                          k < range.second; ++k) {
                         consumed += shard.finalizeIntentTx(
-                                        tx, session.intents_[k])
+                                        tx, session.intents_[k],
+                                        &tomb_delta)
                                         ? 1
                                         : 0;
                     }
                 });
             if (consumed > 0)
                 shard.noteConsumed(consumed);
+            if (tomb_delta != 0)
+                shard.noteTombstones(tomb_delta);
         }
         return OpStatus::kDone;
     } catch (...) {
@@ -1078,13 +1168,14 @@ KvStore::multiOpLatched(Session &session, bool writes)
                 // kGet-only slices can never fail on capacity.
                 bool space_ok_unused = true;
                 std::size_t consumed_unused = 0;
+                std::int64_t tomb_unused = 0;
                 shard.poly().run(
                     session.tokens_[slice.shard], [&](polytm::Tx &tx) {
                         applyOpsInTx(shard, tx,
                                      grouped.data() + slice.begin,
                                      grouped.data() + slice.end,
                                      space_ok_unused, consumed_unused,
-                                     reclaim);
+                                     tomb_unused, reclaim);
                     });
             }
         } else {
@@ -1092,12 +1183,14 @@ KvStore::multiOpLatched(Session &session, bool writes)
             session.undoRanges_.clear();
             session.reclaim_.clear();
             std::vector<std::uint64_t> slice_reclaim;
+            std::vector<std::int64_t> tomb_deltas;
             std::size_t applied = 0;
             for (const auto &slice : slices) {
                 Shard &shard = *shards_[slice.shard];
                 const std::size_t cap = shard.capacity();
                 const auto undo_mark = static_cast<std::uint32_t>(
                     session.undo_.size());
+                std::int64_t tomb_delta = 0;
                 try {
                     shard.poly().run(
                         session.tokens_[slice.shard],
@@ -1106,7 +1199,7 @@ KvStore::multiOpLatched(Session &session, bool writes)
                                 shard, tx,
                                 grouped.data() + slice.begin,
                                 grouped.data() + slice.end,
-                                session.undo_, undo_mark,
+                                session.undo_, undo_mark, tomb_delta,
                                 slice_reclaim);
                         });
                 } catch (const TableFullError &) {
@@ -1119,6 +1212,7 @@ KvStore::multiOpLatched(Session &session, bool writes)
                 session.undoRanges_.emplace_back(
                     undo_mark,
                     static_cast<std::uint32_t>(session.undo_.size()));
+                tomb_deltas.push_back(tomb_delta);
                 for (const std::uint64_t ref : slice_reclaim)
                     session.reclaim_.emplace_back(slice.shard, ref);
                 ++applied;
@@ -1154,6 +1248,9 @@ KvStore::multiOpLatched(Session &session, bool writes)
                     if (consumed > 0)
                         shards_[slices[j].shard]->noteConsumed(
                             consumed);
+                    if (tomb_deltas[j] != 0)
+                        shards_[slices[j].shard]->noteTombstones(
+                            tomb_deltas[j]);
                 }
             }
         }
@@ -1187,7 +1284,8 @@ KvStore::applyBatch(Session &session, Batch &batch)
                         ? makeInlineRef(op->bytes.data(),
                                         op->bytes.size())
                         : shards_[tagged.shard]->arena().allocBlob(
-                              op->bytes.data(), op->bytes.size());
+                              op->bytes.data(), op->bytes.size(),
+                              &session.arenaCaches_[tagged.shard]);
     }
 
     bool ok = true;
@@ -1196,16 +1294,19 @@ KvStore::applyBatch(Session &session, Batch &batch)
         Shard &shard = *shards_[slice.shard];
         bool space_ok = true;
         std::size_t consumed = 0;
+        std::int64_t tomb_delta = 0;
         const auto run_ops = [&](const TaggedOp *begin,
                                  const TaggedOp *end) {
             runOnShard(session, slice.shard, [&](polytm::Tx &tx) {
                 applyOpsInTx(shard, tx, begin, end, space_ok, consumed,
-                             reclaim);
+                             tomb_delta, reclaim);
             });
-            for (const std::uint64_t ref : reclaim)
-                shard.arena().freeBlob(ref); // this slice committed
+            // This slice committed; batch-retire its displacements.
+            retireDisplaced(session, slice.shard, reclaim);
             if (consumed > 0)
                 shard.noteConsumed(consumed);
+            if (tomb_delta != 0)
+                shard.noteTombstones(tomb_delta);
         };
         std::size_t cap = shard.capacity();
         run_ops(grouped.data() + slice.begin,
@@ -1242,10 +1343,27 @@ KvStore::applyBatch(Session &session, Batch &batch)
             KvOp *op = tagged.op;
             if (op->kind == KvOp::Kind::kPutBytes && !op->ok &&
                 op->bytes.size() > kValueRefInlineMax)
-                shards_[tagged.shard]->arena().freeBlob(op->value);
+                shards_[tagged.shard]->arena().freeBlob(
+                    op->value, &session.arenaCaches_[tagged.shard]);
         }
     }
     return ok;
+}
+
+KvStore::SnapshotReadStats
+KvStore::snapshotReadStats() const
+{
+    SnapshotReadStats out;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        out.rounds +=
+            snapRounds_[s].value.load(std::memory_order_relaxed);
+        out.retries +=
+            snapRetries_[s].value.load(std::memory_order_relaxed);
+        out.pendingWaits += shards_[s]->snapshotPendingWaits();
+    }
+    out.escalations =
+        snapEscalations_.value.load(std::memory_order_relaxed);
+    return out;
 }
 
 polytm::PolyStats

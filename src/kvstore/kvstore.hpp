@@ -17,26 +17,43 @@
  *    Per touched shard (ascending shard order — no deadlock), one
  *    short *prepare* transaction validates the shard's reads and
  *    publishes per-slot write intents pointing at a shared commit
- *    record; one atomic store then flips the record PENDING →
- *    COMMITTED (the commit point, preceded by a sequence bump on
- *    every touched shard); *finalize* transactions fold the intents
- *    into the live slot words. Single-key traffic keeps flowing the
- *    whole time: a reader that hits an intent resolves it against the
- *    commit record without blocking (pre-image while PENDING,
- *    post-image once COMMITTED), and a writer folds finished intents
- *    itself, waiting only out the short PENDING window of its exact
- *    slot. Read-only multiOps take a sequence-validated snapshot
- *    (retry the read round if a touched shard's sequence advanced or
- *    a pending intent was resolved inside it). Since no latches are
- *    held, the per-shard tuners see
- *    real TM aborts — the contention signal the recommender needs —
- *    instead of latch convoys. Writers additionally take the touched
- *    shards' latches *shared* across their prepare→commit window
- *    (uncontended in the common case): a snapshot reader that lost
- *    KvStoreOptions::readEscalationRounds validation rounds to a
- *    sustained write storm takes those latches exclusively once,
- *    which drains the in-flight windows and guarantees its final
- *    round validates — bounded starvation instead of livelock.
+ *    record; the commit point then (1) reserves the store-wide commit
+ *    sequence and stamps it into the record, (2) bumps every touched
+ *    shard's sequence in the padded epoch vector, and (3) flips the
+ *    record PENDING → COMMITTED with one atomic store; *finalize*
+ *    transactions fold the intents into the live slot words.
+ *    Single-key traffic keeps flowing the whole time: a reader that
+ *    hits an intent resolves it against the commit record without
+ *    blocking (pre-image while PENDING, post-image once COMMITTED),
+ *    and a writer folds finished intents itself, waiting only out the
+ *    short PENDING window of its exact slot.
+ *
+ *    Read-only multiOps and scans take a *snapshot-epoch* read: they
+ *    sample the touched shards' sequences and then the store-wide
+ *    commit sequence once, execute validation-free against that
+ *    timestamp — an intent's commit is included iff its record
+ *    sequence is within the snapshot, so resolving an in-flight 2PC
+ *    never forces a retry round — and re-check the touched shards'
+ *    sequences at the end. A round repeats only when a cross-shard
+ *    commit actually flipped on a touched shard inside it (ordering
+ *    (1)-(3) above guarantees a straddling round either sees the
+ *    commit's sequence stamp or fails the trailing check, so a torn
+ *    pre/post mix can never validate); on a write-free workload every
+ *    round settles first try with zero retries and zero waits
+ *    (snapshotReadStats() exposes the counters). Liveness under a
+ *    sustained cross-shard commit storm on exactly the touched
+ *    shards is probabilistic, not hard-bounded: after
+ *    kSnapshotBackoffRounds failed rounds the reader sleeps with
+ *    capped exponential backoff (counted as an escalation), which
+ *    converges unless commits land inside *every* round
+ *    indefinitely — the deliberate trade for deleting the old
+ *    exclusive-latch escalation and the shared-latch cost it imposed
+ *    on every writer. Since no latches are
+ *    held anywhere on this path, the per-shard tuners see real TM
+ *    aborts — the contention signal the recommender needs — instead
+ *    of latch convoys. Reads mixed into a *writing* multiOp keep the
+ *    wait-out-the-intent fallback (prepareGetTx) — they must observe
+ *    the values their own commit builds on.
  *
  *  - kLatch (legacy, kept for A/B measurement): a per-shard
  *    reader/writer latch above TM. Single-key ops and batches take
@@ -75,6 +92,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cacheline.hpp"
 #include "kvstore/commit_record.hpp"
 #include "kvstore/shard.hpp"
 
@@ -105,14 +123,6 @@ struct KvStoreOptions
     unsigned growLoadPercent = 70;
     /** TTL attached to puts that do not carry their own (0 = none). */
     std::uint64_t defaultTtlNanos = 0;
-    /**
-     * Bounded fallback for snapshot-read starvation: after this many
-     * failed seq-validation rounds a read-only multiOp escalates to
-     * exclusive per-shard latches on the shards it touches (2PC mode
-     * only; writers hold those latches shared across their prepare→
-     * commit window, so the escalated round cannot be invalidated).
-     */
-    int readEscalationRounds = 64;
     /** Initial TM configuration applied to every shard. */
     polytm::TmConfig initial{};
     /** Cross-shard commit protocol (see file comment). */
@@ -186,6 +196,8 @@ class KvStore
                 reclaim_ = std::move(other.reclaim_);
                 newBlobs_ = std::move(other.newBlobs_);
                 retryOps_ = std::move(other.retryOps_);
+                arenaCaches_.swap(other.arenaCaches_);
+                retireBacklog_.swap(other.retireBacklog_);
             }
             return *this;
         }
@@ -267,6 +279,15 @@ class KvStore
         std::vector<std::pair<std::uint32_t, std::uint64_t>> newBlobs_;
         /** applyBatch grow-retry scratch (space-failed ops only). */
         std::vector<TaggedOp> retryOps_;
+        /** Per-shard free-blob magazines (one ValueArena::Cache per
+         *  shard): wide-value allocation stays off the shared arena
+         *  lists in steady state. Flushed back on close. */
+        std::vector<ValueArena::Cache> arenaCaches_;
+        /** Displaced blob handles (tagged with their shard) parked
+         *  session-locally; handed to the shard arenas' limbo in
+         *  batches (retire stays contention-free per op). */
+        std::vector<std::pair<std::uint32_t, std::uint64_t>>
+            retireBacklog_;
     };
 
     Session openSession();
@@ -317,9 +338,10 @@ class KvStore
      * finalize in progress reads through the committed intents. A
      * *read-only* multiOp observes a consistent cross-shard snapshot
      * with respect to writing multiOps (kLatch: shared latches;
-     * kTwoPhase: the read round retries if any *touched* shard's
-     * commit sequence advanced underneath it or if it resolved a
-     * still-pending intent). In neither mode is it a
+     * kTwoPhase: the snapshot-epoch read — in-flight intents resolve
+     * against the sampled commit sequence, and the round repeats only
+     * if a cross-shard commit flipped on a *touched* shard inside
+     * it). In neither mode is it a
      * serializable snapshot against independent *single-key* writers:
      * another session's two sequential puts to different shards may
      * be observed out of program order. Under kTwoPhase, reads mixed
@@ -386,11 +408,37 @@ class KvStore
     /** Sum of per-shard PolyTM stats. */
     polytm::PolyStats totalStats() const;
 
-    /** Cross-shard commits flipped to COMMITTED so far (2PC mode). */
+    /**
+     * Store-wide commit sequence: the read timestamp snapshot reads
+     * sample, reserved by every cross-shard 2PC at its commit point
+     * (so it counts commits that reached the commit point, including
+     * the handful that are mid-flip). Monotonic.
+     */
     std::uint64_t commitSequence() const
     {
         return commitSeq_.load(std::memory_order_acquire);
     }
+
+    /** Snapshot-epoch read-path telemetry (all monotonic). On a
+     *  write-free workload retries, pendingWaits and escalations must
+     *  all stay zero — the new-test + CI gate for the validation-free
+     *  read path. */
+    struct SnapshotReadStats
+    {
+        /** Snapshot read rounds completed (multiOp reads + scans). */
+        std::uint64_t rounds = 0;
+        /** Rounds repeated because a cross-shard commit flipped on a
+         *  touched shard inside them (trailing sequence mismatch). */
+        std::uint64_t retries = 0;
+        /** In-flight commit verdicts briefly waited out (the commit
+         *  had reserved a sequence inside the reader's snapshot). */
+        std::uint64_t pendingWaits = 0;
+        /** Reads that exhausted the yield budget and entered the
+         *  sleeping-backoff regime (sustained commit storm on exactly
+         *  the touched shards). */
+        std::uint64_t escalations = 0;
+    };
+    SnapshotReadStats snapshotReadStats() const;
 
     /** Unpark every shard's disabled workers (shutdown path). */
     void resumeAllForShutdown();
@@ -432,53 +480,48 @@ class KvStore
         kFailed,
     };
 
+    /** Yield-only retry budget before a snapshot read backs off with
+     *  sleeps (counted as an escalation in SnapshotReadStats). */
+    static constexpr int kSnapshotBackoffRounds = 64;
+
+    /** Per-round backoff shared by the snapshot read paths. */
+    void snapshotRetryPause(int round);
+
     /**
-     * Run a single-shard snapshot-read body (it receives the
-     * transaction and an `unstable` out-flag), retrying while a read
-     * resolved a still-PENDING intent. After readEscalationRounds
-     * failed rounds the retry proceeds under the shard's *exclusive*
-     * latch — 2PC writers hold it shared across their prepare→commit
-     * window, so the escalated round settles. (Latch mode never
-     * publishes intents, so its rounds always settle immediately.)
+     * Run a single-shard snapshot-epoch read: sample the shard's
+     * commit sequence and the store-wide read timestamp, run `body`
+     * (it receives the transaction and the ReadView) validation-free,
+     * and re-check the shard sequence — repeating only when a
+     * cross-shard commit actually flipped on this shard mid-round.
+     * (Latch mode bumps no sequences, so its rounds settle on the
+     * first try; the shared latch inside runOnShard is its ordering.)
      */
     template <typename F>
     void
-    runReadStable(Session &session, std::size_t s, F &&body)
+    runReadSnapshot(Session &session, std::size_t s, F &&body)
     {
-        const int escalation = options_.readEscalationRounds;
-        for (int round = 0; escalation <= 0 || round < escalation;
-             ++round) {
-            bool unstable = false;
+        std::atomic<std::uint64_t> &seq = shardSeqs_[s].value;
+        for (int round = 0;; ++round) {
+            const std::uint64_t s0 =
+                seq.load(std::memory_order_acquire);
+            // The read timestamp is sampled AFTER the shard sequence:
+            // a commit whose bump this round straddles is then
+            // guaranteed to have reserved its (visible) sequence
+            // within our snapshot — see the file comment.
+            const ReadView view{ReadView::Mode::kSnapshot,
+                                commitSeq_.load(
+                                    std::memory_order_acquire)};
             runOnShard(session, s, [&](polytm::Tx &tx) {
-                unstable = false; // retried attempts restart
-                body(tx, &unstable);
+                body(tx, view);
             });
-            if (!unstable)
+            snapRounds_[s].value.fetch_add(1,
+                                           std::memory_order_relaxed);
+            if (seq.load(std::memory_order_acquire) == s0)
                 return;
-            std::this_thread::yield();
+            snapRetries_[s].value.fetch_add(1,
+                                            std::memory_order_relaxed);
+            snapshotRetryPause(round);
         }
-        // Bounded fallback (same rationale as multiOpTwoPhaseRead's
-        // escalation); the pin keeps the exclusive latch from being
-        // stranded by a parked thread.
-        polytm::PolyTm &poly = shards_[s]->poly();
-        poly.setPinned(session.tokens_[s].tid, true);
-        try {
-            std::lock_guard<std::shared_mutex> lk(*latches_[s]);
-            for (;;) {
-                bool unstable = false;
-                poly.run(session.tokens_[s], [&](polytm::Tx &tx) {
-                    unstable = false;
-                    body(tx, &unstable);
-                });
-                if (!unstable)
-                    break;
-                std::this_thread::yield();
-            }
-        } catch (...) {
-            poly.setPinned(session.tokens_[s].tid, false);
-            throw;
-        }
-        poly.setPinned(session.tokens_[s].tid, false);
     }
 
     /** All ops on one shard: one TM transaction is already atomic, so
@@ -491,21 +534,44 @@ class KvStore
     /** Free / keep the blobs staged for this multiOp's kPutBytes ops
      *  (kept on success — they are live table values now). */
     void releaseStagedBlobs(Session &session, bool committed);
-    /** Free the displaced pre-image blobs after a committed op. */
+    /** Retire the displaced pre-image blobs after a committed op. */
     void freeReclaimed(Session &session);
+
+    /** Backlog size that triggers a batched limbo handoff. */
+    static constexpr std::size_t kRetireBatch = 64;
+
+    /** Park displaced (committed-visible) blob handles in the
+     *  session's backlog; flushes to the shard arenas in batches. */
+    void retireDisplaced(Session &session, std::uint32_t shard,
+                         const std::vector<std::uint64_t> &refs);
+    void flushRetireBacklog(Session &session);
 
     KvStoreOptions options_;
     CommitMode commitMode_ = CommitMode::kTwoPhase;
     std::vector<std::unique_ptr<Shard>> shards_;
+    /** kLatch-mode ordering only; the 2PC paths never touch these. */
     std::vector<std::unique_ptr<std::shared_mutex>> latches_;
-    /** Bumped once per 2PC commit point (observability). */
+    /** Store-wide commit sequence: reserved (fetch_add) by every 2PC
+     *  at its commit point *before* the per-shard bumps and the
+     *  status flip; snapshot reads sample it as their timestamp. */
     std::atomic<std::uint64_t> commitSeq_{0};
-    /** Per-shard commit sequences, bumped for every *touched* shard
-     *  before the commit flip; read-only multiOps validate their read
-     *  round against the shards they actually read, so commits to
-     *  unrelated shards never force a retry. */
-    std::vector<std::unique_ptr<std::atomic<std::uint64_t>>>
-        shardSeqs_;
+    /**
+     * The snapshot-epoch vector: per-shard commit sequences on
+     * private cache lines, bumped for every *touched* shard between
+     * the sequence reservation and the commit flip. Read-only rounds
+     * sample the shards they actually read and re-check them at the
+     * end, so commits to unrelated shards never force a retry.
+     */
+    std::unique_ptr<PaddedAtomicU64[]> shardSeqs_;
+    /**
+     * Snapshot read-path counters (see SnapshotReadStats), striped
+     * per shard and attributed to the round's first touched shard so
+     * concurrent readers of disjoint shards never serialize on one
+     * counter line; snapshotReadStats() sums the stripes.
+     */
+    std::unique_ptr<PaddedAtomicU64[]> snapRounds_;
+    std::unique_ptr<PaddedAtomicU64[]> snapRetries_;
+    PaddedAtomicU64 snapEscalations_;
     /** Park a clean commit context for reuse (see ctxPool_). */
     void retireContext(std::unique_ptr<CommitContext> ctx) noexcept;
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <thread>
 
+#include "common/hints.hpp"
 #include "common/timing.hpp"
 
 namespace proteus::kvstore {
@@ -36,7 +37,7 @@ checkedLog2(unsigned log2_value, const char *what)
 inline bool
 stateIsValue(std::uint64_t state)
 {
-    return state == kFull || state == kFullRef;
+    return slotStateIsValue(state);
 }
 
 /** Numeric decode of an inline ValueRef (zero-padded to 8 bytes). */
@@ -108,18 +109,26 @@ Shard::probe(polytm::Tx &tx, ShardTable &table, std::uint64_t key,
     std::size_t insert_at = table.slots; // first tombstone seen, if any
     std::size_t slot = homeSlot(table, key);
     for (std::size_t step = 0; step < table.slots; ++step) {
+        // The common probe is one or two slots long; when it runs
+        // past that the chain is streaming — pull the next slot's
+        // state/key lines in early so the TM read barrier hits warm
+        // cache.
+        const std::size_t next = (slot + 1) & table.mask;
+        PROTEUS_PREFETCH(&table.state[next]);
+        PROTEUS_PREFETCH(&table.keys[next]);
         const std::uint64_t state = tx.readWord(&table.state[slot]);
         if (state == kEmpty)
             return insert_at < table.slots ? insert_at : slot;
-        if (state == kTombstone) {
+        if (PROTEUS_UNLIKELY(state == kTombstone)) {
             if (insert_at == table.slots)
                 insert_at = slot;
-        } else if (tx.readWord(&table.keys[slot]) == key) {
+        } else if (PROTEUS_LIKELY(tx.readWord(&table.keys[slot]) ==
+                                  key)) {
             // kFull/kFullRef/kPendingInsert all carry a valid key word.
             *found = true;
             return slot;
         }
-        slot = (slot + 1) & table.mask;
+        slot = next;
     }
     return insert_at; // table.slots when the table has no reusable slot
 }
@@ -127,19 +136,19 @@ Shard::probe(polytm::Tx &tx, ShardTable &table, std::uint64_t key,
 bool
 Shard::resolveSlotLiveTx(polytm::Tx &tx, ShardTable &table,
                          std::size_t slot, LiveValue *out,
-                         bool *unstable)
+                         const ReadView &view)
 {
     const auto expired = [](std::uint64_t deadline) {
         return deadline != 0 && deadline <= nowNanos();
     };
     const std::uint64_t word = tx.readWord(&table.intents[slot]);
     const std::uint64_t state = tx.readWord(&table.state[slot]);
-    if (word == 0) {
+    if (PROTEUS_LIKELY(word == 0)) {
         if (!stateIsValue(state))
             return false;
         const std::uint64_t deadline =
             tx.readWord(&table.expiry[slot]);
-        if (expired(deadline))
+        if (PROTEUS_UNLIKELY(expired(deadline)))
             return false; // lazy TTL: expired reads as absent
         if (out) {
             out->state = state;
@@ -151,44 +160,86 @@ Shard::resolveSlotLiveTx(polytm::Tx &tx, ShardTable &table,
     WriteIntent *intent = intentOf(word);
     CommitRecord *record =
         intent->record.load(std::memory_order_acquire);
-    // Payload fields must be read before the status word: fields of
-    // epoch E freeze before E's flip and are only rewritten after the
-    // next re-arm, so a status that still reads (E, kCommitted) at a
-    // later point proves the earlier field loads saw epoch E's frozen
-    // payload.
-    const std::uint64_t new_state =
-        intent->newState.load(std::memory_order_relaxed);
-    const std::uint64_t new_value =
-        intent->newValue.load(std::memory_order_relaxed);
-    const std::uint64_t new_expiry =
-        intent->newExpiry.load(std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_acquire);
-    const std::uint64_t status =
-        record ? record->status.load(std::memory_order_acquire) : 0;
-    const bool same_epoch =
-        record && (CommitRecord::epochOf(status) & 0xffff) ==
-                      intentEpochTag(word);
-    if (same_epoch &&
-        CommitRecord::stateOf(status) == CommitRecord::kCommitted) {
-        // Post-image wins from the commit point on, even before the
-        // owner's finalize folds it into the slot words.
-        if (!stateIsValue(new_state) || expired(new_expiry))
-            return false;
-        if (out) {
-            out->state = new_state;
-            out->value = new_value;
-            out->expiry = new_expiry;
+    const std::uint64_t tag = intentEpochTag(word);
+    bool waited = false;
+    for (;;) {
+        // Payload fields must be read before the status word: fields
+        // of epoch E freeze before E's flip and are only rewritten
+        // after the next re-arm, so a status that still reads
+        // (E, kCommitted) at a later point proves the earlier field
+        // loads saw epoch E's frozen payload.
+        const std::uint64_t new_state =
+            intent->newState.load(std::memory_order_relaxed);
+        const std::uint64_t new_value =
+            intent->newValue.load(std::memory_order_relaxed);
+        const std::uint64_t new_expiry =
+            intent->newExpiry.load(std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        const std::uint64_t status =
+            record ? record->status.load(std::memory_order_acquire)
+                   : 0;
+        const bool same_epoch =
+            record && (CommitRecord::epochOf(status) & 0xffff) == tag;
+        const std::uint64_t verdict = CommitRecord::stateOf(status);
+        if (same_epoch && verdict == CommitRecord::kCommitted) {
+            // Post-image wins from the commit point on — but a
+            // snapshot view excludes a commit sequenced after its
+            // sampled read timestamp (the reader's round began before
+            // this commit existed; its trailing sequence check keeps
+            // the exclusion consistent across slots and shards).
+            bool include = true;
+            if (view.mode == ReadView::Mode::kSnapshot) {
+                const std::uint64_t cword =
+                    record->commitSeq.load(std::memory_order_acquire);
+                include =
+                    CommitRecord::seqEpochTag(cword) == (tag & 0xffff) &&
+                    CommitRecord::seqOf(cword) <= view.seq;
+            }
+            if (include) {
+                if (!stateIsValue(new_state) || expired(new_expiry))
+                    return false;
+                if (out) {
+                    out->state = new_state;
+                    out->value = new_value;
+                    out->expiry = new_expiry;
+                }
+                return true;
+            }
+            break; // pre-image: commit is after this snapshot
         }
-        return true;
+        if (same_epoch && verdict == CommitRecord::kPending) {
+            // In-flight. kSettle always waits the verdict out;
+            // kSnapshot waits only when the commit already reserved a
+            // sequence inside our snapshot (the flip is then at most
+            // a few plain stores away) — an unreserved sequence is
+            // provably ordered after our sampled timestamp, so the
+            // pre-image is final for this view. kLatest never waits.
+            bool wait = view.mode == ReadView::Mode::kSettle;
+            if (view.mode == ReadView::Mode::kSnapshot) {
+                const std::uint64_t cword =
+                    record->commitSeq.load(std::memory_order_acquire);
+                wait =
+                    CommitRecord::seqEpochTag(cword) == (tag & 0xffff) &&
+                    CommitRecord::seqOf(cword) <= view.seq;
+            }
+            if (wait) {
+                if (!waited) {
+                    waited = true;
+                    snapshotWaits_.fetch_add(
+                        1, std::memory_order_relaxed);
+                }
+                std::this_thread::yield();
+                continue;
+            }
+        }
+        break;
     }
-    if (unstable && same_epoch &&
-        CommitRecord::stateOf(status) == CommitRecord::kPending)
-        *unstable = true;
-    // Pending or aborted: the pre-image is the live state. An epoch
-    // mismatch means the intent was recycled underneath us; the
-    // republished word differs (epoch tag), so this transaction's
-    // read-set validation rejects the commit and the retry sees the
-    // slot's real state — pre-image junk never escapes.
+    // Pending-outside-view or aborted: the pre-image is the live
+    // state. An epoch mismatch means the intent was recycled
+    // underneath us; the republished word differs (epoch tag), so
+    // this transaction's read-set validation rejects the commit and
+    // the retry sees the slot's real state — pre-image junk never
+    // escapes.
     if (!stateIsValue(state))
         return false;
     const std::uint64_t deadline = tx.readWord(&table.expiry[slot]);
@@ -314,10 +365,10 @@ Shard::writeLookup(polytm::Tx &tx, CommitRecord *record,
 bool
 Shard::numericValueTx(polytm::Tx &tx, ShardTable &table,
                       std::size_t slot, LiveValue live,
-                      std::uint64_t *out)
+                      std::uint64_t *out, const ReadView &view)
 {
     for (;;) {
-        if (live.state == kFull) {
+        if (PROTEUS_LIKELY(live.state == kFull)) {
             if (out)
                 *out = live.value;
             return true;
@@ -338,14 +389,15 @@ Shard::numericValueTx(polytm::Tx &tx, ShardTable &table,
         // changed first, so re-resolving through the TM either aborts
         // this transaction (version/value validation) or yields the
         // fresh pair.
-        if (!resolveSlotLiveTx(tx, table, slot, &live, nullptr))
+        if (!resolveSlotLiveTx(tx, table, slot, &live, view))
             return false;
     }
 }
 
 bool
 Shard::bytesValueTx(polytm::Tx &tx, ShardTable &table, std::size_t slot,
-                    LiveValue live, std::string *out)
+                    LiveValue live, std::string *out,
+                    const ReadView &view, bool pinned)
 {
     for (;;) {
         if (live.state == kFull) {
@@ -359,16 +411,23 @@ Shard::bytesValueTx(polytm::Tx &tx, ShardTable &table, std::size_t slot,
             inlineRefCopy(ref, out);
             return true;
         }
+        if (PROTEUS_LIKELY(pinned)) {
+            // The caller's reader-epoch section defers recycling of
+            // every handle it can legally hold — copy with zero
+            // seqlock fences or re-checks.
+            arena_.readBlobPinned(ref, out);
+            return true;
+        }
         if (arena_.readBlob(ref, out))
             return true;
-        if (!resolveSlotLiveTx(tx, table, slot, &live, nullptr))
+        if (!resolveSlotLiveTx(tx, table, slot, &live, view))
             return false;
     }
 }
 
 bool
 Shard::lookupLiveTx(polytm::Tx &tx, std::uint64_t key, SlotRef *ref,
-                    LiveValue *live, bool *unstable)
+                    LiveValue *live, const ReadView &view)
 {
     TableEpoch *ep = epochTx(tx);
     bool found = false;
@@ -380,7 +439,7 @@ Shard::lookupLiveTx(polytm::Tx &tx, std::uint64_t key, SlotRef *ref,
     }
     if (!found)
         return false;
-    if (!resolveSlotLiveTx(tx, *table, slot, live, unstable))
+    if (!resolveSlotLiveTx(tx, *table, slot, live, view))
         return false;
     *ref = {table, slot};
     return true;
@@ -389,29 +448,30 @@ Shard::lookupLiveTx(polytm::Tx &tx, std::uint64_t key, SlotRef *ref,
 bool
 Shard::getTx(polytm::Tx &tx, std::uint64_t key, std::uint64_t *value)
 {
-    return snapshotGetTx(tx, key, value, nullptr);
+    return snapshotGetTx(tx, key, value, ReadView{});
 }
 
 bool
 Shard::snapshotGetTx(polytm::Tx &tx, std::uint64_t key,
-                     std::uint64_t *value, bool *unstable)
+                     std::uint64_t *value, const ReadView &view)
 {
     SlotRef ref;
     LiveValue live;
-    if (!lookupLiveTx(tx, key, &ref, &live, unstable))
+    if (!lookupLiveTx(tx, key, &ref, &live, view))
         return false;
-    return numericValueTx(tx, *ref.table, ref.slot, live, value);
+    return numericValueTx(tx, *ref.table, ref.slot, live, value, view);
 }
 
 bool
 Shard::snapshotGetBytesTx(polytm::Tx &tx, std::uint64_t key,
-                          std::string *out, bool *unstable)
+                          std::string *out, const ReadView &view)
 {
     SlotRef ref;
     LiveValue live;
-    if (!lookupLiveTx(tx, key, &ref, &live, unstable))
+    if (!lookupLiveTx(tx, key, &ref, &live, view))
         return false;
-    return bytesValueTx(tx, *ref.table, ref.slot, live, out);
+    return bytesValueTx(tx, *ref.table, ref.slot, live, out, view,
+                        /*pinned=*/true);
 }
 
 SlotImage
@@ -616,6 +676,7 @@ Shard::installIntent(polytm::Tx &tx, CommitRecord *record,
     intent->newExpiry.store(new_expiry, std::memory_order_relaxed);
     intent->table = &table;
     intent->slot = slot;
+    intent->claimedTombstone = false;
     // The transactional store publishes the intent atomically with the
     // rest of this shard's prepare at commit time (release), so the
     // relaxed field stores above are visible to any resolver that
@@ -675,10 +736,13 @@ Shard::preparePutTx(polytm::Tx &tx, CommitRecord *record,
         *applied = false;
         return false; // full: caller grows (or aborts when capped)
     }
+    const bool reused_tombstone =
+        tx.readWord(&ref.table->state[ref.slot]) == kTombstone;
     tx.writeWord(&ref.table->state[ref.slot], kPendingInsert);
     tx.writeWord(&ref.table->keys[ref.slot], key);
     installIntent(tx, record, arena, out, *ref.table, ref.slot,
-                  new_state, value, expiry);
+                  new_state, value, expiry)
+        ->claimedTombstone = reused_tombstone;
     *applied = true;
     return true;
 }
@@ -792,10 +856,13 @@ Shard::prepareAddTx(polytm::Tx &tx, CommitRecord *record,
         *applied = false;
         return false; // full: caller grows (or aborts when capped)
     }
+    const bool reused_tombstone =
+        tx.readWord(&ref.table->state[ref.slot]) == kTombstone;
     tx.writeWord(&ref.table->state[ref.slot], kPendingInsert);
     tx.writeWord(&ref.table->keys[ref.slot], key);
     installIntent(tx, record, arena, out, *ref.table, ref.slot, kFull,
-                  unsigned_delta, 0);
+                  unsigned_delta, 0)
+        ->claimedTombstone = reused_tombstone;
     *applied = true;
     return true;
 }
@@ -879,15 +946,16 @@ Shard::prepareGetBytesTx(polytm::Tx &tx, CommitRecord *record,
 }
 
 bool
-Shard::finalizeIntentTx(polytm::Tx &tx, WriteIntent *intent)
+Shard::finalizeIntentTx(polytm::Tx &tx, WriteIntent *intent,
+                        std::int64_t *tombstone_delta)
 {
     ShardTable &table = *intent->table;
     const std::size_t slot = static_cast<std::size_t>(intent->slot);
     const std::uint64_t word = tx.readWord(&table.intents[slot]);
     if (intentOf(word) != intent)
         return false; // a helping writer already folded it
-    const bool was_pending_insert =
-        tx.readWord(&table.state[slot]) == kPendingInsert;
+    const std::uint64_t pre_state = tx.readWord(&table.state[slot]);
+    const bool was_pending_insert = pre_state == kPendingInsert;
     const std::uint64_t new_state =
         intent->newState.load(std::memory_order_relaxed);
     tx.writeWord(&table.state[slot], new_state);
@@ -898,7 +966,16 @@ Shard::finalizeIntentTx(polytm::Tx &tx, WriteIntent *intent)
                      intent->newExpiry.load(std::memory_order_relaxed));
     }
     tx.writeWord(&table.intents[slot], 0);
-    return was_pending_insert && stateIsValue(new_state);
+    if (tombstone_delta) {
+        if (new_state == kTombstone && stateIsValue(pre_state))
+            ++*tombstone_delta; // committed delete of a value slot
+        else if (was_pending_insert && stateIsValue(new_state) &&
+                 intent->claimedTombstone)
+            --*tombstone_delta; // the insert reused a tombstone
+    }
+    // A pending insert that claimed a tombstone consumed no new slot.
+    return was_pending_insert && stateIsValue(new_state) &&
+           !intent->claimedTombstone;
 }
 
 void
@@ -992,7 +1069,10 @@ Shard::getBytes(polytm::ThreadToken &token, std::uint64_t key,
 {
     bool ok = false;
     poly_.run(token, [&](polytm::Tx &tx) {
-        ok = snapshotGetBytesTx(tx, key, out, nullptr);
+        // Pin per attempt (never across a gate park): the section
+        // covers every blob deref of this body.
+        EpochPin pin(readerEpochs_, *token.epochSlot);
+        ok = snapshotGetBytesTx(tx, key, out, ReadView{});
     });
     return ok;
 }
@@ -1001,29 +1081,36 @@ bool
 Shard::del(polytm::ThreadToken &token, std::uint64_t key)
 {
     bool ok = false;
+    SlotImage pre;
     std::vector<std::uint64_t> reclaim;
     poly_.run(token, [&](polytm::Tx &tx) {
         reclaim.clear();
-        ok = delTx(tx, key, nullptr, &reclaim);
+        ok = delTx(tx, key, &pre, &reclaim);
     });
     for (const std::uint64_t ref : reclaim)
-        arena_.freeBlob(ref);
+        retireBlob(ref);
+    if (stateIsValue(pre.state)) {
+        noteTombstones(1);
+        // Deletes drive maintenance like every other write — a
+        // del-only phase must still reclaim its retired blobs.
+        maintainTick(token);
+    }
     return ok;
 }
 
 std::size_t
 Shard::scanTx(polytm::Tx &tx, std::uint64_t start_key, std::size_t limit,
               std::vector<std::pair<std::uint64_t, std::uint64_t>> *out,
-              bool *unstable)
+              const ReadView &view)
 {
     if (out)
         out->clear(); // retried attempts restart the collection
     return scanWalkTx(
-        tx, start_key, limit, unstable,
+        tx, start_key, limit, view,
         [&](ShardTable &table, std::size_t slot,
             const LiveValue &live) {
             std::uint64_t word = 0;
-            if (!numericValueTx(tx, table, slot, live, &word))
+            if (!numericValueTx(tx, table, slot, live, &word, view))
                 return false;
             if (out)
                 out->emplace_back(tx.readWord(&table.keys[slot]), word);
@@ -1034,17 +1121,18 @@ Shard::scanTx(polytm::Tx &tx, std::uint64_t start_key, std::size_t limit,
 std::size_t
 Shard::scanEntriesTx(polytm::Tx &tx, std::uint64_t start_key,
                      std::size_t limit, std::vector<ScanEntry> *out,
-                     bool *unstable)
+                     const ReadView &view)
 {
     if (out)
         out->clear();
     return scanWalkTx(
-        tx, start_key, limit, unstable,
+        tx, start_key, limit, view,
         [&](ShardTable &table, std::size_t slot,
             const LiveValue &live) {
             ScanEntry entry;
             entry.key = tx.readWord(&table.keys[slot]);
-            if (!bytesValueTx(tx, table, slot, live, &entry.bytes))
+            if (!bytesValueTx(tx, table, slot, live, &entry.bytes,
+                              view, /*pinned=*/true))
                 return false;
             if (out)
                 out->push_back(std::move(entry));
@@ -1057,21 +1145,17 @@ Shard::scan(polytm::ThreadToken &token, std::uint64_t start_key,
             std::size_t limit,
             std::vector<std::pair<std::uint64_t, std::uint64_t>> *out)
 {
-    // A scan covering two slots of one cross-shard composite could
-    // otherwise mix its pre- and post-images when the commit record
-    // flips mid-scan (the flip is a plain store, invisible to TM
-    // validation) — retry while any slot resolved a PENDING intent.
+    // kSettle: every in-flight cross-shard commit the walk touches is
+    // waited out to its terminal verdict, so one transaction sees each
+    // commit all-or-nothing — no retry loop, no store-level sequence
+    // needed. (A commit preparing *after* our reads invalidates the
+    // scan's read-set through the intent words, so the TM retries it.)
     std::size_t count = 0;
-    for (;;) {
-        bool unstable = false;
-        poly_.run(token, [&](polytm::Tx &tx) {
-            // Retried attempts restart the collection inside scanTx.
-            count = scanTx(tx, start_key, limit, out, &unstable);
-        });
-        if (!unstable)
-            return count;
-        std::this_thread::yield();
-    }
+    poly_.run(token, [&](polytm::Tx &tx) {
+        count = scanTx(tx, start_key, limit, out,
+                       ReadView{ReadView::Mode::kSettle, 0});
+    });
+    return count;
 }
 
 void
@@ -1082,13 +1166,22 @@ Shard::noteConsumed(std::size_t n)
 }
 
 void
+Shard::noteTombstones(std::int64_t delta)
+{
+    TableEpoch *ep = epochMirror_.load(std::memory_order_acquire);
+    ep->live->tombstones.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void
 Shard::finishWrite(polytm::ThreadToken &token, const SlotImage &pre,
                    const std::vector<std::uint64_t> &reclaim)
 {
     for (const std::uint64_t ref : reclaim)
-        arena_.freeBlob(ref);
+        retireBlob(ref);
     if (pre.state == kEmpty)
         noteConsumed(1);
+    else if (pre.state == kTombstone)
+        noteTombstones(-1); // insert reused a tombstone
     maintainTick(token);
 }
 
@@ -1145,6 +1238,39 @@ Shard::publishEpoch(polytm::ThreadToken &token, TableEpoch *next)
     epochMirror_.store(next, std::memory_order_release);
 }
 
+void
+Shard::startMigrationLocked(polytm::ThreadToken &token,
+                            ShardTable *source, std::size_t new_slots)
+{
+    // growMutex_ held by the caller; `source` is the live table and
+    // no migration is in flight. Set up the source's chunk accounting
+    // before anyone can claim a chunk.
+    const std::size_t chunk = options_.migrateChunkSlots;
+    source->totalChunks = (source->slots + chunk - 1) / chunk;
+    source->chunkDone =
+        std::make_unique<std::atomic<std::uint8_t>[]>(
+            source->totalChunks);
+    source->migrateCursor.store(0, std::memory_order_relaxed);
+    source->chunksDone.store(0, std::memory_order_relaxed);
+    tables_.push_back(std::make_unique<ShardTable>(new_slots));
+    epochs_.push_back(std::make_unique<TableEpoch>(
+        TableEpoch{tables_.back().get(), source}));
+    publishEpoch(token, epochs_.back().get());
+}
+
+bool
+Shard::tombstoneHeavy(const ShardTable &live)
+{
+    const std::int64_t tombs =
+        live.tombstones.load(std::memory_order_relaxed);
+    const auto consumed = static_cast<std::int64_t>(
+        live.consumed.load(std::memory_order_relaxed));
+    // Half-or-more of the consumed slots are garbage: a same-size
+    // table holds the survivors comfortably, a doubling would mostly
+    // duplicate empty space.
+    return tombs > 0 && tombs * 2 >= consumed;
+}
+
 bool
 Shard::growLocked(polytm::ThreadToken &token, std::size_t full_capacity)
 {
@@ -1154,39 +1280,49 @@ Shard::growLocked(polytm::ThreadToken &token, std::size_t full_capacity)
         return true; // someone already grew past the reported size
     if (cur->live->slots >= maxSlots_)
         return false; // capped: the caller's op has genuinely failed
-    // The current live table becomes the migration source; set up its
-    // chunk accounting before anyone can claim a chunk.
-    ShardTable *source = cur->live;
-    const std::size_t chunk = options_.migrateChunkSlots;
-    source->totalChunks = (source->slots + chunk - 1) / chunk;
-    source->chunkDone =
-        std::make_unique<std::atomic<std::uint8_t>[]>(
-            source->totalChunks);
-    source->migrateCursor.store(0, std::memory_order_relaxed);
-    source->chunksDone.store(0, std::memory_order_relaxed);
-    tables_.push_back(
-        std::make_unique<ShardTable>(source->slots * 2));
-    epochs_.push_back(std::make_unique<TableEpoch>(
-        TableEpoch{tables_.back().get(), source}));
-    publishEpoch(token, epochs_.back().get());
+    startMigrationLocked(token, cur->live, cur->live->slots * 2);
     growCount_.fetch_add(1, std::memory_order_relaxed);
     return true;
+}
+
+void
+Shard::compactLocked(polytm::ThreadToken &token)
+{
+    TableEpoch *cur = epochMirror_.load(std::memory_order_acquire);
+    startMigrationLocked(token, cur->live, cur->live->slots);
+    compactCount_.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool
 Shard::tryGrow(polytm::ThreadToken &token, std::size_t full_capacity)
 {
-    if (full_capacity >= maxSlots_)
-        return false; // capped: no amount of helping can add room
+    bool compacted = false;
     for (;;) {
         {
             std::lock_guard<std::mutex> lk(growMutex_);
             TableEpoch *cur =
                 epochMirror_.load(std::memory_order_acquire);
-            if (!cur->old)
-                return growLocked(token, full_capacity);
             if (cur->live->slots > full_capacity)
                 return true; // a concurrent grow already helped
+            if (!cur->old) {
+                if (compacted) {
+                    // Our compaction drained: the tombstones it shed
+                    // are insert room now — let the caller retry.
+                    return true;
+                }
+                if (cur->live->slots < maxSlots_)
+                    return growLocked(token, full_capacity);
+                // Capped. Delete churn can still fill a pinned table
+                // with tombstones; a same-size compacting migration
+                // recovers them. Only a table full of *live* entries
+                // is a genuine failure. (The heuristic count resets
+                // to truth through the migration, so a drifted-high
+                // estimate costs at most one wasted compaction.)
+                if (!tombstoneHeavy(*cur->live))
+                    return false;
+                compactLocked(token);
+                compacted = true;
+            }
         }
         // A migration is in flight: help drain it, then re-check.
         migrateChunk(token);
@@ -1287,7 +1423,7 @@ Shard::migrateChunk(polytm::ThreadToken &token)
         }
     });
     for (const std::uint64_t ref : reclaim)
-        arena_.freeBlob(ref);
+        retireBlob(ref); // a doomed scan may still hold the handles
     if (consumed_live > 0)
         noteConsumed(consumed_live);
     if (stalled) {
@@ -1340,8 +1476,10 @@ Shard::sweepChunk(polytm::ThreadToken &token)
         live.slots;
 
     std::vector<std::uint64_t> reclaim;
+    std::size_t expired_count = 0;
     poly_.run(token, [&](polytm::Tx &tx) {
         reclaim.clear();
+        expired_count = 0; // retried attempts restart
         TableEpoch *cur = epochTx(tx);
         if (cur->live != &live)
             return; // table rotated under the clock hand
@@ -1360,6 +1498,7 @@ Shard::sweepChunk(polytm::ThreadToken &token)
                             reclaim.push_back(
                                 tx.readWord(&live.values[slot]));
                         tx.writeWord(&live.state[slot], kTombstone);
+                        ++expired_count;
                     }
                 }
             }
@@ -1367,7 +1506,12 @@ Shard::sweepChunk(polytm::ThreadToken &token)
         }
     });
     for (const std::uint64_t ref : reclaim)
-        arena_.freeBlob(ref);
+        retireBlob(ref);
+    if (expired_count > 0) {
+        live.tombstones.fetch_add(
+            static_cast<std::int64_t>(expired_count),
+            std::memory_order_relaxed);
+    }
 }
 
 void
@@ -1379,17 +1523,34 @@ Shard::maintainTick(polytm::ThreadToken &token)
         return;
     }
     ShardTable &live = *ep->live;
-    if (live.slots < maxSlots_ &&
+    const bool over_threshold =
         live.consumed.load(std::memory_order_relaxed) * 100 >=
-            live.slots * options_.growLoadPercent) {
+        live.slots * options_.growLoadPercent;
+    if (over_threshold &&
+        (live.slots < maxSlots_ || tombstoneHeavy(live))) {
         std::lock_guard<std::mutex> lk(growMutex_);
-        growLocked(token, live.slots);
+        TableEpoch *cur = epochMirror_.load(std::memory_order_acquire);
+        if (!cur->old && cur->live == &live) {
+            // Delete churn consumes slots without holding data: a
+            // tombstone-dominated table migrates into a SAME-size
+            // table (shedding the garbage) instead of doubling.
+            if (tombstoneHeavy(live))
+                compactLocked(token);
+            else
+                growLocked(token, live.slots);
+        }
         return;
     }
-    if (ttlSeen_.load(std::memory_order_relaxed) &&
-        (maintainTicks_.fetch_add(1, std::memory_order_relaxed) & 63) ==
-            0)
+    const std::uint64_t ticks =
+        maintainTicks_.fetch_add(1, std::memory_order_relaxed);
+    if (ttlSeen_.load(std::memory_order_relaxed) && (ticks & 63) == 0)
         sweepChunk(token);
+    // Recycle retired blobs whose reader epochs have quiesced. The
+    // sweep pays one epoch RMW plus a claimed-slot scan, so it runs
+    // on a sparse tick unless limbo is piling up.
+    const std::size_t limbo = arena_.limboCount();
+    if (limbo > 512 || (limbo > 0 && (ticks & 15) == 0))
+        arena_.reclaim(readerEpochs_);
 }
 
 std::size_t

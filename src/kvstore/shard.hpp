@@ -35,8 +35,11 @@
  * ValueArena (see value_arena.hpp). Numeric reads of byte values
  * decode the leading 8 bytes; byte reads of numeric values return the
  * 8 raw bytes. Blob allocation happens outside transactions; displaced
- * blob handles are pushed onto caller-provided reclaim lists and freed
- * only after the displacing transaction committed.
+ * blob handles are pushed onto caller-provided reclaim lists and
+ * *retired* (not freed) after the displacing transaction committed:
+ * the arena recycles them only once every reader-epoch section that
+ * could hold the handle has ended (readerEpochs_), which is what lets
+ * pinned byte readers copy blobs with zero seqlock re-checks.
  *
  * TTL. A slot's expiry word is an absolute nowNanos() deadline (0 =
  * none). Reads treat an expired slot as absent (lazy expiry); a
@@ -53,7 +56,13 @@
  *    past it. Finalize turns it kFull/kFullRef, abort turns it
  *    kTombstone (never back to kEmpty — probe chains may already run
  *    past it).
- * Readers resolve intents without blocking. Writers fold a finished
+ * Readers resolve intents without blocking: point reads take the
+ * committed image (ReadView::kLatest), and snapshot reads compare the
+ * record's commit sequence against their sampled read timestamp
+ * (ReadView::kSnapshot) so an in-flight commit is included or
+ * excluded deterministically instead of forcing a retry round — the
+ * only wait left is the few-store window between a commit's sequence
+ * reservation and its status flip. Writers fold a finished
  * (committed/aborted) intent in their own transaction and proceed; a
  * still-pending intent makes a writer wait out the short prepare→
  * commit window (retry-with-backoff when the backend is revocable,
@@ -61,6 +70,13 @@
  * is a plain atomic store, so it needs no TM resources a spinner
  * could be holding). Intents record the table they were installed in,
  * so a 2PC that straddles a grow finalizes against the right slots.
+ *
+ * Resize vs compaction. A doubling grow is triggered by consumed
+ * slots crossing growLoadPercent — unless tombstones dominate the
+ * consumed count (delete churn), in which case the shard migrates
+ * into a SAME-size table instead, shedding the tombstones without
+ * doubling memory; a capped shard whose table fills with tombstones
+ * compacts the same way rather than failing the insert.
  */
 
 #ifndef PROTEUS_KVSTORE_SHARD_HPP
@@ -74,11 +90,45 @@
 #include <utility>
 #include <vector>
 
+#include "common/epoch.hpp"
 #include "kvstore/commit_record.hpp"
 #include "kvstore/value_arena.hpp"
 #include "polytm/polytm.hpp"
 
 namespace proteus::kvstore {
+
+/**
+ * How a read resolves a slot that carries an in-flight cross-shard
+ * write intent (see resolveSlotLiveTx):
+ *
+ *  - kLatest   : non-blocking point read. COMMITTED intents win,
+ *                PENDING ones yield the pre-image. Single-key gets.
+ *  - kSnapshot : validation-free snapshot read against the sampled
+ *                store-wide commit sequence `seq`. A commit whose
+ *                record sequence is <= seq is included (its verdict is
+ *                briefly waited out if the flip is still in flight —
+ *                the window spans only the owner's per-shard sequence
+ *                bumps); one ordered after the snapshot is excluded.
+ *                Used by read-only multiOps and KvStore scans, paired
+ *                with the caller's trailing per-shard sequence check.
+ *  - kSettle   : wait every PENDING intent out to its verdict. Gives
+ *                a standalone shard scan all-or-nothing consistency
+ *                per commit without any store-level sequence to
+ *                validate against.
+ */
+struct ReadView
+{
+    enum class Mode : std::uint8_t
+    {
+        kLatest = 0,
+        kSnapshot,
+        kSettle,
+    };
+
+    Mode mode = Mode::kLatest;
+    /** Sampled store-wide commit sequence (kSnapshot only). */
+    std::uint64_t seq = 0;
+};
 
 struct ShardOptions
 {
@@ -118,6 +168,13 @@ enum SlotState : std::uint64_t
     kFullRef = 4, //!< value word is a ValueRef (see value_arena.hpp)
 };
 
+/** The one definition of "this slot state carries a value". */
+inline bool
+slotStateIsValue(std::uint64_t state)
+{
+    return state == kFull || state == kFullRef;
+}
+
 /** One table generation (see the resize notes in the file comment). */
 struct ShardTable
 {
@@ -140,6 +197,16 @@ struct ShardTable
 
     /** Heuristic non-kEmpty slot count (grow trigger; drift is ok). */
     std::atomic<std::size_t> consumed{0};
+    /**
+     * Heuristic tombstone count (compaction trigger). Signed so racy
+     * decrements can momentarily undershoot without wrapping. Known
+     * drift: helper-folded deletes and aborted pending inserts mint
+     * tombstones uncounted (low drift), and raced double-accounting
+     * can overshoot (high drift) — both are bounded to one table
+     * generation, because every migration (grow OR compact) rebuilds
+     * the new table's counters from the relocated truth.
+     */
+    std::atomic<std::int64_t> tombstones{0};
     /** Next migration chunk to claim (when this is the old table).
      *  Chunk claims are always chunk-aligned: stall rewinds CAS back
      *  to a chunk's begin, never into its middle. */
@@ -187,9 +254,17 @@ class Shard
      * Register the calling thread with this shard's PolyTM. Throws
      * (from PolyTM / ThreadGate) when more than tm::kMaxThreads
      * workers try to register — the KV driver must size its pool
-     * accordingly.
+     * accordingly. The token carries the thread's reader-epoch slot
+     * so byte-read paths can pin blobs (see readerEpochs()).
      */
-    polytm::ThreadToken registerWorker() { return poly_.registerThread(); }
+    polytm::ThreadToken
+    registerWorker()
+    {
+        polytm::ThreadToken token = poly_.registerThread();
+        token.epochSlot = readerEpochs_.claimSlot(
+            static_cast<std::size_t>(token.tid));
+        return token;
+    }
     void deregisterWorker(polytm::ThreadToken &token)
     {
         poly_.deregisterThread(token);
@@ -214,9 +289,11 @@ class Shard
     /**
      * Collect up to `limit` live entries starting from key's home slot
      * (YCSB-E-style short range scan; open addressing makes it a slot
-     * walk, not a key-ordered scan). One transaction. During a
-     * migration the walk covers the live table, then the old one — a
-     * key is live in at most one of them.
+     * walk, not a key-ordered scan). One transaction, run under
+     * ReadView::kSettle so every in-flight cross-shard commit it
+     * touches resolves to a terminal verdict (all-or-nothing per
+     * commit). During a migration the walk covers the live table,
+     * then the old one — a key is live in at most one of them.
      */
     std::size_t scan(polytm::ThreadToken &token, std::uint64_t start_key,
                      std::size_t limit,
@@ -236,17 +313,18 @@ class Shard
     bool getTx(polytm::Tx &tx, std::uint64_t key,
                std::uint64_t *value = nullptr);
     /**
-     * getTx that additionally reports snapshot instability: *unstable
-     * is set when the read resolved a PENDING intent to its pre-image
-     * — the owning commit may flip mid-round, so a multi-shard
-     * snapshot built from such reads must be retried (KvStore's
-     * commit-sequence check cannot see a flip whose sequence bump the
-     * round straddles).
+     * getTx under an explicit ReadView: kSnapshot resolves in-flight
+     * intents against the caller's sampled commit sequence instead of
+     * retry-looping (the caller pairs it with a trailing per-shard
+     * sequence check); kSettle waits intents out to their verdict.
+     * The bytes variant requires the caller to be pinned in this
+     * shard's readerEpochs() for the transaction body — the blob
+     * copy-out runs with no seqlock re-check.
      */
     bool snapshotGetTx(polytm::Tx &tx, std::uint64_t key,
-                       std::uint64_t *value, bool *unstable);
+                       std::uint64_t *value, const ReadView &view);
     bool snapshotGetBytesTx(polytm::Tx &tx, std::uint64_t key,
-                            std::string *out, bool *unstable);
+                            std::string *out, const ReadView &view);
     /**
      * getTx that first makes the slot writable — waiting out / folding
      * any foreign intent exactly like the write primitives do — so the
@@ -287,14 +365,16 @@ class Shard
      */
     void restoreTx(polytm::Tx &tx, std::uint64_t key,
                    const SlotImage &pre);
-    /** `unstable` as in snapshotGetTx: set when a slot resolved a
-     *  still-PENDING intent — the caller must retry the scan or risk
-     *  returning a torn mix of one composite's pre-/post-images. */
+    /** Scan under a ReadView (kLatest scans can return a torn mix of
+     *  one composite's pre-/post-images; use kSnapshot + the trailing
+     *  sequence check, or kSettle, for consistent scans). */
     std::size_t
     scanTx(polytm::Tx &tx, std::uint64_t start_key, std::size_t limit,
            std::vector<std::pair<std::uint64_t, std::uint64_t>> *out,
-           bool *unstable = nullptr);
-    /** Byte-decoding scan (numeric values yield their 8 raw bytes). */
+           const ReadView &view = {});
+    /** Byte-decoding scan (numeric values yield their 8 raw bytes);
+     *  requires the caller pinned in readerEpochs() (see
+     *  snapshotGetBytesTx). */
     struct ScanEntry
     {
         std::uint64_t key = 0;
@@ -303,7 +383,7 @@ class Shard
     std::size_t scanEntriesTx(polytm::Tx &tx, std::uint64_t start_key,
                               std::size_t limit,
                               std::vector<ScanEntry> *out,
-                              bool *unstable = nullptr);
+                              const ReadView &view = {});
 
     /**
      * 2PC prepare primitives: validate the operation and publish a
@@ -345,10 +425,15 @@ class Shard
      * Fold one of this commit's intents into the live slot words and
      * clear the intent pointer; a no-op if a helping writer already
      * folded it. Call with the record kCommitted. Returns true when
-     * the fold turned a pending insert into a value slot (the caller
-     * feeds the consumed-slot heuristic).
+     * the fold turned a pending insert into a value slot on a
+     * previously EMPTY slot (the caller feeds the consumed-slot
+     * heuristic; a tombstone-claiming insert consumed nothing new);
+     * `tombstone_delta` (optional) accumulates the net tombstones the
+     * fold created (+1 committed delete of a value slot, -1 insert
+     * that reused a tombstone).
      */
-    bool finalizeIntentTx(polytm::Tx &tx, WriteIntent *intent);
+    bool finalizeIntentTx(polytm::Tx &tx, WriteIntent *intent,
+                          std::int64_t *tombstone_delta = nullptr);
 
     /**
      * Discard one of this commit's intents (pending inserts become
@@ -383,6 +468,11 @@ class Shard
     /** Bump the heuristic consumed-slot count (insert bookkeeping). */
     void noteConsumed(std::size_t n);
 
+    /** Adjust the heuristic tombstone count: +1 per committed delete
+     *  of a value slot, -1 per insert that reused a tombstone. Feeds
+     *  the compaction-vs-grow decision; drift is tolerated. */
+    void noteTombstones(std::int64_t delta);
+
     /**
      * Post-commit bookkeeping shared by every direct put path (the
      * Shard wrappers and KvStore's latch-aware ones): free the
@@ -392,6 +482,14 @@ class Shard
      */
     void finishWrite(polytm::ThreadToken &token, const SlotImage &pre,
                      const std::vector<std::uint64_t> &reclaim);
+    /** finishWrite for callers that route displaced handles through
+     *  their own retire batching (KvStore session backlogs). */
+    void
+    finishWrite(polytm::ThreadToken &token, const SlotImage &pre)
+    {
+        static const std::vector<std::uint64_t> kNone;
+        finishWrite(token, pre, kNone);
+    }
 
     /** Record that TTL'd values exist (enables the sweep); called by
      *  layers that drive the *Tx primitives directly. */
@@ -402,6 +500,17 @@ class Shard
 
     ValueArena &arena() { return arena_; }
 
+    /** Reader-epoch domain for blob pinning: byte-read paths enter a
+     *  section (via the token's epochSlot) for each transaction body
+     *  so the arena defers blob recycling past them. */
+    EpochDomain &readerEpochs() { return readerEpochs_; }
+
+    /** Defer-recycle a displaced blob handle once its displacing
+     *  transaction committed: parks it in the arena limbo (recycled
+     *  by maintenance once every reader-epoch section that could
+     *  hold it has ended). */
+    void retireBlob(ValueRef ref) { arena_.retireBlob(ref); }
+
     /** Current live-table slot count (grows over the shard's life). */
     std::size_t capacity() const;
     bool migrationActive() const;
@@ -409,6 +518,16 @@ class Shard
     std::uint64_t growCount() const
     {
         return growCount_.load(std::memory_order_relaxed);
+    }
+    /** Same-size compacting migrations (tombstone churn) completed. */
+    std::uint64_t compactCount() const
+    {
+        return compactCount_.load(std::memory_order_relaxed);
+    }
+    /** In-flight commit verdicts snapshot readers waited out. */
+    std::uint64_t snapshotPendingWaits() const
+    {
+        return snapshotWaits_.load(std::memory_order_relaxed);
     }
 
     /** Live entries; quiesced-only (raw, non-transactional reads). */
@@ -441,7 +560,7 @@ class Shard
      * committed view. False when the key is logically absent.
      */
     bool lookupLiveTx(polytm::Tx &tx, std::uint64_t key, SlotRef *ref,
-                      LiveValue *live, bool *unstable);
+                      LiveValue *live, const ReadView &view);
 
     /**
      * Shared slot walk behind scanTx/scanEntriesTx: visits live
@@ -452,11 +571,9 @@ class Shard
     template <typename Emit>
     std::size_t
     scanWalkTx(polytm::Tx &tx, std::uint64_t start_key,
-               std::size_t limit, bool *unstable, Emit &&emit)
+               std::size_t limit, const ReadView &view, Emit &&emit)
     {
         std::size_t count = 0;
-        if (unstable)
-            *unstable = false; // retried attempts restart
         TableEpoch *ep = epochTx(tx);
         const auto walk = [&](ShardTable &table) {
             std::size_t slot = homeSlot(table, start_key);
@@ -468,7 +585,7 @@ class Shard
                     state == kPendingInsert) {
                     LiveValue live;
                     if (resolveSlotLiveTx(tx, table, slot, &live,
-                                          unstable) &&
+                                          view) &&
                         emit(table, slot, live))
                         ++count;
                 }
@@ -486,12 +603,12 @@ class Shard
     /**
      * Logical liveness+value of a probed-matching slot for readers:
      * resolves any intent against its commit record without writing
-     * and applies lazy TTL expiry. `unstable` (optional) is set on a
-     * pre-image read under a PENDING intent (see snapshotGetTx).
+     * — per the ReadView's mode (see the ReadView comment) — and
+     * applies lazy TTL expiry.
      */
     bool resolveSlotLiveTx(polytm::Tx &tx, ShardTable &table,
                            std::size_t slot, LiveValue *out,
-                           bool *unstable = nullptr);
+                           const ReadView &view = {});
 
     /**
      * Wait out / fold / discard the foreign intent published as
@@ -515,14 +632,19 @@ class Shard
                         WriteIntent **own);
 
     /** Decode the numeric view of a committed (state, value) pair;
-     *  re-reads the slot when a blob was recycled underneath. */
+     *  re-reads the slot (under `view`) when a blob was recycled
+     *  underneath. */
     bool numericValueTx(polytm::Tx &tx, ShardTable &table,
                         std::size_t slot, LiveValue live,
-                        std::uint64_t *out);
-    /** Byte view; numeric values yield their 8 raw bytes. */
+                        std::uint64_t *out,
+                        const ReadView &view = {});
+    /** Byte view; numeric values yield their 8 raw bytes. `pinned`
+     *  callers (inside a readerEpochs() section) copy blobs with no
+     *  seqlock re-check; unpinned ones use the stamped retry loop. */
     bool bytesValueTx(polytm::Tx &tx, ShardTable &table,
                       std::size_t slot, LiveValue live,
-                      std::string *out);
+                      std::string *out, const ReadView &view = {},
+                      bool pinned = false);
 
     /** Shared body of putTx/putRefTx. */
     bool putSlotTx(polytm::Tx &tx, std::uint64_t key,
@@ -550,9 +672,20 @@ class Shard
     /** Relocate one claimed old-table chunk; true while migrating. */
     bool migrateChunk(polytm::ThreadToken &token);
     void sweepChunk(polytm::ThreadToken &token);
+    /** Start a migration of `source` into a fresh table of
+     *  `new_slots`; growMutex_ must be held, no migration in flight. */
+    void startMigrationLocked(polytm::ThreadToken &token,
+                              ShardTable *source,
+                              std::size_t new_slots);
     /** Publish a doubled live table; growMutex_ must be held. */
     bool growLocked(polytm::ThreadToken &token,
                     std::size_t full_capacity);
+    /** Same-size compacting migration (sheds tombstones without
+     *  doubling); growMutex_ must be held, no migration in flight. */
+    void compactLocked(polytm::ThreadToken &token);
+    /** True when the live table's tombstone share says a same-size
+     *  compaction beats (or must replace) a doubling grow. */
+    static bool tombstoneHeavy(const ShardTable &live);
     void finishMigration(polytm::ThreadToken &token, ShardTable *old);
     void publishEpoch(polytm::ThreadToken &token, TableEpoch *next);
 
@@ -560,6 +693,8 @@ class Shard
     ValueArena arena_;
     ShardOptions options_;
     std::size_t maxSlots_;
+    /** Reader-epoch slots (one per registered tid) for blob pinning. */
+    EpochDomain readerEpochs_{static_cast<std::size_t>(tm::kMaxThreads)};
 
     /** TM-visible: holds the current TableEpoch*. Every transaction
      *  reads it, so epoch changes conflict with all straddlers. */
@@ -575,7 +710,10 @@ class Shard
     std::vector<std::unique_ptr<TableEpoch>> epochs_;
 
     std::atomic<std::uint64_t> growCount_{0};
+    std::atomic<std::uint64_t> compactCount_{0};
     std::atomic<std::uint64_t> maintainTicks_{0};
+    /** Snapshot readers that waited out an in-flight commit verdict. */
+    std::atomic<std::uint64_t> snapshotWaits_{0};
     /** Set once any put carries a TTL; gates the sweep. */
     std::atomic<bool> ttlSeen_{false};
 };

@@ -25,6 +25,30 @@ wordsFor(std::size_t payload_bytes)
     return 2 + (payload_bytes + 7) / 8;
 }
 
+inline std::size_t
+capBytesOf(const std::atomic<std::uint64_t> *blob)
+{
+    const std::uint64_t meta = blob[1].load(std::memory_order_relaxed);
+    return (static_cast<std::size_t>(meta >> 32) - 2) * 8;
+}
+
+constexpr std::uint64_t kHeadPtrMask =
+    (std::uint64_t{1} << 48) - 1;
+
+inline std::atomic<std::uint64_t> *
+headPtr(std::uint64_t head)
+{
+    return reinterpret_cast<std::atomic<std::uint64_t> *>(
+        head & kHeadPtrMask);
+}
+
+inline std::uint64_t
+packHead(std::uint64_t tag, const std::atomic<std::uint64_t> *ptr)
+{
+    return (tag << 48) |
+           (reinterpret_cast<std::uint64_t>(ptr) & kHeadPtrMask);
+}
+
 } // namespace
 
 std::size_t
@@ -41,9 +65,23 @@ ValueArena::classOf(std::size_t len)
     return cls;
 }
 
+std::size_t
+ValueArena::classOfCapacity(std::size_t cap_bytes)
+{
+    std::size_t cls = 0;
+    while ((kMinClassBytes << cls) < cap_bytes)
+        ++cls;
+    return cls;
+}
+
 std::atomic<std::uint64_t> *
 ValueArena::carve(std::size_t words)
 {
+    if (!mutex_.try_lock()) {
+        carveContended_.fetch_add(1, std::memory_order_relaxed);
+        mutex_.lock();
+    }
+    std::lock_guard<std::mutex> lk(mutex_, std::adopt_lock);
     if (chunks_.empty() ||
         chunks_.back().used + words > chunks_.back().capacity) {
         Chunk chunk;
@@ -56,27 +94,59 @@ ValueArena::carve(std::size_t words)
     std::atomic<std::uint64_t> *blob = chunk.words.get() + chunk.used;
     chunk.used += words;
     blob[0].store(0, std::memory_order_relaxed); // stamp 0: stable
+    carves_.fetch_add(1, std::memory_order_relaxed);
     return blob;
 }
 
-ValueRef
-ValueArena::allocBlob(const void *data, std::size_t len)
+void
+ValueArena::pushFree(std::size_t cls, std::atomic<std::uint64_t> *blob)
 {
-    const std::size_t cls = classOf(len);
-    const std::size_t cap_bytes = kMinClassBytes << cls;
-
-    std::atomic<std::uint64_t> *blob = nullptr;
-    {
-        std::lock_guard<std::mutex> lk(mutex_);
-        if (!freeLists_[cls].empty()) {
-            blob = freeLists_[cls].back();
-            freeLists_[cls].pop_back();
-        } else {
-            blob = carve(wordsFor(cap_bytes));
-        }
+    std::atomic<std::uint64_t> &head = freeHeads_[cls].value;
+    std::uint64_t h = head.load(std::memory_order_acquire);
+    for (;;) {
+        blob[2].store(reinterpret_cast<std::uint64_t>(headPtr(h)),
+                      std::memory_order_relaxed);
+        const std::uint64_t next = packHead((h >> 48) + 1, blob);
+        if (head.compare_exchange_weak(h, next,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire))
+            return;
+        casRetries_.fetch_add(1, std::memory_order_relaxed);
     }
-    bytesLive_.fetch_add(cap_bytes, std::memory_order_relaxed);
+}
 
+std::atomic<std::uint64_t> *
+ValueArena::popFree(std::size_t cls)
+{
+    std::atomic<std::uint64_t> &head = freeHeads_[cls].value;
+    std::uint64_t h = head.load(std::memory_order_acquire);
+    for (;;) {
+        std::atomic<std::uint64_t> *blob = headPtr(h);
+        if (!blob)
+            return nullptr;
+        // Racing poppers may read a junk next off a blob that was
+        // popped and repurposed underneath them — the ABA tag then
+        // fails the CAS before the junk can be published.
+        const std::uint64_t next_ptr =
+            blob[2].load(std::memory_order_relaxed);
+        const std::uint64_t next = packHead((h >> 48) + 1,
+                                            reinterpret_cast<
+                                                std::atomic<
+                                                    std::uint64_t> *>(
+                                                next_ptr & kHeadPtrMask));
+        if (head.compare_exchange_weak(h, next,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire))
+            return blob;
+        casRetries_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+ValueRef
+ValueArena::publish(std::atomic<std::uint64_t> *blob,
+                    std::size_t cap_bytes, const void *data,
+                    std::size_t len)
+{
     // Seqlock write: odd stamp while the payload words change, even
     // stamp published with release so a reader that sees it also sees
     // the payload. A fresh carve starts at stamp 0 and skips straight
@@ -110,25 +180,147 @@ ValueArena::allocBlob(const void *data, std::size_t len)
            (reinterpret_cast<std::uint64_t>(blob) & kValueRefPtrMask);
 }
 
+ValueRef
+ValueArena::allocBlob(const void *data, std::size_t len, Cache *cache)
+{
+    const std::size_t cls = classOf(len);
+    const std::size_t cap_bytes = kMinClassBytes << cls;
+    allocs_.fetch_add(1, std::memory_order_relaxed);
+
+    std::atomic<std::uint64_t> *blob = nullptr;
+    if (cache != nullptr && cache->classes_[cls].count > 0) {
+        blob = cache->classes_[cls].blobs[--cache->classes_[cls].count];
+        magazineHits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (blob == nullptr) {
+        blob = popFree(cls);
+        if (blob != nullptr) {
+            globalHits_.fetch_add(1, std::memory_order_relaxed);
+            if (cache != nullptr) {
+                // Batch-refill half a magazine so the next allocs of
+                // this class stay off the shared list entirely.
+                auto &cc = cache->classes_[cls];
+                while (cc.count < Cache::kMagazine / 2) {
+                    std::atomic<std::uint64_t> *extra = popFree(cls);
+                    if (extra == nullptr)
+                        break;
+                    cc.blobs[cc.count++] = extra;
+                }
+            }
+        }
+    }
+    if (blob == nullptr)
+        blob = carve(wordsFor(cap_bytes));
+    bytesLive_.fetch_add(cap_bytes, std::memory_order_relaxed);
+    return publish(blob, cap_bytes, data, len);
+}
+
 void
-ValueArena::freeBlob(ValueRef ref)
+ValueArena::freeBlob(ValueRef ref, Cache *cache)
 {
     if (!valueRefIsBlob(ref))
         return;
     std::atomic<std::uint64_t> *blob = blobOf(ref);
-    const std::uint64_t meta = blob[1].load(std::memory_order_relaxed);
-    const std::size_t cap_bytes =
-        (static_cast<std::size_t>(meta >> 32) - 2) * 8;
-    // Invalidate the handle *before* the blob becomes reallocatable:
-    // a stale reader then fails its stamp check instead of racing the
-    // next owner's payload.
-    blob[0].fetch_add(2, std::memory_order_release);
+    const std::size_t cap_bytes = capBytesOf(blob);
     bytesLive_.fetch_sub(cap_bytes, std::memory_order_relaxed);
-    std::size_t cls = 0;
-    while ((kMinClassBytes << cls) < cap_bytes)
-        ++cls;
-    std::lock_guard<std::mutex> lk(mutex_);
-    freeLists_[cls].push_back(blob);
+    const std::size_t cls = classOfCapacity(cap_bytes);
+    if (cache != nullptr &&
+        cache->classes_[cls].count < Cache::kMagazine) {
+        cache->classes_[cls].blobs[cache->classes_[cls].count++] = blob;
+        return;
+    }
+    pushFree(cls, blob);
+}
+
+void
+ValueArena::retireBlobs(const ValueRef *refs, std::size_t count)
+{
+    std::size_t blobs = 0;
+    std::size_t bytes = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (valueRefIsBlob(refs[i])) {
+            ++blobs;
+            bytes += capBytesOf(blobOf(refs[i]));
+        }
+    }
+    if (blobs == 0)
+        return;
+    bytesLive_.fetch_sub(bytes, std::memory_order_relaxed);
+    retired_.fetch_add(blobs, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(limboMutex_);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (valueRefIsBlob(refs[i]))
+            pending_.push_back(blobOf(refs[i]));
+    }
+    limboCount_.store(pending_.size() + limbo_.size(),
+                      std::memory_order_relaxed);
+}
+
+void
+ValueArena::recycle(std::atomic<std::uint64_t> *blob)
+{
+    // Invalidate outstanding handles *before* the blob becomes
+    // reallocatable: an unpinned stale reader then fails its stamp
+    // check instead of racing the next owner's payload. (Pinned
+    // readers cannot reach this blob any more — that is what the
+    // epoch quiescence just proved.)
+    blob[0].fetch_add(2, std::memory_order_release);
+    // Seqlock-writer fence: pushFree is about to clobber payload
+    // word 2 with the intrusive next pointer, and a release RMW does
+    // not order that LATER store — without the fence a stale reader
+    // could observe the junk word while both its stamp checks still
+    // read the old even stamp.
+    std::atomic_thread_fence(std::memory_order_release);
+    recycled_.fetch_add(1, std::memory_order_relaxed);
+    pushFree(classOfCapacity(capBytesOf(blob)), blob);
+}
+
+void
+ValueArena::reclaim(EpochDomain &readers)
+{
+    if (limboCount_.load(std::memory_order_relaxed) == 0)
+        return;
+    // Move ripe entries out under the lock, recycle them outside it.
+    std::vector<LimboEntry> ripe;
+    {
+        std::lock_guard<std::mutex> lk(limboMutex_);
+        // Stamp the pending batch. The fence MUST come after the
+        // batch is observed (we hold the lock its pushers used, so
+        // the handoff happened-before the advance): a retire pushed
+        // after this capture gets the NEXT sweep's — newer — tag,
+        // never one older than a reader that can still hold it.
+        if (!pending_.empty()) {
+            const std::uint64_t tag = readers.advance();
+            for (std::atomic<std::uint64_t> *blob : pending_)
+                limbo_.push_back({blob, tag});
+            pending_.clear();
+        }
+        // Entries are appended in retire order and tags only grow, so
+        // the vector is tag-sorted: the ripe run is a prefix. The
+        // scan runs after the fence, so it cannot miss a reader
+        // pinned at or before any tag it clears.
+        const std::uint64_t min_active = readers.minActive();
+        std::size_t n = 0;
+        while (n < limbo_.size() && limbo_[n].epoch < min_active)
+            ++n;
+        if (n > 0) {
+            ripe.assign(limbo_.begin(), limbo_.begin() + n);
+            limbo_.erase(limbo_.begin(), limbo_.begin() + n);
+        }
+        limboCount_.store(limbo_.size(), std::memory_order_relaxed);
+    }
+    for (const LimboEntry &entry : ripe)
+        recycle(entry.blob);
+}
+
+void
+ValueArena::flushCache(Cache &cache)
+{
+    for (std::size_t cls = 0; cls < kNumClasses; ++cls) {
+        auto &cc = cache.classes_[cls];
+        while (cc.count > 0)
+            pushFree(cls, cc.blobs[--cc.count]);
+    }
 }
 
 bool
@@ -170,6 +362,37 @@ ValueArena::readBlobWord(ValueRef ref, std::uint64_t *out) const
         return false;
     *out = word;
     return true;
+}
+
+void
+ValueArena::readBlobPinned(ValueRef ref, std::string *out) const
+{
+    const std::atomic<std::uint64_t> *blob = blobOf(ref);
+    const std::size_t len = static_cast<std::size_t>(
+        blob[1].load(std::memory_order_relaxed) & 0xffffffffu);
+    out->resize(len);
+    for (std::size_t w = 0; w * 8 < len; ++w) {
+        const std::uint64_t word =
+            blob[2 + w].load(std::memory_order_relaxed);
+        const std::size_t n = len - w * 8 < 8 ? len - w * 8 : 8;
+        std::memcpy(out->data() + w * 8, &word, n);
+    }
+}
+
+ValueArena::Stats
+ValueArena::stats() const
+{
+    Stats out;
+    out.allocs = allocs_.load(std::memory_order_relaxed);
+    out.magazineHits = magazineHits_.load(std::memory_order_relaxed);
+    out.globalHits = globalHits_.load(std::memory_order_relaxed);
+    out.carves = carves_.load(std::memory_order_relaxed);
+    out.carveContended =
+        carveContended_.load(std::memory_order_relaxed);
+    out.casRetries = casRetries_.load(std::memory_order_relaxed);
+    out.retired = retired_.load(std::memory_order_relaxed);
+    out.recycled = recycled_.load(std::memory_order_relaxed);
+    return out;
 }
 
 } // namespace proteus::kvstore

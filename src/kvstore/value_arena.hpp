@@ -14,19 +14,40 @@
  * Blob handles carry a 15-bit epoch next to the 48-bit blob address.
  * Blobs are seqlock-stamped: the arena bumps the stamp to odd before
  * rewriting a recycled blob's payload and back to even after, and a
- * handle embeds the even stamp it was allocated under. A reader copies
- * the payload optimistically and re-checks the stamp; a mismatch means
- * the blob was recycled underneath it — the slot's value word must
- * have changed first (blobs are freed only after the displacing write
- * committed), so the reader re-reads the slot word through the TM and
- * tries again. Payload words are std::atomic with relaxed ordering so
- * a stale reader racing a recycler is a detected validation failure,
- * never C++ UB (the same stance the intent machinery takes).
+ * handle embeds the even stamp it was allocated under. An *unpinned*
+ * reader copies the payload optimistically and re-checks the stamp; a
+ * mismatch means the blob was recycled underneath it — the slot's
+ * value word must have changed first (blobs are recycled only after
+ * the displacing write committed AND every reader epoch that could
+ * hold the handle has passed), so the reader re-reads the slot word
+ * through the TM and tries again. A reader *pinned* in the owning
+ * shard's EpochDomain (common/epoch.hpp) skips the stamp protocol
+ * entirely: any handle it obtained from a committed-current read
+ * inside its section is retired — if ever — after the section's entry
+ * epoch, and recycling is deferred past the oldest active section, so
+ * the payload cannot be rewritten underneath it (readBlobPinned).
+ * Payload words are std::atomic with relaxed ordering so a stale
+ * reader racing a recycler is a detected validation failure, never
+ * C++ UB (the same stance the intent machinery takes).
  *
- * Memory is never returned to the OS while the arena lives: freed
- * blobs go to per-size-class free lists and chunks are only released
- * on destruction, so a dangling handle in a doomed reader transaction
- * always points at mapped, stamp-guarded memory.
+ * Allocation is contention-free in steady state: each size class has
+ * a lock-free global free list (Treiber stack, ABA-tagged head, the
+ * next pointer lives in the dead payload's first word), and sessions
+ * carry a bounded per-class magazine (Cache) refilled in batches from
+ * the global list — the carve mutex is only taken when a class has
+ * never been populated. Freeing splits by reachability:
+ *
+ *  - freeBlob(): immediate recycle, legal ONLY for blobs whose handle
+ *    was never reachable through a committed slot word (staged blobs
+ *    of a failed multiOp, capped-store put failures);
+ *  - retireBlob(): deferred recycle for displaced handles — the blob
+ *    parks in a limbo list tagged with a reader epoch and is moved to
+ *    the free lists by reclaim() once every reader section that could
+ *    hold the handle has ended.
+ *
+ * Memory is never returned to the OS while the arena lives: chunks are
+ * only released on destruction, so a dangling handle in a doomed
+ * reader transaction always points at mapped, stamp-guarded memory.
  */
 
 #ifndef PROTEUS_KVSTORE_VALUE_ARENA_HPP
@@ -39,6 +60,9 @@
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/epoch.hpp"
 
 namespace proteus::kvstore {
 
@@ -91,6 +115,47 @@ inlineRefCopy(ValueRef ref, std::string *out)
 class ValueArena
 {
   public:
+    static constexpr std::size_t kMinClassBytes = 16;
+    static constexpr std::size_t kNumClasses = 16; // 16 B .. 512 KiB
+
+    /**
+     * Per-session free-blob magazine (one bounded stack per size
+     * class). Pass to allocBlob/freeBlob on session-owned paths; the
+     * magazine absorbs the alloc/free traffic of one thread without
+     * touching shared state. Must be flushed back (flushCache) before
+     * its owner forgets it, or the cached capacity leaks until arena
+     * destruction.
+     */
+    class Cache
+    {
+      public:
+        static constexpr std::size_t kMagazine = 8;
+
+      private:
+        friend class ValueArena;
+        struct ClassCache
+        {
+            std::atomic<std::uint64_t> *blobs[kMagazine];
+            std::uint32_t count = 0;
+        };
+        ClassCache classes_[kNumClasses]{};
+    };
+
+    /** Contention/throughput telemetry (monotonic, relaxed). */
+    struct Stats
+    {
+        std::uint64_t allocs = 0;
+        std::uint64_t magazineHits = 0;
+        std::uint64_t globalHits = 0;
+        std::uint64_t carves = 0;
+        /** carve-mutex acquisitions that found it already held. */
+        std::uint64_t carveContended = 0;
+        /** failed CAS attempts on the lock-free free-list heads. */
+        std::uint64_t casRetries = 0;
+        std::uint64_t retired = 0;
+        std::uint64_t recycled = 0;
+    };
+
     ValueArena() = default;
     ValueArena(const ValueArena &) = delete;
     ValueArena &operator=(const ValueArena &) = delete;
@@ -101,21 +166,49 @@ class ValueArena
      * retried transaction body must not repeat); publish the handle in
      * a slot's value word transactionally afterwards.
      */
-    ValueRef allocBlob(const void *data, std::size_t len);
+    ValueRef allocBlob(const void *data, std::size_t len,
+                       Cache *cache = nullptr);
 
     /**
-     * Recycle a blob once its handle can no longer be reached through
-     * a *committed* slot word (the displacing transaction committed or
-     * the failed attempt that allocated it was rolled back). Stale
-     * in-flight readers are fenced off by the stamp. Inline refs are
-     * ignored, so callers can pass any displaced kFullRef word.
+     * Immediately recycle a blob whose handle was NEVER reachable
+     * through a committed slot word (a failed multiOp's staged blobs,
+     * a capped-store put that could not publish). Published handles
+     * must go through retireBlob instead — a pinned reader may still
+     * be copying them. Inline refs are ignored, so callers can pass
+     * any kFullRef word.
      */
-    void freeBlob(ValueRef ref);
+    void freeBlob(ValueRef ref, Cache *cache = nullptr);
 
     /**
-     * Optimistic copy-out. Returns false when the blob was recycled
-     * under the handle (stamp mismatch); the caller must re-read the
-     * slot's value word and retry with the fresh handle.
+     * Defer-recycle a displaced blob: parks it on the pending limbo
+     * list (one uncontended lock, no epoch traffic). A later
+     * reclaim() recycles it once every reader section that could
+     * hold the handle has ended. Inline refs are ignored. The batch
+     * form takes the lock once for the whole span — sessions buffer
+     * their displaced handles and flush them through it.
+     */
+    void retireBlob(ValueRef ref) { retireBlobs(&ref, 1); }
+    void retireBlobs(const ValueRef *refs, std::size_t count);
+
+    /**
+     * Reclaim sweep against the shard's reader-epoch domain: captures
+     * the pending batch under the limbo lock, THEN takes the domain's
+     * epoch fence (ordering matters — a retire that lands after the
+     * capture waits for the next sweep instead of being stamped with
+     * a tag older than a reader that can still hold it), and recycles
+     * every stamped blob whose tag predates the oldest active reader
+     * section. Cheap no-op when the limbo is empty.
+     */
+    void reclaim(EpochDomain &readers);
+
+    /** Spill a session magazine back to the global free lists. */
+    void flushCache(Cache &cache);
+
+    /**
+     * Optimistic copy-out (unpinned readers). Returns false when the
+     * blob was recycled under the handle (stamp mismatch); the caller
+     * must re-read the slot's value word and retry with the fresh
+     * handle.
      */
     bool readBlob(ValueRef ref, std::string *out) const;
 
@@ -125,18 +218,36 @@ class ValueArena
      */
     bool readBlobWord(ValueRef ref, std::uint64_t *out) const;
 
+    /**
+     * Copy-out with NO stamp protocol — zero fences, zero re-reads,
+     * cannot fail. Legal only while the caller is pinned in the
+     * owning shard's EpochDomain AND obtained the handle from a
+     * committed-current read inside that section (see file comment).
+     */
+    void readBlobPinned(ValueRef ref, std::string *out) const;
+
     /** Bytes currently handed out to live blobs (capacity, not len). */
     std::size_t bytesLive() const
     {
         return bytesLive_.load(std::memory_order_relaxed);
     }
 
+    /** Blobs parked in limbo awaiting reader-epoch quiescence. */
+    std::size_t limboCount() const
+    {
+        return limboCount_.load(std::memory_order_relaxed);
+    }
+
+    Stats stats() const;
+
   private:
     /**
      * Blob layout inside a chunk, in 64-bit atomic words:
      *   word 0: seqlock stamp (even = stable, odd = being rewritten)
      *   word 1: (capacityWords << 32) | payload length in bytes
-     *   word 2..: payload, little-endian packed
+     *   word 2..: payload, little-endian packed (word 2 doubles as the
+     *             intrusive next pointer while the blob sits on a free
+     *             list — the payload is dead there by construction)
      */
     struct Chunk
     {
@@ -145,17 +256,51 @@ class ValueArena
         std::size_t capacity = 0;
     };
 
+    struct LimboEntry
+    {
+        std::atomic<std::uint64_t> *blob;
+        std::uint64_t epoch; //!< stamped by the first sweep after retire
+    };
+
     static constexpr std::size_t kChunkWords = 1 << 15; // 256 KiB
-    static constexpr std::size_t kMinClassBytes = 16;
-    static constexpr std::size_t kNumClasses = 16; // 16 B .. 512 KiB
 
     static std::size_t classOf(std::size_t len);
+    static std::size_t classOfCapacity(std::size_t cap_bytes);
     std::atomic<std::uint64_t> *carve(std::size_t words);
+    /** Write `len` bytes under the seqlock protocol; returns handle. */
+    ValueRef publish(std::atomic<std::uint64_t> *blob,
+                     std::size_t cap_bytes, const void *data,
+                     std::size_t len);
+    void pushFree(std::size_t cls, std::atomic<std::uint64_t> *blob);
+    std::atomic<std::uint64_t> *popFree(std::size_t cls);
+    void recycle(std::atomic<std::uint64_t> *blob);
 
-    mutable std::mutex mutex_;
+    mutable std::mutex mutex_; //!< guards chunk carving only
     std::vector<Chunk> chunks_;
-    std::vector<std::atomic<std::uint64_t> *> freeLists_[kNumClasses];
+
+    /**
+     * Lock-free per-class free lists: head = (ABA tag << 48) | blob
+     * address (user-space pointers fit in 48 bits — the same layout
+     * assumption ValueRef and the intent words already make).
+     */
+    Padded<std::atomic<std::uint64_t>> freeHeads_[kNumClasses];
+
+    std::mutex limboMutex_;
+    /** Retired, not yet epoch-stamped (awaiting the next sweep). */
+    std::vector<std::atomic<std::uint64_t> *> pending_;
+    /** Epoch-stamped, awaiting reader quiescence. */
+    std::vector<LimboEntry> limbo_;
+    std::atomic<std::size_t> limboCount_{0};
+
     std::atomic<std::size_t> bytesLive_{0};
+    std::atomic<std::uint64_t> allocs_{0};
+    std::atomic<std::uint64_t> magazineHits_{0};
+    std::atomic<std::uint64_t> globalHits_{0};
+    std::atomic<std::uint64_t> carves_{0};
+    std::atomic<std::uint64_t> carveContended_{0};
+    std::atomic<std::uint64_t> casRetries_{0};
+    std::atomic<std::uint64_t> retired_{0};
+    std::atomic<std::uint64_t> recycled_{0};
 };
 
 } // namespace proteus::kvstore

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/cacheline.hpp"
+#include "common/epoch.hpp"
 #include "polytm/config.hpp"
 #include "polytm/thread_gate.hpp"
 #include "tm/backend.hpp"
@@ -150,6 +151,14 @@ struct ThreadToken
 {
     int tid = -1;
     tm::TxDesc *desc = nullptr;
+    /**
+     * Reader-epoch slot for quiescent-state-based reclamation
+     * (common/epoch.hpp). PolyTM itself never touches it; the layer
+     * that owns both the PolyTM instance and an EpochDomain (the KV
+     * shard) assigns the thread's slot here at registration so read
+     * paths can pin resources through the token they already carry.
+     */
+    EpochSlot *epochSlot = nullptr;
 };
 
 /** Aggregated profiling counters. */

@@ -699,19 +699,19 @@ TEST(TrafficCacheTest, TtlChurnDropsHitRate)
         << "TTL churn must evict (hit-rate drop invisible)";
 }
 
-TEST_P(KvStoreCommitModeTest, EscalatedSnapshotReadsStayConsistent)
+TEST_P(KvStoreCommitModeTest, SnapshotReadsUnderWriteStormStayConsistent)
 {
-    // Force the bounded snapshot-read fallback on every read round
-    // (escalation after a single failed validation) under a write
-    // storm: totals must still be conserved and the test must
-    // terminate (the exclusive-latch round cannot starve).
+    // Hammer the snapshot-epoch read path with a cross-shard write
+    // storm: totals must still be conserved (every in-flight commit
+    // resolves all-or-nothing against the sampled read timestamp) and
+    // the test must terminate (rounds repeat only on actual commit
+    // flips, which the finite writers eventually stop producing).
     constexpr std::uint64_t kKeys = 32;
     constexpr std::uint64_t kInitial = 50;
     constexpr int kWriters = 3;
     constexpr int kTransfers = 300;
 
     KvStoreOptions options = smallStore(4, 10, GetParam());
-    options.readEscalationRounds = 1;
     KvStore store(options);
     {
         auto session = store.openSession();
