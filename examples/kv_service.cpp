@@ -16,6 +16,11 @@
  * after the phase shift, making this the subsystem's executable
  * acceptance check.
  *
+ * While serving, a reporter thread prints a one-line telemetry
+ * snapshot every second (ops, commits, aborts, retunes — all from
+ * KvStore::telemetry()); on exit the full metric registry is dumped
+ * in Prometheus text format.
+ *
  * Build & run:  ./build/kv_service
  */
 
@@ -117,6 +122,40 @@ main()
     // per-shard, so the shift keys off the first shard's progress via
     // a plain timer thread instead.
     std::atomic<bool> done{false};
+
+    // Periodic telemetry: one compact line per second, straight off
+    // the registry — the kind of heartbeat a real service would ship
+    // to its log collector.
+    std::thread reporter([&] {
+        Stopwatch sw;
+        double next_tick = 1.0;
+        while (!done.load()) {
+            if (sw.elapsedSeconds() < next_tick) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+                continue;
+            }
+            next_tick += 1.0;
+            const obs::TelemetrySnapshot snap = store.telemetry();
+            std::printf(
+                "[telemetry t=%.0fs] ops=%llu tm_commits=%llu "
+                "tm_aborts=%llu commit_seq=%llu retunes=%llu "
+                "grows=%llu\n",
+                sw.elapsedSeconds(),
+                static_cast<unsigned long long>(
+                    snap.value("traffic_ops")),
+                static_cast<unsigned long long>(
+                    snap.value("tm_commits")),
+                static_cast<unsigned long long>(
+                    snap.value("tm_aborts")),
+                static_cast<unsigned long long>(snap.commitSeq),
+                static_cast<unsigned long long>(
+                    snap.value("tuner_retunes")),
+                static_cast<unsigned long long>(
+                    snap.value("shard_grows")));
+        }
+    });
+
     std::thread phaser([&] {
         const double shift_after =
             kShiftPeriod * tunable_options.periodSeconds;
@@ -135,6 +174,7 @@ main()
     const auto records = tuner.run(kPeriods);
     done.store(true);
     phaser.join();
+    reporter.join();
     driver.stop();
 
     std::printf("\n%llu client ops served (%llu cross-shard "
@@ -218,5 +258,10 @@ main()
         std::printf("\n");
         store.closeSession(session);
     }
+
+    // Exit dump: everything the store counted all day, in the format
+    // a scraper would pull.
+    std::printf("\n--- final telemetry (Prometheus text) ---\n%s",
+                store.telemetry().toPrometheus().c_str());
     return 0;
 }

@@ -1,5 +1,6 @@
 #include "kvstore/kv_tunable.hpp"
 
+#include <bit>
 #include <chrono>
 #include <stdexcept>
 #include <string>
@@ -26,9 +27,11 @@ KvTunableOptions::defaultMenu()
     return menu;
 }
 
-ShardTunable::ShardTunable(Shard &shard, KvTunableOptions options)
+ShardTunable::ShardTunable(Shard &shard, KvTunableOptions options,
+                           KvStore *store, int shard_index)
     : shard_(&shard), menu_(std::move(options.menu)),
-      periodSeconds_(options.periodSeconds), meter_(shard.poly())
+      periodSeconds_(options.periodSeconds), meter_(shard.poly()),
+      store_(store), shardIndex_(shard_index)
 {
     // No silent defaulting here: the menu must match the engine's
     // column space, and only the caller (e.g. KvAutoTuner, which
@@ -51,6 +54,15 @@ ShardTunable::applyConfig(std::size_t c)
         !(shard_->poly().currentConfig() == menu_[c])) {
         shard_->poly().reconfigure(menu_[c]);
         ++reconfigurations_;
+        if (store_ != nullptr) {
+            // Pack old->new menu indices into one trace word and carry
+            // the KPI that motivated the decision in the other.
+            store_->noteRetune(
+                shardIndex_,
+                (static_cast<std::uint64_t>(applied_) << 32) |
+                    static_cast<std::uint32_t>(c),
+                std::bit_cast<std::uint64_t>(lastKpi_));
+        }
     }
     applied_ = c;
     meter_.reset(); // don't charge the new config for the old window
@@ -61,7 +73,8 @@ ShardTunable::measureKpi()
 {
     std::this_thread::sleep_for(
         std::chrono::duration<double>(periodSeconds_));
-    return meter_.sample().commitsPerSec;
+    lastKpi_ = meter_.sample().commitsPerSec;
+    return lastKpi_;
 }
 
 KvAutoTuner::KvAutoTuner(KvStore &store, const rectm::RecTmEngine &engine,
@@ -79,7 +92,8 @@ KvAutoTuner::KvAutoTuner(KvStore &store, const rectm::RecTmEngine &engine,
     }
     for (int s = 0; s < store.numShards(); ++s) {
         tunables_.push_back(std::make_unique<ShardTunable>(
-            store.shard(static_cast<std::size_t>(s)), options));
+            store.shard(static_cast<std::size_t>(s)), options, &store,
+            s));
         runtimes_.push_back(std::make_unique<rectm::ProteusRuntime>(
             engine, *tunables_.back(), runtime_options));
         group_.add(*runtimes_.back());

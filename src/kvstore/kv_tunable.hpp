@@ -39,7 +39,14 @@ struct KvTunableOptions
 class ShardTunable : public rectm::TunableSystem
 {
   public:
-    ShardTunable(Shard &shard, KvTunableOptions options);
+    /**
+     * @param store when given (with the shard's index), every live
+     *        reconfiguration is reported through
+     *        KvStore::noteRetune() so the decision lands in the
+     *        store's metric registry and flight recorder.
+     */
+    ShardTunable(Shard &shard, KvTunableOptions options,
+                 KvStore *store = nullptr, int shard_index = -1);
 
     std::size_t numConfigs() const override { return menu_.size(); }
     void applyConfig(std::size_t c) override;
@@ -57,8 +64,13 @@ class ShardTunable : public rectm::TunableSystem
     std::vector<polytm::TmConfig> menu_;
     double periodSeconds_;
     polytm::KpiMeter meter_;
+    /** Telemetry sink for retune decisions (may be null). */
+    KvStore *store_ = nullptr;
+    int shardIndex_ = -1;
     std::size_t applied_ = 0;
     int reconfigurations_ = 0;
+    /** Last KPI observed before the current decision (commits/sec). */
+    double lastKpi_ = 0;
 };
 
 class KvAutoTuner

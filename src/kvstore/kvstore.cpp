@@ -49,7 +49,14 @@ restoreUndoRangeTx(Shard &shard, polytm::Tx &tx,
 } // namespace
 
 KvStore::KvStore(KvStoreOptions options)
-    : options_(options), commitMode_(options.commitMode)
+    : options_(options), commitMode_(options.commitMode),
+      recorder_(options.telemetry),
+      snapRounds_(metrics_.counter("snapshot_rounds")),
+      snapRetries_(metrics_.counter("snapshot_retries")),
+      snapEscalations_(metrics_.counter("snapshot_escalations")),
+      twoPhaseCommits_(metrics_.counter("twophase_commits")),
+      twoPhaseAborts_(metrics_.counter("twophase_aborts")),
+      retunes_(metrics_.counter("tuner_retunes"))
 {
     if (options.numShards <= 0)
         throw std::invalid_argument("KvStore: numShards must be >= 1");
@@ -57,19 +64,114 @@ KvStore::KvStore(KvStoreOptions options)
     latches_.reserve(static_cast<std::size_t>(options.numShards));
     shardSeqs_ = std::make_unique<PaddedAtomicU64[]>(
         static_cast<std::size_t>(options.numShards));
-    snapRounds_ = std::make_unique<PaddedAtomicU64[]>(
-        static_cast<std::size_t>(options.numShards));
-    snapRetries_ = std::make_unique<PaddedAtomicU64[]>(
-        static_cast<std::size_t>(options.numShards));
     for (int s = 0; s < options.numShards; ++s) {
         ShardOptions shard_options;
         shard_options.log2Slots = options.log2SlotsPerShard;
         shard_options.maxLog2Slots = options.maxLog2SlotsPerShard;
         shard_options.growLoadPercent = options.growLoadPercent;
         shard_options.initial = options.initial;
+        shard_options.recorder = &recorder_;
+        shard_options.commitSeq = &commitSeq_;
+        shard_options.shardIndex = s;
         shards_.push_back(std::make_unique<Shard>(shard_options));
         latches_.push_back(std::make_unique<std::shared_mutex>());
     }
+
+    // Bridge the pre-existing stats planes into the registry so one
+    // telemetry() walk exports them; the `this`-capturing callbacks
+    // are safe because the registry is a member.
+    const auto sumShards = [this](auto fn) {
+        std::uint64_t total = 0;
+        for (const auto &shard : shards_)
+            total += fn(*shard);
+        return total;
+    };
+    metrics_.counterFn("tm_commits", [this] {
+        return totalStats().commits;
+    });
+    metrics_.counterFn("tm_aborts", [this] {
+        return totalStats().aborts;
+    });
+    static const char *const kCauseNames[] = {
+        nullptr,
+        "tm_aborts_conflict",
+        "tm_aborts_capacity",
+        "tm_aborts_explicit",
+        "tm_aborts_fallback_lock",
+        "tm_aborts_validation",
+    };
+    for (std::size_t c = 1; c < std::size(kCauseNames); ++c) {
+        metrics_.counterFn(kCauseNames[c], [this, c] {
+            return totalStats().abortsByCause[c];
+        });
+    }
+    metrics_.counterFn("snapshot_pending_waits", [sumShards] {
+        return sumShards([](const Shard &shard) {
+            return shard.snapshotPendingWaits();
+        });
+    });
+    metrics_.counterFn("shard_grows", [sumShards] {
+        return sumShards(
+            [](const Shard &shard) { return shard.growCount(); });
+    });
+    metrics_.counterFn("shard_compacts", [sumShards] {
+        return sumShards(
+            [](const Shard &shard) { return shard.compactCount(); });
+    });
+    metrics_.gaugeFn("store_capacity_slots", [sumShards] {
+        return sumShards(
+            [](const Shard &shard) { return shard.capacity(); });
+    });
+    metrics_.counterFn("arena_allocs", [sumShards] {
+        return sumShards([](const Shard &shard) {
+            return shard.arena().stats().allocs;
+        });
+    });
+    metrics_.counterFn("arena_magazine_hits", [sumShards] {
+        return sumShards([](const Shard &shard) {
+            return shard.arena().stats().magazineHits;
+        });
+    });
+    metrics_.counterFn("arena_global_hits", [sumShards] {
+        return sumShards([](const Shard &shard) {
+            return shard.arena().stats().globalHits;
+        });
+    });
+    metrics_.counterFn("arena_carves", [sumShards] {
+        return sumShards([](const Shard &shard) {
+            return shard.arena().stats().carves;
+        });
+    });
+    metrics_.counterFn("arena_carve_contended", [sumShards] {
+        return sumShards([](const Shard &shard) {
+            return shard.arena().stats().carveContended;
+        });
+    });
+    metrics_.counterFn("arena_cas_retries", [sumShards] {
+        return sumShards([](const Shard &shard) {
+            return shard.arena().stats().casRetries;
+        });
+    });
+    metrics_.counterFn("arena_retired", [sumShards] {
+        return sumShards([](const Shard &shard) {
+            return shard.arena().stats().retired;
+        });
+    });
+    metrics_.counterFn("arena_recycled", [sumShards] {
+        return sumShards([](const Shard &shard) {
+            return shard.arena().stats().recycled;
+        });
+    });
+    metrics_.gaugeFn("arena_bytes_live", [sumShards] {
+        return sumShards([](const Shard &shard) {
+            return shard.arena().bytesLive();
+        });
+    });
+    metrics_.gaugeFn("arena_limbo", [sumShards] {
+        return sumShards([](const Shard &shard) {
+            return shard.arena().limboCount();
+        });
+    });
 }
 
 std::size_t
@@ -833,16 +935,21 @@ KvStore::multiOpTwoPhaseRead(Session &session)
                          std::memory_order_acquire) ==
                      session.seqSnapshot_[j];
         }
-        snapRounds_[slices[0].shard].value.fetch_add(
-            1, std::memory_order_relaxed);
+        // Attributed to the round's first touched shard so concurrent
+        // readers of disjoint shards never serialize on one stripe.
+        snapRounds_.add(1, slices[0].shard);
         return stable;
     };
 
     for (int round = 0;; ++round) {
         if (run_round())
             return;
-        snapRetries_[slices[0].shard].value.fetch_add(
-            1, std::memory_order_relaxed);
+        snapRetries_.add(1, slices[0].shard);
+        recorder_.record(obs::TraceKind::kSnapshotRetry,
+                         static_cast<std::int32_t>(slices[0].shard),
+                         commitSequence(),
+                         static_cast<std::uint64_t>(round),
+                         slices.size());
         snapshotRetryPause(round);
     }
 }
@@ -858,8 +965,12 @@ KvStore::snapshotRetryPause(int round)
     // than rounds complete. Back off exponentially (capped) so the
     // reader stops burning the very cycles the storm needs to drain;
     // each doubling makes a repeat collision geometrically unlikely.
-    if (round == kSnapshotBackoffRounds)
-        snapEscalations_.value.fetch_add(1, std::memory_order_relaxed);
+    if (round == kSnapshotBackoffRounds) {
+        snapEscalations_.add(1);
+        recorder_.record(obs::TraceKind::kSnapshotEscalate, -1,
+                         commitSequence(),
+                         static_cast<std::uint64_t>(round));
+    }
     const int shift = round - kSnapshotBackoffRounds;
     const std::int64_t micros = std::int64_t{1}
                                 << (shift < 10 ? shift : 10);
@@ -900,6 +1011,7 @@ KvStore::multiOpTwoPhaseWrite(Session &session)
         std::uint32_t full_shard = 0;
         std::size_t full_capacity = 0;
         std::size_t prepared = 0;
+        std::uint64_t reserved_seq = 0;
         {
             // Phase 1: prepare, in ascending shard order. A
             // conflicting preparer only ever waits on lower-numbered
@@ -1013,6 +1125,11 @@ KvStore::multiOpTwoPhaseWrite(Session &session)
                 ctx.record.status.store((armed & ~std::uint64_t{3}) |
                                             CommitRecord::kAborted,
                                         std::memory_order_release);
+                twoPhaseAborts_.add(1, full_shard);
+                recorder_.record(obs::TraceKind::kTwoPhaseAbort,
+                                 static_cast<std::int32_t>(full_shard),
+                                 commitSequence(), full_capacity,
+                                 prepared);
                 for (std::size_t j = 0; j < prepared; ++j) {
                     Shard &shard = *shards_[slices[j].shard];
                     const auto range = session.intentRanges_[j];
@@ -1042,9 +1159,15 @@ KvStore::multiOpTwoPhaseWrite(Session &session)
                 //      shards at once. Bumps before flip: a round
                 //      that could observe any post-image without
                 //      having seen C fails its trailing check.
+                recorder_.record(
+                    obs::TraceKind::kTwoPhasePrepare, -1,
+                    commitSequence(), slices.size(),
+                    session.intents_.size());
                 const std::uint64_t commit_seq =
                     commitSeq_.fetch_add(1, std::memory_order_acq_rel) +
                     1;
+                recorder_.record(obs::TraceKind::kTwoPhaseReserve, -1,
+                                 commit_seq, slices.size());
                 ctx.record.commitSeq.store(
                     CommitRecord::packSeq(commit_seq,
                                           CommitRecord::epochOf(armed)),
@@ -1055,6 +1178,10 @@ KvStore::multiOpTwoPhaseWrite(Session &session)
                 ctx.record.status.store((armed & ~std::uint64_t{3}) |
                                             CommitRecord::kCommitted,
                                         std::memory_order_release);
+                recorder_.record(obs::TraceKind::kTwoPhaseFlip, -1,
+                                 commit_seq, slices.size(),
+                                 session.intents_.size());
+                reserved_seq = commit_seq;
             }
         } // the PENDING window is over
 
@@ -1093,6 +1220,9 @@ KvStore::multiOpTwoPhaseWrite(Session &session)
             if (tomb_delta != 0)
                 shard.noteTombstones(tomb_delta);
         }
+        twoPhaseCommits_.add(1, slices[0].shard);
+        recorder_.record(obs::TraceKind::kTwoPhaseFinalize, -1,
+                         reserved_seq, session.intents_.size());
         return OpStatus::kDone;
     } catch (...) {
         // Foreign exception (e.g. bad_alloc) mid-protocol. Make the
@@ -1353,17 +1483,33 @@ KvStore::applyBatch(Session &session, Batch &batch)
 KvStore::SnapshotReadStats
 KvStore::snapshotReadStats() const
 {
+    // Thin view over the registry counters (the instruments ARE the
+    // stats now); kept so existing callers and tests stay source-
+    // compatible.
     SnapshotReadStats out;
-    for (std::size_t s = 0; s < shards_.size(); ++s) {
-        out.rounds +=
-            snapRounds_[s].value.load(std::memory_order_relaxed);
-        out.retries +=
-            snapRetries_[s].value.load(std::memory_order_relaxed);
-        out.pendingWaits += shards_[s]->snapshotPendingWaits();
-    }
-    out.escalations =
-        snapEscalations_.value.load(std::memory_order_relaxed);
+    out.rounds = snapRounds_.total();
+    out.retries = snapRetries_.total();
+    out.escalations = snapEscalations_.total();
+    for (const auto &shard : shards_)
+        out.pendingWaits += shard->snapshotPendingWaits();
     return out;
+}
+
+obs::TelemetrySnapshot
+KvStore::telemetry() const
+{
+    obs::TelemetrySnapshot snap = metrics_.snapshot();
+    snap.commitSeq = commitSequence();
+    return snap;
+}
+
+void
+KvStore::noteRetune(int shard, std::uint64_t packedConfigs,
+                    std::uint64_t kpiBits)
+{
+    retunes_.add(1, static_cast<std::size_t>(shard));
+    recorder_.record(obs::TraceKind::kRetune, shard, commitSequence(),
+                     packedConfigs, kpiBits);
 }
 
 polytm::PolyStats

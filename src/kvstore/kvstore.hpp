@@ -95,6 +95,8 @@
 #include "common/cacheline.hpp"
 #include "kvstore/commit_record.hpp"
 #include "kvstore/shard.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metric_registry.hpp"
 
 namespace proteus::kvstore {
 
@@ -127,6 +129,14 @@ struct KvStoreOptions
     polytm::TmConfig initial{};
     /** Cross-shard commit protocol (see file comment). */
     CommitMode commitMode = CommitMode::kTwoPhase;
+    /**
+     * Gates flight-recorder trace capture (2PC phases, retries,
+     * maintenance, retunes). The metric-registry counters stay on
+     * either way — they replaced the seed's stats counters at the
+     * same relaxed-add cost, and the old accessors read through them.
+     * Off is the baseline leg of the bench's instrumentation A/B.
+     */
+    bool telemetry = true;
 };
 
 /** One operation of a multi-key transaction or a batch. */
@@ -405,7 +415,16 @@ class KvStore
      */
     bool applyBatch(Session &session, Batch &batch);
 
-    /** Sum of per-shard PolyTM stats. */
+    /**
+     * Sum of per-shard PolyTM stats. This is a *weak* snapshot: each
+     * shard's per-thread profiles are sampled in turn while commits
+     * continue, so totals from different shards (or commits vs
+     * aborts) may differ by operations in flight during the walk —
+     * every value is real, but the sum is not a single point in time.
+     * The same holds for telemetry(): one pass, weak per metric.
+     * Quiesce the store first when exact cross-counter invariants
+     * are needed (the tests do).
+     */
     polytm::PolyStats totalStats() const;
 
     /**
@@ -439,6 +458,33 @@ class KvStore
         std::uint64_t escalations = 0;
     };
     SnapshotReadStats snapshotReadStats() const;
+
+    /** The store's instrument registry. External publishers (e.g.
+     *  the traffic driver) register their own metrics here so one
+     *  telemetry() walk exports everything. */
+    obs::MetricRegistry &metrics() { return metrics_; }
+    /** Trace-event rings: 2PC phases, snapshot retries/escalations,
+     *  shard maintenance, arena reclamation, retune decisions. */
+    obs::FlightRecorder &flightRecorder() { return recorder_; }
+    const obs::FlightRecorder &flightRecorder() const
+    {
+        return recorder_;
+    }
+
+    /**
+     * One-pass walk of every registered metric — the native striped
+     * counters/histograms plus the bridged TM / arena / shard stats —
+     * stamped with the store-wide commit sequence. Weak-snapshot
+     * semantics (see totalStats()); render with toJson() /
+     * toPrometheus().
+     */
+    obs::TelemetrySnapshot telemetry() const;
+
+    /** Record an auto-tuner decision: trace event + retune counter.
+     *  `packedConfigs` is (oldConfig << 32) | newConfig; `kpiBits`
+     *  the bit-cast KPI that triggered it. */
+    void noteRetune(int shard, std::uint64_t packedConfigs,
+                    std::uint64_t kpiBits);
 
     /** Unpark every shard's disabled workers (shutdown path). */
     void resumeAllForShutdown();
@@ -514,12 +560,13 @@ class KvStore
             runOnShard(session, s, [&](polytm::Tx &tx) {
                 body(tx, view);
             });
-            snapRounds_[s].value.fetch_add(1,
-                                           std::memory_order_relaxed);
+            snapRounds_.add(1, s);
             if (seq.load(std::memory_order_acquire) == s0)
                 return;
-            snapRetries_[s].value.fetch_add(1,
-                                            std::memory_order_relaxed);
+            snapRetries_.add(1, s);
+            recorder_.record(obs::TraceKind::kSnapshotRetry,
+                             static_cast<std::int32_t>(s), view.seq,
+                             static_cast<std::uint64_t>(round));
             snapshotRetryPause(round);
         }
     }
@@ -548,6 +595,22 @@ class KvStore
 
     KvStoreOptions options_;
     CommitMode commitMode_ = CommitMode::kTwoPhase;
+    /**
+     * Observability plane. Declared before shards_ (destroyed after
+     * them): the shards hold raw pointers into the recorder, and the
+     * registry's bridge callbacks read shard state during telemetry().
+     * Counter handles are resolved once here; the hot paths record
+     * through the references with a single relaxed add, striped by
+     * shard (or worker) exactly like the seed's stripe arrays.
+     */
+    obs::MetricRegistry metrics_;
+    obs::FlightRecorder recorder_;
+    obs::Counter &snapRounds_;
+    obs::Counter &snapRetries_;
+    obs::Counter &snapEscalations_;
+    obs::Counter &twoPhaseCommits_;
+    obs::Counter &twoPhaseAborts_;
+    obs::Counter &retunes_;
     std::vector<std::unique_ptr<Shard>> shards_;
     /** kLatch-mode ordering only; the 2PC paths never touch these. */
     std::vector<std::unique_ptr<std::shared_mutex>> latches_;
@@ -563,15 +626,6 @@ class KvStore
      * end, so commits to unrelated shards never force a retry.
      */
     std::unique_ptr<PaddedAtomicU64[]> shardSeqs_;
-    /**
-     * Snapshot read-path counters (see SnapshotReadStats), striped
-     * per shard and attributed to the round's first touched shard so
-     * concurrent readers of disjoint shards never serialize on one
-     * counter line; snapshotReadStats() sums the stripes.
-     */
-    std::unique_ptr<PaddedAtomicU64[]> snapRounds_;
-    std::unique_ptr<PaddedAtomicU64[]> snapRetries_;
-    PaddedAtomicU64 snapEscalations_;
     /** Park a clean commit context for reuse (see ctxPool_). */
     void retireContext(std::unique_ptr<CommitContext> ctx) noexcept;
 

@@ -77,6 +77,8 @@ Shard::Shard(ShardOptions options)
         throw std::invalid_argument(
             "Shard: maintenance chunk sizes must be >= 1");
     }
+    arena_.attachObs(options_.recorder, options_.commitSeq,
+                     options_.shardIndex);
     tables_.push_back(
         std::make_unique<ShardTable>(std::size_t{1} << log2_slots));
     epochs_.push_back(std::make_unique<TableEpoch>(
@@ -1282,6 +1284,8 @@ Shard::growLocked(polytm::ThreadToken &token, std::size_t full_capacity)
         return false; // capped: the caller's op has genuinely failed
     startMigrationLocked(token, cur->live, cur->live->slots * 2);
     growCount_.fetch_add(1, std::memory_order_relaxed);
+    trace(obs::TraceKind::kGrow, cur->live->slots,
+          cur->live->slots * 2);
     return true;
 }
 
@@ -1291,6 +1295,7 @@ Shard::compactLocked(polytm::ThreadToken &token)
     TableEpoch *cur = epochMirror_.load(std::memory_order_acquire);
     startMigrationLocked(token, cur->live, cur->live->slots);
     compactCount_.fetch_add(1, std::memory_order_relaxed);
+    trace(obs::TraceKind::kCompact, cur->live->slots);
 }
 
 bool
@@ -1443,6 +1448,7 @@ Shard::migrateChunk(polytm::ThreadToken &token)
     // would let chunksDone reach the total while another chunk still
     // holds un-migrated keys — retiring the old table would lose them.
     const std::size_t chunk_index = begin / chunk;
+    trace(obs::TraceKind::kMigrateChunk, chunk_index, consumed_live);
     if (old->chunkDone[chunk_index].exchange(
             1, std::memory_order_acq_rel) == 0) {
         if (old->chunksDone.fetch_add(1, std::memory_order_acq_rel) +
@@ -1507,6 +1513,7 @@ Shard::sweepChunk(polytm::ThreadToken &token)
     });
     for (const std::uint64_t ref : reclaim)
         retireBlob(ref);
+    trace(obs::TraceKind::kSweepChunk, begin / chunk, expired_count);
     if (expired_count > 0) {
         live.tombstones.fetch_add(
             static_cast<std::int64_t>(expired_count),

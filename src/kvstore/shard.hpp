@@ -93,6 +93,7 @@
 #include "common/epoch.hpp"
 #include "kvstore/commit_record.hpp"
 #include "kvstore/value_arena.hpp"
+#include "obs/flight_recorder.hpp"
 #include "polytm/polytm.hpp"
 
 namespace proteus::kvstore {
@@ -155,6 +156,16 @@ struct ShardOptions
      * construction-time zeroing) once per shard per backend.
      */
     unsigned log2Orecs = 16;
+    /**
+     * Observability plane, injected by the owning KvStore (all three
+     * null/-1 for a standalone shard): the flight recorder that
+     * maintenance and arena events land in, the store-wide commit
+     * sequence they are stamped with, and this shard's index for
+     * attribution.
+     */
+    obs::FlightRecorder *recorder = nullptr;
+    const std::atomic<std::uint64_t> *commitSeq = nullptr;
+    int shardIndex = -1;
 };
 
 /** Slot states; the value word's interpretation is state-tagged. */
@@ -499,6 +510,7 @@ class Shard
     const polytm::PolyTm &poly() const { return poly_; }
 
     ValueArena &arena() { return arena_; }
+    const ValueArena &arena() const { return arena_; }
 
     /** Reader-epoch domain for blob pinning: byte-read paths enter a
      *  section (via the token's epochSlot) for each transaction body
@@ -708,6 +720,22 @@ class Shard
     std::mutex growMutex_;
     std::vector<std::unique_ptr<ShardTable>> tables_;
     std::vector<std::unique_ptr<TableEpoch>> epochs_;
+
+    /** Flight-recorder hook for maintenance events, stamped with the
+     *  store-wide commit sequence (no-op for standalone shards). */
+    void
+    trace(obs::TraceKind kind, std::uint64_t a = 0,
+          std::uint64_t b = 0) const
+    {
+        if (options_.recorder) {
+            options_.recorder->record(
+                kind, options_.shardIndex,
+                options_.commitSeq ? options_.commitSeq->load(
+                                         std::memory_order_relaxed)
+                                   : 0,
+                a, b);
+        }
+    }
 
     std::atomic<std::uint64_t> growCount_{0};
     std::atomic<std::uint64_t> compactCount_{0};

@@ -1,6 +1,5 @@
 #include "kvstore/traffic.hpp"
 
-#include <bit>
 #include <chrono>
 #include <cstdio>
 #include <stdexcept>
@@ -62,55 +61,12 @@ TrafficMix::preset(MixKind kind)
     return mix;
 }
 
-int
-LatencyHistogram::bucketOf(std::uint64_t nanos)
-{
-    if (nanos < kSub)
-        return static_cast<int>(nanos); // exact tiny values
-    const int msb = 63 - std::countl_zero(nanos);
-    const int octave = msb - kSubBits + 1;
-    const int sub =
-        static_cast<int>((nanos >> (msb - kSubBits)) & (kSub - 1));
-    // octave <= 62, so the result is always < kBuckets.
-    return octave * kSub + sub;
-}
-
-std::uint64_t
-LatencyHistogram::bucketUpperNanos(int bucket)
-{
-    if (bucket < kSub)
-        return static_cast<std::uint64_t>(bucket);
-    const int octave = bucket / kSub;
-    const int sub = bucket % kSub;
-    const int msb = octave + kSubBits - 1;
-    const std::uint64_t step = std::uint64_t{1} << (msb - kSubBits);
-    return (std::uint64_t{1} << msb) +
-           static_cast<std::uint64_t>(sub + 1) * step - 1;
-}
-
-std::uint64_t
-LatencyHistogram::percentileNanos(double p) const
-{
-    if (count_ == 0)
-        return 0;
-    if (p < 0)
-        p = 0;
-    if (p > 1)
-        p = 1;
-    const auto rank = static_cast<std::uint64_t>(
-        p * static_cast<double>(count_ - 1));
-    std::uint64_t seen = 0;
-    for (int b = 0; b < kBuckets; ++b) {
-        seen += counts_[b];
-        if (seen > rank)
-            return bucketUpperNanos(b) < max_ ? bucketUpperNanos(b)
-                                              : max_;
-    }
-    return max_;
-}
-
 TrafficDriver::TrafficDriver(KvStore &store, TrafficOptions options)
-    : store_(&store), options_(std::move(options))
+    : store_(&store), options_(std::move(options)),
+      opsCompleted_(store.metrics().counter("traffic_ops")),
+      multiOpsCompleted_(store.metrics().counter("traffic_multi_ops")),
+      getAttempts_(store.metrics().counter("traffic_get_attempts")),
+      getHits_(store.metrics().counter("traffic_get_hits"))
 {
     if (options_.phases.empty())
         throw std::invalid_argument(
@@ -125,6 +81,11 @@ TrafficDriver::TrafficDriver(KvStore &store, TrafficOptions options)
             " registration slots per shard)");
     phaseLatency_.resize(options_.phases.size());
     phaseMaxBacklog_.resize(options_.phases.size(), 0);
+    phaseHistMetrics_.reserve(options_.phases.size());
+    for (std::size_t p = 0; p < options_.phases.size(); ++p) {
+        phaseHistMetrics_.push_back(&store.metrics().histogram(
+            "traffic_latency_phase" + std::to_string(p)));
+    }
 }
 
 TrafficDriver::~TrafficDriver()
@@ -261,12 +222,19 @@ TrafficDriver::workerBody(int worker_idx)
     std::vector<std::uint64_t> local_backlog(options_.phases.size(),
                                              0);
     const auto merge_out = [&] {
-        std::lock_guard<std::mutex> lk(latencyMutex_);
-        for (std::size_t p = 0; p < local_latency.size(); ++p) {
-            phaseLatency_[p].merge(local_latency[p]);
-            if (local_backlog[p] > phaseMaxBacklog_[p])
-                phaseMaxBacklog_[p] = local_backlog[p];
+        {
+            std::lock_guard<std::mutex> lk(latencyMutex_);
+            for (std::size_t p = 0; p < local_latency.size(); ++p) {
+                phaseLatency_[p].merge(local_latency[p]);
+                if (local_backlog[p] > phaseMaxBacklog_[p])
+                    phaseMaxBacklog_[p] = local_backlog[p];
+            }
         }
+        // Also publish into the registry's concurrent histograms so
+        // telemetry() exports per-phase latency without a driver handle.
+        for (std::size_t p = 0; p < local_latency.size(); ++p)
+            phaseHistMetrics_[p]->mergeData(
+                local_latency[p], static_cast<unsigned>(worker_idx));
     };
 
     const double target = options_.targetOpsPerSecPerThread;
@@ -304,9 +272,11 @@ TrafficDriver::workerBody(int worker_idx)
                     mix.valueBytes > 0
                         ? store_->getBytes(session, key, &bytes_buf)
                         : store_->get(session, key);
-                getAttempts_.fetch_add(1, std::memory_order_relaxed);
+                getAttempts_.add(
+                    1, static_cast<unsigned>(worker_idx));
                 if (hit)
-                    getHits_.fetch_add(1, std::memory_order_relaxed);
+                    getHits_.add(1,
+                                 static_cast<unsigned>(worker_idx));
             };
             if (draw < mix.getRatio) {
                 do_get();
@@ -339,9 +309,10 @@ TrafficDriver::workerBody(int worker_idx)
         // Total before the multi counter: singleKeyOpsCompleted()
         // computes total - multi, and the other order could let a
         // sampler see multi > total (unsigned wrap).
-        opsCompleted_.fetch_add(1, std::memory_order_relaxed);
+        opsCompleted_.add(1, static_cast<unsigned>(worker_idx));
         if (was_multi)
-            multiOpsCompleted_.fetch_add(1, std::memory_order_relaxed);
+            multiOpsCompleted_.add(
+                1, static_cast<unsigned>(worker_idx));
 
         if (pace_nanos > 0) {
             // Open loop: absolute deadlines; never re-anchor on the

@@ -35,6 +35,8 @@
 
 #include "common/rng.hpp"
 #include "kvstore/kvstore.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metric_registry.hpp"
 
 namespace proteus::kvstore {
 
@@ -85,51 +87,11 @@ struct TrafficOptions
 };
 
 /**
- * Log-linear latency histogram: kSub linear sub-buckets per
- * power-of-two nanosecond octave (relative error <= 1/kSub), plus an
- * exact max. Single-writer; merge() combines worker-local copies.
+ * The one log-linear latency histogram type (see obs/histogram.hpp
+ * for the bucketing); the driver's historical name kept as an alias
+ * so existing callers compile unchanged.
  */
-class LatencyHistogram
-{
-  public:
-    static constexpr int kSubBits = 2;
-    static constexpr int kSub = 1 << kSubBits; // 4
-    /** Highest reachable bucket: msb 63 -> octave 62, sub kSub-1. */
-    static constexpr int kBuckets = 63 * kSub;
-
-    void
-    record(std::uint64_t nanos)
-    {
-        ++counts_[bucketOf(nanos)];
-        ++count_;
-        if (nanos > max_)
-            max_ = nanos;
-    }
-
-    void
-    merge(const LatencyHistogram &other)
-    {
-        for (int b = 0; b < kBuckets; ++b)
-            counts_[b] += other.counts_[b];
-        count_ += other.count_;
-        if (other.max_ > max_)
-            max_ = other.max_;
-    }
-
-    std::uint64_t count() const { return count_; }
-    std::uint64_t maxNanos() const { return max_; }
-
-    /** Upper edge of the bucket holding the p-quantile (p in [0,1]). */
-    std::uint64_t percentileNanos(double p) const;
-
-  private:
-    static int bucketOf(std::uint64_t nanos);
-    static std::uint64_t bucketUpperNanos(int bucket);
-
-    std::array<std::uint64_t, kBuckets> counts_{};
-    std::uint64_t count_ = 0;
-    std::uint64_t max_ = 0;
-};
+using LatencyHistogram = obs::LogLinearHistogram;
 
 /** Per-phase latency summary (nanoseconds). */
 struct PhaseLatency
@@ -171,15 +133,12 @@ class TrafficDriver
     /** Stop and join all workers (idempotent). */
     void stop();
 
-    std::uint64_t opsCompleted() const
-    {
-        return opsCompleted_.load(std::memory_order_relaxed);
-    }
+    std::uint64_t opsCompleted() const { return opsCompleted_.total(); }
 
     /** Cross-shard multiOps issued (each counted once). */
     std::uint64_t multiOpsCompleted() const
     {
-        return multiOpsCompleted_.load(std::memory_order_relaxed);
+        return multiOpsCompleted_.total();
     }
 
     /** Ops served by the single-key path. */
@@ -190,14 +149,8 @@ class TrafficDriver
 
     /** Single-key gets issued / found (cache hit-rate telemetry:
      *  under a TTL mix the hit rate visibly drops as entries expire). */
-    std::uint64_t getAttempts() const
-    {
-        return getAttempts_.load(std::memory_order_relaxed);
-    }
-    std::uint64_t getHits() const
-    {
-        return getHits_.load(std::memory_order_relaxed);
-    }
+    std::uint64_t getAttempts() const { return getAttempts_.total(); }
+    std::uint64_t getHits() const { return getHits_.total(); }
     double
     hitRate() const
     {
@@ -221,10 +174,20 @@ class TrafficDriver
     TrafficOptions options_;
     std::atomic<std::size_t> phase_{0};
     std::atomic<bool> stop_{false};
-    std::atomic<std::uint64_t> opsCompleted_{0};
-    std::atomic<std::uint64_t> multiOpsCompleted_{0};
-    std::atomic<std::uint64_t> getAttempts_{0};
-    std::atomic<std::uint64_t> getHits_{0};
+    /**
+     * Progress counters live in the store's metric registry (striped
+     * by worker index — an upgrade over the former single shared
+     * atomics) so telemetry() exports driver progress alongside the
+     * store's own counters. The accessors above are views over them;
+     * handles outlive the driver because the registry is the store's.
+     */
+    obs::Counter &opsCompleted_;
+    obs::Counter &multiOpsCompleted_;
+    obs::Counter &getAttempts_;
+    obs::Counter &getHits_;
+    /** Per-phase concurrent registry histograms workers publish into
+     *  on exit ("traffic_latency_phase<N>"). */
+    std::vector<obs::Histogram *> phaseHistMetrics_;
     std::atomic<int> activeWorkers_{0};
     std::vector<std::thread> workers_;
     bool running_ = false;

@@ -247,6 +247,7 @@ ValueArena::retireBlobs(const ValueRef *refs, std::size_t count)
         return;
     bytesLive_.fetch_sub(bytes, std::memory_order_relaxed);
     retired_.fetch_add(blobs, std::memory_order_relaxed);
+    trace(obs::TraceKind::kArenaRetire, blobs, bytes);
     std::lock_guard<std::mutex> lk(limboMutex_);
     for (std::size_t i = 0; i < count; ++i) {
         if (valueRefIsBlob(refs[i]))
@@ -309,8 +310,13 @@ ValueArena::reclaim(EpochDomain &readers)
         }
         limboCount_.store(limbo_.size(), std::memory_order_relaxed);
     }
-    for (const LimboEntry &entry : ripe)
+    std::size_t bytes = 0;
+    for (const LimboEntry &entry : ripe) {
+        bytes += capBytesOf(entry.blob);
         recycle(entry.blob);
+    }
+    if (!ripe.empty())
+        trace(obs::TraceKind::kArenaRecycle, ripe.size(), bytes);
 }
 
 void

@@ -63,6 +63,7 @@
 
 #include "common/cacheline.hpp"
 #include "common/epoch.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace proteus::kvstore {
 
@@ -240,7 +241,36 @@ class ValueArena
 
     Stats stats() const;
 
+    /** Attach the store's flight recorder (called by the owning
+     *  Shard at construction) so retire/recycle batches land as
+     *  trace events stamped with the store-wide commit sequence. */
+    void
+    attachObs(obs::FlightRecorder *recorder,
+              const std::atomic<std::uint64_t> *commitSeq, int shard)
+    {
+        recorder_ = recorder;
+        commitSeqSrc_ = commitSeq;
+        shardIndex_ = shard;
+    }
+
   private:
+    void
+    trace(obs::TraceKind kind, std::uint64_t a, std::uint64_t b) const
+    {
+        if (recorder_) {
+            recorder_->record(
+                kind, shardIndex_,
+                commitSeqSrc_ ? commitSeqSrc_->load(
+                                    std::memory_order_relaxed)
+                              : 0,
+                a, b);
+        }
+    }
+
+    obs::FlightRecorder *recorder_ = nullptr;
+    const std::atomic<std::uint64_t> *commitSeqSrc_ = nullptr;
+    std::int32_t shardIndex_ = -1;
+
     /**
      * Blob layout inside a chunk, in 64-bit atomic words:
      *   word 0: seqlock stamp (even = stable, odd = being rewritten)

@@ -1,0 +1,112 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace proteus::obs {
+
+namespace {
+
+void
+appendf(std::string *out, const char *fmt, ...)
+{
+    char buf[256];
+    va_list args;
+    va_start(args, fmt);
+    const int n = std::vsnprintf(buf, sizeof buf, fmt, args);
+    va_end(args);
+    if (n > 0)
+        out->append(buf, static_cast<std::size_t>(
+                             n < static_cast<int>(sizeof buf)
+                                 ? n
+                                 : static_cast<int>(sizeof buf) - 1));
+}
+
+} // namespace
+
+const MetricSample *
+TelemetrySnapshot::find(std::string_view name) const
+{
+    for (const MetricSample &sample : samples) {
+        if (sample.name == name)
+            return &sample;
+    }
+    return nullptr;
+}
+
+std::uint64_t
+TelemetrySnapshot::value(std::string_view name) const
+{
+    const MetricSample *sample = find(name);
+    return sample ? sample->value : 0;
+}
+
+std::string
+TelemetrySnapshot::toJson() const
+{
+    std::string out;
+    out.reserve(64 * (samples.size() + 2));
+    appendf(&out, "{\n  \"commit_seq\": %" PRIu64 ",\n  \"metrics\": {",
+            commitSeq);
+    bool first = true;
+    for (const MetricSample &sample : samples) {
+        appendf(&out, "%s\n    \"%s\": ", first ? "" : ",",
+                sample.name.c_str());
+        first = false;
+        if (sample.kind == MetricKind::kHistogram) {
+            appendf(&out,
+                    "{\"count\": %" PRIu64 ", \"p50_ns\": %" PRIu64
+                    ", \"p95_ns\": %" PRIu64 ", \"p99_ns\": %" PRIu64
+                    ", \"max_ns\": %" PRIu64 "}",
+                    sample.hist.count(),
+                    sample.hist.percentileNanos(0.50),
+                    sample.hist.percentileNanos(0.95),
+                    sample.hist.percentileNanos(0.99),
+                    sample.hist.maxNanos());
+        } else {
+            appendf(&out, "%" PRIu64, sample.value);
+        }
+    }
+    out.append("\n  }\n}\n");
+    return out;
+}
+
+std::string
+TelemetrySnapshot::toPrometheus(std::string_view prefix) const
+{
+    const std::string p(prefix);
+    std::string out;
+    out.reserve(96 * (samples.size() + 1));
+    appendf(&out,
+            "# TYPE %scommit_seq gauge\n%scommit_seq %" PRIu64 "\n",
+            p.c_str(), p.c_str(), commitSeq);
+    for (const MetricSample &sample : samples) {
+        const std::string name = p + sample.name;
+        switch (sample.kind) {
+          case MetricKind::kCounter:
+            appendf(&out,
+                    "# TYPE %s counter\n%s %" PRIu64 "\n",
+                    name.c_str(), name.c_str(), sample.value);
+            break;
+          case MetricKind::kGauge:
+            appendf(&out, "# TYPE %s gauge\n%s %" PRIu64 "\n",
+                    name.c_str(), name.c_str(), sample.value);
+            break;
+          case MetricKind::kHistogram:
+            appendf(&out, "# TYPE %s summary\n", name.c_str());
+            for (const double q : {0.5, 0.95, 0.99}) {
+                appendf(&out,
+                        "%s{quantile=\"%.2g\"} %" PRIu64 "\n",
+                        name.c_str(), q,
+                        sample.hist.percentileNanos(q));
+            }
+            appendf(&out, "%s_count %" PRIu64 "\n", name.c_str(),
+                    sample.hist.count());
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace proteus::obs

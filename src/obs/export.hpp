@@ -1,0 +1,73 @@
+/**
+ * @file
+ * TelemetrySnapshot: one consistent walk of a MetricRegistry, plus
+ * the two export formats produced from it.
+ *
+ * A snapshot is taken in ONE pass over the registry (every stripe of
+ * every metric read once, in registration order), so the JSON and the
+ * Prometheus dump of the same snapshot always agree with each other.
+ * The pass itself is a *weak* snapshot with respect to concurrent
+ * writers — counters keep counting while the walk runs, so two
+ * metrics bumped by the same operation may differ by in-flight ops —
+ * but every exported value is a real value the counter held during
+ * the walk, and exporting both formats from one snapshot never pays
+ * the walk twice.
+ *
+ * Formats:
+ *  - toJson(): {"commit_seq": N, "metrics": {...}} — counters/gauges
+ *    as numbers, histograms as {count, p50_ns, p95_ns, p99_ns,
+ *    max_ns} objects. A superset of the store-state fields
+ *    BENCH_kvstore.json reports.
+ *  - toPrometheus(): text exposition format — counters/gauges as
+ *    "# TYPE" + value lines, histograms as summaries (quantile
+ *    labels + _count).
+ */
+
+#ifndef PROTEUS_OBS_EXPORT_HPP
+#define PROTEUS_OBS_EXPORT_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace proteus::obs {
+
+enum class MetricKind : std::uint8_t
+{
+    kCounter = 0,
+    kGauge,
+    kHistogram,
+};
+
+struct MetricSample
+{
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    /** Counter/gauge value (unused for histograms). */
+    std::uint64_t value = 0;
+    /** Merged histogram data (kHistogram only). */
+    LogLinearHistogram hist{};
+};
+
+struct TelemetrySnapshot
+{
+    /** Store-wide commit sequence at the walk (0 when not attached). */
+    std::uint64_t commitSeq = 0;
+    /** All metrics, in registration order. */
+    std::vector<MetricSample> samples;
+
+    const MetricSample *find(std::string_view name) const;
+    /** Counter/gauge value by name; 0 when absent. */
+    std::uint64_t value(std::string_view name) const;
+
+    std::string toJson() const;
+    /** `prefix` is prepended to every metric name ("proteus_"). */
+    std::string toPrometheus(std::string_view prefix = "proteus_") const;
+};
+
+} // namespace proteus::obs
+
+#endif // PROTEUS_OBS_EXPORT_HPP

@@ -1,0 +1,54 @@
+#include "obs/histogram.hpp"
+
+#include <bit>
+
+namespace proteus::obs {
+
+int
+LogLinearHistogram::bucketOf(std::uint64_t nanos)
+{
+    if (nanos < kSub)
+        return static_cast<int>(nanos); // exact tiny values
+    const int msb = 63 - std::countl_zero(nanos);
+    const int octave = msb - kSubBits + 1;
+    const int sub =
+        static_cast<int>((nanos >> (msb - kSubBits)) & (kSub - 1));
+    // octave <= 62, so the result is always < kBuckets.
+    return octave * kSub + sub;
+}
+
+std::uint64_t
+LogLinearHistogram::bucketUpperNanos(int bucket)
+{
+    if (bucket < kSub)
+        return static_cast<std::uint64_t>(bucket);
+    const int octave = bucket / kSub;
+    const int sub = bucket % kSub;
+    const int msb = octave + kSubBits - 1;
+    const std::uint64_t step = std::uint64_t{1} << (msb - kSubBits);
+    return (std::uint64_t{1} << msb) +
+           static_cast<std::uint64_t>(sub + 1) * step - 1;
+}
+
+std::uint64_t
+LogLinearHistogram::percentileNanos(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    if (p < 0)
+        p = 0;
+    if (p > 1)
+        p = 1;
+    const auto rank = static_cast<std::uint64_t>(
+        p * static_cast<double>(count_ - 1));
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+        seen += counts_[b];
+        if (seen > rank)
+            return bucketUpperNanos(b) < max_ ? bucketUpperNanos(b)
+                                              : max_;
+    }
+    return max_;
+}
+
+} // namespace proteus::obs

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * LogLinearHistogram: the repo's one log-linear bucketing /
+ * percentile implementation.
+ *
+ * kSub linear sub-buckets per power-of-two nanosecond octave
+ * (relative error <= 1/kSub), plus an exact max. The data type is
+ * single-writer; merge() combines worker-local copies, and the
+ * concurrent obs::Histogram metric (metric_registry.hpp) snapshots
+ * into it, so the traffic driver, the metric registry and the
+ * exporters all share this bucketing and these percentiles.
+ */
+
+#ifndef PROTEUS_OBS_HISTOGRAM_HPP
+#define PROTEUS_OBS_HISTOGRAM_HPP
+
+#include <array>
+#include <cstdint>
+
+namespace proteus::obs {
+
+class LogLinearHistogram
+{
+  public:
+    static constexpr int kSubBits = 2;
+    static constexpr int kSub = 1 << kSubBits; // 4
+    /** Highest reachable bucket: msb 63 -> octave 62, sub kSub-1. */
+    static constexpr int kBuckets = 63 * kSub;
+
+    void
+    record(std::uint64_t nanos)
+    {
+        ++counts_[bucketOf(nanos)];
+        ++count_;
+        if (nanos > max_)
+            max_ = nanos;
+    }
+
+    void
+    merge(const LogLinearHistogram &other)
+    {
+        for (int b = 0; b < kBuckets; ++b)
+            counts_[b] += other.counts_[b];
+        count_ += other.count_;
+        noteMax(other.max_);
+    }
+
+    /** Raw accumulation (used by concurrent-stripe snapshots). */
+    void
+    addBucketCount(int bucket, std::uint64_t n)
+    {
+        counts_[bucket] += n;
+        count_ += n;
+    }
+    void
+    noteMax(std::uint64_t nanos)
+    {
+        if (nanos > max_)
+            max_ = nanos;
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t maxNanos() const { return max_; }
+    std::uint64_t bucketCount(int b) const { return counts_[b]; }
+
+    /** Upper edge of the bucket holding the p-quantile (p in [0,1]). */
+    std::uint64_t percentileNanos(double p) const;
+
+    static int bucketOf(std::uint64_t nanos);
+    static std::uint64_t bucketUpperNanos(int bucket);
+
+  private:
+    std::array<std::uint64_t, kBuckets> counts_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+} // namespace proteus::obs
+
+#endif // PROTEUS_OBS_HISTOGRAM_HPP

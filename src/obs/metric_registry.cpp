@@ -1,0 +1,131 @@
+#include "obs/metric_registry.hpp"
+
+#include <stdexcept>
+
+namespace proteus::obs {
+
+void
+Histogram::noteMax(Stripe &s, std::uint64_t nanos)
+{
+    std::uint64_t cur = s.max.load(std::memory_order_relaxed);
+    while (nanos > cur &&
+           !s.max.compare_exchange_weak(cur, nanos,
+                                        std::memory_order_relaxed)) {
+    }
+}
+
+void
+Histogram::mergeData(const LogLinearHistogram &data, std::size_t stripe)
+{
+    Stripe &s = stripes_[stripe & (kStripes - 1)];
+    for (int b = 0; b < LogLinearHistogram::kBuckets; ++b) {
+        const std::uint64_t n = data.bucketCount(b);
+        if (n != 0)
+            s.counts[b].fetch_add(n, std::memory_order_relaxed);
+    }
+    noteMax(s, data.maxNanos());
+}
+
+LogLinearHistogram
+Histogram::snapshot() const
+{
+    LogLinearHistogram out;
+    for (const Stripe &s : stripes_) {
+        for (int b = 0; b < LogLinearHistogram::kBuckets; ++b) {
+            const std::uint64_t n =
+                s.counts[b].load(std::memory_order_relaxed);
+            if (n != 0)
+                out.addBucketCount(b, n);
+        }
+        out.noteMax(s.max.load(std::memory_order_relaxed));
+    }
+    return out;
+}
+
+MetricRegistry::Entry &
+MetricRegistry::reserve(const std::string &name, MetricKind kind,
+                        bool callback)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    for (const auto &entry : entries_) {
+        if (entry->name != name)
+            continue;
+        if (entry->kind != kind ||
+            static_cast<bool>(entry->fn) != callback) {
+            throw std::invalid_argument(
+                "MetricRegistry: '" + name +
+                "' already registered with a different kind");
+        }
+        return *entry;
+    }
+    entries_.push_back(std::make_unique<Entry>());
+    entries_.back()->name = name;
+    entries_.back()->kind = kind;
+    return *entries_.back();
+}
+
+Counter &
+MetricRegistry::counter(const std::string &name)
+{
+    Entry &entry = reserve(name, MetricKind::kCounter, false);
+    if (!entry.counter)
+        entry.counter = std::make_unique<Counter>();
+    return *entry.counter;
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &name)
+{
+    Entry &entry = reserve(name, MetricKind::kGauge, false);
+    if (!entry.gauge)
+        entry.gauge = std::make_unique<Gauge>();
+    return *entry.gauge;
+}
+
+Histogram &
+MetricRegistry::histogram(const std::string &name)
+{
+    Entry &entry = reserve(name, MetricKind::kHistogram, false);
+    if (!entry.histogram)
+        entry.histogram = std::make_unique<Histogram>();
+    return *entry.histogram;
+}
+
+void
+MetricRegistry::counterFn(const std::string &name,
+                          std::function<std::uint64_t()> fn)
+{
+    reserve(name, MetricKind::kCounter, true).fn = std::move(fn);
+}
+
+void
+MetricRegistry::gaugeFn(const std::string &name,
+                        std::function<std::uint64_t()> fn)
+{
+    reserve(name, MetricKind::kGauge, true).fn = std::move(fn);
+}
+
+TelemetrySnapshot
+MetricRegistry::snapshot() const
+{
+    TelemetrySnapshot out;
+    std::lock_guard<std::mutex> lk(mutex_);
+    out.samples.reserve(entries_.size());
+    for (const auto &entry : entries_) {
+        MetricSample sample;
+        sample.name = entry->name;
+        sample.kind = entry->kind;
+        if (entry->fn)
+            sample.value = entry->fn();
+        else if (entry->counter)
+            sample.value = entry->counter->total();
+        else if (entry->gauge)
+            sample.value = entry->gauge->value();
+        else if (entry->histogram)
+            sample.hist = entry->histogram->snapshot();
+        out.samples.push_back(std::move(sample));
+    }
+    return out;
+}
+
+} // namespace proteus::obs

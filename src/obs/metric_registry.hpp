@@ -1,0 +1,180 @@
+/**
+ * @file
+ * MetricRegistry: named counters / gauges / log-linear histograms
+ * behind one export walk.
+ *
+ * Instruments are registered once (at subsystem construction) and the
+ * returned handles are stable for the registry's lifetime, so the hot
+ * path never takes the registry lock — recording is a single relaxed
+ * atomic add on a cache-line-padded stripe (the same trick the
+ * snapshot counter stripes in kvstore.hpp use):
+ *
+ *  - Counter: monotonic; kStripes padded cells, the caller picks the
+ *    stripe (shard index, worker index) so concurrent writers of
+ *    disjoint stripes never share a line. total() sums the stripes.
+ *  - Gauge: last-write-wins set()/add(); one atomic (gauges are
+ *    low-frequency by construction).
+ *  - Histogram: concurrent log-linear histogram — kStripes padded
+ *    bucket arrays, relaxed adds; snapshot() merges the stripes into
+ *    a LogLinearHistogram. mergeData() folds a single-writer
+ *    LogLinearHistogram in (worker-exit publication).
+ *
+ * Subsystems whose counters already live elsewhere (per-thread TM
+ * profiles, the per-shard arena atomics) bridge into the same walk
+ * with counterFn()/gaugeFn(): a callback sampled once per snapshot.
+ * Either way every metric is exported by the one snapshot() pass, in
+ * registration order.
+ */
+
+#ifndef PROTEUS_OBS_METRIC_REGISTRY_HPP
+#define PROTEUS_OBS_METRIC_REGISTRY_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "obs/export.hpp"
+#include "obs/histogram.hpp"
+
+namespace proteus::obs {
+
+class Counter
+{
+  public:
+    static constexpr std::size_t kStripes = 8;
+
+    /** Relaxed add on the (masked) stripe — the whole hot path. */
+    void
+    add(std::uint64_t n = 1, std::size_t stripe = 0)
+    {
+        stripes_[stripe & (kStripes - 1)].value.fetch_add(
+            n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t sum = 0;
+        for (const PaddedAtomicU64 &stripe : stripes_)
+            sum += stripe.value.load(std::memory_order_relaxed);
+        return sum;
+    }
+
+  private:
+    PaddedAtomicU64 stripes_[kStripes];
+};
+
+class Gauge
+{
+  public:
+    void
+    set(std::uint64_t v)
+    {
+        value_.value.store(v, std::memory_order_relaxed);
+    }
+    void
+    add(std::int64_t d)
+    {
+        value_.value.fetch_add(static_cast<std::uint64_t>(d),
+                               std::memory_order_relaxed);
+    }
+    std::uint64_t
+    value() const
+    {
+        return value_.value.load(std::memory_order_relaxed);
+    }
+
+  private:
+    PaddedAtomicU64 value_;
+};
+
+class Histogram
+{
+  public:
+    static constexpr std::size_t kStripes = 4;
+
+    void
+    record(std::uint64_t nanos, std::size_t stripe = 0)
+    {
+        Stripe &s = stripes_[stripe & (kStripes - 1)];
+        s.counts[LogLinearHistogram::bucketOf(nanos)].fetch_add(
+            1, std::memory_order_relaxed);
+        noteMax(s, nanos);
+    }
+
+    /** Fold a single-writer histogram in (atomic per bucket, so
+     *  concurrent merges of worker-local copies stay exact). */
+    void mergeData(const LogLinearHistogram &data,
+                   std::size_t stripe = 0);
+
+    /** Merge every stripe into one data-type histogram. */
+    LogLinearHistogram snapshot() const;
+
+  private:
+    struct alignas(kCacheLineSize) Stripe
+    {
+        std::array<std::atomic<std::uint64_t>,
+                   LogLinearHistogram::kBuckets>
+            counts{};
+        std::atomic<std::uint64_t> max{0};
+    };
+
+    static void noteMax(Stripe &s, std::uint64_t nanos);
+
+    Stripe stripes_[kStripes];
+};
+
+class MetricRegistry
+{
+  public:
+    MetricRegistry() = default;
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    /**
+     * Register-or-get. Registration takes a lock; the returned
+     * reference is stable until the registry dies, so callers cache
+     * it at construction and record lock-free afterwards. Throws
+     * std::invalid_argument when the name is already registered with
+     * a different kind (or as a callback).
+     */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** Bridge an external monotonic counter / point-in-time gauge
+     *  into the export walk; `fn` is sampled once per snapshot(). */
+    void counterFn(const std::string &name,
+                   std::function<std::uint64_t()> fn);
+    void gaugeFn(const std::string &name,
+                 std::function<std::uint64_t()> fn);
+
+    /** One pass over every metric, in registration order. */
+    TelemetrySnapshot snapshot() const;
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        MetricKind kind = MetricKind::kCounter;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+        std::function<std::uint64_t()> fn;
+    };
+
+    Entry &reserve(const std::string &name, MetricKind kind,
+                   bool callback);
+
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+} // namespace proteus::obs
+
+#endif // PROTEUS_OBS_METRIC_REGISTRY_HPP

@@ -1,0 +1,80 @@
+/**
+ * Exporter golden-format suite: a fixed TelemetrySnapshot must render
+ * byte-for-byte to the documented JSON and Prometheus text formats —
+ * downstream scrapers parse these strings, so any drift is a break.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/metric_registry.hpp"
+
+namespace proteus::obs {
+namespace {
+
+TelemetrySnapshot
+goldenSnapshot()
+{
+    MetricRegistry registry;
+    registry.counter("ops_total").add(1234);
+    registry.gauge("bytes_live").set(4096);
+    Histogram &h = registry.histogram("get_latency_ns");
+    // 10 samples at 100ns land in one bucket (upper edge 111); the
+    // lone 900ns outlier only surfaces as the exact max (the p95/p99
+    // ranks of 11 samples stay inside the first bucket).
+    for (int i = 0; i < 10; ++i)
+        h.record(100);
+    h.record(900);
+    TelemetrySnapshot snap = registry.snapshot();
+    snap.commitSeq = 77;
+    return snap;
+}
+
+TEST(ExporterTest, JsonGoldenFormat)
+{
+    const std::string expected =
+        "{\n"
+        "  \"commit_seq\": 77,\n"
+        "  \"metrics\": {\n"
+        "    \"ops_total\": 1234,\n"
+        "    \"bytes_live\": 4096,\n"
+        "    \"get_latency_ns\": {\"count\": 11, \"p50_ns\": 111, "
+        "\"p95_ns\": 111, \"p99_ns\": 111, \"max_ns\": 900}\n"
+        "  }\n"
+        "}\n";
+    EXPECT_EQ(goldenSnapshot().toJson(), expected);
+}
+
+TEST(ExporterTest, PrometheusGoldenFormat)
+{
+    const std::string expected =
+        "# TYPE proteus_commit_seq gauge\n"
+        "proteus_commit_seq 77\n"
+        "# TYPE proteus_ops_total counter\n"
+        "proteus_ops_total 1234\n"
+        "# TYPE proteus_bytes_live gauge\n"
+        "proteus_bytes_live 4096\n"
+        "# TYPE proteus_get_latency_ns summary\n"
+        "proteus_get_latency_ns{quantile=\"0.5\"} 111\n"
+        "proteus_get_latency_ns{quantile=\"0.95\"} 111\n"
+        "proteus_get_latency_ns{quantile=\"0.99\"} 111\n"
+        "proteus_get_latency_ns_count 11\n";
+    EXPECT_EQ(goldenSnapshot().toPrometheus(), expected);
+}
+
+TEST(ExporterTest, CustomPrefixAndEmptySnapshot)
+{
+    TelemetrySnapshot empty;
+    empty.commitSeq = 5;
+    EXPECT_EQ(empty.toPrometheus("kv_"),
+              "# TYPE kv_commit_seq gauge\nkv_commit_seq 5\n");
+    EXPECT_EQ(empty.toJson(),
+              "{\n  \"commit_seq\": 5,\n  \"metrics\": {\n  }\n}\n");
+    EXPECT_EQ(empty.value("missing"), 0u);
+    EXPECT_EQ(empty.find("missing"), nullptr);
+}
+
+} // namespace
+} // namespace proteus::obs

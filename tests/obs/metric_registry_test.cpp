@@ -1,0 +1,156 @@
+/**
+ * MetricRegistry suite:
+ *
+ *  1. Exactness under contention — 8 threads hammer shared counters
+ *     and histograms through cached handles; every increment must
+ *     survive into the totals (striped relaxed adds lose nothing).
+ *  2. Register-or-get identity — the same name returns the same
+ *     instrument; a kind clash throws instead of aliasing.
+ *  3. Callback bridges — counterFn/gaugeFn are sampled at snapshot
+ *     time, so external counters move between snapshots.
+ *  4. Histogram stripes — concurrent records merge into one
+ *     LogLinearHistogram whose count/max/percentiles are exact.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/metric_registry.hpp"
+
+namespace proteus::obs {
+namespace {
+
+TEST(MetricRegistryTest, EightThreadsCountersAndHistogramsExact)
+{
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kPerThread = 200000;
+
+    MetricRegistry registry;
+    Counter &hits = registry.counter("hits");
+    Counter &bulk = registry.counter("bulk");
+    Histogram &latency = registry.histogram("latency_ns");
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i) {
+                hits.add(1, static_cast<std::size_t>(t));
+                bulk.add(3, static_cast<std::size_t>(t));
+                latency.record(i % 5000, static_cast<std::size_t>(t));
+            }
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+
+    EXPECT_EQ(hits.total(), kThreads * kPerThread);
+    EXPECT_EQ(bulk.total(), 3 * kThreads * kPerThread);
+
+    const LogLinearHistogram merged = latency.snapshot();
+    EXPECT_EQ(merged.count(), kThreads * kPerThread);
+    EXPECT_EQ(merged.maxNanos(), 4999u);
+    // The p99 upper bucket edge must cover the true p99 with the
+    // histogram's <= 25% relative error.
+    const std::uint64_t p99 = merged.percentileNanos(0.99);
+    EXPECT_GE(p99, 4949u);
+    EXPECT_LE(p99, 4999u);
+
+    const TelemetrySnapshot snap = registry.snapshot();
+    EXPECT_EQ(snap.value("hits"), kThreads * kPerThread);
+    const MetricSample *hist = snap.find("latency_ns");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->kind, MetricKind::kHistogram);
+    EXPECT_EQ(hist->hist.count(), kThreads * kPerThread);
+}
+
+TEST(MetricRegistryTest, RegisterOrGetReturnsSameInstrument)
+{
+    MetricRegistry registry;
+    Counter &a = registry.counter("ops");
+    Counter &b = registry.counter("ops");
+    EXPECT_EQ(&a, &b);
+    a.add(7);
+    EXPECT_EQ(b.total(), 7u);
+
+    Gauge &g1 = registry.gauge("depth");
+    Gauge &g2 = registry.gauge("depth");
+    EXPECT_EQ(&g1, &g2);
+
+    EXPECT_THROW(registry.gauge("ops"), std::invalid_argument);
+    EXPECT_THROW(registry.histogram("depth"), std::invalid_argument);
+    EXPECT_THROW(registry.counterFn("ops", [] { return 0ull; }),
+                 std::invalid_argument);
+}
+
+TEST(MetricRegistryTest, CallbackBridgesSampledAtSnapshot)
+{
+    MetricRegistry registry;
+    std::atomic<std::uint64_t> external{10};
+    registry.counterFn("tm_commits",
+                       [&] { return external.load(); });
+    registry.gaugeFn("bytes_live", [&] { return 2 * external.load(); });
+
+    EXPECT_EQ(registry.snapshot().value("tm_commits"), 10u);
+    external.store(42);
+    const TelemetrySnapshot snap = registry.snapshot();
+    EXPECT_EQ(snap.value("tm_commits"), 42u);
+    EXPECT_EQ(snap.value("bytes_live"), 84u);
+    ASSERT_NE(snap.find("bytes_live"), nullptr);
+    EXPECT_EQ(snap.find("bytes_live")->kind, MetricKind::kGauge);
+}
+
+TEST(MetricRegistryTest, GaugeSetAndAdd)
+{
+    MetricRegistry registry;
+    Gauge &g = registry.gauge("queue_depth");
+    g.set(100);
+    g.add(-25);
+    EXPECT_EQ(g.value(), 75u);
+    EXPECT_EQ(registry.snapshot().value("queue_depth"), 75u);
+}
+
+TEST(MetricRegistryTest, SnapshotPreservesRegistrationOrder)
+{
+    MetricRegistry registry;
+    registry.counter("zeta");
+    registry.gauge("alpha");
+    registry.histogram("mid");
+    const TelemetrySnapshot snap = registry.snapshot();
+    ASSERT_EQ(snap.samples.size(), 3u);
+    EXPECT_EQ(snap.samples[0].name, "zeta");
+    EXPECT_EQ(snap.samples[1].name, "alpha");
+    EXPECT_EQ(snap.samples[2].name, "mid");
+}
+
+TEST(MetricRegistryTest, HistogramMergeDataFoldsWorkerCopies)
+{
+    MetricRegistry registry;
+    Histogram &h = registry.histogram("phase_latency");
+
+    LogLinearHistogram worker0;
+    LogLinearHistogram worker1;
+    for (std::uint64_t n = 0; n < 1000; ++n)
+        worker0.record(n);
+    for (std::uint64_t n = 0; n < 500; ++n)
+        worker1.record(10 * n);
+    h.mergeData(worker0, 0);
+    h.mergeData(worker1, 1);
+
+    const LogLinearHistogram merged = h.snapshot();
+    EXPECT_EQ(merged.count(), 1500u);
+    EXPECT_EQ(merged.maxNanos(), 4990u);
+
+    LogLinearHistogram reference = worker0;
+    reference.merge(worker1);
+    EXPECT_EQ(merged.percentileNanos(0.5), reference.percentileNanos(0.5));
+    EXPECT_EQ(merged.percentileNanos(0.99),
+              reference.percentileNanos(0.99));
+}
+
+} // namespace
+} // namespace proteus::obs
