@@ -44,12 +44,21 @@
  * dumps the instrumented store's full telemetry() in Prometheus text
  * format to BENCH_kvstore.prom for the CI artifact.
  *
+ * Series 6 (durability A/B, --durability): the mixed 90/10 scenario
+ * under 2PC run three times — durability off, buffered WAL (ack after
+ * the page-cache write), and group-commit fsync — on a scratch WAL
+ * directory. Reports the single-key throughput cost of each mode
+ * (wal_overhead_*_pct), the WAL volume the measured window produced,
+ * and the fsync latency percentiles straight from the store's
+ * wal_fsync_nanos histogram; all of it lands in BENCH_kvstore.json.
+ *
  * Usage: bench_kvstore [seconds-per-point] [--mixed-only] [--cache]
- *                      [--read-heavy]
+ *                      [--read-heavy] [--durability]
  *   seconds-per-point   default 0.4
  *   --mixed-only        skip series 1/2 (CI smoke mode)
  *   --cache             add the cache-preset series
  *   --read-heavy        add the read-path series (+ CI gate)
+ *   --durability        add the WAL durability A/B series
  */
 
 #include <algorithm>
@@ -57,6 +66,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -67,6 +77,7 @@
 
 using namespace proteus;
 using kvstore::CommitMode;
+using kvstore::Durability;
 using kvstore::KvOp;
 using kvstore::KvStore;
 using kvstore::KvStoreOptions;
@@ -156,6 +167,121 @@ runMixed(CommitMode mode, double seconds)
     result.multiOpsPerSec =
         static_cast<double>(multi_after - multi_before) / seconds;
     result.latency = driver.latency(1);
+    return result;
+}
+
+struct DurabilityResult
+{
+    MixedResult off;
+    MixedResult buffered;
+    MixedResult fsync;
+    /** Single-key throughput lost vs durability-off (positive = WAL
+     *  costs throughput). */
+    double bufferedOverheadPct = 0;
+    double fsyncOverheadPct = 0;
+    /** WAL volume + fsync latency of the group-commit leg. */
+    std::uint64_t walAppends = 0;
+    std::uint64_t walBytes = 0;
+    std::uint64_t walFsyncs = 0;
+    std::uint64_t fsyncP50 = 0;
+    std::uint64_t fsyncP95 = 0;
+    std::uint64_t fsyncP99 = 0;
+    std::uint64_t fsyncMax = 0;
+};
+
+/** One leg of the durability A/B: the mixed 90/10 scenario under 2PC
+ *  on a scratch WAL directory. When `result` is non-null the leg's
+ *  WAL counters and fsync percentiles are captured into it. */
+MixedResult
+runDurabilityLeg(Durability mode, double seconds,
+                 DurabilityResult *result)
+{
+    namespace fs = std::filesystem;
+    const char *wal_dir = "bench_wal_scratch";
+    if (mode != Durability::kOff)
+        fs::remove_all(wal_dir);
+
+    KvStoreOptions store_options;
+    store_options.numShards = 4;
+    store_options.log2SlotsPerShard = 16;
+    store_options.initial = {tm::BackendKind::kTl2, 16, {}};
+    store_options.commitMode = CommitMode::kTwoPhase;
+    store_options.durability = mode;
+    if (mode != Durability::kOff)
+        store_options.walDir = wal_dir;
+
+    MixedResult leg;
+    {
+        KvStore store(store_options);
+        const TrafficMix mix = TrafficMix::preset(MixKind::kMixedCross);
+        TrafficOptions traffic_options;
+        traffic_options.threads = kThreads;
+        traffic_options.phases = {mix, mix};
+        TrafficDriver driver(store, traffic_options);
+        driver.preload(mix.keySpace / 2);
+
+        driver.start();
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(seconds * 0.25));
+        driver.setPhase(1);
+        const std::uint64_t single_before =
+            driver.singleKeyOpsCompleted();
+        const std::uint64_t multi_before = driver.multiOpsCompleted();
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(seconds));
+        const std::uint64_t single_after =
+            driver.singleKeyOpsCompleted();
+        const std::uint64_t multi_after = driver.multiOpsCompleted();
+        driver.setPhase(0);
+        driver.stop();
+
+        leg.singleOpsPerSec =
+            static_cast<double>(single_after - single_before) / seconds;
+        leg.multiOpsPerSec =
+            static_cast<double>(multi_after - multi_before) / seconds;
+        leg.latency = driver.latency(1);
+
+        if (result) {
+            const obs::TelemetrySnapshot snap = store.telemetry();
+            result->walAppends = snap.value("wal_appends");
+            result->walBytes = snap.value("wal_bytes");
+            result->walFsyncs = snap.value("wal_fsyncs");
+            if (const obs::MetricSample *fsync_hist =
+                    snap.find("wal_fsync_nanos")) {
+                result->fsyncP50 =
+                    fsync_hist->hist.percentileNanos(0.50);
+                result->fsyncP95 =
+                    fsync_hist->hist.percentileNanos(0.95);
+                result->fsyncP99 =
+                    fsync_hist->hist.percentileNanos(0.99);
+                result->fsyncMax = fsync_hist->hist.maxNanos();
+            }
+        }
+    }
+    if (mode != Durability::kOff)
+        fs::remove_all(wal_dir);
+    return leg;
+}
+
+DurabilityResult
+runDurability(double seconds)
+{
+    DurabilityResult result;
+    result.off = runDurabilityLeg(Durability::kOff, seconds, nullptr);
+    result.buffered =
+        runDurabilityLeg(Durability::kBuffered, seconds, nullptr);
+    result.fsync =
+        runDurabilityLeg(Durability::kFsyncGroup, seconds, &result);
+    if (result.off.singleOpsPerSec > 0) {
+        result.bufferedOverheadPct =
+            (result.off.singleOpsPerSec -
+             result.buffered.singleOpsPerSec) /
+            result.off.singleOpsPerSec * 100.0;
+        result.fsyncOverheadPct =
+            (result.off.singleOpsPerSec -
+             result.fsync.singleOpsPerSec) /
+            result.off.singleOpsPerSec * 100.0;
+    }
     return result;
 }
 
@@ -448,7 +574,8 @@ writeJsonObject(std::FILE *f, const char *name, const MixedResult &r)
 bool
 writeJson(const char *path, double seconds, const MixedResult &latch,
           const MixedResult &two_phase, const CacheResult *cache,
-          const ReadHeavyResult *read_heavy)
+          const ReadHeavyResult *read_heavy,
+          const DurabilityResult *durability)
 {
     std::FILE *f = std::fopen(path, "w");
     if (!f) {
@@ -539,6 +666,43 @@ writeJson(const char *path, double seconds, const MixedResult &latch,
             kReadHeavyBaselineOpsPerSec,
             kReadHeavyBaselineSnapOpsPerSec);
     }
+    if (durability) {
+        std::fprintf(
+            f,
+            ",\n"
+            "  \"durability\": {\n"
+            "    \"off_single_ops_per_sec\": %.0f,\n"
+            "    \"buffered_single_ops_per_sec\": %.0f,\n"
+            "    \"fsync_single_ops_per_sec\": %.0f,\n"
+            "    \"off_multi_ops_per_sec\": %.0f,\n"
+            "    \"buffered_multi_ops_per_sec\": %.0f,\n"
+            "    \"fsync_multi_ops_per_sec\": %.0f,\n"
+            "    \"wal_overhead_buffered_pct\": %.2f,\n"
+            "    \"wal_overhead_fsync_pct\": %.2f,\n"
+            "    \"wal_appends\": %llu,\n"
+            "    \"wal_bytes\": %llu,\n"
+            "    \"wal_fsyncs\": %llu,\n"
+            "    \"fsync_p50_ns\": %llu,\n"
+            "    \"fsync_p95_ns\": %llu,\n"
+            "    \"fsync_p99_ns\": %llu,\n"
+            "    \"fsync_max_ns\": %llu\n"
+            "  }",
+            durability->off.singleOpsPerSec,
+            durability->buffered.singleOpsPerSec,
+            durability->fsync.singleOpsPerSec,
+            durability->off.multiOpsPerSec,
+            durability->buffered.multiOpsPerSec,
+            durability->fsync.multiOpsPerSec,
+            durability->bufferedOverheadPct,
+            durability->fsyncOverheadPct,
+            static_cast<unsigned long long>(durability->walAppends),
+            static_cast<unsigned long long>(durability->walBytes),
+            static_cast<unsigned long long>(durability->walFsyncs),
+            static_cast<unsigned long long>(durability->fsyncP50),
+            static_cast<unsigned long long>(durability->fsyncP95),
+            static_cast<unsigned long long>(durability->fsyncP99),
+            static_cast<unsigned long long>(durability->fsyncMax));
+    }
     std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::printf("\nwrote %s\n", path);
@@ -554,6 +718,7 @@ main(int argc, char **argv)
     bool mixed_only = false;
     bool with_cache = false;
     bool with_read_heavy = false;
+    bool with_durability = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--mixed-only") == 0) {
             mixed_only = true;
@@ -561,6 +726,8 @@ main(int argc, char **argv)
             with_cache = true;
         } else if (std::strcmp(argv[i], "--read-heavy") == 0) {
             with_read_heavy = true;
+        } else if (std::strcmp(argv[i], "--durability") == 0) {
+            with_durability = true;
         } else {
             const double parsed = std::atof(argv[i]);
             if (parsed > 0) {
@@ -570,7 +737,7 @@ main(int argc, char **argv)
                              "bench_kvstore: invalid argument '%s' "
                              "(usage: bench_kvstore [seconds-per-point]"
                              " [--mixed-only] [--cache]"
-                             " [--read-heavy])\n",
+                             " [--read-heavy] [--durability])\n",
                              argv[i]);
                 return 2;
             }
@@ -720,6 +887,40 @@ main(int argc, char **argv)
         }
     }
 
+    DurabilityResult durability;
+    if (with_durability) {
+        std::printf("\ndurability A/B, mixed 90/10 under 2PC "
+                    "(4 shards, scratch WAL dir):\n");
+        durability = runDurability(seconds);
+        std::printf("  %-10s %14s %12s %8s %8s %8s %9s\n", "mode",
+                    "single ops/s", "multi ops/s", "p50ns", "p95ns",
+                    "p99ns", "maxns");
+        printMixed("off", durability.off);
+        printMixed("buffered", durability.buffered);
+        printMixed("fsync", durability.fsync);
+        std::printf("  wal overhead: buffered %.2f%%, fsync %.2f%% "
+                    "(single-key ops/s vs off)\n",
+                    durability.bufferedOverheadPct,
+                    durability.fsyncOverheadPct);
+        std::printf("  fsync leg: %llu appends, %llu bytes, %llu "
+                    "fsyncs; fsync p50 %llu ns p95 %llu ns p99 %llu "
+                    "ns max %llu ns\n",
+                    static_cast<unsigned long long>(
+                        durability.walAppends),
+                    static_cast<unsigned long long>(
+                        durability.walBytes),
+                    static_cast<unsigned long long>(
+                        durability.walFsyncs),
+                    static_cast<unsigned long long>(
+                        durability.fsyncP50),
+                    static_cast<unsigned long long>(
+                        durability.fsyncP95),
+                    static_cast<unsigned long long>(
+                        durability.fsyncP99),
+                    static_cast<unsigned long long>(
+                        durability.fsyncMax));
+    }
+
     CacheResult cache;
     if (with_cache) {
         std::printf("\ncache preset (wide values + 50ms TTL, shards "
@@ -736,7 +937,8 @@ main(int argc, char **argv)
 
     if (!writeJson("BENCH_kvstore.json", seconds, latch, two_phase,
                    with_cache ? &cache : nullptr,
-                   with_read_heavy ? &read_heavy : nullptr))
+                   with_read_heavy ? &read_heavy : nullptr,
+                   with_durability ? &durability : nullptr))
         return 1;
     // The read-path gate: a write-free workload that still pays
     // validation retries or latch escalations is a regression CI must

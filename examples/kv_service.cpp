@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <thread>
 
@@ -45,6 +46,20 @@ using kvstore::TrafficMix;
 using kvstore::TrafficOptions;
 
 namespace {
+
+/** Set by the SIGINT/SIGTERM handler; polled once per tuner period. */
+std::atomic<int> g_signal{0};
+
+extern "C" void
+onSignal(int sig)
+{
+    g_signal.store(sig);
+}
+
+/** Thrown from the tuner's before-period hook to cancel the run. */
+struct ServiceShutdown
+{
+};
 
 /** Synthetic training matrix over the menu's columns (unimodal rows
  *  with per-workload scale — the same shape the runtime tests use). */
@@ -93,7 +108,22 @@ main()
     store_options.numShards = kShards;
     store_options.log2SlotsPerShard = 12;
     store_options.initial = {tm::BackendKind::kTl2, 2, {}};
+    store_options.durability = kvstore::Durability::kBuffered;
+    store_options.walDir = "kv_service_wal";
     KvStore store(store_options);
+    std::printf("durability: buffered WAL at %s (recovered: %llu "
+                "checkpoint entries, %llu records, %llu in-doubt "
+                "aborted)\n",
+                store_options.walDir.c_str(),
+                static_cast<unsigned long long>(
+                    store.recoveryInfo().checkpointEntries),
+                static_cast<unsigned long long>(
+                    store.recoveryInfo().replayedRecords),
+                static_cast<unsigned long long>(
+                    store.recoveryInfo().inDoubtAborted));
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
 
     TrafficOptions traffic_options;
     traffic_options.threads = kWorkers;
@@ -171,7 +201,20 @@ main()
         }
     });
 
-    const auto records = tuner.run(kPeriods);
+    // SIGINT/SIGTERM cancel the tuning run between periods: the hook
+    // throws on every shard's controller thread, the group joins, and
+    // the service falls through to an orderly drain instead of dying
+    // with buffered WAL bytes in memory.
+    std::vector<std::vector<rectm::PeriodRecord>> records;
+    bool interrupted = false;
+    try {
+        records = tuner.run(kPeriods, [](std::size_t, int) {
+            if (g_signal.load() != 0)
+                throw ServiceShutdown{};
+        });
+    } catch (const ServiceShutdown &) {
+        interrupted = true;
+    }
     done.store(true);
     phaser.join();
     reporter.join();
@@ -182,6 +225,27 @@ main()
                 static_cast<unsigned long long>(driver.opsCompleted()),
                 static_cast<unsigned long long>(
                     driver.multiOpsCompleted()));
+
+    if (interrupted) {
+        // Graceful shutdown: flush buffered WAL tail, checkpoint so
+        // the next start replays nothing, and dump final telemetry.
+        // The re-tune acceptance gate is waived — the run was cut
+        // short on purpose.
+        store.flushWal();
+        auto session = store.openSession();
+        store.checkpoint(session);
+        store.closeSession(session);
+        std::printf("signal %d: graceful shutdown — WAL flushed and "
+                    "checkpointed, %llu wal appends / %llu wal bytes\n",
+                    g_signal.load(),
+                    static_cast<unsigned long long>(
+                        store.telemetry().value("wal_appends")),
+                    static_cast<unsigned long long>(
+                        store.telemetry().value("wal_bytes")));
+        std::printf("\n--- final telemetry (Prometheus text) ---\n%s",
+                    store.telemetry().toPrometheus().c_str());
+        return 0;
+    }
 
     static const char *const kPhaseNames[] = {"read-heavy",
                                               "scan-heavy"};
@@ -256,6 +320,19 @@ main()
                                 .growCount()));
         }
         std::printf("\n");
+
+        // Orderly exit: checkpoint truncates the day's WAL so the
+        // next start replays nothing.
+        store.checkpoint(session);
+        const obs::TelemetrySnapshot snap = store.telemetry();
+        std::printf("durability: %llu wal appends, %llu wal bytes, "
+                    "%llu checkpoint chunks; log truncated\n",
+                    static_cast<unsigned long long>(
+                        snap.value("wal_appends")),
+                    static_cast<unsigned long long>(
+                        snap.value("wal_bytes")),
+                    static_cast<unsigned long long>(
+                        snap.value("checkpoint_chunks")));
         store.closeSession(session);
     }
 

@@ -101,9 +101,11 @@ KvAutoTuner::KvAutoTuner(KvStore &store, const rectm::RecTmEngine &engine,
 }
 
 std::vector<std::vector<rectm::PeriodRecord>>
-KvAutoTuner::run(int total_periods)
+KvAutoTuner::run(
+    int total_periods,
+    const std::function<void(std::size_t, int)> &before_period)
 {
-    return group_.runAll(total_periods);
+    return group_.runAll(total_periods, before_period);
 }
 
 } // namespace proteus::kvstore

@@ -87,9 +87,17 @@ class KvAutoTuner
     /**
      * Tune all shards concurrently for `total_periods` monitor
      * periods; returns per-shard period records.
+     *
+     * `before_period(shard, period)` runs on that shard's controller
+     * thread before each period; it must be thread-safe across
+     * shards. A service can throw from it to cancel the run early
+     * (graceful shutdown) — the exception is rethrown here after all
+     * controllers stop.
      */
     std::vector<std::vector<rectm::PeriodRecord>>
-    run(int total_periods);
+    run(int total_periods,
+        const std::function<void(std::size_t, int)> &before_period =
+            nullptr);
 
     int episodes(std::size_t shard) const
     {

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <stdexcept>
 #include <thread>
 
 #include "common/timing.hpp"
+#include "kvstore/recovery.hpp"
 
 namespace proteus::kvstore {
 
@@ -56,10 +58,42 @@ KvStore::KvStore(KvStoreOptions options)
       snapEscalations_(metrics_.counter("snapshot_escalations")),
       twoPhaseCommits_(metrics_.counter("twophase_commits")),
       twoPhaseAborts_(metrics_.counter("twophase_aborts")),
-      retunes_(metrics_.counter("tuner_retunes"))
+      retunes_(metrics_.counter("tuner_retunes")),
+      walAppends_(metrics_.counter("wal_appends")),
+      walFsyncs_(metrics_.counter("wal_fsyncs")),
+      walBytes_(metrics_.counter("wal_bytes")),
+      walCkptChunks_(metrics_.counter("checkpoint_chunks")),
+      walFsyncNanos_(metrics_.histogram("wal_fsync_nanos"))
 {
     if (options.numShards <= 0)
         throw std::invalid_argument("KvStore: numShards must be >= 1");
+    if (options.log2SlotsPerShard == 0 || options.log2SlotsPerShard > 30)
+        throw std::invalid_argument(
+            "KvStore: log2SlotsPerShard must be in [1, 30]");
+    if (options.maxLog2SlotsPerShard != 0 &&
+        options.maxLog2SlotsPerShard < options.log2SlotsPerShard)
+        throw std::invalid_argument(
+            "KvStore: maxLog2SlotsPerShard is below the initial "
+            "log2SlotsPerShard (the table could never hold its seed)");
+    if (options.growLoadPercent == 0 || options.growLoadPercent > 100)
+        throw std::invalid_argument(
+            "KvStore: growLoadPercent must be in [1, 100]");
+    if (options.durability != Durability::kOff) {
+        if (options.walDir.empty())
+            throw std::invalid_argument(
+                "KvStore: durability requires a walDir");
+        if (options.commitMode == CommitMode::kLatch)
+            throw std::invalid_argument(
+                "KvStore: durability requires commitMode kTwoPhase "
+                "(latch mode logs no 2PC outcome records)");
+        if (options.walFlushBytes == 0)
+            throw std::invalid_argument(
+                "KvStore: walFlushBytes of 0 would make every group "
+                "commit window empty; use >= 1");
+        if (options.checkpointChunkSlots == 0)
+            throw std::invalid_argument(
+                "KvStore: checkpointChunkSlots must be >= 1");
+    }
     shards_.reserve(static_cast<std::size_t>(options.numShards));
     latches_.reserve(static_cast<std::size_t>(options.numShards));
     shardSeqs_ = std::make_unique<PaddedAtomicU64[]>(
@@ -172,6 +206,64 @@ KvStore::KvStore(KvStoreOptions options)
             return shard.arena().limboCount();
         });
     });
+
+    if (options_.durability != Durability::kOff) {
+        std::filesystem::create_directories(options_.walDir);
+        int meta_shards = 0;
+        if (wal::readMeta(options_.walDir, &meta_shards)) {
+            if (meta_shards != options_.numShards)
+                throw std::invalid_argument(
+                    "KvStore: walDir belongs to a store with " +
+                    std::to_string(meta_shards) + " shards, not " +
+                    std::to_string(options_.numShards));
+        } else {
+            wal::writeMeta(options_.walDir, options_.numShards);
+        }
+
+        // Replay what survived into the freshly built shards, then
+        // seed the store-wide sequences past everything recovered.
+        const recovery::RecoveryStats stats =
+            recovery::recover(options_.walDir, shards_, &recorder_);
+        commitSeq_.store(stats.maxCommitSeq, std::memory_order_relaxed);
+        walTxnId_.store(stats.maxTxnId, std::memory_order_relaxed);
+        for (std::size_t s = 0; s < shards_.size(); ++s)
+            shardSeqs_[s].value.store(stats.maxCommitSeq,
+                                      std::memory_order_relaxed);
+        recoveryInfo_.checkpointEntries = stats.checkpointEntries;
+        recoveryInfo_.replayedRecords = stats.replayedRecords;
+        recoveryInfo_.replayedOps = stats.replayedOps;
+        recoveryInfo_.inDoubtAborted = stats.inDoubtAborted;
+        recoveryInfo_.tornBytes = stats.tornBytes;
+        metrics_.counter("recovery_replayed_records")
+            .add(stats.replayedRecords, 0);
+        metrics_.counter("recovery_replayed_ops")
+            .add(stats.replayedOps, 0);
+        metrics_.counter("recovery_indoubt_aborted")
+            .add(stats.inDoubtAborted, 0);
+
+        // Open each shard's log at a fresh generation, then compact:
+        // the initial checkpoint folds everything just replayed into
+        // one image and deletes the old segment files.
+        wals_.reserve(shards_.size());
+        walGen_.resize(shards_.size(), 0);
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+            wal::WalObs obs{&walAppends_, &walFsyncs_, &walBytes_,
+                            &walFsyncNanos_, &recorder_,
+                            static_cast<int>(s)};
+            const std::uint64_t gen =
+                wal::maxGeneration(options_.walDir,
+                                   static_cast<int>(s)) +
+                1;
+            walGen_[s] = gen;
+            wals_.push_back(std::make_unique<wal::ShardWal>(
+                options_.walDir + "/" +
+                    wal::segmentFileName(static_cast<int>(s), gen),
+                options_.durability, options_.walFlushBytes, obs));
+        }
+        Session session = openSession();
+        checkpoint(session);
+        closeSession(session);
+    }
 }
 
 std::size_t
@@ -182,6 +274,7 @@ KvStore::shardOf(std::uint64_t key) const
 
 KvStore::~KvStore()
 {
+    flushWal(); // final barrier: nothing acknowledged stays buffered
     for (auto *list : {&graveyard_, &ctxPool_}) {
         while (*list)
             *list = std::move((*list)->next);
@@ -302,11 +395,18 @@ KvStore::put(Session &session, std::uint64_t key, std::uint64_t value,
         const std::size_t cap = shard.capacity();
         bool ok = false;
         SlotImage pre;
+        std::uint64_t lsn = 0;
         runOnShard(session, s, [&](polytm::Tx &tx) {
             reclaim.clear(); // retried attempts restart
             ok = shard.putTx(tx, key, value, expiry, &pre, &reclaim);
+            if (ok && durable())
+                lsn = shard.walTicketTx(tx);
         });
         if (ok) {
+            if (durable())
+                logSingleOp(
+                    s, lsn,
+                    {wal::WalOp::Kind::kPut, key, value, expiry, {}});
             retireDisplaced(session, static_cast<std::uint32_t>(s),
                             reclaim);
             shard.finishWrite(session.tokens_[s], pre);
@@ -338,11 +438,20 @@ KvStore::putBytes(Session &session, std::uint64_t key, const void *data,
         const std::size_t cap = shard.capacity();
         bool ok = false;
         SlotImage pre;
+        std::uint64_t lsn = 0;
         runOnShard(session, s, [&](polytm::Tx &tx) {
             reclaim.clear();
             ok = shard.putRefTx(tx, key, ref, expiry, &pre, &reclaim);
+            if (ok && durable())
+                lsn = shard.walTicketTx(tx);
         });
         if (ok) {
+            if (durable()) {
+                wal::WalOp op{wal::WalOp::Kind::kPutBytes, key, 0,
+                              expiry, {}};
+                op.bytes.assign(static_cast<const char *>(data), len);
+                logSingleOp(s, lsn, std::move(op));
+            }
             retireDisplaced(session, static_cast<std::uint32_t>(s),
                             reclaim);
             shard.finishWrite(session.tokens_[s], pre);
@@ -364,10 +473,15 @@ KvStore::del(Session &session, std::uint64_t key)
     bool ok = false;
     SlotImage pre;
     std::vector<std::uint64_t> reclaim;
+    std::uint64_t lsn = 0;
     runOnShard(session, s, [&](polytm::Tx &tx) {
         reclaim.clear();
         ok = shard.delTx(tx, key, &pre, &reclaim);
+        if (durable())
+            lsn = shard.walTicketTx(tx);
     });
+    if (durable())
+        logSingleOp(s, lsn, {wal::WalOp::Kind::kDel, key, 0, 0, {}});
     // Stale readers may hold the displaced handles: retire, batched.
     retireDisplaced(session, static_cast<std::uint32_t>(s), reclaim);
     if (slotStateIsValue(pre.state)) {
@@ -435,19 +549,59 @@ tombstoneEffect(KvOp::Kind kind, bool applied, const SlotImage &pre)
  * minted/reused (the compaction heuristic); `reclaim` collects
  * displaced blob handles — all restart with the attempt.
  */
+/** Append `op`'s post-image to `wal_ops` (nullptr → store not durable
+ *  or capture disabled for this path). kAdd logs its computed result
+ *  as a plain put, so replay never re-adds. */
+void
+captureWalOp(std::vector<wal::WalOp> *wal_ops, const KvOp &op,
+             std::uint64_t expiry, const SlotImage &post)
+{
+    if (wal_ops == nullptr)
+        return;
+    switch (op.kind) {
+      case KvOp::Kind::kPut:
+        if (op.ok)
+            wal_ops->push_back({wal::WalOp::Kind::kPut, op.key,
+                                op.value, expiry, {}});
+        break;
+      case KvOp::Kind::kPutBytes:
+        if (op.ok)
+            wal_ops->push_back({wal::WalOp::Kind::kPutBytes, op.key, 0,
+                                expiry, op.bytes});
+        break;
+      case KvOp::Kind::kDel:
+        // Always logged: a delete post-image is idempotent and a miss
+        // may still have reclaimed an expired slot.
+        wal_ops->push_back(
+            {wal::WalOp::Kind::kDel, op.key, 0, 0, {}});
+        break;
+      case KvOp::Kind::kAdd:
+        if (op.ok)
+            wal_ops->push_back({wal::WalOp::Kind::kPut, op.key,
+                                post.value, post.expiry, {}});
+        break;
+      default:
+        break;
+    }
+}
+
 void
 applyOpsInTx(Shard &shard, polytm::Tx &tx, const TaggedOp *begin,
              const TaggedOp *end, bool &space_ok,
              std::size_t &consumed_empty, std::int64_t &tombstone_delta,
-             std::vector<std::uint64_t> &reclaim)
+             std::vector<std::uint64_t> &reclaim,
+             std::vector<wal::WalOp> *wal_ops = nullptr)
 {
     space_ok = true; // retried attempts restart the accumulation
     consumed_empty = 0;
     tombstone_delta = 0;
     reclaim.clear();
+    if (wal_ops != nullptr)
+        wal_ops->clear();
     for (const TaggedOp *it = begin; it != end; ++it) {
         KvOp *op = it->op;
         SlotImage pre;
+        SlotImage post;
         switch (op->kind) {
           case KvOp::Kind::kGet:
             // getForUpdateTx, not getTx: batch results are documented
@@ -478,13 +632,14 @@ applyOpsInTx(Shard &shard, polytm::Tx &tx, const TaggedOp *begin,
           case KvOp::Kind::kAdd:
             op->ok = shard.addTx(tx, op->key,
                                  static_cast<std::int64_t>(op->value),
-                                 &pre, &reclaim);
+                                 &pre, &reclaim, &post);
             space_ok &= op->ok;
             break;
         }
         if (op->ok && pre.state == kEmpty)
             ++consumed_empty;
         tombstone_delta += tombstoneEffect(op->kind, op->ok, pre);
+        captureWalOp(wal_ops, *op, it->expiry, post);
     }
 }
 
@@ -502,9 +657,13 @@ applyOpsUndoTx(Shard &shard, polytm::Tx &tx, const TaggedOp *begin,
                const TaggedOp *end,
                std::vector<KvStore::Session::Undo> &undo,
                std::size_t undo_mark, std::int64_t &tombstone_delta,
-               std::vector<std::uint64_t> &reclaim)
+               std::vector<std::uint64_t> &reclaim,
+               std::vector<wal::WalOp> *wal_ops = nullptr,
+               std::size_t wal_mark = 0)
 {
     undo.resize(undo_mark); // retried attempts restart the log
+    if (wal_ops != nullptr)
+        wal_ops->resize(wal_mark);
     tombstone_delta = 0;
     reclaim.clear();
     const auto fail_full = [&]() {
@@ -533,6 +692,7 @@ applyOpsUndoTx(Shard &shard, polytm::Tx &tx, const TaggedOp *begin,
         // nothing, so nothing is logged for it.
         KvStore::Session::Undo entry{op->key, SlotImage{}};
         bool wrote = true;
+        SlotImage post;
         switch (op->kind) {
           case KvOp::Kind::kPut:
             op->ok = shard.putTx(tx, op->key, op->value, it->expiry,
@@ -552,7 +712,7 @@ applyOpsUndoTx(Shard &shard, polytm::Tx &tx, const TaggedOp *begin,
           case KvOp::Kind::kAdd:
             op->ok = shard.addTx(tx, op->key,
                                  static_cast<std::int64_t>(op->value),
-                                 &entry.pre, &reclaim);
+                                 &entry.pre, &reclaim, &post);
             wrote = op->ok;
             break;
           default:
@@ -566,6 +726,7 @@ applyOpsUndoTx(Shard &shard, polytm::Tx &tx, const TaggedOp *begin,
         tombstone_delta += tombstoneEffect(op->kind, op->ok, entry.pre);
         if (wrote)
             undo.push_back(entry);
+        captureWalOp(wal_ops, *op, it->expiry, post);
     }
 }
 
@@ -824,6 +985,8 @@ KvStore::multiOpSingleShard(Session &session, bool writes)
         session.reclaim_.clear();
         std::vector<std::uint64_t> reclaim;
         std::int64_t tomb_delta = 0;
+        std::uint64_t lsn = 0;
+        session.walOps_.clear();
         try {
             shardSeqs_[slice.shard].value.fetch_add(
                 1, std::memory_order_acq_rel);
@@ -833,12 +996,25 @@ KvStore::multiOpSingleShard(Session &session, bool writes)
                                    grouped.data() + slice.begin,
                                    grouped.data() + slice.end,
                                    session.undo_, 0, tomb_delta,
-                                   reclaim);
+                                   reclaim,
+                                   durable() ? &session.walOps_
+                                             : nullptr,
+                                   0);
+                    if (durable())
+                        lsn = shard.walTicketTx(tx);
                 });
         } catch (const TableFullError &) {
             return shard.tryGrow(session.tokens_[slice.shard], cap)
                        ? OpStatus::kRetryAfterGrow
                        : OpStatus::kFailed;
+        }
+        if (durable() && !session.walOps_.empty()) {
+            wal::Record rec;
+            rec.type = wal::RecordType::kBatch;
+            rec.lsn = lsn;
+            rec.ops = std::move(session.walOps_);
+            wals_[slice.shard]->appendAndBarrier(rec);
+            session.walOps_.clear();
         }
         std::size_t consumed = 0;
         for (const Session::Undo &entry : session.undo_)
@@ -1005,6 +1181,10 @@ KvStore::multiOpTwoPhaseWrite(Session &session)
     session.intents_.clear();
     session.intentRanges_.clear();
     session.reclaim_.clear();
+    session.walOps_.clear();
+    session.walOpRanges_.clear();
+    session.walLsns_.clear();
+    std::uint64_t wal_txid = 0;
 
     try {
         bool full = false;
@@ -1027,6 +1207,9 @@ KvStore::multiOpTwoPhaseWrite(Session &session)
                 const std::size_t arena_mark = ctx.arena.mark();
                 const auto intents_mark = static_cast<std::uint32_t>(
                     session.intents_.size());
+                const auto wal_mark = static_cast<std::uint32_t>(
+                    session.walOps_.size());
+                std::uint64_t slice_lsn = 0;
                 try {
                     shard.poly().run(
                         session.tokens_[slice.shard],
@@ -1035,6 +1218,7 @@ KvStore::multiOpTwoPhaseWrite(Session &session)
                             // intent allocation and reclaim captures.
                             ctx.arena.rewindTo(arena_mark);
                             session.intents_.resize(intents_mark);
+                            session.walOps_.resize(wal_mark);
                             slice_reclaim.clear();
                             // On an irrevocable backend the prepare's
                             // writes are already in place and
@@ -1052,9 +1236,12 @@ KvStore::multiOpTwoPhaseWrite(Session &session)
                                 }
                                 throw TableFullError{};
                             };
+                            std::vector<wal::WalOp> *wal_ops =
+                                durable() ? &session.walOps_ : nullptr;
                             for (std::uint32_t i = slice.begin;
                                  i < slice.end; ++i) {
                                 KvOp *op = grouped[i].op;
+                                SlotImage post;
                                 switch (op->kind) {
                                   case KvOp::Kind::kGet:
                                     op->ok = shard.prepareGetTx(
@@ -1096,11 +1283,16 @@ KvStore::multiOpTwoPhaseWrite(Session &session)
                                             session.intents_, op->key,
                                             static_cast<std::int64_t>(
                                                 op->value),
-                                            &op->ok, &slice_reclaim))
+                                            &op->ok, &slice_reclaim,
+                                            &post))
                                         fail_full();
                                     break;
                                 }
+                                captureWalOp(wal_ops, *op,
+                                             grouped[i].expiry, post);
                             }
+                            if (durable())
+                                slice_lsn = shard.walTicketTx(tx);
                         });
                 } catch (const TableFullError &) {
                     full = true;
@@ -1112,6 +1304,10 @@ KvStore::multiOpTwoPhaseWrite(Session &session)
                 session.intentRanges_.emplace_back(
                     intents_mark, static_cast<std::uint32_t>(
                                       session.intents_.size()));
+                session.walOpRanges_.emplace_back(
+                    wal_mark, static_cast<std::uint32_t>(
+                                  session.walOps_.size()));
+                session.walLsns_.push_back(slice_lsn);
                 for (const std::uint64_t ref : slice_reclaim)
                     session.reclaim_.emplace_back(slice.shard, ref);
                 ++prepared;
@@ -1163,11 +1359,61 @@ KvStore::multiOpTwoPhaseWrite(Session &session)
                     obs::TraceKind::kTwoPhasePrepare, -1,
                     commitSequence(), slices.size(),
                     session.intents_.size());
+                // Durable-before-visible, in two barrier rounds:
+                //  (a) every participant's prepare record (its
+                //      post-images) is durable on its own log BEFORE
+                //      any outcome is appended anywhere — without
+                //      this, a buffer spill could leak a commit
+                //      outcome to disk while a peer's prepare was
+                //      still buffered, and a kill-9 would recover
+                //      half the transaction;
+                //  (b) the commit outcome reaches EVERY participant's
+                //      log and its barrier before the record is
+                //      stamped or flipped, so no reader observes a
+                //      commit recovery could lose.
+                // Recovery may therefore trust any single durable
+                // outcome: (a) guarantees all prepares are on disk.
+                if (durable()) {
+                    wal_txid =
+                        walTxnId_.fetch_add(
+                            1, std::memory_order_relaxed) +
+                        1;
+                    std::vector<std::uint64_t> prep_ends(
+                        slices.size());
+                    for (std::size_t j = 0; j < slices.size(); ++j) {
+                        wal::Record prep;
+                        prep.type = wal::RecordType::kTxnPrepare;
+                        prep.txid = wal_txid;
+                        prep.lsn = session.walLsns_[j];
+                        const auto range = session.walOpRanges_[j];
+                        prep.ops.assign(
+                            session.walOps_.begin() + range.first,
+                            session.walOps_.begin() + range.second);
+                        prep_ends[j] =
+                            wals_[slices[j].shard]->append(prep);
+                    }
+                    for (std::size_t j = 0; j < slices.size(); ++j)
+                        wals_[slices[j].shard]->barrier(prep_ends[j]);
+                }
                 const std::uint64_t commit_seq =
                     commitSeq_.fetch_add(1, std::memory_order_acq_rel) +
                     1;
                 recorder_.record(obs::TraceKind::kTwoPhaseReserve, -1,
                                  commit_seq, slices.size());
+                if (durable()) {
+                    wal::Record outcome;
+                    outcome.type = wal::RecordType::kTxnOutcome;
+                    outcome.txid = wal_txid;
+                    outcome.commitSeq = commit_seq;
+                    outcome.committed = true;
+                    session.walLsns_.clear(); // reuse as end offsets
+                    for (const auto &slice : slices)
+                        session.walLsns_.push_back(
+                            wals_[slice.shard]->append(outcome));
+                    for (std::size_t j = 0; j < slices.size(); ++j)
+                        wals_[slices[j].shard]->barrier(
+                            session.walLsns_[j]);
+                }
                 ctx.record.commitSeq.store(
                     CommitRecord::packSeq(commit_seq,
                                           CommitRecord::epochOf(armed)),
@@ -1240,6 +1486,22 @@ KvStore::multiOpTwoPhaseWrite(Session &session)
         const bool committed =
             CommitRecord::stateOf(ctx.record.status.load(
                 std::memory_order_acquire)) == CommitRecord::kCommitted;
+        if (durable() && !committed && wal_txid != 0) {
+            // The prepares (and possibly some commit outcomes) are in
+            // the logs but the live store aborted: log an abort
+            // outcome everywhere — aborts win during recovery — so a
+            // later crash cannot resurrect this transaction.
+            // Best-effort: this path already handles bad_alloc.
+            try {
+                wal::Record outcome;
+                outcome.type = wal::RecordType::kTxnOutcome;
+                outcome.txid = wal_txid;
+                outcome.committed = false;
+                for (const auto &slice : slices)
+                    wals_[slice.shard]->appendAndBarrier(outcome);
+            } catch (...) {
+            }
+        }
         releaseStagedBlobs(session, committed);
         session.reclaim_.clear();
         {
@@ -1425,12 +1687,27 @@ KvStore::applyBatch(Session &session, Batch &batch)
         bool space_ok = true;
         std::size_t consumed = 0;
         std::int64_t tomb_delta = 0;
+        std::uint64_t wal_end = 0;
         const auto run_ops = [&](const TaggedOp *begin,
                                  const TaggedOp *end) {
+            std::uint64_t lsn = 0;
             runOnShard(session, slice.shard, [&](polytm::Tx &tx) {
                 applyOpsInTx(shard, tx, begin, end, space_ok, consumed,
-                             tomb_delta, reclaim);
+                             tomb_delta, reclaim,
+                             durable() ? &session.walOps_ : nullptr);
+                if (durable())
+                    lsn = shard.walTicketTx(tx);
             });
+            // Group commit: append now, ride ONE barrier per touched
+            // shard at the end of its slice (the batch is the window).
+            if (durable() && !session.walOps_.empty()) {
+                wal::Record rec;
+                rec.type = wal::RecordType::kBatch;
+                rec.lsn = lsn;
+                rec.ops = std::move(session.walOps_);
+                wal_end = wals_[slice.shard]->append(rec);
+                session.walOps_.clear();
+            }
             // This slice committed; batch-retire its displacements.
             retireDisplaced(session, slice.shard, reclaim);
             if (consumed > 0)
@@ -1462,6 +1739,8 @@ KvStore::applyBatch(Session &session, Batch &batch)
                     session.retryOps_.data() +
                         session.retryOps_.size());
         }
+        if (wal_end != 0)
+            wals_[slice.shard]->barrier(wal_end);
         // The batching loop doubles as the maintenance driver.
         shard.maintainTick(session.tokens_[slice.shard]);
     }
@@ -1478,6 +1757,107 @@ KvStore::applyBatch(Session &session, Batch &batch)
         }
     }
     return ok;
+}
+
+void
+KvStore::logSingleOp(std::size_t s, std::uint64_t lsn, wal::WalOp op)
+{
+    wal::Record rec;
+    rec.type = wal::RecordType::kBatch;
+    rec.lsn = lsn;
+    rec.ops.push_back(std::move(op));
+    wals_[s]->appendAndBarrier(rec);
+}
+
+void
+KvStore::flushWal()
+{
+    for (auto &shard_wal : wals_)
+        shard_wal->flushAll(options_.durability ==
+                            Durability::kFsyncGroup);
+}
+
+void
+KvStore::checkpoint(Session &session)
+{
+    if (!durable())
+        return;
+    // Concurrent checkpoints serialize; writers never wait on this
+    // lock (the chunk walk shares the table only through the TM).
+    std::lock_guard<std::mutex> lk(walCkptMutex_);
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+        checkpointShard(session, s);
+}
+
+void
+KvStore::checkpointShard(Session &session, std::size_t s)
+{
+    Shard &shard = *shards_[s];
+    const std::uint64_t gen = ++walGen_[s];
+
+    // Rotate FIRST, then capture the barrier: every record in the old
+    // segments then provably has lsn <= B (its ticket was drawn before
+    // B's), so deleting them after the image lands loses nothing.
+    // Writers racing the walk land with lsn > B — in the new segment
+    // or double-captured by the image — and replay over it
+    // idempotently (post-images).
+    wals_[s]->rotate(options_.walDir + "/" +
+                     wal::segmentFileName(static_cast<int>(s), gen));
+    std::uint64_t barrier = 0;
+    shard.poly().run(session.tokens_[s], [&](polytm::Tx &tx) {
+        barrier = shard.walTicketTx(tx);
+    });
+    recorder_.record(obs::TraceKind::kCkptBegin,
+                     static_cast<std::int32_t>(s), commitSequence(),
+                     barrier, gen);
+
+    // Bounded transactional chunks; a table epoch change (grow /
+    // compact) or an in-flight migration restarts the walk — the walk
+    // needs one migration-free epoch, because migration relocates
+    // keys across regions it already visited.
+    std::vector<Shard::CheckpointEntry> entries;
+    std::uint64_t chunks = 0;
+    shard.drainMigration(session.tokens_[s]);
+    Shard::CheckpointCursor cursor;
+    for (;;) {
+        const Shard::CkptStep step = shard.checkpointChunk(
+            session.tokens_[s], &cursor, &entries,
+            options_.checkpointChunkSlots);
+        ++chunks;
+        walCkptChunks_.add(1, s);
+        if (step == Shard::CkptStep::kDone)
+            break;
+        if (step == Shard::CkptStep::kRestart) {
+            entries.clear();
+            cursor = Shard::CheckpointCursor{};
+            shard.drainMigration(session.tokens_[s]);
+        }
+    }
+
+    wal::CheckpointImage image;
+    image.barrierLsn = barrier;
+    image.entries.reserve(entries.size());
+    for (Shard::CheckpointEntry &entry : entries) {
+        wal::WalOp op;
+        op.key = entry.key;
+        op.expiry = entry.expiry;
+        if (entry.isBytes) {
+            op.kind = wal::WalOp::Kind::kPutBytes;
+            op.bytes = std::move(entry.bytes);
+        } else {
+            op.kind = wal::WalOp::Kind::kPut;
+            op.value = entry.value;
+        }
+        image.entries.push_back(std::move(op));
+    }
+    wal::writeCheckpoint(
+        options_.walDir + "/" +
+            wal::checkpointFileName(static_cast<int>(s), gen),
+        image);
+    wal::deleteObsolete(options_.walDir, static_cast<int>(s), gen);
+    recorder_.record(obs::TraceKind::kCkptEnd,
+                     static_cast<std::int32_t>(s), commitSequence(),
+                     image.entries.size(), chunks);
 }
 
 KvStore::SnapshotReadStats

@@ -95,6 +95,7 @@
 #include "common/cacheline.hpp"
 #include "kvstore/commit_record.hpp"
 #include "kvstore/shard.hpp"
+#include "kvstore/wal.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metric_registry.hpp"
 
@@ -137,6 +138,22 @@ struct KvStoreOptions
      * Off is the baseline leg of the bench's instrumentation A/B.
      */
     bool telemetry = true;
+    /**
+     * Durability level (see wal.hpp). Anything but kOff requires
+     * walDir and CommitMode::kTwoPhase (the latch protocol logs no
+     * 2PC outcome records, so a crash could tear a cross-shard
+     * composite). Construction replays whatever the directory holds
+     * (crash recovery) before serving.
+     */
+    Durability durability = Durability::kOff;
+    /** WAL directory (created if missing). */
+    std::string walDir;
+    /** Append-buffer spill threshold per shard log — the group-commit
+     *  batch window in bytes. */
+    std::size_t walFlushBytes = 1 << 16;
+    /** Slots per checkpoint-walker transaction (bounded chunks, same
+     *  pattern as the migration walker). */
+    unsigned checkpointChunkSlots = 256;
 };
 
 /** One operation of a multi-key transaction or a batch. */
@@ -208,6 +225,9 @@ class KvStore
                 retryOps_ = std::move(other.retryOps_);
                 arenaCaches_.swap(other.arenaCaches_);
                 retireBacklog_.swap(other.retireBacklog_);
+                walOps_ = std::move(other.walOps_);
+                walOpRanges_ = std::move(other.walOpRanges_);
+                walLsns_ = std::move(other.walLsns_);
             }
             return *this;
         }
@@ -298,6 +318,13 @@ class KvStore
          *  batches (retire stays contention-free per op). */
         std::vector<std::pair<std::uint32_t, std::uint64_t>>
             retireBacklog_;
+        /** WAL capture scratch (durable stores only): post-image ops
+         *  recorded inside the current transaction bodies, their
+         *  per-slice [begin, end) ranges, and each slice's LSN. */
+        std::vector<wal::WalOp> walOps_;
+        std::vector<std::pair<std::uint32_t, std::uint32_t>>
+            walOpRanges_;
+        std::vector<std::uint64_t> walLsns_;
     };
 
     Session openSession();
@@ -489,6 +516,36 @@ class KvStore
     /** Unpark every shard's disabled workers (shutdown path). */
     void resumeAllForShutdown();
 
+    /** True when the store runs with a WAL (durability != kOff). */
+    bool durable() const { return !wals_.empty(); }
+
+    /**
+     * Checkpoint every shard: rotate its log segment, capture a
+     * barrier LSN, walk the table in bounded transactional chunks
+     * (writers never stall — racing writes land after the barrier and
+     * replay over the image), write the image atomically, and delete
+     * the log generations it supersedes. Safe to call on a live
+     * store; concurrent checkpoint() calls serialize.
+     */
+    void checkpoint(Session &session);
+
+    /** Flush (and, under kFsyncGroup, fsync) every shard's append
+     *  buffer — the graceful-shutdown final barrier. No-op when not
+     *  durable. */
+    void flushWal();
+
+    /** What construction-time recovery replayed (zeroes for a fresh
+     *  directory or a non-durable store). */
+    struct RecoveryInfo
+    {
+        std::uint64_t checkpointEntries = 0;
+        std::uint64_t replayedRecords = 0;
+        std::uint64_t replayedOps = 0;
+        std::uint64_t inDoubtAborted = 0;
+        std::uint64_t tornBytes = 0;
+    };
+    const RecoveryInfo &recoveryInfo() const { return recoveryInfo_; }
+
   private:
     /**
      * Run `body` as one transaction on shard `s`. kTwoPhase: plain
@@ -611,6 +668,11 @@ class KvStore
     obs::Counter &twoPhaseCommits_;
     obs::Counter &twoPhaseAborts_;
     obs::Counter &retunes_;
+    obs::Counter &walAppends_;
+    obs::Counter &walFsyncs_;
+    obs::Counter &walBytes_;
+    obs::Counter &walCkptChunks_;
+    obs::Histogram &walFsyncNanos_;
     std::vector<std::unique_ptr<Shard>> shards_;
     /** kLatch-mode ordering only; the 2PC paths never touch these. */
     std::vector<std::unique_ptr<std::shared_mutex>> latches_;
@@ -626,6 +688,27 @@ class KvStore
      * end, so commits to unrelated shards never force a retry.
      */
     std::unique_ptr<PaddedAtomicU64[]> shardSeqs_;
+    /**
+     * Durability plane (empty when durability == kOff). wals_[s] is
+     * shard s's log; walGen_[s] the generation its active segment and
+     * next checkpoint carry. walTxnId_ names cross-shard 2PC
+     * transactions in prepare/outcome records (monotonic, seeded past
+     * recovery's max).
+     */
+    std::vector<std::unique_ptr<wal::ShardWal>> wals_;
+    std::vector<std::uint64_t> walGen_;
+    std::atomic<std::uint64_t> walTxnId_{0};
+    /** Serializes checkpoint() callers (rotation + gen bookkeeping). */
+    std::mutex walCkptMutex_;
+    RecoveryInfo recoveryInfo_;
+
+    /** One shard's checkpoint (see checkpoint()). */
+    void checkpointShard(Session &session, std::size_t s);
+
+    /** Log one single-key mutation as a kBatch record and ride the
+     *  group-commit barrier (ack-after-durable). */
+    void logSingleOp(std::size_t s, std::uint64_t lsn, wal::WalOp op);
+
     /** Park a clean commit context for reuse (see ctxPool_). */
     void retireContext(std::unique_ptr<CommitContext> ctx) noexcept;
 

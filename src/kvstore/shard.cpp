@@ -594,7 +594,8 @@ Shard::delTx(polytm::Tx &tx, std::uint64_t key, SlotImage *pre,
 
 bool
 Shard::addTx(polytm::Tx &tx, std::uint64_t key, std::int64_t delta,
-             SlotImage *pre, std::vector<std::uint64_t> *reclaim)
+             SlotImage *pre, std::vector<std::uint64_t> *reclaim,
+             SlotImage *post)
 {
     // One lookup for the read-modify-write (the transfer hot path),
     // not a getTx+putTx pair walking the chain twice.
@@ -627,6 +628,9 @@ Shard::addTx(polytm::Tx &tx, std::uint64_t key, std::int64_t delta,
         tx.writeWord(&ref.table->values[ref.slot],
                      current + unsigned_delta);
         tx.writeWord(&ref.table->expiry[ref.slot], image.expiry);
+        if (post)
+            *post = SlotImage{kFull, current + unsigned_delta,
+                              image.expiry};
         return true;
     }
     if (found) {
@@ -636,12 +640,16 @@ Shard::addTx(polytm::Tx &tx, std::uint64_t key, std::int64_t delta,
         tx.writeWord(&ref.table->state[ref.slot], kFull);
         tx.writeWord(&ref.table->values[ref.slot], unsigned_delta);
         tx.writeWord(&ref.table->expiry[ref.slot], 0);
+        if (post)
+            *post = SlotImage{kFull, unsigned_delta, 0};
         return true;
     }
     tx.writeWord(&ref.table->state[ref.slot], kFull);
     tx.writeWord(&ref.table->keys[ref.slot], key);
     tx.writeWord(&ref.table->values[ref.slot], unsigned_delta);
     tx.writeWord(&ref.table->expiry[ref.slot], 0);
+    if (post)
+        *post = SlotImage{kFull, unsigned_delta, 0};
     return true;
 }
 
@@ -795,7 +803,8 @@ bool
 Shard::prepareAddTx(polytm::Tx &tx, CommitRecord *record,
                     IntentArena &arena, std::vector<WriteIntent *> &out,
                     std::uint64_t key, std::int64_t delta, bool *applied,
-                    std::vector<std::uint64_t> *reclaim)
+                    std::vector<std::uint64_t> *reclaim,
+                    SlotImage *post)
 {
     const auto unsigned_delta = static_cast<std::uint64_t>(delta);
     bool found = false;
@@ -831,6 +840,10 @@ Shard::prepareAddTx(polytm::Tx &tx, CommitRecord *record,
                                 std::memory_order_relaxed);
             own->newExpiry.store(0, std::memory_order_relaxed);
         }
+        if (post)
+            *post = SlotImage{
+                kFull, own->newValue.load(std::memory_order_relaxed),
+                own->newExpiry.load(std::memory_order_relaxed)};
         *applied = true;
         return true;
     }
@@ -851,6 +864,9 @@ Shard::prepareAddTx(polytm::Tx &tx, CommitRecord *record,
         installIntent(tx, record, arena, out, *ref.table, ref.slot,
                       kFull, current + unsigned_delta,
                       live_value ? image.expiry : 0);
+        if (post)
+            *post = SlotImage{kFull, current + unsigned_delta,
+                              live_value ? image.expiry : 0};
         *applied = true;
         return true;
     }
@@ -865,6 +881,8 @@ Shard::prepareAddTx(polytm::Tx &tx, CommitRecord *record,
     installIntent(tx, record, arena, out, *ref.table, ref.slot, kFull,
                   unsigned_delta, 0)
         ->claimedTombstone = reused_tombstone;
+    if (post)
+        *post = SlotImage{kFull, unsigned_delta, 0};
     *applied = true;
     return true;
 }
@@ -1577,6 +1595,73 @@ Shard::sizeQuiesced() const
         return n;
     };
     return count(ep->live) + count(ep->old);
+}
+
+Shard::CkptStep
+Shard::checkpointChunk(polytm::ThreadToken &token,
+                       CheckpointCursor *cursor,
+                       std::vector<CheckpointEntry> *out,
+                       unsigned chunk_slots)
+{
+    CkptStep step = CkptStep::kMore;
+    const std::size_t out_mark = out->size();
+    poly_.run(token, [&](polytm::Tx &tx) {
+        // A TM retry re-runs this body: drop the half-captured chunk.
+        out->resize(out_mark);
+        step = CkptStep::kMore;
+        TableEpoch *ep = epochTx(tx);
+        // The walk is only sound on a migration-free epoch: a
+        // migration relocates keys across regions the cursor already
+        // passed, silently dropping them from the image. The caller
+        // drains the migration and restarts.
+        if (ep->old != nullptr) {
+            cursor->epoch = nullptr;
+            step = CkptStep::kRestart;
+            return;
+        }
+        if (cursor->epoch == nullptr) {
+            cursor->epoch = ep;
+            cursor->slot = 0;
+        } else if (cursor->epoch != ep) {
+            // Grow/compact published a new table mid-walk; entries
+            // captured so far may miss relocated keys.
+            cursor->epoch = nullptr;
+            step = CkptStep::kRestart;
+            return;
+        }
+        ShardTable &table = *ep->live;
+        // Pin: blob copy-outs below run without seqlock re-checks.
+        EpochPin pin(readerEpochs_, *token.epochSlot);
+        const ReadView view{ReadView::Mode::kSettle, 0};
+        const std::size_t end =
+            std::min(table.slots, cursor->slot + chunk_slots);
+        for (std::size_t slot = cursor->slot; slot < end; ++slot) {
+            const std::uint64_t state =
+                tx.readWord(&table.state[slot]);
+            if (state != kFull && state != kFullRef &&
+                state != kPendingInsert)
+                continue;
+            LiveValue live;
+            if (!resolveSlotLiveTx(tx, table, slot, &live, view))
+                continue; // logically absent (expired / aborted)
+            CheckpointEntry entry;
+            entry.key = tx.readWord(&table.keys[slot]);
+            entry.expiry = live.expiry;
+            if (live.state == kFull) {
+                entry.value = live.value;
+            } else {
+                entry.isBytes = true;
+                if (!bytesValueTx(tx, table, slot, live, &entry.bytes,
+                                  view, /*pinned=*/true))
+                    continue;
+            }
+            out->push_back(std::move(entry));
+        }
+        cursor->slot = end;
+        if (cursor->slot >= table.slots)
+            step = CkptStep::kDone;
+    });
+    return step;
 }
 
 } // namespace proteus::kvstore

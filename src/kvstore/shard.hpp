@@ -367,7 +367,8 @@ class Shard
      */
     bool addTx(polytm::Tx &tx, std::uint64_t key, std::int64_t delta,
                SlotImage *pre = nullptr,
-               std::vector<std::uint64_t> *reclaim = nullptr);
+               std::vector<std::uint64_t> *reclaim = nullptr,
+               SlotImage *post = nullptr);
     /**
      * Compensation-log replay: force the slot for `key` back to the
      * given pre-image (kEmpty state deletes). Runs inside the same
@@ -425,7 +426,8 @@ class Shard
                       IntentArena &arena,
                       std::vector<WriteIntent *> &out, std::uint64_t key,
                       std::int64_t delta, bool *applied,
-                      std::vector<std::uint64_t> *reclaim = nullptr);
+                      std::vector<std::uint64_t> *reclaim = nullptr,
+                      SlotImage *post = nullptr);
     /** Read that sees this commit's own intents (read-your-writes). */
     bool prepareGetTx(polytm::Tx &tx, CommitRecord *record,
                       std::uint64_t key, std::uint64_t *value);
@@ -544,6 +546,69 @@ class Shard
 
     /** Live entries; quiesced-only (raw, non-transactional reads). */
     std::size_t sizeQuiesced() const;
+
+    /**
+     * WAL sequencing: draw the next log sequence number inside a
+     * writing transaction. The ticket is a TM-visible word every
+     * durable writer read-modify-writes, so the TM totally orders all
+     * writing transactions on this shard and ticket order equals
+     * serialization order — recovery replays records sorted by this
+     * LSN. An aborted attempt leaves a gap, which replay tolerates.
+     */
+    std::uint64_t
+    walTicketTx(polytm::Tx &tx)
+    {
+        const std::uint64_t next = tx.readWord(&walTicketWord_) + 1;
+        tx.writeWord(&walTicketWord_, next);
+        return next;
+    }
+
+    /** Quiesced-only: seed the ticket after recovery replay. */
+    void setWalTicketQuiesced(std::uint64_t v) { walTicketWord_ = v; }
+    std::uint64_t walTicketQuiesced() const { return walTicketWord_; }
+
+    /** One checkpoint-walk step's outcome. */
+    enum class CkptStep
+    {
+        kMore,    ///< chunk captured, keep walking
+        kDone,    ///< table fully walked
+        kRestart, ///< epoch changed / migration active — start over
+    };
+
+    struct CheckpointCursor
+    {
+        const void *epoch = nullptr; ///< table epoch the walk pinned
+        std::size_t slot = 0;
+    };
+
+    /** One live entry as captured for a checkpoint image. */
+    struct CheckpointEntry
+    {
+        std::uint64_t key = 0;
+        bool isBytes = false;
+        std::uint64_t value = 0;  ///< numeric payload (kFull slots)
+        std::uint64_t expiry = 0; ///< absolute deadline ns, 0 = none
+        std::string bytes;        ///< blob payload (kFullRef slots)
+    };
+
+    /**
+     * Fuzzy-checkpoint walker: capture up to `chunk_slots` slots'
+     * live entries into `out` (appended), one bounded transaction per
+     * call — the same incremental pattern as the migration walker, so
+     * writers are never stalled. Reads are kSettle (pending 2PC
+     * intents are waited to their verdict). The walk only runs on a
+     * migration-free epoch: kRestart means the caller must
+     * drainMigration() and start over with a fresh cursor (entries
+     * captured so far are stale — a migration may have relocated keys
+     * across already-walked regions). Writers racing the walk are
+     * fine: their records carry LSNs after the checkpoint barrier and
+     * are re-applied over the image on replay (post-images make that
+     * idempotent).
+     */
+    CkptStep checkpointChunk(polytm::ThreadToken &token,
+                             CheckpointCursor *cursor,
+                             std::vector<CheckpointEntry> *out,
+                             unsigned chunk_slots);
 
   private:
     struct SlotRef
@@ -711,6 +776,10 @@ class Shard
     /** TM-visible: holds the current TableEpoch*. Every transaction
      *  reads it, so epoch changes conflict with all straddlers. */
     alignas(8) std::uint64_t epochWord_ = 0;
+
+    /** TM-visible WAL ticket (see walTicketTx). Only touched when the
+     *  owning KvStore runs durable, so non-durable stores pay nothing. */
+    alignas(8) std::uint64_t walTicketWord_ = 0;
 
     /** Non-transactional mirror for heuristics and quiesced readers;
      *  correctness always goes through epochWord_. */

@@ -1,0 +1,764 @@
+#include "kvstore/wal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <stdexcept>
+
+namespace proteus::kvstore::wal {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/** Frames larger than this are treated as corruption, not data. */
+constexpr std::uint32_t kMaxFrameLen = 1u << 28;
+constexpr std::uint32_t kMetaMagic = 0x50574d31; // "PWM1"
+constexpr std::uint64_t kCkptVersion = 1;
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    // CRC32C (Castagnoli) reflected polynomial.
+    constexpr std::uint32_t kPoly = 0x82f63b78u;
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = i;
+        for (int k = 0; k < 8; ++k)
+            crc = (crc >> 1) ^ (kPoly & (0u - (crc & 1u)));
+        table[i] = crc;
+    }
+    return table;
+}
+
+void
+putU8(std::string *out, std::uint8_t v)
+{
+    out->push_back(static_cast<char>(v));
+}
+
+void
+putU32(std::string *out, std::uint32_t v)
+{
+    char b[4];
+    std::memcpy(b, &v, 4);
+    out->append(b, 4);
+}
+
+void
+putU64(std::string *out, std::uint64_t v)
+{
+    char b[8];
+    std::memcpy(b, &v, 8);
+    out->append(b, 8);
+}
+
+/** Bounds-checked little cursor over a decoded payload. */
+struct Cursor {
+    const char *p;
+    std::size_t left;
+
+    bool
+    u8(std::uint8_t *v)
+    {
+        if (left < 1)
+            return false;
+        *v = static_cast<std::uint8_t>(*p);
+        ++p;
+        --left;
+        return true;
+    }
+    bool
+    u32(std::uint32_t *v)
+    {
+        if (left < 4)
+            return false;
+        std::memcpy(v, p, 4);
+        p += 4;
+        left -= 4;
+        return true;
+    }
+    bool
+    u64(std::uint64_t *v)
+    {
+        if (left < 8)
+            return false;
+        std::memcpy(v, p, 8);
+        p += 8;
+        left -= 8;
+        return true;
+    }
+    bool
+    blob(std::string *v, std::size_t n)
+    {
+        if (left < n)
+            return false;
+        v->assign(p, n);
+        p += n;
+        left -= n;
+        return true;
+    }
+};
+
+void
+encodeOp(const WalOp &op, std::string *out)
+{
+    putU8(out, static_cast<std::uint8_t>(op.kind));
+    putU64(out, op.key);
+    switch (op.kind) {
+        case WalOp::Kind::kPut:
+            putU64(out, op.value);
+            putU64(out, op.expiry);
+            break;
+        case WalOp::Kind::kPutBytes:
+            putU64(out, op.expiry);
+            putU32(out, static_cast<std::uint32_t>(op.bytes.size()));
+            out->append(op.bytes);
+            break;
+        case WalOp::Kind::kDel:
+            break;
+    }
+}
+
+bool
+decodeOp(Cursor *c, WalOp *op)
+{
+    std::uint8_t kind = 0;
+    if (!c->u8(&kind) || kind > 2 || !c->u64(&op->key))
+        return false;
+    op->kind = static_cast<WalOp::Kind>(kind);
+    switch (op->kind) {
+        case WalOp::Kind::kPut:
+            return c->u64(&op->value) && c->u64(&op->expiry);
+        case WalOp::Kind::kPutBytes: {
+            std::uint32_t n = 0;
+            return c->u64(&op->expiry) && c->u32(&n) &&
+                   n <= kMaxFrameLen && c->blob(&op->bytes, n);
+        }
+        case WalOp::Kind::kDel:
+            return true;
+    }
+    return false;
+}
+
+void
+encodeOps(const std::vector<WalOp> &ops, std::string *out)
+{
+    putU32(out, static_cast<std::uint32_t>(ops.size()));
+    for (const WalOp &op : ops)
+        encodeOp(op, out);
+}
+
+bool
+decodeOps(Cursor *c, std::vector<WalOp> *ops)
+{
+    std::uint32_t n = 0;
+    if (!c->u32(&n) || n > kMaxFrameLen)
+        return false;
+    ops->clear();
+    ops->reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        WalOp op;
+        if (!decodeOp(c, &op))
+            return false;
+        ops->push_back(std::move(op));
+    }
+    return true;
+}
+
+[[noreturn]] void
+dieIo(const char *what, const std::string &path)
+{
+    std::fprintf(stderr,
+                 "proteus wal: FATAL %s failed on %s (errno %d); a "
+                 "commit outcome may already be durable elsewhere — "
+                 "refusing to continue with a diverged log\n",
+                 what, path.c_str(), errno);
+    std::terminate();
+}
+
+int
+openAppend(const std::string &path)
+{
+    const int fd =
+        ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+    if (fd < 0)
+        throw std::runtime_error("wal: cannot open " + path);
+    return fd;
+}
+
+bool
+readWholeFile(const std::string &path, std::string *out)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return false;
+    out->clear();
+    char buf[1 << 16];
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof buf);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            return false;
+        }
+        if (n == 0)
+            break;
+        out->append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return true;
+}
+
+void
+fsyncDir(const std::string &dir)
+{
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+}
+
+} // namespace
+
+std::uint32_t
+crc32c(const void *data, std::size_t len)
+{
+    static const std::array<std::uint32_t, 256> kTable =
+        makeCrcTable();
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint32_t crc = ~0u;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = (crc >> 8) ^ kTable[(crc ^ p[i]) & 0xffu];
+    return ~crc;
+}
+
+void
+encodeRecord(const Record &rec, std::string *out)
+{
+    std::string payload;
+    putU8(&payload, static_cast<std::uint8_t>(rec.type));
+    switch (rec.type) {
+        case RecordType::kBatch:
+            putU64(&payload, rec.lsn);
+            encodeOps(rec.ops, &payload);
+            break;
+        case RecordType::kTxnPrepare:
+            putU64(&payload, rec.txid);
+            putU64(&payload, rec.lsn);
+            encodeOps(rec.ops, &payload);
+            break;
+        case RecordType::kTxnOutcome:
+            putU64(&payload, rec.txid);
+            putU64(&payload, rec.commitSeq);
+            putU8(&payload, rec.committed ? 1 : 0);
+            break;
+        case RecordType::kCkptHeader:
+            putU64(&payload, rec.barrierLsn);
+            putU64(&payload, kCkptVersion);
+            break;
+        case RecordType::kCkptFooter:
+            putU64(&payload, rec.entryCount);
+            break;
+    }
+    putU32(out, crc32c(payload.data(), payload.size()));
+    putU32(out, static_cast<std::uint32_t>(payload.size()));
+    out->append(payload);
+}
+
+std::size_t
+decodeRecord(const char *data, std::size_t len, Record *out)
+{
+    if (len < 8)
+        return 0;
+    std::uint32_t crc = 0;
+    std::uint32_t plen = 0;
+    std::memcpy(&crc, data, 4);
+    std::memcpy(&plen, data + 4, 4);
+    if (plen == 0 || plen > kMaxFrameLen || len < 8 + plen)
+        return 0;
+    const char *payload = data + 8;
+    if (crc32c(payload, plen) != crc)
+        return 0;
+
+    Cursor c{payload, plen};
+    std::uint8_t type = 0;
+    if (!c.u8(&type) || type < 1 || type > 5)
+        return 0;
+    out->type = static_cast<RecordType>(type);
+    out->ops.clear();
+    bool ok = false;
+    switch (out->type) {
+        case RecordType::kBatch:
+            ok = c.u64(&out->lsn) && decodeOps(&c, &out->ops);
+            break;
+        case RecordType::kTxnPrepare:
+            ok = c.u64(&out->txid) && c.u64(&out->lsn) &&
+                 decodeOps(&c, &out->ops);
+            break;
+        case RecordType::kTxnOutcome: {
+            std::uint8_t committed = 0;
+            ok = c.u64(&out->txid) && c.u64(&out->commitSeq) &&
+                 c.u8(&committed);
+            out->committed = committed != 0;
+            break;
+        }
+        case RecordType::kCkptHeader: {
+            std::uint64_t version = 0;
+            ok = c.u64(&out->barrierLsn) && c.u64(&version) &&
+                 version == kCkptVersion;
+            break;
+        }
+        case RecordType::kCkptFooter:
+            ok = c.u64(&out->entryCount);
+            break;
+    }
+    if (!ok || c.left != 0)
+        return 0;
+    return 8 + plen;
+}
+
+std::string
+segmentFileName(int shard, std::uint64_t gen)
+{
+    return "wal-" + std::to_string(shard) + "-" +
+           std::to_string(gen) + ".log";
+}
+
+std::string
+checkpointFileName(int shard, std::uint64_t gen)
+{
+    return "ckpt-" + std::to_string(shard) + "-" +
+           std::to_string(gen) + ".dat";
+}
+
+void
+writeMeta(const std::string &dir, int numShards)
+{
+    std::string body;
+    putU32(&body, kMetaMagic);
+    putU32(&body, static_cast<std::uint32_t>(numShards));
+    putU32(&body, crc32c(body.data(), body.size()));
+
+    const std::string tmp = dir + "/meta.tmp";
+    const int fd =
+        ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (fd < 0)
+        throw std::runtime_error("wal: cannot write " + tmp);
+    if (::write(fd, body.data(), body.size()) !=
+        static_cast<ssize_t>(body.size())) {
+        ::close(fd);
+        throw std::runtime_error("wal: short write on " + tmp);
+    }
+    ::fsync(fd);
+    ::close(fd);
+    if (::rename(tmp.c_str(), (dir + "/meta").c_str()) != 0)
+        throw std::runtime_error("wal: cannot install " + dir +
+                                 "/meta");
+    fsyncDir(dir);
+}
+
+bool
+readMeta(const std::string &dir, int *numShards)
+{
+    std::string body;
+    if (!readWholeFile(dir + "/meta", &body) || body.size() != 12)
+        return false;
+    std::uint32_t magic = 0;
+    std::uint32_t shards = 0;
+    std::uint32_t crc = 0;
+    std::memcpy(&magic, body.data(), 4);
+    std::memcpy(&shards, body.data() + 4, 4);
+    std::memcpy(&crc, body.data() + 8, 4);
+    if (magic != kMetaMagic || crc32c(body.data(), 8) != crc)
+        return false;
+    *numShards = static_cast<int>(shards);
+    return true;
+}
+
+namespace {
+
+/** Parses "wal-<s>-<gen>.log" / "ckpt-<s>-<gen>.dat"; returns true
+ *  and fills gen (and whether it is a checkpoint) when the name
+ *  belongs to `shard`. */
+bool
+parseShardFile(const std::string &name, int shard, std::uint64_t *gen,
+               bool *isCkpt = nullptr)
+{
+    const std::string walPrefix =
+        "wal-" + std::to_string(shard) + "-";
+    const std::string ckptPrefix =
+        "ckpt-" + std::to_string(shard) + "-";
+    std::string digits;
+    if (name.rfind(walPrefix, 0) == 0 && name.size() > 4 &&
+        name.compare(name.size() - 4, 4, ".log") == 0) {
+        digits = name.substr(walPrefix.size(),
+                             name.size() - walPrefix.size() - 4);
+        if (isCkpt)
+            *isCkpt = false;
+    } else if (name.rfind(ckptPrefix, 0) == 0 && name.size() > 4 &&
+               name.compare(name.size() - 4, 4, ".dat") == 0) {
+        digits = name.substr(ckptPrefix.size(),
+                             name.size() - ckptPrefix.size() - 4);
+        if (isCkpt)
+            *isCkpt = true;
+    } else
+        return false;
+    if (digits.empty())
+        return false;
+    std::uint64_t g = 0;
+    for (const char ch : digits) {
+        if (ch < '0' || ch > '9')
+            return false;
+        g = g * 10 + static_cast<std::uint64_t>(ch - '0');
+    }
+    *gen = g;
+    return true;
+}
+
+} // namespace
+
+namespace {
+
+std::vector<std::uint64_t>
+listByKind(const std::string &dir, int shard, bool wantCkpt)
+{
+    std::vector<std::uint64_t> gens;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        std::uint64_t gen = 0;
+        bool isCkpt = false;
+        if (parseShardFile(entry.path().filename().string(), shard,
+                           &gen, &isCkpt) &&
+            isCkpt == wantCkpt)
+            gens.push_back(gen);
+    }
+    std::sort(gens.begin(), gens.end());
+    return gens;
+}
+
+} // namespace
+
+std::vector<std::uint64_t>
+listSegments(const std::string &dir, int shard)
+{
+    return listByKind(dir, shard, false);
+}
+
+std::vector<std::uint64_t>
+listCheckpoints(const std::string &dir, int shard)
+{
+    return listByKind(dir, shard, true);
+}
+
+bool
+readFile(const std::string &path, std::string *out)
+{
+    return readWholeFile(path, out);
+}
+
+std::uint64_t
+maxGeneration(const std::string &dir, int shard)
+{
+    std::uint64_t max_gen = 0;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        std::uint64_t gen = 0;
+        if (parseShardFile(entry.path().filename().string(), shard,
+                           &gen) &&
+            gen > max_gen)
+            max_gen = gen;
+    }
+    return max_gen;
+}
+
+void
+deleteObsolete(const std::string &dir, int shard,
+               std::uint64_t keepGen)
+{
+    std::error_code ec;
+    std::vector<fs::path> victims;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        std::uint64_t gen = 0;
+        if (parseShardFile(entry.path().filename().string(), shard,
+                           &gen) &&
+            gen < keepGen)
+            victims.push_back(entry.path());
+    }
+    for (const auto &victim : victims)
+        fs::remove(victim, ec);
+}
+
+void
+writeCheckpoint(const std::string &path, const CheckpointImage &image)
+{
+    std::string body;
+    Record header;
+    header.type = RecordType::kCkptHeader;
+    header.barrierLsn = image.barrierLsn;
+    encodeRecord(header, &body);
+
+    // Entries in bounded groups so no single frame balloons.
+    constexpr std::size_t kGroup = 512;
+    for (std::size_t i = 0; i < image.entries.size(); i += kGroup) {
+        Record group;
+        group.type = RecordType::kBatch;
+        const std::size_t end =
+            std::min(image.entries.size(), i + kGroup);
+        group.ops.assign(image.entries.begin() +
+                             static_cast<std::ptrdiff_t>(i),
+                         image.entries.begin() +
+                             static_cast<std::ptrdiff_t>(end));
+        encodeRecord(group, &body);
+    }
+
+    Record footer;
+    footer.type = RecordType::kCkptFooter;
+    footer.entryCount = image.entries.size();
+    encodeRecord(footer, &body);
+
+    const std::string tmp = path + ".tmp";
+    const int fd =
+        ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (fd < 0)
+        throw std::runtime_error("wal: cannot write " + tmp);
+    std::size_t done = 0;
+    while (done < body.size()) {
+        const ssize_t n =
+            ::write(fd, body.data() + done, body.size() - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            throw std::runtime_error("wal: write failed on " + tmp);
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        throw std::runtime_error("wal: fsync failed on " + tmp);
+    }
+    ::close(fd);
+    if (::rename(tmp.c_str(), path.c_str()) != 0)
+        throw std::runtime_error("wal: cannot install " + path);
+    fsyncDir(fs::path(path).parent_path().string());
+}
+
+bool
+readCheckpoint(const std::string &path, CheckpointImage *image)
+{
+    std::string body;
+    if (!readWholeFile(path, &body))
+        return false;
+    image->barrierLsn = 0;
+    image->entries.clear();
+
+    std::size_t off = 0;
+    bool sawHeader = false;
+    bool sawFooter = false;
+    std::uint64_t footerCount = 0;
+    Record rec;
+    while (off < body.size()) {
+        const std::size_t n =
+            decodeRecord(body.data() + off, body.size() - off, &rec);
+        if (n == 0)
+            return false; // checkpoints must be whole, never torn
+        off += n;
+        if (!sawHeader) {
+            if (rec.type != RecordType::kCkptHeader)
+                return false;
+            image->barrierLsn = rec.barrierLsn;
+            sawHeader = true;
+        } else if (rec.type == RecordType::kBatch) {
+            if (sawFooter)
+                return false;
+            for (WalOp &op : rec.ops)
+                image->entries.push_back(std::move(op));
+        } else if (rec.type == RecordType::kCkptFooter) {
+            sawFooter = true;
+            footerCount = rec.entryCount;
+        } else {
+            return false;
+        }
+    }
+    return sawHeader && sawFooter &&
+           footerCount == image->entries.size();
+}
+
+ShardWal::ShardWal(std::string path, Durability mode,
+                   std::size_t flushBytes, const WalObs &obs)
+    : path_(std::move(path)), mode_(mode),
+      flushBytes_(flushBytes == 0 ? 1 : flushBytes), obs_(obs),
+      fd_(openAppend(path_))
+{
+}
+
+ShardWal::~ShardWal()
+{
+    flushAll(mode_ == Durability::kFsyncGroup);
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+std::uint64_t
+ShardWal::append(const Record &rec)
+{
+    std::uint64_t end;
+    std::size_t buffered;
+    std::size_t frame;
+    {
+        std::lock_guard<std::mutex> lk(appendMutex_);
+        const std::size_t before = buf_.size();
+        encodeRecord(rec, &buf_);
+        frame = buf_.size() - before;
+        endOffset_ += frame;
+        end = endOffset_;
+        buffered = buf_.size();
+    }
+    if (obs_.appends != nullptr)
+        obs_.appends->add(1, obs_.shard);
+    if (obs_.bytes != nullptr)
+        obs_.bytes->add(frame, obs_.shard);
+    if (obs_.recorder != nullptr)
+        obs_.recorder->record(obs::TraceKind::kWalAppend, obs_.shard,
+                              0, rec.lsn, frame);
+    // Keep the append buffer bounded: spill (write, no fsync) once it
+    // crosses the flush threshold.
+    if (buffered >= flushBytes_)
+        flushTo(end, false);
+    return end;
+}
+
+void
+ShardWal::barrier(std::uint64_t upTo)
+{
+    flushTo(upTo, mode_ == Durability::kFsyncGroup);
+}
+
+std::uint64_t
+ShardWal::appendAndBarrier(const Record &rec)
+{
+    const std::uint64_t end = append(rec);
+    barrier(end);
+    return end;
+}
+
+void
+ShardWal::flushAll(bool alsoFsync)
+{
+    std::uint64_t end;
+    {
+        std::lock_guard<std::mutex> lk(appendMutex_);
+        end = endOffset_;
+    }
+    flushTo(end, alsoFsync);
+}
+
+void
+ShardWal::rotate(const std::string &newPath)
+{
+    std::unique_lock<std::mutex> lk(flushMutex_);
+    while (flushing_)
+        flushCv_.wait(lk);
+    std::string local;
+    std::uint64_t end;
+    {
+        std::lock_guard<std::mutex> alk(appendMutex_);
+        local.swap(buf_);
+        end = endOffset_;
+    }
+    if (!local.empty())
+        writeAllOrDie(local.data(), local.size());
+    // The old segment is about to be superseded by a checkpoint; make
+    // it complete on disk before switching files.
+    if (::fdatasync(fd_) != 0)
+        dieIo("fdatasync", path_);
+    ::close(fd_);
+    fd_ = openAppend(newPath);
+    path_ = newPath;
+    flushedOffset_ = end;
+    syncedOffset_ = end;
+    flushCv_.notify_all();
+}
+
+void
+ShardWal::flushTo(std::uint64_t upTo, bool wantSync)
+{
+    std::unique_lock<std::mutex> lk(flushMutex_);
+    for (;;) {
+        const bool covered =
+            flushedOffset_ >= upTo &&
+            (!wantSync || syncedOffset_ >= upTo);
+        if (covered)
+            return;
+        if (!flushing_)
+            break;
+        flushCv_.wait(lk);
+    }
+    // Leader: everyone buffered before us rides this flush.
+    flushing_ = true;
+    std::string local;
+    std::uint64_t grabbedEnd;
+    {
+        std::lock_guard<std::mutex> alk(appendMutex_);
+        local.swap(buf_);
+        grabbedEnd = endOffset_;
+    }
+    lk.unlock();
+
+    if (!local.empty())
+        writeAllOrDie(local.data(), local.size());
+    std::uint64_t syncNanos = 0;
+    if (wantSync) {
+        const auto t0 = std::chrono::steady_clock::now();
+        if (::fdatasync(fd_) != 0)
+            dieIo("fdatasync", path_);
+        syncNanos = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        if (obs_.fsyncs != nullptr)
+            obs_.fsyncs->add(1, obs_.shard);
+        if (obs_.fsyncNanos != nullptr)
+            obs_.fsyncNanos->record(syncNanos, obs_.shard);
+        if (obs_.recorder != nullptr)
+            obs_.recorder->record(obs::TraceKind::kWalFsync,
+                                  obs_.shard, 0, grabbedEnd,
+                                  syncNanos);
+    }
+
+    lk.lock();
+    if (grabbedEnd > flushedOffset_)
+        flushedOffset_ = grabbedEnd;
+    if (wantSync && flushedOffset_ > syncedOffset_)
+        syncedOffset_ = flushedOffset_;
+    flushing_ = false;
+    flushCv_.notify_all();
+}
+
+void
+ShardWal::writeAllOrDie(const char *data, std::size_t len)
+{
+    std::size_t done = 0;
+    while (done < len) {
+        const ssize_t n = ::write(fd_, data + done, len - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            dieIo("write", path_);
+        }
+        done += static_cast<std::size_t>(n);
+    }
+}
+
+} // namespace proteus::kvstore::wal

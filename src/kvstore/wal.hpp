@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Per-shard write-ahead log: record framing, group commit, and the
+ * on-disk directory layout shared with recovery.
+ *
+ * Every durable KvStore mutation is logged as a *post-image* (the
+ * value a slot holds after the operation), which makes replay
+ * idempotent — the property the fuzzy checkpoint walker and the
+ * torn-tail truncation rule both lean on. Records are framed as
+ *
+ *     [u32 crc32c(payload)] [u32 len] [payload ...]
+ *
+ * and replay stops at the first frame whose CRC or bounds fail, so a
+ * torn tail after kill-9 degrades to a consistent prefix.
+ *
+ * Record order inside a segment is append order, which is NOT the
+ * per-shard serialization order (a transaction takes its LSN inside
+ * the TM transaction, then appends after commit). Replay therefore
+ * sorts by LSN; the LSN itself is a TM-visible ticket word that every
+ * writing transaction read-modify-writes, so ticket order equals the
+ * shard's serialization order.
+ *
+ * Group commit: appenders buffer under one mutex; `barrier(upTo)`
+ * elects a leader that write()s (and for kFsyncGroup fdatasync()s)
+ * everything buffered so far, so concurrent writers share one fsync.
+ * kBuffered acknowledges after write() — data survives process death
+ * (kill -9) via the page cache but not OS/power failure; kFsyncGroup
+ * acknowledges after fdatasync and survives both.
+ *
+ * Directory layout (one per KvStore):
+ *     meta                 numShards + format version
+ *     wal-<s>-<gen>.log    shard s, segment generation gen
+ *     ckpt-<s>-<gen>.dat   checkpoint image + barrier LSN
+ */
+
+#ifndef PROTEUS_KVSTORE_WAL_HPP
+#define PROTEUS_KVSTORE_WAL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metric_registry.hpp"
+
+namespace proteus::kvstore {
+
+/** Durability level for a KvStore (KvStoreOptions::durability). */
+enum class Durability : std::uint8_t {
+    kOff = 0,      ///< no WAL; the store is a cache
+    kBuffered,     ///< ack after write(): survives kill-9, not OS crash
+    kFsyncGroup,   ///< ack after group fdatasync: survives OS crash
+};
+
+namespace wal {
+
+/** CRC32C (Castagnoli), software table implementation. */
+std::uint32_t crc32c(const void *data, std::size_t len);
+
+/** One logged mutation (always a post-image; replay is idempotent). */
+struct WalOp {
+    enum class Kind : std::uint8_t {
+        kPut = 0,      ///< numeric value
+        kPutBytes = 1, ///< wide value (bytes re-inserted on replay)
+        kDel = 2,      ///< tombstone
+    };
+    Kind kind = Kind::kPut;
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;  ///< kPut only
+    std::uint64_t expiry = 0; ///< absolute deadline ns, 0 = none
+    std::string bytes;        ///< kPutBytes only
+};
+
+enum class RecordType : std::uint8_t {
+    kBatch = 1,      ///< single-shard transaction (applyBatch / put / del)
+    kTxnPrepare = 2, ///< 2PC participant slice (ops held until outcome)
+    kTxnOutcome = 3, ///< 2PC verdict, written to every participant
+    kCkptHeader = 4, ///< checkpoint file: barrier LSN
+    kCkptFooter = 5, ///< checkpoint file: entry count (completeness proof)
+};
+
+struct Record {
+    RecordType type = RecordType::kBatch;
+    std::uint64_t lsn = 0;       ///< kBatch / kTxnPrepare: shard ticket
+    std::uint64_t txid = 0;      ///< kTxnPrepare / kTxnOutcome
+    std::uint64_t commitSeq = 0; ///< kTxnOutcome: reserved store seq
+    bool committed = false;      ///< kTxnOutcome verdict
+    std::uint64_t barrierLsn = 0;///< kCkptHeader
+    std::uint64_t entryCount = 0;///< kCkptFooter
+    std::vector<WalOp> ops;      ///< kBatch / kTxnPrepare / ckpt chunks
+};
+
+/** Append one CRC-framed record to `out`. */
+void encodeRecord(const Record &rec, std::string *out);
+
+/**
+ * Decode one frame at data[0..len). Returns bytes consumed, or 0 if
+ * the frame is torn/corrupt (bad bounds, bad CRC, bad tags) — the
+ * caller truncates there.
+ */
+std::size_t decodeRecord(const char *data, std::size_t len, Record *out);
+
+/** File naming inside the WAL directory. */
+std::string segmentFileName(int shard, std::uint64_t gen);
+std::string checkpointFileName(int shard, std::uint64_t gen);
+
+/** meta: validated on reopen so a dir can't be replayed into a
+ *  differently-sharded store. Returns false if absent. */
+void writeMeta(const std::string &dir, int numShards);
+bool readMeta(const std::string &dir, int *numShards);
+
+/** Highest segment/checkpoint generation present for `shard` (0 if
+ *  none). */
+std::uint64_t maxGeneration(const std::string &dir, int shard);
+
+/** Sorted generations of this shard's segment (.log) / checkpoint
+ *  (.dat) files. */
+std::vector<std::uint64_t> listSegments(const std::string &dir,
+                                        int shard);
+std::vector<std::uint64_t> listCheckpoints(const std::string &dir,
+                                           int shard);
+
+/** Read a whole file into `out`; false when unreadable. */
+bool readFile(const std::string &path, std::string *out);
+
+/** Delete segments and checkpoints of `shard` with gen < keepGen. */
+void deleteObsolete(const std::string &dir, int shard,
+                    std::uint64_t keepGen);
+
+/** Checkpoint image: consistent-as-of-barrier set of live entries.
+ *  Replay applies the image then records with lsn > barrierLsn. */
+struct CheckpointImage {
+    std::uint64_t barrierLsn = 0;
+    std::vector<WalOp> entries;
+};
+
+/** tmp + fsync + rename; throws std::runtime_error on I/O failure. */
+void writeCheckpoint(const std::string &path,
+                     const CheckpointImage &image);
+/** Returns false if missing/incomplete/corrupt (header+footer+CRCs
+ *  must all validate). */
+bool readCheckpoint(const std::string &path, CheckpointImage *image);
+
+/** Obs hookups for one ShardWal (all optional). */
+struct WalObs {
+    obs::Counter *appends = nullptr;
+    obs::Counter *fsyncs = nullptr;
+    obs::Counter *bytes = nullptr;
+    obs::Histogram *fsyncNanos = nullptr;
+    obs::FlightRecorder *recorder = nullptr;
+    int shard = 0;
+};
+
+/**
+ * One shard's log: an append buffer + leader/follower group commit.
+ * Offsets are monotonic across segment rotation (rotation flushes and
+ * syncs everything, so pre-rotation barriers are already satisfied).
+ *
+ * I/O failure while persisting (write/fdatasync in barrier) calls
+ * std::terminate: by that point a commit outcome may already be
+ * logged on a peer shard, and continuing with a diverged log would
+ * let recovery resurrect a transaction the live store aborted.
+ */
+class ShardWal
+{
+  public:
+    ShardWal(std::string path, Durability mode,
+             std::size_t flushBytes, const WalObs &obs);
+    ~ShardWal();
+
+    ShardWal(const ShardWal &) = delete;
+    ShardWal &operator=(const ShardWal &) = delete;
+
+    /** Buffer one record; returns the monotonic end offset to pass to
+     *  barrier(). Spills to write() when the buffer exceeds the
+     *  configured flush threshold. */
+    std::uint64_t append(const Record &rec);
+
+    /** Group commit: returns once bytes [0, upTo) are write()n
+     *  (kBuffered) or fdatasync'd (kFsyncGroup). */
+    void barrier(std::uint64_t upTo);
+
+    std::uint64_t appendAndBarrier(const Record &rec);
+
+    /** Flush everything buffered; fsync if `alsoFsync`. */
+    void flushAll(bool alsoFsync);
+
+    /** Checkpoint rotation: flush+fsync+close the current segment and
+     *  continue on `newPath`. Offsets stay monotonic. */
+    void rotate(const std::string &newPath);
+
+    const std::string &path() const { return path_; }
+
+  private:
+    void flushTo(std::uint64_t upTo, bool wantSync);
+    void writeAllOrDie(const char *data, std::size_t len);
+
+    std::string path_;
+    Durability mode_;
+    std::size_t flushBytes_;
+    WalObs obs_;
+    int fd_ = -1;
+
+    std::mutex appendMutex_;        // guards buf_ and endOffset_
+    std::string buf_;
+    std::uint64_t endOffset_ = 0;   // logical end incl. buffered
+
+    std::mutex flushMutex_;         // guards fd writes + offsets below
+    std::condition_variable flushCv_;
+    bool flushing_ = false;
+    std::uint64_t flushedOffset_ = 0; // write()n
+    std::uint64_t syncedOffset_ = 0;  // fdatasync'd
+};
+
+} // namespace wal
+} // namespace proteus::kvstore
+
+#endif // PROTEUS_KVSTORE_WAL_HPP

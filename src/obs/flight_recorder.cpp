@@ -3,6 +3,12 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#include <unistd.h>
+#endif
 
 namespace proteus::obs {
 
@@ -25,6 +31,11 @@ traceKindName(TraceKind kind)
       case TraceKind::kArenaRetire:      return "arena.retire";
       case TraceKind::kArenaRecycle:     return "arena.recycle";
       case TraceKind::kRetune:           return "tuner.retune";
+      case TraceKind::kWalAppend:        return "wal.append";
+      case TraceKind::kWalFsync:         return "wal.fsync";
+      case TraceKind::kCkptBegin:        return "ckpt.begin";
+      case TraceKind::kCkptEnd:          return "ckpt.end";
+      case TraceKind::kRecoverReplay:    return "recover.replay";
     }
     return "unknown";
 }
@@ -56,10 +67,31 @@ FlightRecorder::threadRingIndex()
 }
 
 void
+FlightRecorder::armCrash(TraceKind kind, std::uint64_t nth)
+{
+    crashLeft_.store(nth, std::memory_order_relaxed);
+    crashKind_.store(static_cast<std::uint16_t>(kind),
+                     std::memory_order_relaxed);
+}
+
+void
 FlightRecorder::recordSlow(TraceKind kind, std::int32_t shard,
                            std::uint64_t seq, std::uint64_t a,
                            std::uint64_t b)
 {
+    // Fault injection for the crash-recovery hunter: die by SIGKILL
+    // (no atexit, no flush — the same as a power-yank for the process)
+    // at the armed trace point.
+    if (crashKind_.load(std::memory_order_relaxed) ==
+            static_cast<std::uint16_t>(kind) &&
+        kind != TraceKind::kNone &&
+        crashLeft_.fetch_sub(1, std::memory_order_relaxed) == 1) {
+#if defined(__unix__) || defined(__APPLE__)
+        ::kill(::getpid(), SIGKILL);
+#else
+        std::abort();
+#endif
+    }
     Ring &ring = rings_[threadRingIndex()];
     const std::uint64_t idx =
         ring.head.fetch_add(1, std::memory_order_relaxed) &

@@ -58,6 +58,12 @@ enum class TraceKind : std::uint16_t
     kArenaRecycle,     // a = blobs recycled, b = bytes
     // Auto-tuner decisions.
     kRetune,           // a = (oldConfig << 32) | newConfig, b = KPI bits
+    // Durability (WAL / checkpoint / recovery).
+    kWalAppend,        // a = record LSN, b = frame bytes
+    kWalFsync,         // a = bytes durable, b = fdatasync nanos
+    kCkptBegin,        // a = barrier LSN
+    kCkptEnd,          // a = live entries captured, b = chunks walked
+    kRecoverReplay,    // a = records replayed, b = ops applied
 };
 
 /** Human-readable name for a trace kind ("2pc.prepare", ...). */
@@ -123,6 +129,14 @@ class FlightRecorder
     /** dumpRecent() rendered one event per line. */
     std::string formatRecent(std::size_t maxEvents = 0) const;
 
+    /**
+     * Crash hunter hook: SIGKILL the process at the `nth` (1-based)
+     * subsequently recorded event of `kind`. Turns every trace point
+     * into a fault-injection site so the recovery test can die at
+     * randomized places mid-protocol. Pass kNone to disarm.
+     */
+    void armCrash(TraceKind kind, std::uint64_t nth);
+
   private:
     struct Slot
     {
@@ -150,6 +164,9 @@ class FlightRecorder
     std::atomic<bool> enabled_;
     /** Global relaxed order counter (starts at 1 so markers != 0). */
     std::atomic<std::uint64_t> order_{1};
+    /** armCrash state: kind to die at + remaining matching events. */
+    std::atomic<std::uint16_t> crashKind_{0};
+    std::atomic<std::uint64_t> crashLeft_{0};
     std::unique_ptr<Ring[]> rings_;
 };
 
