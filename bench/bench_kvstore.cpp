@@ -52,13 +52,36 @@
  * and the fsync latency percentiles straight from the store's
  * wal_fsync_nanos histogram; all of it lands in BENCH_kvstore.json.
  *
+ * Series 7 (thread scaling, --threads): the read-heavy and mixed
+ * presets swept across 1/2/4/8 worker threads at 4 shards, reporting
+ * throughput + p99 per point. This is the series that makes multicore
+ * claims honest: every other number here is taken at a fixed worker
+ * count, and on a 1-hardware-thread host the sweep degrades to flat —
+ * the JSON always records hardware_threads next to the series so CI
+ * (on a multicore runner) and a laptop reading the artifact can tell
+ * the difference. The 4-vs-1-thread read-heavy comparison is the CI
+ * scaling gate (checked by the workflow from the JSON, not by the
+ * bench itself, so single-core dev runs don't fail spuriously).
+ *
+ * Series 8 (probe A/B, --probe-ab): a dense-table (~60% load) get/
+ * put/del churn run as three interleaved SIMD-vs-scalar-probe pairs
+ * (the runtime switch in common/simd.hpp flips Shard::probe to its
+ * legacy slot-at-a-time walk). The median pair's ratio lands in
+ * BENCH_kvstore.json as simd_probe_speedup (>= 1.0 expected; the win
+ * comes from miss/tombstone-heavy chains, which probe whole groups
+ * per compare — near-empty tables resolve on the home-slot fast path
+ * and the two legs tie by construction).
+ *
  * Usage: bench_kvstore [seconds-per-point] [--mixed-only] [--cache]
- *                      [--read-heavy] [--durability]
+ *                      [--read-heavy] [--durability] [--threads]
+ *                      [--probe-ab]
  *   seconds-per-point   default 0.4
  *   --mixed-only        skip series 1/2 (CI smoke mode)
  *   --cache             add the cache-preset series
  *   --read-heavy        add the read-path series (+ CI gate)
  *   --durability        add the WAL durability A/B series
+ *   --threads           add the 1/2/4/8-thread scaling series
+ *   --probe-ab          add the SIMD-vs-scalar probe A/B
  */
 
 #include <algorithm>
@@ -72,6 +95,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "common/timing.hpp"
 #include "kvstore/traffic.hpp"
 
@@ -354,6 +378,126 @@ struct ReadHeavyResult
     std::string prometheus;
 };
 
+/** One point of the thread-scaling series. */
+struct ScalePoint
+{
+    int threads = 0;
+    double opsPerSec = 0;
+    std::uint64_t p99 = 0;
+};
+
+struct ScalingResult
+{
+    std::vector<ScalePoint> readHeavy;
+    std::vector<ScalePoint> mixed;
+};
+
+/** One scaling point: `mix` at 4 shards under `threads` workers,
+ *  warmup phase 0 / measured phase 1 (same windowing as runMixed). */
+ScalePoint
+runScalePoint(const TrafficMix &mix, int threads, double seconds,
+              unsigned log2_slots = 16)
+{
+    KvStoreOptions store_options;
+    store_options.numShards = 4;
+    store_options.log2SlotsPerShard = log2_slots;
+    store_options.initial = {tm::BackendKind::kTl2, 16, {}};
+    KvStore store(store_options);
+
+    TrafficOptions traffic_options;
+    traffic_options.threads = threads;
+    traffic_options.phases = {mix, mix};
+    TrafficDriver driver(store, traffic_options);
+    driver.preload(mix.keySpace / 2);
+
+    driver.start();
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(seconds * 0.25));
+    driver.setPhase(1);
+    const std::uint64_t before = driver.opsCompleted();
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    const std::uint64_t after = driver.opsCompleted();
+    driver.setPhase(0);
+    driver.stop();
+
+    ScalePoint point;
+    point.threads = threads;
+    point.opsPerSec = static_cast<double>(after - before) / seconds;
+    point.p99 = driver.latency(1).p99;
+    return point;
+}
+
+ScalingResult
+runScaling(double seconds)
+{
+    ScalingResult result;
+    for (const int threads : {1, 2, 4, 8}) {
+        result.readHeavy.push_back(runScalePoint(
+            TrafficMix::preset(MixKind::kReadHeavy), threads, seconds));
+        result.mixed.push_back(runScalePoint(
+            TrafficMix::preset(MixKind::kMixedCross), threads,
+            seconds));
+    }
+    return result;
+}
+
+struct ProbeAbResult
+{
+    double simdOpsPerSec = 0;   //!< median pair's SIMD leg
+    double scalarOpsPerSec = 0; //!< median pair's scalar leg
+    double speedup = 0;         //!< median of simd/scalar per pair
+};
+
+/**
+ * SIMD-vs-scalar probe A/B: three interleaved pairs with the
+ * group-filtered probe on vs the legacy slot walk (the runtime switch
+ * in common/simd.hpp — same binary, same stores, background drift
+ * hits both legs). Median pair reported, same reasoning as
+ * measureObsOverheadPct. Windows floored at 0.3 s.
+ *
+ * The workload is a probe-stressing variant of read-heavy: a dense
+ * table (~60% of slots, just under the grow trigger) with delete
+ * churn, so lookups actually walk tombstoned probe chains — the case
+ * the group filter exists for. The scale series' near-empty tables
+ * resolve almost every probe on the home slot, where the two legs
+ * are identical by construction.
+ */
+ProbeAbResult
+runProbeAb(double seconds)
+{
+    const double ab_seconds = seconds < 0.3 ? 0.3 : seconds;
+    constexpr unsigned kLog2Slots = 12;
+    TrafficMix mix = TrafficMix::preset(MixKind::kReadHeavy);
+    mix.getRatio = 0.80;
+    mix.putRatio = 0.10;
+    mix.delRatio = 0.10;
+    mix.zipfTheta = 0;
+    mix.keySpace = (std::uint64_t{4} << kLog2Slots) * 3 / 5;
+    struct Pair
+    {
+        double simd;
+        double scalar;
+        double ratio;
+    };
+    Pair pairs[3];
+    for (auto &pair : pairs) {
+        simd::setForceScalarProbe(false);
+        pair.simd =
+            runScalePoint(mix, kThreads, ab_seconds, kLog2Slots)
+                .opsPerSec;
+        simd::setForceScalarProbe(true);
+        pair.scalar =
+            runScalePoint(mix, kThreads, ab_seconds, kLog2Slots)
+                .opsPerSec;
+        pair.ratio = pair.scalar > 0 ? pair.simd / pair.scalar : 0.0;
+    }
+    simd::setForceScalarProbe(false);
+    std::sort(pairs, pairs + 3, [](const Pair &a, const Pair &b) {
+        return a.ratio < b.ratio;
+    });
+    return {pairs[1].simd, pairs[1].scalar, pairs[1].ratio};
+}
+
 /** The series-5 mix: 95/5 Zipf over ~128 B byte values. */
 TrafficMix
 readHeavyMix()
@@ -571,11 +715,28 @@ writeJsonObject(std::FILE *f, const char *name, const MixedResult &r)
 /** Machine-readable trajectory point for CI artifacts. Returns false
  *  (and the bench exits nonzero) when the file cannot be written —
  *  a silently missing artifact defeats the trajectory tracking. */
+void
+writeScaleSeries(std::FILE *f, const char *name,
+                 const std::vector<ScalePoint> &series)
+{
+    std::fprintf(f, "    \"%s\": [", name);
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        std::fprintf(
+            f,
+            "%s\n      {\"threads\": %d, \"ops_per_sec\": %.0f, "
+            "\"p99_ns\": %llu}",
+            i == 0 ? "" : ",", series[i].threads, series[i].opsPerSec,
+            static_cast<unsigned long long>(series[i].p99));
+    }
+    std::fprintf(f, "\n    ]");
+}
+
 bool
 writeJson(const char *path, double seconds, const MixedResult &latch,
           const MixedResult &two_phase, const CacheResult *cache,
           const ReadHeavyResult *read_heavy,
-          const DurabilityResult *durability)
+          const DurabilityResult *durability,
+          const ScalingResult *scaling, const ProbeAbResult *probe_ab)
 {
     std::FILE *f = std::fopen(path, "w");
     if (!f) {
@@ -703,6 +864,25 @@ writeJson(const char *path, double seconds, const MixedResult &latch,
             static_cast<unsigned long long>(durability->fsyncP99),
             static_cast<unsigned long long>(durability->fsyncMax));
     }
+    if (scaling) {
+        std::fprintf(f, ",\n  \"scaling\": {\n");
+        writeScaleSeries(f, "read_heavy", scaling->readHeavy);
+        std::fprintf(f, ",\n");
+        writeScaleSeries(f, "mixed", scaling->mixed);
+        std::fprintf(f, "\n  }");
+    }
+    if (probe_ab) {
+        std::fprintf(
+            f,
+            ",\n"
+            "  \"probe_ab\": {\n"
+            "    \"simd_ops_per_sec\": %.0f,\n"
+            "    \"scalar_ops_per_sec\": %.0f\n"
+            "  },\n"
+            "  \"simd_probe_speedup\": %.3f",
+            probe_ab->simdOpsPerSec, probe_ab->scalarOpsPerSec,
+            probe_ab->speedup);
+    }
     std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::printf("\nwrote %s\n", path);
@@ -719,6 +899,8 @@ main(int argc, char **argv)
     bool with_cache = false;
     bool with_read_heavy = false;
     bool with_durability = false;
+    bool with_threads = false;
+    bool with_probe_ab = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--mixed-only") == 0) {
             mixed_only = true;
@@ -728,6 +910,10 @@ main(int argc, char **argv)
             with_read_heavy = true;
         } else if (std::strcmp(argv[i], "--durability") == 0) {
             with_durability = true;
+        } else if (std::strcmp(argv[i], "--threads") == 0) {
+            with_threads = true;
+        } else if (std::strcmp(argv[i], "--probe-ab") == 0) {
+            with_probe_ab = true;
         } else {
             const double parsed = std::atof(argv[i]);
             if (parsed > 0) {
@@ -737,7 +923,8 @@ main(int argc, char **argv)
                              "bench_kvstore: invalid argument '%s' "
                              "(usage: bench_kvstore [seconds-per-point]"
                              " [--mixed-only] [--cache]"
-                             " [--read-heavy] [--durability])\n",
+                             " [--read-heavy] [--durability]"
+                             " [--threads] [--probe-ab])\n",
                              argv[i]);
                 return 2;
             }
@@ -935,10 +1122,43 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(cache.latency.p99));
     }
 
+    ScalingResult scaling;
+    if (with_threads) {
+        std::printf("\nthread scaling at 4 shards (read-heavy and "
+                    "mixed 90/10):\n");
+        scaling = runScaling(seconds);
+        std::printf("  %-10s %8s %14s %8s\n", "preset", "threads",
+                    "ops/s", "p99ns");
+        const auto print_series =
+            [](const char *name, const std::vector<ScalePoint> &series) {
+                for (const ScalePoint &point : series) {
+                    std::printf(
+                        "  %-10s %8d %14.0f %8llu\n", name,
+                        point.threads, point.opsPerSec,
+                        static_cast<unsigned long long>(point.p99));
+                }
+            };
+        print_series("read-heavy", scaling.readHeavy);
+        print_series("mixed", scaling.mixed);
+    }
+
+    ProbeAbResult probe_ab;
+    if (with_probe_ab) {
+        std::printf("\nprobe A/B, dense-table churn (SIMD group "
+                    "filter vs legacy slot walk, 3 pairs):\n");
+        probe_ab = runProbeAb(seconds);
+        std::printf("  simd %14.0f ops/s | scalar %14.0f ops/s | "
+                    "speedup %.3fx (median pair)\n",
+                    probe_ab.simdOpsPerSec, probe_ab.scalarOpsPerSec,
+                    probe_ab.speedup);
+    }
+
     if (!writeJson("BENCH_kvstore.json", seconds, latch, two_phase,
                    with_cache ? &cache : nullptr,
                    with_read_heavy ? &read_heavy : nullptr,
-                   with_durability ? &durability : nullptr))
+                   with_durability ? &durability : nullptr,
+                   with_threads ? &scaling : nullptr,
+                   with_probe_ab ? &probe_ab : nullptr))
         return 1;
     // The read-path gate: a write-free workload that still pays
     // validation retries or latch escalations is a regression CI must

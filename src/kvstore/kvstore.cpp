@@ -288,7 +288,7 @@ KvStore::Session::~Session()
     // Same teardown as closeSession, so stack unwinding between
     // openSession and closeSession leaks neither thread slots nor the
     // commit context (deregisterThread is adminMutex-protected).
-    store_->flushRetireBacklog(*this);
+    store_->spillOwnerLimbos(*this);
     for (std::size_t s = 0; s < arenaCaches_.size(); ++s)
         store_->shards_[s]->arena().flushCache(arenaCaches_[s]);
     for (std::size_t s = 0; s < tokens_.size(); ++s)
@@ -327,13 +327,15 @@ KvStore::openSession()
     for (auto &shard : shards_)
         session.tokens_.push_back(shard->registerWorker());
     session.arenaCaches_.resize(shards_.size());
+    session.ownerLimbos_.resize(shards_.size());
     return session;
 }
 
 void
 KvStore::closeSession(Session &session)
 {
-    flushRetireBacklog(session);
+    spillOwnerLimbos(session);
+    session.ownerLimbos_.clear();
     for (std::size_t s = 0; s < session.arenaCaches_.size(); ++s)
         shards_[s]->arena().flushCache(session.arenaCaches_[s]);
     session.arenaCaches_.clear();
@@ -913,52 +915,35 @@ KvStore::freeReclaimed(Session &session)
 {
     // Displaced pre-images WERE committed-visible: a pinned reader
     // may still be copying them, so they retire through the reader
-    // epochs instead of recycling immediately.
+    // epochs instead of recycling immediately — but into the
+    // session's OWN limbo, which it drains itself (no shared lock on
+    // the displace-churn path; see ValueArena::OwnerLimbo).
     for (const auto &[shard, ref] : session.reclaim_) {
-        if (valueRefIsBlob(ref))
-            session.retireBacklog_.emplace_back(shard, ref);
+        Shard &owner = *shards_[shard];
+        owner.arena().retireOwned(ref, session.ownerLimbos_[shard],
+                                  owner.readerEpochs(),
+                                  &session.arenaCaches_[shard]);
     }
     session.reclaim_.clear();
-    if (session.retireBacklog_.size() >= kRetireBatch)
-        flushRetireBacklog(session);
 }
 
 void
 KvStore::retireDisplaced(Session &session, std::uint32_t shard,
                          const std::vector<std::uint64_t> &refs)
 {
+    Shard &owner = *shards_[shard];
     for (const std::uint64_t ref : refs) {
-        if (valueRefIsBlob(ref))
-            session.retireBacklog_.emplace_back(shard, ref);
+        owner.arena().retireOwned(ref, session.ownerLimbos_[shard],
+                                  owner.readerEpochs(),
+                                  &session.arenaCaches_[shard]);
     }
-    if (session.retireBacklog_.size() >= kRetireBatch)
-        flushRetireBacklog(session);
 }
 
 void
-KvStore::flushRetireBacklog(Session &session)
+KvStore::spillOwnerLimbos(Session &session)
 {
-    auto &backlog = session.retireBacklog_;
-    if (backlog.empty())
-        return;
-    // Hand each shard's run to its arena in one locked batch. The
-    // backlog is grouped, not sorted: single-key loops produce long
-    // same-shard runs, and a shard appearing in several runs just
-    // pays one extra (uncontended) lock.
-    std::vector<std::uint64_t> refs;
-    std::size_t i = 0;
-    while (i < backlog.size()) {
-        const std::uint32_t shard = backlog[i].first;
-        refs.clear();
-        std::size_t j = i;
-        while (j < backlog.size() && backlog[j].first == shard) {
-            refs.push_back(backlog[j].second);
-            ++j;
-        }
-        shards_[shard]->arena().retireBlobs(refs.data(), refs.size());
-        i = j;
-    }
-    backlog.clear();
+    for (std::size_t s = 0; s < session.ownerLimbos_.size(); ++s)
+        shards_[s]->arena().spillOwned(session.ownerLimbos_[s]);
 }
 
 KvStore::OpStatus
@@ -1682,6 +1667,8 @@ KvStore::applyBatch(Session &session, Batch &batch)
 
     bool ok = true;
     std::vector<std::uint64_t> reclaim;
+    if (durable())
+        session.walBatchEnds_.assign(shards_.size(), 0);
     for (const auto &slice : session.slices_) {
         Shard &shard = *shards_[slice.shard];
         bool space_ok = true;
@@ -1739,10 +1726,28 @@ KvStore::applyBatch(Session &session, Batch &batch)
                     session.retryOps_.data() +
                         session.retryOps_.size());
         }
+        // Record the slice's highest append end; the ONE barrier per
+        // touched shard rides after every slice has appended, so no
+        // shard's log writes interleave with another shard's fsync
+        // stall (append ends are monotone — a grow-retry's second
+        // append already left wal_end at the slice maximum).
         if (wal_end != 0)
-            wals_[slice.shard]->barrier(wal_end);
+            session.walBatchEnds_[slice.shard] = wal_end;
         // The batching loop doubles as the maintenance driver.
         shard.maintainTick(session.tokens_[slice.shard]);
+    }
+    if (durable()) {
+        // Group commit across the whole batch: one barrier(maxEnd)
+        // per touched shard (groupByShard emits one slice per shard,
+        // so this pass is a single fsync each — the wal_test
+        // fsync-coalescing case pins the count). Runs regardless of
+        // `ok`: space-failed slices may still have appended records.
+        for (const auto &slice : session.slices_) {
+            const std::uint64_t end =
+                session.walBatchEnds_[slice.shard];
+            if (end != 0)
+                wals_[slice.shard]->barrier(end);
+        }
     }
     if (!ok) {
         // Space-failed kPutBytes ops never published their staged

@@ -224,10 +224,11 @@ class KvStore
                 newBlobs_ = std::move(other.newBlobs_);
                 retryOps_ = std::move(other.retryOps_);
                 arenaCaches_.swap(other.arenaCaches_);
-                retireBacklog_.swap(other.retireBacklog_);
+                ownerLimbos_.swap(other.ownerLimbos_);
                 walOps_ = std::move(other.walOps_);
                 walOpRanges_ = std::move(other.walOpRanges_);
                 walLsns_ = std::move(other.walLsns_);
+                walBatchEnds_ = std::move(other.walBatchEnds_);
             }
             return *this;
         }
@@ -313,11 +314,12 @@ class KvStore
          *  shard): wide-value allocation stays off the shared arena
          *  lists in steady state. Flushed back on close. */
         std::vector<ValueArena::Cache> arenaCaches_;
-        /** Displaced blob handles (tagged with their shard) parked
-         *  session-locally; handed to the shard arenas' limbo in
-         *  batches (retire stays contention-free per op). */
-        std::vector<std::pair<std::uint32_t, std::uint64_t>>
-            retireBacklog_;
+        /** Per-shard owner limbos: displaced blob handles park here
+         *  and the session recycles them itself once reader epochs
+         *  quiesce (ValueArena::retireOwned) — the shared limbo lock
+         *  leaves the displace hot path entirely. Spilled to the
+         *  shared limbo on close. */
+        std::vector<ValueArena::OwnerLimbo> ownerLimbos_;
         /** WAL capture scratch (durable stores only): post-image ops
          *  recorded inside the current transaction bodies, their
          *  per-slice [begin, end) ranges, and each slice's LSN. */
@@ -325,6 +327,10 @@ class KvStore
         std::vector<std::pair<std::uint32_t, std::uint32_t>>
             walOpRanges_;
         std::vector<std::uint64_t> walLsns_;
+        /** applyBatch scratch: per-shard highest WAL append end of
+         *  the current batch — the batch rides ONE barrier per
+         *  touched shard instead of one per slice. */
+        std::vector<std::uint64_t> walBatchEnds_;
     };
 
     Session openSession();
@@ -641,14 +647,14 @@ class KvStore
     /** Retire the displaced pre-image blobs after a committed op. */
     void freeReclaimed(Session &session);
 
-    /** Backlog size that triggers a batched limbo handoff. */
-    static constexpr std::size_t kRetireBatch = 64;
-
     /** Park displaced (committed-visible) blob handles in the
-     *  session's backlog; flushes to the shard arenas in batches. */
+     *  session's per-shard owner limbo; the session drains its own
+     *  ring once quiescence is proven (ValueArena::retireOwned). */
     void retireDisplaced(Session &session, std::uint32_t shard,
                          const std::vector<std::uint64_t> &refs);
-    void flushRetireBacklog(Session &session);
+    /** Hand every owner-limbo entry to the shared arena limbos
+     *  (session close / destruction). */
+    void spillOwnerLimbos(Session &session);
 
     KvStoreOptions options_;
     CommitMode commitMode_ = CommitMode::kTwoPhase;

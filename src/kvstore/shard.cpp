@@ -103,9 +103,29 @@ Shard::homeSlot(const ShardTable &table, std::uint64_t key)
     return static_cast<std::size_t>(mix64(key)) & table.mask;
 }
 
+std::uint64_t
+Shard::keyHash(std::uint64_t key)
+{
+    return mix64(key);
+}
+
+void
+Shard::ctrlSetTx(polytm::Tx &tx, ShardTable &table, std::size_t slot,
+                 std::uint8_t byte)
+{
+    const std::size_t word = slot >> 3;
+    const unsigned shift = static_cast<unsigned>(slot & 7) * 8;
+    const std::uint64_t cur = tx.readWord(&table.ctrl[word]);
+    const std::uint64_t next =
+        (cur & ~(std::uint64_t{0xff} << shift)) |
+        (std::uint64_t{byte} << shift);
+    if (next != cur)
+        tx.writeWord(&table.ctrl[word], next);
+}
+
 std::size_t
-Shard::probe(polytm::Tx &tx, ShardTable &table, std::uint64_t key,
-             bool *found)
+Shard::probeScalar(polytm::Tx &tx, ShardTable &table, std::uint64_t key,
+                   bool *found)
 {
     *found = false;
     std::size_t insert_at = table.slots; // first tombstone seen, if any
@@ -131,6 +151,90 @@ Shard::probe(polytm::Tx &tx, ShardTable &table, std::uint64_t key,
             return slot;
         }
         slot = next;
+    }
+    return insert_at; // table.slots when the table has no reusable slot
+}
+
+std::size_t
+Shard::probe(polytm::Tx &tx, ShardTable &table, std::uint64_t key,
+             bool *found)
+{
+    if (PROTEUS_UNLIKELY(table.slots < kCtrlGroupSlots ||
+                         simd::forceScalarProbe()))
+        return probeScalar(tx, table, key, found);
+    *found = false;
+    const std::uint64_t hash = mix64(key);
+    const std::size_t home =
+        static_cast<std::size_t>(hash) & table.mask;
+    // Fast path: the common probe ends at the home slot — a direct
+    // hit or a virgin empty slot. Identical TM-read cost to the old
+    // slot walk (state word, then key word); only contended chains
+    // pay for ctrl words.
+    {
+        const std::uint64_t state = tx.readWord(&table.state[home]);
+        if (state == kEmpty)
+            return home;
+        if (state != kTombstone &&
+            PROTEUS_LIKELY(tx.readWord(&table.keys[home]) == key)) {
+            *found = true;
+            return home;
+        }
+    }
+    // Group scan: two TM ctrl reads cover 16 slots; matching runs on
+    // the returned register values (no memory loads — see
+    // common/simd.hpp). Candidates are fingerprint hits plus every
+    // empty/tombstone hint; each one is verified against the
+    // transactional state/key words, and the walk terminates only on
+    // a TM-read kEmpty — the hints steer, the slot words decide. The
+    // ctrl reads also cover the *skipped* lanes through the read set:
+    // any committed state-class change rewrites the slot's ctrl byte,
+    // so a straddling transaction that skipped the slot validates
+    // against the change like any other conflicting read.
+    const std::uint8_t fp = ctrlFingerprint(hash);
+    const std::size_t num_groups = table.slots / kCtrlGroupSlots;
+    const std::size_t group_mask = num_groups - 1;
+    std::size_t insert_at = table.slots;
+    std::size_t group = home / kCtrlGroupSlots;
+    const auto home_lane = static_cast<unsigned>(home & 15);
+    // The home group's leading lanes are not on this key's chain;
+    // they are re-scanned as the chain's true tail if the walk wraps
+    // the whole table.
+    std::uint32_t lane_filter = ~std::uint32_t{0} << home_lane;
+    for (std::size_t gi = 0; gi <= num_groups; ++gi) {
+        if (PROTEUS_UNLIKELY(gi == num_groups)) {
+            if (home_lane == 0)
+                break; // chain start was group-aligned: fully covered
+            lane_filter = ~(~std::uint32_t{0} << home_lane) & 0xffffu;
+        }
+        const std::size_t base = group * kCtrlGroupSlots;
+        const std::uint64_t lo = tx.readWord(&table.ctrl[group * 2]);
+        const std::uint64_t hi =
+            tx.readWord(&table.ctrl[group * 2 + 1]);
+        std::uint32_t cand = (simd::matchByte16(lo, hi, fp) |
+                              simd::matchHighBit16(lo, hi)) &
+                             lane_filter;
+        while (cand != 0) {
+            const unsigned lane =
+                static_cast<unsigned>(std::countr_zero(cand));
+            cand &= cand - 1;
+            const std::size_t slot = base + lane;
+            const std::uint64_t state =
+                tx.readWord(&table.state[slot]);
+            if (state == kEmpty)
+                return insert_at < table.slots ? insert_at : slot;
+            if (state == kTombstone) {
+                if (insert_at == table.slots)
+                    insert_at = slot;
+            } else if (tx.readWord(&table.keys[slot]) == key) {
+                *found = true;
+                return slot;
+            } else {
+                ctrlFalsePositives_.fetch_add(
+                    1, std::memory_order_relaxed);
+            }
+        }
+        group = (group + 1) & group_mask;
+        lane_filter = 0xffffu;
     }
     return insert_at; // table.slots when the table has no reusable slot
 }
@@ -304,6 +408,8 @@ Shard::resolveForeignIntentTx(polytm::Tx &tx, ShardTable &table,
         if (stateIsValue(new_state)) {
             tx.writeWord(&table.values[slot], new_value);
             tx.writeWord(&table.expiry[slot], new_expiry);
+        } else {
+            ctrlSetTx(tx, table, slot, kCtrlTombstone);
         }
     } else if (tx.readWord(&table.state[slot]) == kPendingInsert) {
         // Aborted (or recycled-underneath-us — then this transaction
@@ -311,6 +417,7 @@ Shard::resolveForeignIntentTx(polytm::Tx &tx, ShardTable &table,
         // roll back): tombstone, never back to empty — concurrent
         // probe chains may already run past this slot.
         tx.writeWord(&table.state[slot], kTombstone);
+        ctrlSetTx(tx, table, slot, kCtrlTombstone);
     }
     tx.writeWord(&table.intents[slot], 0);
 }
@@ -551,6 +658,7 @@ Shard::putSlotTx(polytm::Tx &tx, std::uint64_t key,
     tx.writeWord(&ref.table->keys[ref.slot], key);
     tx.writeWord(&ref.table->values[ref.slot], value);
     tx.writeWord(&ref.table->expiry[ref.slot], expiry);
+    ctrlSetTx(tx, *ref.table, ref.slot, ctrlFingerprint(keyHash(key)));
     return true;
 }
 
@@ -587,6 +695,7 @@ Shard::delTx(polytm::Tx &tx, std::uint64_t key, SlotImage *pre,
     if (reclaim && image.state == kFullRef)
         reclaim->push_back(image.value);
     tx.writeWord(&ref.table->state[ref.slot], kTombstone);
+    ctrlSetTx(tx, *ref.table, ref.slot, kCtrlTombstone);
     // Expired entries are already logically absent: reclaim the slot
     // but report the delete as a miss.
     return image.expiry == 0 || image.expiry > nowNanos();
@@ -648,6 +757,7 @@ Shard::addTx(polytm::Tx &tx, std::uint64_t key, std::int64_t delta,
     tx.writeWord(&ref.table->keys[ref.slot], key);
     tx.writeWord(&ref.table->values[ref.slot], unsigned_delta);
     tx.writeWord(&ref.table->expiry[ref.slot], 0);
+    ctrlSetTx(tx, *ref.table, ref.slot, ctrlFingerprint(keyHash(key)));
     if (post)
         *post = SlotImage{kFull, unsigned_delta, 0};
     return true;
@@ -666,10 +776,14 @@ Shard::restoreTx(polytm::Tx &tx, std::uint64_t key, const SlotImage &pre)
         tx.writeWord(&ref.table->state[ref.slot], pre.state);
         tx.writeWord(&ref.table->values[ref.slot], pre.value);
         tx.writeWord(&ref.table->expiry[ref.slot], pre.expiry);
+        ctrlSetTx(tx, *ref.table, ref.slot,
+                  ctrlFingerprint(keyHash(key)));
         return;
     }
-    if (found)
+    if (found) {
         tx.writeWord(&ref.table->state[ref.slot], kTombstone);
+        ctrlSetTx(tx, *ref.table, ref.slot, kCtrlTombstone);
+    }
 }
 
 WriteIntent *
@@ -750,6 +864,7 @@ Shard::preparePutTx(polytm::Tx &tx, CommitRecord *record,
         tx.readWord(&ref.table->state[ref.slot]) == kTombstone;
     tx.writeWord(&ref.table->state[ref.slot], kPendingInsert);
     tx.writeWord(&ref.table->keys[ref.slot], key);
+    ctrlSetTx(tx, *ref.table, ref.slot, ctrlFingerprint(keyHash(key)));
     installIntent(tx, record, arena, out, *ref.table, ref.slot,
                   new_state, value, expiry)
         ->claimedTombstone = reused_tombstone;
@@ -878,6 +993,7 @@ Shard::prepareAddTx(polytm::Tx &tx, CommitRecord *record,
         tx.readWord(&ref.table->state[ref.slot]) == kTombstone;
     tx.writeWord(&ref.table->state[ref.slot], kPendingInsert);
     tx.writeWord(&ref.table->keys[ref.slot], key);
+    ctrlSetTx(tx, *ref.table, ref.slot, ctrlFingerprint(keyHash(key)));
     installIntent(tx, record, arena, out, *ref.table, ref.slot, kFull,
                   unsigned_delta, 0)
         ->claimedTombstone = reused_tombstone;
@@ -984,6 +1100,8 @@ Shard::finalizeIntentTx(polytm::Tx &tx, WriteIntent *intent,
                      intent->newValue.load(std::memory_order_relaxed));
         tx.writeWord(&table.expiry[slot],
                      intent->newExpiry.load(std::memory_order_relaxed));
+    } else {
+        ctrlSetTx(tx, table, slot, kCtrlTombstone);
     }
     tx.writeWord(&table.intents[slot], 0);
     if (tombstone_delta) {
@@ -1006,8 +1124,10 @@ Shard::abortIntentTx(polytm::Tx &tx, WriteIntent *intent)
     const std::uint64_t word = tx.readWord(&table.intents[slot]);
     if (intentOf(word) != intent)
         return; // a helping writer already discarded it
-    if (tx.readWord(&table.state[slot]) == kPendingInsert)
+    if (tx.readWord(&table.state[slot]) == kPendingInsert) {
         tx.writeWord(&table.state[slot], kTombstone);
+        ctrlSetTx(tx, table, slot, kCtrlTombstone);
+    }
     tx.writeWord(&table.intents[slot], 0);
 }
 
@@ -1396,7 +1516,7 @@ Shard::migrateChunk(polytm::ThreadToken &token)
         if (cur->old != old)
             return; // migration already finished under us
         ShardTable &live = *cur->live;
-        for (std::size_t slot = begin; slot < end; ++slot) {
+        const auto migrate_slot = [&](std::size_t slot) -> bool {
             const std::uint64_t word =
                 tx.readWord(&old->intents[slot]);
             if (word != 0)
@@ -1404,7 +1524,7 @@ Shard::migrateChunk(polytm::ThreadToken &token)
             const std::uint64_t state =
                 tx.readWord(&old->state[slot]);
             if (!stateIsValue(state))
-                continue;
+                return true;
             const std::uint64_t value =
                 tx.readWord(&old->values[slot]);
             const std::uint64_t deadline =
@@ -1412,9 +1532,10 @@ Shard::migrateChunk(polytm::ThreadToken &token)
             if (deadline != 0 && deadline <= nowNanos()) {
                 // Expired: drop instead of moving.
                 tx.writeWord(&old->state[slot], kTombstone);
+                ctrlSetTx(tx, *old, slot, kCtrlTombstone);
                 if (state == kFullRef)
                     reclaim.push_back(value);
-                continue;
+                return true;
             }
             const std::uint64_t key = tx.readWord(&old->keys[slot]);
             bool found = false;
@@ -1425,16 +1546,17 @@ Shard::migrateChunk(polytm::ThreadToken &token)
                 // live copy is the relocated (or newer) one — drop
                 // the old-table copy.
                 tx.writeWord(&old->state[slot], kTombstone);
+                ctrlSetTx(tx, *old, slot, kCtrlTombstone);
                 if (state == kFullRef)
                     reclaim.push_back(value);
-                continue;
+                return true;
             }
             if (dst == live.slots) {
                 // Live table out of room (only reachable on a capped
                 // shard under extreme fill): park the rest of this
                 // chunk; deletes/sweeps will free space eventually.
                 stalled = true;
-                return;
+                return false;
             }
             if (tx.readWord(&live.state[dst]) == kEmpty)
                 ++consumed_live;
@@ -1442,7 +1564,42 @@ Shard::migrateChunk(polytm::ThreadToken &token)
             tx.writeWord(&live.keys[dst], key);
             tx.writeWord(&live.values[dst], value);
             tx.writeWord(&live.expiry[dst], deadline);
+            ctrlSetTx(tx, live, dst, ctrlFingerprint(keyHash(key)));
             tx.writeWord(&old->state[slot], kTombstone);
+            ctrlSetTx(tx, *old, slot, kCtrlTombstone);
+            return true;
+        };
+        if (old->slots < kCtrlGroupSlots) {
+            for (std::size_t slot = begin; slot < end; ++slot)
+                if (!migrate_slot(slot))
+                    return;
+            return;
+        }
+        // Ctrl-guided walk: one TM read skips 8 empty/tombstone slots.
+        // Unlike the probe, the walker leans on the ctrl words as
+        // transactional truth, which they are — every committed state
+        // CLASS change rewrites its ctrl byte in the same transaction,
+        // and intents only ever sit on fingerprint-class slots, so a
+        // skipped lane can hide neither a value nor an intent.
+        const std::size_t first_word = begin >> 3;
+        const std::size_t last_word = (end + 7) >> 3;
+        for (std::size_t word = first_word; word < last_word; ++word) {
+            const std::size_t base = word << 3;
+            std::uint32_t lanes = 0xffu;
+            if (base < begin)
+                lanes &= ~std::uint32_t{0} << (begin - base);
+            if (base + 8 > end)
+                lanes &= ~(~std::uint32_t{0} << (end - base)) & 0xffu;
+            const std::uint64_t bytes = tx.readWord(&old->ctrl[word]);
+            std::uint32_t cand =
+                ~simd::matchHighBit16(bytes, 0) & lanes;
+            while (cand != 0) {
+                const unsigned lane =
+                    static_cast<unsigned>(std::countr_zero(cand));
+                cand &= cand - 1;
+                if (!migrate_slot(base + lane))
+                    return;
+            }
         }
     });
     for (const std::uint64_t ref : reclaim)
@@ -1487,6 +1644,64 @@ Shard::finishMigration(polytm::ThreadToken &token, ShardTable *old)
     epochs_.push_back(std::make_unique<TableEpoch>(
         TableEpoch{cur->live, nullptr}));
     publishEpoch(token, epochs_.back().get());
+    recountTombstonesLocked(token, *cur->live);
+}
+
+void
+Shard::recountTombstonesLocked(polytm::ThreadToken &token,
+                               ShardTable &live)
+{
+    // Migration seeds the new table's tombstone estimate only through
+    // per-op deltas, so the count drifts across rotations (the old
+    // table's garbage vanished with it, foreign deletes raced the
+    // walk). The ctrl bytes are transactionally exact, so one chunked
+    // pass over them resyncs the estimate at 1/8 the TM reads of a
+    // state-word walk. Concurrent deletes may still slip a delta in
+    // while we scan — the estimate only feeds the tombstoneHeavy
+    // heuristic, and the next rotation resyncs again.
+    const std::size_t words = live.ctrl.size();
+    constexpr std::size_t kStride = 512; // ctrl words per transaction
+    std::int64_t total = 0;
+    for (std::size_t w0 = 0; w0 < words; w0 += kStride) {
+        const std::size_t w1 = std::min(words, w0 + kStride);
+        std::int64_t count = 0;
+        poly_.run(token, [&](polytm::Tx &tx) {
+            count = 0; // retried attempts restart
+            for (std::size_t w = w0; w < w1; ++w) {
+                const std::uint64_t bytes =
+                    tx.readWord(&live.ctrl[w]);
+                count += std::popcount(
+                    simd::matchByte16(bytes, 0, kCtrlTombstone) &
+                    0xffu);
+#ifdef PROTEUS_ASSERT_CTRL_SYNC
+                // Sanitizer builds: every ctrl byte must agree with
+                // its slot's state class inside one transaction.
+                for (unsigned lane = 0; lane < 8; ++lane) {
+                    const std::size_t slot = (w << 3) + lane;
+                    if (slot >= live.slots)
+                        break;
+                    const auto byte = static_cast<std::uint8_t>(
+                        bytes >> (8 * lane));
+                    const std::uint64_t state =
+                        tx.readWord(&live.state[slot]);
+                    const bool ok =
+                        state == kEmpty
+                            ? byte == kCtrlEmpty
+                            : state == kTombstone
+                                  ? byte == kCtrlTombstone
+                                  : byte ==
+                                        ctrlFingerprint(keyHash(
+                                            tx.readWord(
+                                                &live.keys[slot])));
+                    if (!ok)
+                        std::abort(); // ctrl/state desync
+                }
+#endif
+            }
+        });
+        total += count;
+    }
+    live.tombstones.store(total, std::memory_order_relaxed);
 }
 
 void
@@ -1507,26 +1722,58 @@ Shard::sweepChunk(polytm::ThreadToken &token)
         TableEpoch *cur = epochTx(tx);
         if (cur->live != &live)
             return; // table rotated under the clock hand
-        std::size_t slot = begin;
-        for (std::size_t step = 0; step < chunk; ++step) {
+        const auto sweep_slot = [&](std::size_t slot) {
             // Slots under an intent belong to an in-flight commit;
             // leave them to their owner.
-            if (tx.readWord(&live.intents[slot]) == 0) {
-                const std::uint64_t state =
-                    tx.readWord(&live.state[slot]);
-                if (stateIsValue(state)) {
-                    const std::uint64_t deadline =
-                        tx.readWord(&live.expiry[slot]);
-                    if (deadline != 0 && deadline <= nowNanos()) {
-                        if (state == kFullRef)
-                            reclaim.push_back(
-                                tx.readWord(&live.values[slot]));
-                        tx.writeWord(&live.state[slot], kTombstone);
-                        ++expired_count;
-                    }
-                }
+            if (tx.readWord(&live.intents[slot]) != 0)
+                return;
+            const std::uint64_t state = tx.readWord(&live.state[slot]);
+            if (!stateIsValue(state))
+                return;
+            const std::uint64_t deadline =
+                tx.readWord(&live.expiry[slot]);
+            if (deadline != 0 && deadline <= nowNanos()) {
+                if (state == kFullRef)
+                    reclaim.push_back(tx.readWord(&live.values[slot]));
+                tx.writeWord(&live.state[slot], kTombstone);
+                ctrlSetTx(tx, live, slot, kCtrlTombstone);
+                ++expired_count;
             }
-            slot = (slot + 1) & live.mask;
+        };
+        if (live.slots < kCtrlGroupSlots) {
+            std::size_t slot = begin;
+            for (std::size_t step = 0; step < chunk; ++step) {
+                sweep_slot(slot);
+                slot = (slot + 1) & live.mask;
+            }
+            return;
+        }
+        // Ctrl-guided: the clock hand skips 8 empty/tombstone slots
+        // per TM read (see migrateChunk for why skipping on ctrl is
+        // sound for walkers).
+        std::size_t slot = begin;
+        std::size_t remaining = std::min(chunk, live.slots);
+        while (remaining > 0) {
+            const std::size_t word = slot >> 3;
+            const auto first_lane = static_cast<unsigned>(slot & 7);
+            const std::size_t in_word =
+                std::min<std::size_t>(8 - first_lane, remaining);
+            const std::uint32_t lanes =
+                (in_word == 8 ? 0xffu
+                              : ~(~std::uint32_t{0} << in_word) &
+                                    0xffu)
+                << first_lane;
+            const std::uint64_t bytes = tx.readWord(&live.ctrl[word]);
+            std::uint32_t cand =
+                ~simd::matchHighBit16(bytes, 0) & lanes;
+            while (cand != 0) {
+                const unsigned lane =
+                    static_cast<unsigned>(std::countr_zero(cand));
+                cand &= cand - 1;
+                sweep_slot((word << 3) + lane);
+            }
+            slot = (slot + in_word) & live.mask;
+            remaining -= in_word;
         }
     });
     for (const std::uint64_t ref : reclaim)
@@ -1595,6 +1842,47 @@ Shard::sizeQuiesced() const
         return n;
     };
     return count(ep->live) + count(ep->old);
+}
+
+std::size_t
+Shard::findSlotQuiesced(std::uint64_t key) const
+{
+    // Test hook: raw probe over the quiesced live table (no TM, no
+    // concurrency). Mirrors the scalar probe's termination rules.
+    TableEpoch *ep = epochMirror_.load(std::memory_order_acquire);
+    const ShardTable &table = *ep->live;
+    std::size_t slot = homeSlot(table, key);
+    for (std::size_t step = 0; step < table.slots; ++step) {
+        const std::uint64_t state = table.state[slot];
+        if (state == kEmpty)
+            return table.slots;
+        if (state != kTombstone && table.keys[slot] == key)
+            return slot;
+        slot = (slot + 1) & table.mask;
+    }
+    return table.slots;
+}
+
+std::uint8_t
+Shard::ctrlByteQuiesced(std::size_t slot) const
+{
+    TableEpoch *ep = epochMirror_.load(std::memory_order_acquire);
+    const ShardTable &table = *ep->live;
+    return static_cast<std::uint8_t>(table.ctrl[slot >> 3] >>
+                                     (8 * (slot & 7)));
+}
+
+void
+Shard::setCtrlByteQuiesced(std::size_t slot, std::uint8_t byte)
+{
+    // Test hook: deliberately corrupt a ctrl byte on a quiesced table
+    // (corruption tests prove mismatched hints only add probes).
+    TableEpoch *ep = epochMirror_.load(std::memory_order_acquire);
+    ShardTable &table = *ep->live;
+    const unsigned shift = static_cast<unsigned>(slot & 7) * 8;
+    table.ctrl[slot >> 3] =
+        (table.ctrl[slot >> 3] & ~(std::uint64_t{0xff} << shift)) |
+        (std::uint64_t{byte} << shift);
 }
 
 Shard::CkptStep

@@ -258,6 +258,78 @@ ValueArena::retireBlobs(const ValueRef *refs, std::size_t count)
 }
 
 void
+ValueArena::retireOwned(ValueRef ref, OwnerLimbo &limbo,
+                        EpochDomain &readers, Cache *cache)
+{
+    if (!valueRefIsBlob(ref))
+        return;
+    std::atomic<std::uint64_t> *blob = blobOf(ref);
+    // Account once, here (the shared-limbo spill must NOT repeat it).
+    bytesLive_.fetch_sub(capBytesOf(blob), std::memory_order_relaxed);
+    retired_.fetch_add(1, std::memory_order_relaxed);
+    limbo.entries_.push_back({blob, 0});
+    if (limbo.entries_.size() >= OwnerLimbo::kDrainThreshold)
+        drainOwned(limbo, readers, cache);
+}
+
+void
+ValueArena::drainOwned(OwnerLimbo &limbo, EpochDomain &readers,
+                       Cache *cache)
+{
+    if (limbo.entries_.empty())
+        return;
+    // One epoch fence stamps the whole unstamped batch. advance() is
+    // an RMW, so it reads the epoch's modification-order tail — the
+    // returned tag is >= the entry epoch of every reader pinned
+    // before this point, which is exactly the guarantee the ripeness
+    // test below leans on (see reclaim()).
+    const std::uint64_t tag = readers.advance();
+    for (OwnerLimbo::Entry &entry : limbo.entries_) {
+        if (entry.epoch == 0)
+            entry.epoch = tag;
+    }
+    const std::uint64_t min_active = readers.minActive();
+    std::size_t bytes = 0;
+    std::size_t kept = 0;
+    std::size_t freed = 0;
+    for (OwnerLimbo::Entry &entry : limbo.entries_) {
+        if (entry.epoch < min_active) {
+            bytes += capBytesOf(entry.blob);
+            ++freed;
+            recycleInto(entry.blob, cache);
+        } else {
+            limbo.entries_[kept++] = entry;
+        }
+    }
+    limbo.entries_.resize(kept);
+    if (freed > 0)
+        trace(obs::TraceKind::kArenaRecycle, freed, bytes);
+    // Pathological pinning (a reader parked in a section for the
+    // owner's whole write burst): bound the ring by handing the
+    // backlog to the shared limbo, whose sweeper retries on its own
+    // cadence. Accounting already happened at retireOwned.
+    if (limbo.entries_.size() >= OwnerLimbo::kCapacity)
+        spillOwned(limbo);
+}
+
+void
+ValueArena::spillOwned(OwnerLimbo &limbo)
+{
+    if (limbo.entries_.empty())
+        return;
+    std::lock_guard<std::mutex> lk(limboMutex_);
+    for (const OwnerLimbo::Entry &entry : limbo.entries_) {
+        // Into pending_ (unstamped) even when the entry already
+        // carries a tag: the next shared sweep re-stamps with a newer
+        // — strictly more conservative — fence.
+        pending_.push_back(entry.blob);
+    }
+    limbo.entries_.clear();
+    limboCount_.store(pending_.size() + limbo_.size(),
+                      std::memory_order_relaxed);
+}
+
+void
 ValueArena::recycle(std::atomic<std::uint64_t> *blob)
 {
     // Invalidate outstanding handles *before* the blob becomes
@@ -274,6 +346,23 @@ ValueArena::recycle(std::atomic<std::uint64_t> *blob)
     std::atomic_thread_fence(std::memory_order_release);
     recycled_.fetch_add(1, std::memory_order_relaxed);
     pushFree(classOfCapacity(capBytesOf(blob)), blob);
+}
+
+void
+ValueArena::recycleInto(std::atomic<std::uint64_t> *blob, Cache *cache)
+{
+    // Same handle-invalidation protocol as recycle() (see there), but
+    // the blob lands in the owner's magazine when there is room.
+    blob[0].fetch_add(2, std::memory_order_release);
+    std::atomic_thread_fence(std::memory_order_release);
+    recycled_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t cls = classOfCapacity(capBytesOf(blob));
+    if (cache != nullptr &&
+        cache->classes_[cls].count < Cache::kMagazine) {
+        cache->classes_[cls].blobs[cache->classes_[cls].count++] = blob;
+        return;
+    }
+    pushFree(cls, blob);
 }
 
 void

@@ -142,6 +142,40 @@ class ValueArena
         ClassCache classes_[kNumClasses]{};
     };
 
+    /**
+     * Per-session limbo for owner-driven reclamation. A session that
+     * displaces a blob parks the handle here instead of in the
+     * arena's shared limbo; the SAME session later drains its own
+     * ring once reader quiescence is proven — no limboMutex_, no
+     * shared vector push on the putBytes hot path. Entries are
+     * unstamped (epoch 0) at retire; a drain stamps the batch with
+     * one advance() RMW (the only operation guaranteed to observe the
+     * epoch's modification-order tail — a plain load could read a
+     * value older than a concurrently pinned reader's entry epoch and
+     * recycle under it). Overflow and session close spill to the
+     * shared limbo, so nothing leaks past the owner's lifetime.
+     */
+    class OwnerLimbo
+    {
+      public:
+        /** Buffered retires before the owner attempts a drain. */
+        static constexpr std::size_t kDrainThreshold = 32;
+        /** Hard bound; beyond it a drain spills to the shared limbo. */
+        static constexpr std::size_t kCapacity = 256;
+
+        std::size_t size() const { return entries_.size(); }
+        bool empty() const { return entries_.empty(); }
+
+      private:
+        friend class ValueArena;
+        struct Entry
+        {
+            std::atomic<std::uint64_t> *blob;
+            std::uint64_t epoch; //!< 0 until a drain stamps it
+        };
+        std::vector<Entry> entries_;
+    };
+
     /** Contention/throughput telemetry (monotonic, relaxed). */
     struct Stats
     {
@@ -190,6 +224,34 @@ class ValueArena
      */
     void retireBlob(ValueRef ref) { retireBlobs(&ref, 1); }
     void retireBlobs(const ValueRef *refs, std::size_t count);
+
+    /**
+     * Owner-driven variant of retireBlob: park the displaced handle
+     * on the caller's own limbo (no shared state). At
+     * OwnerLimbo::kDrainThreshold the call drains the ring in place —
+     * ripe blobs go straight into the caller's magazine (then the
+     * global free lists), so displace-churn recycles its own garbage.
+     * Inline refs are ignored.
+     */
+    void retireOwned(ValueRef ref, OwnerLimbo &limbo,
+                     EpochDomain &readers, Cache *cache = nullptr);
+
+    /**
+     * Stamp + sweep the owner limbo: one advance() RMW tags every
+     * unstamped entry, then entries older than the oldest active
+     * reader section recycle into `cache`/the free lists. Entries
+     * still pinned stay; if the ring exceeds kCapacity anyway, the
+     * overflow spills to the shared limbo for the shard sweeper.
+     */
+    void drainOwned(OwnerLimbo &limbo, EpochDomain &readers,
+                    Cache *cache = nullptr);
+
+    /**
+     * Hand every parked entry to the shared limbo (session close /
+     * destruction; quiescence is NOT required). Cheap no-op when
+     * empty.
+     */
+    void spillOwned(OwnerLimbo &limbo);
 
     /**
      * Reclaim sweep against the shard's reader-epoch domain: captures
@@ -304,6 +366,9 @@ class ValueArena
     void pushFree(std::size_t cls, std::atomic<std::uint64_t> *blob);
     std::atomic<std::uint64_t> *popFree(std::size_t cls);
     void recycle(std::atomic<std::uint64_t> *blob);
+    /** recycle(), but prefer the owner's magazine over the free
+     *  lists (owner-drain path: the displacer re-allocates soon). */
+    void recycleInto(std::atomic<std::uint64_t> *blob, Cache *cache);
 
     mutable std::mutex mutex_; //!< guards chunk carving only
     std::vector<Chunk> chunks_;

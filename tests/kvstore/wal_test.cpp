@@ -179,6 +179,67 @@ TEST_F(WalTest, BatchAndTwoPhaseWritesSurviveReopen)
     store.closeSession(session);
 }
 
+TEST_F(WalTest, BatchCoalescesFsyncsPerShard)
+{
+    KvStore store(durableStore(4, Durability::kFsyncGroup));
+    auto session = store.openSession();
+
+    // Reference: N single-key durable puts pay one fsync each
+    // (appendAndBarrier per op; nothing to group on one thread).
+    constexpr std::uint64_t kOps = 64;
+    const std::uint64_t fsyncs0 =
+        store.telemetry().value("wal_fsyncs");
+    for (std::uint64_t k = 0; k < kOps; ++k)
+        ASSERT_TRUE(store.put(session, 10'000 + k, k));
+    const std::uint64_t fsyncs1 =
+        store.telemetry().value("wal_fsyncs");
+    EXPECT_GE(fsyncs1 - fsyncs0, kOps);
+
+    // The same op count as ONE batch: the barrier pass runs after
+    // every slice appended — at most one fsync per touched shard,
+    // never one per slice (let alone per op).
+    KvStore::Batch batch;
+    for (std::uint64_t k = 0; k < kOps; ++k)
+        batch.put(20'000 + k, k);
+    ASSERT_TRUE(store.applyBatch(session, batch));
+    const std::uint64_t fsyncs2 =
+        store.telemetry().value("wal_fsyncs");
+    EXPECT_GE(fsyncs2 - fsyncs1, 1u);
+    EXPECT_LE(fsyncs2 - fsyncs1, 4u);
+
+    store.closeSession(session);
+}
+
+TEST_F(WalTest, GrowRetryBatchStillRidesOneBarrier)
+{
+    {
+        KvStore store(durableStore(1, Durability::kFsyncGroup));
+        auto session = store.openSession();
+        // One oversized batch against the 2^10-slot table must
+        // space-fail, grow and retry — several WAL appends on the
+        // shard, still exactly ONE fsync for the whole batch.
+        const std::uint64_t fsyncs0 =
+            store.telemetry().value("wal_fsyncs");
+        KvStore::Batch batch;
+        for (std::uint64_t k = 0; k < 1500; ++k)
+            batch.put(k + 1, k * 3);
+        ASSERT_TRUE(store.applyBatch(session, batch));
+        const std::uint64_t fsyncs1 =
+            store.telemetry().value("wal_fsyncs");
+        EXPECT_EQ(fsyncs1 - fsyncs0, 1u);
+        store.closeSession(session);
+    }
+    // The coalesced barrier still made everything durable.
+    KvStore store(durableStore(1, Durability::kFsyncGroup));
+    auto session = store.openSession();
+    std::uint64_t value = 0;
+    for (std::uint64_t k = 0; k < 1500; k += 97) {
+        ASSERT_TRUE(store.get(session, k + 1, &value)) << "key " << k;
+        EXPECT_EQ(value, k * 3);
+    }
+    store.closeSession(session);
+}
+
 TEST_F(WalTest, CheckpointTruncatesLogAndPreservesData)
 {
     {
