@@ -22,6 +22,15 @@
  * in Prometheus text format.
  *
  * Build & run:  ./build/kv_service
+ *
+ * Exit codes:
+ *   0  graceful run (including SIGINT/SIGTERM orderly shutdown)
+ *   1  acceptance failure (a shard never re-tuned, value-layer check)
+ *   3  durability failure — the store's health ladder reached
+ *      kFailed (unrescuable WAL loss); final telemetry is dumped so
+ *      the flight recorder's wal.error / health.transition events
+ *      survive the crash-out. A degraded-read-only store does NOT
+ *      exit: it logs once and keeps serving reads.
  */
 
 #include <atomic>
@@ -159,6 +168,7 @@ main()
     std::thread reporter([&] {
         Stopwatch sw;
         double next_tick = 1.0;
+        bool degraded_logged = false;
         while (!done.load()) {
             if (sw.elapsedSeconds() < next_tick) {
                 std::this_thread::sleep_for(
@@ -166,6 +176,17 @@ main()
                 continue;
             }
             next_tick += 1.0;
+            // Degradation is a service event, not a service death:
+            // writes bounce with kReadOnly but reads keep flowing, so
+            // log it once and stay up. Only kFailed exits (below).
+            const kvstore::Health health = store.health();
+            if (health != kvstore::Health::kHealthy &&
+                !degraded_logged) {
+                degraded_logged = true;
+                std::printf("!!! store health is now %s — writes "
+                            "rejected, continuing to serve reads\n",
+                            kvstore::healthName(health));
+            }
             const obs::TelemetrySnapshot snap = store.telemetry();
             std::printf(
                 "[telemetry t=%.0fs] ops=%llu tm_commits=%llu "
@@ -208,8 +229,12 @@ main()
     std::vector<std::vector<rectm::PeriodRecord>> records;
     bool interrupted = false;
     try {
-        records = tuner.run(kPeriods, [](std::size_t, int) {
+        records = tuner.run(kPeriods, [&store](std::size_t, int) {
             if (g_signal.load() != 0)
+                throw ServiceShutdown{};
+            // A failed durability plane cancels the run the same
+            // orderly way a signal does; main() then exits 3.
+            if (store.health() == kvstore::Health::kFailed)
                 throw ServiceShutdown{};
         });
     } catch (const ServiceShutdown &) {
@@ -219,6 +244,23 @@ main()
     phaser.join();
     reporter.join();
     driver.stop();
+
+    if (store.health() == kvstore::Health::kFailed) {
+        // Durability contract void: dump everything the registry and
+        // flight recorder know (the wal.error / health.transition
+        // trail is in here), then exit with the distinct code the
+        // supervisor keys restarts off — see the exit-code contract
+        // in the header comment.
+        std::printf("FATAL: store health is failed — a shard's WAL is "
+                    "unusable; %llu writes rejected, %llu wal errors\n",
+                    static_cast<unsigned long long>(
+                        store.telemetry().value("writes_rejected")),
+                    static_cast<unsigned long long>(
+                        store.telemetry().value("wal_errors")));
+        std::printf("\n--- final telemetry (Prometheus text) ---\n%s",
+                    store.telemetry().toPrometheus().c_str());
+        return 3;
+    }
 
     std::printf("\n%llu client ops served (%llu cross-shard "
                 "multiOps)\n",
@@ -292,7 +334,17 @@ main()
 
     // Epilogue: the value layer in one breath — a wide (blob) value
     // with a TTL round-trips, then expires; shards report how often
-    // they grew online under the day's traffic.
+    // they grew online under the day's traffic. A degraded store
+    // rejects these writes by design, so the epilogue (and the final
+    // checkpoint) only run while healthy — degraded drains still
+    // exit 0 per the contract at the top of this file.
+    if (store.health() != kvstore::Health::kHealthy) {
+        std::printf("store drained degraded: skipping the write-based "
+                    "epilogue and final checkpoint\n");
+        std::printf("\n--- final telemetry (Prometheus text) ---\n%s",
+                    store.telemetry().toPrometheus().c_str());
+        return 0;
+    }
     {
         auto session = store.openSession();
         std::string blob(256, '\0');

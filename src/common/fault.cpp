@@ -1,0 +1,347 @@
+#include "common/fault.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace proteus::fault {
+
+/**
+ * Process-global point registry. Points are static objects inside
+ * translation units; they register here from their constructors (any
+ * thread, any time), and tests arm by name possibly before the
+ * owning call site has ever executed — hence the pending-spec map.
+ *
+ * Leaked singleton: FaultPoints are function-local statics whose
+ * destruction order against this registry is undefined, so the
+ * registry must outlive them all. Lives outside the anonymous
+ * namespace so FaultPoint's friend declaration reaches it.
+ */
+class Registry {
+  public:
+    static Registry &
+    instance()
+    {
+        static Registry *r = new Registry();
+        return *r;
+    }
+
+    void
+    add(FaultPoint *p)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        p->next_ = head_;
+        head_ = p;
+        auto it = pending_.find(p->name_);
+        if (it != pending_.end()) {
+            p->arm(it->second);
+            pending_.erase(it);
+        }
+    }
+
+    bool
+    arm(const std::string &name, const FaultSpec &spec)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (FaultPoint *p = findLocked(name)) {
+            p->arm(spec);
+            return true;
+        }
+        pending_[name] = spec;
+        return false;
+    }
+
+    void
+    disarm(const std::string &name)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        pending_.erase(name);
+        if (FaultPoint *p = findLocked(name))
+            p->disarm();
+    }
+
+    void
+    disarmAll()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        pending_.clear();
+        for (FaultPoint *p = head_; p; p = p->next_)
+            p->disarm();
+    }
+
+    FaultPoint *
+    find(const std::string &name)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return findLocked(name);
+    }
+
+    std::string
+    describeArmed()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        std::ostringstream out;
+        for (FaultPoint *p = head_; p; p = p->next_) {
+            FaultSpec spec;
+            {
+                std::lock_guard<std::mutex> plk(p->mu_);
+                spec = p->spec_;
+            }
+            const std::uint64_t fired =
+                p->fires_.load(std::memory_order_relaxed);
+            if (spec.trigger == FaultSpec::Trigger::kOff && fired == 0)
+                continue;
+            out << p->name_ << ' ' << describeSpec(spec)
+                << " fires=" << fired << '\n';
+        }
+        for (const auto &[name, spec] : pending_)
+            out << name << ' ' << describeSpec(spec) << " pending\n";
+        return out.str();
+    }
+
+  private:
+    Registry() = default;
+
+    FaultPoint *
+    findLocked(const std::string &name)
+    {
+        for (FaultPoint *p = head_; p; p = p->next_)
+            if (name == p->name_)
+                return p;
+        return nullptr;
+    }
+
+    static std::string
+    describeSpec(const FaultSpec &s)
+    {
+        std::ostringstream out;
+        switch (s.trigger) {
+        case FaultSpec::Trigger::kOff:
+            out << "off";
+            break;
+        case FaultSpec::Trigger::kProbability:
+            out << "p=" << s.probability << (s.oneShot ? ":once" : ":sticky")
+                << ":seed=" << s.seed;
+            break;
+        case FaultSpec::Trigger::kNth:
+            out << "nth=" << s.nth;
+            break;
+        case FaultSpec::Trigger::kOnce:
+            out << "once";
+            break;
+        }
+        out << ":err=" << s.err;
+        if (s.arg != 0)
+            out << ":arg=" << s.arg;
+        return out.str();
+    }
+
+    std::mutex mu_;
+    FaultPoint *head_ = nullptr;
+    std::map<std::string, FaultSpec> pending_;
+};
+
+namespace {
+
+int
+parseErrno(const std::string &tok)
+{
+    if (tok == "EIO")
+        return EIO;
+    if (tok == "ENOSPC")
+        return ENOSPC;
+    if (tok == "EDQUOT")
+        return EDQUOT;
+    if (tok == "EINTR")
+        return EINTR;
+    if (tok == "EAGAIN")
+        return EAGAIN;
+    return std::atoi(tok.c_str());
+}
+
+/** Parse one "name:key=value:..." entry; returns false on syntax the
+ *  parser can't make sense of (entry is skipped with a warning). */
+bool
+parseEntry(const std::string &entry, std::string *name, FaultSpec *spec)
+{
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (start <= entry.size()) {
+        std::size_t colon = entry.find(':', start);
+        if (colon == std::string::npos)
+            colon = entry.size();
+        fields.push_back(entry.substr(start, colon - start));
+        start = colon + 1;
+    }
+    if (fields.empty() || fields[0].empty())
+        return false;
+    *name = fields[0];
+    *spec = FaultSpec{};
+    spec->trigger = FaultSpec::Trigger::kOnce;
+    for (std::size_t i = 1; i < fields.size(); ++i) {
+        const std::string &f = fields[i];
+        if (f == "once") {
+            spec->trigger = FaultSpec::Trigger::kOnce;
+        } else if (f == "sticky") {
+            spec->oneShot = false;
+        } else if (f.rfind("p=", 0) == 0) {
+            spec->trigger = FaultSpec::Trigger::kProbability;
+            spec->probability = std::atof(f.c_str() + 2);
+        } else if (f.rfind("nth=", 0) == 0) {
+            spec->trigger = FaultSpec::Trigger::kNth;
+            spec->nth = std::strtoull(f.c_str() + 4, nullptr, 10);
+        } else if (f.rfind("err=", 0) == 0) {
+            spec->err = parseErrno(f.substr(4));
+        } else if (f.rfind("seed=", 0) == 0) {
+            spec->seed = std::strtoull(f.c_str() + 5, nullptr, 10);
+        } else if (f.rfind("arg=", 0) == 0) {
+            spec->arg = std::strtoull(f.c_str() + 4, nullptr, 10);
+        } else if (!f.empty()) {
+            return false;
+        }
+    }
+    return spec->err != 0 &&
+           (spec->trigger != FaultSpec::Trigger::kNth || spec->nth > 0);
+}
+
+} // namespace
+
+FaultPoint::FaultPoint(const char *name) : name_(name)
+{
+    armFromEnv();
+    Registry::instance().add(this);
+}
+
+void
+FaultPoint::arm(const FaultSpec &spec)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    spec_ = spec;
+    if (spec_.trigger != FaultSpec::Trigger::kProbability)
+        spec_.oneShot = true;
+    hits_ = 0;
+    rng_ = spec.seed ? spec.seed : 0x9e3779b97f4a7c15ull;
+    arg_.store(spec.arg, std::memory_order_relaxed);
+    armed_.store(spec.trigger != FaultSpec::Trigger::kOff,
+                 std::memory_order_relaxed);
+}
+
+void
+FaultPoint::disarm()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    armed_.store(false, std::memory_order_relaxed);
+    spec_ = FaultSpec{};
+    arg_.store(0, std::memory_order_relaxed);
+}
+
+int
+FaultPoint::fireSlow() noexcept
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!armed_.load(std::memory_order_relaxed))
+        return 0; // raced a disarm
+    ++hits_;
+    bool fire = false;
+    switch (spec_.trigger) {
+    case FaultSpec::Trigger::kOff:
+        break;
+    case FaultSpec::Trigger::kProbability: {
+        rng_ ^= rng_ << 13;
+        rng_ ^= rng_ >> 7;
+        rng_ ^= rng_ << 17;
+        const double u01 =
+            static_cast<double>(rng_ >> 11) * 0x1.0p-53; // [0,1)
+        fire = u01 < spec_.probability;
+        break;
+    }
+    case FaultSpec::Trigger::kNth:
+        fire = hits_ == spec_.nth;
+        break;
+    case FaultSpec::Trigger::kOnce:
+        fire = true;
+        break;
+    }
+    if (!fire)
+        return 0;
+    fires_.fetch_add(1, std::memory_order_relaxed);
+    if (spec_.oneShot)
+        armed_.store(false, std::memory_order_relaxed);
+    return spec_.err;
+}
+
+bool
+arm(const std::string &name, const FaultSpec &spec)
+{
+    return Registry::instance().arm(name, spec);
+}
+
+void
+disarm(const std::string &name)
+{
+    Registry::instance().disarm(name);
+}
+
+void
+disarmAll()
+{
+    Registry::instance().disarmAll();
+}
+
+FaultPoint *
+find(const std::string &name)
+{
+    return Registry::instance().find(name);
+}
+
+std::uint64_t
+firesOf(const std::string &name)
+{
+    FaultPoint *p = Registry::instance().find(name);
+    return p ? p->fires() : 0;
+}
+
+std::string
+describeArmed()
+{
+    return Registry::instance().describeArmed();
+}
+
+void
+armFromEnv()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        const char *env = std::getenv("PROTEUS_FAULT");
+        if (!env || !*env)
+            return;
+        const std::string all(env);
+        std::size_t start = 0;
+        while (start <= all.size()) {
+            std::size_t sep = all.find_first_of(";,", start);
+            if (sep == std::string::npos)
+                sep = all.size();
+            const std::string entry = all.substr(start, sep - start);
+            start = sep + 1;
+            if (entry.empty())
+                continue;
+            std::string name;
+            FaultSpec spec;
+            if (parseEntry(entry, &name, &spec)) {
+                Registry::instance().arm(name, spec);
+            } else {
+                std::fprintf(stderr,
+                             "proteus: ignoring malformed PROTEUS_FAULT "
+                             "entry \"%s\"\n",
+                             entry.c_str());
+            }
+        }
+    });
+}
+
+} // namespace proteus::fault

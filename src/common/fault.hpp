@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Deterministic fault injection: named FaultPoints compiled into
+ * production code paths.
+ *
+ * A call site declares a static FaultPoint and asks it before (or
+ * instead of) a fallible syscall:
+ *
+ *     static fault::FaultPoint fp("wal.fsync");
+ *     if (int e = fp.fire()) { errno = e; rc = -1; }
+ *     else                   rc = ::fdatasync(fd);
+ *
+ * Disarmed points cost exactly one relaxed atomic load and one
+ * predictable branch — cheap enough to leave in release builds (the
+ * read-heavy bench's obs_overhead_pct gate holds with the harness
+ * compiled in). Armed points take a mutex on the slow path only.
+ *
+ * Triggers are deterministic and seeded so a failing chaos-hunter
+ * iteration can be replayed exactly:
+ *   - nth-hit: fire on the nth evaluation after arming, then disarm;
+ *   - one-shot: fire on the next evaluation, then disarm;
+ *   - probability: fire with probability p per evaluation, driven by
+ *     a private seeded xorshift stream (optionally one-shot).
+ *
+ * Arming is either programmatic (tests: fault::arm("wal.fsync",
+ * spec)) or environment-driven for whole-process chaos runs:
+ *
+ *     PROTEUS_FAULT="wal.fsync:nth=3:err=EIO;ckpt.rename:once"
+ *
+ * Entries are ';' or ',' separated; within an entry the first ':'
+ * field is the point name and the rest are key=value settings:
+ * p=<float>, nth=<n>, once, sticky (repeat-fire probability),
+ * err=<EIO|ENOSPC|EDQUOT|EINTR|EAGAIN|number>, seed=<n>, arg=<n>.
+ * Points register lazily (first execution of their call site), so
+ * arming by name is order-independent: a spec for a not-yet-seen
+ * point is held pending and applied at registration.
+ */
+
+#ifndef PROTEUS_COMMON_FAULT_HPP
+#define PROTEUS_COMMON_FAULT_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace proteus::fault {
+
+struct FaultSpec {
+    enum class Trigger : std::uint8_t {
+        kOff = 0,
+        kProbability, ///< fire with `probability` per evaluation
+        kNth,         ///< fire on the nth (1-based) evaluation
+        kOnce,        ///< fire on the next evaluation
+    };
+
+    Trigger trigger = Trigger::kOff;
+    double probability = 0.0;
+    std::uint64_t nth = 1;
+    /** Disarm after the first fire. Forced for kNth/kOnce; optional
+     *  for kProbability ("sticky" keeps firing). */
+    bool oneShot = true;
+    /** errno delivered to the call site when the point fires. */
+    int err = 5; // EIO
+    /** Point-specific argument (e.g. wal.append.short_write's byte
+     *  cap — how much of the frame really reaches the fd). */
+    std::uint64_t arg = 0;
+    std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+};
+
+class FaultPoint {
+  public:
+    /** Registers the point under `name` (must be a string literal or
+     *  otherwise outlive the point) and applies any pending spec. */
+    explicit FaultPoint(const char *name);
+
+    FaultPoint(const FaultPoint &) = delete;
+    FaultPoint &operator=(const FaultPoint &) = delete;
+
+    /** Returns 0 (proceed) or the errno to simulate. Disarmed cost:
+     *  one relaxed load + branch. */
+    int
+    fire() noexcept
+    {
+        if (!armed_.load(std::memory_order_relaxed)) [[likely]]
+            return 0;
+        return fireSlow();
+    }
+
+    const char *name() const { return name_; }
+    /** The armed spec's `arg` (0 when disarmed / unset). */
+    std::uint64_t
+    arg() const
+    {
+        return arg_.load(std::memory_order_relaxed);
+    }
+    /** Times this point fired since process start. */
+    std::uint64_t
+    fires() const
+    {
+        return fires_.load(std::memory_order_relaxed);
+    }
+
+    void arm(const FaultSpec &spec);
+    void disarm();
+
+  private:
+    friend class Registry;
+
+    int fireSlow() noexcept;
+
+    const char *name_;
+    std::atomic<bool> armed_{false};
+    std::atomic<std::uint64_t> fires_{0};
+    std::atomic<std::uint64_t> arg_{0};
+    mutable std::mutex mu_; ///< armed slow path + spec swaps only
+    FaultSpec spec_{};
+    std::uint64_t hits_ = 0; ///< evaluations since arm
+    std::uint64_t rng_ = 0;  ///< xorshift state (probability trigger)
+    FaultPoint *next_ = nullptr; ///< registry intrusive list
+};
+
+/**
+ * Arm `name` now if the point is registered, else hold the spec
+ * pending and apply it when the point's call site first executes.
+ * Returns true when the point was already registered.
+ */
+bool arm(const std::string &name, const FaultSpec &spec);
+
+/** Disarm one point (and drop any pending spec under that name). */
+void disarm(const std::string &name);
+
+/** Disarm every registered point and drop all pending specs. Call in
+ *  test teardown — points are process-global. */
+void disarmAll();
+
+/** nullptr when no call site has registered the name yet. */
+FaultPoint *find(const std::string &name);
+
+/** Total fires of `name` (0 when unregistered). */
+std::uint64_t firesOf(const std::string &name);
+
+/**
+ * One line per armed or pending point ("name trigger=nth:3 err=5
+ * seed=... fires=1"), for persisting a chaos iteration's fault
+ * schedule next to its WAL directory.
+ */
+std::string describeArmed();
+
+/** Parse PROTEUS_FAULT (see file comment). Runs automatically before
+ *  the first registration; safe to call again (idempotent). */
+void armFromEnv();
+
+} // namespace proteus::fault
+
+#endif // PROTEUS_COMMON_FAULT_HPP

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
+#include <new>
 #include <stdexcept>
 #include <thread>
 
@@ -50,6 +52,31 @@ restoreUndoRangeTx(Shard &shard, polytm::Tx &tx,
 
 } // namespace
 
+const char *
+healthName(Health h)
+{
+    switch (h) {
+      case Health::kHealthy:          return "healthy";
+      case Health::kDegradedReadOnly: return "degraded_readonly";
+      case Health::kFailed:           return "failed";
+    }
+    return "unknown";
+}
+
+const char *
+kvStatusName(KvStatus s)
+{
+    switch (s) {
+      case KvStatus::kOk:       return "ok";
+      case KvStatus::kNotFound: return "not_found";
+      case KvStatus::kNoSpace:  return "no_space";
+      case KvStatus::kNoMemory: return "no_memory";
+      case KvStatus::kReadOnly: return "read_only";
+      case KvStatus::kWalError: return "wal_error";
+    }
+    return "unknown";
+}
+
 KvStore::KvStore(KvStoreOptions options)
     : options_(options), commitMode_(options.commitMode),
       recorder_(options.telemetry),
@@ -63,6 +90,11 @@ KvStore::KvStore(KvStoreOptions options)
       walFsyncs_(metrics_.counter("wal_fsyncs")),
       walBytes_(metrics_.counter("wal_bytes")),
       walCkptChunks_(metrics_.counter("checkpoint_chunks")),
+      walErrors_(metrics_.counter("wal_errors")),
+      walRescues_(metrics_.counter("wal_rescues")),
+      walCkptFailures_(metrics_.counter("checkpoint_failures")),
+      writesRejected_(metrics_.counter("writes_rejected")),
+      healthTransitions_(metrics_.counter("health_transitions")),
       walFsyncNanos_(metrics_.histogram("wal_fsync_nanos"))
 {
     if (options.numShards <= 0)
@@ -205,6 +237,16 @@ KvStore::KvStore(KvStoreOptions options)
         return sumShards([](const Shard &shard) {
             return shard.arena().limboCount();
         });
+    });
+    metrics_.gaugeFn("health_state", [this] {
+        return static_cast<std::uint64_t>(
+            health_.load(std::memory_order_relaxed));
+    });
+    metrics_.gaugeFn("wal_lost_bytes", [this] {
+        std::uint64_t total = 0;
+        for (const auto &shard_wal : wals_)
+            total += shard_wal->lostBytes();
+        return total;
     });
 
     if (options_.durability != Durability::kOff) {
@@ -381,10 +423,12 @@ KvStore::getBytes(Session &session, std::uint64_t key, std::string *out)
     return ok;
 }
 
-bool
+KvResult
 KvStore::put(Session &session, std::uint64_t key, std::uint64_t value,
              std::uint64_t ttl_nanos)
 {
+    if (const KvStatus gate = admitWrite(); gate != KvStatus::kOk)
+        return gate;
     const std::size_t s = shardOf(key);
     Shard &shard = *shards_[s];
     const std::uint64_t ttl =
@@ -405,24 +449,27 @@ KvStore::put(Session &session, std::uint64_t key, std::uint64_t value,
                 lsn = shard.walTicketTx(tx);
         });
         if (ok) {
+            KvStatus wal_status = KvStatus::kOk;
             if (durable())
-                logSingleOp(
+                wal_status = logSingleOp(
                     s, lsn,
                     {wal::WalOp::Kind::kPut, key, value, expiry, {}});
             retireDisplaced(session, static_cast<std::uint32_t>(s),
                             reclaim);
             shard.finishWrite(session.tokens_[s], pre);
-            return true;
+            return wal_status;
         }
         if (!shard.tryGrow(session.tokens_[s], cap))
-            return false;
+            return KvStatus::kNoSpace;
     }
 }
 
-bool
+KvResult
 KvStore::putBytes(Session &session, std::uint64_t key, const void *data,
                   std::size_t len, std::uint64_t ttl_nanos)
 {
+    if (const KvStatus gate = admitWrite(); gate != KvStatus::kOk)
+        return gate;
     const std::size_t s = shardOf(key);
     Shard &shard = *shards_[s];
     const std::uint64_t ttl =
@@ -430,11 +477,15 @@ KvStore::putBytes(Session &session, std::uint64_t key, const void *data,
     const std::uint64_t expiry = ttl == 0 ? 0 : nowNanos() + ttl;
     if (expiry != 0)
         shard.noteTtlUsed();
-    const ValueRef ref =
-        len <= kValueRefInlineMax
-            ? makeInlineRef(data, len)
-            : shard.arena().allocBlob(data, len,
-                                      &session.arenaCaches_[s]);
+    ValueRef ref = 0;
+    try {
+        ref = len <= kValueRefInlineMax
+                  ? makeInlineRef(data, len)
+                  : shard.arena().allocBlob(data, len,
+                                            &session.arenaCaches_[s]);
+    } catch (const std::bad_alloc &) {
+        return KvStatus::kNoMemory; // nothing staged, nothing written
+    }
     std::vector<std::uint64_t> reclaim;
     for (;;) {
         const std::size_t cap = shard.capacity();
@@ -448,28 +499,31 @@ KvStore::putBytes(Session &session, std::uint64_t key, const void *data,
                 lsn = shard.walTicketTx(tx);
         });
         if (ok) {
+            KvStatus wal_status = KvStatus::kOk;
             if (durable()) {
                 wal::WalOp op{wal::WalOp::Kind::kPutBytes, key, 0,
                               expiry, {}};
                 op.bytes.assign(static_cast<const char *>(data), len);
-                logSingleOp(s, lsn, std::move(op));
+                wal_status = logSingleOp(s, lsn, std::move(op));
             }
             retireDisplaced(session, static_cast<std::uint32_t>(s),
                             reclaim);
             shard.finishWrite(session.tokens_[s], pre);
-            return true;
+            return wal_status;
         }
         if (!shard.tryGrow(session.tokens_[s], cap)) {
             // Never published: immediate recycle is safe.
             shard.arena().freeBlob(ref, &session.arenaCaches_[s]);
-            return false;
+            return KvStatus::kNoSpace;
         }
     }
 }
 
-bool
+KvResult
 KvStore::del(Session &session, std::uint64_t key)
 {
+    if (const KvStatus gate = admitWrite(); gate != KvStatus::kOk)
+        return gate;
     const std::size_t s = shardOf(key);
     Shard &shard = *shards_[s];
     bool ok = false;
@@ -482,8 +536,10 @@ KvStore::del(Session &session, std::uint64_t key)
         if (durable())
             lsn = shard.walTicketTx(tx);
     });
+    KvStatus wal_status = KvStatus::kOk;
     if (durable())
-        logSingleOp(s, lsn, {wal::WalOp::Kind::kDel, key, 0, 0, {}});
+        wal_status = logSingleOp(
+            s, lsn, {wal::WalOp::Kind::kDel, key, 0, 0, {}});
     // Stale readers may hold the displaced handles: retire, batched.
     retireDisplaced(session, static_cast<std::uint32_t>(s), reclaim);
     if (slotStateIsValue(pre.state)) {
@@ -493,7 +549,9 @@ KvStore::del(Session &session, std::uint64_t key)
         // (and stall an in-flight migration).
         shard.maintainTick(session.tokens_[s]);
     }
-    return ok;
+    if (wal_status != KvStatus::kOk)
+        return wal_status;
+    return ok ? KvStatus::kOk : KvStatus::kNotFound;
 }
 
 std::size_t
@@ -815,7 +873,7 @@ class PinSpan
 
 } // namespace
 
-bool
+KvResult
 KvStore::multiOp(Session &session, std::vector<KvOp> &ops)
 {
     bool writes = false;
@@ -823,10 +881,15 @@ KvStore::multiOp(Session &session, std::vector<KvOp> &ops)
         writes |= op.kind != KvOp::Kind::kGet &&
                   op.kind != KvOp::Kind::kGetBytes;
     }
+    if (writes) {
+        if (const KvStatus gate = admitWrite(); gate != KvStatus::kOk)
+            return gate;
+    }
     groupByShard(*this, options_.defaultTtlNanos, ops, session.scratch_,
                  session.slices_);
     if (session.slices_.empty())
-        return true;
+        return KvStatus::kOk;
+    session.walStatus_ = KvStatus::kOk;
 
     // Stage wide values up-front: blob allocation is a side effect a
     // retried prepare must not repeat, so each kPutBytes op gets its
@@ -846,9 +909,16 @@ KvStore::multiOp(Session &session, std::vector<KvOp> &ops)
                 op->value =
                     makeInlineRef(op->bytes.data(), op->bytes.size());
             } else {
-                op->value = shards_[tagged.shard]->arena().allocBlob(
-                    op->bytes.data(), op->bytes.size(),
-                    &session.arenaCaches_[tagged.shard]);
+                try {
+                    op->value =
+                        shards_[tagged.shard]->arena().allocBlob(
+                            op->bytes.data(), op->bytes.size(),
+                            &session.arenaCaches_[tagged.shard]);
+                } catch (const std::bad_alloc &) {
+                    // Nothing ran yet; recycle what was staged so far.
+                    releaseStagedBlobs(session, false);
+                    return KvStatus::kNoMemory;
+                }
                 session.newBlobs_.emplace_back(tagged.shard, op->value);
             }
         }
@@ -891,7 +961,16 @@ KvStore::multiOp(Session &session, std::vector<KvOp> &ops)
             session.reclaim_.clear(); // pre-images stayed live
         }
     }
-    return ok;
+    if (!ok) {
+        // A WAL failure aborts the composite before it becomes
+        // visible (kFailed from the 2PC prepare round); otherwise the
+        // failure was capacity.
+        return session.walStatus_ != KvStatus::kOk ? session.walStatus_
+                                                   : KvStatus::kNoSpace;
+    }
+    // Committed in memory; a non-kOk walStatus_ means the commit is
+    // NOT acknowledged durable (see KvStatus::kWalError).
+    return session.walStatus_;
 }
 
 void
@@ -998,8 +1077,14 @@ KvStore::multiOpSingleShard(Session &session, bool writes)
             rec.type = wal::RecordType::kBatch;
             rec.lsn = lsn;
             rec.ops = std::move(session.walOps_);
-            wals_[slice.shard]->appendAndBarrier(rec);
+            const wal::AppendResult res =
+                wals_[slice.shard]->appendAndBarrier(rec);
             session.walOps_.clear();
+            // Memory already committed (single TM transaction): the
+            // op completes un-acked; the ladder decides store health.
+            if (res.err != wal::WalError::kOk)
+                session.walStatus_ =
+                    committedBatchWalError(slice.shard, rec, res);
         }
         std::size_t consumed = 0;
         for (const Session::Undo &entry : session.undo_)
@@ -1173,6 +1258,7 @@ KvStore::multiOpTwoPhaseWrite(Session &session)
 
     try {
         bool full = false;
+        bool wal_abort = false;
         std::uint32_t full_shard = 0;
         std::size_t full_capacity = 0;
         std::size_t prepared = 0;
@@ -1298,7 +1384,56 @@ KvStore::multiOpTwoPhaseWrite(Session &session)
                 ++prepared;
             }
 
-            if (full) {
+            // Durable-before-visible, round (a): every participant's
+            // prepare record (its post-images) must be durable on its
+            // own log BEFORE any outcome is appended anywhere —
+            // without this, a buffer spill could leak a commit
+            // outcome to disk while a peer's prepare was still
+            // buffered, and a kill-9 would recover half the
+            // transaction. A failed append or barrier here aborts the
+            // whole composite: no outcome record exists on any shard
+            // yet, so recovery resolves the orphaned prepares as
+            // ABORT — unwinding the in-memory intents keeps the live
+            // store and the recovered store identical.
+            std::uint32_t werr_shard = 0;
+            wal::WalError werr = wal::WalError::kOk;
+            if (!full && durable()) {
+                wal_txid = walTxnId_.fetch_add(
+                               1, std::memory_order_relaxed) +
+                           1;
+                std::vector<std::uint64_t> prep_ends(slices.size());
+                for (std::size_t j = 0; j < slices.size(); ++j) {
+                    wal::Record prep;
+                    prep.type = wal::RecordType::kTxnPrepare;
+                    prep.txid = wal_txid;
+                    prep.lsn = session.walLsns_[j];
+                    const auto range = session.walOpRanges_[j];
+                    prep.ops.assign(
+                        session.walOps_.begin() + range.first,
+                        session.walOps_.begin() + range.second);
+                    const wal::AppendResult res =
+                        wals_[slices[j].shard]->append(prep);
+                    prep_ends[j] = res.end;
+                    if (res.err != wal::WalError::kOk) {
+                        werr = res.err;
+                        werr_shard = slices[j].shard;
+                        break;
+                    }
+                }
+                for (std::size_t j = 0;
+                     werr == wal::WalError::kOk && j < slices.size();
+                     ++j) {
+                    const wal::WalError e =
+                        wals_[slices[j].shard]->barrier(prep_ends[j]);
+                    if (e != wal::WalError::kOk) {
+                        werr = e;
+                        werr_shard = slices[j].shard;
+                    }
+                }
+                wal_abort = werr != wal::WalError::kOk;
+            }
+
+            if (full || wal_abort) {
                 // All-or-nothing: nothing committed on the failing
                 // shard (its transaction rolled back), and the
                 // already-prepared shards only hold invisible intents
@@ -1306,9 +1441,11 @@ KvStore::multiOpTwoPhaseWrite(Session &session)
                 ctx.record.status.store((armed & ~std::uint64_t{3}) |
                                             CommitRecord::kAborted,
                                         std::memory_order_release);
-                twoPhaseAborts_.add(1, full_shard);
+                const std::uint32_t abort_shard =
+                    full ? full_shard : werr_shard;
+                twoPhaseAborts_.add(1, abort_shard);
                 recorder_.record(obs::TraceKind::kTwoPhaseAbort,
-                                 static_cast<std::int32_t>(full_shard),
+                                 static_cast<std::int32_t>(abort_shard),
                                  commitSequence(), full_capacity,
                                  prepared);
                 for (std::size_t j = 0; j < prepared; ++j) {
@@ -1322,6 +1459,22 @@ KvStore::multiOpTwoPhaseWrite(Session &session)
                                 shard.abortIntentTx(
                                     tx, session.intents_[k]);
                         });
+                }
+                if (wal_abort) {
+                    // Best-effort abort outcome on every participant
+                    // (recovery would abort the in-doubt prepares
+                    // anyway; this just spares it the doubt). Only
+                    // then consult the ladder — the record is already
+                    // resolved, so the rescue rotation can never
+                    // deadlock against a checkpoint walking over this
+                    // transaction's intents.
+                    wal::Record outcome;
+                    outcome.type = wal::RecordType::kTxnOutcome;
+                    outcome.txid = wal_txid;
+                    outcome.committed = false;
+                    for (const auto &slice : slices)
+                        wals_[slice.shard]->appendAndBarrier(outcome);
+                    session.walStatus_ = onWalError(werr_shard, werr);
                 }
             } else {
                 // Phase 2: the commit point, in snapshot-epoch order:
@@ -1344,42 +1497,20 @@ KvStore::multiOpTwoPhaseWrite(Session &session)
                     obs::TraceKind::kTwoPhasePrepare, -1,
                     commitSequence(), slices.size(),
                     session.intents_.size());
-                // Durable-before-visible, in two barrier rounds:
-                //  (a) every participant's prepare record (its
-                //      post-images) is durable on its own log BEFORE
-                //      any outcome is appended anywhere — without
-                //      this, a buffer spill could leak a commit
-                //      outcome to disk while a peer's prepare was
-                //      still buffered, and a kill-9 would recover
-                //      half the transaction;
-                //  (b) the commit outcome reaches EVERY participant's
-                //      log and its barrier before the record is
-                //      stamped or flipped, so no reader observes a
-                //      commit recovery could lose.
+                // Durable-before-visible, round (b): the commit
+                // outcome reaches EVERY participant's log and its
+                // barrier before the record is stamped or flipped, so
+                // no reader observes a commit recovery could lose.
                 // Recovery may therefore trust any single durable
-                // outcome: (a) guarantees all prepares are on disk.
-                if (durable()) {
-                    wal_txid =
-                        walTxnId_.fetch_add(
-                            1, std::memory_order_relaxed) +
-                        1;
-                    std::vector<std::uint64_t> prep_ends(
-                        slices.size());
-                    for (std::size_t j = 0; j < slices.size(); ++j) {
-                        wal::Record prep;
-                        prep.type = wal::RecordType::kTxnPrepare;
-                        prep.txid = wal_txid;
-                        prep.lsn = session.walLsns_[j];
-                        const auto range = session.walOpRanges_[j];
-                        prep.ops.assign(
-                            session.walOps_.begin() + range.first,
-                            session.walOps_.begin() + range.second);
-                        prep_ends[j] =
-                            wals_[slices[j].shard]->append(prep);
-                    }
-                    for (std::size_t j = 0; j < slices.size(); ++j)
-                        wals_[slices[j].shard]->barrier(prep_ends[j]);
-                }
+                // outcome: round (a) above guaranteed all prepares
+                // are on disk. An outcome append/barrier failure does
+                // NOT abort: the outcome may already be durable on a
+                // sibling shard, and aborting in memory while
+                // recovery would commit diverges with data loss —
+                // instead the commit flips as usual and the composite
+                // returns un-acked (kWalError: the effect may or may
+                // not survive recovery, which the ack contract
+                // permits for un-acknowledged operations).
                 const std::uint64_t commit_seq =
                     commitSeq_.fetch_add(1, std::memory_order_acq_rel) +
                     1;
@@ -1392,12 +1523,26 @@ KvStore::multiOpTwoPhaseWrite(Session &session)
                     outcome.commitSeq = commit_seq;
                     outcome.committed = true;
                     session.walLsns_.clear(); // reuse as end offsets
-                    for (const auto &slice : slices)
-                        session.walLsns_.push_back(
-                            wals_[slice.shard]->append(outcome));
-                    for (std::size_t j = 0; j < slices.size(); ++j)
-                        wals_[slices[j].shard]->barrier(
-                            session.walLsns_[j]);
+                    for (const auto &slice : slices) {
+                        const wal::AppendResult res =
+                            wals_[slice.shard]->append(outcome);
+                        session.walLsns_.push_back(res.end);
+                        if (res.err != wal::WalError::kOk &&
+                            werr == wal::WalError::kOk) {
+                            werr = res.err;
+                            werr_shard = slice.shard;
+                        }
+                    }
+                    for (std::size_t j = 0; j < slices.size(); ++j) {
+                        const wal::WalError e =
+                            wals_[slices[j].shard]->barrier(
+                                session.walLsns_[j]);
+                        if (e != wal::WalError::kOk &&
+                            werr == wal::WalError::kOk) {
+                            werr = e;
+                            werr_shard = slices[j].shard;
+                        }
+                    }
                 }
                 ctx.record.commitSeq.store(
                     CommitRecord::packSeq(commit_seq,
@@ -1412,6 +1557,29 @@ KvStore::multiOpTwoPhaseWrite(Session &session)
                 recorder_.record(obs::TraceKind::kTwoPhaseFlip, -1,
                                  commit_seq, slices.size(),
                                  session.intents_.size());
+                // Ladder only after the flip: the record is resolved,
+                // so a rescue rotation cannot deadlock against a
+                // checkpoint waiting on this transaction's intents.
+                if (werr != wal::WalError::kOk) {
+                    session.walStatus_ = onWalError(werr_shard, werr);
+                    // A rescued shard restarts on a fresh generation
+                    // with no copy of this verdict, and the abandoned
+                    // segment's copy is of indeterminate durability.
+                    // Re-append it wherever the log still accepts
+                    // writes (duplicates are harmless — recovery
+                    // resolves outcomes by txid) so losing the
+                    // poisoned bytes cannot orphan a sibling shard's
+                    // durable prepare into an in-doubt abort.
+                    wal::Record outcome;
+                    outcome.type = wal::RecordType::kTxnOutcome;
+                    outcome.txid = wal_txid;
+                    outcome.commitSeq = commit_seq;
+                    outcome.committed = true;
+                    for (const auto &slice : slices)
+                        if (wals_[slice.shard]->status() ==
+                            wal::WalError::kOk)
+                            (void)wals_[slice.shard]->append(outcome);
+                }
                 reserved_seq = commit_seq;
             }
         } // the PENDING window is over
@@ -1423,6 +1591,13 @@ KvStore::multiOpTwoPhaseWrite(Session &session)
                                  full_capacity)
                        ? OpStatus::kRetryAfterGrow
                        : OpStatus::kFailed;
+        }
+        if (wal_abort) {
+            // Aborted before visibility; the caller reports the
+            // session's walStatus_ (never retried — the log, not the
+            // table, refused).
+            session.reclaim_.clear(); // pre-images stayed live
+            return OpStatus::kFailed;
         }
 
         // Phase 3: finalize — fold intents into the slot words so the
@@ -1645,24 +1820,44 @@ KvStore::multiOpLatched(Session &session, bool writes)
     return OpStatus::kDone;
 }
 
-bool
+KvResult
 KvStore::applyBatch(Session &session, Batch &batch)
 {
+    if (const KvStatus gate = admitWrite(); gate != KvStatus::kOk)
+        return gate;
     groupByShard(*this, options_.defaultTtlNanos, batch.ops_,
                  session.scratch_, session.slices_);
     const auto &grouped = session.scratch_;
-    for (const TaggedOp &tagged : grouped) {
+    session.walStatus_ = KvStatus::kOk;
+    for (std::size_t idx = 0; idx < grouped.size(); ++idx) {
+        const TaggedOp &tagged = grouped[idx];
         KvOp *op = tagged.op;
         if (tagged.expiry != 0)
             shards_[tagged.shard]->noteTtlUsed();
         if (op->kind != KvOp::Kind::kPutBytes)
             continue;
-        op->value = op->bytes.size() <= kValueRefInlineMax
-                        ? makeInlineRef(op->bytes.data(),
-                                        op->bytes.size())
-                        : shards_[tagged.shard]->arena().allocBlob(
-                              op->bytes.data(), op->bytes.size(),
-                              &session.arenaCaches_[tagged.shard]);
+        if (op->bytes.size() <= kValueRefInlineMax) {
+            op->value =
+                makeInlineRef(op->bytes.data(), op->bytes.size());
+            continue;
+        }
+        try {
+            op->value = shards_[tagged.shard]->arena().allocBlob(
+                op->bytes.data(), op->bytes.size(),
+                &session.arenaCaches_[tagged.shard]);
+        } catch (const std::bad_alloc &) {
+            // Nothing applied yet: recycle the blobs staged before
+            // the failing one and reject the whole batch.
+            for (std::size_t k = 0; k < idx; ++k) {
+                const TaggedOp &prev = grouped[k];
+                if (prev.op->kind == KvOp::Kind::kPutBytes &&
+                    prev.op->bytes.size() > kValueRefInlineMax)
+                    shards_[prev.shard]->arena().freeBlob(
+                        prev.op->value,
+                        &session.arenaCaches_[prev.shard]);
+            }
+            return KvStatus::kNoMemory;
+        }
     }
 
     bool ok = true;
@@ -1692,8 +1887,16 @@ KvStore::applyBatch(Session &session, Batch &batch)
                 rec.type = wal::RecordType::kBatch;
                 rec.lsn = lsn;
                 rec.ops = std::move(session.walOps_);
-                wal_end = wals_[slice.shard]->append(rec);
+                const wal::AppendResult res =
+                    wals_[slice.shard]->append(rec);
+                wal_end = res.end;
                 session.walOps_.clear();
+                if (res.err != wal::WalError::kOk) {
+                    const KvStatus wal_status =
+                        committedBatchWalError(slice.shard, rec, res);
+                    if (session.walStatus_ == KvStatus::kOk)
+                        session.walStatus_ = wal_status;
+                }
             }
             // This slice committed; batch-retire its displacements.
             retireDisplaced(session, slice.shard, reclaim);
@@ -1745,8 +1948,13 @@ KvStore::applyBatch(Session &session, Batch &batch)
         for (const auto &slice : session.slices_) {
             const std::uint64_t end =
                 session.walBatchEnds_[slice.shard];
-            if (end != 0)
-                wals_[slice.shard]->barrier(end);
+            if (end != 0) {
+                const wal::WalError e =
+                    wals_[slice.shard]->barrier(end);
+                if (e != wal::WalError::kOk &&
+                    session.walStatus_ == KvStatus::kOk)
+                    session.walStatus_ = onWalError(slice.shard, e);
+            }
         }
     }
     if (!ok) {
@@ -1760,18 +1968,123 @@ KvStore::applyBatch(Session &session, Batch &batch)
                 shards_[tagged.shard]->arena().freeBlob(
                     op->value, &session.arenaCaches_[tagged.shard]);
         }
+        return KvStatus::kNoSpace;
     }
-    return ok;
+    // The batch applied in memory; a WAL failure along the way means
+    // it is NOT acknowledged durable.
+    return session.walStatus_;
 }
 
-void
+KvStatus
 KvStore::logSingleOp(std::size_t s, std::uint64_t lsn, wal::WalOp op)
 {
     wal::Record rec;
     rec.type = wal::RecordType::kBatch;
     rec.lsn = lsn;
     rec.ops.push_back(std::move(op));
-    wals_[s]->appendAndBarrier(rec);
+    const wal::AppendResult res = wals_[s]->appendAndBarrier(rec);
+    if (res.err == wal::WalError::kOk)
+        return KvStatus::kOk;
+    return committedBatchWalError(s, rec, res);
+}
+
+void
+KvStore::raiseHealth(Health target, int shard)
+{
+    const auto want = static_cast<std::uint8_t>(target);
+    std::uint8_t cur = health_.load(std::memory_order_acquire);
+    while (cur < want) {
+        if (health_.compare_exchange_weak(cur, want,
+                                          std::memory_order_acq_rel)) {
+            healthTransitions_.add(
+                1, shard < 0 ? 0 : static_cast<std::size_t>(shard));
+            recorder_.record(obs::TraceKind::kHealthTransition, shard,
+                             commitSequence(), cur, want);
+            std::fprintf(stderr,
+                         "kvstore: health %s -> %s (shard %d)\n",
+                         healthName(static_cast<Health>(cur)),
+                         healthName(target), shard);
+            return;
+        }
+        // cur reloaded by the failed CAS; stop if someone raised past
+        // us (transitions are monotonic).
+    }
+}
+
+KvStatus
+KvStore::onWalError(std::size_t s, wal::WalError err)
+{
+    // The lock only matters for the kSyncLoss rescue (walGen_ and the
+    // rotation race with checkpoints), but the path is cold and
+    // taking it uniformly keeps one code shape.
+    std::lock_guard<std::mutex> lk(walCkptMutex_);
+    return onWalErrorLocked(s, err);
+}
+
+KvStatus
+KvStore::onWalErrorLocked(std::size_t s, wal::WalError err)
+{
+    if (err == wal::WalError::kOk)
+        return KvStatus::kOk;
+    walErrors_.add(1, s);
+    switch (err) {
+      case wal::WalError::kNoSpace:
+        // Space exhaustion loses nothing already acked: stop taking
+        // writes, keep serving reads, let the operator free space and
+        // restart.
+        raiseHealth(Health::kDegradedReadOnly, static_cast<int>(s));
+        return KvStatus::kReadOnly;
+      case wal::WalError::kSyncLoss: {
+        // fsyncgate: the kernel may have dropped the dirty pages, so
+        // the failed range is permanently un-ackable. ONE rescue is
+        // allowed: abandon the poisoned segment and continue on a
+        // fresh generation (buffered-but-unwritten records carry
+        // over). A second sync loss, or a failed rescue, degrades.
+        if (wals_[s]->status() == wal::WalError::kOk)
+            return KvStatus::kWalError; // racer already rescued
+        if (wals_[s]->canRescue()) {
+            const std::uint64_t gen = ++walGen_[s];
+            const wal::WalError rescue = wals_[s]->rotateFresh(
+                options_.walDir + "/" +
+                wal::segmentFileName(static_cast<int>(s), gen));
+            if (rescue == wal::WalError::kOk) {
+                walRescues_.add(1, s);
+                // The store stays healthy for FUTURE writes; the op
+                // that hit the failure is still not acknowledged.
+                return KvStatus::kWalError;
+            }
+        }
+        raiseHealth(Health::kDegradedReadOnly, static_cast<int>(s));
+        return KvStatus::kWalError;
+      }
+      case wal::WalError::kIo:
+      default:
+        // Hard I/O failure: this shard's log is gone and with it any
+        // durability claim. Reads still serve from memory.
+        raiseHealth(Health::kFailed, static_cast<int>(s));
+        return KvStatus::kWalError;
+    }
+}
+
+KvStatus
+KvStore::committedBatchWalError(std::size_t s, wal::Record &rec,
+                                const wal::AppendResult &res)
+{
+    const KvStatus status = onWalError(s, res.err);
+    // res.end == 0 means the append failed fast against a sticky
+    // error and the record never reached the log (a record that DID
+    // enter either sits on the old fd or rides rotateFresh's buffer
+    // carry-over). Its memory effects are visible regardless, so if
+    // the rescue put this shard's log back in business, the batch
+    // must follow it onto the fresh generation: replay sorts by LSN,
+    // so a late re-append lands in its serialization slot.
+    if (res.end == 0 && wals_[s]->status() == wal::WalError::kOk) {
+        const wal::AppendResult retry =
+            wals_[s]->appendAndBarrier(rec);
+        if (retry.err != wal::WalError::kOk)
+            return onWalError(s, retry.err);
+    }
+    return status;
 }
 
 void
@@ -1782,22 +2095,42 @@ KvStore::flushWal()
                             Durability::kFsyncGroup);
 }
 
-void
+bool
 KvStore::checkpoint(Session &session)
 {
     if (!durable())
-        return;
+        return true;
     // Concurrent checkpoints serialize; writers never wait on this
     // lock (the chunk walk shares the table only through the TM).
     std::lock_guard<std::mutex> lk(walCkptMutex_);
+    bool ok = true;
     for (std::size_t s = 0; s < shards_.size(); ++s)
-        checkpointShard(session, s);
+        ok &= checkpointShard(session, s);
+    return ok;
 }
 
-void
+bool
 KvStore::checkpointShard(Session &session, std::size_t s)
 {
     Shard &shard = *shards_[s];
+
+    // A sticky-failed log cannot rotate; run it through the ladder
+    // (which may rescue a sync loss onto a fresh generation) and skip
+    // this round — the old checkpoints stay authoritative.
+    if (wals_[s]->status() != wal::WalError::kOk) {
+        walCkptFailures_.add(1, s);
+        onWalErrorLocked(s, wals_[s]->status());
+        return false;
+    }
+
+    // Retention floor: keep everything from the newest EXISTING
+    // checkpoint's generation forward, so recovery can fall back to
+    // the previous image (plus the segments written since it) if the
+    // image written below turns out corrupt on disk.
+    const std::vector<std::uint64_t> prev_ckpts =
+        wal::listCheckpoints(options_.walDir, static_cast<int>(s));
+    const std::uint64_t keep_gen =
+        prev_ckpts.empty() ? 0 : prev_ckpts.back();
     const std::uint64_t gen = ++walGen_[s];
 
     // Rotate FIRST, then capture the barrier: every record in the old
@@ -1806,8 +2139,24 @@ KvStore::checkpointShard(Session &session, std::size_t s)
     // Writers racing the walk land with lsn > B — in the new segment
     // or double-captured by the image — and replay over it
     // idempotently (post-images).
-    wals_[s]->rotate(options_.walDir + "/" +
-                     wal::segmentFileName(static_cast<int>(s), gen));
+    const wal::WalError rot =
+        wals_[s]->rotate(options_.walDir + "/" +
+                         wal::segmentFileName(static_cast<int>(s), gen));
+    if (rot != wal::WalError::kOk) {
+        walCkptFailures_.add(1, s);
+        if (wals_[s]->status() != wal::WalError::kOk) {
+            // The rotation flush poisoned the log (write/sync
+            // failure): escalate through the ladder.
+            onWalErrorLocked(s, wals_[s]->status());
+        } else if (rot == wal::WalError::kNoSpace) {
+            // New segment could not be opened for lack of space; the
+            // log continues healthily on the old segment, but the
+            // next append would hit the same wall.
+            raiseHealth(Health::kDegradedReadOnly,
+                        static_cast<int>(s));
+        }
+        return false;
+    }
     std::uint64_t barrier = 0;
     shard.poly().run(session.tokens_[s], [&](polytm::Tx &tx) {
         barrier = shard.walTicketTx(tx);
@@ -1855,14 +2204,38 @@ KvStore::checkpointShard(Session &session, std::size_t s)
         }
         image.entries.push_back(std::move(op));
     }
-    wal::writeCheckpoint(
+    const wal::WalError werr = wal::writeCheckpoint(
         options_.walDir + "/" +
             wal::checkpointFileName(static_cast<int>(s), gen),
         image);
-    wal::deleteObsolete(options_.walDir, static_cast<int>(s), gen);
+    if (werr != wal::WalError::kOk) {
+        // Non-fatal: the tmp file was discarded, the previous
+        // checkpoint and every segment since it still recover the
+        // shard — just skip truncation. Only space exhaustion
+        // escalates (the next one would fail the same way).
+        walCkptFailures_.add(1, s);
+        if (werr == wal::WalError::kNoSpace)
+            raiseHealth(Health::kDegradedReadOnly,
+                        static_cast<int>(s));
+        return false;
+    }
+    // A sticky-failed sibling log may hold durable prepares whose
+    // only surviving outcome copies live in OTHER shards' segments;
+    // truncating those would orphan the prepares into in-doubt
+    // aborts while the flipped effects sit in checkpoint images. A
+    // shard goes sticky before any such flip can reach an image, so
+    // checking here (after the scan, before deletion) is sufficient.
+    bool all_logs_ok = true;
+    for (const auto &shard_wal : wals_)
+        if (shard_wal->status() != wal::WalError::kOk)
+            all_logs_ok = false;
+    if (all_logs_ok)
+        wal::deleteObsolete(options_.walDir, static_cast<int>(s),
+                            keep_gen);
     recorder_.record(obs::TraceKind::kCkptEnd,
                      static_cast<std::int32_t>(s), commitSequence(),
                      image.entries.size(), chunks);
+    return true;
 }
 
 KvStore::SnapshotReadStats

@@ -110,6 +110,63 @@ enum class CommitMode : int
     kTwoPhase,
 };
 
+/**
+ * Store-wide health. Transitions are monotonic (a store never
+ * un-degrades — reopen it to recover) and observable: each one emits
+ * a `health.transition` flight-recorder event and bumps the
+ * `health_transitions` counter; the current state is exported as the
+ * `health_state` gauge.
+ *
+ *  - kHealthy: full service.
+ *  - kDegradedReadOnly: the durability plane cannot accept new
+ *    writes (disk full, unrescuable sync loss, ...). Writes fail
+ *    fast with KvStatus::kReadOnly *before* touching memory;
+ *    reads/scans/snapshots keep serving, recovery state is intact.
+ *  - kFailed: a hard I/O error left a shard's log unusable; the
+ *    in-memory store still serves reads but its durability claims
+ *    are void. Operators should restart (recovery replays the acked
+ *    prefix).
+ */
+enum class Health : std::uint8_t
+{
+    kHealthy = 0,
+    kDegradedReadOnly = 1,
+    kFailed = 2,
+};
+
+/** "healthy" / "degraded_readonly" / "failed". */
+const char *healthName(Health h);
+
+/** Why a write was not acknowledged. */
+enum class KvStatus : std::uint8_t
+{
+    kOk = 0,
+    kNotFound,  ///< del: key absent (the op itself is fine)
+    kNoSpace,   ///< table growth capped and the insert cannot fit
+    kNoMemory,  ///< value arena exhausted (wide-value allocation)
+    kReadOnly,  ///< store degraded: write rejected before any effect
+    kWalError,  ///< WAL/checkpoint I/O failed mid-op: NOT acked; the
+                ///< in-memory effect may or may not survive recovery
+};
+
+/** "ok" / "not_found" / "no_space" / ... */
+const char *kvStatusName(KvStatus s);
+
+/**
+ * Result of a write operation. Converts to bool exactly like the old
+ * `bool` returns did (true == acknowledged success), so existing call
+ * sites keep compiling; callers that care *why* a write failed read
+ * `status`.
+ */
+struct KvResult
+{
+    KvStatus status = KvStatus::kOk;
+
+    KvResult() = default;
+    KvResult(KvStatus s) : status(s) {}
+    operator bool() const { return status == KvStatus::kOk; }
+};
+
 struct KvStoreOptions
 {
     int numShards = 4;
@@ -229,6 +286,7 @@ class KvStore
                 walOpRanges_ = std::move(other.walOpRanges_);
                 walLsns_ = std::move(other.walLsns_);
                 walBatchEnds_ = std::move(other.walBatchEnds_);
+                walStatus_ = other.walStatus_;
             }
             return *this;
         }
@@ -331,6 +389,9 @@ class KvStore
          *  the current batch — the batch rides ONE barrier per
          *  touched shard instead of one per slice. */
         std::vector<std::uint64_t> walBatchEnds_;
+        /** First WAL failure observed by the current multiOp (reset
+         *  per op; reported as the op's KvResult). */
+        KvStatus walStatus_ = KvStatus::kOk;
     };
 
     Session openSession();
@@ -339,19 +400,25 @@ class KvStore
     /**
      * Single-key operations (one TM transaction on the home shard).
      * put/putBytes grow the shard online instead of failing on a full
-     * table; they return false only when growth is capped
-     * (maxLog2SlotsPerShard) and the table stays full. ttl_nanos is a
+     * table; they fail with kNoSpace only when growth is capped
+     * (maxLog2SlotsPerShard) and the table stays full. On a degraded
+     * store writes fail fast with kReadOnly before any effect; a WAL
+     * error mid-op yields kWalError (not acked — the in-memory
+     * effect may or may not survive recovery). ttl_nanos is a
      * relative expiry (0 = the store's defaultTtlNanos).
      */
     bool get(Session &session, std::uint64_t key,
              std::uint64_t *value = nullptr);
-    bool put(Session &session, std::uint64_t key, std::uint64_t value,
-             std::uint64_t ttl_nanos = 0);
-    bool del(Session &session, std::uint64_t key);
+    KvResult put(Session &session, std::uint64_t key,
+                 std::uint64_t value, std::uint64_t ttl_nanos = 0);
+    /** kNotFound when the key was absent (compares false, matching
+     *  the old bool contract). */
+    KvResult del(Session &session, std::uint64_t key);
     /** Wide values: arbitrary byte strings (inline up to 7 bytes,
      *  blob-backed beyond; see value_arena.hpp for the contract). */
-    bool putBytes(Session &session, std::uint64_t key, const void *data,
-                  std::size_t len, std::uint64_t ttl_nanos = 0);
+    KvResult putBytes(Session &session, std::uint64_t key,
+                      const void *data, std::size_t len,
+                      std::uint64_t ttl_nanos = 0);
     bool getBytes(Session &session, std::uint64_t key, std::string *out);
     std::size_t scan(Session &session, std::uint64_t start_key,
                      std::size_t limit,
@@ -392,7 +459,7 @@ class KvStore
      * writes (read-your-writes) and per-shard consistent otherwise,
      * but do not form a global snapshot.
      */
-    bool multiOp(Session &session, std::vector<KvOp> &ops);
+    KvResult multiOp(Session &session, std::vector<KvOp> &ops);
 
     /** Staged operations, flushed grouped by shard. */
     class Batch
@@ -446,7 +513,7 @@ class KvStore
      * maintenance: each flushed shard advances its migration /
      * TTL-sweep walker afterwards.
      */
-    bool applyBatch(Session &session, Batch &batch);
+    KvResult applyBatch(Session &session, Batch &batch);
 
     /**
      * Sum of per-shard PolyTM stats. This is a *weak* snapshot: each
@@ -525,15 +592,29 @@ class KvStore
     /** True when the store runs with a WAL (durability != kOff). */
     bool durable() const { return !wals_.empty(); }
 
+    /** Current health (see Health). Monotonic; reads stay served in
+     *  every state. */
+    Health
+    health() const
+    {
+        return static_cast<Health>(
+            health_.load(std::memory_order_acquire));
+    }
+
     /**
      * Checkpoint every shard: rotate its log segment, capture a
      * barrier LSN, walk the table in bounded transactional chunks
      * (writers never stall — racing writes land after the barrier and
      * replay over the image), write the image atomically, and delete
-     * the log generations it supersedes. Safe to call on a live
-     * store; concurrent checkpoint() calls serialize.
+     * the log generations older than the *previous* checkpoint (the
+     * previous generation is retained so recovery can fall back to it
+     * if the newest image is corrupt). Safe to call on a live store;
+     * concurrent checkpoint() calls serialize. Returns false when any
+     * shard's checkpoint failed — the store keeps serving from the
+     * old checkpoints and skips truncation, degrading only when the
+     * failure was lack of space.
      */
-    void checkpoint(Session &session);
+    bool checkpoint(Session &session);
 
     /** Flush (and, under kFsyncGroup, fsync) every shard's append
      *  buffer — the graceful-shutdown final barrier. No-op when not
@@ -678,6 +759,11 @@ class KvStore
     obs::Counter &walFsyncs_;
     obs::Counter &walBytes_;
     obs::Counter &walCkptChunks_;
+    obs::Counter &walErrors_;
+    obs::Counter &walRescues_;
+    obs::Counter &walCkptFailures_;
+    obs::Counter &writesRejected_;
+    obs::Counter &healthTransitions_;
     obs::Histogram &walFsyncNanos_;
     std::vector<std::unique_ptr<Shard>> shards_;
     /** kLatch-mode ordering only; the 2PC paths never touch these. */
@@ -704,16 +790,60 @@ class KvStore
     std::vector<std::unique_ptr<wal::ShardWal>> wals_;
     std::vector<std::uint64_t> walGen_;
     std::atomic<std::uint64_t> walTxnId_{0};
-    /** Serializes checkpoint() callers (rotation + gen bookkeeping). */
+    /** Serializes checkpoint() callers (rotation + gen bookkeeping)
+     *  and the sync-loss rescue rotation in onWalError. */
     std::mutex walCkptMutex_;
     RecoveryInfo recoveryInfo_;
+    /** Monotonic health ladder (see Health); raised by raiseHealth. */
+    std::atomic<std::uint8_t> health_{0};
 
-    /** One shard's checkpoint (see checkpoint()). */
-    void checkpointShard(Session &session, std::size_t s);
+    /** One shard's checkpoint (see checkpoint()); false on failure. */
+    bool checkpointShard(Session &session, std::size_t s);
 
     /** Log one single-key mutation as a kBatch record and ride the
-     *  group-commit barrier (ack-after-durable). */
-    void logSingleOp(std::size_t s, std::uint64_t lsn, wal::WalOp op);
+     *  group-commit barrier (ack-after-durable). Returns the status
+     *  the caller must report (kOk = acked durable). */
+    KvStatus logSingleOp(std::size_t s, std::uint64_t lsn,
+                         wal::WalOp op);
+
+    /** Raise health monotonically (never lowers); emits the
+     *  health.transition event + counter on an actual change. */
+    void raiseHealth(Health target, int shard);
+
+    /**
+     * Central failure-ladder policy for a shard's WAL error:
+     * kNoSpace degrades the store read-only; kSyncLoss attempts the
+     * one-shot fresh-generation rescue (staying healthy on success,
+     * degrading otherwise); kIo fails the store. Returns the
+     * KvStatus the failed operation must report (never kOk).
+     */
+    KvStatus onWalError(std::size_t s, wal::WalError err);
+    /** onWalError body for callers already holding walCkptMutex_
+     *  (checkpointShard runs the whole shard loop under it). */
+    KvStatus onWalErrorLocked(std::size_t s, wal::WalError err);
+
+    /** onWalError for a kBatch record whose memory effects are
+     *  already committed (and so cannot be unwound). If the record
+     *  never entered the log (res.end == 0: the append failed fast
+     *  against a sticky error) and the ladder's rescue left the
+     *  shard's log accepting again, re-appends it there — later
+     *  commits on the fresh generation embed these post-images, and
+     *  recovery (LSN-ordered replay) must see the whole batch or a
+     *  later writer of one of its keys would resurrect it half-
+     *  applied. The op stays un-acked either way. */
+    KvStatus committedBatchWalError(std::size_t s, wal::Record &rec,
+                                    const wal::AppendResult &res);
+
+    /** Write-path admission gate: kOk to proceed, kReadOnly once the
+     *  store is degraded/failed (checked before any memory effect). */
+    KvStatus
+    admitWrite()
+    {
+        if (health() == Health::kHealthy) [[likely]]
+            return KvStatus::kOk;
+        writesRejected_.add(1, 0);
+        return KvStatus::kReadOnly;
+    }
 
     /** Park a clean commit context for reuse (see ctxPool_). */
     void retireContext(std::unique_ptr<CommitContext> ctx) noexcept;

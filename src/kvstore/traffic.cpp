@@ -85,7 +85,26 @@ TrafficDriver::TrafficDriver(KvStore &store, TrafficOptions options)
     for (std::size_t p = 0; p < options_.phases.size(); ++p) {
         phaseHistMetrics_.push_back(&store.metrics().histogram(
             "traffic_latency_phase" + std::to_string(p)));
+        phaseWriteRejected_.push_back(&store.metrics().counter(
+            "traffic_write_rejected_phase" + std::to_string(p)));
     }
+}
+
+std::uint64_t
+TrafficDriver::writesRejected(std::size_t phase) const
+{
+    if (phase >= phaseWriteRejected_.size())
+        throw std::out_of_range("TrafficDriver: unknown phase");
+    return phaseWriteRejected_[phase]->total();
+}
+
+std::uint64_t
+TrafficDriver::writesRejected() const
+{
+    std::uint64_t total = 0;
+    for (const obs::Counter *counter : phaseWriteRejected_)
+        total += counter->total();
+    return total;
 }
 
 TrafficDriver::~TrafficDriver()
@@ -98,22 +117,24 @@ TrafficDriver::preload(std::uint64_t count)
 {
     KvStore::Session session = store_->openSession();
     KvStore::Batch batch;
-    bool fits = true;
-    for (std::uint64_t key = 0; key < count && fits; ++key) {
+    KvResult status;
+    for (std::uint64_t key = 0; key < count && status; ++key) {
         batch.put(key, key * 2654435761ull + 1);
         if (batch.size() >= 256) {
-            fits = store_->applyBatch(session, batch);
+            status = store_->applyBatch(session, batch);
             batch.clear();
         }
     }
-    if (fits && batch.size() > 0)
-        fits = store_->applyBatch(session, batch);
+    if (status && batch.size() > 0)
+        status = store_->applyBatch(session, batch);
     store_->closeSession(session);
-    if (!fits) {
+    if (!status) {
         // A partial preload would be silently measured as workload
-        // behaviour (get misses); capacity mis-sizing must fail fast.
+        // behaviour (get misses); mis-sizing or a degraded store must
+        // fail fast, with the real cause in the message.
         throw std::runtime_error(
-            "TrafficDriver::preload: key count exceeds store capacity");
+            std::string("TrafficDriver::preload failed: ") +
+            kvStatusName(status.status));
     }
 }
 
@@ -251,6 +272,17 @@ TrafficDriver::workerBody(int worker_idx)
             mix.zipfTheta > 0 ? rng.zipf(mix.keySpace, mix.zipfTheta)
                               : rng.nextBounded(mix.keySpace);
 
+        // A store that has degraded to read-only (or lost its WAL)
+        // rejects writes; that is measured workload behaviour, not a
+        // driver bug — count it per phase and keep issuing ops.
+        const auto note_write = [&](const KvResult &result) {
+            if (!result && (result.status == KvStatus::kReadOnly ||
+                            result.status == KvStatus::kWalError ||
+                            result.status == KvStatus::kNoMemory))
+                phaseWriteRejected_[phase]->add(
+                    1, static_cast<unsigned>(worker_idx));
+        };
+
         const std::uint64_t op_start = nowNanos();
         bool was_multi = false;
         if (mix.multiRatio > 0 && rng.bernoulli(mix.multiRatio)) {
@@ -261,7 +293,7 @@ TrafficDriver::workerBody(int worker_idx)
                 {KvOp::Kind::kAdd, key,
                  static_cast<std::uint64_t>(std::int64_t{-1}), false});
             multi_ops.push_back({KvOp::Kind::kAdd, other, 1, false});
-            store_->multiOp(session, multi_ops);
+            note_write(store_->multiOp(session, multi_ops));
             was_multi = true;
         } else {
             const double draw = rng.nextDouble();
@@ -289,14 +321,15 @@ TrafficDriver::workerBody(int worker_idx)
                         static_cast<std::size_t>(
                             rng.nextBounded(mix.valueBytes));
                     fill_payload(key, len);
-                    store_->putBytes(session, key, bytes_buf.data(),
-                                     bytes_buf.size(), mix.ttlNanos);
+                    note_write(store_->putBytes(
+                        session, key, bytes_buf.data(),
+                        bytes_buf.size(), mix.ttlNanos));
                 } else {
-                    store_->put(session, key, key ^ 0xbeef,
-                                mix.ttlNanos);
+                    note_write(store_->put(session, key, key ^ 0xbeef,
+                                           mix.ttlNanos));
                 }
             } else if (draw < del_edge) {
-                store_->del(session, key);
+                note_write(store_->del(session, key));
             } else if (draw < del_edge + mix.scanRatio) {
                 store_->scan(session, key, mix.scanLen);
             } else {

@@ -147,6 +147,16 @@ class TrafficDriver
         return opsCompleted() - multiOpsCompleted();
     }
 
+    /**
+     * Writes the store refused for durability/health reasons
+     * (KvStatus kReadOnly / kWalError / kNoMemory) — per phase and in
+     * total. A degraded store rejecting writes is workload-visible
+     * behaviour the driver measures, not an error it dies on;
+     * capacity misses (kNoSpace) and del-misses stay uncounted.
+     */
+    std::uint64_t writesRejected(std::size_t phase) const;
+    std::uint64_t writesRejected() const;
+
     /** Single-key gets issued / found (cache hit-rate telemetry:
      *  under a TTL mix the hit rate visibly drops as entries expire). */
     std::uint64_t getAttempts() const { return getAttempts_.total(); }
@@ -188,6 +198,9 @@ class TrafficDriver
     /** Per-phase concurrent registry histograms workers publish into
      *  on exit ("traffic_latency_phase<N>"). */
     std::vector<obs::Histogram *> phaseHistMetrics_;
+    /** Per-phase rejected-write counters
+     *  ("traffic_write_rejected_phase<N>"). */
+    std::vector<obs::Counter *> phaseWriteRejected_;
     std::atomic<int> activeWorkers_{0};
     std::vector<std::thread> workers_;
     bool running_ = false;

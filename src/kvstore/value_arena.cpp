@@ -1,6 +1,9 @@
 #include "kvstore/value_arena.hpp"
 
+#include <new>
 #include <stdexcept>
+
+#include "common/fault.hpp"
 
 namespace proteus::kvstore {
 
@@ -77,6 +80,12 @@ ValueArena::classOfCapacity(std::size_t cap_bytes)
 std::atomic<std::uint64_t> *
 ValueArena::carve(std::size_t words)
 {
+    // Allocation-failure injection: surfaces as the bad_alloc a real
+    // exhausted arena would throw, so the write paths' kNoMemory
+    // handling can be exercised deterministically.
+    static fault::FaultPoint fpCarve("arena.carve");
+    if (fpCarve.fire())
+        throw std::bad_alloc{};
     if (!mutex_.try_lock()) {
         carveContended_.fetch_add(1, std::memory_order_relaxed);
         mutex_.lock();

@@ -9,9 +9,11 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <exception>
 #include <filesystem>
 #include <stdexcept>
+#include <thread>
+
+#include "common/fault.hpp"
 
 namespace proteus::kvstore::wal {
 
@@ -174,22 +176,46 @@ decodeOps(Cursor *c, std::vector<WalOp> *ops)
     return true;
 }
 
-[[noreturn]] void
-dieIo(const char *what, const std::string &path)
+/** Map a write()-path errno onto the ladder. EINTR/EAGAIN never
+ *  reach this (retried by the caller). */
+WalError
+classifyWriteErrno(int err)
 {
-    std::fprintf(stderr,
-                 "proteus wal: FATAL %s failed on %s (errno %d); a "
-                 "commit outcome may already be durable elsewhere — "
-                 "refusing to continue with a diverged log\n",
-                 what, path.c_str(), errno);
-    std::terminate();
+    if (err == ENOSPC || err == EDQUOT)
+        return WalError::kNoSpace;
+    return WalError::kIo;
 }
 
+void
+logWalError(const char *what, const std::string &path, WalError werr,
+            int err)
+{
+    std::fprintf(stderr,
+                 "proteus wal: %s failed on %s (errno %d, class %s); "
+                 "withholding acks and reporting to the store's "
+                 "health ladder\n",
+                 what, path.c_str(), err, walErrorName(werr));
+}
+
+/** Non-throwing O_APPEND open, fault-armable as "wal.open". Returns
+ *  -1 with errno set on failure. */
+int
+openAppendFd(const std::string &path)
+{
+    static fault::FaultPoint fpOpen("wal.open");
+    if (int e = fpOpen.fire()) {
+        errno = e;
+        return -1;
+    }
+    return ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+}
+
+/** Throwing variant for construction time, where failing to open the
+ *  very first segment should fail store construction cleanly. */
 int
 openAppend(const std::string &path)
 {
-    const int fd =
-        ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+    const int fd = openAppendFd(path);
     if (fd < 0)
         throw std::runtime_error("wal: cannot open " + path);
     return fd;
@@ -198,6 +224,9 @@ openAppend(const std::string &path)
 bool
 readWholeFile(const std::string &path, std::string *out)
 {
+    static fault::FaultPoint fpRead("wal.read");
+    if (fpRead.fire())
+        return false;
     const int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0)
         return false;
@@ -230,6 +259,18 @@ fsyncDir(const std::string &dir)
 }
 
 } // namespace
+
+const char *
+walErrorName(WalError err)
+{
+    switch (err) {
+      case WalError::kOk:       return "ok";
+      case WalError::kNoSpace:  return "nospace";
+      case WalError::kSyncLoss: return "syncloss";
+      case WalError::kIo:       return "io";
+    }
+    return "unknown";
+}
 
 std::uint32_t
 crc32c(const void *data, std::size_t len)
@@ -499,7 +540,7 @@ deleteObsolete(const std::string &dir, int shard,
         fs::remove(victim, ec);
 }
 
-void
+WalError
 writeCheckpoint(const std::string &path, const CheckpointImage &image)
 {
     std::string body;
@@ -527,31 +568,69 @@ writeCheckpoint(const std::string &path, const CheckpointImage &image)
     footer.entryCount = image.entries.size();
     encodeRecord(footer, &body);
 
+    static fault::FaultPoint fpWrite("ckpt.write");
+    static fault::FaultPoint fpFsync("ckpt.fsync");
+    static fault::FaultPoint fpRename("ckpt.rename");
+
     const std::string tmp = path + ".tmp";
-    const int fd =
-        ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
-    if (fd < 0)
-        throw std::runtime_error("wal: cannot write " + tmp);
+    int fd = -1;
+    if (int e = fpWrite.fire())
+        errno = e;
+    else
+        fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (fd < 0) {
+        const WalError werr = classifyWriteErrno(errno);
+        logWalError("checkpoint open", tmp, werr, errno);
+        return werr;
+    }
     std::size_t done = 0;
     while (done < body.size()) {
-        const ssize_t n =
-            ::write(fd, body.data() + done, body.size() - done);
+        ssize_t n = -1;
+        if (int e = fpWrite.fire())
+            errno = e;
+        else
+            n = ::write(fd, body.data() + done, body.size() - done);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            const WalError werr = classifyWriteErrno(errno);
+            logWalError("checkpoint write", tmp, werr, errno);
             ::close(fd);
-            throw std::runtime_error("wal: write failed on " + tmp);
+            ::unlink(tmp.c_str());
+            return werr;
         }
         done += static_cast<std::size_t>(n);
     }
-    if (::fsync(fd) != 0) {
+    int syncRc = 0;
+    if (int e = fpFsync.fire()) {
+        errno = e;
+        syncRc = -1;
+    } else {
+        syncRc = ::fsync(fd);
+    }
+    if (syncRc != 0) {
+        // The tmp file's durability is indeterminate; discard it and
+        // let the caller keep relying on the previous checkpoint.
+        logWalError("checkpoint fsync", tmp, WalError::kSyncLoss,
+                    errno);
         ::close(fd);
-        throw std::runtime_error("wal: fsync failed on " + tmp);
+        ::unlink(tmp.c_str());
+        return WalError::kSyncLoss;
     }
     ::close(fd);
-    if (::rename(tmp.c_str(), path.c_str()) != 0)
-        throw std::runtime_error("wal: cannot install " + path);
+    int renameRc = -1;
+    if (int e = fpRename.fire())
+        errno = e;
+    else
+        renameRc = ::rename(tmp.c_str(), path.c_str());
+    if (renameRc != 0) {
+        const WalError werr = classifyWriteErrno(errno);
+        logWalError("checkpoint rename", path, werr, errno);
+        ::unlink(tmp.c_str());
+        return werr;
+    }
     fsyncDir(fs::path(path).parent_path().string());
+    return WalError::kOk;
 }
 
 bool
@@ -605,14 +684,22 @@ ShardWal::ShardWal(std::string path, Durability mode,
 
 ShardWal::~ShardWal()
 {
+    // Best-effort: a sticky-failed log has nothing more to persist
+    // (flushAll fails fast without touching the poisoned fd).
     flushAll(mode_ == Durability::kFsyncGroup);
     if (fd_ >= 0)
         ::close(fd_);
 }
 
-std::uint64_t
+AppendResult
 ShardWal::append(const Record &rec)
 {
+    // Fail fast once sticky-failed: buffering past a dead fd would
+    // only grow the lost range.
+    const WalError sticky = status();
+    if (sticky != WalError::kOk)
+        return {sticky, 0};
+
     std::uint64_t end;
     std::size_t buffered;
     std::size_t frame;
@@ -635,25 +722,27 @@ ShardWal::append(const Record &rec)
     // Keep the append buffer bounded: spill (write, no fsync) once it
     // crosses the flush threshold.
     if (buffered >= flushBytes_)
-        flushTo(end, false);
-    return end;
+        return {flushTo(end, false, true), end};
+    return {WalError::kOk, end};
 }
 
-void
+WalError
 ShardWal::barrier(std::uint64_t upTo)
 {
-    flushTo(upTo, mode_ == Durability::kFsyncGroup);
+    return flushTo(upTo, mode_ == Durability::kFsyncGroup, false);
 }
 
-std::uint64_t
+AppendResult
 ShardWal::appendAndBarrier(const Record &rec)
 {
-    const std::uint64_t end = append(rec);
-    barrier(end);
-    return end;
+    AppendResult res = append(rec);
+    if (res.err != WalError::kOk)
+        return res;
+    res.err = barrier(res.end);
+    return res;
 }
 
-void
+WalError
 ShardWal::flushAll(bool alsoFsync)
 {
     std::uint64_t end;
@@ -661,15 +750,19 @@ ShardWal::flushAll(bool alsoFsync)
         std::lock_guard<std::mutex> lk(appendMutex_);
         end = endOffset_;
     }
-    flushTo(end, alsoFsync);
+    return flushTo(end, alsoFsync, false);
 }
 
-void
+WalError
 ShardWal::rotate(const std::string &newPath)
 {
+    static fault::FaultPoint fpRotFsync("wal.rotate.fsync");
+
     std::unique_lock<std::mutex> lk(flushMutex_);
     while (flushing_)
         flushCv_.wait(lk);
+    if (err_ != WalError::kOk)
+        return err_; // a poisoned segment cannot be checkpoint-rotated
     std::string local;
     std::uint64_t end;
     {
@@ -677,30 +770,153 @@ ShardWal::rotate(const std::string &newPath)
         local.swap(buf_);
         end = endOffset_;
     }
-    if (!local.empty())
-        writeAllOrDie(local.data(), local.size());
+    std::size_t written = 0;
+    if (!local.empty()) {
+        const WalError werr =
+            writeAll(local.data(), local.size(), &written, false);
+        if (werr != WalError::kOk) {
+            const std::uint64_t writtenEnd =
+                end - (local.size() - written);
+            if (writtenEnd > flushedOffset_)
+                flushedOffset_ = writtenEnd;
+            logWalError("rotate write", path_, werr, errno);
+            poisonLocked(werr, end - flushedOffset_);
+            flushCv_.notify_all();
+            return werr;
+        }
+    }
     // The old segment is about to be superseded by a checkpoint; make
     // it complete on disk before switching files.
-    if (::fdatasync(fd_) != 0)
-        dieIo("fdatasync", path_);
+    int rc = 0;
+    if (int e = fpRotFsync.fire()) {
+        errno = e;
+        rc = -1;
+    } else {
+        rc = ::fdatasync(fd_);
+    }
+    if (rc != 0) {
+        if (end > flushedOffset_)
+            flushedOffset_ = end;
+        logWalError("rotate fdatasync", path_, WalError::kSyncLoss,
+                    errno);
+        poisonLocked(WalError::kSyncLoss,
+                     flushedOffset_ - syncedOffset_);
+        flushCv_.notify_all();
+        return WalError::kSyncLoss;
+    }
+    // Open the successor before closing the old fd so a failed open
+    // leaves the log fully intact on the old segment.
+    const int newFd = openAppendFd(newPath);
+    if (newFd < 0) {
+        if (end > flushedOffset_)
+            flushedOffset_ = end;
+        syncedOffset_ = flushedOffset_;
+        const WalError werr = classifyWriteErrno(errno);
+        logWalError("rotate open", newPath, werr, errno);
+        flushCv_.notify_all();
+        return werr;
+    }
     ::close(fd_);
-    fd_ = openAppend(newPath);
+    fd_ = newFd;
     path_ = newPath;
     flushedOffset_ = end;
     syncedOffset_ = end;
     flushCv_.notify_all();
+    return WalError::kOk;
 }
 
-void
-ShardWal::flushTo(std::uint64_t upTo, bool wantSync)
+WalError
+ShardWal::rotateFresh(const std::string &newPath)
 {
     std::unique_lock<std::mutex> lk(flushMutex_);
+    while (flushing_)
+        flushCv_.wait(lk);
+    if (err_ == WalError::kOk)
+        return WalError::kOk; // raced another rescuer; nothing to do
+    if (err_ != WalError::kSyncLoss || rescued_)
+        return err_; // only sync loss is rescuable, and only once
+    const int newFd = openAppendFd(newPath);
+    if (newFd < 0) {
+        logWalError("rescue open", newPath, WalError::kIo, errno);
+        return WalError::kIo;
+    }
+    ::close(fd_);
+    fd_ = newFd;
+    path_ = newPath;
+    // Records still buffered (never written to the poisoned fd) carry
+    // over: the new segment starts at endOffset_ - buf_.size(), which
+    // equals the poisoned segment's written end — appends failed fast
+    // while sticky, so nothing else advanced endOffset_.
+    {
+        std::lock_guard<std::mutex> alk(appendMutex_);
+        flushedOffset_ = endOffset_ - buf_.size();
+    }
+    // syncedOffset_ stays below the poisoned range; barriers inside
+    // (syncLostLo_, syncLostHi_] keep failing via the range check.
+    rescued_ = true;
+    err_ = WalError::kOk;
+    stickyErr_.store(0, std::memory_order_relaxed);
+    flushCv_.notify_all();
+    return WalError::kOk;
+}
+
+bool
+ShardWal::canRescue() const
+{
+    std::lock_guard<std::mutex> lk(
+        const_cast<std::mutex &>(flushMutex_));
+    return err_ == WalError::kSyncLoss && !rescued_;
+}
+
+/** Record a hard failure (sticky until rescue). Caller holds
+ *  flushMutex_. */
+void
+ShardWal::poisonLocked(WalError err, std::uint64_t lost)
+{
+    if (err_ == WalError::kOk) {
+        // Only sync loss needs the permanent range: a failed write's
+        // un-acked bytes are covered by the sticky error itself (no
+        // rescue exists for it), with the correct error class.
+        if (err == WalError::kSyncLoss && !everPoisoned_) {
+            everPoisoned_ = true;
+            syncLostLo_ = syncedOffset_;
+            syncLostHi_ = flushedOffset_;
+        }
+        lostBytes_.fetch_add(lost, std::memory_order_relaxed);
+    }
+    err_ = err;
+    stickyErr_.store(static_cast<std::uint8_t>(err),
+                     std::memory_order_relaxed);
+    if (obs_.recorder != nullptr)
+        obs_.recorder->record(obs::TraceKind::kWalError, obs_.shard,
+                              0, static_cast<std::uint64_t>(err),
+                              lost);
+}
+
+WalError
+ShardWal::flushTo(std::uint64_t upTo, bool wantSync, bool spill)
+{
+    static fault::FaultPoint fpFsync("wal.fsync");
+
+    std::unique_lock<std::mutex> lk(flushMutex_);
     for (;;) {
+        // A barrier ending inside the poisoned sync range can never
+        // be satisfied — those bytes sit on an abandoned segment
+        // whose fdatasync failed (fsyncgate: durability is
+        // indeterminate and must not be re-asserted).
+        if (wantSync && everPoisoned_ && upTo > syncLostLo_ &&
+            upTo <= syncLostHi_)
+            return WalError::kSyncLoss;
         const bool covered =
             flushedOffset_ >= upTo &&
             (!wantSync || syncedOffset_ >= upTo);
         if (covered)
-            return;
+            return WalError::kOk;
+        // Sticky failure: no leader will make progress (this is also
+        // how a follower observes its failed leader — the leader
+        // records the error before waking us).
+        if (err_ != WalError::kOk)
+            return err_;
         if (!flushing_)
             break;
         flushCv_.wait(lk);
@@ -716,49 +932,131 @@ ShardWal::flushTo(std::uint64_t upTo, bool wantSync)
     }
     lk.unlock();
 
+    WalError werr = WalError::kOk;
+    std::size_t written = 0;
     if (!local.empty())
-        writeAllOrDie(local.data(), local.size());
+        werr = writeAll(local.data(), local.size(), &written, spill);
+    const int writeErrno = errno;
+
+    WalError serr = WalError::kOk;
     std::uint64_t syncNanos = 0;
-    if (wantSync) {
+    if (werr == WalError::kOk && wantSync) {
         const auto t0 = std::chrono::steady_clock::now();
-        if (::fdatasync(fd_) != 0)
-            dieIo("fdatasync", path_);
-        syncNanos = static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                std::chrono::steady_clock::now() - t0)
-                .count());
-        if (obs_.fsyncs != nullptr)
-            obs_.fsyncs->add(1, obs_.shard);
-        if (obs_.fsyncNanos != nullptr)
-            obs_.fsyncNanos->record(syncNanos, obs_.shard);
-        if (obs_.recorder != nullptr)
-            obs_.recorder->record(obs::TraceKind::kWalFsync,
-                                  obs_.shard, 0, grabbedEnd,
-                                  syncNanos);
+        int rc = 0;
+        if (int e = fpFsync.fire()) {
+            errno = e;
+            rc = -1;
+        } else {
+            rc = ::fdatasync(fd_);
+        }
+        if (rc != 0) {
+            serr = WalError::kSyncLoss;
+        } else {
+            syncNanos = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+            if (obs_.fsyncs != nullptr)
+                obs_.fsyncs->add(1, obs_.shard);
+            if (obs_.fsyncNanos != nullptr)
+                obs_.fsyncNanos->record(syncNanos, obs_.shard);
+            if (obs_.recorder != nullptr)
+                obs_.recorder->record(obs::TraceKind::kWalFsync,
+                                      obs_.shard, 0, grabbedEnd,
+                                      syncNanos);
+        }
     }
+    const int syncErrno = errno;
 
     lk.lock();
-    if (grabbedEnd > flushedOffset_)
-        flushedOffset_ = grabbedEnd;
-    if (wantSync && flushedOffset_ > syncedOffset_)
+    // Advance by what actually reached the fd, even on failure.
+    const std::uint64_t writtenEnd =
+        grabbedEnd - (local.size() - written);
+    if (writtenEnd > flushedOffset_)
+        flushedOffset_ = writtenEnd;
+    if (werr != WalError::kOk) {
+        // Bytes pulled from the buffer but never written are gone
+        // from memory: report them lost and stick.
+        logWalError(spill ? "spill write" : "append write", path_,
+                    werr, writeErrno);
+        poisonLocked(werr, grabbedEnd - flushedOffset_);
+    } else if (serr != WalError::kOk) {
+        // fsyncgate: everything written since the last good sync is
+        // of indeterminate durability. Never fsync this fd again.
+        logWalError("fdatasync", path_, serr, syncErrno);
+        poisonLocked(serr, flushedOffset_ - syncedOffset_);
+    } else if (wantSync && flushedOffset_ > syncedOffset_) {
         syncedOffset_ = flushedOffset_;
+    }
     flushing_ = false;
     flushCv_.notify_all();
+    if (werr != WalError::kOk)
+        return werr;
+    if (serr != WalError::kOk)
+        return serr;
+    return WalError::kOk;
 }
 
-void
-ShardWal::writeAllOrDie(const char *data, std::size_t len)
+/**
+ * Write the whole span, retrying EINTR indefinitely and EAGAIN a
+ * bounded number of times with exponential backoff. `*written`
+ * reports bytes that reached the fd regardless of outcome. errno is
+ * left at the failing error. Fault points: wal.append.write /
+ * wal.spill.write fail the syscall outright; wal.append.short_write
+ * pushes `arg` real bytes first so the frame is genuinely torn on
+ * disk.
+ */
+WalError
+ShardWal::writeAll(const char *data, std::size_t len,
+                   std::size_t *written, bool spill)
 {
-    std::size_t done = 0;
-    while (done < len) {
-        const ssize_t n = ::write(fd_, data + done, len - done);
+    static fault::FaultPoint fpAppend("wal.append.write");
+    static fault::FaultPoint fpSpill("wal.spill.write");
+    static fault::FaultPoint fpShort("wal.append.short_write");
+    fault::FaultPoint &fp = spill ? fpSpill : fpAppend;
+
+    *written = 0;
+    int transientLeft = 8;
+    int backoffUs = 50;
+    while (*written < len) {
+        int injected = fp.fire();
+        if (injected == 0) {
+            if (int e = fpShort.fire()) {
+                std::size_t cap = std::min<std::size_t>(
+                    fpShort.arg(), len - *written);
+                while (cap > 0) {
+                    const ssize_t w =
+                        ::write(fd_, data + *written, cap);
+                    if (w < 0) {
+                        if (errno == EINTR)
+                            continue;
+                        break;
+                    }
+                    *written += static_cast<std::size_t>(w);
+                    cap -= static_cast<std::size_t>(w);
+                }
+                injected = e;
+            }
+        }
+        ssize_t n = -1;
+        if (injected != 0)
+            errno = injected;
+        else
+            n = ::write(fd_, data + *written, len - *written);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            dieIo("write", path_);
+            if (errno == EAGAIN && transientLeft-- > 0) {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(backoffUs));
+                backoffUs = std::min(backoffUs * 2, 2000);
+                continue;
+            }
+            return classifyWriteErrno(errno);
         }
-        done += static_cast<std::size_t>(n);
+        *written += static_cast<std::size_t>(n);
     }
+    return WalError::kOk;
 }
 
 } // namespace proteus::kvstore::wal

@@ -27,6 +27,31 @@
  * (kill -9) via the page cache but not OS/power failure; kFsyncGroup
  * acknowledges after fdatasync and survives both.
  *
+ * Failure ladder (no I/O error terminates the process):
+ *   - EINTR always retries; EAGAIN gets a bounded backoff retry.
+ *   - A failed write() classifies as kNoSpace (ENOSPC/EDQUOT) or kIo
+ *     and makes the log *sticky-failed*: every later append/barrier
+ *     fails fast, and any bytes the leader had pulled out of the
+ *     buffer but could not write are reported via lostBytes().
+ *   - A failed fdatasync() is kSyncLoss with fsyncgate semantics: the
+ *     kernel may have discarded the dirty pages, so the sync is never
+ *     retried on the same fd. The written-but-unsynced byte range is
+ *     poisoned — kFsyncGroup barriers over it fail forever — and the
+ *     log can be rescued ONCE via rotateFresh(): unwritten buffered
+ *     records carry over to a fresh segment and later appends ack
+ *     normally; the poisoned range stays un-acked (those records
+ *     survive only if the page cache happened to reach disk).
+ *   - Followers piggybacking on a failed leader's flush observe the
+ *     leader's error from the barrier handshake and never ack.
+ * The owning KvStore maps these errors onto its health ladder
+ * (degraded read-only / failed); the WAL itself only reports.
+ *
+ * Fault injection: every syscall site consults a named
+ * common/fault.hpp point (wal.append.write, wal.spill.write,
+ * wal.append.short_write, wal.fsync, wal.rotate.fsync, wal.open,
+ * wal.read, ckpt.write, ckpt.fsync, ckpt.rename). Disarmed points
+ * cost one relaxed load.
+ *
  * Directory layout (one per KvStore):
  *     meta                 numShards + format version
  *     wal-<s>-<gen>.log    shard s, segment generation gen
@@ -36,6 +61,7 @@
 #ifndef PROTEUS_KVSTORE_WAL_HPP
 #define PROTEUS_KVSTORE_WAL_HPP
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -56,6 +82,20 @@ enum class Durability : std::uint8_t {
 };
 
 namespace wal {
+
+/**
+ * Classified outcome of a WAL/checkpoint I/O step. Transient errors
+ * (EINTR, bounded EAGAIN) are retried internally and never surface.
+ */
+enum class WalError : std::uint8_t {
+    kOk = 0,
+    kNoSpace,  ///< ENOSPC/EDQUOT on write: space, not data loss
+    kSyncLoss, ///< fdatasync failed: unsynced range indeterminate
+    kIo,       ///< any other hard I/O failure
+};
+
+/** "ok" / "nospace" / "syncloss" / "io". */
+const char *walErrorName(WalError err);
 
 /** CRC32C (Castagnoli), software table implementation. */
 std::uint32_t crc32c(const void *data, std::size_t len);
@@ -137,9 +177,14 @@ struct CheckpointImage {
     std::vector<WalOp> entries;
 };
 
-/** tmp + fsync + rename; throws std::runtime_error on I/O failure. */
-void writeCheckpoint(const std::string &path,
-                     const CheckpointImage &image);
+/**
+ * tmp + fsync + rename. On failure the tmp file is removed and the
+ * previous checkpoint (if any) is left untouched, so a failed
+ * checkpoint never costs recoverability — the caller just skips log
+ * truncation.
+ */
+WalError writeCheckpoint(const std::string &path,
+                         const CheckpointImage &image);
 /** Returns false if missing/incomplete/corrupt (header+footer+CRCs
  *  must all validate). */
 bool readCheckpoint(const std::string &path, CheckpointImage *image);
@@ -154,15 +199,25 @@ struct WalObs {
     int shard = 0;
 };
 
+/** Outcome of an append: the monotonic end offset to barrier() on,
+ *  plus the error when the log is sticky-failed (offset 0, record not
+ *  buffered) or the spill write failed (record buffered/lost, caller
+ *  must not ack). */
+struct AppendResult {
+    WalError err = WalError::kOk;
+    std::uint64_t end = 0;
+    explicit operator bool() const { return err == WalError::kOk; }
+};
+
 /**
  * One shard's log: an append buffer + leader/follower group commit.
  * Offsets are monotonic across segment rotation (rotation flushes and
  * syncs everything, so pre-rotation barriers are already satisfied).
  *
- * I/O failure while persisting (write/fdatasync in barrier) calls
- * std::terminate: by that point a commit outcome may already be
- * logged on a peer shard, and continuing with a diverged log would
- * let recovery resurrect a transaction the live store aborted.
+ * See the file comment for the failure ladder. All entry points are
+ * non-throwing on I/O failure and report a WalError instead; once a
+ * hard error is recorded the log is sticky-failed until (at most one)
+ * successful rotateFresh().
  */
 class ShardWal
 {
@@ -176,27 +231,62 @@ class ShardWal
 
     /** Buffer one record; returns the monotonic end offset to pass to
      *  barrier(). Spills to write() when the buffer exceeds the
-     *  configured flush threshold. */
-    std::uint64_t append(const Record &rec);
+     *  configured flush threshold. Fails fast (without buffering)
+     *  when the log is sticky-failed. */
+    AppendResult append(const Record &rec);
 
-    /** Group commit: returns once bytes [0, upTo) are write()n
-     *  (kBuffered) or fdatasync'd (kFsyncGroup). */
-    void barrier(std::uint64_t upTo);
+    /** Group commit: returns kOk once bytes [0, upTo) are write()n
+     *  (kBuffered) or fdatasync'd (kFsyncGroup). A follower whose
+     *  leader's I/O failed gets the leader's error — it must not ack.
+     *  Offsets inside a poisoned sync range fail permanently. */
+    WalError barrier(std::uint64_t upTo);
 
-    std::uint64_t appendAndBarrier(const Record &rec);
+    AppendResult appendAndBarrier(const Record &rec);
 
     /** Flush everything buffered; fsync if `alsoFsync`. */
-    void flushAll(bool alsoFsync);
+    WalError flushAll(bool alsoFsync);
 
     /** Checkpoint rotation: flush+fsync+close the current segment and
-     *  continue on `newPath`. Offsets stay monotonic. */
-    void rotate(const std::string &newPath);
+     *  continue on `newPath`. Offsets stay monotonic. Refused (error
+     *  returned) when the log is sticky-failed. */
+    WalError rotate(const std::string &newPath);
+
+    /**
+     * One-shot rescue after kSyncLoss: abandon the poisoned segment
+     * and continue appending to `newPath`. Records still in the
+     * append buffer carry over; the written-but-unsynced range stays
+     * permanently un-ackable (lostBytes()). Returns kOk on success;
+     * fails when the sticky error is not kSyncLoss, the rescue was
+     * already spent, or the new segment cannot be opened.
+     */
+    WalError rotateFresh(const std::string &newPath);
+
+    /** Current sticky error (kOk when healthy or rescued). */
+    WalError
+    status() const
+    {
+        return static_cast<WalError>(
+            stickyErr_.load(std::memory_order_relaxed));
+    }
+
+    /** True when rotateFresh() could still rescue this log. */
+    bool canRescue() const;
+
+    /** Bytes dropped (write failure) or of indeterminate durability
+     *  (sync failure) since open. 0 while healthy. */
+    std::uint64_t
+    lostBytes() const
+    {
+        return lostBytes_.load(std::memory_order_relaxed);
+    }
 
     const std::string &path() const { return path_; }
 
   private:
-    void flushTo(std::uint64_t upTo, bool wantSync);
-    void writeAllOrDie(const char *data, std::size_t len);
+    WalError flushTo(std::uint64_t upTo, bool wantSync, bool spill);
+    WalError writeAll(const char *data, std::size_t len,
+                      std::size_t *written, bool spill);
+    void poisonLocked(WalError err, std::uint64_t lost);
 
     std::string path_;
     Durability mode_;
@@ -213,6 +303,19 @@ class ShardWal
     bool flushing_ = false;
     std::uint64_t flushedOffset_ = 0; // write()n
     std::uint64_t syncedOffset_ = 0;  // fdatasync'd
+
+    // Failure ladder state (guarded by flushMutex_; the atomics are
+    // lock-free mirrors for the append fast path and telemetry).
+    WalError err_ = WalError::kOk;  ///< sticky; cleared only by rescue
+    bool everPoisoned_ = false;
+    bool rescued_ = false;
+    /** Poisoned sync range (syncLostLo_, syncLostHi_]: written to a
+     *  segment whose fdatasync failed. kFsyncGroup barriers ending in
+     *  it fail forever, even after rescue. */
+    std::uint64_t syncLostLo_ = 0;
+    std::uint64_t syncLostHi_ = 0;
+    std::atomic<std::uint8_t> stickyErr_{0};
+    std::atomic<std::uint64_t> lostBytes_{0};
 };
 
 } // namespace wal

@@ -36,6 +36,8 @@ traceKindName(TraceKind kind)
       case TraceKind::kCkptBegin:        return "ckpt.begin";
       case TraceKind::kCkptEnd:          return "ckpt.end";
       case TraceKind::kRecoverReplay:    return "recover.replay";
+      case TraceKind::kWalError:         return "wal.error";
+      case TraceKind::kHealthTransition: return "health.transition";
     }
     return "unknown";
 }

@@ -64,6 +64,9 @@ enum class TraceKind : std::uint16_t
     kCkptBegin,        // a = barrier LSN
     kCkptEnd,          // a = live entries captured, b = chunks walked
     kRecoverReplay,    // a = records replayed, b = ops applied
+    // Failure ladder (fault injection / degraded operation).
+    kWalError,         // a = WalError code, b = bytes reported lost
+    kHealthTransition, // a = from Health state, b = to Health state
 };
 
 /** Human-readable name for a trace kind ("2pc.prepare", ...). */

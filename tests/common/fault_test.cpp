@@ -1,0 +1,140 @@
+/**
+ * Fault-injection harness tests: trigger semantics (nth / once /
+ * seeded probability), one-shot auto-expiry, pending specs applied at
+ * registration, and the describeArmed() schedule dump.
+ *
+ * FaultPoints register into a process-global intrusive list that
+ * assumes static storage, so every point here is a function-local
+ * static and every test disarms on the way out.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+
+#include "common/fault.hpp"
+
+namespace proteus::fault {
+namespace {
+
+class FaultTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { disarmAll(); }
+
+    static FaultSpec
+    spec(FaultSpec::Trigger trigger)
+    {
+        FaultSpec s;
+        s.trigger = trigger;
+        s.err = EIO;
+        return s;
+    }
+};
+
+TEST_F(FaultTest, DisarmedPointNeverFires)
+{
+    static FaultPoint point("test.disarmed");
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(point.fire(), 0);
+    EXPECT_EQ(point.fires(), 0u);
+}
+
+TEST_F(FaultTest, OnceFiresExactlyOnceThenAutoDisarms)
+{
+    static FaultPoint point("test.once");
+    const std::uint64_t before = point.fires();
+    arm("test.once", spec(FaultSpec::Trigger::kOnce));
+    EXPECT_EQ(point.fire(), EIO);
+    EXPECT_EQ(point.fire(), 0);
+    EXPECT_EQ(point.fire(), 0);
+    EXPECT_EQ(point.fires(), before + 1);
+}
+
+TEST_F(FaultTest, NthFiresOnExactlyTheNthEvaluation)
+{
+    static FaultPoint point("test.nth");
+    FaultSpec s = spec(FaultSpec::Trigger::kNth);
+    s.nth = 3;
+    s.err = ENOSPC;
+    arm("test.nth", s);
+    EXPECT_EQ(point.fire(), 0);
+    EXPECT_EQ(point.fire(), 0);
+    EXPECT_EQ(point.fire(), ENOSPC);
+    EXPECT_EQ(point.fire(), 0); // nth is one-shot
+
+    // Re-arming resets the evaluation count.
+    arm("test.nth", s);
+    EXPECT_EQ(point.fire(), 0);
+    EXPECT_EQ(point.fire(), 0);
+    EXPECT_EQ(point.fire(), ENOSPC);
+}
+
+TEST_F(FaultTest, StickyProbabilityIsSeededAndDeterministic)
+{
+    static FaultPoint point("test.prob");
+    FaultSpec s = spec(FaultSpec::Trigger::kProbability);
+    s.probability = 0.5;
+    s.oneShot = false;
+    s.seed = 12345;
+
+    const auto run = [&] {
+        arm("test.prob", s);
+        std::uint64_t mask = 0;
+        for (int i = 0; i < 64; ++i)
+            mask = (mask << 1) | (point.fire() != 0 ? 1u : 0u);
+        return mask;
+    };
+    const std::uint64_t first = run();
+    // p=0.5 over 64 draws: statistically certain to be mixed.
+    EXPECT_NE(first, 0u);
+    EXPECT_NE(first, ~std::uint64_t{0});
+    // Same seed, same stream — a failing chaos iteration replays.
+    EXPECT_EQ(run(), first);
+    s.seed = 54321;
+    arm("test.prob", s);
+    std::uint64_t other = 0;
+    for (int i = 0; i < 64; ++i)
+        other = (other << 1) | (point.fire() != 0 ? 1u : 0u);
+    EXPECT_NE(other, first);
+}
+
+TEST_F(FaultTest, PendingSpecAppliesWhenThePointRegisters)
+{
+    // Arm before any call site has ever executed: held pending.
+    FaultSpec s = spec(FaultSpec::Trigger::kOnce);
+    s.arg = 7;
+    EXPECT_FALSE(arm("test.pending", s));
+    EXPECT_EQ(find("test.pending"), nullptr);
+
+    static FaultPoint point("test.pending");
+    EXPECT_EQ(point.arg(), 7u);
+    EXPECT_EQ(point.fire(), EIO);
+    EXPECT_TRUE(arm("test.pending", s)); // now registered
+}
+
+TEST_F(FaultTest, DescribeArmedListsScheduleAndFireCounts)
+{
+    static FaultPoint point("test.describe");
+    arm("test.describe", spec(FaultSpec::Trigger::kOnce));
+    arm("test.describe.pending", spec(FaultSpec::Trigger::kOnce));
+    EXPECT_EQ(point.fire(), EIO);
+    const std::string out = describeArmed();
+    EXPECT_NE(out.find("test.describe"), std::string::npos);
+    EXPECT_NE(out.find("pending"), std::string::npos);
+    EXPECT_NE(out.find("fires=1"), std::string::npos);
+}
+
+TEST_F(FaultTest, DisarmAllDropsArmedAndPendingSpecs)
+{
+    static FaultPoint point("test.disarmall");
+    arm("test.disarmall", spec(FaultSpec::Trigger::kOnce));
+    arm("test.disarmall.pending", spec(FaultSpec::Trigger::kOnce));
+    disarmAll();
+    EXPECT_EQ(point.fire(), 0);
+    static FaultPoint late("test.disarmall.pending");
+    EXPECT_EQ(late.fire(), 0);
+}
+
+} // namespace
+} // namespace proteus::fault

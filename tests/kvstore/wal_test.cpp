@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -16,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "kvstore/kvstore.hpp"
 #include "kvstore/wal.hpp"
 
@@ -448,6 +450,274 @@ TEST_F(WalTornTailTest, PrepareWithLoggedOutcomeCommits)
     std::uint64_t value = 0;
     ASSERT_TRUE(store.get(session, 66666, &value));
     EXPECT_EQ(value, 99u);
+    store.closeSession(session);
+}
+
+/** Fault-armed failure-ladder tests. Fault points are process-global,
+ *  so every test disarms on the way out. */
+class WalFaultTest : public WalTest
+{
+  protected:
+    void
+    TearDown() override
+    {
+        fault::disarmAll();
+        WalTest::TearDown();
+    }
+
+    static fault::FaultSpec
+    once(int err)
+    {
+        fault::FaultSpec spec;
+        spec.trigger = fault::FaultSpec::Trigger::kOnce;
+        spec.err = err;
+        return spec;
+    }
+};
+
+TEST_F(WalFaultTest, FollowerNeverAcksAfterLeaderFsyncLoss)
+{
+    fs::create_directories(dir_);
+    wal::ShardWal wal((dir_ / "wal-0-1.log").string(),
+                      Durability::kFsyncGroup, 1 << 20,
+                      wal::WalObs{});
+    wal::Record rec;
+    rec.lsn = 1;
+    rec.ops.push_back({wal::WalOp::Kind::kPut, 1, 10, 0, {}});
+    const wal::AppendResult first = wal.append(rec);
+    ASSERT_EQ(first.err, wal::WalError::kOk);
+
+    fault::arm("wal.fsync", once(EIO));
+    // Leader: the injected fdatasync failure poisons the range of
+    // bytes whose durability is now indeterminate.
+    EXPECT_EQ(wal.barrier(first.end), wal::WalError::kSyncLoss);
+    // A follower arriving over the same range must observe the loss
+    // and never ack — the covered-check runs after the poison check.
+    EXPECT_EQ(wal.barrier(first.end), wal::WalError::kSyncLoss);
+    EXPECT_EQ(wal.status(), wal::WalError::kSyncLoss);
+    EXPECT_TRUE(wal.canRescue());
+    EXPECT_GT(wal.lostBytes(), 0u);
+
+    // Sticky: appends fail fast while unrescued.
+    rec.lsn = 2;
+    EXPECT_EQ(wal.append(rec).err, wal::WalError::kSyncLoss);
+
+    // One-shot rescue: a fresh segment acks normally again...
+    ASSERT_EQ(wal.rotateFresh((dir_ / "wal-0-2.log").string()),
+              wal::WalError::kOk);
+    EXPECT_EQ(wal.status(), wal::WalError::kOk);
+    EXPECT_FALSE(wal.canRescue());
+    rec.lsn = 3;
+    const wal::AppendResult fresh = wal.append(rec);
+    ASSERT_EQ(fresh.err, wal::WalError::kOk);
+    EXPECT_EQ(wal.barrier(fresh.end), wal::WalError::kOk);
+    // ...but the poisoned range stays un-ackable forever (fsyncgate:
+    // the failed sync is never re-asserted, even after later syncs).
+    EXPECT_EQ(wal.barrier(first.end), wal::WalError::kSyncLoss);
+}
+
+TEST_F(WalFaultTest, EnospcAtSpillDegradesStoreToReadOnly)
+{
+    KvStoreOptions options = durableStore(1);
+    options.walFlushBytes = 64; // batch records spill inside append()
+    KvStore store(options);
+    auto session = store.openSession();
+    for (std::uint64_t k = 1; k <= 20; ++k)
+        ASSERT_TRUE(store.put(session, k, k * 3));
+    store.flushWal();
+
+    fault::arm("wal.spill.write", once(ENOSPC));
+    KvStore::Batch batch;
+    for (std::uint64_t k = 100; k < 150; ++k)
+        batch.put(k, k);
+    const KvResult failed = store.applyBatch(session, batch);
+    ASSERT_FALSE(failed);
+    EXPECT_EQ(failed.status, KvStatus::kReadOnly);
+    EXPECT_EQ(store.health(), Health::kDegradedReadOnly);
+
+    // Fail-fast gate: later writes bounce before touching the WAL.
+    const KvResult gated = store.put(session, 999, 1);
+    EXPECT_EQ(gated.status, KvStatus::kReadOnly);
+    const auto snapshot = store.telemetry();
+    EXPECT_GE(snapshot.value("writes_rejected"), 1u);
+    EXPECT_GE(snapshot.value("wal_errors"), 1u);
+    EXPECT_EQ(snapshot.value("health_state"), 1u);
+    EXPECT_GE(snapshot.value("health_transitions"), 1u);
+
+    // Reads keep serving the acked prefix.
+    std::uint64_t value = 0;
+    for (std::uint64_t k = 1; k <= 20; ++k) {
+        ASSERT_TRUE(store.get(session, k, &value));
+        EXPECT_EQ(value, k * 3);
+    }
+    store.closeSession(session);
+}
+
+TEST_F(WalFaultTest, FsyncLossRescuesOntoFreshGeneration)
+{
+    {
+        KvStore store(durableStore(1, Durability::kFsyncGroup));
+        auto session = store.openSession();
+        for (std::uint64_t k = 1; k <= 50; ++k)
+            ASSERT_TRUE(store.put(session, k, k + 7));
+
+        fault::arm("wal.fsync", once(EIO));
+        const KvResult lost = store.put(session, 500, 1);
+        ASSERT_FALSE(lost);
+        EXPECT_EQ(lost.status, KvStatus::kWalError);
+        // One-shot rescue: the shard rotated onto a fresh generation
+        // and stays healthy; the poisoned write was never acked.
+        EXPECT_EQ(store.health(), Health::kHealthy);
+        EXPECT_EQ(store.telemetry().value("wal_rescues"), 1u);
+        EXPECT_GT(store.telemetry().value("wal_lost_bytes"), 0u);
+
+        // Post-rescue writes ack normally...
+        ASSERT_TRUE(store.put(session, 501, 2));
+
+        // ...but the rescue is one-shot: a second sync loss degrades.
+        fault::arm("wal.fsync", once(EIO));
+        const KvResult second = store.put(session, 502, 3);
+        ASSERT_FALSE(second);
+        EXPECT_EQ(store.health(), Health::kDegradedReadOnly);
+        std::uint64_t value = 0;
+        ASSERT_TRUE(store.get(session, 10, &value));
+        EXPECT_EQ(value, 17u);
+        store.closeSession(session);
+    }
+    // Every acked write survives reopen; the un-acked keys (500, 502)
+    // are of indeterminate durability and asserted neither way.
+    KvStore store(durableStore(1, Durability::kFsyncGroup));
+    auto session = store.openSession();
+    std::uint64_t value = 0;
+    for (std::uint64_t k = 1; k <= 50; ++k) {
+        ASSERT_TRUE(store.get(session, k, &value)) << "key " << k;
+        EXPECT_EQ(value, k + 7);
+    }
+    ASSERT_TRUE(store.get(session, 501, &value));
+    EXPECT_EQ(value, 2u);
+    store.closeSession(session);
+}
+
+TEST_F(WalFaultTest, ShortWriteTearsTailAndRecoveryTruncates)
+{
+    {
+        KvStore store(durableStore(1));
+        auto session = store.openSession();
+        for (std::uint64_t k = 1; k <= 50; ++k)
+            ASSERT_TRUE(store.put(session, k, k * 10));
+
+        fault::FaultSpec spec = once(EIO);
+        spec.arg = 3; // three real bytes reach the fd, then the error
+        fault::arm("wal.append.short_write", spec);
+        const KvResult torn = store.put(session, 51, 510);
+        ASSERT_FALSE(torn);
+        EXPECT_EQ(torn.status, KvStatus::kWalError);
+        // EIO on write is unrescuable: the store declares itself
+        // failed but still serves reads over the in-memory state.
+        EXPECT_EQ(store.health(), Health::kFailed);
+        EXPECT_GE(store.telemetry().value("wal_lost_bytes"), 1u);
+        std::uint64_t value = 0;
+        ASSERT_TRUE(store.get(session, 7, &value));
+        EXPECT_EQ(value, 70u);
+        EXPECT_EQ(store.put(session, 52, 1).status,
+                  KvStatus::kReadOnly);
+        store.closeSession(session);
+    }
+    // Recovery truncates the genuinely-torn frame and keeps exactly
+    // the acked prefix.
+    KvStore store(durableStore(1));
+    EXPECT_GT(store.recoveryInfo().tornBytes, 0u);
+    auto session = store.openSession();
+    std::uint64_t value = 0;
+    for (std::uint64_t k = 1; k <= 50; ++k) {
+        ASSERT_TRUE(store.get(session, k, &value)) << "key " << k;
+        EXPECT_EQ(value, k * 10);
+    }
+    EXPECT_FALSE(store.get(session, 51, &value));
+    store.closeSession(session);
+}
+
+TEST_F(WalFaultTest, RecoveryFallsBackToPreviousCheckpointGeneration)
+{
+    {
+        KvStore store(durableStore(1));
+        auto session = store.openSession();
+        for (std::uint64_t k = 1; k <= 50; ++k)
+            ASSERT_TRUE(store.put(session, k, k + 1));
+        ASSERT_TRUE(store.checkpoint(session));
+        for (std::uint64_t k = 51; k <= 80; ++k)
+            ASSERT_TRUE(store.put(session, k, k + 1));
+        ASSERT_TRUE(store.checkpoint(session));
+        store.closeSession(session);
+    }
+    // Retention keeps the previous checkpoint generation (and the
+    // segments since it) as recovery fallback; find and corrupt the
+    // newest image.
+    fs::path newest;
+    std::uint64_t best_gen = 0;
+    int ckpt_files = 0;
+    for (const auto &entry : fs::directory_iterator(dir_)) {
+        const std::string name = entry.path().filename().string();
+        std::uint64_t gen = 0;
+        if (std::sscanf(name.c_str(), "ckpt-0-%lu.dat", &gen) != 1)
+            continue;
+        ++ckpt_files;
+        if (gen > best_gen) {
+            best_gen = gen;
+            newest = entry.path();
+        }
+    }
+    ASSERT_GE(ckpt_files, 2) << "retention must keep a fallback image";
+    ASSERT_FALSE(newest.empty());
+    const auto size =
+        static_cast<std::size_t>(fs::file_size(newest));
+    {
+        std::fstream f(newest, std::ios::binary | std::ios::in |
+                                   std::ios::out);
+        f.seekg(static_cast<std::streamoff>(size / 2));
+        char byte = 0;
+        f.read(&byte, 1);
+        byte = static_cast<char>(byte ^ 0x10);
+        f.seekp(static_cast<std::streamoff>(size / 2));
+        f.write(&byte, 1);
+    }
+    KvStore store(durableStore(1));
+    // Fallback proof: the state came from the OLD image (50 entries)
+    // plus replay of the segments written after it.
+    EXPECT_EQ(store.recoveryInfo().checkpointEntries, 50u);
+    EXPECT_GE(store.recoveryInfo().replayedRecords, 30u);
+    auto session = store.openSession();
+    std::uint64_t value = 0;
+    for (std::uint64_t k = 1; k <= 80; ++k) {
+        ASSERT_TRUE(store.get(session, k, &value)) << "key " << k;
+        EXPECT_EQ(value, k + 1);
+    }
+    store.closeSession(session);
+}
+
+TEST_F(WalFaultTest, CheckpointWriteFailureKeepsStoreServing)
+{
+    {
+        KvStore store(durableStore(2));
+        auto session = store.openSession();
+        for (std::uint64_t k = 1; k <= 60; ++k)
+            ASSERT_TRUE(store.put(session, k, k * 2));
+        fault::arm("ckpt.write", once(EIO));
+        EXPECT_FALSE(store.checkpoint(session));
+        EXPECT_GE(store.telemetry().value("checkpoint_failures"), 1u);
+        // A failed checkpoint is not a log failure: the WAL keeps
+        // acking and health stays green (only ENOSPC degrades here).
+        EXPECT_EQ(store.health(), Health::kHealthy);
+        ASSERT_TRUE(store.put(session, 61, 122));
+        store.closeSession(session);
+    }
+    KvStore store(durableStore(2));
+    auto session = store.openSession();
+    std::uint64_t value = 0;
+    for (std::uint64_t k = 1; k <= 61; ++k) {
+        ASSERT_TRUE(store.get(session, k, &value)) << "key " << k;
+        EXPECT_EQ(value, k * 2);
+    }
     store.closeSession(session);
 }
 
